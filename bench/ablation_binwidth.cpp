@@ -1,0 +1,51 @@
+// Ablation: Freedman-Diaconis (data-dependent) histogram bin width versus
+// fixed widths in θ_hm.
+//
+// The paper picks FD both for statistical quality (min L2 error vs the true
+// density) and because "applying a fixed bin width makes it straightforward
+// for a Plotter to manipulate its traffic to evade detection."
+#include "bench/bench_util.h"
+
+using namespace tradeplot;
+
+int main() {
+  benchx::header("Ablation - theta_hm histogram bin width (FD vs fixed)");
+
+  eval::EvalConfig cfg = benchx::paper_eval_config();
+  cfg.days = 4;
+  std::printf("  generating %d days...\n\n", cfg.days);
+  const eval::DaySet days = eval::make_days(cfg);
+
+  const struct {
+    double width;  // 0 = FD
+    const char* name;
+  } variants[] = {
+      {0.0, "Freedman-Diaconis (paper)"},
+      {1.0, "fixed 1 s"},
+      {10.0, "fixed 10 s"},
+      {60.0, "fixed 60 s"},
+      {600.0, "fixed 600 s"},
+  };
+
+  std::printf("  %-28s %10s %12s %10s\n", "bin width", "Storm TP", "Nugache TP", "FP");
+  for (const auto& variant : variants) {
+    detect::FindPlottersConfig pipeline;
+    pipeline.human_machine.fixed_bin_width = variant.width;
+    const benchx::MergedRates avg =
+        benchx::merged_rates(days, [&](const eval::DayData& day) {
+          const auto run = detect::find_plotters(day.features, pipeline);
+          return std::pair{run.plotters, run.input};
+        });
+    std::printf("  %-28s %9.1f%% %11.1f%% %9.1f%%\n", variant.name, avg.storm_tp * 100,
+                avg.nugache_tp * 100, avg.fp * 100);
+  }
+
+  benchx::paper_reference(
+      "DESIGN.md ablation (paper §IV-C rationale): FD adapts the binning\n"
+      "to each host's sample size and spread, and - the security argument -\n"
+      "is data-dependent, so a bot cannot precompute the binning it must\n"
+      "defeat. Accuracy-wise FD and moderate fixed widths are comparable\n"
+      "here; very coarse bins (>= the bots' timer period x several) smear\n"
+      "the comb into the human mass and lose Storm TP.");
+  return 0;
+}

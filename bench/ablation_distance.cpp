@@ -1,0 +1,63 @@
+// Ablation: Earth Mover's Distance versus plain binned-L1 distance in
+// θ_hm's clustering, and sensitivity to the dendrogram cut fraction.
+//
+// EMD knows *how far* probability mass moved (two combs offset by one bin
+// are close); L1 over a fixed binning only knows *whether* mass coincides
+// (the same two combs look maximally distant). The paper picked EMD for
+// exactly this robustness.
+#include "bench/bench_util.h"
+
+using namespace tradeplot;
+
+namespace {
+
+benchx::MergedRates run(const eval::DaySet& days, const detect::FindPlottersConfig& pipeline) {
+  return benchx::merged_rates(days, [&](const eval::DayData& day) {
+    const auto result = detect::find_plotters(day.features, pipeline);
+    return std::pair{result.plotters, result.input};
+  });
+}
+
+}  // namespace
+
+int main() {
+  benchx::header("Ablation - theta_hm distance metric and dendrogram cut fraction");
+
+  eval::EvalConfig cfg = benchx::paper_eval_config();
+  cfg.days = 4;
+  std::printf("  generating %d days...\n\n", cfg.days);
+  const eval::DaySet days = eval::make_days(cfg);
+
+  std::printf("  distance metric (cut = default):\n");
+  std::printf("  %-26s %10s %12s %10s\n", "metric", "Storm TP", "Nugache TP", "FP");
+  for (const auto& [distance, name] :
+       {std::pair{detect::HmDistance::kEmd, "EMD (paper)"},
+        std::pair{detect::HmDistance::kBinL1, "binned L1 (60 s grid)"}}) {
+    detect::FindPlottersConfig pipeline;
+    pipeline.human_machine.distance = distance;
+    const benchx::MergedRates avg = run(days, pipeline);
+    std::printf("  %-26s %9.1f%% %11.1f%% %9.1f%%\n", name, avg.storm_tp * 100,
+                avg.nugache_tp * 100, avg.fp * 100);
+  }
+
+  std::printf("\n  dendrogram cut fraction (EMD):\n");
+  std::printf("  %-26s %10s %12s %10s\n", "cut", "Storm TP", "Nugache TP", "FP");
+  for (const double cut : {0.01, 0.05, 0.10, 0.15, 0.25, 0.40}) {
+    detect::FindPlottersConfig pipeline;
+    pipeline.human_machine.cut_fraction = cut;
+    const benchx::MergedRates avg = run(days, pipeline);
+    std::printf("  top %2.0f%% of links%12s %9.1f%% %11.1f%% %9.1f%%\n", cut * 100, "", avg.storm_tp * 100,
+                avg.nugache_tp * 100, avg.fp * 100);
+  }
+
+  benchx::paper_reference(
+      "DESIGN.md ablation (paper §IV-C rationale): EMD 'is especially\n"
+      "useful in cases where the distributions are simply shifts of each\n"
+      "other'; binned L1 is blind to how far mass moved. On this simulator\n"
+      "both detect the (extremely tight) Storm cluster; the differences\n"
+      "show in the Nugache and FP columns. The cut sweep locates the knee\n"
+      "discussed in DESIGN.md §7: shallow cuts leave the bots' cluster\n"
+      "attached to the human mass (low TP); past the knee the TP plateaus,\n"
+      "and very deep cuts shatter clusters below min_cluster_size.");
+  return 0;
+}

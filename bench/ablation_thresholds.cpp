@@ -1,0 +1,84 @@
+// Ablation: relative (percentile) thresholds vs fixed thresholds under
+// volume evasion.
+//
+// The paper's evasion argument (§VI) rests on thresholds being computed
+// from the live traffic mix. This bench quantifies it: bots inflate their
+// per-flow volume by a multiplier; the dynamic pipeline recomputes τ_vol
+// per day, while the "fixed" variant freezes τ_vol at its day-0,
+// multiplier-1 value. A fixed threshold is a number the botmaster can learn
+// and beat; the dynamic one moves with the population.
+#include "bench/bench_util.h"
+
+using namespace tradeplot;
+
+namespace {
+
+struct Outcome {
+  double storm_tp;
+  double nugache_tp;
+};
+
+Outcome run_pipeline(const eval::DaySet& days, const detect::FindPlottersConfig& cfg,
+                     double fixed_tau_vol) {
+  const benchx::MergedRates avg =
+      benchx::merged_rates(days, [&](const eval::DayData& day) {
+        const detect::HostSet input = detect::all_hosts(day.features);
+        const detect::HostSet reduced =
+            detect::data_reduction(day.features, input, cfg.reduction);
+        detect::HostSet s_vol;
+        if (fixed_tau_vol > 0) {
+          for (const simnet::Ipv4 host : reduced) {
+            if (day.features.at(host).volume(cfg.volume.metric) < fixed_tau_vol)
+              s_vol.push_back(host);
+          }
+        } else {
+          s_vol = detect::volume_test(day.features, reduced, cfg.volume);
+        }
+        const detect::HostSet s_churn = detect::churn_test(day.features, reduced, cfg.churn);
+        const detect::HostSet unioned = detect::host_union(s_vol, s_churn);
+        const auto hm = detect::human_machine_test(day.features, unioned, cfg.human_machine);
+        return std::pair{hm.flagged, input};
+      });
+  return {avg.storm_tp, avg.nugache_tp};
+}
+
+}  // namespace
+
+int main() {
+  benchx::header("Ablation - percentile vs fixed tau_vol under volume-inflation evasion");
+
+  const detect::FindPlottersConfig pipeline;
+  eval::EvalConfig base = benchx::paper_eval_config();
+  base.days = 4;  // ablation runs several full sweeps; fewer days keep it quick
+
+  // Calibrate the fixed threshold on honest (multiplier = 1) traffic.
+  const eval::DaySet honest = eval::make_days(base);
+  const detect::HostSet input = detect::all_hosts(honest.storm_days[0].features);
+  const detect::HostSet reduced = detect::data_reduction(honest.storm_days[0].features, input);
+  const double frozen_tau = detect::volume_threshold(honest.storm_days[0].features, reduced);
+  std::printf("  frozen tau_vol (day 0, x1): %.1f bytes/flow\n\n", frozen_tau);
+
+  std::printf("  %-12s %-26s %-26s\n", "", "dynamic tau (Storm/Nugache)",
+              "frozen tau (Storm/Nugache)");
+  for (const double mult : {1.0, 2.0, 5.0, 10.0, 20.0}) {
+    eval::EvalConfig cfg = base;
+    cfg.honeynet.storm.evasion.volume_multiplier = mult;
+    cfg.honeynet.nugache.evasion.volume_multiplier = mult;
+    const eval::DaySet days = eval::make_days(cfg);
+    const Outcome dynamic = run_pipeline(days, pipeline, 0.0);
+    const Outcome frozen = run_pipeline(days, pipeline, frozen_tau);
+    std::printf("  volume x%-4.0f %9.1f%% / %-9.1f%%    %9.1f%% / %-9.1f%%\n", mult,
+                dynamic.storm_tp * 100, dynamic.nugache_tp * 100, frozen.storm_tp * 100,
+                frozen.nugache_tp * 100);
+  }
+
+  benchx::paper_reference(
+      "DESIGN.md ablation (paper §VI rationale): with percentile\n"
+      "thresholds the population median moves very little when 13+82 bots\n"
+      "inflate their flows, so detection should degrade gracefully only\n"
+      "once bots genuinely exceed the median Trader; a frozen threshold is\n"
+      "beaten outright at the multiplier that crosses it. Expect the\n"
+      "frozen column to collapse to ~0% at a lower multiplier than the\n"
+      "dynamic column.");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Every bench renders one of the paper's evaluation figures as a text table
+// from a deterministic simulation (see DESIGN.md §4 for the index), and
+// finishes with a "paper reference" block quoting what the original figure
+// showed, so paper-vs-measured comparison is mechanical.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "eval/experiments.h"
+#include "stats/descriptive.h"
+
+namespace tradeplot::benchx {
+
+/// The evaluation setup used by all figure benches: the paper's eight days,
+/// 13 Storm bots, 82 Nugache bots, 6-hour campus windows. One fixed master
+/// seed keeps every bench deterministic.
+inline eval::EvalConfig paper_eval_config(std::uint64_t seed = 20100621) {
+  eval::EvalConfig config;
+  config.campus.seed = seed;
+  config.honeynet.seed = seed;
+  config.days = 8;
+  return config;
+}
+
+inline void header(const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void paper_reference(const std::string& text) {
+  std::printf("\n-- paper reference ------------------------------------------\n");
+  std::printf("%s\n", text.c_str());
+}
+
+/// Prints one dataset's CDF sampled at the given x grid.
+inline void print_cdf_row(const std::string& name, std::vector<double> values,
+                          std::span<const double> grid) {
+  std::sort(values.begin(), values.end());
+  std::printf("  %-14s", name.c_str());
+  for (const double x : grid) {
+    std::printf(" %6.3f", values.empty() ? 0.0 : stats::ecdf_at(values, x));
+  }
+  std::printf("   (n=%zu)\n", values.size());
+}
+
+inline void print_grid_header(const char* label, std::span<const double> grid,
+                              bool log_labels = false) {
+  std::printf("  %-14s", label);
+  for (const double x : grid) {
+    if (log_labels) {
+      std::printf(" %6.0e", x);
+    } else if (x < 10.0) {
+      std::printf(" %6.2f", x);
+    } else {
+      std::printf(" %6.0f", x);
+    }
+  }
+  std::printf("\n");
+}
+
+/// Per-host feature vectors grouped by ground-truth kind, extracted from a
+/// raw trace (no overlay).
+template <typename ValueFn>
+std::vector<double> values_of_kind(const netflow::TraceSet& trace,
+                                   const detect::FeatureMap& features, netflow::HostKind kind,
+                                   ValueFn value) {
+  std::vector<double> out;
+  for (const auto& [host, f] : features) {
+    if (trace.kind_of(host) == kind) out.push_back(value(f));
+  }
+  return out;
+}
+
+/// Combined rates from the two per-botnet overlay runs: Storm TP from the
+/// Storm days, Nugache TP from the Nugache days, FP averaged across both.
+struct MergedRates {
+  double storm_tp = 0.0;
+  double nugache_tp = 0.0;
+  double fp = 0.0;
+};
+
+/// `run` maps one DayData to (flagged set, population) for the variant
+/// being measured.
+template <typename RunFn>
+MergedRates merged_rates(const eval::DaySet& days, RunFn run) {
+  std::vector<eval::StageRates> storm_rates, nugache_rates;
+  for (const eval::DayData& day : days.storm_days) {
+    const auto [output, population] = run(day);
+    storm_rates.push_back(eval::stage_rates(day, output, population));
+  }
+  for (const eval::DayData& day : days.nugache_days) {
+    const auto [output, population] = run(day);
+    nugache_rates.push_back(eval::stage_rates(day, output, population));
+  }
+  const eval::StageRates s = eval::average(storm_rates);
+  const eval::StageRates n = eval::average(nugache_rates);
+  return MergedRates{s.storm_tp, n.nugache_tp, (s.fp + n.fp) / 2.0};
+}
+
+/// Shared body of the three ROC benches (Figs. 6-8).
+inline void run_roc_bench(eval::SweepTest test, const std::string& title,
+                          const std::string& reference) {
+  header(title);
+  const eval::EvalConfig cfg = paper_eval_config();
+  std::printf("  generating %d days...\n", cfg.days);
+  const eval::DaySet days = eval::make_days(cfg);
+  const eval::RocSweepResult roc = eval::roc_sweep(days, test);
+
+  std::printf("\n  %-10s %-24s %-24s\n", "threshold", "Storm (FP,TP)", "Nugache (FP,TP)");
+  const auto& sp = roc.storm.points();
+  const auto& np = roc.nugache.points();
+  // Points are sorted by FP; labels identify the percentile.
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    std::printf("  %-10s (%6.4f, %6.4f)        ", sp[i].label.c_str(), sp[i].fp_rate,
+                sp[i].tp_rate);
+    std::printf("(%6.4f, %6.4f)\n", np[i].fp_rate, np[i].tp_rate);
+  }
+  std::printf("\n  AUC: Storm %.4f, Nugache %.4f\n", roc.storm.auc(), roc.nugache.auc());
+  paper_reference(reference);
+}
+
+}  // namespace tradeplot::benchx

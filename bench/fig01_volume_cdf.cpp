@@ -1,0 +1,73 @@
+// Figure 1: cumulative distribution of the average flow size per host in
+// each dataset over one day.
+//
+// Paper shape: the Plotters (Storm, Nugache) contribute far fewer bytes per
+// flow than the Traders; the CMU background spans the range in between.
+#include "bench/bench_util.h"
+#include "detect/features.h"
+
+using namespace tradeplot;
+
+int main() {
+  benchx::header("Figure 1 - CDF of average flow size (bytes uploaded per flow) per host");
+
+  const eval::EvalConfig cfg = benchx::paper_eval_config();
+  const netflow::TraceSet storm = botnet::generate_storm_trace(cfg.honeynet);
+  const netflow::TraceSet nugache = botnet::generate_nugache_trace(cfg.honeynet);
+  trace::CampusConfig campus_cfg = cfg.campus;
+  const netflow::TraceSet campus = trace::generate_campus_trace(campus_cfg);
+
+  detect::FeatureExtractorConfig fx;
+  fx.is_internal = detect::default_internal_predicate;
+  const auto campus_features = detect::extract_features(campus, fx);
+  const auto storm_features = detect::extract_features(storm, fx);
+  const auto nugache_features = detect::extract_features(nugache, fx);
+
+  const auto volume = [](const detect::HostFeatures& f) {
+    return f.volume(detect::VolumeMetric::kSentPerFlow);
+  };
+
+  std::vector<double> cmu_background;
+  std::vector<double> traders;
+  for (const auto& [host, f] : campus_features) {
+    if (campus.class_of(host) == netflow::HostClass::kTrader) {
+      traders.push_back(volume(f));
+    } else {
+      cmu_background.push_back(volume(f));
+    }
+  }
+
+  const std::vector<double> grid = {50,   100,  250,   500,   1000,   2500,  5000,
+                                    1e4,  5e4,  1e5,   5e5,   1e6};
+  benchx::print_grid_header("bytes/flow", grid, true);
+  benchx::print_cdf_row("CMU\\Trader", cmu_background, grid);
+  benchx::print_cdf_row("Gnutella",
+                        benchx::values_of_kind(campus, campus_features,
+                                               netflow::HostKind::kGnutella, volume),
+                        grid);
+  benchx::print_cdf_row("eMule",
+                        benchx::values_of_kind(campus, campus_features, netflow::HostKind::kEMule,
+                                               volume),
+                        grid);
+  benchx::print_cdf_row("BitTorrent",
+                        benchx::values_of_kind(campus, campus_features,
+                                               netflow::HostKind::kBitTorrent, volume),
+                        grid);
+  benchx::print_cdf_row("Trader(all)", traders, grid);
+  benchx::print_cdf_row("Storm",
+                        benchx::values_of_kind(storm, storm_features, netflow::HostKind::kStorm,
+                                               volume),
+                        grid);
+  benchx::print_cdf_row("Nugache",
+                        benchx::values_of_kind(nugache, nugache_features,
+                                               netflow::HostKind::kNugache, volume),
+                        grid);
+
+  benchx::paper_reference(
+      "Fig. 1: Plotter (Storm/Nugache) avg flow sizes are 'significantly\n"
+      "smaller than Traders'; Storm hit ~100% CDF by a few hundred bytes,\n"
+      "Traders put most mass at tens of KB to MBs, CMU background spans\n"
+      "the middle. Expect: Storm/Nugache CDFs reach ~1.0 far left of the\n"
+      "Trader rows; CMU\\Trader in between.");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 3: per-destination flow interstitial-time distributions for a
+// Storm bot, a Nugache bot, a BitTorrent host, and a Gnutella host.
+//
+// Paper shape: the Plotters show sharp periodic combs (Nugache at ~10/25/50
+// seconds), the Traders show diffuse human-scale spreads.
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "detect/features.h"
+#include "stats/histogram.h"
+
+using namespace tradeplot;
+
+namespace {
+
+void print_histogram(const char* label, const std::vector<double>& samples) {
+  std::printf("\n  %s (%zu interstitial samples)\n", label, samples.size());
+  if (samples.size() < 4) {
+    std::printf("    too few samples\n");
+    return;
+  }
+  const stats::Histogram hist = stats::Histogram::with_fd_width(samples);
+  std::printf("    Freedman-Diaconis bin width: %.3f s\n", hist.bin_width());
+  // Top mass bins, sorted by probability.
+  struct Bin {
+    double center;
+    double mass;
+  };
+  std::vector<Bin> bins;
+  const auto pmf = hist.pmf();
+  for (std::size_t i = 0; i < pmf.size(); ++i) {
+    if (pmf[i] > 0) bins.push_back({hist.bin_center(i), pmf[i]});
+  }
+  std::sort(bins.begin(), bins.end(), [](const Bin& a, const Bin& b) { return a.mass > b.mass; });
+  const std::size_t show = std::min<std::size_t>(bins.size(), 8);
+  for (std::size_t i = 0; i < show; ++i) {
+    std::printf("    %9.1f s : %6.2f%%  |%s\n", bins[i].center, bins[i].mass * 100.0,
+                std::string(static_cast<std::size_t>(bins[i].mass * 120.0), '#').c_str());
+  }
+  std::printf("    (%zu non-empty bins total)\n", bins.size());
+}
+
+const detect::HostFeatures* busiest_of_kind(const netflow::TraceSet& trace,
+                                            const detect::FeatureMap& features,
+                                            netflow::HostKind kind) {
+  const detect::HostFeatures* best = nullptr;
+  for (const auto& [host, f] : features) {
+    if (trace.kind_of(host) != kind) continue;
+    if (best == nullptr || f.interstitials.size() > best->interstitials.size()) best = &f;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  benchx::header("Figure 3 - per-destination flow interstitial time distributions (one day)");
+
+  const eval::EvalConfig cfg = benchx::paper_eval_config();
+  const netflow::TraceSet storm = botnet::generate_storm_trace(cfg.honeynet);
+  const netflow::TraceSet nugache = botnet::generate_nugache_trace(cfg.honeynet);
+  const netflow::TraceSet campus = trace::generate_campus_trace(cfg.campus);
+
+  detect::FeatureExtractorConfig fx;
+  fx.is_internal = detect::default_internal_predicate;
+  const auto storm_f = detect::extract_features(storm, fx);
+  const auto nugache_f = detect::extract_features(nugache, fx);
+  const auto campus_f = detect::extract_features(campus, fx);
+
+  print_histogram("(a) Storm bot",
+                  busiest_of_kind(storm, storm_f, netflow::HostKind::kStorm)->interstitials);
+  print_histogram("(b) Nugache bot",
+                  busiest_of_kind(nugache, nugache_f, netflow::HostKind::kNugache)->interstitials);
+  print_histogram(
+      "(c) BitTorrent host",
+      busiest_of_kind(campus, campus_f, netflow::HostKind::kBitTorrent)->interstitials);
+  print_histogram("(d) Gnutella host",
+                  busiest_of_kind(campus, campus_f, netflow::HostKind::kGnutella)->interstitials);
+
+  benchx::paper_reference(
+      "Fig. 3: 'These Plotters exhibit significant periodicity in their\n"
+      "communications. For example, Nugache can be observed to communicate\n"
+      "at intervals of around 10 seconds, 25 seconds, and 50 seconds. By\n"
+      "contrast, it is not clear that the same pattern exists among\n"
+      "Traders.' Expect (a)/(b) mass concentrated in a few sharp bins at\n"
+      "fixed intervals; (c)/(d) spread across many bins.");
+  return 0;
+}

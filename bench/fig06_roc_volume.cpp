@@ -1,0 +1,15 @@
+// Figure 6: ROC curves for the volume test θ_vol, thresholds at the
+// 10/30/50/70/90-th percentiles, averaged over the eight days.
+#include "bench/bench_util.h"
+
+int main() {
+  tradeplot::benchx::run_roc_bench(
+      tradeplot::eval::SweepTest::kVolume,
+      "Figure 6 - ROC of theta_vol (Storm & Nugache overlaid, after data reduction)",
+      "Fig. 6: Storm's TP reaches ~100% even at mid thresholds while the FP\n"
+      "rate grows roughly with the percentile (the test alone is coarse -\n"
+      "FP can reach ~90% at p90); Storm dominates Nugache everywhere.\n"
+      "Expect: storm TP ~1.0 by p50; both curves near the diagonal or\n"
+      "above; Nugache below Storm.");
+  return 0;
+}

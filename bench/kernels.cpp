@@ -1,0 +1,126 @@
+// Microbenchmarks (google-benchmark) for the computational kernels of the
+// detection pipeline: histogram construction, the two EMD solvers,
+// agglomerative clustering, flow-table packet assembly, and feature
+// extraction.
+#include <benchmark/benchmark.h>
+
+#include "detect/features.h"
+#include "netflow/flow_table.h"
+#include "stats/emd.h"
+#include "stats/hcluster.h"
+#include "stats/histogram.h"
+#include "util/rng.h"
+
+using namespace tradeplot;
+
+namespace {
+
+std::vector<double> make_samples(std::size_t n, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.lognormal(4.0, 1.2);
+  return v;
+}
+
+stats::Signature make_signature(std::size_t n_samples, std::uint64_t seed) {
+  const auto samples = make_samples(n_samples, seed);
+  return stats::Histogram::with_fd_width(samples).signature();
+}
+
+void BM_HistogramFd(benchmark::State& state) {
+  const auto samples = make_samples(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::Histogram::with_fd_width(samples));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HistogramFd)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_Emd1d(benchmark::State& state) {
+  const auto a = make_signature(static_cast<std::size_t>(state.range(0)), 1);
+  const auto b = make_signature(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) benchmark::DoNotOptimize(stats::emd_1d(a, b));
+}
+BENCHMARK(BM_Emd1d)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_EmdTransport(benchmark::State& state) {
+  const auto a = make_signature(static_cast<std::size_t>(state.range(0)), 1);
+  const auto b = make_signature(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) benchmark::DoNotOptimize(stats::emd_transport(a, b));
+}
+BENCHMARK(BM_EmdTransport)->Arg(50)->Arg(200);
+
+void BM_Upgma(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Pcg32 rng(3);
+  std::vector<double> d(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) d[i * n + j] = d[j * n + i] = rng.uniform(0.1, 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::agglomerative_average_linkage(d, n));
+  }
+}
+BENCHMARK(BM_Upgma)->Arg(50)->Arg(200)->Arg(500);
+
+void BM_FlowTable(benchmark::State& state) {
+  util::Pcg32 rng(4);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<netflow::PacketEvent> packets;
+  packets.reserve(n);
+  double t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += rng.exponential(0.001);
+    netflow::PacketEvent p;
+    p.time = t;
+    p.src = simnet::Ipv4(static_cast<std::uint32_t>(rng.uniform_int(1, 500)));
+    p.dst = simnet::Ipv4(static_cast<std::uint32_t>(rng.uniform_int(1000, 1100)));
+    p.sport = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+    p.dport = 80;
+    p.proto = netflow::Protocol::kUdp;
+    p.payload_bytes = 100;
+    packets.push_back(p);
+  }
+  for (auto _ : state) {
+    netflow::FlowTable table;
+    for (const auto& p : packets) table.add_packet(p);
+    benchmark::DoNotOptimize(table.flush());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FlowTable)->Arg(10000)->Arg(100000);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  util::Pcg32 rng(5);
+  netflow::TraceSet trace(0, 21600);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    netflow::FlowRecord r;
+    r.src = simnet::Ipv4(128, 2, 0, static_cast<std::uint8_t>(rng.uniform_int(1, 200)));
+    r.dst = simnet::Ipv4(static_cast<std::uint32_t>(rng.uniform_int(1 << 24, 1 << 30)));
+    r.start_time = rng.uniform(0, 21600);
+    r.end_time = r.start_time + 1;
+    r.pkts_src = 2;
+    r.pkts_dst = rng.chance(0.3) ? 0 : 2;
+    r.bytes_src = 500;
+    r.bytes_dst = 1000;
+    r.state = r.pkts_dst ? netflow::FlowState::kEstablished : netflow::FlowState::kAttempted;
+    trace.add_flow(std::move(r));
+  }
+  detect::FeatureExtractorConfig fx;
+  fx.is_internal = detect::default_internal_predicate;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detect::extract_features(trace, fx));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(100000);
+
+void BM_Pcg32(benchmark::State& state) {
+  util::Pcg32 rng(6);
+  for (auto _ : state) benchmark::DoNotOptimize(rng());
+}
+BENCHMARK(BM_Pcg32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Campus monitor: the operational scenario from the paper's introduction.
+//
+// A network administrator collects border flow records day after day and
+// wants a morning report: which internal hosts look like P2P bots? This
+// example simulates a working week, runs FindPlotters on each day, and
+// prints the report an operator would read — flagged hosts, their feature
+// profile, and (since this is a simulation) whether the alarm was right.
+//
+// Usage: campus_monitor [days] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "botnet/honeynet.h"
+#include "detect/find_plotters.h"
+#include "eval/day.h"
+#include "util/format.h"
+
+using namespace tradeplot;
+
+namespace {
+
+std::string verdict(const eval::DayData& day, simnet::Ipv4 host) {
+  if (day.is_storm(host)) return "TRUE POSITIVE (Storm)";
+  if (day.is_nugache(host)) return "TRUE POSITIVE (Nugache)";
+  if (day.is_trader(host)) return "false alarm (file-sharing host)";
+  return "false alarm (" + std::string(netflow::to_string(day.combined.kind_of(host))) + ")";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int days = argc > 1 ? std::atoi(argv[1]) : 5;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20100621;
+
+  // The infection: Storm bots have a foothold on campus. The honeynet trace
+  // stands in for their command-and-control traffic.
+  botnet::HoneynetConfig honeynet;
+  honeynet.seed = seed;
+  const netflow::TraceSet storm = botnet::generate_storm_trace(honeynet);
+  const netflow::TraceSet no_nugache;
+
+  trace::CampusConfig campus;
+  campus.seed = seed;
+
+  int tp_total = 0, fp_total = 0, bots_total = 0;
+  for (int d = 0; d < days; ++d) {
+    const eval::DayData day =
+        eval::make_day(campus, storm, no_nugache, static_cast<std::uint64_t>(d));
+    const detect::FindPlottersResult result = detect::find_plotters(day.features);
+
+    std::printf("=== day %d: %zu flows from %zu internal hosts ===\n", d + 1,
+                day.combined.flows().size(), day.features.size());
+    std::printf("  pipeline: %zu hosts -> %zu after reduction -> %zu in S_vol u S_churn "
+                "-> %zu flagged\n",
+                result.input.size(), result.reduced.size(), result.vol_or_churn.size(),
+                result.plotters.size());
+    if (result.plotters.empty()) {
+      std::printf("  nothing flagged today\n\n");
+      continue;
+    }
+    std::printf("  %-16s %10s %12s %10s %8s  %s\n", "host", "flows", "avg B/flow", "failed%",
+                "new-IP%", "assessment");
+    for (const simnet::Ipv4 host : result.plotters) {
+      const detect::HostFeatures& f = day.features.at(host);
+      std::printf("  %-16s %10zu %12.0f %9.1f%% %7.1f%%  %s\n", host.to_string().c_str(),
+                  f.flows_initiated, f.volume(detect::VolumeMetric::kSentPerFlow),
+                  f.failed_rate() * 100.0, f.new_ip_fraction() * 100.0,
+                  verdict(day, host).c_str());
+      if (day.is_plotter(host)) ++tp_total;
+      else ++fp_total;
+    }
+    bots_total += static_cast<int>(day.storm_hosts.size());
+    std::printf("\n");
+  }
+
+  std::printf("=== week summary ===\n");
+  std::printf("  caught %d of %d bot-days (%.1f%%), %d false alarms across %d days\n", tp_total,
+              bots_total, bots_total ? 100.0 * tp_total / bots_total : 0.0, fp_total, days);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Evasion study: what does it cost a botmaster to slip past FindPlotters?
+//
+// Drives the three evasion knobs from §VI of the paper through the public
+// API — volume inflation, churn inflation, and timing jitter — and reports
+// how the detection rate responds, together with the collateral cost each
+// manoeuvre imposes on the botnet (extra bytes on the wire, extra dials,
+// slower command propagation).
+//
+// Usage: evasion_study [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "botnet/honeynet.h"
+#include "detect/find_plotters.h"
+#include "eval/day.h"
+#include "util/format.h"
+
+using namespace tradeplot;
+
+namespace {
+
+struct Outcome {
+  double storm_tp = 0.0;
+  double bytes_per_flow = 0.0;
+  double flows_per_bot = 0.0;
+};
+
+Outcome run(std::uint64_t seed, const botnet::EvasionConfig& evasion, int days = 3) {
+  botnet::HoneynetConfig honeynet;
+  honeynet.seed = seed;
+  honeynet.storm.evasion = evasion;
+  const netflow::TraceSet storm = botnet::generate_storm_trace(honeynet);
+  const netflow::TraceSet empty;
+  trace::CampusConfig campus;
+  campus.seed = seed;
+
+  Outcome out;
+  // Cost metrics from the raw honeynet trace.
+  std::uint64_t bytes = 0;
+  for (const auto& r : storm.flows()) bytes += r.bytes_src;
+  out.bytes_per_flow = static_cast<double>(bytes) / static_cast<double>(storm.flows().size());
+  out.flows_per_bot = static_cast<double>(storm.flows().size()) /
+                      static_cast<double>(storm.hosts_of_kind(netflow::HostKind::kStorm).size());
+
+  int caught = 0, total = 0;
+  for (int d = 0; d < days; ++d) {
+    const eval::DayData day =
+        eval::make_day(campus, storm, empty, static_cast<std::uint64_t>(d));
+    const detect::FindPlottersResult result = detect::find_plotters(day.features);
+    for (const simnet::Ipv4 bot : day.storm_hosts) {
+      ++total;
+      if (std::binary_search(result.plotters.begin(), result.plotters.end(), bot)) ++caught;
+    }
+  }
+  out.storm_tp = total ? static_cast<double>(caught) / total : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20100621;
+
+  std::printf("baseline (no evasion)\n");
+  const Outcome base = run(seed, {});
+  std::printf("  detection %.1f%%, %s/flow, %.0f flows/bot/day\n\n", base.storm_tp * 100,
+              util::human_bytes(base.bytes_per_flow).c_str(), base.flows_per_bot);
+
+  std::printf("1) inflate per-flow volume to beat theta_vol (paper: ~5x needed)\n");
+  for (const double mult : {2.0, 5.0, 15.0, 40.0}) {
+    botnet::EvasionConfig evasion;
+    evasion.volume_multiplier = mult;
+    const Outcome o = run(seed, evasion);
+    std::printf("  x%-5.0f detection %5.1f%%   cost: %s/flow (%.0fx the bandwidth)\n", mult,
+                o.storm_tp * 100, util::human_bytes(o.bytes_per_flow).c_str(),
+                o.bytes_per_flow / base.bytes_per_flow);
+  }
+
+  std::printf("\n2) divert repeat contacts to fresh addresses to beat theta_churn\n");
+  for (const double frac : {0.2, 0.5, 0.8}) {
+    botnet::EvasionConfig evasion;
+    evasion.extra_new_contact_frac = frac;
+    const Outcome o = run(seed, evasion);
+    std::printf("  %3.0f%% diverted: detection %5.1f%%   cost: scanning-like fan-out, "
+                "stored peers go unrefreshed\n",
+                frac * 100, o.storm_tp * 100);
+  }
+
+  std::printf("\n3) jitter repeat-contact timing by +-d to beat theta_hm\n");
+  for (const double d : {60.0, 600.0, 3600.0, 10800.0}) {
+    botnet::EvasionConfig evasion;
+    evasion.jitter_range = d;
+    const Outcome o = run(seed, evasion);
+    std::printf("  d=%-6s detection %5.1f%%   cost: command latency up to %s\n",
+                util::human_duration(d).c_str(), o.storm_tp * 100,
+                util::human_duration(2 * d).c_str());
+  }
+
+  std::printf(
+      "\nPaper's conclusion (§VI): each evasion is visible somewhere else -\n"
+      "volume inflation costs bandwidth and crosses the Trader median,\n"
+      "churn inflation looks like scanning, and timing jitter must reach\n"
+      "minutes-to-hours, crippling command responsiveness.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Evasion knobs for the paper's §VI experiments.
+//
+// Each knob maps to one of the behavioural changes the paper costs out:
+//   * volume_multiplier      — inflate per-flow bytes to beat θ_vol
+//                              (paper: Storm needs ~5x, Nugache ~1.3x),
+//   * extra_new_contact_frac — redirect a fraction of repeat contacts to
+//                              never-seen addresses to beat θ_churn
+//                              (paper: needs a 1.5x+ boost in new-IP share),
+//   * jitter_range d         — add/subtract a uniform(±d) delay before each
+//                              connection to a previously-contacted peer to
+//                              smear the interstitial-time histogram and
+//                              beat θ_hm (paper Fig. 12: needs minutes).
+#pragma once
+
+namespace tradeplot::botnet {
+
+struct EvasionConfig {
+  double volume_multiplier = 1.0;
+  double extra_new_contact_frac = 0.0;
+  double jitter_range = 0.0;  // seconds; uniform in [-d, +d]
+};
+
+}  // namespace tradeplot::botnet

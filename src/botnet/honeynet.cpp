@@ -1,0 +1,80 @@
+#include "botnet/honeynet.h"
+
+#include <memory>
+#include <vector>
+
+#include "p2p/kademlia.h"
+#include "simnet/address.h"
+#include "simnet/simulation.h"
+
+namespace tradeplot::botnet {
+
+namespace {
+
+// The honeynet's own address block; Overlay re-homes these later.
+const simnet::Subnet kHoneynet(simnet::Ipv4(10, 99, 0, 0), 16);
+
+struct HoneynetWorld {
+  simnet::Simulation sim;
+  simnet::SubnetAllocator alloc;
+  netflow::TraceSet trace;
+  netflow::AppEnv env;
+
+  HoneynetWorld(double duration, util::Pcg32 rng)
+      : alloc({kHoneynet}, rng), trace(0.0, duration) {
+    env.sim = &sim;
+    env.window_end = duration;
+    env.sink = [this](netflow::FlowRecord rec) { trace.add_flow(std::move(rec)); };
+    env.external_addr = [this] { return alloc.random_external(); };
+  }
+};
+
+}  // namespace
+
+netflow::TraceSet generate_storm_trace(const HoneynetConfig& config) {
+  util::Pcg32 root(config.seed, 0x5701);
+  HoneynetWorld world(config.duration, root.split(1));
+
+  // Build the Overnet overlay the bots draw peers from. A third of the
+  // nodes are marked offline up front; StormConfig::dead_peer_frac governs
+  // the liveness of the entries each bot actually stores.
+  p2p::Overlay overnet;
+  util::Pcg32 overlay_rng = root.split(2);
+  for (int i = 0; i < config.overnet_size; ++i) {
+    p2p::Contact c{p2p::NodeId::random(overlay_rng), world.alloc.random_external(),
+                   StormBot::kPort};
+    overnet.add_node(c);
+    if (overlay_rng.chance(0.33)) overnet.set_online(c.id, false);
+  }
+
+  std::vector<std::unique_ptr<StormBot>> bots;
+  for (int b = 0; b < config.storm_bots; ++b) {
+    const simnet::Ipv4 self = world.alloc.next_internal();
+    world.trace.set_truth(self, netflow::HostKind::kStorm);
+    bots.push_back(std::make_unique<StormBot>(world.env, self, root.split(100 + b), &overnet,
+                                              config.storm));
+    bots.back()->start();
+  }
+  world.sim.run_until(config.duration);
+  world.trace.sort_by_time();
+  return std::move(world.trace);
+}
+
+netflow::TraceSet generate_nugache_trace(const HoneynetConfig& config) {
+  util::Pcg32 root(config.seed, 0x76a1);
+  HoneynetWorld world(config.duration, root.split(1));
+
+  std::vector<std::unique_ptr<NugacheBot>> bots;
+  for (int b = 0; b < config.nugache_bots; ++b) {
+    const simnet::Ipv4 self = world.alloc.next_internal();
+    world.trace.set_truth(self, netflow::HostKind::kNugache);
+    bots.push_back(
+        std::make_unique<NugacheBot>(world.env, self, root.split(200 + b), config.nugache));
+    bots.back()->start();
+  }
+  world.sim.run_until(config.duration);
+  world.trace.sort_by_time();
+  return std::move(world.trace);
+}
+
+}  // namespace tradeplot::botnet

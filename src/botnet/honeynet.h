@@ -1,0 +1,36 @@
+// Honeynet trace generation.
+//
+// The paper's Plotter datasets are 24-hour honeynet captures: 13 Storm bots
+// and 82 Nugache bots, with attack traffic (spam, scanning) blocked so that
+// control-plane traffic dominates. These functions reproduce that setup:
+// bots run in an isolated simulation for `duration` seconds and their flows
+// are recorded with honeynet-local source addresses, ready to be re-homed
+// onto campus hosts by trace::Overlay exactly as §V does.
+#pragma once
+
+#include <cstdint>
+
+#include "botnet/nugache.h"
+#include "botnet/storm.h"
+#include "netflow/trace_set.h"
+
+namespace tradeplot::botnet {
+
+struct HoneynetConfig {
+  int storm_bots = 13;
+  int nugache_bots = 82;
+  double duration = 86400.0;  // 24 h
+  /// Size of the simulated Overnet overlay Storm bots draw peers from.
+  int overnet_size = 600;
+  std::uint64_t seed = 1;
+  StormConfig storm{};
+  NugacheConfig nugache{};
+};
+
+/// 24-hour Storm trace: `storm_bots` bots, ground truth kStorm.
+[[nodiscard]] netflow::TraceSet generate_storm_trace(const HoneynetConfig& config);
+
+/// 24-hour Nugache trace: `nugache_bots` bots, ground truth kNugache.
+[[nodiscard]] netflow::TraceSet generate_nugache_trace(const HoneynetConfig& config);
+
+}  // namespace tradeplot::botnet

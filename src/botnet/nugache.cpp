@@ -1,0 +1,135 @@
+#include "botnet/nugache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace tradeplot::botnet {
+
+namespace {
+// Nugache payloads are encrypted and carry no recognisable marker; random-
+// looking bytes keep the payload classifier honest (it must not label them).
+const std::string kCipherish("\x9f\x3a\xc2\x71\x08\x5d", 6);
+}  // namespace
+
+NugacheBot::NugacheBot(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng,
+                       NugacheConfig config)
+    : env_(std::move(env)), rng_(rng), emit_(&env_, self, &rng_), config_(config) {
+  peers_.reserve(static_cast<std::size_t>(config_.peer_list_size));
+  for (int i = 0; i < config_.peer_list_size; ++i) {
+    peers_.push_back(Peer{env_.external_addr(), !rng_.chance(config_.dead_peer_frac), false});
+  }
+  activity_ = rng_.lognormal(config_.activity_mu, config_.activity_sigma);
+  // Cap runaway draws so one bot cannot dominate a trace.
+  activity_ = std::clamp(activity_, 0.02, 4.0);
+}
+
+void NugacheBot::start() {
+  env_.sim->schedule_after(rng_.uniform(0.0, 120.0), [this] { discovery_loop(); });
+  env_.sim->schedule_after(rng_.uniform(0.0, 300.0), [this] { conversation_loop(); });
+}
+
+// Peer discovery: pick a stored-list entry (mostly long dead — the source
+// of Nugache's >65% failed-connection rate) and retry it a few times at the
+// protocol's modal intervals before giving up. The retries put even the
+// *failed*-connection interstitials on the 10/25/50 s comb. The event rate
+// scales with the bot's activity level.
+void NugacheBot::discovery_loop() {
+  const double gap = rng_.exponential(config_.discovery_gap / activity_);
+  if (emit_.now() + gap >= env_.window_end) return;
+  env_.sim->schedule_after(gap, [this] {
+    // Walk the stored list as a shuffled ring: each peer is visited once per
+    // cycle, so repeat visits to the same (dead) peer are a full list-cycle
+    // apart — longer than the trace window for all but hyperactive bots.
+    if (ring_.empty()) {
+      ring_.resize(peers_.size());
+      for (std::size_t i = 0; i < ring_.size(); ++i) ring_[i] = i;
+      rng_.shuffle(ring_);
+      ring_pos_ = 0;
+    }
+    const std::size_t idx = ring_[ring_pos_];
+    ring_pos_ = (ring_pos_ + 1) % ring_.size();
+    if (ring_pos_ == 0) rng_.shuffle(ring_);
+    // Sluggish bots give up quickly (a single probe, no retry burst): their
+    // failed contacts carry little of the protocol's timing comb, which is
+    // what makes low-activity bots hard for theta_hm — the effect behind
+    // the paper's Fig. 10.
+    auto retries = static_cast<int>(rng_.uniform_int(config_.retries_lo, config_.retries_hi));
+    retries = std::max(
+        1, static_cast<int>(std::lround(retries * std::min(1.0, activity_ * 2.5))));
+    double at = 0.0;
+    for (int r = 0; r < retries; ++r) {
+      env_.sim->schedule_after(at, [this, idx] { probe_peer(idx); });
+      at += rng_.pick(config_.interval_modes) +
+            rng_.uniform(-config_.interval_jitter, config_.interval_jitter);
+    }
+    discovery_loop();
+  });
+}
+
+// Conversations: pick a live peer and exchange keep-alives at the protocol's
+// modal intervals (~10/25/50 s — the comb in the paper's Fig. 3(b)) for a
+// while, then go quiet; low-activity bots spend most of their time quiet.
+void NugacheBot::conversation_loop() {
+  const double off = rng_.exponential(config_.conversation_off / activity_);
+  if (emit_.now() + off >= env_.window_end) return;
+  env_.sim->schedule_after(off, [this] {
+    // Find a live partner from the stored list (bounded search).
+    std::size_t partner = peers_.size();
+    for (int tries = 0; tries < 12; ++tries) {
+      const auto idx = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(peers_.size()) - 1));
+      if (peers_[idx].alive) {
+        partner = idx;
+        break;
+      }
+      probe_peer(idx);  // failed dials while hunting for a partner
+    }
+    if (partner != peers_.size()) {
+      const double until = emit_.now() + rng_.exponential(config_.conversation_on);
+      converse(partner, until);
+    }
+    conversation_loop();
+  });
+}
+
+void NugacheBot::converse(std::size_t partner, double until) {
+  if (emit_.now() >= until || emit_.now() >= env_.window_end) return;
+  probe_peer(partner);
+  const double mode = rng_.pick(config_.interval_modes);
+  const double gap = mode + rng_.uniform(-config_.interval_jitter, config_.interval_jitter);
+  env_.sim->schedule_after(std::max(gap, 1.0),
+                           [this, partner, until] { converse(partner, until); });
+}
+
+void NugacheBot::probe_peer(std::size_t index) {
+  Peer& peer = peers_[index];
+  simnet::Ipv4 target = peer.addr;
+  bool alive = peer.alive;
+  bool repeat = peer.contacted_before;
+  if (repeat && rng_.chance(config_.evasion.extra_new_contact_frac)) {
+    target = env_.external_addr();
+    alive = !rng_.chance(config_.dead_peer_frac);
+    repeat = false;
+  }
+
+  const auto fire = [this, target, alive] {
+    if (emit_.now() >= env_.window_end) return;
+    if (!alive) {
+      emit_.tcp_failed(target, kPort, rng_.chance(0.2));
+      return;
+    }
+    const auto bytes = static_cast<std::uint64_t>(
+        rng_.uniform(config_.msg_lo, config_.msg_hi) * config_.evasion.volume_multiplier);
+    emit_.tcp(target, kPort, bytes, bytes + static_cast<std::uint64_t>(rng_.uniform(50, 400)),
+              rng_.uniform(0.5, 8.0), kCipherish);
+  };
+  if (repeat && config_.evasion.jitter_range > 0) {
+    env_.sim->schedule_after(rng_.uniform(0.0, 2.0 * config_.evasion.jitter_range), fire);
+  } else {
+    fire();
+  }
+  peer.contacted_before = true;
+}
+
+}  // namespace tradeplot::botnet

@@ -1,0 +1,84 @@
+// Nugache bot behaviour model.
+//
+// Nugache ran its own encrypted P2P protocol over TCP (infamously on
+// port 8). Properties modelled, following Stover et al. and the paper's own
+// observations of its honeynet trace (§V):
+//   * a stored peer list with a *high* share of dead entries — "almost all
+//     Nugache Plotters have more than 65% failed connections" (Fig. 5),
+//   * connection attempts at multi-modal machine intervals (~10/25/50 s,
+//     visible as the comb in the paper's Fig. 3(b)),
+//   * tiny encrypted exchanges on success (hundreds of bytes to a few KB),
+//   * a per-bot activity scale drawn from a heavy-tailed distribution: the
+//     trace's bots varied enormously in flow counts (the paper blames the
+//     botnet's limited viability at recording time), which is what drags
+//     Nugache's detection rate down to ~30% (Figs. 9-10).
+#pragma once
+
+#include <vector>
+
+#include "botnet/evasion.h"
+#include "netflow/app_env.h"
+#include "netflow/flow_emit.h"
+#include "util/rng.h"
+
+namespace tradeplot::botnet {
+
+struct NugacheConfig {
+  int peer_list_size = 90;
+  double dead_peer_frac = 0.94;
+  /// Keep-alive intervals within a conversation (seconds); each keep-alive
+  /// picks one mode (the comb of Fig. 3(b)).
+  std::vector<double> interval_modes = {10.0, 25.0, 50.0};
+  double interval_jitter = 1.0;
+  /// Mean gap between stored-list discovery events, divided by activity.
+  /// Each event retries one peer `retries_lo..retries_hi` times at modal
+  /// intervals before moving on.
+  double discovery_gap = 300.0;
+  int retries_lo = 4, retries_hi = 7;
+  /// Conversation on/off dynamics: on-time is exponential(conversation_on);
+  /// the off-time mean is conversation_off / activity, so sluggish bots are
+  /// mostly silent.
+  double conversation_on = 900.0;
+  double conversation_off = 2500.0;
+  /// Per-bot activity scale: lognormal(mu, sigma), clamped to [0.02, 4].
+  double activity_mu = -0.9;    // median activity ~0.4x
+  double activity_sigma = 1.4;  // orders-of-magnitude spread across bots
+  double msg_lo = 200, msg_hi = 2500;
+  EvasionConfig evasion{};
+};
+
+class NugacheBot {
+ public:
+  NugacheBot(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng,
+             NugacheConfig config = {});
+
+  void start();
+
+  /// The activity factor this bot drew (exposed for tests / Fig. 10).
+  [[nodiscard]] double activity() const { return activity_; }
+
+  static constexpr std::uint16_t kPort = 8;
+
+ private:
+  struct Peer {
+    simnet::Ipv4 addr;
+    bool alive = true;
+    bool contacted_before = false;
+  };
+
+  void discovery_loop();
+  void conversation_loop();
+  void converse(std::size_t partner, double until);
+  void probe_peer(std::size_t index);
+
+  netflow::AppEnv env_;
+  util::Pcg32 rng_;
+  netflow::FlowEmitter emit_;
+  NugacheConfig config_;
+  std::vector<Peer> peers_;
+  std::vector<std::size_t> ring_;  // shuffled discovery order over peers_
+  std::size_t ring_pos_ = 0;
+  double activity_ = 1.0;
+};
+
+}  // namespace tradeplot::botnet

@@ -1,0 +1,132 @@
+#include "botnet/storm.h"
+
+#include <algorithm>
+#include <string>
+
+namespace tradeplot::botnet {
+
+namespace {
+// Overnet/Storm messages start with 0xe3 (eDonkey framing) — deliberately
+// indistinguishable from eMule Kad at the payload-prefix level, mirroring
+// the real-world overlap the paper highlights. The detection pipeline never
+// reads payload, so this only matters for ground-truth bookkeeping.
+const std::string kPublicize("\xe3\x0c", 2);
+const std::string kSearch("\xe3\x0e", 2);
+const std::string kPing("\xe3\x10", 2);
+}  // namespace
+
+StormBot::StormBot(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng,
+                   p2p::Overlay* overlay, StormConfig config)
+    : env_(std::move(env)),
+      rng_(rng),
+      emit_(&env_, self, &rng_),
+      overlay_(overlay),
+      config_(config) {
+  peers_.reserve(static_cast<std::size_t>(config_.peer_list_size));
+  for (int i = 0; i < config_.peer_list_size; ++i) {
+    peers_.push_back(Peer{fresh_peer_addr(), !rng_.chance(config_.dead_peer_frac), false});
+  }
+  for (int i = 0; i < config_.active_neighbours; ++i) active_.push_back(random_list_index());
+}
+
+simnet::Ipv4 StormBot::fresh_peer_addr() {
+  if (overlay_ != nullptr) {
+    if (const auto c = overlay_->random_node(rng_)) return c->addr;
+  }
+  return env_.external_addr();
+}
+
+std::size_t StormBot::random_list_index() {
+  return static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(peers_.size()) - 1));
+}
+
+void StormBot::start() {
+  // Per-slot ping timers, desynchronised across slots and bots.
+  for (std::size_t slot = 0; slot < active_.size(); ++slot) {
+    env_.sim->schedule_after(rng_.uniform(0.0, config_.keepalive_period),
+                             [this, slot] { ping_neighbour(slot); });
+  }
+  env_.sim->schedule_after(rng_.uniform(0.0, config_.search_period),
+                           [this] { search_round(); });
+}
+
+void StormBot::ping_neighbour(std::size_t slot) {
+  if (emit_.now() >= env_.window_end) return;
+  const std::size_t idx = active_[slot];
+  contact_peer(idx);
+  // Neighbour lifecycle: live peers occasionally depart; dead slots are
+  // eventually replaced from the stored list (the bot keeps retrying for a
+  // while first — its share of failed connections).
+  Peer& peer = peers_[idx];
+  if (peer.alive && rng_.chance(config_.neighbour_death_prob)) peer.alive = false;
+  if (!peer.alive && rng_.chance(config_.replace_dead_prob)) active_[slot] = random_list_index();
+  env_.sim->schedule_after(
+      config_.keepalive_period +
+          rng_.uniform(-config_.keepalive_jitter, config_.keepalive_jitter),
+      [this, slot] { ping_neighbour(slot); });
+}
+
+void StormBot::search_round() {
+  if (emit_.now() >= env_.window_end) return;
+  // Search for the day's rendezvous hashes: a burst of route probes walking
+  // the shuffled ring over the stored list (so every stored peer is
+  // re-touched within a few rounds), occasionally learning fresh peers.
+  const int probes =
+      static_cast<int>(rng_.uniform_int(config_.search_probes_lo, config_.search_probes_hi));
+  for (int i = 0; i < probes; ++i) {
+    if (rng_.chance(config_.learn_new_peer_prob)) {
+      peers_.push_back(Peer{fresh_peer_addr(), !rng_.chance(config_.dead_peer_frac), false});
+      contact_peer(peers_.size() - 1);
+      continue;
+    }
+    if (ring_.size() != peers_.size()) {
+      ring_.resize(peers_.size());
+      for (std::size_t r = 0; r < ring_.size(); ++r) ring_[r] = r;
+      rng_.shuffle(ring_);
+      ring_pos_ = 0;
+    }
+    contact_peer(ring_[ring_pos_]);
+    ring_pos_ = (ring_pos_ + 1) % ring_.size();
+    if (ring_pos_ == 0) rng_.shuffle(ring_);
+  }
+  env_.sim->schedule_after(
+      config_.search_period + rng_.uniform(-config_.search_jitter, config_.search_jitter),
+      [this] { search_round(); });
+}
+
+void StormBot::contact_peer(std::size_t index) {
+  Peer& peer = peers_[index];
+  simnet::Ipv4 target = peer.addr;
+  bool alive = peer.alive;
+  bool repeat = peer.contacted_before;
+
+  // Churn evasion: divert some repeat contacts to brand-new addresses.
+  if (repeat && rng_.chance(config_.evasion.extra_new_contact_frac)) {
+    target = env_.external_addr();
+    alive = !rng_.chance(config_.dead_peer_frac);
+    repeat = false;
+  }
+
+  const auto bytes = static_cast<std::uint64_t>(
+      rng_.uniform(config_.msg_lo, config_.msg_hi) * config_.evasion.volume_multiplier);
+  const std::string_view payload =
+      rng_.chance(0.4) ? std::string_view(kPublicize)
+                       : (rng_.chance(0.5) ? std::string_view(kSearch) : std::string_view(kPing));
+  const auto fire = [this, target, alive, bytes, payload] {
+    if (emit_.now() >= env_.window_end) return;
+    emit_.udp(target, kPort, bytes, alive ? bytes + 20 : 0, alive, payload);
+  };
+  // Timing evasion: jitter connections to previously-contacted peers. The
+  // paper draws the delay uniformly over [-d, +d]; since an event cannot
+  // move into the past, we draw over [0, 2d] — the same smear width, with a
+  // constant shift that interstitial times cancel out.
+  if (repeat && config_.evasion.jitter_range > 0) {
+    env_.sim->schedule_after(rng_.uniform(0.0, 2.0 * config_.evasion.jitter_range), fire);
+  } else {
+    fire();
+  }
+  peer.contacted_before = true;
+}
+
+}  // namespace tradeplot::botnet

@@ -1,0 +1,93 @@
+// Storm (Peacomm) bot behaviour model.
+//
+// Storm's command-and-control rode the Overnet DHT (Kademlia with 128-bit
+// MD4 ids) — the same substrate as eDonkey/eMule file-sharing, which is the
+// paper's central difficulty. Behaviours modelled, following the published
+// analyses the paper cites (Grizzard et al.; Porras et al.; Holz et al.;
+// Stover et al.):
+//   * a stored peer list used for bootstrapping and ongoing contact — the
+//     source of Storm's low destination churn,
+//   * an *active neighbour set* pinged on a fast timer (tens of seconds):
+//     Overnet route maintenance, the dominant traffic component and the
+//     sharp low-interval spike of the paper's Fig. 3(a). Dead neighbours
+//     keep getting pinged for a while before being replaced from the list —
+//     Storm's share of failed connections,
+//   * periodic publicize sweeps over the whole stored list (tens of
+//     minutes), so every stored peer is re-contacted throughout the day,
+//   * periodic key searches for the day's command rendezvous hashes
+//     (Storm derived them from the date plus a small random integer),
+//     occasionally learning fresh peers,
+//   * tiny UDP control flows throughout; no bulk transfer ever rides the
+//     P2P channel (file pulls went over HTTP, and the honeynet traces the
+//     paper uses blocked attack traffic, so control traffic dominates).
+//
+// All timers are identical across bots (same binary) — the θ_hm signal.
+#pragma once
+
+#include <vector>
+
+#include "botnet/evasion.h"
+#include "netflow/app_env.h"
+#include "netflow/flow_emit.h"
+#include "p2p/kademlia.h"
+#include "util/rng.h"
+
+namespace tradeplot::botnet {
+
+struct StormConfig {
+  int peer_list_size = 120;
+  double dead_peer_frac = 0.4;  // stale entries in the stored list
+  // Active neighbour maintenance.
+  int active_neighbours = 10;
+  double keepalive_period = 20.0;  // per-neighbour ping timer (s)
+  double keepalive_jitter = 0.5;
+  double replace_dead_prob = 0.005;  // per failed ping: swap the slot
+  double neighbour_death_prob = 0.0008;  // per ping: live neighbour departs
+  // Rendezvous-hash searches / list maintenance: each round walks the next
+  // `search_probes` entries of a shuffled ring over the stored list, so the
+  // whole list is (re-)touched every list_size/search_probes rounds —
+  // roughly half an hour with the defaults, which keeps Storm's destination
+  // churn minimal regardless of where the monitoring window falls.
+  double search_period = 600.0;
+  double search_jitter = 5.0;
+  int search_probes_lo = 28, search_probes_hi = 36;
+  double learn_new_peer_prob = 0.008;
+  // Overnet message sizes (bytes).
+  double msg_lo = 25, msg_hi = 120;
+  EvasionConfig evasion{};
+};
+
+class StormBot {
+ public:
+  StormBot(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng, p2p::Overlay* overlay,
+           StormConfig config = {});
+
+  void start();
+
+  static constexpr std::uint16_t kPort = 7871;  // Storm's Overnet UDP port
+
+ private:
+  struct Peer {
+    simnet::Ipv4 addr;
+    bool alive = true;
+    bool contacted_before = false;
+  };
+
+  void ping_neighbour(std::size_t slot);
+  void search_round();
+  void contact_peer(std::size_t index);
+  [[nodiscard]] simnet::Ipv4 fresh_peer_addr();
+  [[nodiscard]] std::size_t random_list_index();
+
+  netflow::AppEnv env_;
+  util::Pcg32 rng_;
+  netflow::FlowEmitter emit_;
+  p2p::Overlay* overlay_;
+  StormConfig config_;
+  std::vector<Peer> peers_;
+  std::vector<std::size_t> active_;  // slots: indices into peers_
+  std::vector<std::size_t> ring_;    // shuffled search order over peers_
+  std::size_t ring_pos_ = 0;
+};
+
+}  // namespace tradeplot::botnet

@@ -1,0 +1,127 @@
+#include "detect/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+#include "util/error.h"
+
+namespace tradeplot::detect {
+
+TdgResult tdg_test(const netflow::TraceSet& trace, const TdgConfig& config) {
+  if (!config.is_internal) throw util::ConfigError("tdg_test: is_internal required");
+
+  struct NodeDegrees {
+    std::unordered_set<simnet::Ipv4> out;
+    std::unordered_set<simnet::Ipv4> in;
+  };
+  std::unordered_map<simnet::Ipv4, NodeDegrees> graph;
+  for (const netflow::FlowRecord& rec : trace.flows()) {
+    if (config.successful_only && rec.failed()) continue;
+    if (config.is_internal(rec.src)) graph[rec.src].out.insert(rec.dst);
+    if (config.is_internal(rec.dst)) graph[rec.dst].in.insert(rec.src);
+  }
+
+  TdgResult result;
+  std::size_t ino = 0;
+  double degree_sum = 0.0;
+  for (const auto& [host, degrees] : graph) {
+    const std::size_t degree = degrees.out.size() + degrees.in.size();
+    degree_sum += static_cast<double>(degree);
+    const bool both = !degrees.out.empty() && !degrees.in.empty();
+    if (both) ++ino;
+    if (both && degree >= config.min_degree) result.flagged.push_back(host);
+  }
+  if (!graph.empty()) {
+    result.average_degree = degree_sum / static_cast<double>(graph.size());
+    result.ino_ratio = static_cast<double>(ino) / static_cast<double>(graph.size());
+  }
+  std::sort(result.flagged.begin(), result.flagged.end());
+  return result;
+}
+
+double timing_entropy(const HostFeatures& features, const EntropyTestConfig& config) {
+  if (features.interstitials.size() < config.min_samples) return -1.0;
+  const stats::Histogram hist(features.interstitials, config.bin_width);
+  double entropy = 0.0;
+  for (const double p : hist.pmf()) {
+    if (p > 0.0) entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+HostSet entropy_test(const FeatureMap& features, const HostSet& input,
+                     const EntropyTestConfig& config) {
+  std::vector<double> entropies;
+  std::vector<std::pair<simnet::Ipv4, double>> per_host;
+  for (const simnet::Ipv4 host : input) {
+    const auto it = features.find(host);
+    if (it == features.end())
+      throw util::ConfigError("entropy_test: host missing from feature map");
+    const double h = timing_entropy(it->second, config);
+    if (h < 0.0) continue;  // too few samples to judge
+    entropies.push_back(h);
+    per_host.emplace_back(host, h);
+  }
+  if (entropies.empty()) return {};
+  const double tau = stats::quantile(entropies, config.percentile);
+  HostSet out;
+  for (const auto& [host, h] : per_host) {
+    if (h <= tau) out.push_back(host);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+PersistenceResult persistence_test(const netflow::TraceSet& trace,
+                                   const PersistenceTestConfig& config) {
+  if (!config.is_internal) throw util::ConfigError("persistence_test: is_internal required");
+  if (config.slot_length <= 0.0)
+    throw util::ConfigError("persistence_test: slot_length must be > 0");
+
+  // Atom = destination /24 (Giroire et al. aggregate addresses into atoms
+  // so a service's load-balanced frontends count as one destination).
+  const auto atom_of = [](simnet::Ipv4 dst) { return dst.value() >> 8; };
+
+  struct HostState {
+    // atom -> set of slot indices with at least one contact
+    std::unordered_map<std::uint32_t, std::set<std::int64_t>> atom_slots;
+    std::int64_t first_slot = std::numeric_limits<std::int64_t>::max();
+    std::int64_t last_slot = std::numeric_limits<std::int64_t>::min();
+  };
+  std::unordered_map<simnet::Ipv4, HostState> hosts;
+  for (const netflow::FlowRecord& rec : trace.flows()) {
+    if (!config.is_internal(rec.src)) continue;
+    const auto slot = static_cast<std::int64_t>(rec.start_time / config.slot_length);
+    HostState& state = hosts[rec.src];
+    state.atom_slots[atom_of(rec.dst)].insert(slot);
+    state.first_slot = std::min(state.first_slot, slot);
+    state.last_slot = std::max(state.last_slot, slot);
+  }
+
+  PersistenceResult result;
+  for (const auto& [host, state] : hosts) {
+    const auto active_span =
+        static_cast<double>(state.last_slot - state.first_slot + 1);
+    std::size_t persistent_atoms = 0;
+    double best = 0.0;
+    for (const auto& [atom, slots] : state.atom_slots) {
+      if (slots.size() < config.min_active_slots) continue;
+      const double persistence = static_cast<double>(slots.size()) / active_span;
+      best = std::max(best, persistence);
+      if (persistence >= config.persistence_threshold) ++persistent_atoms;
+    }
+    if (config.min_persistent_atoms > 0 && persistent_atoms >= config.min_persistent_atoms) {
+      result.flagged.push_back(host);
+      result.max_persistence.emplace(host, best);
+    }
+  }
+  std::sort(result.flagged.begin(), result.flagged.end());
+  return result;
+}
+
+}  // namespace tradeplot::detect

@@ -1,0 +1,98 @@
+// Baseline detectors from the paper's related-work discussion (§II), for
+// head-to-head comparison with FindPlotters (bench/baseline_comparison):
+//
+//  * TdgTest         — traffic dispersion graphs (Iliofotou et al. [29]):
+//                      P2P hosts are nodes with both incoming and outgoing
+//                      edges and high degree in the communication graph.
+//                      The paper discusses its evadability via Jelasity &
+//                      Bilicki's proxy routing [28].
+//  * EntropyTest     — human/machine discrimination by timing entropy
+//                      (Gianvecchio et al. [6]): "network traffic from
+//                      human activities shows a higher entropy than those
+//                      from bots". Flags hosts whose interstitial-time
+//                      entropy falls below a relative threshold.
+//  * PersistenceTest — temporal persistence of destination atoms (Giroire
+//                      et al. [35]): command-and-control shows up as
+//                      destinations contacted in a large fraction of time
+//                      slots. The paper notes it "requires whitelisting
+//                      common sites" and targets centralized C&C.
+//
+// None of these is the paper's contribution; they are here so the paper's
+// qualitative claims about them ("can be evaded by…", "not suitable for
+// detecting Plotters that communicate over P2P") can be measured.
+#pragma once
+
+#include <cstdint>
+
+#include "detect/features.h"
+#include "detect/tests.h"
+#include "netflow/trace_set.h"
+
+namespace tradeplot::detect {
+
+// ------------------------------------------------------------------- TDG
+
+struct TdgConfig {
+  /// Flag internal hosts with in- and out-edges and total degree >= this.
+  std::size_t min_degree = 10;
+  /// Only successful flows build edges (failed dials carry no dispersion).
+  bool successful_only = false;
+  std::function<bool(simnet::Ipv4)> is_internal;  // required
+};
+
+struct TdgResult {
+  HostSet flagged;
+  double average_degree = 0.0;  // over internal hosts
+  double ino_ratio = 0.0;       // fraction of internal hosts with in+out edges
+};
+
+/// Builds the flow-level communication graph and flags P2P-looking hosts.
+[[nodiscard]] TdgResult tdg_test(const netflow::TraceSet& trace, const TdgConfig& config);
+
+// --------------------------------------------------------------- Entropy
+
+struct EntropyTestConfig {
+  /// Keep hosts whose timing entropy is below this percentile of the
+  /// population (machine-driven = low entropy).
+  double percentile = 0.3;
+  /// Histogram bin width (seconds) used for the entropy estimate.
+  double bin_width = 5.0;
+  std::size_t min_samples = 40;
+};
+
+/// Shannon entropy (bits) of the host's interstitial-time histogram.
+/// Returns a negative value if the host has fewer than min_samples samples.
+[[nodiscard]] double timing_entropy(const HostFeatures& features,
+                                    const EntropyTestConfig& config = {});
+
+/// Flags low-entropy (machine-driven) hosts among `input`.
+[[nodiscard]] HostSet entropy_test(const FeatureMap& features, const HostSet& input,
+                                   const EntropyTestConfig& config = {});
+
+// ----------------------------------------------------------- Persistence
+
+struct PersistenceTestConfig {
+  double slot_length = 600.0;  // time-slot granularity (seconds)
+  /// A destination atom (a /24, as in Giroire et al.) is "persistent" for a
+  /// host if it was contacted in at least this fraction of the slots
+  /// between the host's first and last activity.
+  double persistence_threshold = 0.6;
+  /// Flag hosts with at least this many persistent atoms (past whatever
+  /// whitelisting the operator can manage; 0 disables the test).
+  std::size_t min_persistent_atoms = 1;
+  /// Atoms contacted in fewer than this many slots never count (guards
+  /// against trivially "persistent" one-slot hosts).
+  std::size_t min_active_slots = 3;
+  std::function<bool(simnet::Ipv4)> is_internal;  // required
+};
+
+struct PersistenceResult {
+  HostSet flagged;
+  /// Per flagged host: its most persistent atom's persistence value.
+  std::unordered_map<simnet::Ipv4, double> max_persistence;
+};
+
+[[nodiscard]] PersistenceResult persistence_test(const netflow::TraceSet& trace,
+                                                 const PersistenceTestConfig& config);
+
+}  // namespace tradeplot::detect

@@ -1,0 +1,100 @@
+#include "detect/features.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace tradeplot::detect {
+
+double HostFeatures::volume(VolumeMetric metric) const {
+  switch (metric) {
+    case VolumeMetric::kSentPerFlow: {
+      const std::size_t flows = flows_initiated + flows_received;
+      if (flows == 0) return 0.0;
+      return static_cast<double>(bytes_sent_initiated + bytes_sent_received) /
+             static_cast<double>(flows);
+    }
+    case VolumeMetric::kSentPerInitiatedFlow: {
+      if (flows_initiated == 0) return 0.0;
+      return static_cast<double>(bytes_sent_initiated) / static_cast<double>(flows_initiated);
+    }
+    case VolumeMetric::kCumulativeBytes:
+      return static_cast<double>(bytes_sent_initiated + bytes_sent_received);
+  }
+  return 0.0;
+}
+
+namespace {
+
+struct Accumulator {
+  HostFeatures features;
+  // Per-destination initiated-flow start times (unsorted; sorted at the end).
+  std::unordered_map<simnet::Ipv4, std::vector<double>> per_dst_times;
+  bool seen = false;
+};
+
+}  // namespace
+
+FeatureMap extract_features(const netflow::TraceSet& trace,
+                            const FeatureExtractorConfig& config) {
+  if (!config.is_internal) throw util::ConfigError("extract_features: is_internal required");
+
+  std::unordered_map<simnet::Ipv4, Accumulator> acc;
+
+  const auto touch = [&](simnet::Ipv4 host, double t) -> Accumulator& {
+    Accumulator& a = acc[host];
+    if (!a.seen) {
+      a.seen = true;
+      a.features.host = host;
+      a.features.first_activity = t;
+    } else {
+      a.features.first_activity = std::min(a.features.first_activity, t);
+    }
+    return a;
+  };
+
+  for (const netflow::FlowRecord& rec : trace.flows()) {
+    if (config.is_internal(rec.src)) {
+      Accumulator& a = touch(rec.src, rec.start_time);
+      a.features.flows_initiated += 1;
+      if (rec.failed()) a.features.flows_failed += 1;
+      a.features.bytes_sent_initiated += rec.bytes_src;
+      a.per_dst_times[rec.dst].push_back(rec.start_time);
+    }
+    if (config.is_internal(rec.dst) && !rec.failed()) {
+      Accumulator& a = touch(rec.dst, rec.start_time);
+      a.features.flows_received += 1;
+      a.features.bytes_sent_received += rec.bytes_dst;
+    }
+  }
+
+  FeatureMap out;
+  out.reserve(acc.size());
+  for (auto& [host, a] : acc) {
+    HostFeatures& f = a.features;
+    const double horizon = f.first_activity + config.new_ip_grace;
+    for (auto& [dst, times] : a.per_dst_times) {
+      std::sort(times.begin(), times.end());
+      f.distinct_dsts += 1;
+      if (times.front() > horizon) f.dsts_after_first_hour += 1;
+      for (std::size_t i = 1; i < times.size(); ++i) {
+        f.interstitials.push_back(times[i] - times[i - 1]);
+      }
+    }
+    out.emplace(host, std::move(f));
+  }
+  return out;
+}
+
+bool default_internal_predicate(simnet::Ipv4 addr) {
+  static const simnet::Subnet kNets[] = {
+      simnet::Subnet(simnet::Ipv4(128, 2, 0, 0), 16),
+      simnet::Subnet(simnet::Ipv4(128, 237, 0, 0), 16),
+      simnet::Subnet(simnet::Ipv4(10, 99, 0, 0), 16),
+  };
+  for (const simnet::Subnet& net : kNets)
+    if (net.contains(addr)) return true;
+  return false;
+}
+
+}  // namespace tradeplot::detect

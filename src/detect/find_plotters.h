@@ -1,0 +1,42 @@
+// FindPlotters — the paper's combined detection algorithm (Fig. 4).
+//
+//   FindPlotters(Λ, S):
+//     100: S_vol   <- θ_vol(Λ, S, τ_vol)       (low traffic volume)
+//     101: S_churn <- θ_churn(Λ, S, τ_churn)   (low peer churn)
+//     102: S_hm    <- θ_hm(Λ, S_vol ∪ S_churn, τ_hm)
+//     103: return S_hm
+//
+// preceded by the initial data-reduction step of §V-A (high failed-
+// connection rate), whose output is the S given to lines 100-101. The
+// evaluation's operating point is τ_vol = τ_churn = 50th percentile and
+// τ_hm = 70th percentile of cluster diameters.
+#pragma once
+
+#include "detect/human_machine.h"
+#include "detect/tests.h"
+
+namespace tradeplot::detect {
+
+struct FindPlottersConfig {
+  DataReductionConfig reduction{};
+  VolumeTestConfig volume{.percentile = 0.5};
+  ChurnTestConfig churn{.percentile = 0.5};
+  HumanMachineConfig human_machine{.diameter_percentile = 0.7};
+};
+
+/// Every intermediate set, for the paper's funnel analyses (Figs. 9-10).
+struct FindPlottersResult {
+  HostSet input;        // S: internal hosts considered
+  HostSet reduced;      // after data reduction
+  HostSet s_vol;        // θ_vol survivors
+  HostSet s_churn;      // θ_churn survivors
+  HostSet vol_or_churn; // S_vol ∪ S_churn (input to θ_hm)
+  HumanMachineResult hm;
+  HostSet plotters;     // final output (== hm.flagged)
+};
+
+/// Runs the full pipeline over the features of one detection window.
+[[nodiscard]] FindPlottersResult find_plotters(const FeatureMap& features,
+                                               const FindPlottersConfig& config = {});
+
+}  // namespace tradeplot::detect

@@ -1,0 +1,109 @@
+#include "detect/human_machine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "stats/descriptive.h"
+#include "stats/emd.h"
+#include "stats/hcluster.h"
+#include "stats/histogram.h"
+#include "util/error.h"
+
+namespace tradeplot::detect {
+
+namespace {
+
+/// L1 distance over a fixed common binning (the ablation alternative to
+/// EMD): both signatures are re-binned onto an absolute grid and the
+/// probability masses compared bin by bin.
+std::vector<double> pairwise_bin_l1(const std::vector<stats::Signature>& sigs,
+                                    const HumanMachineConfig& config) {
+  const double grid = config.fixed_bin_width > 0.0 ? config.fixed_bin_width : 60.0;
+  std::vector<std::unordered_map<long long, double>> binned(sigs.size());
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    for (const stats::SignaturePoint& p : sigs[i]) {
+      binned[i][static_cast<long long>(p.position / grid)] += p.weight;
+    }
+  }
+  const std::size_t n = sigs.size();
+  std::vector<double> d(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double l1 = 0.0;
+      for (const auto& [bin, w] : binned[i]) {
+        const auto it = binned[j].find(bin);
+        l1 += std::abs(w - (it == binned[j].end() ? 0.0 : it->second));
+      }
+      for (const auto& [bin, w] : binned[j]) {
+        if (!binned[i].contains(bin)) l1 += w;
+      }
+      d[i * n + j] = l1;
+      d[j * n + i] = l1;
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+HumanMachineResult human_machine_test(const FeatureMap& features, const HostSet& input,
+                                      const HumanMachineConfig& config) {
+  HumanMachineResult result;
+
+  // Build one histogram signature per eligible host.
+  std::vector<simnet::Ipv4> hosts;
+  std::vector<stats::Signature> signatures;
+  for (const simnet::Ipv4 host : input) {
+    const auto it = features.find(host);
+    if (it == features.end())
+      throw util::ConfigError("host " + host.to_string() + " missing from feature map");
+    const HostFeatures& f = it->second;
+    if (f.interstitials.size() < config.min_samples) {
+      result.skipped.push_back(host);
+      continue;
+    }
+    hosts.push_back(host);
+    const stats::Histogram hist =
+        config.fixed_bin_width > 0.0
+            ? stats::Histogram(f.interstitials, config.fixed_bin_width)
+            : stats::Histogram::with_fd_width(f.interstitials);
+    signatures.push_back(config.distance == HmDistance::kEmdBinIndex
+                             ? hist.index_signature()
+                             : hist.signature());
+  }
+  if (hosts.size() < config.min_cluster_size) return result;
+
+  const std::vector<double> distances = config.distance == HmDistance::kBinL1
+                                            ? pairwise_bin_l1(signatures, config)
+                                            : stats::pairwise_emd(signatures);
+  const stats::Dendrogram dendrogram =
+      stats::agglomerative_average_linkage(distances, hosts.size());
+  const auto groups = dendrogram.cut_top_fraction(config.cut_fraction);
+
+  // Diameters of the clusters that carry similarity evidence.
+  std::vector<double> diameters;
+  for (const auto& group : groups) {
+    if (group.size() < config.min_cluster_size) continue;
+    HostCluster cluster;
+    for (const std::size_t idx : group) cluster.members.push_back(hosts[idx]);
+    cluster.diameter = stats::cluster_diameter(distances, hosts.size(), group);
+    diameters.push_back(cluster.diameter);
+    result.clusters.push_back(std::move(cluster));
+  }
+  if (result.clusters.empty()) return result;
+
+  result.tau_hm = stats::quantile(diameters, config.diameter_percentile);
+  for (HostCluster& cluster : result.clusters) {
+    cluster.kept = cluster.diameter <= result.tau_hm;
+    if (cluster.kept) {
+      result.flagged.insert(result.flagged.end(), cluster.members.begin(),
+                            cluster.members.end());
+    }
+  }
+  std::sort(result.flagged.begin(), result.flagged.end());
+  std::sort(result.skipped.begin(), result.skipped.end());
+  return result;
+}
+
+}  // namespace tradeplot::detect

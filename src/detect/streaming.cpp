@@ -1,0 +1,120 @@
+#include "detect/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace tradeplot::detect {
+
+StreamingDetector::StreamingDetector(StreamingConfig config, VerdictSink sink)
+    : config_(std::move(config)), sink_(std::move(sink)) {
+  if (!config_.is_internal)
+    throw util::ConfigError("StreamingDetector: is_internal required");
+  if (config_.window <= 0.0)
+    throw util::ConfigError("StreamingDetector: window must be > 0");
+  if (!sink_) throw util::ConfigError("StreamingDetector: verdict sink required");
+}
+
+void StreamingDetector::ingest(const netflow::FlowRecord& flow) {
+  if (!window_open_) {
+    // First flow anchors the first window at a whole multiple of D, so
+    // window boundaries are stable regardless of when traffic starts.
+    window_start_ = std::floor(flow.start_time / config_.window) * config_.window;
+    window_open_ = true;
+  }
+  roll_to(flow.start_time);
+
+  const auto touch = [&](simnet::Ipv4 host, double t) -> HostState& {
+    HostState& state = hosts_[host];
+    if (!state.seen) {
+      state.seen = true;
+      state.features.host = host;
+      state.features.first_activity = t;
+    } else {
+      state.features.first_activity = std::min(state.features.first_activity, t);
+    }
+    return state;
+  };
+
+  if (config_.is_internal(flow.src)) {
+    HostState& state = touch(flow.src, flow.start_time);
+    HostFeatures& f = state.features;
+    f.flows_initiated += 1;
+    if (flow.failed()) f.flows_failed += 1;
+    f.bytes_sent_initiated += flow.bytes_src;
+    // Destination bookkeeping: first/last contact drive churn and
+    // interstitials incrementally.
+    const auto first_it = state.first_contact.find(flow.dst);
+    if (first_it == state.first_contact.end()) {
+      state.first_contact.emplace(flow.dst, flow.start_time);
+      f.distinct_dsts += 1;
+    } else if (flow.start_time < first_it->second) {
+      first_it->second = flow.start_time;  // late arrival predates first sight
+    }
+    const auto last_it = state.last_contact.find(flow.dst);
+    if (last_it != state.last_contact.end()) {
+      const double gap = flow.start_time - last_it->second;
+      if (gap >= 0.0) {
+        f.interstitials.push_back(gap);
+        last_it->second = flow.start_time;
+      } else {
+        // Late arrival: record the magnitude; keeps memory O(1) per dst
+        // while staying within sampling noise of the batch extractor.
+        f.interstitials.push_back(-gap);
+      }
+    } else {
+      state.last_contact.emplace(flow.dst, flow.start_time);
+    }
+  }
+  if (config_.is_internal(flow.dst) && !flow.failed()) {
+    HostState& state = touch(flow.dst, flow.start_time);
+    state.features.flows_received += 1;
+    state.features.bytes_sent_received += flow.bytes_dst;
+  }
+  ++flows_in_window_;
+}
+
+void StreamingDetector::roll_to(double time) {
+  while (window_open_ && time >= window_start_ + config_.window) {
+    emit();
+    window_start_ += config_.window;
+  }
+}
+
+void StreamingDetector::emit() {
+  // Finalize churn: destinations first contacted after the grace horizon.
+  FeatureMap features;
+  features.reserve(hosts_.size());
+  for (auto& [host, state] : hosts_) {
+    HostFeatures& f = state.features;
+    f.dsts_after_first_hour = 0;
+    const double horizon = f.first_activity + config_.new_ip_grace;
+    for (const auto& [dst, first] : state.first_contact) {
+      if (first > horizon) f.dsts_after_first_hour += 1;
+    }
+    features.emplace(host, std::move(f));
+  }
+
+  WindowVerdict verdict;
+  verdict.window_index = windows_emitted_;
+  verdict.window_start = window_start_;
+  verdict.window_end = window_start_ + config_.window;
+  verdict.flows_seen = flows_in_window_;
+  if (!features.empty()) {
+    verdict.result = find_plotters(features, config_.pipeline);
+  }
+  sink_(verdict);
+
+  hosts_.clear();
+  flows_in_window_ = 0;
+  ++windows_emitted_;
+}
+
+void StreamingDetector::flush() {
+  if (!window_open_) return;
+  emit();
+  window_open_ = false;
+}
+
+}  // namespace tradeplot::detect

@@ -1,0 +1,86 @@
+// Streaming detection: FindPlotters as an online monitor.
+//
+// The paper's vantage point is a border monitor ingesting flow records
+// continuously. StreamingDetector accepts flows one at a time (in rough
+// time order), maintains per-host state incrementally, and emits a full
+// FindPlotters result at each detection-window boundary (the paper's
+// window D, one day by default), then rolls the window forward.
+//
+// Memory is bounded by the number of active hosts per window: all per-host
+// state is dropped when the window rolls. Flow ingestion is O(1) amortised
+// per flow; the per-window detection pass runs the regular pipeline.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "detect/features.h"
+#include "detect/find_plotters.h"
+
+namespace tradeplot::detect {
+
+struct StreamingConfig {
+  /// Detection window length D (seconds). Results fire at each boundary.
+  double window = 6 * 3600.0;
+  /// Predicate for internal hosts (required).
+  std::function<bool(simnet::Ipv4)> is_internal;
+  /// Churn grace period within the window (paper: first hour of activity).
+  double new_ip_grace = 3600.0;
+  /// Pipeline thresholds.
+  FindPlottersConfig pipeline{};
+};
+
+struct WindowVerdict {
+  std::size_t window_index = 0;
+  double window_start = 0.0;
+  double window_end = 0.0;
+  std::size_t flows_seen = 0;
+  FindPlottersResult result;
+};
+
+class StreamingDetector {
+ public:
+  using VerdictSink = std::function<void(const WindowVerdict&)>;
+
+  /// Throws util::ConfigError if the config lacks is_internal or has a
+  /// non-positive window.
+  StreamingDetector(StreamingConfig config, VerdictSink sink);
+
+  /// Ingests one flow. Flows may arrive slightly out of order *within* a
+  /// window; a flow stamped before the current window start is counted
+  /// into the current window (late arrival) rather than rejected. A flow
+  /// past the current window boundary first closes the window (emitting a
+  /// verdict) — possibly several empty windows in a row for long gaps.
+  void ingest(const netflow::FlowRecord& flow);
+
+  /// Closes the current window and emits its verdict (e.g. at shutdown).
+  void flush();
+
+  [[nodiscard]] std::size_t windows_emitted() const { return windows_emitted_; }
+  [[nodiscard]] std::size_t flows_in_current_window() const { return flows_in_window_; }
+  [[nodiscard]] double current_window_start() const { return window_start_; }
+
+ private:
+  void roll_to(double time);
+  void emit();
+
+  StreamingConfig config_;
+  VerdictSink sink_;
+
+  // Incremental per-host accumulation for the current window. Mirrors
+  // extract_features(), but built flow by flow.
+  struct HostState {
+    HostFeatures features;
+    std::unordered_map<simnet::Ipv4, double> last_contact;   // dst -> last start
+    std::unordered_map<simnet::Ipv4, double> first_contact;  // dst -> first start
+    bool seen = false;
+  };
+  std::unordered_map<simnet::Ipv4, HostState> hosts_;
+
+  double window_start_ = 0.0;
+  bool window_open_ = false;
+  std::size_t flows_in_window_ = 0;
+  std::size_t windows_emitted_ = 0;
+};
+
+}  // namespace tradeplot::detect

@@ -1,0 +1,104 @@
+#include "detect/tests.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+#include "util/error.h"
+
+namespace tradeplot::detect {
+
+namespace {
+
+const HostFeatures& features_of(const FeatureMap& features, simnet::Ipv4 host) {
+  const auto it = features.find(host);
+  if (it == features.end())
+    throw util::ConfigError("host " + host.to_string() + " missing from feature map");
+  return it->second;
+}
+
+template <typename ValueFn>
+double percentile_over(const FeatureMap& features, const HostSet& input, double percentile,
+                       ValueFn value) {
+  std::vector<double> values;
+  values.reserve(input.size());
+  for (const simnet::Ipv4 host : input) values.push_back(value(features_of(features, host)));
+  if (values.empty()) throw util::ConfigError("percentile over empty host set");
+  return stats::quantile(values, percentile);
+}
+
+}  // namespace
+
+double data_reduction_threshold(const FeatureMap& features, const HostSet& input,
+                                const DataReductionConfig& config) {
+  HostSet eligible;
+  for (const simnet::Ipv4 host : input)
+    if (features_of(features, host).initiated_success()) eligible.push_back(host);
+  return percentile_over(features, eligible, config.percentile,
+                         [](const HostFeatures& f) { return f.failed_rate(); });
+}
+
+HostSet data_reduction(const FeatureMap& features, const HostSet& input,
+                       const DataReductionConfig& config) {
+  const bool any_eligible = std::any_of(input.begin(), input.end(), [&](simnet::Ipv4 host) {
+    return features_of(features, host).initiated_success();
+  });
+  if (!any_eligible) return {};
+  const double threshold = data_reduction_threshold(features, input, config);
+  HostSet out;
+  for (const simnet::Ipv4 host : input) {
+    const HostFeatures& f = features_of(features, host);
+    if (f.initiated_success() && f.failed_rate() > threshold) out.push_back(host);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double volume_threshold(const FeatureMap& features, const HostSet& input,
+                        const VolumeTestConfig& config) {
+  return percentile_over(features, input, config.percentile,
+                         [&](const HostFeatures& f) { return f.volume(config.metric); });
+}
+
+HostSet volume_test(const FeatureMap& features, const HostSet& input,
+                    const VolumeTestConfig& config) {
+  const double tau = volume_threshold(features, input, config);
+  HostSet out;
+  for (const simnet::Ipv4 host : input)
+    if (features_of(features, host).volume(config.metric) < tau) out.push_back(host);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double churn_threshold(const FeatureMap& features, const HostSet& input,
+                       const ChurnTestConfig& config) {
+  return percentile_over(features, input, config.percentile,
+                         [](const HostFeatures& f) { return f.new_ip_fraction(); });
+}
+
+HostSet churn_test(const FeatureMap& features, const HostSet& input,
+                   const ChurnTestConfig& config) {
+  const double tau = churn_threshold(features, input, config);
+  HostSet out;
+  for (const simnet::Ipv4 host : input)
+    if (features_of(features, host).new_ip_fraction() < tau) out.push_back(host);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+HostSet host_union(const HostSet& a, const HostSet& b) {
+  HostSet out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+HostSet all_hosts(const FeatureMap& features) {
+  HostSet out;
+  out.reserve(features.size());
+  for (const auto& [host, f] : features) out.push_back(host);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tradeplot::detect

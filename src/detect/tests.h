@@ -1,0 +1,63 @@
+// The paper's scalar tests: initial data reduction, θ_vol, and θ_churn.
+//
+// All thresholds are *relative* — percentiles of the feature's distribution
+// over the live input population — which is the paper's evasion-resistance
+// argument (§VI): the attacker cannot know the value it must beat without
+// measuring everyone else's traffic at the same vantage point.
+#pragma once
+
+#include <vector>
+
+#include "detect/features.h"
+
+namespace tradeplot::detect {
+
+/// Hosts under consideration; every test maps a HostSet to a smaller one.
+using HostSet = std::vector<simnet::Ipv4>;
+
+/// Initial data reduction (§V-A): keeps hosts whose failed-connection rate
+/// exceeds the `percentile`-th percentile (paper: the median) computed over
+/// the input hosts that initiated at least one successful flow. Hosts that
+/// never initiated a successful flow are dropped from consideration
+/// entirely, as in the paper ("only hosts that initiated successful
+/// connections ... were included").
+struct DataReductionConfig {
+  double percentile = 0.5;
+};
+[[nodiscard]] HostSet data_reduction(const FeatureMap& features, const HostSet& input,
+                                     const DataReductionConfig& config = {});
+
+/// The threshold value data_reduction would use on this input (for the
+/// paper's Fig. 5 commentary and the evasion analyses).
+[[nodiscard]] double data_reduction_threshold(const FeatureMap& features, const HostSet& input,
+                                              const DataReductionConfig& config = {});
+
+/// θ_vol (§IV-A): keeps hosts whose volume (default: average bytes uploaded
+/// per flow) is *below* τ_vol = the `percentile`-th percentile over the
+/// input hosts.
+struct VolumeTestConfig {
+  double percentile = 0.5;
+  VolumeMetric metric = VolumeMetric::kSentPerFlow;
+};
+[[nodiscard]] HostSet volume_test(const FeatureMap& features, const HostSet& input,
+                                  const VolumeTestConfig& config = {});
+[[nodiscard]] double volume_threshold(const FeatureMap& features, const HostSet& input,
+                                      const VolumeTestConfig& config = {});
+
+/// θ_churn (§IV-B): keeps hosts whose new-IP fraction is *below* τ_churn =
+/// the `percentile`-th percentile over the input hosts.
+struct ChurnTestConfig {
+  double percentile = 0.5;
+};
+[[nodiscard]] HostSet churn_test(const FeatureMap& features, const HostSet& input,
+                                 const ChurnTestConfig& config = {});
+[[nodiscard]] double churn_threshold(const FeatureMap& features, const HostSet& input,
+                                     const ChurnTestConfig& config = {});
+
+/// Set union helper (inputs need not be sorted; output is sorted, unique).
+[[nodiscard]] HostSet host_union(const HostSet& a, const HostSet& b);
+
+/// All internal hosts present in a feature map, sorted.
+[[nodiscard]] HostSet all_hosts(const FeatureMap& features);
+
+}  // namespace tradeplot::detect

@@ -1,0 +1,47 @@
+#include "eval/day.h"
+
+#include <algorithm>
+
+namespace tradeplot::eval {
+
+namespace {
+bool contains(const std::vector<simnet::Ipv4>& hosts, simnet::Ipv4 host) {
+  return std::binary_search(hosts.begin(), hosts.end(), host);
+}
+}  // namespace
+
+bool DayData::is_storm(simnet::Ipv4 host) const { return contains(storm_hosts, host); }
+bool DayData::is_nugache(simnet::Ipv4 host) const { return contains(nugache_hosts, host); }
+
+bool DayData::is_trader(simnet::Ipv4 host) const {
+  return combined.class_of(host) == netflow::HostClass::kTrader;
+}
+
+DayData make_day(const trace::CampusConfig& campus_template, const netflow::TraceSet& storm,
+                 const netflow::TraceSet& nugache, std::uint64_t day_index) {
+  trace::CampusConfig campus_cfg = campus_template;
+  campus_cfg.seed = campus_template.seed * 8191 + day_index;
+
+  DayData day;
+  const netflow::TraceSet campus = trace::generate_campus_trace(campus_cfg);
+
+  util::Pcg32 overlay_rng(campus_cfg.seed, 0x0e1a);
+  trace::OverlayResult with_storm = trace::overlay_bots(campus, storm, overlay_rng);
+  trace::OverlayOptions nugache_opts;
+  nugache_opts.exclude_hosts = with_storm.bot_hosts;
+  trace::OverlayResult with_both =
+      trace::overlay_bots(with_storm.combined, nugache, overlay_rng, nugache_opts);
+
+  day.combined = std::move(with_both.combined);
+  day.storm_hosts = std::move(with_storm.bot_hosts);
+  day.nugache_hosts = std::move(with_both.bot_hosts);
+  std::sort(day.storm_hosts.begin(), day.storm_hosts.end());
+  std::sort(day.nugache_hosts.begin(), day.nugache_hosts.end());
+
+  detect::FeatureExtractorConfig fx;
+  fx.is_internal = detect::default_internal_predicate;
+  day.features = detect::extract_features(day.combined, fx);
+  return day;
+}
+
+}  // namespace tradeplot::eval

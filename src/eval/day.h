@@ -1,0 +1,45 @@
+// One evaluation "day": a campus trace with both botnets' honeynet traces
+// overlaid, plus extracted features and ground-truth host partitions.
+//
+// This mirrors the paper's per-day procedure (§V-B): the same fixed 24-hour
+// bot traces are re-assigned to fresh random campus hosts on every day, and
+// all detection results are averaged over the (eight) days.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "botnet/honeynet.h"
+#include "detect/features.h"
+#include "netflow/trace_set.h"
+#include "trace/campus.h"
+#include "trace/overlay.h"
+
+namespace tradeplot::eval {
+
+struct DayData {
+  netflow::TraceSet combined;
+  detect::FeatureMap features;
+  std::vector<simnet::Ipv4> storm_hosts;    // campus hosts carrying Storm bots
+  std::vector<simnet::Ipv4> nugache_hosts;  // campus hosts carrying Nugache bots
+
+  [[nodiscard]] bool is_storm(simnet::Ipv4 host) const;
+  [[nodiscard]] bool is_nugache(simnet::Ipv4 host) const;
+  [[nodiscard]] bool is_plotter(simnet::Ipv4 host) const {
+    return is_storm(host) || is_nugache(host);
+  }
+  /// Trader by ground truth and not carrying a bot.
+  [[nodiscard]] bool is_trader(simnet::Ipv4 host) const;
+};
+
+/// Generates day `day_index`: a campus trace seeded from (campus.seed,
+/// day_index) with `storm` and `nugache` honeynet traces overlaid onto
+/// disjoint random active hosts. Either trace may be empty (no flows / no
+/// truth), producing a single-botnet day — the paper evaluates Storm and
+/// Nugache in separate runs over the same eight campus days ("we also
+/// perform tests with Nugache bots ... for the same false positive rate").
+[[nodiscard]] DayData make_day(const trace::CampusConfig& campus_template,
+                               const netflow::TraceSet& storm, const netflow::TraceSet& nugache,
+                               std::uint64_t day_index);
+
+}  // namespace tradeplot::eval

@@ -1,0 +1,213 @@
+#include "eval/experiments.h"
+
+#include <algorithm>
+#include <array>
+
+#include "stats/descriptive.h"
+
+namespace tradeplot::eval {
+
+DaySet make_days(const EvalConfig& config) {
+  DaySet set;
+  // The honeynet traces are fixed across days, exactly as in the paper —
+  // only the host assignment is re-randomised per day. Each botnet gets its
+  // own overlay run per day (§V evaluates them separately).
+  set.storm_trace = botnet::generate_storm_trace(config.honeynet);
+  set.nugache_trace = botnet::generate_nugache_trace(config.honeynet);
+  const netflow::TraceSet empty;
+  set.storm_days.reserve(static_cast<std::size_t>(config.days));
+  set.nugache_days.reserve(static_cast<std::size_t>(config.days));
+  for (int d = 0; d < config.days; ++d) {
+    set.storm_days.push_back(
+        make_day(config.campus, set.storm_trace, empty, static_cast<std::uint64_t>(d)));
+    set.nugache_days.push_back(
+        make_day(config.campus, empty, set.nugache_trace, static_cast<std::uint64_t>(d)));
+  }
+  return set;
+}
+
+namespace {
+
+/// Runs one test variant over one day and returns (output, population).
+struct StageOutput {
+  detect::HostSet output;
+  detect::HostSet population;
+};
+
+StageOutput run_sweep_stage(const DayData& day, SweepTest test, double pct,
+                            const detect::FindPlottersConfig& base) {
+  const detect::HostSet input = detect::all_hosts(day.features);
+  const detect::HostSet reduced = detect::data_reduction(day.features, input, base.reduction);
+  StageOutput out;
+  out.population = reduced;
+  switch (test) {
+    case SweepTest::kVolume: {
+      detect::VolumeTestConfig cfg = base.volume;
+      cfg.percentile = pct;
+      out.output = detect::volume_test(day.features, reduced, cfg);
+      break;
+    }
+    case SweepTest::kChurn: {
+      detect::ChurnTestConfig cfg = base.churn;
+      cfg.percentile = pct;
+      out.output = detect::churn_test(day.features, reduced, cfg);
+      break;
+    }
+    case SweepTest::kHumanMachine: {
+      const detect::HostSet s_vol = detect::volume_test(day.features, reduced, base.volume);
+      const detect::HostSet s_churn = detect::churn_test(day.features, reduced, base.churn);
+      out.population = detect::host_union(s_vol, s_churn);
+      detect::HumanMachineConfig cfg = base.human_machine;
+      cfg.diameter_percentile = pct;
+      out.output = detect::human_machine_test(day.features, out.population, cfg).flagged;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RocSweepResult roc_sweep(const DaySet& days, SweepTest test,
+                         const detect::FindPlottersConfig& base) {
+  RocSweepResult result;
+  result.percentiles = {0.1, 0.3, 0.5, 0.7, 0.9};
+
+  for (const double pct : result.percentiles) {
+    std::vector<StageRates> storm_rates, nugache_rates;
+    for (const DayData& day : days.storm_days) {
+      const StageOutput s = run_sweep_stage(day, test, pct, base);
+      storm_rates.push_back(stage_rates(day, s.output, s.population));
+    }
+    for (const DayData& day : days.nugache_days) {
+      const StageOutput s = run_sweep_stage(day, test, pct, base);
+      nugache_rates.push_back(stage_rates(day, s.output, s.population));
+    }
+    const StageRates storm_avg = average(storm_rates);
+    const StageRates nugache_avg = average(nugache_rates);
+    const std::string label = "p" + std::to_string(static_cast<int>(pct * 100));
+    result.storm.add(storm_avg.fp, storm_avg.storm_tp, label);
+    result.nugache.add(nugache_avg.fp, nugache_avg.nugache_tp, label);
+  }
+  return result;
+}
+
+FunnelResult funnel(const DaySet& days, const detect::FindPlottersConfig& config) {
+  FunnelResult result;
+  constexpr const char* kStageNames[] = {"data-reduction", "theta_vol", "theta_churn",
+                                         "vol-or-churn", "theta_hm"};
+  std::vector<std::vector<StageRates>> storm_stage(5), nugache_stage(5);
+  result.nugache_flow_counts.assign(5, {});
+
+  const auto stage_sets = [](const detect::FindPlottersResult& run) {
+    return std::array<const detect::HostSet*, 5>{&run.reduced, &run.s_vol, &run.s_churn,
+                                                 &run.vol_or_churn, &run.plotters};
+  };
+
+  for (const DayData& day : days.storm_days) {
+    const detect::FindPlottersResult run = detect::find_plotters(day.features, config);
+    const auto sets = stage_sets(run);
+    for (int s = 0; s < 5; ++s) {
+      storm_stage[static_cast<std::size_t>(s)].push_back(
+          stage_rates(day, *sets[static_cast<std::size_t>(s)], run.input));
+    }
+  }
+  for (const DayData& day : days.nugache_days) {
+    const detect::FindPlottersResult run = detect::find_plotters(day.features, config);
+    const auto sets = stage_sets(run);
+    for (int s = 0; s < 5; ++s) {
+      nugache_stage[static_cast<std::size_t>(s)].push_back(
+          stage_rates(day, *sets[static_cast<std::size_t>(s)], run.input));
+      for (const simnet::Ipv4 host : *sets[static_cast<std::size_t>(s)]) {
+        if (day.is_nugache(host)) {
+          result.nugache_flow_counts[static_cast<std::size_t>(s)].push_back(
+              static_cast<double>(day.features.at(host).flows_initiated));
+        }
+      }
+    }
+  }
+
+  // Merge the two runs into one row per stage: Storm TP from the Storm run,
+  // Nugache TP from the Nugache run, negatives/Traders averaged across both
+  // (the background population is the same eight days).
+  for (int s = 0; s < 5; ++s) {
+    const StageRates storm_avg = average(storm_stage[static_cast<std::size_t>(s)]);
+    const StageRates nugache_avg = average(nugache_stage[static_cast<std::size_t>(s)]);
+    StageRates merged = storm_avg;
+    merged.nugache_tp = nugache_avg.nugache_tp;
+    merged.nugache_in_population = nugache_avg.nugache_in_population;
+    merged.fp = (storm_avg.fp + nugache_avg.fp) / 2.0;
+    merged.traders_remaining =
+        (storm_avg.traders_remaining + nugache_avg.traders_remaining) / 2.0;
+    merged.flagged = (storm_avg.flagged + nugache_avg.flagged) / 2;
+    result.stages.push_back(FunnelStage{kStageNames[s], merged});
+  }
+  return result;
+}
+
+std::vector<EvasionThresholdDay> evasion_thresholds(const DaySet& days,
+                                                    const detect::FindPlottersConfig& config) {
+  std::vector<EvasionThresholdDay> out;
+  for (std::size_t d = 0; d < days.storm_days.size(); ++d) {
+    const DayData& storm_day = days.storm_days[d];
+    const DayData& nugache_day = days.nugache_days[d];
+
+    const detect::HostSet input = detect::all_hosts(storm_day.features);
+    const detect::HostSet reduced =
+        detect::data_reduction(storm_day.features, input, config.reduction);
+
+    EvasionThresholdDay row;
+    row.day = static_cast<int>(d);
+    row.tau_vol = detect::volume_threshold(storm_day.features, reduced, config.volume);
+    row.tau_churn = detect::churn_threshold(storm_day.features, reduced, config.churn);
+
+    std::vector<double> storm_vol, storm_churn;
+    for (const simnet::Ipv4 host : storm_day.storm_hosts) {
+      const auto& f = storm_day.features.at(host);
+      storm_vol.push_back(f.volume(config.volume.metric));
+      storm_churn.push_back(f.new_ip_fraction());
+    }
+    std::vector<double> nugache_vol, nugache_churn;
+    for (const simnet::Ipv4 host : nugache_day.nugache_hosts) {
+      const auto& f = nugache_day.features.at(host);
+      nugache_vol.push_back(f.volume(config.volume.metric));
+      nugache_churn.push_back(f.new_ip_fraction());
+    }
+    if (!storm_vol.empty()) {
+      row.storm_median_volume = stats::median(storm_vol);
+      row.storm_median_churn = stats::median(storm_churn);
+    }
+    if (!nugache_vol.empty()) {
+      row.nugache_median_volume = stats::median(nugache_vol);
+      row.nugache_median_churn = stats::median(nugache_churn);
+    }
+    out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<JitterPoint> jitter_sweep(const EvalConfig& config, const std::vector<double>& delays,
+                                      const detect::FindPlottersConfig& pipeline) {
+  std::vector<JitterPoint> out;
+  for (const double d : delays) {
+    EvalConfig jittered = config;
+    jittered.honeynet.storm.evasion.jitter_range = d;
+    jittered.honeynet.nugache.evasion.jitter_range = d;
+    const DaySet days = make_days(jittered);
+
+    std::vector<StageRates> storm_rates, nugache_rates;
+    for (const DayData& day : days.storm_days) {
+      const detect::FindPlottersResult run = detect::find_plotters(day.features, pipeline);
+      storm_rates.push_back(stage_rates(day, run.plotters, run.input));
+    }
+    for (const DayData& day : days.nugache_days) {
+      const detect::FindPlottersResult run = detect::find_plotters(day.features, pipeline);
+      nugache_rates.push_back(stage_rates(day, run.plotters, run.input));
+    }
+    out.push_back(
+        JitterPoint{d, average(storm_rates).storm_tp, average(nugache_rates).nugache_tp});
+  }
+  return out;
+}
+
+}  // namespace tradeplot::eval

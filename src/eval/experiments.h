@@ -1,0 +1,102 @@
+// Experiment drivers reproducing the paper's evaluation (one per figure).
+//
+// Every driver consumes an EvalConfig describing the simulated campus and
+// honeynet, runs the configured number of days, and returns plain result
+// structs that the bench binaries render as text tables. See DESIGN.md §4
+// for the figure-to-driver index.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "detect/find_plotters.h"
+#include "eval/day.h"
+#include "eval/metrics.h"
+#include "stats/roc.h"
+
+namespace tradeplot::eval {
+
+struct EvalConfig {
+  trace::CampusConfig campus{};
+  botnet::HoneynetConfig honeynet{};
+  int days = 8;  // the paper's eight days of CMU traffic
+};
+
+/// Generates the fixed honeynet traces and all per-day overlays. The paper
+/// evaluates each botnet in its own overlay run over the same campus days
+/// ("We also perform tests with Nugache bots, where we show that for the
+/// same false positive rate..."), so each day exists in a Storm-only and a
+/// Nugache-only variant.
+struct DaySet {
+  netflow::TraceSet storm_trace;
+  netflow::TraceSet nugache_trace;
+  std::vector<DayData> storm_days;
+  std::vector<DayData> nugache_days;
+};
+[[nodiscard]] DaySet make_days(const EvalConfig& config);
+
+// ---------------------------------------------------------------- Figs 6-8
+
+enum class SweepTest { kVolume, kChurn, kHumanMachine };
+
+struct RocSweepResult {
+  stats::RocCurve storm;
+  stats::RocCurve nugache;
+  std::vector<double> percentiles;  // the sweep grid actually used
+};
+
+/// ROC sweep for one test, thresholds at the 10/30/50/70/90-th percentiles,
+/// averaged over the days (Figs. 6, 7, 8). For kHumanMachine the input set
+/// is S_vol ∪ S_churn at the 50th percentile, as in the paper.
+[[nodiscard]] RocSweepResult roc_sweep(const DaySet& days, SweepTest test,
+                                       const detect::FindPlottersConfig& base = {});
+
+// ------------------------------------------------------------------ Fig 9
+
+struct FunnelStage {
+  std::string name;
+  StageRates rates;  // averaged over days, relative to the pipeline input
+};
+
+struct FunnelResult {
+  std::vector<FunnelStage> stages;  // reduced, S_vol, S_churn, union, θ_hm
+  /// Fig. 10: flow counts of Nugache carriers surviving each stage,
+  /// accumulated over all days. Key order matches `stages`.
+  std::vector<std::vector<double>> nugache_flow_counts;
+};
+
+[[nodiscard]] FunnelResult funnel(const DaySet& days,
+                                  const detect::FindPlottersConfig& config = {});
+
+// ----------------------------------------------------------------- Fig 11
+
+struct EvasionThresholdDay {
+  int day = 0;
+  double tau_vol = 0.0;
+  double storm_median_volume = 0.0;
+  double nugache_median_volume = 0.0;
+  double tau_churn = 0.0;
+  double storm_median_churn = 0.0;
+  double nugache_median_churn = 0.0;
+};
+
+/// Per-day detection thresholds vs. the median Plotter's feature values:
+/// the multiplicative behaviour change needed to evade θ_vol / θ_churn.
+[[nodiscard]] std::vector<EvasionThresholdDay> evasion_thresholds(
+    const DaySet& days, const detect::FindPlottersConfig& config = {});
+
+// ----------------------------------------------------------------- Fig 12
+
+struct JitterPoint {
+  double delay = 0.0;  // d, seconds
+  double storm_tp = 0.0;
+  double nugache_tp = 0.0;
+};
+
+/// Re-runs the full pipeline with bots adding ±d random delays before
+/// connections to previously-contacted peers, for each d in `delays`.
+[[nodiscard]] std::vector<JitterPoint> jitter_sweep(const EvalConfig& config,
+                                                    const std::vector<double>& delays,
+                                                    const detect::FindPlottersConfig& pipeline = {});
+
+}  // namespace tradeplot::eval

@@ -1,0 +1,62 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace tradeplot::eval {
+
+StageRates stage_rates(const DayData& day, const detect::HostSet& output,
+                       const detect::HostSet& population) {
+  StageRates r;
+  std::size_t storm_hit = 0, nugache_hit = 0, fp_hit = 0, trader_hit = 0;
+  const auto in_output = [&](simnet::Ipv4 host) {
+    return std::binary_search(output.begin(), output.end(), host);
+  };
+  for (const simnet::Ipv4 host : population) {
+    if (day.is_storm(host)) {
+      ++r.storm_in_population;
+      if (in_output(host)) ++storm_hit;
+    } else if (day.is_nugache(host)) {
+      ++r.nugache_in_population;
+      if (in_output(host)) ++nugache_hit;
+    } else {
+      ++r.negatives_in_population;
+      if (in_output(host)) ++fp_hit;
+      if (day.is_trader(host)) {
+        ++r.traders_in_population;
+        if (in_output(host)) ++trader_hit;
+      }
+    }
+  }
+  r.flagged = output.size();
+  if (r.storm_in_population > 0)
+    r.storm_tp = static_cast<double>(storm_hit) / static_cast<double>(r.storm_in_population);
+  if (r.nugache_in_population > 0)
+    r.nugache_tp =
+        static_cast<double>(nugache_hit) / static_cast<double>(r.nugache_in_population);
+  if (r.negatives_in_population > 0)
+    r.fp = static_cast<double>(fp_hit) / static_cast<double>(r.negatives_in_population);
+  if (r.traders_in_population > 0)
+    r.traders_remaining =
+        static_cast<double>(trader_hit) / static_cast<double>(r.traders_in_population);
+  return r;
+}
+
+StageRates average(const std::vector<StageRates>& days) {
+  StageRates avg;
+  if (days.empty()) return avg;
+  const double n = static_cast<double>(days.size());
+  for (const StageRates& d : days) {
+    avg.storm_tp += d.storm_tp / n;
+    avg.nugache_tp += d.nugache_tp / n;
+    avg.fp += d.fp / n;
+    avg.traders_remaining += d.traders_remaining / n;
+    avg.storm_in_population += d.storm_in_population;
+    avg.nugache_in_population += d.nugache_in_population;
+    avg.negatives_in_population += d.negatives_in_population;
+    avg.traders_in_population += d.traders_in_population;
+    avg.flagged += d.flagged;
+  }
+  return avg;
+}
+
+}  // namespace tradeplot::eval

@@ -1,0 +1,34 @@
+// Detection metrics relative to an input population.
+//
+// The paper reports every rate relative to the set a test actually received
+// ("each ROC curve plots the true and false positive rates relative to its
+// input set"), so rates here are parameterised by `population`.
+#pragma once
+
+#include <vector>
+
+#include "detect/tests.h"
+#include "eval/day.h"
+
+namespace tradeplot::eval {
+
+struct StageRates {
+  double storm_tp = 0.0;    // detected Storm carriers / Storm carriers in population
+  double nugache_tp = 0.0;
+  double fp = 0.0;          // flagged non-Plotters / non-Plotters in population
+  double traders_remaining = 0.0;  // flagged Traders / Traders in population
+  std::size_t storm_in_population = 0;
+  std::size_t nugache_in_population = 0;
+  std::size_t negatives_in_population = 0;
+  std::size_t traders_in_population = 0;
+  std::size_t flagged = 0;
+};
+
+/// Rates for `output` given that the stage saw `population`.
+[[nodiscard]] StageRates stage_rates(const DayData& day, const detect::HostSet& output,
+                                     const detect::HostSet& population);
+
+/// Element-wise mean of per-day rates (for "averaged over the eight days").
+[[nodiscard]] StageRates average(const std::vector<StageRates>& days);
+
+}  // namespace tradeplot::eval

@@ -1,0 +1,58 @@
+#include "hosts/misc.h"
+
+namespace tradeplot::hosts {
+
+ScannerHost::ScannerHost(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng,
+                         ScannerConfig config)
+    : env_(std::move(env)), rng_(rng), emit_(&env_, self, &rng_), config_(config) {}
+
+void ScannerHost::start() { probe_loop(); }
+
+void ScannerHost::probe_loop() {
+  const double gap = rng_.exponential(3600.0 / config_.probes_per_hour);
+  if (emit_.now() + gap >= env_.window_end) return;
+  env_.sim->schedule_after(gap, [this] {
+    if (rng_.chance(config_.burst_prob)) {
+      for (int i = 0; i < config_.burst_len; ++i) {
+        env_.sim->schedule_after(rng_.uniform(0.0, 10.0), [this] { probe_once(); });
+      }
+    } else {
+      probe_once();
+    }
+    probe_loop();
+  });
+}
+
+void ScannerHost::probe_once() {
+  const simnet::Ipv4 target = env_.external_addr();
+  if (rng_.chance(config_.hit_prob)) {
+    emit_.tcp(target, config_.target_port, static_cast<std::uint64_t>(rng_.uniform(100, 400)),
+              static_cast<std::uint64_t>(rng_.uniform(100, 1500)), rng_.uniform(0.1, 2.0));
+  } else {
+    emit_.tcp_failed(target, config_.target_port, rng_.chance(0.35));
+  }
+}
+
+IdleHost::IdleHost(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng, IdleHostConfig config)
+    : env_(std::move(env)), rng_(rng), emit_(&env_, self, &rng_), config_(config) {}
+
+void IdleHost::start() {
+  const auto flows = static_cast<int>(rng_.exponential(config_.flows_in_window_mean)) + 1;
+  // Even idle machines accumulate some failures (sleeping peers, captive
+  // portals, stale software-update mirrors).
+  const double fail_prob = rng_.uniform(0.0, 0.3);
+  for (int i = 0; i < flows; ++i) {
+    env_.sim->schedule_at(rng_.uniform(0.0, env_.window_end), [this, fail_prob] {
+      if (rng_.chance(fail_prob)) {
+        emit_.tcp_failed(env_.external_addr(), 443);
+      } else if (rng_.chance(0.3)) {
+        emit_.udp(env_.external_addr(), 53, 60, 200, true);
+      } else {
+        emit_.tcp(env_.external_addr(), 443, static_cast<std::uint64_t>(rng_.uniform(300, 1500)),
+                  static_cast<std::uint64_t>(rng_.uniform(2e3, 5e4)), rng_.uniform(0.2, 3.0));
+      }
+    });
+  }
+}
+
+}  // namespace tradeplot::hosts

@@ -1,0 +1,56 @@
+// Miscellaneous background hosts: scanners and near-idle machines.
+//
+// ScannerHost (a compromised box port-sweeping the Internet, or a research
+// scanner) is the adversarial corner case for the pipeline: its failed-
+// connection rate sails past data reduction and its tiny flows pass the
+// volume test — only its extreme destination churn (every contact new) and
+// its timing profile keep it out of the final Plotter set.
+#pragma once
+
+#include "netflow/app_env.h"
+#include "netflow/flow_emit.h"
+#include "util/rng.h"
+
+namespace tradeplot::hosts {
+
+struct ScannerConfig {
+  double probes_per_hour = 700.0;
+  double hit_prob = 0.03;       // almost everything times out
+  std::uint16_t target_port = 445;
+  double burst_prob = 0.3;      // sweep bursts rather than a pure Poisson
+  int burst_len = 20;
+};
+
+class ScannerHost {
+ public:
+  ScannerHost(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng, ScannerConfig config = {});
+  void start();
+
+ private:
+  void probe_loop();
+  void probe_once();
+
+  netflow::AppEnv env_;
+  util::Pcg32 rng_;
+  netflow::FlowEmitter emit_;
+  ScannerConfig config_;
+};
+
+struct IdleHostConfig {
+  double flows_in_window_mean = 6.0;
+};
+
+/// A machine that is on but barely used: a few web/DNS flows all day.
+class IdleHost {
+ public:
+  IdleHost(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng, IdleHostConfig config = {});
+  void start();
+
+ private:
+  netflow::AppEnv env_;
+  util::Pcg32 rng_;
+  netflow::FlowEmitter emit_;
+  IdleHostConfig config_;
+};
+
+}  // namespace tradeplot::hosts

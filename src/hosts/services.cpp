@@ -1,0 +1,91 @@
+#include "hosts/services.h"
+
+#include <algorithm>
+
+#include "simnet/simulation.h"
+
+namespace tradeplot::hosts {
+
+namespace {
+constexpr std::string_view kSmtp = "EHLO mail.campus.edu\r\n";
+constexpr std::string_view kDns = "\x12\x34\x01\x00\x00\x01";  // query header bytes
+constexpr std::string_view kNtp = "\x23\x00\x06\xec";          // NTPv4 client mode
+}  // namespace
+
+MailServer::MailServer(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng,
+                       MailServerConfig config)
+    : env_(std::move(env)), rng_(rng), emit_(&env_, self, &rng_), config_(config) {
+  for (int i = 0; i < config_.provider_pool; ++i) providers_.push_back(env_.external_addr());
+}
+
+void MailServer::start() {
+  outbound_loop();
+  inbound_loop();
+}
+
+void MailServer::outbound_loop() {
+  const double gap = rng_.exponential(3600.0 / config_.outbound_per_hour);
+  if (emit_.now() + gap >= env_.window_end) return;
+  env_.sim->schedule_after(gap, [this] {
+    const simnet::Ipv4 mx =
+        rng_.chance(config_.revisit_prob) ? rng_.pick(providers_) : env_.external_addr();
+    if (rng_.chance(config_.fail_prob)) {
+      emit_.tcp_failed(mx, 25, rng_.chance(0.4));
+    } else {
+      emit_.tcp(mx, 25, static_cast<std::uint64_t>(rng_.uniform(config_.msg_lo, config_.msg_hi)),
+                static_cast<std::uint64_t>(rng_.uniform(300, 2000)), rng_.uniform(0.5, 15.0),
+                kSmtp);
+    }
+    outbound_loop();
+  });
+}
+
+void MailServer::inbound_loop() {
+  const double gap = rng_.exponential(3600.0 / config_.inbound_per_hour);
+  if (emit_.now() + gap >= env_.window_end) return;
+  env_.sim->schedule_after(gap, [this] {
+    emit_.inbound_tcp(env_.external_addr(), 25,
+                      static_cast<std::uint64_t>(rng_.uniform(config_.msg_lo, config_.msg_hi)),
+                      static_cast<std::uint64_t>(rng_.uniform(300, 2000)),
+                      rng_.uniform(0.5, 15.0), kSmtp);
+    inbound_loop();
+  });
+}
+
+DnsClient::DnsClient(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng,
+                     DnsClientConfig config)
+    : env_(std::move(env)), rng_(rng), emit_(&env_, self, &rng_), config_(config) {
+  for (int i = 0; i < config_.resolvers; ++i) resolvers_.push_back(env_.external_addr());
+}
+
+void DnsClient::start() { query_loop(); }
+
+void DnsClient::query_loop() {
+  // Bursty human-driven query arrivals (applications resolving names).
+  const double gap = rng_.exponential(3600.0 / config_.queries_per_hour);
+  if (emit_.now() + gap >= env_.window_end) return;
+  env_.sim->schedule_after(gap, [this] {
+    const simnet::Ipv4 resolver = rng_.pick(resolvers_);
+    emit_.udp(resolver, 53, static_cast<std::uint64_t>(rng_.uniform_int(40, 80)),
+              static_cast<std::uint64_t>(rng_.uniform_int(80, 512)),
+              !rng_.chance(config_.fail_prob), kDns);
+    query_loop();
+  });
+}
+
+NtpClient::NtpClient(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng,
+                     NtpClientConfig config)
+    : env_(std::move(env)), rng_(rng), emit_(&env_, self, &rng_), config_(config) {
+  for (int i = 0; i < config_.servers; ++i) servers_.push_back(env_.external_addr());
+}
+
+void NtpClient::start() {
+  simnet::PeriodicProcess::start(
+      *env_.sim, rng_.uniform(0.0, config_.period), env_.window_end,
+      [this] { return config_.period + rng_.uniform(-config_.jitter, config_.jitter); },
+      [this](double) {
+        for (const simnet::Ipv4 server : servers_) emit_.udp(server, 123, 48, 48, true, kNtp);
+      });
+}
+
+}  // namespace tradeplot::hosts

@@ -1,0 +1,89 @@
+// Infrastructure-service host models: mail relays, DNS-chatty clients, and
+// NTP beacons.
+//
+// These populate the corners of the feature space that stress the detector:
+//   * MailServer contacts many brand-new MX hosts per day (churn as high as
+//     a Trader's) with a noticeable failure rate (greylisting, dead MXs) —
+//     the host class most likely to sneak past data reduction.
+//   * NtpClient is pure machine-periodic traffic to a fixed destination set:
+//     a potential false positive for the human-vs-machine test if it ever
+//     survives the earlier stages.
+#pragma once
+
+#include <vector>
+
+#include "netflow/app_env.h"
+#include "netflow/flow_emit.h"
+#include "util/rng.h"
+
+namespace tradeplot::hosts {
+
+struct MailServerConfig {
+  double outbound_per_hour = 40.0;
+  double fail_prob = 0.18;       // greylists, dead MXs, DNSBL rejects
+  double inbound_per_hour = 30.0;
+  double msg_lo = 2e3, msg_hi = 5e5;
+  double revisit_prob = 0.3;  // big providers get most of the mail
+  int provider_pool = 8;
+};
+
+class MailServer {
+ public:
+  MailServer(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng,
+             MailServerConfig config = {});
+  void start();
+
+ private:
+  void outbound_loop();
+  void inbound_loop();
+
+  netflow::AppEnv env_;
+  util::Pcg32 rng_;
+  netflow::FlowEmitter emit_;
+  MailServerConfig config_;
+  std::vector<simnet::Ipv4> providers_;
+};
+
+struct DnsClientConfig {
+  int resolvers = 2;
+  double queries_per_hour = 150.0;
+  double fail_prob = 0.02;
+};
+
+/// A host whose visible border traffic is mostly DNS to campus resolvers
+/// (the rest of its traffic stays inside the network).
+class DnsClient {
+ public:
+  DnsClient(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng, DnsClientConfig config = {});
+  void start();
+
+ private:
+  void query_loop();
+
+  netflow::AppEnv env_;
+  util::Pcg32 rng_;
+  netflow::FlowEmitter emit_;
+  DnsClientConfig config_;
+  std::vector<simnet::Ipv4> resolvers_;
+};
+
+struct NtpClientConfig {
+  int servers = 2;
+  double period = 64.0;  // classic ntpd minpoll
+  double jitter = 0.5;
+};
+
+class NtpClient {
+ public:
+  NtpClient(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng, NtpClientConfig config = {});
+  void start();
+
+ private:
+  netflow::AppEnv env_;
+  util::Pcg32 rng_;
+  netflow::FlowEmitter emit_;
+  NtpClientConfig config_;
+  std::vector<simnet::Ipv4> servers_;
+};
+
+}  // namespace tradeplot::hosts

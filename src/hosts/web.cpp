@@ -1,0 +1,166 @@
+#include "hosts/web.h"
+
+#include <algorithm>
+
+namespace tradeplot::hosts {
+
+namespace {
+constexpr std::string_view kHttpGet = "GET /index.html HTTP/1.1\r\nHost: www.example.com\r\n";
+constexpr std::uint16_t kHttp = 80;
+constexpr std::uint16_t kHttps = 443;
+}  // namespace
+
+WebClient::WebClient(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng,
+                     WebClientConfig config)
+    : env_(std::move(env)), rng_(rng), emit_(&env_, self, &rng_), config_(config) {
+  // Personalise: every simulated user browses differently. Failure rate is
+  // mostly anti-correlated with browsing intensity: the hosts with many
+  // failed connections on a real campus are typically flaky, lightly-used
+  // boxes (roaming laptops, half-broken installs, leftover P2P stubs) —
+  // heavy browsers dial working sites. A minority is heavy *and* flaky
+  // (dorm machines behind broken proxies, ad-ridden installs); they
+  // populate the high-failed-rate half of the campus with genuinely
+  // diverse human timing.
+  flakiness_ = rng_.uniform();
+  const bool heavy_and_flaky = rng_.chance(config_.heavy_flaky_prob);
+  if (heavy_and_flaky) flakiness_ = rng_.uniform(0.55, 0.95);
+  fail_prob_ = std::clamp(0.005 + 0.55 * flakiness_ * flakiness_ * flakiness_, 0.005, 0.6);
+  const double slowdown = heavy_and_flaky ? 0.0 : flakiness_ * 0.9;
+  if (heavy_and_flaky) flakiness_ = 0.0;  // browsing intensity stays full
+  think_mu_ = config_.think_mu + slowdown +
+              rng_.uniform(-config_.think_mu_spread, config_.think_mu_spread);
+  think_sigma_ = rng_.uniform(config_.think_sigma_lo, config_.think_sigma_hi);
+  new_site_prob_ = rng_.uniform(config_.new_site_prob_lo, config_.new_site_prob_hi);
+  objects_max_ = static_cast<int>(rng_.uniform_int(config_.objects_max_lo, config_.objects_max_hi));
+  const int favourites =
+      static_cast<int>(rng_.uniform_int(config_.favourite_sites_lo, config_.favourite_sites_hi));
+  favourites_.reserve(static_cast<std::size_t>(favourites));
+  for (int i = 0; i < favourites; ++i) favourites_.push_back(env_.external_addr());
+}
+
+void WebClient::start() {
+  if (flakiness_ > 0.7) {
+    // Flaky boxes are barely *used*, but they are on all day: roaming
+    // laptops and half-broken installs keep up sparse background chatter
+    // (update checks, ad beacons, sync retries) to ever-new addresses.
+    // Their activity therefore spans the whole window, and most of the
+    // addresses they dial are first seen after their first active hour —
+    // exactly the high-churn, high-failure corner of the feature space the
+    // campus background contributes in the paper's Fig. 11(b).
+    background_chatter_loop();
+    return;
+  }
+  const int sessions =
+      static_cast<int>(rng_.uniform_int(config_.sessions_min, config_.sessions_max));
+  for (int s = 0; s < sessions; ++s) {
+    env_.sim->schedule_at(rng_.uniform(0.0, env_.window_end * 0.85), [this] { begin_session(); });
+  }
+}
+
+void WebClient::background_chatter_loop() {
+  const double gap = rng_.exponential(rng_.uniform(600.0, 1800.0));
+  if (emit_.now() + gap >= env_.window_end) return;
+  env_.sim->schedule_after(gap, [this] {
+    // A burst of a few dials, mostly to fresh addresses, often failing.
+    const int dials = static_cast<int>(rng_.uniform_int(1, 4));
+    for (int i = 0; i < dials; ++i) {
+      const simnet::Ipv4 target =
+          rng_.chance(0.5) ? rng_.pick(favourites_) : env_.external_addr();
+      if (rng_.chance(fail_prob_)) {
+        emit_.tcp_failed(target, 443);
+      } else {
+        emit_.tcp(target, 443,
+                  static_cast<std::uint64_t>(rng_.uniform(config_.bytes_up_lo, config_.bytes_up_hi)),
+                  static_cast<std::uint64_t>(rng_.uniform(2e3, 6e4)), rng_.uniform(0.2, 4.0),
+                  kHttpGet);
+      }
+    }
+    background_chatter_loop();
+  });
+}
+
+void WebClient::begin_session() {
+  const double session_len = rng_.lognormal(config_.session_mu, config_.session_sigma);
+  const double session_end = std::min(emit_.now() + session_len, env_.window_end);
+  visit_page(session_end);
+  browse_loop(session_end);
+}
+
+void WebClient::browse_loop(double session_end) {
+  const double think = rng_.lognormal(think_mu_, think_sigma_);
+  if (emit_.now() + think >= session_end) return;
+  env_.sim->schedule_after(think, [this, session_end] {
+    visit_page(session_end);
+    browse_loop(session_end);
+  });
+}
+
+void WebClient::visit_page(double session_end) {
+  if (emit_.now() >= session_end) return;
+  simnet::Ipv4 site;
+  if (rng_.chance(new_site_prob_)) {
+    site = env_.external_addr();
+  } else {
+    const auto rank = rng_.zipf(static_cast<std::uint64_t>(favourites_.size()),
+                                config_.zipf_exponent);
+    site = favourites_[rank - 1];
+  }
+  const int objects = static_cast<int>(rng_.uniform_int(config_.objects_min, objects_max_));
+  for (int o = 0; o < objects; ++o) {
+    // The page itself comes from the site; most assets come off CDNs and ad
+    // networks at ever-changing addresses. Flows to the *same* site are
+    // therefore separated by human revisit times (minutes to hours), not by
+    // sub-second asset fan-out.
+    const simnet::Ipv4 target = (o == 0 || rng_.chance(0.05)) ? site : env_.external_addr();
+    // Page assets load over the next second or two.
+    env_.sim->schedule_after(rng_.uniform(0.0, 2.0), [this, target] {
+      const simnet::Ipv4 site = target;
+      const std::uint16_t port = rng_.chance(0.7) ? kHttps : kHttp;
+      if (rng_.chance(fail_prob_)) {
+        emit_.tcp_failed(site, port);
+        return;
+      }
+      double down = rng_.uniform(config_.bytes_down_lo, config_.bytes_down_hi);
+      if (rng_.chance(config_.big_download_prob)) down *= rng_.uniform(20.0, 80.0);
+      emit_.tcp(site, port,
+                static_cast<std::uint64_t>(rng_.uniform(config_.bytes_up_lo, config_.bytes_up_hi)),
+                static_cast<std::uint64_t>(down), rng_.uniform(0.2, 8.0), kHttpGet);
+    });
+  }
+}
+
+WebServer::WebServer(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng,
+                     WebServerConfig config)
+    : env_(std::move(env)), rng_(rng), emit_(&env_, self, &rng_), config_(config) {}
+
+void WebServer::start() {
+  serve_loop();
+  outbound_loop();
+}
+
+void WebServer::serve_loop() {
+  const double gap = rng_.exponential(3600.0 / config_.inbound_per_hour);
+  if (emit_.now() + gap >= env_.window_end) return;
+  env_.sim->schedule_after(gap, [this] {
+    emit_.inbound_tcp(
+        env_.external_addr(), rng_.chance(0.6) ? kHttps : kHttp,
+        static_cast<std::uint64_t>(rng_.uniform(config_.bytes_req_lo, config_.bytes_req_hi)),
+        static_cast<std::uint64_t>(rng_.uniform(config_.bytes_resp_lo, config_.bytes_resp_hi)),
+        rng_.uniform(0.1, 10.0), kHttpGet);
+    serve_loop();
+  });
+}
+
+void WebServer::outbound_loop() {
+  const double gap = rng_.exponential(3600.0 / config_.outbound_per_hour);
+  if (emit_.now() + gap >= env_.window_end) return;
+  env_.sim->schedule_after(gap, [this] {
+    emit_.tcp(env_.external_addr(), kHttps,
+              static_cast<std::uint64_t>(rng_.uniform(500, 5e3)),
+              static_cast<std::uint64_t>(rng_.uniform(2e3, 2e5)), rng_.uniform(0.1, 3.0),
+              kHttpGet);
+    outbound_loop();
+  });
+}
+
+}  // namespace tradeplot::hosts

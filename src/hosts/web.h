@@ -1,0 +1,95 @@
+// Human web-browsing client and web-server behaviour models.
+//
+// WebClient is the dominant background population at a campus border:
+// sessions of page visits separated by heavy-tailed think times, each page
+// pulling a handful of objects from a zipf-favoured set of sites. Failure
+// rates are low (a percent or two of dials time out), which is what lets
+// the paper's data-reduction step discard most of these hosts.
+#pragma once
+
+#include <vector>
+
+#include "netflow/app_env.h"
+#include "netflow/flow_emit.h"
+#include "util/rng.h"
+
+namespace tradeplot::hosts {
+
+// Population-level parameters. Each WebClient *instance* perturbs these
+// (think-time scale, failure rate, asset fan-out, favourite-set size) so
+// that human hosts are heterogeneous: no two people browse alike, which is
+// exactly what keeps human-driven hosts out of tight θ_hm clusters. The
+// failure-rate spread also reproduces the wide failed-connection CDF of the
+// paper's Fig. 5 (dead links, filtered ports, stale caches, roaming
+// laptops full of background apps).
+struct WebClientConfig {
+  int sessions_min = 1;
+  int sessions_max = 3;
+  double session_mu = 7.5;  // ~30 min median browsing session
+  double session_sigma = 0.8;
+  double think_mu = 3.4;        // ~30 s median between page visits
+  double think_mu_spread = 0.35;  // per-host offset: uniform(+-spread)
+  double think_sigma_lo = 0.85, think_sigma_hi = 1.15;
+  int favourite_sites_lo = 15, favourite_sites_hi = 30;
+  double zipf_exponent = 0.9;
+  double new_site_prob_lo = 0.10, new_site_prob_hi = 0.35;
+  int objects_min = 1;  // flows per page (sharded assets, CDNs)
+  int objects_max_lo = 3, objects_max_hi = 10;
+  /// Fraction of clients that are heavy browsers with high failure rates
+  /// (dorm boxes behind broken proxies and the like).
+  double heavy_flaky_prob = 0.0;
+  double bytes_up_lo = 300, bytes_up_hi = 2500;
+  double bytes_down_lo = 4e3, bytes_down_hi = 1.5e6;
+  double big_download_prob = 0.03;  // software update / video: tens of MB
+};
+
+class WebClient {
+ public:
+  WebClient(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng, WebClientConfig config = {});
+  void start();
+
+ private:
+  void begin_session();
+  void browse_loop(double session_end);
+  void visit_page(double session_end);
+  void background_chatter_loop();
+
+  netflow::AppEnv env_;
+  util::Pcg32 rng_;
+  netflow::FlowEmitter emit_;
+  WebClientConfig config_;
+  std::vector<simnet::Ipv4> favourites_;
+  // This user's personal draw from the population parameters.
+  double flakiness_ = 0.0;
+  double think_mu_ = 0.0;
+  double think_sigma_ = 1.0;
+  double new_site_prob_ = 0.1;
+  double fail_prob_ = 0.02;
+  int objects_max_ = 6;
+};
+
+struct WebServerConfig {
+  double inbound_per_hour = 220.0;
+  double bytes_req_lo = 250, bytes_req_hi = 2000;
+  double bytes_resp_lo = 2e3, bytes_resp_hi = 8e5;
+  /// Outbound side-traffic (origin fetches, APIs) so the server appears
+  /// among connection initiators at all.
+  double outbound_per_hour = 6.0;
+};
+
+class WebServer {
+ public:
+  WebServer(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng, WebServerConfig config = {});
+  void start();
+
+ private:
+  void serve_loop();
+  void outbound_loop();
+
+  netflow::AppEnv env_;
+  util::Pcg32 rng_;
+  netflow::FlowEmitter emit_;
+  WebServerConfig config_;
+};
+
+}  // namespace tradeplot::hosts

@@ -1,0 +1,25 @@
+// Execution environment handed to every simulated application model
+// (background hosts, Traders, Plotters): the event engine, the flow sink
+// that collects emitted records, a source of external addresses, and the
+// trace window bounds.
+#pragma once
+
+#include <functional>
+
+#include "netflow/flow_record.h"
+#include "simnet/simulation.h"
+
+namespace tradeplot::netflow {
+
+/// Receives every flow record an application emits.
+using FlowSink = std::function<void(FlowRecord)>;
+
+struct AppEnv {
+  simnet::Simulation* sim = nullptr;
+  FlowSink sink;
+  /// Mints a random routable external address (never an internal one).
+  std::function<simnet::Ipv4()> external_addr;
+  double window_end = 0.0;
+};
+
+}  // namespace tradeplot::netflow

@@ -1,0 +1,53 @@
+// Payload-prefix ground-truth classifier.
+//
+// Implements the paper's §III rules for identifying Traders from the first
+// 64 payload bytes of a flow:
+//   * Gnutella   — keywords "GNUTELLA", "CONNECT BACK", "LIME"
+//   * eMule      — initial byte 0xe3 or 0xc5 followed by known eD2k opcodes
+//   * BitTorrent — "BitTorrent protocol" handshake, tracker HTTP requests
+//                  "GET /scrape" / "GET /announce", and DHT control messages
+//                  containing "d1:ad2:id20" or "d1:rd2:id20"
+//
+// The classifier is used only to establish ground truth (which hosts are
+// Traders); the detection pipeline itself never looks at payload.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netflow/flow_record.h"
+
+namespace tradeplot::netflow {
+
+enum class AppLabel : std::uint8_t {
+  kUnknown = 0,
+  kGnutella,
+  kEMule,
+  kBitTorrent,
+};
+
+[[nodiscard]] std::string_view to_string(AppLabel label);
+
+class PayloadClassifier {
+ public:
+  /// Classifies a single flow's payload prefix.
+  [[nodiscard]] static AppLabel classify(std::string_view payload);
+  [[nodiscard]] static AppLabel classify(const FlowRecord& rec) {
+    return classify(rec.payload_view());
+  }
+
+  /// Scans a trace and labels each host that *initiated* at least
+  /// `min_flows` flows matching one application. Hosts matching several
+  /// applications get the label with the most matching flows.
+  [[nodiscard]] static std::unordered_map<simnet::Ipv4, AppLabel> label_hosts(
+      const std::vector<FlowRecord>& flows, std::size_t min_flows = 1);
+
+ private:
+  [[nodiscard]] static bool is_gnutella(std::string_view payload);
+  [[nodiscard]] static bool is_emule(std::string_view payload);
+  [[nodiscard]] static bool is_bittorrent(std::string_view payload);
+};
+
+}  // namespace tradeplot::netflow

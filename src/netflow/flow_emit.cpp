@@ -1,0 +1,68 @@
+#include "netflow/flow_emit.h"
+
+#include "netflow/flow_record.h"
+
+namespace tradeplot::netflow {
+
+using netflow::FlowBuilder;
+using netflow::FlowState;
+using netflow::Protocol;
+
+std::uint16_t FlowEmitter::ephemeral_port() {
+  return static_cast<std::uint16_t>(rng_->uniform_int(49152, 65535));
+}
+
+void FlowEmitter::tcp(simnet::Ipv4 dst, std::uint16_t dport, std::uint64_t bytes_up,
+                      std::uint64_t bytes_down, double duration, std::string_view payload) {
+  env_->sink(FlowBuilder{}
+                 .from(self_, ephemeral_port())
+                 .to(dst, dport)
+                 .proto(Protocol::kTcp)
+                 .at(now(), duration)
+                 .transfer(bytes_up, bytes_down)
+                 .payload(payload)
+                 .build());
+}
+
+void FlowEmitter::tcp_failed(simnet::Ipv4 dst, std::uint16_t dport, bool reset) {
+  // SYN retries stretch a failed attempt over a few seconds (3 retries).
+  env_->sink(FlowBuilder{}
+                 .from(self_, ephemeral_port())
+                 .to(dst, dport)
+                 .proto(Protocol::kTcp)
+                 .at(now(), reset ? rng_->uniform(0.01, 0.3) : rng_->uniform(3.0, 9.0))
+                 .transfer(0, 0)
+                 .state(reset ? FlowState::kReset : FlowState::kAttempted)
+                 .build());
+}
+
+void FlowEmitter::udp(simnet::Ipv4 dst, std::uint16_t dport, std::uint64_t bytes_up,
+                      std::uint64_t bytes_down, bool replied, std::string_view payload) {
+  auto b = FlowBuilder{}
+               .from(self_, ephemeral_port())
+               .to(dst, dport)
+               .proto(Protocol::kUdp)
+               .at(now(), replied ? rng_->uniform(0.02, 0.5) : rng_->uniform(2.0, 6.0))
+               .transfer(bytes_up, replied ? bytes_down : 0);
+  if (replied) {
+    b.payload(payload);
+  } else {
+    b.state(FlowState::kAttempted).payload(payload);
+  }
+  env_->sink(b.build());
+}
+
+void FlowEmitter::inbound_tcp(simnet::Ipv4 peer, std::uint16_t local_port,
+                              std::uint64_t bytes_requested, std::uint64_t bytes_served,
+                              double duration, std::string_view payload) {
+  env_->sink(FlowBuilder{}
+                 .from(peer, ephemeral_port())
+                 .to(self_, local_port)
+                 .proto(Protocol::kTcp)
+                 .at(now(), duration)
+                 .transfer(bytes_requested, bytes_served)
+                 .payload(payload)
+                 .build());
+}
+
+}  // namespace tradeplot::netflow

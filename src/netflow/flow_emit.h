@@ -1,0 +1,50 @@
+// Flow-emission helper shared by the application behaviour models.
+//
+// Wraps the common patterns — successful TCP exchange, failed connection
+// attempt, UDP request/response, inbound connection served by this host —
+// so each protocol model reads as protocol logic, not record plumbing.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "netflow/app_env.h"
+#include "util/rng.h"
+
+namespace tradeplot::netflow {
+
+class FlowEmitter {
+ public:
+  FlowEmitter(netflow::AppEnv* env, simnet::Ipv4 self, util::Pcg32* rng)
+      : env_(env), self_(self), rng_(rng) {}
+
+  [[nodiscard]] simnet::Ipv4 self() const { return self_; }
+  [[nodiscard]] double now() const { return env_->sim->now(); }
+
+  /// Ephemeral client port (49152-65535).
+  [[nodiscard]] std::uint16_t ephemeral_port();
+
+  /// Successful outbound TCP connection: self -> dst.
+  void tcp(simnet::Ipv4 dst, std::uint16_t dport, std::uint64_t bytes_up,
+           std::uint64_t bytes_down, double duration, std::string_view payload = {});
+
+  /// Failed outbound TCP connection (SYN timeout or RST).
+  void tcp_failed(simnet::Ipv4 dst, std::uint16_t dport, bool reset = false);
+
+  /// Outbound UDP exchange; replied=false models a dead peer (0 response
+  /// packets -> failed flow).
+  void udp(simnet::Ipv4 dst, std::uint16_t dport, std::uint64_t bytes_up,
+           std::uint64_t bytes_down, bool replied, std::string_view payload = {});
+
+  /// Inbound TCP connection from an external peer that this host serves
+  /// (e.g. uploading a chunk): src=peer, dst=self, bytes_dst=served bytes.
+  void inbound_tcp(simnet::Ipv4 peer, std::uint16_t local_port, std::uint64_t bytes_requested,
+                   std::uint64_t bytes_served, double duration, std::string_view payload = {});
+
+ private:
+  netflow::AppEnv* env_;
+  simnet::Ipv4 self_;
+  util::Pcg32* rng_;
+};
+
+}  // namespace tradeplot::netflow

@@ -1,0 +1,24 @@
+#include "netflow/flow_key.h"
+
+namespace tradeplot::netflow {
+
+FlowKey FlowKey::canonical(simnet::Ipv4 src, std::uint16_t sport, simnet::Ipv4 dst,
+                           std::uint16_t dport, Protocol proto) {
+  FlowKey k;
+  k.proto = proto;
+  const bool src_first = src < dst || (src == dst && sport <= dport);
+  if (src_first) {
+    k.ip_a = src;
+    k.port_a = sport;
+    k.ip_b = dst;
+    k.port_b = dport;
+  } else {
+    k.ip_a = dst;
+    k.port_a = dport;
+    k.ip_b = src;
+    k.port_b = sport;
+  }
+  return k;
+}
+
+}  // namespace tradeplot::netflow

@@ -1,0 +1,46 @@
+// Canonical 5-tuple key used to match packets to bi-directional flows.
+//
+// Per the paper (§III, fn. 3): "the source and destination IP addresses are
+// swappable in the logic that matches packets to flows" — i.e. both
+// directions of a connection map to the same key — "however, the source IP
+// address in the record is set to the IP address of the host that initiated
+// the connection."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "netflow/flow_record.h"
+#include "simnet/address.h"
+
+namespace tradeplot::netflow {
+
+struct FlowKey {
+  // Canonical ordering: the (ip, port) pair that compares lower is stored
+  // first, so both packet directions hash identically.
+  simnet::Ipv4 ip_a;
+  simnet::Ipv4 ip_b;
+  std::uint16_t port_a = 0;
+  std::uint16_t port_b = 0;
+  Protocol proto = Protocol::kTcp;
+
+  /// Builds the canonical key for a packet from (src, sport) to (dst, dport).
+  [[nodiscard]] static FlowKey canonical(simnet::Ipv4 src, std::uint16_t sport, simnet::Ipv4 dst,
+                                         std::uint16_t dport, Protocol proto);
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const noexcept {
+    std::uint64_t h = (std::uint64_t{k.ip_a.value()} << 32) | k.ip_b.value();
+    h ^= (std::uint64_t{k.port_a} << 17) ^ (std::uint64_t{k.port_b} << 1) ^
+         (std::uint64_t{static_cast<std::uint8_t>(k.proto)} << 40);
+    // SplitMix64 finisher.
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+};
+
+}  // namespace tradeplot::netflow

@@ -1,0 +1,118 @@
+#include "netflow/flow_record.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace tradeplot::netflow {
+
+std::string_view to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kTcp: return "tcp";
+    case Protocol::kUdp: return "udp";
+    case Protocol::kIcmp: return "icmp";
+  }
+  return "?";
+}
+
+Protocol protocol_from_string(std::string_view s) {
+  if (s == "tcp") return Protocol::kTcp;
+  if (s == "udp") return Protocol::kUdp;
+  if (s == "icmp") return Protocol::kIcmp;
+  throw util::ParseError("unknown protocol '" + std::string(s) + "'");
+}
+
+std::string_view to_string(FlowState s) {
+  switch (s) {
+    case FlowState::kEstablished: return "est";
+    case FlowState::kAttempted: return "att";
+    case FlowState::kReset: return "rst";
+    case FlowState::kIcmpUnreach: return "unr";
+  }
+  return "?";
+}
+
+FlowState flow_state_from_string(std::string_view s) {
+  if (s == "est") return FlowState::kEstablished;
+  if (s == "att") return FlowState::kAttempted;
+  if (s == "rst") return FlowState::kReset;
+  if (s == "unr") return FlowState::kIcmpUnreach;
+  throw util::ParseError("unknown flow state '" + std::string(s) + "'");
+}
+
+void FlowRecord::set_payload(std::string_view data) {
+  const std::size_t n = std::min(data.size(), kPayloadPrefixLen);
+  payload.fill(0);
+  std::memcpy(payload.data(), data.data(), n);
+  payload_len = static_cast<std::uint8_t>(n);
+}
+
+FlowBuilder& FlowBuilder::from(simnet::Ipv4 src, std::uint16_t sport) {
+  rec_.src = src;
+  rec_.sport = sport;
+  return *this;
+}
+
+FlowBuilder& FlowBuilder::to(simnet::Ipv4 dst, std::uint16_t dport) {
+  rec_.dst = dst;
+  rec_.dport = dport;
+  return *this;
+}
+
+FlowBuilder& FlowBuilder::proto(Protocol p) {
+  rec_.proto = p;
+  return *this;
+}
+
+FlowBuilder& FlowBuilder::at(double start, double duration) {
+  rec_.start_time = start;
+  rec_.end_time = start + (duration > 0 ? duration : 0);
+  return *this;
+}
+
+FlowBuilder& FlowBuilder::transfer(std::uint64_t bytes_up, std::uint64_t bytes_down) {
+  rec_.bytes_src = bytes_up;
+  rec_.bytes_dst = bytes_down;
+  constexpr std::uint64_t kMss = 1460;
+  rec_.pkts_src = bytes_up / kMss + 1;
+  rec_.pkts_dst = bytes_down > 0 ? bytes_down / kMss + 1 : 0;
+  return *this;
+}
+
+FlowBuilder& FlowBuilder::state(FlowState s) {
+  rec_.state = s;
+  explicit_state_ = true;
+  return *this;
+}
+
+FlowBuilder& FlowBuilder::payload(std::string_view data) {
+  rec_.set_payload(data);
+  return *this;
+}
+
+FlowRecord FlowBuilder::build() const {
+  FlowRecord out = rec_;
+  if (!explicit_state_) {
+    out.state = out.pkts_dst > 0 ? FlowState::kEstablished : FlowState::kAttempted;
+  }
+  if (out.state != FlowState::kEstablished) {
+    // A failed connection never transferred responder payload; for TCP the
+    // initiator's SYN(s) carry no payload either.
+    out.bytes_dst = 0;
+    out.pkts_dst = out.state == FlowState::kReset ? 1 : 0;
+    if (out.proto == Protocol::kTcp) {
+      out.bytes_src = 0;
+      out.pkts_src = std::max<std::uint64_t>(out.pkts_src, 1);
+      out.payload_len = 0;
+      out.payload.fill(0);
+    }
+  } else if (out.proto == Protocol::kTcp) {
+    // Account for handshake + teardown control packets.
+    out.pkts_src += 2;
+    out.pkts_dst += 2;
+  }
+  return out;
+}
+
+}  // namespace tradeplot::netflow

@@ -1,0 +1,104 @@
+// Argus-style bi-directional flow records (RFC 2722/2724 RTFM model).
+//
+// A FlowRecord summarises all packets of one connection, in both directions.
+// Per the paper (§III): "TCP and UDP flows are identified by the 5-tuple...
+// and packets in both directions are recorded as a summary of the
+// communication". The `src` side is always the connection *initiator*.
+// Records carry the first 64 bytes of connection payload, which the paper
+// uses solely for ground-truth labelling of Traders.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "simnet/address.h"
+
+namespace tradeplot::netflow {
+
+enum class Protocol : std::uint8_t { kTcp = 6, kUdp = 17, kIcmp = 1 };
+
+[[nodiscard]] std::string_view to_string(Protocol p);
+/// Throws util::ParseError on unknown names ("tcp", "udp", "icmp").
+[[nodiscard]] Protocol protocol_from_string(std::string_view s);
+
+/// Outcome of the connection attempt, as far as a flow monitor can tell.
+///
+/// A *failed* connection (per the paper's failed-connection-rate feature) is
+/// one where the initiator got no meaningful response: a TCP SYN that was
+/// never answered or was reset before establishment, or a UDP request that
+/// drew no reply.
+enum class FlowState : std::uint8_t {
+  kEstablished,  // TCP handshake completed / UDP got a reply
+  kAttempted,    // initiator sent packets, nothing came back
+  kReset,        // TCP RST before establishment
+  kIcmpUnreach,  // ICMP unreachable received instead of a reply
+};
+
+[[nodiscard]] std::string_view to_string(FlowState s);
+[[nodiscard]] FlowState flow_state_from_string(std::string_view s);
+
+/// Maximum payload prefix captured per flow (the paper's Argus setup).
+inline constexpr std::size_t kPayloadPrefixLen = 64;
+
+struct FlowRecord {
+  simnet::Ipv4 src;  // connection initiator
+  simnet::Ipv4 dst;  // responder
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  Protocol proto = Protocol::kTcp;
+
+  double start_time = 0.0;  // seconds since trace start
+  double end_time = 0.0;
+
+  std::uint64_t pkts_src = 0;   // packets sent by the initiator
+  std::uint64_t pkts_dst = 0;   // packets sent by the responder
+  std::uint64_t bytes_src = 0;  // payload bytes sent by the initiator
+  std::uint64_t bytes_dst = 0;  // payload bytes sent by the responder
+
+  FlowState state = FlowState::kEstablished;
+
+  /// First bytes of application payload on the connection (initiator side
+  /// first, as Argus captures them); zero-padded past payload_len.
+  std::array<unsigned char, kPayloadPrefixLen> payload{};
+  std::uint8_t payload_len = 0;
+
+  [[nodiscard]] double duration() const { return end_time - start_time; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return bytes_src + bytes_dst; }
+  [[nodiscard]] std::uint64_t total_pkts() const { return pkts_src + pkts_dst; }
+  [[nodiscard]] bool failed() const { return state != FlowState::kEstablished; }
+
+  /// Payload prefix as a string_view (may contain NULs).
+  [[nodiscard]] std::string_view payload_view() const {
+    return {reinterpret_cast<const char*>(payload.data()), payload_len};
+  }
+
+  /// Copies up to kPayloadPrefixLen bytes of `data` into the payload field.
+  void set_payload(std::string_view data);
+
+  friend bool operator==(const FlowRecord&, const FlowRecord&) = default;
+};
+
+/// Builder for the common "one logical connection" case used by the host
+/// behaviour models: fills in a consistent record from a few parameters.
+class FlowBuilder {
+ public:
+  FlowBuilder& from(simnet::Ipv4 src, std::uint16_t sport);
+  FlowBuilder& to(simnet::Ipv4 dst, std::uint16_t dport);
+  FlowBuilder& proto(Protocol p);
+  FlowBuilder& at(double start, double duration);
+  /// Payload byte counts; packet counts are derived (~1 pkt / 1460 B, min 1)
+  /// plus handshake packets for TCP.
+  FlowBuilder& transfer(std::uint64_t bytes_up, std::uint64_t bytes_down);
+  FlowBuilder& state(FlowState s);
+  FlowBuilder& payload(std::string_view data);
+
+  [[nodiscard]] FlowRecord build() const;
+
+ private:
+  FlowRecord rec_{};
+  bool explicit_state_ = false;
+};
+
+}  // namespace tradeplot::netflow

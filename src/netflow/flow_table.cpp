@@ -1,0 +1,126 @@
+#include "netflow/flow_table.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace tradeplot::netflow {
+
+FlowTable::FlowTable(FlowTableConfig config) : config_(config) {
+  if (config_.idle_timeout <= 0) throw util::ConfigError("FlowTable: idle_timeout must be > 0");
+}
+
+void FlowTable::add_packet(const PacketEvent& pkt) {
+  if (pkt.time < last_time_)
+    throw util::Error("FlowTable: packets must arrive in time order");
+  last_time_ = pkt.time;
+  expire_idle(pkt.time);
+
+  const FlowKey key = FlowKey::canonical(pkt.src, pkt.sport, pkt.dst, pkt.dport, pkt.proto);
+  auto it = open_.find(key);
+  if (it == open_.end()) {
+    OpenFlow f;
+    // First packet defines the initiator (Argus semantics: record src = the
+    // host that initiated the connection).
+    f.rec.src = pkt.src;
+    f.rec.dst = pkt.dst;
+    f.rec.sport = pkt.sport;
+    f.rec.dport = pkt.dport;
+    f.rec.proto = pkt.proto;
+    f.rec.start_time = pkt.time;
+    f.initiator_is_a = (key.ip_a == pkt.src && key.port_a == pkt.sport);
+    it = open_.emplace(key, std::move(f)).first;
+  }
+
+  OpenFlow& f = it->second;
+  const bool from_initiator = (pkt.src == f.rec.src && pkt.sport == f.rec.sport);
+  f.rec.end_time = pkt.time;
+  f.last_packet = pkt.time;
+  if (from_initiator) {
+    f.rec.pkts_src += 1;
+    f.rec.bytes_src += pkt.payload_bytes;
+  } else {
+    f.rec.pkts_dst += 1;
+    f.rec.bytes_dst += pkt.payload_bytes;
+  }
+  if (f.rec.payload_len == 0 && !pkt.payload.empty()) f.rec.set_payload(pkt.payload);
+
+  bool should_close = false;
+  if (pkt.proto == Protocol::kTcp) {
+    if (pkt.tcp.syn && !pkt.tcp.ack && from_initiator) f.saw_syn = true;
+    if (pkt.tcp.syn && pkt.tcp.ack && !from_initiator) f.saw_synack = true;
+    if (pkt.tcp.rst) {
+      f.saw_rst = true;
+      should_close = true;
+    }
+    if (pkt.tcp.fin) {
+      if (from_initiator) {
+        f.saw_fin_src = true;
+      } else {
+        f.saw_fin_dst = true;
+      }
+      // Close once both directions have finished.
+      if (f.saw_fin_src && f.saw_fin_dst) should_close = true;
+    }
+  }
+  if (config_.active_timeout > 0 &&
+      f.rec.end_time - f.rec.start_time >= config_.active_timeout) {
+    should_close = true;
+  }
+  if (should_close) close_flow(key);
+}
+
+void FlowTable::expire_idle(double now) {
+  // Linear scan; fine for the table sizes the tests and examples use. A
+  // production collector would keep an LRU list, which we note but do not
+  // need at simulation scale.
+  std::vector<FlowKey> expired;
+  for (const auto& [key, f] : open_) {
+    if (now - f.last_packet > config_.idle_timeout) expired.push_back(key);
+  }
+  for (const FlowKey& key : expired) close_flow(key);
+}
+
+void FlowTable::close_flow(const FlowKey& key) {
+  auto it = open_.find(key);
+  if (it == open_.end()) return;
+  finalize(it->second);
+  completed_.push_back(std::move(it->second.rec));
+  open_.erase(it);
+}
+
+void FlowTable::finalize(OpenFlow& f) {
+  FlowRecord& r = f.rec;
+  if (r.proto == Protocol::kTcp) {
+    if (f.saw_synack || (r.pkts_src > 0 && r.pkts_dst > 0 && !f.saw_rst)) {
+      r.state = FlowState::kEstablished;
+    } else if (f.saw_rst) {
+      r.state = FlowState::kReset;
+    } else {
+      r.state = FlowState::kAttempted;
+    }
+  } else {
+    r.state = r.pkts_dst > 0 ? FlowState::kEstablished : FlowState::kAttempted;
+  }
+}
+
+std::vector<FlowRecord> FlowTable::flush() {
+  std::vector<FlowKey> keys;
+  keys.reserve(open_.size());
+  for (const auto& [key, f] : open_) keys.push_back(key);
+  for (const FlowKey& key : keys) close_flow(key);
+  auto out = std::move(completed_);
+  completed_.clear();
+  std::sort(out.begin(), out.end(), [](const FlowRecord& a, const FlowRecord& b) {
+    return a.start_time < b.start_time;
+  });
+  return out;
+}
+
+std::vector<FlowRecord> FlowTable::take_completed() {
+  auto out = std::move(completed_);
+  completed_.clear();
+  return out;
+}
+
+}  // namespace tradeplot::netflow

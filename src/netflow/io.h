@@ -1,0 +1,33 @@
+// Flow-record serialization.
+//
+// Two formats:
+//   * CSV  — human-inspectable, one flow per line, header row; payload is
+//            hex-encoded. Ground truth is carried in a separate "#truth"
+//            comment section so a TraceSet round-trips through one file.
+//   * BIN  — compact little-endian binary with a magic/version header, for
+//            large traces.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netflow/trace_set.h"
+
+namespace tradeplot::netflow {
+
+/// Writes `trace` as CSV. Throws util::IoError on stream failure.
+void write_csv(std::ostream& out, const TraceSet& trace);
+void write_csv_file(const std::string& path, const TraceSet& trace);
+
+/// Reads a TraceSet written by write_csv. Throws util::ParseError /
+/// util::IoError on malformed input.
+[[nodiscard]] TraceSet read_csv(std::istream& in);
+[[nodiscard]] TraceSet read_csv_file(const std::string& path);
+
+/// Binary round-trip (same error contract).
+void write_binary(std::ostream& out, const TraceSet& trace);
+void write_binary_file(const std::string& path, const TraceSet& trace);
+[[nodiscard]] TraceSet read_binary(std::istream& in);
+[[nodiscard]] TraceSet read_binary_file(const std::string& path);
+
+}  // namespace tradeplot::netflow

@@ -1,0 +1,92 @@
+#include "netflow/trace_set.h"
+
+#include <algorithm>
+
+namespace tradeplot::netflow {
+
+std::string_view to_string(HostKind kind) {
+  switch (kind) {
+    case HostKind::kUnknown: return "unknown";
+    case HostKind::kWebClient: return "web-client";
+    case HostKind::kWebServer: return "web-server";
+    case HostKind::kMailServer: return "mail-server";
+    case HostKind::kDnsClient: return "dns-client";
+    case HostKind::kNtpClient: return "ntp-client";
+    case HostKind::kScanner: return "scanner";
+    case HostKind::kIdle: return "idle";
+    case HostKind::kGnutella: return "gnutella";
+    case HostKind::kEMule: return "emule";
+    case HostKind::kBitTorrent: return "bittorrent";
+    case HostKind::kStorm: return "storm";
+    case HostKind::kNugache: return "nugache";
+  }
+  return "?";
+}
+
+std::string_view to_string(HostClass cls) {
+  switch (cls) {
+    case HostClass::kBackground: return "background";
+    case HostClass::kTrader: return "trader";
+    case HostClass::kPlotter: return "plotter";
+  }
+  return "?";
+}
+
+HostClass host_class(HostKind kind) {
+  switch (kind) {
+    case HostKind::kGnutella:
+    case HostKind::kEMule:
+    case HostKind::kBitTorrent:
+      return HostClass::kTrader;
+    case HostKind::kStorm:
+    case HostKind::kNugache:
+      return HostClass::kPlotter;
+    default:
+      return HostClass::kBackground;
+  }
+}
+
+HostKind TraceSet::kind_of(simnet::Ipv4 host) const {
+  const auto it = truth_.find(host);
+  return it == truth_.end() ? HostKind::kUnknown : it->second;
+}
+
+std::vector<simnet::Ipv4> TraceSet::hosts_of_kind(HostKind kind) const {
+  std::vector<simnet::Ipv4> out;
+  for (const auto& [ip, k] : truth_)
+    if (k == kind) out.push_back(ip);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<simnet::Ipv4> TraceSet::hosts_of_class(HostClass cls) const {
+  std::vector<simnet::Ipv4> out;
+  for (const auto& [ip, k] : truth_)
+    if (host_class(k) == cls) out.push_back(ip);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<simnet::Ipv4> TraceSet::initiators() const {
+  std::vector<simnet::Ipv4> out;
+  out.reserve(flows_.size());
+  for (const FlowRecord& rec : flows_) out.push_back(rec.src);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void TraceSet::sort_by_time() {
+  std::stable_sort(flows_.begin(), flows_.end(), [](const FlowRecord& a, const FlowRecord& b) {
+    return a.start_time < b.start_time;
+  });
+}
+
+void TraceSet::merge(const TraceSet& other) {
+  flows_.insert(flows_.end(), other.flows_.begin(), other.flows_.end());
+  for (const auto& [ip, kind] : other.truth_) truth_[ip] = kind;
+  if (other.window_start_ < window_start_) window_start_ = other.window_start_;
+  if (other.window_end_ > window_end_) window_end_ = other.window_end_;
+}
+
+}  // namespace tradeplot::netflow

@@ -1,0 +1,89 @@
+// TraceSet: a window of flow records plus ground truth about each host.
+//
+// Ground truth is what the paper derives from payload inspection (Traders)
+// and from knowing which honeynet trace a bot came from (Plotters). The
+// detection pipeline never reads it; the evaluation harness does.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netflow/flow_record.h"
+#include "simnet/address.h"
+
+namespace tradeplot::netflow {
+
+/// Fine-grained role of a simulated host.
+enum class HostKind : std::uint8_t {
+  kUnknown = 0,
+  // Background (non-P2P) roles.
+  kWebClient,
+  kWebServer,
+  kMailServer,
+  kDnsClient,
+  kNtpClient,
+  kScanner,
+  kIdle,
+  // Traders.
+  kGnutella,
+  kEMule,
+  kBitTorrent,
+  // Plotters.
+  kStorm,
+  kNugache,
+};
+
+/// The paper's three-way host taxonomy.
+enum class HostClass : std::uint8_t { kBackground = 0, kTrader, kPlotter };
+
+[[nodiscard]] std::string_view to_string(HostKind kind);
+[[nodiscard]] std::string_view to_string(HostClass cls);
+[[nodiscard]] HostClass host_class(HostKind kind);
+
+class TraceSet {
+ public:
+  TraceSet() = default;
+  TraceSet(double window_start, double window_end)
+      : window_start_(window_start), window_end_(window_end) {}
+
+  [[nodiscard]] double window_start() const { return window_start_; }
+  [[nodiscard]] double window_end() const { return window_end_; }
+  void set_window(double start, double end) {
+    window_start_ = start;
+    window_end_ = end;
+  }
+
+  [[nodiscard]] const std::vector<FlowRecord>& flows() const { return flows_; }
+  [[nodiscard]] std::vector<FlowRecord>& flows() { return flows_; }
+
+  void add_flow(FlowRecord rec) { flows_.push_back(std::move(rec)); }
+  void set_truth(simnet::Ipv4 host, HostKind kind) { truth_[host] = kind; }
+
+  [[nodiscard]] HostKind kind_of(simnet::Ipv4 host) const;
+  [[nodiscard]] HostClass class_of(simnet::Ipv4 host) const { return host_class(kind_of(host)); }
+  [[nodiscard]] const std::unordered_map<simnet::Ipv4, HostKind>& truth() const { return truth_; }
+
+  /// All hosts of a given kind / class (from ground truth).
+  [[nodiscard]] std::vector<simnet::Ipv4> hosts_of_kind(HostKind kind) const;
+  [[nodiscard]] std::vector<simnet::Ipv4> hosts_of_class(HostClass cls) const;
+
+  /// Distinct initiator addresses appearing in the trace.
+  [[nodiscard]] std::vector<simnet::Ipv4> initiators() const;
+
+  /// Sorts flows by start time (stable, so equal timestamps keep order).
+  void sort_by_time();
+
+  /// Appends all of `other`'s flows and ground truth (other wins on
+  /// conflicting truth entries); widens the window to cover both.
+  void merge(const TraceSet& other);
+
+ private:
+  double window_start_ = 0.0;
+  double window_end_ = 0.0;
+  std::vector<FlowRecord> flows_;
+  std::unordered_map<simnet::Ipv4, HostKind> truth_;
+};
+
+}  // namespace tradeplot::netflow

@@ -1,0 +1,158 @@
+#include "p2p/bittorrent.h"
+
+#include <algorithm>
+#include <string>
+
+namespace tradeplot::p2p {
+
+namespace {
+
+const std::string kHandshake = std::string("\x13") + "BitTorrent protocol" +
+                               std::string(8, '\0') + "infohash-20-bytes-xx";
+constexpr std::string_view kAnnounce =
+    "GET /announce?info_hash=x%12y&peer_id=-TR2940-&port=6881 HTTP/1.1\r\n";
+constexpr std::string_view kScrape = "GET /scrape?info_hash=x%12y HTTP/1.1\r\n";
+constexpr std::string_view kDhtQuery = "d1:ad2:id20:abcdefghij0123456789e1:q9:get_peers";
+constexpr std::string_view kDhtResponse = "d1:rd2:id20:abcdefghij0123456789e1:t2:aa";
+constexpr std::string_view kTorrentFetch = "GET /announce.php?passkey=aa HTTP/1.1\r\n";
+
+}  // namespace
+
+BitTorrentHost::BitTorrentHost(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng,
+                               Overlay* dht, BitTorrentConfig config)
+    : env_(std::move(env)),
+      rng_(rng),
+      emit_(&env_, self, &rng_),
+      dht_(dht),
+      config_(config),
+      churn_(config.churn),
+      table_(NodeId::random(rng_), config.lookup.k) {}
+
+void BitTorrentHost::start() {
+  const double start = rng_.uniform(0.0, config_.session_start_frac_max * env_.window_end);
+  env_.sim->schedule_at(start, [this] { begin_session(); });
+}
+
+void BitTorrentHost::begin_session() {
+  const double session_len = rng_.lognormal(config_.session_mu, config_.session_sigma);
+  const double session_end = std::min(emit_.now() + session_len, env_.window_end);
+
+  if (config_.web_only) {
+    // Browses torrent sites and trackers over HTTP only: successful small
+    // web flows with BitTorrent-classifiable payloads, near-zero failures.
+    const int fetches = static_cast<int>(rng_.uniform_int(3, 15));
+    for (int i = 0; i < fetches; ++i) {
+      env_.sim->schedule_after(rng_.uniform(0.0, std::max(1.0, session_end - emit_.now())),
+                               [this] {
+                                 emit_.tcp(env_.external_addr(), kTrackerPort,
+                                           static_cast<std::uint64_t>(rng_.uniform(300, 900)),
+                                           static_cast<std::uint64_t>(rng_.uniform(2e4, 3e5)),
+                                           rng_.uniform(0.5, 4.0),
+                                           rng_.chance(0.5) ? kScrape : kTorrentFetch);
+                               });
+    }
+    return;
+  }
+
+  if (dht_ != nullptr) {
+    for (int i = 0; i < 10; ++i) {
+      if (const auto c = dht_->random_node(rng_)) {
+        table_.insert(*c);
+        emit_.udp(c->addr, kDhtPort, 90, dht_->is_online(c->id) ? 300 : 0,
+                  dht_->is_online(c->id), kDhtQuery);
+      }
+    }
+  }
+
+  torrent_loop(session_end);
+  serve_inbound_loop(session_end);
+  // First torrent starts immediately: the user launched the client with
+  // something to download.
+  start_torrent(session_end);
+}
+
+void BitTorrentHost::torrent_loop(double session_end) {
+  const double think = rng_.lognormal(config_.torrent_think_mu, config_.torrent_think_sigma);
+  if (emit_.now() + think >= session_end) return;
+  env_.sim->schedule_after(think, [this, session_end] {
+    start_torrent(session_end);
+    torrent_loop(session_end);
+  });
+}
+
+void BitTorrentHost::start_torrent(double session_end) {
+  if (emit_.now() >= session_end) return;
+  const simnet::Ipv4 tracker = env_.external_addr();
+  announce(tracker, session_end, /*first=*/true);
+  if (dht_ != nullptr && rng_.chance(0.7)) dht_get_peers();
+}
+
+void BitTorrentHost::announce(simnet::Ipv4 tracker, double session_end, bool first) {
+  if (emit_.now() >= session_end) return;
+  emit_.tcp(tracker, kTrackerPort, static_cast<std::uint64_t>(rng_.uniform(300, 700)),
+            static_cast<std::uint64_t>(rng_.uniform(500, 4000)), rng_.uniform(0.2, 2.0),
+            kAnnounce);
+  if (first && rng_.chance(0.2)) {
+    emit_.tcp(tracker, kTrackerPort, 350, 600, rng_.uniform(0.2, 1.0), kScrape);
+  }
+  dial_swarm(session_end);
+  // Re-announce on the tracker timer.
+  const double delay =
+      config_.announce_period + rng_.uniform(-config_.announce_jitter, config_.announce_jitter);
+  if (emit_.now() + delay < session_end) {
+    env_.sim->schedule_after(
+        delay, [this, tracker, session_end] { announce(tracker, session_end, false); });
+  }
+}
+
+void BitTorrentHost::dht_get_peers() {
+  const NodeId target = NodeId::random(rng_);
+  const LookupResult res = iterative_find_node(*dht_, table_, target, config_.lookup, rng_);
+  for (const Probe& probe : res.probes) {
+    emit_.udp(probe.peer.addr, kDhtPort, static_cast<std::uint64_t>(kDhtQuery.size()) + 40,
+              probe.responded ? static_cast<std::uint64_t>(kDhtResponse.size()) + 120 : 0,
+              probe.responded, kDhtQuery);
+  }
+}
+
+void BitTorrentHost::dial_swarm(double session_end) {
+  for (int p = 0; p < config_.peers_per_announce; ++p) {
+    const double jitter = rng_.uniform(0.1, config_.peer_contact_spread);
+    env_.sim->schedule_after(jitter, [this, session_end] {
+      if (emit_.now() >= session_end) return;
+      const simnet::Ipv4 peer = env_.external_addr();
+      if (!churn_.fresh_contact_alive(rng_)) {
+        emit_.tcp_failed(peer, kPeerPort, rng_.chance(0.25));
+        return;
+      }
+      const double size =
+          rng_.bounded_pareto(config_.file_lo_bytes, config_.file_hi_bytes, config_.file_alpha);
+      // A swarm connection carries only a share of the file.
+      const double share = rng_.uniform(0.02, 0.3);
+      const double rate = rng_.uniform(config_.rate_lo, config_.rate_hi);
+      const double dur = std::max(2.0, std::min(size * share / rate, session_end - emit_.now()));
+      const auto down = static_cast<std::uint64_t>(rate * dur);
+      const auto up = static_cast<std::uint64_t>(static_cast<double>(down) *
+                                                 config_.titfortat_upload_frac * rng_.uniform(0.2, 1.0));
+      emit_.tcp(peer, kPeerPort, up + 400, down, dur, kHandshake);
+    });
+  }
+}
+
+void BitTorrentHost::serve_inbound_loop(double session_end) {
+  const double gap = rng_.exponential(3600.0 / config_.inbound_per_hour);
+  if (emit_.now() + gap >= session_end) return;
+  env_.sim->schedule_after(gap, [this, session_end] {
+    const simnet::Ipv4 peer = env_.external_addr();
+    const double size = rng_.bounded_pareto(config_.file_lo_bytes, config_.file_hi_bytes / 2,
+                                            config_.file_alpha + 0.1);
+    const double share = rng_.uniform(0.02, 0.2);
+    const double rate = rng_.uniform(config_.rate_lo, config_.rate_hi);
+    const double dur = std::max(2.0, std::min(size * share / rate, session_end - emit_.now()));
+    emit_.inbound_tcp(peer, kPeerPort, static_cast<std::uint64_t>(rng_.uniform(500, 3000)),
+                      static_cast<std::uint64_t>(rate * dur), dur, kHandshake);
+    serve_inbound_loop(session_end);
+  });
+}
+
+}  // namespace tradeplot::p2p

@@ -1,0 +1,81 @@
+// BitTorrent host behaviour model.
+//
+// Mechanics modelled:
+//   * HTTP tracker announces ("GET /announce?...") on the client's
+//     re-announce timer, plus occasional scrapes ("GET /scrape"),
+//   * mainline-DHT get_peers lookups against the shared Kademlia Overlay
+//     (bencoded "d1:ad2:id20..." query payloads; probes to departed nodes
+//     fail),
+//   * swarm peer connections: the 0x13 "BitTorrent protocol" handshake,
+//     bidirectional piece exchange (tit-for-tat upload riding the same
+//     connection), many stale peer addresses from the tracker/DHT,
+//   * seeding: inbound connections served after the download completes.
+//
+// One special population matters for the paper's Fig. 5: "web-only" torrent
+// users who merely fetch .torrent files from trackers over HTTP and never
+// join a swarm — they are Traders by payload ground truth but show very low
+// failed-connection rates. `web_only` reproduces them.
+#pragma once
+
+#include <vector>
+
+#include "netflow/app_env.h"
+#include "p2p/churn.h"
+#include "netflow/flow_emit.h"
+#include "p2p/kademlia.h"
+#include "util/rng.h"
+
+namespace tradeplot::p2p {
+
+struct BitTorrentConfig {
+  double session_start_frac_max = 0.5;
+  double session_mu = 9.2;  // ~ 2.7 h median: clients keep seeding
+  double session_sigma = 0.7;
+  double torrent_think_mu = 6.0;  // new torrent every ~7 min (median)
+  double torrent_think_sigma = 1.0;
+  double announce_period = 1800.0;  // tracker re-announce
+  double announce_jitter = 60.0;
+  int peers_per_announce = 12;
+  double peer_contact_spread = 60.0;  // dial returned peers over this window
+  double file_lo_bytes = 1e6;
+  double file_hi_bytes = 2e9;  // DVDs happen
+  double file_alpha = 1.0;
+  double rate_lo = 5e4;
+  double rate_hi = 1.5e6;
+  double titfortat_upload_frac = 0.25;  // upload share on download connections
+  double inbound_per_hour = 10.0;
+  bool web_only = false;  // only fetches .torrent files over HTTP
+  ChurnParams churn{};
+  LookupParams lookup{};
+};
+
+class BitTorrentHost {
+ public:
+  BitTorrentHost(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng, Overlay* dht,
+                 BitTorrentConfig config = {});
+
+  void start();
+
+  static constexpr std::uint16_t kPeerPort = 6881;
+  static constexpr std::uint16_t kTrackerPort = 80;
+  static constexpr std::uint16_t kDhtPort = 6881;
+
+ private:
+  void begin_session();
+  void torrent_loop(double session_end);
+  void start_torrent(double session_end);
+  void announce(simnet::Ipv4 tracker, double session_end, bool first);
+  void dial_swarm(double session_end);
+  void serve_inbound_loop(double session_end);
+  void dht_get_peers();
+
+  netflow::AppEnv env_;
+  util::Pcg32 rng_;
+  netflow::FlowEmitter emit_;
+  Overlay* dht_;
+  BitTorrentConfig config_;
+  ChurnModel churn_;
+  RoutingTable table_;
+};
+
+}  // namespace tradeplot::p2p

@@ -1,0 +1,55 @@
+// Peer churn models for file-sharing networks.
+//
+// Parameters follow the measurement studies the paper leans on:
+//   * Stutzbach & Rejaie (IMC'06): session lengths are heavy-tailed; the
+//     median session is minutes, not hours.
+//   * Saroiu et al. (MMCN'02), Gummadi et al. (SOSP'03): most peers appear
+//     once per day, stay briefly, and "most clients leave the network
+//     permanently after requesting a single file".
+//
+// ChurnModel produces session durations and decides, at each contact
+// attempt, whether the remote peer is still alive — the source of the high
+// failed-connection rates that the paper's data-reduction step keys on.
+#pragma once
+
+#include "util/rng.h"
+
+namespace tradeplot::p2p {
+
+struct ChurnParams {
+  /// Lognormal session duration (of remote peers), seconds.
+  double session_mu = 5.8;     // median ~ exp(5.8) ~ 330 s  (minutes-scale)
+  double session_sigma = 1.3;  // heavy spread: some peers stay hours
+  /// Probability that a peer address learned from the network has already
+  /// departed by the time we contact it (stale index/tracker entries).
+  double stale_contact_prob = 0.35;
+  /// Probability that a previously-successful peer is still there on a
+  /// repeat contact (Traders rarely revisit; when they do, churn bites).
+  double revisit_alive_prob = 0.45;
+};
+
+class ChurnModel {
+ public:
+  explicit ChurnModel(ChurnParams params = {}) : params_(params) {}
+
+  [[nodiscard]] double session_duration(util::Pcg32& rng) const {
+    return rng.lognormal(params_.session_mu, params_.session_sigma);
+  }
+
+  /// Does a fresh contact (address learned from tracker/DHT/index) respond?
+  [[nodiscard]] bool fresh_contact_alive(util::Pcg32& rng) const {
+    return !rng.chance(params_.stale_contact_prob);
+  }
+
+  /// Does a peer we previously talked to still respond?
+  [[nodiscard]] bool revisit_alive(util::Pcg32& rng) const {
+    return rng.chance(params_.revisit_alive_prob);
+  }
+
+  [[nodiscard]] const ChurnParams& params() const { return params_; }
+
+ private:
+  ChurnParams params_;
+};
+
+}  // namespace tradeplot::p2p

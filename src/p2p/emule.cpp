@@ -1,0 +1,174 @@
+#include "p2p/emule.h"
+
+#include <algorithm>
+#include <string>
+
+namespace tradeplot::p2p {
+
+namespace {
+
+// eD2k frame: [0xe3][len32 LE][opcode]... The classifier checks the protocol
+// byte, a plausible length, and a known opcode.
+std::string ed2k_frame(unsigned char proto, std::uint32_t len, unsigned char opcode) {
+  std::string f;
+  f.push_back(static_cast<char>(proto));
+  f.push_back(static_cast<char>(len & 0xff));
+  f.push_back(static_cast<char>((len >> 8) & 0xff));
+  f.push_back(static_cast<char>((len >> 16) & 0xff));
+  f.push_back(static_cast<char>((len >> 24) & 0xff));
+  f.push_back(static_cast<char>(opcode));
+  f.append("\x10\x42\x42\x42", 4);  // opaque body bytes
+  return f;
+}
+
+const std::string kLogin = ed2k_frame(0xe3, 0x55, 0x01);        // LOGINREQUEST
+const std::string kHello = ed2k_frame(0xe3, 0x54, 0x01);        // OP_HELLO
+const std::string kFileReq = ed2k_frame(0xe3, 0x20, 0x58);      // OP_FILEREQUEST
+const std::string kSendPart = ed2k_frame(0xe3, 0x2c00, 0x47);   // OP_SENDINGPART
+const std::string kCompressed = ed2k_frame(0xc5, 0x2c00, 0x40); // compressed part
+const std::string kKadHello = ed2k_frame(0xe3, 0x30, 0x96);     // Kad2 HELLO_REQ
+const std::string kKadBootstrap = ed2k_frame(0xe3, 0x30, 0x92); // Kad2 BOOTSTRAP_REQ
+
+}  // namespace
+
+EMuleHost::EMuleHost(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng, Overlay* kad,
+                     EMuleConfig config)
+    : env_(std::move(env)),
+      rng_(rng),
+      emit_(&env_, self, &rng_),
+      kad_(kad),
+      config_(config),
+      churn_(config.churn),
+      table_(NodeId::random(rng_), config.lookup.k) {}
+
+void EMuleHost::start() {
+  const double start = rng_.uniform(0.0, config_.session_start_frac_max * env_.window_end);
+  env_.sim->schedule_at(start, [this] { begin_session(); });
+}
+
+void EMuleHost::begin_session() {
+  const double session_len = rng_.lognormal(config_.session_mu, config_.session_sigma);
+  const double session_end = std::min(emit_.now() + session_len, env_.window_end);
+
+  // eD2k server connection: lives for the session, carries searches and
+  // source responses.
+  const simnet::Ipv4 server = env_.external_addr();
+  emit_.tcp(server, kServerPort, static_cast<std::uint64_t>(rng_.uniform(5e3, 4e4)),
+            static_cast<std::uint64_t>(rng_.uniform(2e4, 2e5)),
+            std::max(1.0, session_end - emit_.now()), kLogin);
+
+  // Bootstrap the Kad routing table from the overlay.
+  if (kad_ != nullptr) {
+    for (int i = 0; i < 12; ++i) {
+      if (const auto c = kad_->random_node(rng_)) {
+        table_.insert(*c);
+        emit_.udp(c->addr, kUdpPort, 35, kad_->is_online(c->id) ? 61 : 0,
+                  kad_->is_online(c->id), kKadBootstrap);
+      }
+    }
+  }
+
+  download_loop(session_end);
+  serve_inbound_loop(session_end);
+}
+
+void EMuleHost::download_loop(double session_end) {
+  const double think = rng_.lognormal(config_.think_mu, config_.think_sigma);
+  if (emit_.now() + think >= session_end) return;
+  env_.sim->schedule_after(think, [this, session_end] {
+    start_download(session_end);
+    download_loop(session_end);
+  });
+}
+
+std::vector<simnet::Ipv4> EMuleHost::kad_discover_sources() {
+  std::vector<simnet::Ipv4> sources;
+  if (kad_ == nullptr) {
+    for (int i = 0; i < config_.sources_per_lookup; ++i)
+      sources.push_back(env_.external_addr());
+    return sources;
+  }
+  const NodeId target = NodeId::random(rng_);
+  const LookupResult res = iterative_find_node(*kad_, table_, target, config_.lookup, rng_);
+  for (const Probe& probe : res.probes) {
+    emit_.udp(probe.peer.addr, kUdpPort, 35, probe.responded ? 250 : 0, probe.responded,
+              kKadHello);
+  }
+  for (const Contact& c : res.closest) {
+    sources.push_back(c.addr);
+    if (sources.size() >= static_cast<std::size_t>(config_.sources_per_lookup)) break;
+  }
+  // The index also returns sources that are not DHT nodes themselves.
+  while (sources.size() < static_cast<std::size_t>(config_.sources_per_lookup))
+    sources.push_back(env_.external_addr());
+  return sources;
+}
+
+void EMuleHost::start_download(double session_end) {
+  for (const simnet::Ipv4 addr : kad_discover_sources()) {
+    const double jitter = rng_.uniform(0.5, 30.0);
+    env_.sim->schedule_after(jitter, [this, addr, session_end] {
+      if (emit_.now() >= session_end) return;
+      contact_source(addr, session_end, /*is_reask=*/false);
+    });
+  }
+}
+
+void EMuleHost::contact_source(simnet::Ipv4 addr, double session_end, bool is_reask) {
+  if (emit_.now() >= session_end) return;
+  const bool alive =
+      is_reask ? churn_.revisit_alive(rng_) : churn_.fresh_contact_alive(rng_);
+  if (!alive) {
+    emit_.tcp_failed(addr, kTcpPort, rng_.chance(0.2));
+    return;
+  }
+  if (rng_.chance(config_.queue_only_prob)) {
+    // Queued: hello + file request + queue rank, a small exchange; eMule
+    // re-asks this source on its timer to keep the queue slot.
+    emit_.tcp(addr, kTcpPort, static_cast<std::uint64_t>(rng_.uniform(300, 1500)),
+              static_cast<std::uint64_t>(rng_.uniform(200, 900)), rng_.uniform(1.0, 6.0),
+              kFileReq);
+    schedule_reask(addr, session_end);
+    return;
+  }
+  // An upload slot opened: part transfer.
+  const double size =
+      rng_.bounded_pareto(config_.file_lo_bytes, config_.file_hi_bytes, config_.file_alpha);
+  const double rate = rng_.uniform(config_.rate_lo, config_.rate_hi);
+  const double dur = std::max(1.0, std::min(size / rate, session_end - emit_.now()));
+  emit_.tcp(addr, kTcpPort, static_cast<std::uint64_t>(rng_.uniform(1e3, 8e3)),
+            static_cast<std::uint64_t>(rate * dur), dur,
+            rng_.chance(0.3) ? kCompressed : kSendPart);
+}
+
+void EMuleHost::schedule_reask(simnet::Ipv4 addr, double session_end) {
+  const double delay =
+      config_.reask_period + rng_.uniform(-config_.reask_jitter, config_.reask_jitter);
+  if (emit_.now() + delay >= session_end) return;
+  env_.sim->schedule_after(delay, [this, addr, session_end] {
+    contact_source(addr, session_end, /*is_reask=*/true);
+  });
+}
+
+void EMuleHost::serve_inbound_loop(double session_end) {
+  const double gap = rng_.exponential(3600.0 / config_.inbound_per_hour);
+  if (emit_.now() + gap >= session_end) return;
+  env_.sim->schedule_after(gap, [this, session_end] {
+    const simnet::Ipv4 peer = env_.external_addr();
+    if (rng_.chance(config_.queue_only_prob)) {
+      emit_.inbound_tcp(peer, kTcpPort, static_cast<std::uint64_t>(rng_.uniform(300, 1500)),
+                        static_cast<std::uint64_t>(rng_.uniform(200, 900)),
+                        rng_.uniform(1.0, 6.0), kHello);
+    } else {
+      const double size = rng_.bounded_pareto(config_.file_lo_bytes, config_.file_hi_bytes / 2,
+                                              config_.file_alpha);
+      const double rate = rng_.uniform(config_.rate_lo, config_.rate_hi);
+      const double dur = std::max(1.0, std::min(size / rate, session_end - emit_.now()));
+      emit_.inbound_tcp(peer, kTcpPort, static_cast<std::uint64_t>(rng_.uniform(1e3, 8e3)),
+                        static_cast<std::uint64_t>(rate * dur), dur, kSendPart);
+    }
+    serve_inbound_loop(session_end);
+  });
+}
+
+}  // namespace tradeplot::p2p

@@ -1,0 +1,84 @@
+// eMule (eD2k + Kad) file-sharing host behaviour model.
+//
+// Mechanics modelled:
+//   * a long-lived TCP connection to an eD2k index server (0xe3 LOGINREQUEST
+//     framing in the payload prefix),
+//   * Kad DHT keyword/source lookups executed against the shared Kademlia
+//     Overlay — every probe of the iterative lookup becomes a UDP flow, and
+//     probes to departed nodes become failed flows,
+//   * eMule's queue discipline: contacting a source usually yields a small
+//     "queued" exchange; the host re-asks sources on eMule's ~29-minute
+//     timer (one of the few machine-periodic behaviours among Traders),
+//   * part transfers (0xe3/0x46-0x47 frames) with bounded-Pareto sizes, and
+//     inbound upload-slot service to external peers.
+#pragma once
+
+#include <vector>
+
+#include "netflow/app_env.h"
+#include "p2p/churn.h"
+#include "netflow/flow_emit.h"
+#include "p2p/kademlia.h"
+#include "util/rng.h"
+
+namespace tradeplot::p2p {
+
+struct EMuleConfig {
+  double session_start_frac_max = 0.5;
+  double session_mu = 9.5;  // eMule clients run for hours, ~ 3.7 h median
+  double session_sigma = 0.6;
+  double think_mu = 5.2;  // new downloads started every ~3 min (median)
+  double think_sigma = 1.1;
+  int sources_per_lookup = 8;
+  double queue_only_prob = 0.65;  // contact ends in a queue slot, not data
+  double reask_period = 1760.0;   // eMule re-ask timer (~29 min)
+  double reask_jitter = 420.0;
+  double file_lo_bytes = 5e5;
+  double file_hi_bytes = 7e8;  // eD2k carries large archives/movies
+  double file_alpha = 1.05;
+  double rate_lo = 3e4;
+  double rate_hi = 6e5;
+  double inbound_per_hour = 8.0;
+  ChurnParams churn{};
+  LookupParams lookup{};
+};
+
+class EMuleHost {
+ public:
+  /// `kad` may be null: lookups then fall back to synthetic source discovery
+  /// (fresh external addresses), keeping the model usable without an overlay.
+  EMuleHost(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng, Overlay* kad,
+            EMuleConfig config = {});
+
+  void start();
+
+  static constexpr std::uint16_t kTcpPort = 4662;
+  static constexpr std::uint16_t kUdpPort = 4672;
+  static constexpr std::uint16_t kServerPort = 4661;
+
+ private:
+  struct Source {
+    simnet::Ipv4 addr;
+    bool queued = true;
+  };
+
+  void begin_session();
+  void download_loop(double session_end);
+  void start_download(double session_end);
+  void contact_source(simnet::Ipv4 addr, double session_end, bool is_reask);
+  void schedule_reask(simnet::Ipv4 addr, double session_end);
+  void serve_inbound_loop(double session_end);
+  /// Runs a Kad lookup and emits its probe flows; returns discovered source
+  /// addresses (which may be stale).
+  std::vector<simnet::Ipv4> kad_discover_sources();
+
+  netflow::AppEnv env_;
+  util::Pcg32 rng_;
+  netflow::FlowEmitter emit_;
+  Overlay* kad_;
+  EMuleConfig config_;
+  ChurnModel churn_;
+  RoutingTable table_;
+};
+
+}  // namespace tradeplot::p2p

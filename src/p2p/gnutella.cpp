@@ -1,0 +1,111 @@
+#include "p2p/gnutella.h"
+
+#include <algorithm>
+
+namespace tradeplot::p2p {
+
+namespace {
+constexpr std::string_view kHandshake = "GNUTELLA CONNECT/0.6\r\nUser-Agent: LimeWire/4.12\r\n";
+constexpr std::string_view kDownload =
+    "GET /get/4242/song.mp3 HTTP/1.1\r\nX-Features: LIME fwalt/0.1\r\n";
+constexpr std::string_view kPush = "GNUTELLA CONNECT BACK/0.6\r\n";
+}  // namespace
+
+GnutellaHost::GnutellaHost(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng,
+                           GnutellaConfig config)
+    : env_(std::move(env)),
+      rng_(rng),
+      emit_(&env_, self, &rng_),
+      config_(config),
+      churn_(config.churn) {}
+
+void GnutellaHost::start() {
+  const double start =
+      rng_.uniform(0.0, config_.session_start_frac_max * env_.window_end);
+  env_.sim->schedule_at(start, [this] { begin_session(); });
+}
+
+void GnutellaHost::begin_session() {
+  const double session_len = rng_.lognormal(config_.session_mu, config_.session_sigma);
+  const double session_end = std::min(emit_.now() + session_len, env_.window_end);
+
+  // Bootstrap: dial ultrapeers from the (stale) host cache until enough
+  // connect. Each failed dial is a flow the border monitor sees.
+  int connected = 0;
+  int attempts = 0;
+  while (connected < config_.ultrapeer_count && attempts < config_.ultrapeer_count * 4) {
+    ++attempts;
+    const simnet::Ipv4 up = env_.external_addr();
+    if (rng_.chance(config_.ultrapeer_connect_fail_prob)) {
+      emit_.tcp_failed(up, kPort);
+      continue;
+    }
+    ++connected;
+    // The ultrapeer connection lives for the session and carries pings,
+    // queries and query hits: modest, bursty byte counts.
+    const double dur = std::max(1.0, session_end - emit_.now());
+    emit_.tcp(up, kPort, static_cast<std::uint64_t>(rng_.uniform(2e4, 1e5)),
+              static_cast<std::uint64_t>(rng_.uniform(1e5, 6e5)), dur, kHandshake);
+  }
+
+  search_loop(session_end);
+  serve_inbound_loop(session_end);
+}
+
+void GnutellaHost::search_loop(double session_end) {
+  const double think = rng_.lognormal(config_.think_mu, config_.think_sigma);
+  if (emit_.now() + think >= session_end) return;
+  env_.sim->schedule_after(think, [this, session_end] {
+    do_search(session_end);
+    search_loop(session_end);
+  });
+}
+
+void GnutellaHost::do_search(double session_end) {
+  // The query itself rides the ultrapeer connections (no new flow). What
+  // the border sees is the wave of download attempts to learned sources.
+  const int sources = static_cast<int>(
+      rng_.uniform_int(config_.min_sources_per_search, config_.max_sources_per_search));
+  for (int s = 0; s < sources; ++s) {
+    const bool revisit = !past_sources_.empty() && rng_.chance(0.1);
+    const simnet::Ipv4 src = revisit ? rng_.pick(past_sources_) : env_.external_addr();
+    const bool alive =
+        revisit ? churn_.revisit_alive(rng_) : churn_.fresh_contact_alive(rng_);
+    const double jitter = rng_.uniform(0.1, 20.0);
+    env_.sim->schedule_after(jitter, [this, src, alive, session_end] {
+      if (emit_.now() >= session_end) return;
+      if (!alive) {
+        emit_.tcp_failed(src, kPort, rng_.chance(0.3));
+        return;
+      }
+      const double size =
+          rng_.bounded_pareto(config_.file_lo_bytes, config_.file_hi_bytes, config_.file_alpha);
+      const double rate = rng_.uniform(config_.rate_lo, config_.rate_hi);
+      const double dur = std::min(size / rate, session_end - emit_.now());
+      const auto down = static_cast<std::uint64_t>(rate * dur);
+      const auto up = static_cast<std::uint64_t>(rng_.uniform(500, 4000));
+      emit_.tcp(src, kPort, up, down, std::max(dur, 1.0), kDownload);
+      past_sources_.push_back(src);
+    });
+  }
+}
+
+void GnutellaHost::serve_inbound_loop(double session_end) {
+  const double gap = rng_.exponential(3600.0 / config_.inbound_per_hour);
+  if (emit_.now() + gap >= session_end) return;
+  env_.sim->schedule_after(gap, [this, session_end] {
+    // An external leecher fetches a chunk from us; occasionally it is a
+    // firewalled peer using CONNECT BACK push semantics first.
+    const simnet::Ipv4 leecher = env_.external_addr();
+    if (rng_.chance(0.15)) emit_.tcp(leecher, kPort, 300, 150, 1.0, kPush);
+    const double size = rng_.bounded_pareto(config_.file_lo_bytes, config_.file_hi_bytes / 4,
+                                            config_.file_alpha + 0.1);
+    const double rate = rng_.uniform(config_.rate_lo, config_.rate_hi / 2);
+    const double dur = std::max(1.0, std::min(size / rate, session_end - emit_.now()));
+    emit_.inbound_tcp(leecher, kPort, static_cast<std::uint64_t>(rng_.uniform(400, 2000)),
+                      static_cast<std::uint64_t>(rate * dur), dur, kDownload);
+    serve_inbound_loop(session_end);
+  });
+}
+
+}  // namespace tradeplot::p2p

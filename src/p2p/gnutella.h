@@ -1,0 +1,71 @@
+// Gnutella file-sharing host behaviour model.
+//
+// Mechanics modelled (at flow granularity):
+//   * long-lived TCP connections to a few ultrapeers ("GNUTELLA CONNECT/0.6"
+//     handshake), some bootstrap attempts hitting departed peers,
+//   * human-driven search sessions: heavy-tailed think times between
+//     searches, each search followed by download attempts to freshly
+//     learned source addresses (high peer churn, frequent stale sources),
+//   * HTTP-style chunk downloads with bounded-Pareto media-file sizes,
+//   * inbound uploads served to external leechers ("GNUTELLA CONNECT BACK"
+//     push + HTTP GET flows carrying the LIME servent marker).
+#pragma once
+
+#include <vector>
+
+#include "netflow/app_env.h"
+#include "p2p/churn.h"
+#include "netflow/flow_emit.h"
+#include "util/rng.h"
+
+namespace tradeplot::p2p {
+
+struct GnutellaConfig {
+  // Session structure (the human sitting at the machine).
+  double session_start_frac_max = 0.4;  // session starts in the first X of the window
+  double session_mu = 8.9;              // lognormal user session, median ~ 2 h
+  double session_sigma = 0.7;
+  // Searching.
+  double think_mu = 4.6;  // lognormal think time between searches, median ~100 s
+  double think_sigma = 1.0;
+  int min_sources_per_search = 1;
+  int max_sources_per_search = 6;
+  // Ultrapeer mesh.
+  int ultrapeer_count = 4;
+  double ultrapeer_connect_fail_prob = 0.4;
+  // Transfers.
+  double file_lo_bytes = 2e5;   // 200 KB
+  double file_hi_bytes = 2e8;   // 200 MB
+  double file_alpha = 1.1;      // bounded-Pareto shape: mostly MP3s, some movies
+  double rate_lo = 5e4;         // 50 KB/s
+  double rate_hi = 1e6;         // 1 MB/s
+  // Serving uploads.
+  double inbound_per_hour = 5.0;
+  ChurnParams churn{};
+};
+
+class GnutellaHost {
+ public:
+  GnutellaHost(netflow::AppEnv env, simnet::Ipv4 self, util::Pcg32 rng,
+               GnutellaConfig config = {});
+
+  /// Schedules this host's activity into the simulation. Call once.
+  void start();
+
+  static constexpr std::uint16_t kPort = 6346;
+
+ private:
+  void begin_session();
+  void search_loop(double session_end);
+  void do_search(double session_end);
+  void serve_inbound_loop(double session_end);
+
+  netflow::AppEnv env_;
+  util::Pcg32 rng_;
+  netflow::FlowEmitter emit_;
+  GnutellaConfig config_;
+  ChurnModel churn_;
+  std::vector<simnet::Ipv4> past_sources_;  // for occasional revisits
+};
+
+}  // namespace tradeplot::p2p

@@ -1,0 +1,179 @@
+#include "p2p/kademlia.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.h"
+
+namespace tradeplot::p2p {
+
+bool KBucket::upsert(const Contact& c) {
+  const auto it = std::find_if(contacts_.begin(), contacts_.end(),
+                               [&](const Contact& e) { return e.id == c.id; });
+  if (it != contacts_.end()) {
+    // Refresh: move to the back (most recently seen).
+    Contact copy = *it;
+    contacts_.erase(it);
+    contacts_.push_back(copy);
+    return true;
+  }
+  if (contacts_.size() >= capacity_) return false;
+  contacts_.push_back(c);
+  return true;
+}
+
+bool KBucket::remove(NodeId id) {
+  const auto it = std::find_if(contacts_.begin(), contacts_.end(),
+                               [&](const Contact& e) { return e.id == id; });
+  if (it == contacts_.end()) return false;
+  contacts_.erase(it);
+  return true;
+}
+
+RoutingTable::RoutingTable(NodeId self, std::size_t k) : self_(self), k_(k) {
+  if (k == 0) throw util::ConfigError("RoutingTable: k must be >= 1");
+  buckets_.assign(NodeId::kBits, KBucket(k_));
+}
+
+bool RoutingTable::insert(const Contact& c) {
+  if (c.id == self_) return false;
+  const int bucket = self_.distance_to(c.id).highest_bit();
+  return buckets_[static_cast<std::size_t>(bucket)].upsert(c);
+}
+
+bool RoutingTable::remove(NodeId id) {
+  if (id == self_) return false;
+  const int bucket = self_.distance_to(id).highest_bit();
+  return buckets_[static_cast<std::size_t>(bucket)].remove(id);
+}
+
+std::size_t RoutingTable::size() const {
+  std::size_t n = 0;
+  for (const KBucket& b : buckets_) n += b.contacts().size();
+  return n;
+}
+
+std::vector<Contact> RoutingTable::closest(NodeId target, std::size_t count) const {
+  std::vector<Contact> all;
+  all.reserve(size());
+  for (const KBucket& b : buckets_)
+    all.insert(all.end(), b.contacts().begin(), b.contacts().end());
+  std::sort(all.begin(), all.end(), [&](const Contact& a, const Contact& b2) {
+    return a.id.distance_to(target) < b2.id.distance_to(target);
+  });
+  if (all.size() > count) all.resize(count);
+  return all;
+}
+
+void Overlay::add_node(const Contact& c) {
+  if (nodes_.contains(c.id)) throw util::ConfigError("Overlay: duplicate node id");
+  nodes_.emplace(c.id, Node{c, true});
+  ids_.push_back(c.id);
+}
+
+void Overlay::set_online(NodeId id, bool online) {
+  const auto it = nodes_.find(id);
+  if (it != nodes_.end()) it->second.online = online;
+}
+
+bool Overlay::is_online(NodeId id) const {
+  const auto it = nodes_.find(id);
+  return it != nodes_.end() && it->second.online;
+}
+
+std::optional<Contact> Overlay::find(NodeId id) const {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) return std::nullopt;
+  return it->second.contact;
+}
+
+std::optional<Contact> Overlay::random_node(util::Pcg32& rng) const {
+  if (ids_.empty()) return std::nullopt;
+  const NodeId id = rng.pick(ids_);
+  return nodes_.at(id).contact;
+}
+
+std::vector<Contact> Overlay::closest(NodeId target, std::size_t count) const {
+  // Linear scan with a bounded selection; overlay sizes in the simulations
+  // are O(10^3-10^4) so this is cheap and keeps the structure simple. A
+  // production DHT would of course not have a global view at all.
+  std::vector<const Node*> all;
+  all.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) all.push_back(&node);
+  const auto cmp = [&](const Node* a, const Node* b) {
+    return a->contact.id.distance_to(target) < b->contact.id.distance_to(target);
+  };
+  if (all.size() > count) {
+    std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(count), all.end(),
+                      cmp);
+    all.resize(count);
+  } else {
+    std::sort(all.begin(), all.end(), cmp);
+  }
+  std::vector<Contact> out;
+  out.reserve(all.size());
+  for (const Node* n : all) out.push_back(n->contact);
+  return out;
+}
+
+LookupResult iterative_find_node(const Overlay& overlay, RoutingTable& table, NodeId target,
+                                 const LookupParams& params, util::Pcg32& rng) {
+  (void)rng;
+  LookupResult result;
+  const auto closer = [&](const Contact& a, const Contact& b) {
+    return a.id.distance_to(target) < b.id.distance_to(target);
+  };
+
+  // Candidate shortlist ordered by distance to target.
+  std::vector<Contact> shortlist = table.closest(target, params.k);
+  std::set<NodeId> queried;
+  std::vector<Contact> live;
+
+  for (std::size_t round = 0; round < params.max_rounds; ++round) {
+    // Pick up to alpha closest unqueried candidates.
+    std::sort(shortlist.begin(), shortlist.end(), closer);
+    std::vector<Contact> batch;
+    for (const Contact& c : shortlist) {
+      if (batch.size() >= params.alpha) break;
+      if (!queried.contains(c.id)) batch.push_back(c);
+    }
+    if (batch.empty()) break;
+
+    bool learned_closer = false;
+    for (const Contact& peer : batch) {
+      queried.insert(peer.id);
+      const bool online = overlay.is_online(peer.id);
+      result.probes.push_back(Probe{peer, online});
+      if (!online) {
+        table.remove(peer.id);
+        continue;
+      }
+      table.insert(peer);
+      live.push_back(peer);
+      // The responder reports its k closest registered neighbours.
+      for (const Contact& learned : overlay.closest(target, params.k)) {
+        if (learned.id == table.self()) continue;
+        const bool known = std::any_of(shortlist.begin(), shortlist.end(),
+                                       [&](const Contact& c) { return c.id == learned.id; });
+        if (!known) {
+          if (shortlist.empty() || closer(learned, shortlist.front())) learned_closer = true;
+          shortlist.push_back(learned);
+          learned_closer = true;
+        }
+      }
+    }
+    if (!learned_closer && !live.empty()) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  std::sort(live.begin(), live.end(), closer);
+  live.erase(std::unique(live.begin(), live.end()), live.end());
+  if (live.size() > params.k) live.resize(params.k);
+  result.closest = std::move(live);
+  if (!result.converged) result.converged = !result.closest.empty();
+  return result;
+}
+
+}  // namespace tradeplot::p2p

@@ -1,0 +1,125 @@
+// Kademlia routing and iterative lookup over a simulated overlay.
+//
+// This is the DHT substrate shared by the Overnet model (Storm's transport),
+// the eMule Kad model, and the BitTorrent DHT model. It implements:
+//   * k-bucket routing tables keyed by XOR distance (Maymounkov & Mazieres),
+//   * an Overlay registry holding every simulated DHT node and its liveness
+//     (peer churn: nodes flip between online/offline),
+//   * iterative lookups that return the exact sequence of probes performed —
+//     including probes to departed peers, which is what produces the high
+//     failed-connection rates characteristic of P2P hosts (paper §V-A).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "p2p/node_id.h"
+#include "simnet/address.h"
+#include "util/rng.h"
+
+namespace tradeplot::p2p {
+
+struct Contact {
+  NodeId id;
+  simnet::Ipv4 addr;
+  std::uint16_t port = 0;
+
+  friend bool operator==(const Contact&, const Contact&) = default;
+};
+
+/// One k-bucket: least-recently-seen at the front (Kademlia eviction order).
+class KBucket {
+ public:
+  explicit KBucket(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Inserts or refreshes a contact. Returns false if the bucket was full
+  /// and the contact was not inserted (the classic "ping the LRS node"
+  /// policy is simplified to drop-new, which Kademlia permits).
+  bool upsert(const Contact& c);
+  bool remove(NodeId id);
+  [[nodiscard]] const std::vector<Contact>& contacts() const { return contacts_; }
+  [[nodiscard]] bool full() const { return contacts_.size() >= capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Contact> contacts_;
+};
+
+class RoutingTable {
+ public:
+  RoutingTable(NodeId self, std::size_t k = 20);
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  bool insert(const Contact& c);         // no-op (returns false) for self
+  bool remove(NodeId id);
+  [[nodiscard]] std::size_t size() const;
+
+  /// The `count` known contacts closest to `target` by XOR distance.
+  [[nodiscard]] std::vector<Contact> closest(NodeId target, std::size_t count) const;
+
+  [[nodiscard]] const std::vector<KBucket>& buckets() const { return buckets_; }
+
+ private:
+  NodeId self_;
+  std::size_t k_;
+  std::vector<KBucket> buckets_;  // bucket i holds distance msb == i
+};
+
+/// Global registry of simulated DHT nodes. The overlay is where peer churn
+/// lives: each node has an `online` flag toggled by the churn process.
+class Overlay {
+ public:
+  struct Node {
+    Contact contact;
+    bool online = true;
+  };
+
+  /// Adds a node (initially online). Throws util::ConfigError on duplicate id.
+  void add_node(const Contact& c);
+  void set_online(NodeId id, bool online);
+  [[nodiscard]] bool is_online(NodeId id) const;
+  [[nodiscard]] std::optional<Contact> find(NodeId id) const;
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// A uniformly random node (online or not); nullopt if empty.
+  [[nodiscard]] std::optional<Contact> random_node(util::Pcg32& rng) const;
+
+  /// The `count` registered nodes closest to `target` (regardless of
+  /// liveness — stale routing knowledge is the point).
+  [[nodiscard]] std::vector<Contact> closest(NodeId target, std::size_t count) const;
+
+ private:
+  std::unordered_map<NodeId, Node> nodes_;
+  std::vector<NodeId> ids_;  // stable order for random sampling
+};
+
+/// One probe performed during an iterative lookup.
+struct Probe {
+  Contact peer;
+  bool responded = false;
+};
+
+struct LookupResult {
+  std::vector<Probe> probes;        // in the order they were issued
+  std::vector<Contact> closest;     // best k live contacts found
+  bool converged = false;           // did the lookup terminate normally
+};
+
+struct LookupParams {
+  std::size_t alpha = 3;   // parallelism (probes per round)
+  std::size_t k = 20;      // result set size
+  std::size_t max_rounds = 16;
+};
+
+/// Iterative FIND_NODE: starts from the caller's routing table, probes
+/// alpha closest unqueried contacts per round, learns neighbours from
+/// responders, stops when the closest set stabilises. Offline peers do not
+/// respond (and are recorded as failed probes). Responders return their
+/// `k` closest *registered* neighbours, emulating each node's view.
+[[nodiscard]] LookupResult iterative_find_node(const Overlay& overlay, RoutingTable& table,
+                                               NodeId target, const LookupParams& params,
+                                               util::Pcg32& rng);
+
+}  // namespace tradeplot::p2p

@@ -1,0 +1,42 @@
+#include "p2p/node_id.h"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+
+namespace tradeplot::p2p {
+
+NodeId NodeId::random(util::Pcg32& rng) {
+  const auto word = [&rng] {
+    return (static_cast<std::uint64_t>(rng()) << 32) | rng();
+  };
+  return NodeId(word(), word());
+}
+
+NodeId NodeId::hash(std::string_view data) {
+  // Two FNV-1a passes with different offset bases give 128 bits.
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h1 = 0xcbf29ce484222325ULL;
+  std::uint64_t h2 = 0x84222325cbf29ce4ULL;
+  for (const char c : data) {
+    h1 = (h1 ^ static_cast<unsigned char>(c)) * kPrime;
+    h2 = (h2 ^ static_cast<unsigned char>(c)) * kPrime;
+    h2 = (h2 ^ (h2 >> 29)) * 0xbf58476d1ce4e5b9ULL;
+  }
+  return NodeId(h1, h2);
+}
+
+int NodeId::highest_bit() const {
+  if (hi_ != 0) return 127 - std::countl_zero(hi_);
+  if (lo_ != 0) return 63 - std::countl_zero(lo_);
+  return -1;
+}
+
+std::string NodeId::to_hex() const {
+  std::array<char, 36> buf{};
+  std::snprintf(buf.data(), buf.size(), "%016llx%016llx",
+                static_cast<unsigned long long>(hi_), static_cast<unsigned long long>(lo_));
+  return std::string(buf.data());
+}
+
+}  // namespace tradeplot::p2p

@@ -1,0 +1,58 @@
+// 128-bit DHT node identifiers with the Kademlia XOR metric.
+//
+// Overnet (the substrate Storm built on) uses 128-bit MD4 ids; mainline
+// BitTorrent DHT and eMule Kad use 128/160-bit ids with the same XOR
+// distance. 128 bits is enough for all three models here.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+namespace tradeplot::p2p {
+
+class NodeId {
+ public:
+  static constexpr std::size_t kBits = 128;
+
+  constexpr NodeId() = default;
+  constexpr NodeId(std::uint64_t hi, std::uint64_t lo) : hi_(hi), lo_(lo) {}
+
+  [[nodiscard]] static NodeId random(util::Pcg32& rng);
+
+  /// Deterministic id from arbitrary bytes (FNV-1a based; not
+  /// cryptographic, which the simulation does not need).
+  [[nodiscard]] static NodeId hash(std::string_view data);
+
+  [[nodiscard]] constexpr std::uint64_t hi() const { return hi_; }
+  [[nodiscard]] constexpr std::uint64_t lo() const { return lo_; }
+
+  [[nodiscard]] constexpr NodeId distance_to(NodeId other) const {
+    return NodeId(hi_ ^ other.hi_, lo_ ^ other.lo_);
+  }
+
+  /// Index of the highest set bit (0 = least significant); -1 for zero.
+  /// bucket_index(a.distance_to(b)) is the Kademlia bucket of b relative
+  /// to a.
+  [[nodiscard]] int highest_bit() const;
+
+  [[nodiscard]] std::string to_hex() const;
+
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+}  // namespace tradeplot::p2p
+
+template <>
+struct std::hash<tradeplot::p2p::NodeId> {
+  std::size_t operator()(const tradeplot::p2p::NodeId& id) const noexcept {
+    return static_cast<std::size_t>(id.hi() ^ (id.lo() * 0x9e3779b97f4a7c15ULL));
+  }
+};

@@ -1,0 +1,111 @@
+#include "simnet/address.h"
+
+#include <array>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace tradeplot::simnet {
+
+Ipv4 Ipv4::parse(const std::string& text) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char trailing = 0;
+  const int n = std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &trailing);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255)
+    throw util::ParseError("bad IPv4 address: '" + text + "'");
+  return Ipv4(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+              static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string Ipv4::to_string() const {
+  std::array<char, 16> buf{};
+  std::snprintf(buf.data(), buf.size(), "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return std::string(buf.data());
+}
+
+Subnet::Subnet(Ipv4 base, int prefix_len) : prefix_len_(prefix_len) {
+  if (prefix_len < 0 || prefix_len > 32)
+    throw util::ConfigError("subnet prefix length out of range");
+  mask_ = prefix_len == 0 ? 0 : ~std::uint32_t{0} << (32 - prefix_len);
+  base_ = Ipv4(base.value() & mask_);
+}
+
+Subnet Subnet::parse(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) throw util::ParseError("subnet missing '/': '" + text + "'");
+  const Ipv4 base = Ipv4::parse(text.substr(0, slash));
+  int len = 0;
+  try {
+    len = std::stoi(text.substr(slash + 1));
+  } catch (const std::exception&) {
+    throw util::ParseError("bad subnet prefix length: '" + text + "'");
+  }
+  return Subnet(base, len);
+}
+
+bool Subnet::contains(Ipv4 addr) const { return (addr.value() & mask_) == base_.value(); }
+
+std::uint64_t Subnet::size() const { return std::uint64_t{1} << (32 - prefix_len_); }
+
+Ipv4 Subnet::at(std::uint64_t i) const {
+  if (i >= size()) throw std::out_of_range("Subnet::at past end");
+  return Ipv4(base_.value() + static_cast<std::uint32_t>(i));
+}
+
+std::string Subnet::to_string() const {
+  return base_.to_string() + "/" + std::to_string(prefix_len_);
+}
+
+namespace {
+
+// Ranges we never hand out as "external" addresses: RFC1918, loopback,
+// link-local, multicast/reserved, and 0.0.0.0/8.
+bool is_reserved(Ipv4 addr) {
+  const std::uint32_t v = addr.value();
+  const auto octet1 = (v >> 24) & 0xff;
+  if (octet1 == 0 || octet1 == 10 || octet1 == 127) return true;
+  if (octet1 >= 224) return true;                                     // multicast + reserved
+  if (octet1 == 172 && ((v >> 16) & 0xf0) == 16) return true;         // 172.16/12
+  if (octet1 == 192 && ((v >> 16) & 0xff) == 168) return true;        // 192.168/16
+  if (octet1 == 169 && ((v >> 16) & 0xff) == 254) return true;        // 169.254/16
+  return false;
+}
+
+}  // namespace
+
+SubnetAllocator::SubnetAllocator(std::vector<Subnet> internal, util::Pcg32 rng)
+    : internal_(std::move(internal)), rng_(rng) {
+  if (internal_.empty()) throw util::ConfigError("SubnetAllocator needs >= 1 internal subnet");
+}
+
+Ipv4 SubnetAllocator::next_internal() {
+  while (subnet_idx_ < internal_.size()) {
+    const Subnet& net = internal_[subnet_idx_];
+    if (offset_ + 1 < net.size()) {  // skip network + broadcast addresses
+      return net.at(offset_++);
+    }
+    ++subnet_idx_;
+    offset_ = 1;
+  }
+  throw util::Error("internal address space exhausted");
+}
+
+Ipv4 SubnetAllocator::random_external() {
+  for (;;) {
+    const auto v = static_cast<std::uint32_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(0xffffffffu)));
+    const Ipv4 addr(v);
+    if (is_reserved(addr)) continue;
+    if (is_internal(addr)) continue;
+    return addr;
+  }
+}
+
+bool SubnetAllocator::is_internal(Ipv4 addr) const {
+  for (const Subnet& net : internal_)
+    if (net.contains(addr)) return true;
+  return false;
+}
+
+}  // namespace tradeplot::simnet

@@ -1,0 +1,97 @@
+// IPv4 address model for the campus simulation.
+//
+// Addresses are plain 32-bit values with helpers for textual form and subnet
+// membership. The paper's vantage point is a border monitor of a campus with
+// two /16 subnets; SubnetAllocator hands out "internal" addresses from
+// configured prefixes and "external" addresses from the remaining space.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tradeplot::simnet {
+
+/// An IPv4 address. Value type, totally ordered, hashable.
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) |
+               std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation; throws util::ParseError on bad input.
+  [[nodiscard]] static Ipv4 parse(const std::string& text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4, Ipv4) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix, e.g. 128.2.0.0/16.
+class Subnet {
+ public:
+  constexpr Subnet() = default;
+  /// Throws util::ConfigError if prefix_len > 32.
+  Subnet(Ipv4 base, int prefix_len);
+
+  /// Parses "a.b.c.d/len".
+  [[nodiscard]] static Subnet parse(const std::string& text);
+
+  [[nodiscard]] bool contains(Ipv4 addr) const;
+  [[nodiscard]] Ipv4 base() const { return base_; }
+  [[nodiscard]] int prefix_len() const { return prefix_len_; }
+  /// Number of addresses in the subnet (2^(32-len)).
+  [[nodiscard]] std::uint64_t size() const;
+  /// The i-th address of the subnet; throws std::out_of_range past the end.
+  [[nodiscard]] Ipv4 at(std::uint64_t i) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Ipv4 base_{};
+  int prefix_len_ = 0;
+  std::uint32_t mask_ = 0;
+};
+
+/// Allocates internal addresses sequentially from campus prefixes and
+/// external addresses randomly from the rest of the address space
+/// (excluding the campus prefixes and reserved ranges).
+class SubnetAllocator {
+ public:
+  /// `internal` must be non-empty; throws util::ConfigError otherwise.
+  SubnetAllocator(std::vector<Subnet> internal, util::Pcg32 rng);
+
+  /// Next unused internal address; throws util::Error when exhausted.
+  [[nodiscard]] Ipv4 next_internal();
+
+  /// Uniformly random globally-routable external address.
+  [[nodiscard]] Ipv4 random_external();
+
+  [[nodiscard]] bool is_internal(Ipv4 addr) const;
+  [[nodiscard]] const std::vector<Subnet>& internal_subnets() const { return internal_; }
+
+ private:
+  std::vector<Subnet> internal_;
+  std::size_t subnet_idx_ = 0;
+  std::uint64_t offset_ = 1;  // skip the network address
+  util::Pcg32 rng_;
+};
+
+}  // namespace tradeplot::simnet
+
+template <>
+struct std::hash<tradeplot::simnet::Ipv4> {
+  std::size_t operator()(tradeplot::simnet::Ipv4 addr) const noexcept {
+    // Fibonacci hashing spreads sequential internal addresses well.
+    return static_cast<std::size_t>(addr.value() * 2654435761u);
+  }
+};

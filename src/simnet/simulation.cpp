@@ -1,0 +1,61 @@
+#include "simnet/simulation.h"
+
+#include <memory>
+#include <utility>
+
+namespace tradeplot::simnet {
+
+void Simulation::schedule_at(SimTime when, Callback fn) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void Simulation::schedule_after(SimTime delay, Callback fn) {
+  schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
+}
+
+std::size_t Simulation::run_until(SimTime end) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= end) {
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the callback handle (std::function copy is cheap enough here).
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ev.fn();
+    ++executed;
+  }
+  if (now_ < end) now_ = end;
+  return executed;
+}
+
+std::size_t Simulation::run_all() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ev.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+void PeriodicProcess::start(Simulation& sim, SimTime first_delay, SimTime until,
+                            NextDelay next_delay, Body body) {
+  // The recursive lambda owns both closures via shared_ptr so the chain of
+  // scheduled events keeps itself alive without an external registry.
+  auto state = std::make_shared<std::pair<NextDelay, Body>>(std::move(next_delay),
+                                                            std::move(body));
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [&sim, until, state, step]() {
+    if (sim.now() > until) return;
+    state->second(sim.now());
+    const double d = state->first();
+    const SimTime next = sim.now() + (d > 0 ? d : 0);
+    if (next <= until) sim.schedule_at(next, *step);
+  };
+  if (sim.now() + first_delay <= until) sim.schedule_after(first_delay, *step);
+}
+
+}  // namespace tradeplot::simnet

@@ -1,0 +1,78 @@
+// Discrete-event simulation engine.
+//
+// A Simulation owns a time-ordered event queue. Simulated processes (host
+// behaviour models, bots, ...) schedule callbacks at absolute times or after
+// relative delays; run_until() drains events in timestamp order. Ties are
+// broken by insertion order so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace tradeplot::simnet {
+
+/// Simulation time, in seconds since the start of the trace window.
+using SimTime = double;
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when`. Events scheduled in the past
+  /// (before now()) fire immediately at the current time, preserving order.
+  void schedule_at(SimTime when, Callback fn);
+
+  /// Schedules `fn` after `delay` seconds (negative delays clamp to 0).
+  void schedule_after(SimTime delay, Callback fn);
+
+  /// Runs events until the queue empties or the next event is after `end`.
+  /// Events at exactly `end` are executed. Returns the number of events run.
+  std::size_t run_until(SimTime end);
+
+  /// Runs everything currently queued (and anything those events enqueue).
+  std::size_t run_all();
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // insertion order; tie-breaker for determinism
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// Convenience: reschedules itself with a caller-supplied period function
+/// until `until` is reached. Used by periodic host behaviours (NTP beacons,
+/// bot keep-alives, ...).
+class PeriodicProcess {
+ public:
+  using Body = std::function<void(SimTime now)>;
+  using NextDelay = std::function<double()>;
+
+  /// Starts a process in `sim`: first fires at now+first_delay, then after
+  /// next_delay() seconds each time, until sim.now() would exceed `until`.
+  static void start(Simulation& sim, SimTime first_delay, SimTime until, NextDelay next_delay,
+                    Body body);
+};
+
+}  // namespace tradeplot::simnet

@@ -1,0 +1,75 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace tradeplot::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() <= 1) return 0.0;
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (const double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) throw util::ConfigError("quantile of empty sample");
+  if (q < 0.0 || q > 1.0) throw util::ConfigError("quantile q out of [0,1]");
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  if (lo == hi) return sorted[lo];
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double quantile(std::span<const double> xs, double q) {
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, q);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double iqr(std::span<const double> xs) {
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, 0.75) - quantile_sorted(copy, 0.25);
+}
+
+double ecdf_at(std::span<const double> sorted, double x) {
+  if (sorted.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+  return static_cast<double>(it - sorted.begin()) / static_cast<double>(sorted.size());
+}
+
+std::vector<EcdfPoint> ecdf(std::span<const double> xs) {
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  std::vector<EcdfPoint> out;
+  out.reserve(copy.size());
+  const double n = static_cast<double>(copy.size());
+  for (std::size_t i = 0; i < copy.size(); ++i) {
+    // Collapse duplicates: keep the highest fraction for each value.
+    if (!out.empty() && out.back().value == copy[i]) {
+      out.back().fraction = static_cast<double>(i + 1) / n;
+    } else {
+      out.push_back({copy[i], static_cast<double>(i + 1) / n});
+    }
+  }
+  return out;
+}
+
+}  // namespace tradeplot::stats

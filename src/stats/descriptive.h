@@ -1,0 +1,42 @@
+// Descriptive statistics over double samples.
+//
+// Quantiles use the common linear-interpolation definition (type 7 in the
+// Hyndman–Fan taxonomy, the R/NumPy default). All functions taking a span of
+// samples accept them unsorted unless stated otherwise.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tradeplot::stats {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Population variance (divides by n). Returns 0 for n <= 1.
+[[nodiscard]] double variance(std::span<const double> xs);
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// q in [0,1]; throws util::ConfigError otherwise or if xs is empty.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// quantile() over samples the caller has already sorted ascending.
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Inter-quartile range: Q3 - Q1.
+[[nodiscard]] double iqr(std::span<const double> xs);
+
+/// Empirical CDF evaluated at x: fraction of samples <= x.
+[[nodiscard]] double ecdf_at(std::span<const double> sorted, double x);
+
+/// The classic ECDF as a step-function sample: returns the sorted values
+/// paired with cumulative fractions (k/n). Useful for rendering the paper's
+/// CDF figures.
+struct EcdfPoint {
+  double value;
+  double fraction;
+};
+[[nodiscard]] std::vector<EcdfPoint> ecdf(std::span<const double> xs);
+
+}  // namespace tradeplot::stats

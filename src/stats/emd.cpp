@@ -1,0 +1,187 @@
+#include "stats/emd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/error.h"
+
+namespace tradeplot::stats {
+
+namespace {
+
+double total_weight(const Signature& s) {
+  double w = 0.0;
+  for (const SignaturePoint& p : s) {
+    if (p.weight < 0.0) throw util::ConfigError("EMD: negative signature weight");
+    w += p.weight;
+  }
+  return w;
+}
+
+Signature normalized(const Signature& s) {
+  const double w = total_weight(s);
+  if (!(w > 0.0)) throw util::ConfigError("EMD: signature has no mass");
+  Signature out = s;
+  for (SignaturePoint& p : out) p.weight /= w;
+  return out;
+}
+
+}  // namespace
+
+double emd_1d(const Signature& a_in, const Signature& b_in) {
+  Signature a = normalized(a_in);
+  Signature b = normalized(b_in);
+  const auto by_pos = [](const SignaturePoint& x, const SignaturePoint& y) {
+    return x.position < y.position;
+  };
+  std::sort(a.begin(), a.end(), by_pos);
+  std::sort(b.begin(), b.end(), by_pos);
+
+  // EMD with |x-y| ground distance equals the integral of |F_a - F_b|:
+  // sweep the merged support left to right, carrying the CDF difference.
+  double emd = 0.0;
+  double carried = 0.0;  // F_a(x) - F_b(x) just left of the sweep point
+  double prev_pos = 0.0;
+  bool first = true;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    double pos;
+    if (j >= b.size() || (i < a.size() && a[i].position <= b[j].position)) {
+      pos = a[i].position;
+    } else {
+      pos = b[j].position;
+    }
+    if (!first) emd += std::abs(carried) * (pos - prev_pos);
+    first = false;
+    while (i < a.size() && a[i].position == pos) carried += a[i++].weight;
+    while (j < b.size() && b[j].position == pos) carried -= b[j++].weight;
+    prev_pos = pos;
+  }
+  return emd;
+}
+
+namespace {
+
+// Successive-shortest-path min-cost flow on the bipartite transportation
+// graph: source -> suppliers (capacity = supply) -> consumers (cost =
+// ground distance, infinite capacity) -> sink (capacity = demand).
+// Real-valued capacities; each augmentation saturates at least one
+// source or sink arc, so there are at most |a| + |b| iterations.
+class Transportation {
+ public:
+  Transportation(const Signature& a, const Signature& b, const GroundDistance& distance)
+      : n_a_(a.size()), n_b_(b.size()) {
+    const std::size_t nodes = 2 + n_a_ + n_b_;
+    graph_.assign(nodes, {});
+    for (std::size_t i = 0; i < n_a_; ++i) add_edge(source(), supplier(i), a[i].weight, 0.0);
+    for (std::size_t j = 0; j < n_b_; ++j) add_edge(consumer(j), sink(), b[j].weight, 0.0);
+    for (std::size_t i = 0; i < n_a_; ++i) {
+      for (std::size_t j = 0; j < n_b_; ++j) {
+        const double c = distance(a[i].position, b[j].position);
+        if (c < 0.0) throw util::ConfigError("EMD: negative ground distance");
+        add_edge(supplier(i), consumer(j), kInf, c);
+      }
+    }
+  }
+
+  double min_cost() {
+    double cost = 0.0;
+    for (;;) {
+      // Bellman-Ford shortest path in the residual graph (residual arcs can
+      // have negative cost, so Dijkstra would need potentials; graph is
+      // small enough that Bellman-Ford is simpler and still fast).
+      const std::size_t n = graph_.size();
+      std::vector<double> dist(n, kInf);
+      std::vector<int> prev_edge(n, -1);
+      std::vector<std::size_t> prev_node(n, 0);
+      dist[source()] = 0.0;
+      for (std::size_t round = 0; round + 1 < n; ++round) {
+        bool changed = false;
+        for (std::size_t u = 0; u < n; ++u) {
+          if (dist[u] >= kInf) continue;
+          for (std::size_t e = 0; e < graph_[u].size(); ++e) {
+            const Edge& edge = graph_[u][e];
+            if (edge.capacity <= kEps) continue;
+            if (dist[u] + edge.cost < dist[edge.to] - kEps) {
+              dist[edge.to] = dist[u] + edge.cost;
+              prev_edge[edge.to] = static_cast<int>(e);
+              prev_node[edge.to] = u;
+              changed = true;
+            }
+          }
+        }
+        if (!changed) break;
+      }
+      if (dist[sink()] >= kInf) break;  // no augmenting path left
+      // Find bottleneck.
+      double push = kInf;
+      for (std::size_t v = sink(); v != source(); v = prev_node[v]) {
+        const Edge& edge = graph_[prev_node[v]][static_cast<std::size_t>(prev_edge[v])];
+        push = std::min(push, edge.capacity);
+      }
+      if (push <= kEps) break;
+      for (std::size_t v = sink(); v != source(); v = prev_node[v]) {
+        Edge& edge = graph_[prev_node[v]][static_cast<std::size_t>(prev_edge[v])];
+        edge.capacity -= push;
+        graph_[edge.to][edge.reverse].capacity += push;
+        cost += push * edge.cost;
+      }
+    }
+    return cost;
+  }
+
+ private:
+  struct Edge {
+    std::size_t to;
+    std::size_t reverse;  // index of the reverse edge in graph_[to]
+    double capacity;
+    double cost;
+  };
+
+  static constexpr double kInf = std::numeric_limits<double>::max() / 4;
+  static constexpr double kEps = 1e-12;
+
+  [[nodiscard]] std::size_t source() const { return 0; }
+  [[nodiscard]] std::size_t sink() const { return 1; }
+  [[nodiscard]] std::size_t supplier(std::size_t i) const { return 2 + i; }
+  [[nodiscard]] std::size_t consumer(std::size_t j) const { return 2 + n_a_ + j; }
+
+  void add_edge(std::size_t from, std::size_t to, double capacity, double cost) {
+    graph_[from].push_back(Edge{to, graph_[to].size(), capacity, cost});
+    graph_[to].push_back(Edge{from, graph_[from].size() - 1, 0.0, -cost});
+  }
+
+  std::size_t n_a_;
+  std::size_t n_b_;
+  std::vector<std::vector<Edge>> graph_;
+};
+
+}  // namespace
+
+double emd_transport(const Signature& a, const Signature& b, const GroundDistance& distance) {
+  const Signature na = normalized(a);
+  const Signature nb = normalized(b);
+  Transportation problem(na, nb, distance);
+  return problem.min_cost();
+}
+
+double emd_transport(const Signature& a, const Signature& b) {
+  return emd_transport(a, b, [](double x, double y) { return std::abs(x - y); });
+}
+
+std::vector<double> pairwise_emd(const std::vector<Signature>& sigs) {
+  const std::size_t n = sigs.size();
+  std::vector<double> d(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = emd_1d(sigs[i], sigs[j]);
+      d[i * n + j] = v;
+      d[j * n + i] = v;
+    }
+  }
+  return d;
+}
+
+}  // namespace tradeplot::stats

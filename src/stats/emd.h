@@ -1,0 +1,41 @@
+// Earth Mover's Distance between histogram signatures (Rubner et al., 1998).
+//
+// EMD is the minimum total cost of turning one distribution into the other
+// by moving probability mass, where moving w units across distance d costs
+// w*d — the transportation problem (Dantzig, 1951). Two solvers:
+//
+//  * emd_1d        — exact closed form for one-dimensional signatures with
+//                    ground distance |x - y|: the L1 distance between CDFs.
+//                    O(n log n); used by the detection pipeline.
+//  * emd_transport — exact solver for the general transportation LP via
+//                    successive-shortest-path min-cost flow, supporting an
+//                    arbitrary ground-distance function. Used to cross-check
+//                    emd_1d in tests and for ablation experiments with
+//                    non-L1 ground distances.
+//
+// Both require non-empty signatures with strictly positive total weight and
+// normalize each side to unit mass (the paper compares probability
+// distributions, so partial-matching EMD is not needed).
+#pragma once
+
+#include <functional>
+
+#include "stats/histogram.h"
+
+namespace tradeplot::stats {
+
+[[nodiscard]] double emd_1d(const Signature& a, const Signature& b);
+
+using GroundDistance = std::function<double(double, double)>;
+
+[[nodiscard]] double emd_transport(const Signature& a, const Signature& b,
+                                   const GroundDistance& distance);
+
+/// emd_transport with |x - y| ground distance.
+[[nodiscard]] double emd_transport(const Signature& a, const Signature& b);
+
+/// Symmetric pairwise EMD matrix (emd_1d) for a set of signatures; entry
+/// [i*n + j] is the distance between signatures i and j.
+[[nodiscard]] std::vector<double> pairwise_emd(const std::vector<Signature>& sigs);
+
+}  // namespace tradeplot::stats

@@ -1,0 +1,78 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "stats/descriptive.h"
+#include "util/error.h"
+
+namespace tradeplot::stats {
+
+double freedman_diaconis_width(std::span<const double> samples) {
+  if (samples.empty()) throw util::ConfigError("FD width of empty sample");
+  const double n = static_cast<double>(samples.size());
+  const double spread = iqr(samples);
+  if (spread > 0.0) return 2.0 * spread * std::pow(n, -1.0 / 3.0);
+  const auto [mn, mx] = std::minmax_element(samples.begin(), samples.end());
+  const double range = *mx - *mn;
+  if (range > 0.0) return range / std::sqrt(n);
+  return 1.0;  // all samples identical: any width yields one point mass
+}
+
+Histogram::Histogram(std::span<const double> samples, double bin_width) {
+  if (samples.empty()) throw util::ConfigError("histogram of empty sample");
+  if (!(bin_width > 0.0)) throw util::ConfigError("histogram bin width must be > 0");
+  const auto [mn, mx] = std::minmax_element(samples.begin(), samples.end());
+  origin_ = *mn;
+  bin_width_ = bin_width;
+  const double span_width = *mx - *mn;
+  auto bins = static_cast<std::size_t>(std::floor(span_width / bin_width_)) + 1;
+  // Guard against pathological tiny widths blowing up memory.
+  constexpr std::size_t kMaxBins = 1u << 20;
+  if (bins > kMaxBins) {
+    bin_width_ = span_width / static_cast<double>(kMaxBins - 1);
+    bins = kMaxBins;
+  }
+  counts_.assign(bins, 0);
+  for (const double x : samples) {
+    auto idx = static_cast<std::size_t>((x - origin_) / bin_width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;  // x == max edge case
+    counts_[idx] += 1;
+  }
+  total_ = samples.size();
+}
+
+Histogram Histogram::with_fd_width(std::span<const double> samples) {
+  return Histogram(samples, freedman_diaconis_width(samples));
+}
+
+std::vector<double> Histogram::pmf() const {
+  std::vector<double> out(counts_.size());
+  const double n = static_cast<double>(total_);
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    out[i] = static_cast<double>(counts_[i]) / n;
+  return out;
+}
+
+Signature Histogram::signature() const {
+  Signature out;
+  const double n = static_cast<double>(total_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    out.push_back({bin_center(i), static_cast<double>(counts_[i]) / n});
+  }
+  return out;
+}
+
+Signature Histogram::index_signature() const {
+  Signature out;
+  const double n = static_cast<double>(total_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    out.push_back({static_cast<double>(i), static_cast<double>(counts_[i]) / n});
+  }
+  return out;
+}
+
+}  // namespace tradeplot::stats

@@ -1,0 +1,40 @@
+#include "stats/roc.h"
+
+#include <algorithm>
+
+namespace tradeplot::stats {
+
+void RocCurve::add(double fp_rate, double tp_rate, std::string label) {
+  points_.push_back(RocPoint{fp_rate, tp_rate, std::move(label)});
+  sorted_ = false;
+}
+
+void RocCurve::sort() const {
+  if (sorted_) return;
+  std::stable_sort(points_.begin(), points_.end(), [](const RocPoint& a, const RocPoint& b) {
+    if (a.fp_rate != b.fp_rate) return a.fp_rate < b.fp_rate;
+    return a.tp_rate < b.tp_rate;
+  });
+  sorted_ = true;
+}
+
+const std::vector<RocPoint>& RocCurve::points() const {
+  sort();
+  return points_;
+}
+
+double RocCurve::auc() const {
+  sort();
+  double area = 0.0;
+  double prev_fp = 0.0;
+  double prev_tp = 0.0;
+  for (const RocPoint& p : points_) {
+    area += (p.fp_rate - prev_fp) * (p.tp_rate + prev_tp) / 2.0;
+    prev_fp = p.fp_rate;
+    prev_tp = p.tp_rate;
+  }
+  area += (1.0 - prev_fp) * (1.0 + prev_tp) / 2.0;
+  return area;
+}
+
+}  // namespace tradeplot::stats

@@ -1,0 +1,55 @@
+// ROC (Receiver Operating Characteristic) assembly.
+//
+// The paper's ROC curves (Figs. 6-8) are built from a handful of discrete
+// threshold settings (the 10/30/50/70/90-th percentiles), each yielding one
+// (false-positive rate, true-positive rate) point. RocCurve collects such
+// points, sorts them, anchors (0,0) and (1,1), and integrates AUC.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tradeplot::stats {
+
+struct RocPoint {
+  double fp_rate = 0.0;
+  double tp_rate = 0.0;
+  std::string label;  // e.g. "p50" for the 50th-percentile threshold
+};
+
+class RocCurve {
+ public:
+  void add(double fp_rate, double tp_rate, std::string label = {});
+
+  /// Points sorted by (fp, tp), without the synthetic anchors.
+  [[nodiscard]] const std::vector<RocPoint>& points() const;
+
+  /// Trapezoidal area under the curve through (0,0), the points, and (1,1).
+  [[nodiscard]] double auc() const;
+
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+ private:
+  void sort() const;
+  mutable std::vector<RocPoint> points_;
+  mutable bool sorted_ = true;
+};
+
+/// Confusion-matrix tallies for one detector output.
+struct Confusion {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t positives = 0;  // ground-truth positive population
+  std::size_t negatives = 0;  // ground-truth negative population
+
+  [[nodiscard]] double tp_rate() const {
+    return positives == 0 ? 0.0
+                          : static_cast<double>(true_positives) / static_cast<double>(positives);
+  }
+  [[nodiscard]] double fp_rate() const {
+    return negatives == 0 ? 0.0
+                          : static_cast<double>(false_positives) / static_cast<double>(negatives);
+  }
+};
+
+}  // namespace tradeplot::stats

@@ -1,0 +1,149 @@
+#include "trace/campus.h"
+
+#include <vector>
+
+#include "hosts/misc.h"
+#include "hosts/services.h"
+#include "hosts/web.h"
+#include "p2p/kademlia.h"
+#include "simnet/address.h"
+#include "simnet/simulation.h"
+#include "util/rng.h"
+
+namespace tradeplot::trace {
+
+const std::vector<simnet::Subnet>& campus_subnets() {
+  // Two /16s, mirroring CMU's allocation at recording time.
+  static const std::vector<simnet::Subnet> kCampusSubnets = {
+      simnet::Subnet(simnet::Ipv4(128, 2, 0, 0), 16),
+      simnet::Subnet(simnet::Ipv4(128, 237, 0, 0), 16),
+  };
+  return kCampusSubnets;
+}
+
+bool campus_internal(simnet::Ipv4 addr) {
+  for (const simnet::Subnet& net : campus_subnets())
+    if (net.contains(addr)) return true;
+  return false;
+}
+
+namespace {
+
+p2p::Overlay build_overlay(int size, double offline_frac, std::uint16_t port,
+                           simnet::SubnetAllocator& alloc, util::Pcg32& rng) {
+  p2p::Overlay overlay;
+  for (int i = 0; i < size; ++i) {
+    const p2p::Contact c{p2p::NodeId::random(rng), alloc.random_external(), port};
+    overlay.add_node(c);
+    if (rng.chance(offline_frac)) overlay.set_online(c.id, false);
+  }
+  return overlay;
+}
+
+}  // namespace
+
+netflow::TraceSet generate_campus_trace(const CampusConfig& config) {
+  util::Pcg32 root(config.seed, 0xca3b05);
+
+  simnet::Simulation sim;
+  simnet::SubnetAllocator alloc(campus_subnets(), root.split(0xa110c));
+  netflow::TraceSet trace(0.0, config.window);
+
+  netflow::AppEnv env;
+  env.sim = &sim;
+  env.window_end = config.window;
+  env.sink = [&trace](netflow::FlowRecord rec) { trace.add_flow(std::move(rec)); };
+  env.external_addr = [&alloc] { return alloc.random_external(); };
+
+  util::Pcg32 overlay_rng = root.split(0xd47);
+  p2p::Overlay kad = build_overlay(config.kad_overlay_size, config.overlay_offline_frac,
+                                   p2p::EMuleHost::kUdpPort, alloc, overlay_rng);
+  p2p::Overlay bt_dht = build_overlay(config.bt_overlay_size, config.overlay_offline_frac,
+                                      p2p::BitTorrentHost::kDhtPort, alloc, overlay_rng);
+
+  // Hosts are heap-allocated and kept alive for the whole run; the callbacks
+  // they schedule capture `this`.
+  std::vector<std::unique_ptr<hosts::WebClient>> web_clients;
+  std::vector<std::unique_ptr<hosts::WebServer>> web_servers;
+  std::vector<std::unique_ptr<hosts::MailServer>> mail_servers;
+  std::vector<std::unique_ptr<hosts::DnsClient>> dns_clients;
+  std::vector<std::unique_ptr<hosts::NtpClient>> ntp_clients;
+  std::vector<std::unique_ptr<hosts::ScannerHost>> scanners;
+  std::vector<std::unique_ptr<hosts::IdleHost>> idle_hosts;
+  std::vector<std::unique_ptr<p2p::GnutellaHost>> gnutella;
+  std::vector<std::unique_ptr<p2p::EMuleHost>> emule;
+  std::vector<std::unique_ptr<p2p::BitTorrentHost>> bittorrent;
+
+  std::uint64_t tag = 1000;
+  const auto next_rng = [&] { return root.split(tag++); };
+
+  for (int i = 0; i < config.web_clients; ++i) {
+    const auto ip = alloc.next_internal();
+    trace.set_truth(ip, netflow::HostKind::kWebClient);
+    web_clients.push_back(std::make_unique<hosts::WebClient>(env, ip, next_rng()));
+    web_clients.back()->start();
+  }
+  for (int i = 0; i < config.idle_hosts; ++i) {
+    const auto ip = alloc.next_internal();
+    trace.set_truth(ip, netflow::HostKind::kIdle);
+    idle_hosts.push_back(std::make_unique<hosts::IdleHost>(env, ip, next_rng()));
+    idle_hosts.back()->start();
+  }
+  for (int i = 0; i < config.dns_clients; ++i) {
+    const auto ip = alloc.next_internal();
+    trace.set_truth(ip, netflow::HostKind::kDnsClient);
+    dns_clients.push_back(std::make_unique<hosts::DnsClient>(env, ip, next_rng()));
+    dns_clients.back()->start();
+  }
+  for (int i = 0; i < config.ntp_clients; ++i) {
+    const auto ip = alloc.next_internal();
+    trace.set_truth(ip, netflow::HostKind::kNtpClient);
+    ntp_clients.push_back(std::make_unique<hosts::NtpClient>(env, ip, next_rng()));
+    ntp_clients.back()->start();
+  }
+  for (int i = 0; i < config.web_servers; ++i) {
+    const auto ip = alloc.next_internal();
+    trace.set_truth(ip, netflow::HostKind::kWebServer);
+    web_servers.push_back(std::make_unique<hosts::WebServer>(env, ip, next_rng()));
+    web_servers.back()->start();
+  }
+  for (int i = 0; i < config.mail_servers; ++i) {
+    const auto ip = alloc.next_internal();
+    trace.set_truth(ip, netflow::HostKind::kMailServer);
+    mail_servers.push_back(std::make_unique<hosts::MailServer>(env, ip, next_rng()));
+    mail_servers.back()->start();
+  }
+  for (int i = 0; i < config.scanners; ++i) {
+    const auto ip = alloc.next_internal();
+    trace.set_truth(ip, netflow::HostKind::kScanner);
+    scanners.push_back(std::make_unique<hosts::ScannerHost>(env, ip, next_rng()));
+    scanners.back()->start();
+  }
+  for (int i = 0; i < config.gnutella_hosts; ++i) {
+    const auto ip = alloc.next_internal();
+    trace.set_truth(ip, netflow::HostKind::kGnutella);
+    gnutella.push_back(
+        std::make_unique<p2p::GnutellaHost>(env, ip, next_rng(), config.gnutella));
+    gnutella.back()->start();
+  }
+  for (int i = 0; i < config.emule_hosts; ++i) {
+    const auto ip = alloc.next_internal();
+    trace.set_truth(ip, netflow::HostKind::kEMule);
+    emule.push_back(std::make_unique<p2p::EMuleHost>(env, ip, next_rng(), &kad, config.emule));
+    emule.back()->start();
+  }
+  for (int i = 0; i < config.bittorrent_hosts + config.bittorrent_web_only; ++i) {
+    const auto ip = alloc.next_internal();
+    trace.set_truth(ip, netflow::HostKind::kBitTorrent);
+    p2p::BitTorrentConfig bt = config.bittorrent;
+    bt.web_only = i >= config.bittorrent_hosts;
+    bittorrent.push_back(std::make_unique<p2p::BitTorrentHost>(env, ip, next_rng(), &bt_dht, bt));
+    bittorrent.back()->start();
+  }
+
+  sim.run_until(config.window);
+  trace.sort_by_time();
+  return trace;
+}
+
+}  // namespace tradeplot::trace

@@ -1,0 +1,66 @@
+// CampusSimulator: generates one monitored window of border flow records
+// for a university campus network (the stand-in for the paper's CMU
+// dataset — see DESIGN.md §2 for the substitution argument).
+//
+// The simulated campus has two /16 subnets (like CMU's) populated with a
+// configurable mix of background hosts (web clients/servers, mail, DNS,
+// NTP, scanners, idle machines) and Traders (Gnutella, eMule, BitTorrent —
+// including tracker-web-only torrent users). eMule and BitTorrent hosts
+// share per-protocol Kademlia overlays so their DHT probes exhibit genuine
+// lookup/churn dynamics.
+//
+// Everything is driven by one seed; the same seed reproduces the same trace
+// byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "netflow/trace_set.h"
+#include "p2p/bittorrent.h"
+#include "p2p/emule.h"
+#include "p2p/gnutella.h"
+
+namespace tradeplot::trace {
+
+struct CampusConfig {
+  // Monitoring window: the paper records 9 a.m. to 3 p.m. (6 hours).
+  double window = 6 * 3600.0;
+  std::uint64_t seed = 1;
+
+  // Background population.
+  int web_clients = 700;
+  int idle_hosts = 250;
+  int dns_clients = 100;
+  int ntp_clients = 40;
+  int web_servers = 18;
+  int mail_servers = 12;
+  int scanners = 4;
+
+  // Traders.
+  int gnutella_hosts = 25;
+  int emule_hosts = 22;
+  int bittorrent_hosts = 30;
+  int bittorrent_web_only = 8;
+
+  // Shared DHT overlays.
+  int kad_overlay_size = 500;
+  int bt_overlay_size = 700;
+  double overlay_offline_frac = 0.3;
+
+  // Per-protocol knobs (applied to every host of that protocol).
+  p2p::GnutellaConfig gnutella{};
+  p2p::EMuleConfig emule{};
+  p2p::BitTorrentConfig bittorrent{};
+};
+
+/// Runs the simulation and returns the window's flows plus ground truth.
+[[nodiscard]] netflow::TraceSet generate_campus_trace(const CampusConfig& config);
+
+/// The campus's internal prefixes (two /16s, mirroring CMU).
+[[nodiscard]] const std::vector<simnet::Subnet>& campus_subnets();
+
+/// True if `addr` is inside the campus (the administrator's purview).
+[[nodiscard]] bool campus_internal(simnet::Ipv4 addr);
+
+}  // namespace tradeplot::trace

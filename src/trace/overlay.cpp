@@ -1,0 +1,71 @@
+#include "trace/overlay.h"
+
+#include "trace/campus.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace tradeplot::trace {
+
+OverlayResult overlay_bots(const netflow::TraceSet& campus, const netflow::TraceSet& bots,
+                           util::Pcg32& rng, const OverlayOptions& options) {
+  OverlayResult result;
+  result.combined = campus;
+
+  const std::vector<simnet::Ipv4> bot_ips = [&] {
+    std::vector<simnet::Ipv4> ips;
+    for (const auto& [ip, kind] : bots.truth()) ips.push_back(ip);
+    std::sort(ips.begin(), ips.end());  // unordered_map order is not stable
+    return ips;
+  }();
+
+  std::vector<simnet::Ipv4> active = campus.initiators();
+  const auto internal = options.is_internal ? options.is_internal
+                                            : [](simnet::Ipv4 ip) { return campus_internal(ip); };
+  std::erase_if(active, [&](simnet::Ipv4 ip) { return !internal(ip); });
+  if (!options.exclude_hosts.empty()) {
+    std::vector<simnet::Ipv4> excluded = options.exclude_hosts;
+    std::sort(excluded.begin(), excluded.end());
+    std::erase_if(active, [&](simnet::Ipv4 ip) {
+      return std::binary_search(excluded.begin(), excluded.end(), ip);
+    });
+  }
+  if (bot_ips.size() > active.size())
+    throw util::ConfigError("overlay: more bots than active campus hosts");
+  rng.shuffle(active);
+
+  const double campus_len = campus.window_end() - campus.window_start();
+  const double bot_len = bots.window_end() - bots.window_start();
+
+  for (std::size_t b = 0; b < bot_ips.size(); ++b) {
+    const simnet::Ipv4 bot_ip = bot_ips[b];
+    const simnet::Ipv4 host_ip = active[b];
+    result.bot_to_host.emplace(bot_ip, host_ip);
+    result.bot_hosts.push_back(host_ip);
+    result.combined.set_truth(host_ip, bots.kind_of(bot_ip));
+
+    // Window-length slice of this bot's trace, shifted into the campus
+    // window. Each bot gets its own slice offset, as each honeynet machine
+    // was recorded on its own clock relative to the campus day.
+    double slice_start = bots.window_start();
+    if (options.random_slice && bot_len > campus_len) {
+      slice_start += rng.uniform(0.0, bot_len - campus_len);
+    }
+    const double shift = campus.window_start() - slice_start;
+
+    for (const netflow::FlowRecord& rec : bots.flows()) {
+      if (rec.src != bot_ip) continue;
+      if (rec.start_time < slice_start || rec.start_time >= slice_start + campus_len) continue;
+      netflow::FlowRecord moved = rec;
+      moved.src = host_ip;
+      moved.start_time += shift;
+      moved.end_time += shift;
+      result.combined.add_flow(std::move(moved));
+    }
+  }
+  result.combined.sort_by_time();
+  return result;
+}
+
+}  // namespace tradeplot::trace

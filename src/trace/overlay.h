@@ -1,0 +1,51 @@
+// Bot-trace overlay: re-homes honeynet Plotter traffic onto randomly chosen
+// active internal campus hosts, as in the paper's §V evaluation setup.
+//
+// "For each day of traffic in the CMU dataset, we overlay the bot traces by
+//  assigning them to randomly selected internal hosts that are active during
+//  that day (including possibly Traders)."
+//
+// The honeynet traces are 24 h while the campus window is 6 h, so a window-
+// length slice of each bot's trace is cut out (slice start configurable,
+// random by default) and shifted into the campus window before re-homing.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "netflow/trace_set.h"
+#include "util/rng.h"
+
+namespace tradeplot::trace {
+
+struct OverlayResult {
+  netflow::TraceSet combined;
+  /// Campus host that received each bot, keyed by the original honeynet ip.
+  std::unordered_map<simnet::Ipv4, simnet::Ipv4> bot_to_host;
+  /// The campus hosts now carrying bot traffic (ground-truth positives).
+  std::vector<simnet::Ipv4> bot_hosts;
+};
+
+struct OverlayOptions {
+  /// Pick the slice of the (longer) bot trace uniformly at random; if
+  /// false, the slice starts at the beginning of the bot trace.
+  bool random_slice = true;
+  /// Campus hosts never chosen as bot carriers (e.g. hosts already carrying
+  /// another botnet's trace in a previous overlay pass).
+  std::vector<simnet::Ipv4> exclude_hosts;
+  /// Only internal hosts are eligible carriers (the paper assigns bots to
+  /// "internal hosts that are active"). Defaults to campus_internal().
+  std::function<bool(simnet::Ipv4)> is_internal;
+};
+
+/// Overlays `bots` onto `campus`. Each bot is assigned a distinct active
+/// internal host (an initiator in the campus trace) chosen uniformly at
+/// random; the bot's flows get that host's source address. Ground truth for
+/// the chosen hosts switches to the bot's kind. Throws util::ConfigError if
+/// there are more bots than active hosts.
+[[nodiscard]] OverlayResult overlay_bots(const netflow::TraceSet& campus,
+                                         const netflow::TraceSet& bots, util::Pcg32& rng,
+                                         const OverlayOptions& options = {});
+
+}  // namespace tradeplot::trace

@@ -1,0 +1,38 @@
+// Library-wide error types.
+//
+// The library throws exceptions for programmer errors and unrecoverable
+// conditions (per C++ Core Guidelines E.2); expected, recoverable outcomes
+// (e.g. "this host has too few samples to build a histogram") are expressed
+// in return types, not exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tradeplot::util {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input data (e.g. a corrupt trace file).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Invalid configuration supplied by the caller.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+/// I/O failure (file missing, short read, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+}  // namespace tradeplot::util

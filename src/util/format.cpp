@@ -1,0 +1,46 @@
+#include "util/format.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace tradeplot::util {
+
+std::string fixed(double value, int decimals) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", decimals, value);
+  return std::string(buf.data());
+}
+
+std::string human_bytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  double v = bytes;
+  while (std::abs(v) >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  return fixed(v, unit == 0 ? 0 : 2) + " " + kUnits[unit];
+}
+
+std::string percent(double fraction, int decimals) {
+  return fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string human_duration(double seconds) {
+  if (seconds < 1.0) return fixed(seconds, 2) + "s";
+  const auto total = static_cast<long long>(std::llround(seconds));
+  const long long h = total / 3600;
+  const long long m = (total % 3600) / 60;
+  const long long s = total % 60;
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%02lld:%02lld:%02lld", h, m, s);
+  return std::string(buf.data());
+}
+
+std::string column(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s.substr(0, width);
+  return std::string(width - s.size(), ' ') + s;
+}
+
+}  // namespace tradeplot::util

@@ -1,0 +1,24 @@
+// Small formatting helpers used by the benches and examples when rendering
+// the paper's figures as text tables.
+#pragma once
+
+#include <string>
+
+namespace tradeplot::util {
+
+/// "1.21 KB", "3.4 MB", ... (powers of 1024, two significant decimals).
+[[nodiscard]] std::string human_bytes(double bytes);
+
+/// "12.34%" with the given number of decimals.
+[[nodiscard]] std::string percent(double fraction, int decimals = 2);
+
+/// "01:02:03" for 3723 seconds; sub-second durations as "0.5s".
+[[nodiscard]] std::string human_duration(double seconds);
+
+/// Fixed-point with `decimals` digits (locale-independent).
+[[nodiscard]] std::string fixed(double value, int decimals = 2);
+
+/// Left-pads/truncates to an exact column width (for text tables).
+[[nodiscard]] std::string column(const std::string& s, std::size_t width);
+
+}  // namespace tradeplot::util

@@ -1,0 +1,151 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tradeplot::util {
+
+std::uint64_t SplitMix64::next() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void Pcg32::reseed(std::uint64_t seed, std::uint64_t seq) {
+  state_ = 0;
+  inc_ = (seq << 1) | 1;
+  (void)(*this)();
+  state_ += seed;
+  (void)(*this)();
+}
+
+Pcg32::result_type Pcg32::operator()() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted = static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+  const auto rot = static_cast<std::uint32_t>(old >> 59);
+  return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+Pcg32 Pcg32::split(std::uint64_t tag) const {
+  // Mix the parent's identity with the tag through SplitMix64 so children
+  // with adjacent tags land on uncorrelated streams.
+  SplitMix64 mix(state_ ^ (inc_ * 0x9e3779b97f4a7c15ULL) ^ tag);
+  const std::uint64_t seed = mix.next();
+  const std::uint64_t seq = mix.next();
+  return Pcg32(seed, seq);
+}
+
+double Pcg32::uniform() {
+  // 32 bits of mantissa is plenty for simulation purposes; divide by 2^32.
+  return static_cast<double>((*this)()) * (1.0 / 4294967296.0);
+}
+
+double Pcg32::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Pcg32::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {
+    // Full 64-bit range requested: combine two draws.
+    const std::uint64_t v = (static_cast<std::uint64_t>((*this)()) << 32) | (*this)();
+    return static_cast<std::int64_t>(v);
+  }
+  // Lemire-style rejection to remove modulo bias (64-bit accumulator).
+  const std::uint64_t threshold = (0ULL - range) % range;
+  for (;;) {
+    const std::uint64_t v = (static_cast<std::uint64_t>((*this)()) << 32) | (*this)();
+    if (v >= threshold) return lo + static_cast<std::int64_t>(v % range);
+  }
+}
+
+bool Pcg32::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Pcg32::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("exponential: mean must be > 0");
+  double u = uniform();
+  if (u <= 0.0) u = 1e-12;  // avoid log(0)
+  return -mean * std::log(u);
+}
+
+double Pcg32::normal(double mean, double stddev) {
+  // Box-Muller; we deliberately discard the second variate to keep the
+  // stream position a pure function of the number of calls.
+  double u1 = uniform();
+  const double u2 = uniform();
+  if (u1 <= 0.0) u1 = 1e-12;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+}
+
+double Pcg32::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+double Pcg32::pareto(double x_m, double alpha) {
+  if (x_m <= 0.0 || alpha <= 0.0) throw std::invalid_argument("pareto: bad parameters");
+  double u = uniform();
+  if (u <= 0.0) u = 1e-12;
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+double Pcg32::bounded_pareto(double lo, double hi, double alpha) {
+  if (lo <= 0.0 || hi <= lo || alpha <= 0.0)
+    throw std::invalid_argument("bounded_pareto: bad parameters");
+  const double u = uniform();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  // Inverse CDF of the truncated Pareto.
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+std::uint64_t Pcg32::zipf(std::uint64_t n, double s) {
+  if (n == 0) throw std::invalid_argument("zipf: n must be >= 1");
+  if (n == 1) return 1;
+  if (s <= 0.0) return static_cast<std::uint64_t>(uniform_int(1, static_cast<std::int64_t>(n)));
+  // Rejection-inversion sampling (Hörmann & Derflinger, 1996).
+  const double nd = static_cast<double>(n);
+  const auto h_integral = [s](double x) {
+    const double log_x = std::log(x);
+    if (std::abs(s - 1.0) < 1e-12) return log_x;
+    return (std::exp((1.0 - s) * log_x) - 1.0) / (1.0 - s);
+  };
+  const auto h = [s](double x) { return std::exp(-s * std::log(x)); };
+  const double h_x1 = h_integral(1.5) - 1.0;
+  const double h_n = h_integral(nd + 0.5);
+  for (;;) {
+    const double u = h_n + uniform() * (h_x1 - h_n);
+    // Inverse of h_integral.
+    double x;
+    if (std::abs(s - 1.0) < 1e-12) {
+      x = std::exp(u);
+    } else {
+      x = std::exp(std::log(1.0 + u * (1.0 - s)) / (1.0 - s));
+    }
+    const double k = std::floor(x + 0.5);
+    if (k < 1.0) continue;
+    if (k > nd) continue;
+    if (u >= h_integral(k + 0.5) - h(k)) return static_cast<std::uint64_t>(k);
+  }
+}
+
+std::size_t Pcg32::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("weighted_index: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("weighted_index: no positive weight");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical fallback
+}
+
+}  // namespace tradeplot::util

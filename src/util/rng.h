@@ -1,0 +1,110 @@
+// Deterministic, seedable random number generation for simulations.
+//
+// All stochastic behaviour in this library flows through Pcg32 so that every
+// experiment is reproducible from a single seed. Pcg32 is the PCG-XSH-RR
+// 64/32 generator (O'Neill, 2014): small state, good statistical quality,
+// and cheap stream splitting, which we use to give each simulated host an
+// independent substream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tradeplot::util {
+
+/// PCG-XSH-RR 64/32 pseudo-random generator.
+///
+/// Satisfies std::uniform_random_bit_generator, so it can also be plugged
+/// into <random> distributions, although the library provides its own
+/// distribution helpers (see below) to guarantee cross-platform determinism
+/// (libstdc++ / libc++ distributions may differ; ours do not).
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  /// Default stream, seeded with a fixed constant (deterministic).
+  Pcg32() : Pcg32(0x853c49e6748fea9bULL, 0xda3e39cb94b95bdbULL) {}
+
+  /// Seeds the generator. `seq` selects one of 2^63 independent streams.
+  explicit Pcg32(std::uint64_t seed, std::uint64_t seq = 1) { reseed(seed, seq); }
+
+  void reseed(std::uint64_t seed, std::uint64_t seq = 1);
+
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() { return 0xffffffffu; }
+
+  result_type operator()();
+
+  /// Derives an independent child generator; `tag` distinguishes children.
+  /// Used to give each simulated host its own stream so adding or removing
+  /// one host does not perturb the randomness seen by the others.
+  [[nodiscard]] Pcg32 split(std::uint64_t tag) const;
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponential with the given mean (mean > 0).
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Lognormal: exp(N(mu, sigma)). Parameters are of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Pareto (Type I) with scale x_m > 0 and shape alpha > 0.
+  double pareto(double x_m, double alpha);
+
+  /// Bounded Pareto on [lo, hi] with shape alpha.
+  double bounded_pareto(double lo, double hi, double alpha);
+
+  /// Zipf-distributed rank in [1, n] with exponent s >= 0 (s=0: uniform).
+  /// Uses rejection-inversion (Hörmann & Derflinger) for O(1) sampling.
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element. Requires !v.empty().
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(v.size()) - 1))];
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+};
+
+/// SplitMix64: used to stretch a single user-provided seed into the several
+/// 64-bit values needed to seed Pcg32 streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace tradeplot::util

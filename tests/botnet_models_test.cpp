@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "botnet/honeynet.h"
+#include "botnet/nugache.h"
+#include "botnet/storm.h"
+#include "detect/features.h"
+#include "netflow/app_env.h"
+#include "simnet/simulation.h"
+#include "stats/descriptive.h"
+
+namespace tradeplot::botnet {
+namespace {
+
+constexpr double kWindow = 6 * 3600.0;
+const simnet::Ipv4 kSelf(10, 99, 0, 1);
+
+struct World {
+  simnet::Simulation sim;
+  simnet::SubnetAllocator alloc{{simnet::Subnet(simnet::Ipv4(10, 99, 0, 0), 16)},
+                                util::Pcg32(999)};
+  std::vector<netflow::FlowRecord> flows;
+
+  netflow::AppEnv env() {
+    netflow::AppEnv e;
+    e.sim = &sim;
+    e.window_end = kWindow;
+    e.sink = [this](netflow::FlowRecord r) { flows.push_back(std::move(r)); };
+    e.external_addr = [this] { return alloc.random_external(); };
+    return e;
+  }
+};
+
+TEST(StormBot, TinyFlowsLowChurnSharpTimers) {
+  World world;
+  StormBot bot(world.env(), kSelf, util::Pcg32(1), nullptr);
+  bot.start();
+  world.sim.run_until(kWindow);
+
+  std::set<simnet::Ipv4> dsts;
+  std::map<simnet::Ipv4, std::vector<double>> per_dst;
+  std::uint64_t failed = 0, total = 0, bytes = 0;
+  for (const auto& r : world.flows) {
+    ASSERT_EQ(r.src, kSelf);
+    EXPECT_EQ(r.proto, netflow::Protocol::kUdp);
+    EXPECT_EQ(r.dport, StormBot::kPort);
+    dsts.insert(r.dst);
+    per_dst[r.dst].push_back(r.start_time);
+    ++total;
+    bytes += r.bytes_src;
+    if (r.failed()) ++failed;
+  }
+  ASSERT_GT(total, 1000u);
+  // Control messages only: average flow size far below any Trader's.
+  EXPECT_LT(static_cast<double>(bytes) / static_cast<double>(total), 500.0);
+  // Stored peer list: destinations are bounded and heavily reused.
+  EXPECT_LT(dsts.size(), 400u);
+  EXPECT_GT(total / dsts.size(), 10u);
+  // Failure rate in the plausible band for a 40%-stale list.
+  const double fail_rate = static_cast<double>(failed) / static_cast<double>(total);
+  EXPECT_GT(fail_rate, 0.10);
+  EXPECT_LT(fail_rate, 0.60);
+  // Active-neighbour pings: the dominant interstitial is the keepalive
+  // timer (20 s by default).
+  std::vector<double> gaps;
+  for (auto& [dst, times] : per_dst) {
+    std::sort(times.begin(), times.end());
+    for (std::size_t i = 1; i < times.size(); ++i) gaps.push_back(times[i] - times[i - 1]);
+  }
+  ASSERT_GT(gaps.size(), 500u);
+  EXPECT_NEAR(stats::median(gaps), 20.0, 2.0);
+}
+
+TEST(StormBot, SameTimersAcrossBots) {
+  // Two bots with different seeds share the timing signature — the basis of
+  // theta_hm's cluster signal.
+  const auto median_gap = [](std::uint64_t seed) {
+    World world;
+    StormBot bot(world.env(), kSelf, util::Pcg32(seed), nullptr);
+    bot.start();
+    world.sim.run_until(kWindow);
+    std::map<simnet::Ipv4, std::vector<double>> per_dst;
+    for (const auto& r : world.flows) per_dst[r.dst].push_back(r.start_time);
+    std::vector<double> gaps;
+    for (auto& [dst, times] : per_dst) {
+      std::sort(times.begin(), times.end());
+      for (std::size_t i = 1; i < times.size(); ++i) gaps.push_back(times[i] - times[i - 1]);
+    }
+    return stats::median(gaps);
+  };
+  EXPECT_NEAR(median_gap(7), median_gap(8), 1.0);
+}
+
+TEST(StormBot, VolumeEvasionMultiplierScalesBytes) {
+  const auto avg_bytes = [](double multiplier) {
+    World world;
+    StormConfig config;
+    config.evasion.volume_multiplier = multiplier;
+    StormBot bot(world.env(), kSelf, util::Pcg32(5), nullptr, config);
+    bot.start();
+    world.sim.run_until(3600.0);
+    std::uint64_t bytes = 0, flows = 0;
+    for (const auto& r : world.flows) {
+      bytes += r.bytes_src;
+      ++flows;
+    }
+    return static_cast<double>(bytes) / static_cast<double>(flows);
+  };
+  const double base = avg_bytes(1.0);
+  const double inflated = avg_bytes(5.0);
+  EXPECT_NEAR(inflated / base, 5.0, 0.5);
+}
+
+TEST(StormBot, ChurnEvasionRaisesNewDestinations) {
+  const auto distinct_dsts = [](double frac) {
+    World world;
+    StormConfig config;
+    config.evasion.extra_new_contact_frac = frac;
+    StormBot bot(world.env(), kSelf, util::Pcg32(6), nullptr, config);
+    bot.start();
+    world.sim.run_until(kWindow);
+    std::set<simnet::Ipv4> dsts;
+    for (const auto& r : world.flows) dsts.insert(r.dst);
+    return dsts.size();
+  };
+  EXPECT_GT(distinct_dsts(0.5), distinct_dsts(0.0) * 5);
+}
+
+TEST(StormBot, JitterEvasionSmearsTheComb) {
+  const auto comb_mass = [](double jitter) {
+    World world;
+    StormConfig config;
+    config.evasion.jitter_range = jitter;
+    StormBot bot(world.env(), kSelf, util::Pcg32(7), nullptr, config);
+    bot.start();
+    world.sim.run_until(kWindow);
+    std::map<simnet::Ipv4, std::vector<double>> per_dst;
+    for (const auto& r : world.flows) per_dst[r.dst].push_back(r.start_time);
+    std::size_t near_timer = 0, total = 0;
+    for (auto& [dst, times] : per_dst) {
+      std::sort(times.begin(), times.end());
+      for (std::size_t i = 1; i < times.size(); ++i) {
+        const double gap = times[i] - times[i - 1];
+        ++total;
+        if (std::abs(gap - 20.0) < 2.0) ++near_timer;
+      }
+    }
+    return static_cast<double>(near_timer) / static_cast<double>(total);
+  };
+  EXPECT_GT(comb_mass(0.0), 0.5);
+  EXPECT_LT(comb_mass(120.0), 0.2);
+}
+
+TEST(NugacheBot, HighFailureRateOnPort8) {
+  // The paper's Fig. 5: "almost all Nugache Plotters [have] more than 65%
+  // failed connections" — a *population* statistic; the most conversation-
+  // heavy bots fail less, the (more numerous) discovery-dominated ones more.
+  std::vector<double> rates;
+  for (int b = 0; b < 15; ++b) {
+    World world;
+    NugacheBot bot(world.env(), kSelf, util::Pcg32(200 + static_cast<std::uint64_t>(b)));
+    bot.start();
+    world.sim.run_until(kWindow);
+    std::uint64_t failed = 0, total = 0;
+    for (const auto& r : world.flows) {
+      EXPECT_EQ(r.proto, netflow::Protocol::kTcp);
+      EXPECT_EQ(r.dport, NugacheBot::kPort);
+      ++total;
+      if (r.failed()) ++failed;
+    }
+    if (total >= 20) rates.push_back(static_cast<double>(failed) / static_cast<double>(total));
+  }
+  ASSERT_GE(rates.size(), 8u);
+  std::sort(rates.begin(), rates.end());
+  EXPECT_GT(rates[rates.size() / 2], 0.6);  // median bot above 60%
+}
+
+TEST(NugacheBot, ActivitySpreadsOverOrdersOfMagnitude) {
+  std::vector<double> counts;
+  for (int b = 0; b < 40; ++b) {
+    World world;
+    NugacheBot bot(world.env(), kSelf, util::Pcg32(100 + static_cast<std::uint64_t>(b)));
+    bot.start();
+    world.sim.run_until(kWindow);
+    counts.push_back(static_cast<double>(world.flows.size()) + 1);
+  }
+  std::sort(counts.begin(), counts.end());
+  EXPECT_GT(counts.back() / counts.front(), 20.0);
+}
+
+TEST(NugacheBot, ConversationGapsSitOnTheModes) {
+  World world;
+  NugacheConfig config;
+  config.activity_mu = 0.7;
+  config.activity_sigma = 0.05;
+  NugacheBot bot(world.env(), kSelf, util::Pcg32(3), config);
+  bot.start();
+  world.sim.run_until(kWindow);
+  std::map<simnet::Ipv4, std::vector<double>> per_dst;
+  for (const auto& r : world.flows) per_dst[r.dst].push_back(r.start_time);
+  std::size_t on_mode = 0, total = 0;
+  for (auto& [dst, times] : per_dst) {
+    std::sort(times.begin(), times.end());
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      const double gap = times[i] - times[i - 1];
+      ++total;
+      for (const double mode : config.interval_modes) {
+        if (std::abs(gap - mode) <= config.interval_jitter + 0.5) {
+          ++on_mode;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_GT(total, 50u);
+  EXPECT_GT(static_cast<double>(on_mode) / static_cast<double>(total), 0.6);
+}
+
+TEST(Honeynet, StormTraceShapeMatchesPaperSetup) {
+  HoneynetConfig config;
+  config.seed = 5;
+  config.duration = 4 * 3600.0;  // shorter for test speed
+  const netflow::TraceSet trace = generate_storm_trace(config);
+  EXPECT_EQ(trace.hosts_of_kind(netflow::HostKind::kStorm).size(), 13u);
+  EXPECT_GT(trace.flows().size(), 10000u);
+  EXPECT_DOUBLE_EQ(trace.window_end(), config.duration);
+  // Flows are time-sorted and within the window.
+  for (std::size_t i = 1; i < trace.flows().size(); ++i) {
+    EXPECT_LE(trace.flows()[i - 1].start_time, trace.flows()[i].start_time);
+  }
+}
+
+TEST(Honeynet, NugacheTraceHas82Bots) {
+  HoneynetConfig config;
+  config.seed = 5;
+  config.duration = 2 * 3600.0;
+  const netflow::TraceSet trace = generate_nugache_trace(config);
+  EXPECT_EQ(trace.hosts_of_kind(netflow::HostKind::kNugache).size(), 82u);
+  EXPECT_FALSE(trace.flows().empty());
+}
+
+TEST(Honeynet, Deterministic) {
+  HoneynetConfig config;
+  config.seed = 9;
+  config.duration = 1800.0;
+  const auto a = generate_storm_trace(config);
+  const auto b = generate_storm_trace(config);
+  ASSERT_EQ(a.flows().size(), b.flows().size());
+  for (std::size_t i = 0; i < a.flows().size(); ++i) EXPECT_EQ(a.flows()[i], b.flows()[i]);
+}
+
+}  // namespace
+}  // namespace tradeplot::botnet

@@ -1,0 +1,191 @@
+#include "detect/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tradeplot::detect {
+namespace {
+
+simnet::Ipv4 internal_host(std::uint8_t last_octet) { return simnet::Ipv4(128, 2, 0, last_octet); }
+
+bool is_internal(simnet::Ipv4 ip) { return (ip.value() >> 16) == ((128u << 8) | 2u); }
+
+netflow::FlowRecord flow(simnet::Ipv4 src, simnet::Ipv4 dst, double start, bool failed = false) {
+  netflow::FlowRecord r;
+  r.src = src;
+  r.dst = dst;
+  r.start_time = start;
+  r.end_time = start + 1;
+  r.pkts_src = 1;
+  r.pkts_dst = failed ? 0 : 1;
+  r.bytes_src = 100;
+  r.state = failed ? netflow::FlowState::kAttempted : netflow::FlowState::kEstablished;
+  return r;
+}
+
+// ------------------------------------------------------------------- TDG
+
+TEST(TdgTest, FlagsHighDegreeBidirectionalHosts) {
+  netflow::TraceSet trace(0, 21600);
+  const simnet::Ipv4 p2p = internal_host(1);
+  // 12 outgoing peers + 3 incoming: in+out, degree 15.
+  for (int i = 0; i < 12; ++i) trace.add_flow(flow(p2p, simnet::Ipv4(1, 1, 1, static_cast<std::uint8_t>(i)), i));
+  for (int i = 0; i < 3; ++i) trace.add_flow(flow(simnet::Ipv4(2, 2, 2, static_cast<std::uint8_t>(i)), p2p, 100 + i));
+  // A client: many outgoing, nothing incoming.
+  const simnet::Ipv4 client = internal_host(2);
+  for (int i = 0; i < 30; ++i) trace.add_flow(flow(client, simnet::Ipv4(3, 3, 3, static_cast<std::uint8_t>(i)), i));
+  // A low-degree host with both directions.
+  const simnet::Ipv4 quiet = internal_host(3);
+  trace.add_flow(flow(quiet, simnet::Ipv4(4, 4, 4, 4), 0));
+  trace.add_flow(flow(simnet::Ipv4(4, 4, 4, 5), quiet, 1));
+
+  TdgConfig config;
+  config.is_internal = is_internal;
+  const TdgResult result = tdg_test(trace, config);
+  EXPECT_EQ(result.flagged, (HostSet{p2p}));
+  EXPECT_GT(result.average_degree, 0.0);
+  // 2 of 3 internal hosts have both in and out edges.
+  EXPECT_NEAR(result.ino_ratio, 2.0 / 3.0, 1e-9);
+}
+
+TEST(TdgTest, SuccessfulOnlyIgnoresFailedDials) {
+  netflow::TraceSet trace(0, 21600);
+  const simnet::Ipv4 host = internal_host(1);
+  for (int i = 0; i < 20; ++i) {
+    trace.add_flow(flow(host, simnet::Ipv4(1, 1, 1, static_cast<std::uint8_t>(i)), i,
+                        /*failed=*/true));
+  }
+  trace.add_flow(flow(simnet::Ipv4(2, 2, 2, 2), host, 50));
+  TdgConfig config;
+  config.is_internal = is_internal;
+  EXPECT_FALSE(tdg_test(trace, config).flagged.empty());
+  config.successful_only = true;
+  EXPECT_TRUE(tdg_test(trace, config).flagged.empty());
+}
+
+TEST(TdgTest, RequiresPredicate) {
+  netflow::TraceSet trace;
+  EXPECT_THROW((void)tdg_test(trace, TdgConfig{}), util::ConfigError);
+}
+
+// --------------------------------------------------------------- Entropy
+
+HostFeatures features_with_gaps(std::uint8_t octet, std::vector<double> gaps) {
+  HostFeatures f;
+  f.host = internal_host(octet);
+  f.interstitials = std::move(gaps);
+  return f;
+}
+
+TEST(EntropyTest, MachineTimersHaveLowerEntropyThanHumans) {
+  util::Pcg32 rng(1);
+  std::vector<double> machine(500);
+  for (double& g : machine) g = 30.0 + rng.uniform(-0.5, 0.5);
+  std::vector<double> human(500);
+  for (double& g : human) g = rng.lognormal(4.0, 1.2);
+  const double machine_entropy =
+      timing_entropy(features_with_gaps(1, std::move(machine)));
+  const double human_entropy = timing_entropy(features_with_gaps(2, std::move(human)));
+  EXPECT_GE(machine_entropy, 0.0);
+  EXPECT_GT(human_entropy, machine_entropy + 1.0);  // clearly higher
+}
+
+TEST(EntropyTest, FlagsLowEntropyHosts) {
+  util::Pcg32 rng(2);
+  FeatureMap features;
+  HostSet input;
+  for (std::uint8_t b = 1; b <= 3; ++b) {
+    std::vector<double> gaps(200);
+    for (double& g : gaps) g = 20.0 + rng.uniform(-0.2, 0.2);
+    HostFeatures f = features_with_gaps(b, std::move(gaps));
+    input.push_back(f.host);
+    features.emplace(f.host, std::move(f));
+  }
+  for (std::uint8_t h = 10; h < 20; ++h) {
+    std::vector<double> gaps(200);
+    for (double& g : gaps) g = rng.lognormal(4.0, 1.3);
+    HostFeatures f = features_with_gaps(h, std::move(gaps));
+    input.push_back(f.host);
+    features.emplace(f.host, std::move(f));
+  }
+  const HostSet flagged = entropy_test(features, input, {});
+  for (std::uint8_t b = 1; b <= 3; ++b) {
+    EXPECT_TRUE(std::binary_search(flagged.begin(), flagged.end(), internal_host(b)));
+  }
+  // The percentile keeps roughly the bottom 30%: not everything.
+  EXPECT_LT(flagged.size(), input.size() / 2);
+}
+
+TEST(EntropyTest, SkipsHostsWithFewSamples) {
+  FeatureMap features;
+  HostFeatures f = features_with_gaps(1, {1.0, 2.0, 3.0});
+  const HostSet input = {f.host};
+  features.emplace(f.host, std::move(f));
+  EXPECT_TRUE(entropy_test(features, input, {}).empty());
+  EXPECT_LT(timing_entropy(features.begin()->second), 0.0);
+}
+
+// ----------------------------------------------------------- Persistence
+
+TEST(PersistenceTest, FlagsHostsWithPersistentAtoms) {
+  netflow::TraceSet trace(0, 21600);
+  const simnet::Ipv4 bot = internal_host(1);
+  // Contacts the same /24 every slot of the day (C&C-ish).
+  for (double t = 0; t < 21600; t += 300) {
+    trace.add_flow(flow(bot, simnet::Ipv4(6, 6, 6, static_cast<std::uint8_t>(
+                                              static_cast<int>(t / 300) % 4)),
+                        t));
+  }
+  // A browser: each destination atom touched once.
+  const simnet::Ipv4 browser = internal_host(2);
+  for (int i = 0; i < 40; ++i) {
+    trace.add_flow(flow(browser, simnet::Ipv4(static_cast<std::uint8_t>(50 + i), 1, 1, 1),
+                        i * 500.0));
+  }
+  PersistenceTestConfig config;
+  config.is_internal = is_internal;
+  const PersistenceResult result = persistence_test(trace, config);
+  EXPECT_EQ(result.flagged, (HostSet{bot}));
+  EXPECT_GT(result.max_persistence.at(bot), 0.9);
+}
+
+TEST(PersistenceTest, MinActiveSlotsGuardsOneShotHosts) {
+  netflow::TraceSet trace(0, 21600);
+  const simnet::Ipv4 oneshot = internal_host(1);
+  trace.add_flow(flow(oneshot, simnet::Ipv4(9, 9, 9, 9), 100.0));
+  PersistenceTestConfig config;
+  config.is_internal = is_internal;
+  EXPECT_TRUE(persistence_test(trace, config).flagged.empty());
+}
+
+TEST(PersistenceTest, AtomAggregatesSlash24) {
+  netflow::TraceSet trace(0, 21600);
+  const simnet::Ipv4 host = internal_host(1);
+  // Rotates through different addresses of the SAME /24 every slot: still
+  // one persistent atom (the Giroire et al. rationale for atoms).
+  for (double t = 0; t < 21600; t += 600) {
+    trace.add_flow(flow(host, simnet::Ipv4(7, 7, 7, static_cast<std::uint8_t>(
+                                               static_cast<int>(t / 600) % 200)),
+                        t));
+  }
+  PersistenceTestConfig config;
+  config.is_internal = is_internal;
+  const PersistenceResult result = persistence_test(trace, config);
+  EXPECT_EQ(result.flagged, (HostSet{host}));
+}
+
+TEST(PersistenceTest, ConfigValidation) {
+  netflow::TraceSet trace;
+  PersistenceTestConfig config;
+  EXPECT_THROW((void)persistence_test(trace, config), util::ConfigError);
+  config.is_internal = is_internal;
+  config.slot_length = 0.0;
+  EXPECT_THROW((void)persistence_test(trace, config), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace tradeplot::detect

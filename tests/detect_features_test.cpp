@@ -1,0 +1,156 @@
+#include "detect/features.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace tradeplot::detect {
+namespace {
+
+const simnet::Ipv4 kHost(128, 2, 0, 1);
+const simnet::Ipv4 kPeerA(1, 0, 0, 1);
+const simnet::Ipv4 kPeerB(1, 0, 0, 2);
+const simnet::Ipv4 kPeerC(1, 0, 0, 3);
+
+netflow::FlowRecord flow(simnet::Ipv4 src, simnet::Ipv4 dst, double start,
+                         std::uint64_t bytes_src = 100, std::uint64_t bytes_dst = 200,
+                         bool failed = false) {
+  netflow::FlowRecord r;
+  r.src = src;
+  r.dst = dst;
+  r.start_time = start;
+  r.end_time = start + 1;
+  r.bytes_src = failed ? 0 : bytes_src;
+  r.bytes_dst = failed ? 0 : bytes_dst;
+  r.pkts_src = 1;
+  r.pkts_dst = failed ? 0 : 1;
+  r.state = failed ? netflow::FlowState::kAttempted : netflow::FlowState::kEstablished;
+  return r;
+}
+
+FeatureExtractorConfig config() {
+  FeatureExtractorConfig fx;
+  fx.is_internal = [](simnet::Ipv4 ip) { return (ip.value() >> 16) == ((128u << 8) | 2u); };
+  return fx;
+}
+
+TEST(FeatureExtractor, RequiresInternalPredicate) {
+  netflow::TraceSet trace;
+  EXPECT_THROW((void)extract_features(trace, FeatureExtractorConfig{}), util::ConfigError);
+}
+
+TEST(FeatureExtractor, CountsInitiatedAndFailedFlows) {
+  netflow::TraceSet trace(0, 21600);
+  trace.add_flow(flow(kHost, kPeerA, 0));
+  trace.add_flow(flow(kHost, kPeerB, 10, 100, 200, /*failed=*/true));
+  trace.add_flow(flow(kHost, kPeerB, 20, 100, 200, /*failed=*/true));
+  const auto features = extract_features(trace, config());
+  const HostFeatures& f = features.at(kHost);
+  EXPECT_EQ(f.flows_initiated, 3u);
+  EXPECT_EQ(f.flows_failed, 2u);
+  EXPECT_NEAR(f.failed_rate(), 2.0 / 3.0, 1e-12);
+  EXPECT_TRUE(f.initiated_success());
+}
+
+TEST(FeatureExtractor, HostWithOnlyFailuresHasNoSuccess) {
+  netflow::TraceSet trace(0, 21600);
+  trace.add_flow(flow(kHost, kPeerA, 0, 0, 0, /*failed=*/true));
+  const auto features = extract_features(trace, config());
+  EXPECT_FALSE(features.at(kHost).initiated_success());
+  EXPECT_DOUBLE_EQ(features.at(kHost).failed_rate(), 1.0);
+}
+
+TEST(FeatureExtractor, VolumeMetricsCountBothDirections) {
+  netflow::TraceSet trace(0, 21600);
+  // Host initiates one flow sending 100 B, and serves one inbound flow on
+  // which it (as responder) sends 1000 B.
+  trace.add_flow(flow(kHost, kPeerA, 0, 100, 200));
+  trace.add_flow(flow(kPeerB, kHost, 10, 50, 1000));
+  const auto features = extract_features(trace, config());
+  const HostFeatures& f = features.at(kHost);
+  EXPECT_EQ(f.flows_received, 1u);
+  EXPECT_EQ(f.bytes_sent_initiated, 100u);
+  EXPECT_EQ(f.bytes_sent_received, 1000u);
+  EXPECT_DOUBLE_EQ(f.volume(VolumeMetric::kSentPerFlow), 1100.0 / 2.0);
+  EXPECT_DOUBLE_EQ(f.volume(VolumeMetric::kSentPerInitiatedFlow), 100.0);
+  EXPECT_DOUBLE_EQ(f.volume(VolumeMetric::kCumulativeBytes), 1100.0);
+}
+
+TEST(FeatureExtractor, FailedInboundFlowsDoNotCount) {
+  netflow::TraceSet trace(0, 21600);
+  trace.add_flow(flow(kHost, kPeerA, 0));
+  trace.add_flow(flow(kPeerB, kHost, 5, 0, 0, /*failed=*/true));
+  const auto features = extract_features(trace, config());
+  EXPECT_EQ(features.at(kHost).flows_received, 0u);
+}
+
+TEST(FeatureExtractor, NewIpFractionUsesFirstHourOfActivity) {
+  netflow::TraceSet trace(0, 21600);
+  // Host becomes active at t=1000. Grace horizon ends at t=4600.
+  trace.add_flow(flow(kHost, kPeerA, 1000));   // within first hour
+  trace.add_flow(flow(kHost, kPeerB, 4000));   // still within first hour
+  trace.add_flow(flow(kHost, kPeerB, 9000));   // repeat, not new
+  trace.add_flow(flow(kHost, kPeerC, 10000));  // first contact after horizon: new
+  const auto features = extract_features(trace, config());
+  const HostFeatures& f = features.at(kHost);
+  EXPECT_EQ(f.distinct_dsts, 3u);
+  EXPECT_EQ(f.dsts_after_first_hour, 1u);
+  EXPECT_NEAR(f.new_ip_fraction(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(FeatureExtractor, NewIpGraceIsConfigurable) {
+  netflow::TraceSet trace(0, 21600);
+  trace.add_flow(flow(kHost, kPeerA, 0));
+  trace.add_flow(flow(kHost, kPeerB, 100));
+  FeatureExtractorConfig fx = config();
+  fx.new_ip_grace = 50.0;
+  const auto features = extract_features(trace, fx);
+  EXPECT_NEAR(features.at(kHost).new_ip_fraction(), 0.5, 1e-12);
+}
+
+TEST(FeatureExtractor, InterstitialsArePerDestination) {
+  netflow::TraceSet trace(0, 21600);
+  trace.add_flow(flow(kHost, kPeerA, 0));
+  trace.add_flow(flow(kHost, kPeerA, 10));
+  trace.add_flow(flow(kHost, kPeerA, 30));
+  trace.add_flow(flow(kHost, kPeerB, 5));
+  trace.add_flow(flow(kHost, kPeerB, 6));
+  const auto features = extract_features(trace, config());
+  std::vector<double> gaps = features.at(kHost).interstitials;
+  std::sort(gaps.begin(), gaps.end());
+  EXPECT_EQ(gaps, (std::vector<double>{1.0, 10.0, 20.0}));
+}
+
+TEST(FeatureExtractor, UnsortedFlowsHandled) {
+  netflow::TraceSet trace(0, 21600);
+  trace.add_flow(flow(kHost, kPeerA, 30));
+  trace.add_flow(flow(kHost, kPeerA, 0));
+  trace.add_flow(flow(kHost, kPeerA, 10));
+  const auto features = extract_features(trace, config());
+  std::vector<double> gaps = features.at(kHost).interstitials;
+  std::sort(gaps.begin(), gaps.end());
+  EXPECT_EQ(gaps, (std::vector<double>{10.0, 20.0}));
+  EXPECT_DOUBLE_EQ(features.at(kHost).first_activity, 0.0);
+}
+
+TEST(FeatureExtractor, ExternalHostsGetNoFeatures) {
+  netflow::TraceSet trace(0, 21600);
+  trace.add_flow(flow(kPeerA, kPeerB, 0));
+  const auto features = extract_features(trace, config());
+  EXPECT_TRUE(features.empty());
+}
+
+TEST(FeatureExtractor, ResponderOnlyHostStillAppears) {
+  netflow::TraceSet trace(0, 21600);
+  trace.add_flow(flow(kPeerA, kHost, 0, 50, 500));
+  const auto features = extract_features(trace, config());
+  ASSERT_TRUE(features.contains(kHost));
+  EXPECT_EQ(features.at(kHost).flows_initiated, 0u);
+  EXPECT_EQ(features.at(kHost).flows_received, 1u);
+  EXPECT_DOUBLE_EQ(features.at(kHost).new_ip_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace tradeplot::detect

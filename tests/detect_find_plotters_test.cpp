@@ -1,0 +1,128 @@
+#include "detect/find_plotters.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace tradeplot::detect {
+namespace {
+
+simnet::Ipv4 host(std::uint8_t last_octet) { return simnet::Ipv4(128, 2, 0, last_octet); }
+
+// A synthetic population with the paper's four archetypes, expressed
+// directly in feature space.
+FeatureMap archetypes(util::Pcg32& rng) {
+  FeatureMap features;
+  const auto add = [&](std::uint8_t octet, std::size_t flows, double failed, double bytes_flow,
+                       double new_frac, std::vector<double> gaps) {
+    HostFeatures f;
+    f.host = host(octet);
+    f.flows_initiated = flows;
+    f.flows_failed = static_cast<std::size_t>(failed * static_cast<double>(flows));
+    f.bytes_sent_initiated =
+        static_cast<std::uint64_t>(bytes_flow * static_cast<double>(flows));
+    f.distinct_dsts = 100;
+    f.dsts_after_first_hour = static_cast<std::size_t>(new_frac * 100.0);
+    f.interstitials = std::move(gaps);
+    features.emplace(f.host, std::move(f));
+  };
+
+  const auto machine = [&rng](double period, std::size_t n) {
+    std::vector<double> gaps(n);
+    for (double& g : gaps) g = period + rng.uniform(-0.5, 0.5);
+    return gaps;
+  };
+  const auto human = [&rng](double mu, std::size_t n) {
+    std::vector<double> gaps(n);
+    for (double& g : gaps) g = rng.lognormal(mu, 1.0);
+    return gaps;
+  };
+
+  // Bots (octets 1-6): high failure, tiny flows, low churn, shared timer.
+  for (std::uint8_t b = 1; b <= 6; ++b) {
+    add(b, 2000, 0.4, 150, 0.10, machine(25.0, 800));
+  }
+  // Traders (octets 10-19): high failure, huge flows, high churn, human gaps.
+  for (std::uint8_t t = 10; t < 20; ++t) {
+    add(t, 300, 0.35, 200000, 0.85, human(5.0 + (t % 3) * 0.5, 60));
+  }
+  // Clean web hosts (octets 30-59): low failure -> reduced away.
+  for (std::uint8_t w = 30; w < 60; ++w) {
+    add(w, 400, 0.02, 1500, 0.40, human(4.0 + (w % 7) * 0.3, 300));
+  }
+  // Flaky misc hosts (octets 70-89): high failure, low-ish volume and
+  // churn spread around the thresholds so a realistic share of them lands
+  // in theta_hm's input alongside the bots, with human timing at diverse
+  // scales.
+  for (std::uint8_t m = 70; m < 90; ++m) {
+    add(m, 150, 0.5, 300.0 + (m % 10) * 160.0, 0.10 + (m % 10) * 0.05,
+        human(4.5 + (m % 10) * 0.4, 120));
+  }
+  return features;
+}
+
+TEST(FindPlotters, FlagsBotsNotTradersOnArchetypePopulation) {
+  util::Pcg32 rng(1);
+  const FeatureMap features = archetypes(rng);
+  const FindPlottersResult result = find_plotters(features);
+
+  // All six bots flagged.
+  for (std::uint8_t b = 1; b <= 6; ++b) {
+    EXPECT_TRUE(std::binary_search(result.plotters.begin(), result.plotters.end(), host(b)))
+        << "bot " << int(b);
+  }
+  // No trader flagged (their volume and churn keep them out of theta_hm's
+  // input, and their timing is human anyway).
+  for (std::uint8_t t = 10; t < 20; ++t) {
+    EXPECT_FALSE(std::binary_search(result.plotters.begin(), result.plotters.end(), host(t)));
+  }
+  // False positives among the 50 background hosts stay small.
+  std::size_t fp = 0;
+  for (const simnet::Ipv4 ip : result.plotters) {
+    const auto octet = ip.value() & 0xff;
+    if (octet >= 30) ++fp;
+  }
+  EXPECT_LE(fp, 5u);
+}
+
+TEST(FindPlotters, StagesNest) {
+  util::Pcg32 rng(2);
+  const FeatureMap features = archetypes(rng);
+  const FindPlottersResult result = find_plotters(features);
+  const auto is_subset = [](const HostSet& small, const HostSet& big) {
+    return std::includes(big.begin(), big.end(), small.begin(), small.end());
+  };
+  EXPECT_TRUE(is_subset(result.reduced, result.input));
+  EXPECT_TRUE(is_subset(result.s_vol, result.reduced));
+  EXPECT_TRUE(is_subset(result.s_churn, result.reduced));
+  EXPECT_TRUE(is_subset(result.s_vol, result.vol_or_churn));
+  EXPECT_TRUE(is_subset(result.s_churn, result.vol_or_churn));
+  EXPECT_TRUE(is_subset(result.plotters, result.vol_or_churn));
+  EXPECT_EQ(result.plotters, result.hm.flagged);
+}
+
+TEST(FindPlotters, CleanHostsAreReducedAway) {
+  util::Pcg32 rng(3);
+  const FeatureMap features = archetypes(rng);
+  const FindPlottersResult result = find_plotters(features);
+  for (std::uint8_t w = 30; w < 60; ++w) {
+    EXPECT_FALSE(std::binary_search(result.reduced.begin(), result.reduced.end(), host(w)))
+        << "clean host " << int(w);
+  }
+}
+
+TEST(FindPlotters, ThresholdPercentilesArePluggable) {
+  util::Pcg32 rng(4);
+  const FeatureMap features = archetypes(rng);
+  FindPlottersConfig strict;
+  strict.volume.percentile = 0.1;
+  strict.churn.percentile = 0.1;
+  const FindPlottersResult strict_result = find_plotters(features, strict);
+  const FindPlottersResult default_result = find_plotters(features);
+  EXPECT_LE(strict_result.vol_or_churn.size(), default_result.vol_or_churn.size());
+}
+
+}  // namespace
+}  // namespace tradeplot::detect

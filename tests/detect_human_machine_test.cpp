@@ -1,0 +1,181 @@
+#include "detect/human_machine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace tradeplot::detect {
+namespace {
+
+simnet::Ipv4 host(std::uint8_t last_octet) { return simnet::Ipv4(128, 2, 0, last_octet); }
+
+HostFeatures with_interstitials(std::uint8_t last_octet, std::vector<double> gaps) {
+  HostFeatures f;
+  f.host = host(last_octet);
+  f.flows_initiated = gaps.size() + 1;
+  f.interstitials = std::move(gaps);
+  return f;
+}
+
+// `count` samples at `period` with +-jitter noise: a machine timer.
+std::vector<double> machine_gaps(util::Pcg32& rng, double period, double jitter,
+                                 std::size_t count) {
+  std::vector<double> gaps(count);
+  for (double& g : gaps) g = period + rng.uniform(-jitter, jitter);
+  return gaps;
+}
+
+// Heavy-tailed human gaps with a per-host scale.
+std::vector<double> human_gaps(util::Pcg32& rng, double mu, std::size_t count) {
+  std::vector<double> gaps(count);
+  for (double& g : gaps) g = rng.lognormal(mu, 1.0);
+  return gaps;
+}
+
+struct Population {
+  FeatureMap features;
+  HostSet input;
+
+  void add(HostFeatures f) {
+    input.push_back(f.host);
+    features.emplace(f.host, std::move(f));
+  }
+};
+
+Population bots_and_humans() {
+  util::Pcg32 rng(1);
+  Population pop;
+  // Five "bots" sharing a 30 s timer.
+  for (std::uint8_t b = 1; b <= 5; ++b) {
+    pop.add(with_interstitials(b, machine_gaps(rng, 30.0, 0.5, 400)));
+  }
+  // Twelve humans at assorted scales.
+  for (std::uint8_t h = 20; h < 32; ++h) {
+    pop.add(with_interstitials(h, human_gaps(rng, 5.0 + (h % 5) * 0.4, 300)));
+  }
+  return pop;
+}
+
+TEST(HumanMachineTest, BotsClusterTogetherAndSurvive) {
+  Population pop = bots_and_humans();
+  const HumanMachineResult result = human_machine_test(pop.features, pop.input, {});
+  // All five machine-driven hosts flagged...
+  for (std::uint8_t b = 1; b <= 5; ++b) {
+    EXPECT_TRUE(std::binary_search(result.flagged.begin(), result.flagged.end(), host(b)))
+        << "bot " << int(b);
+  }
+  // ...and they sit in one pure, tight cluster.
+  bool found_pure_bot_cluster = false;
+  for (const HostCluster& cluster : result.clusters) {
+    std::size_t bots = 0;
+    for (const simnet::Ipv4 member : cluster.members) {
+      if (member <= host(5)) ++bots;
+    }
+    if (bots == 5 && cluster.members.size() == 5) {
+      found_pure_bot_cluster = true;
+      EXPECT_TRUE(cluster.kept);
+    }
+  }
+  EXPECT_TRUE(found_pure_bot_cluster);
+}
+
+TEST(HumanMachineTest, MinSamplesSkipsQuietHosts) {
+  util::Pcg32 rng(2);
+  Population pop = bots_and_humans();
+  pop.add(with_interstitials(99, {1.0, 2.0}));  // 2 samples only
+  HumanMachineConfig config;
+  config.min_samples = 10;
+  const HumanMachineResult result = human_machine_test(pop.features, pop.input, config);
+  EXPECT_TRUE(std::binary_search(result.skipped.begin(), result.skipped.end(), host(99)));
+  EXPECT_FALSE(std::binary_search(result.flagged.begin(), result.flagged.end(), host(99)));
+}
+
+TEST(HumanMachineTest, TooFewEligibleHostsReturnsEmpty) {
+  util::Pcg32 rng(3);
+  Population pop;
+  pop.add(with_interstitials(1, machine_gaps(rng, 10, 0.1, 100)));
+  const HumanMachineResult result = human_machine_test(pop.features, pop.input, {});
+  EXPECT_TRUE(result.flagged.empty());
+  EXPECT_TRUE(result.clusters.empty());
+}
+
+TEST(HumanMachineTest, SingletonClustersAreNeverFlagged) {
+  util::Pcg32 rng(4);
+  Population pop;
+  // Two wildly different hosts: after any cut they are singletons.
+  pop.add(with_interstitials(1, machine_gaps(rng, 10, 0.1, 100)));
+  pop.add(with_interstitials(2, machine_gaps(rng, 5000, 1, 100)));
+  const HumanMachineResult result = human_machine_test(pop.features, pop.input, {});
+  EXPECT_TRUE(result.flagged.empty());
+}
+
+TEST(HumanMachineTest, DiameterPercentileControlsStrictness) {
+  Population pop = bots_and_humans();
+  HumanMachineConfig strict;
+  strict.diameter_percentile = 0.0;  // only the single tightest cluster
+  const HumanMachineResult strict_result = human_machine_test(pop.features, pop.input, strict);
+  HumanMachineConfig lax;
+  lax.diameter_percentile = 1.0;  // every cluster survives
+  const HumanMachineResult lax_result = human_machine_test(pop.features, pop.input, lax);
+  EXPECT_LE(strict_result.flagged.size(), lax_result.flagged.size());
+  // At percentile 1.0, all clustered hosts are flagged.
+  std::size_t clustered = 0;
+  for (const auto& c : lax_result.clusters) clustered += c.members.size();
+  EXPECT_EQ(lax_result.flagged.size(), clustered);
+}
+
+TEST(HumanMachineTest, FixedBinWidthVariantRuns) {
+  Population pop = bots_and_humans();
+  HumanMachineConfig config;
+  config.fixed_bin_width = 10.0;
+  const HumanMachineResult result = human_machine_test(pop.features, pop.input, config);
+  // The bots' shared timer must still be visible with a sane fixed width.
+  for (std::uint8_t b = 1; b <= 5; ++b) {
+    EXPECT_TRUE(std::binary_search(result.flagged.begin(), result.flagged.end(), host(b)));
+  }
+}
+
+TEST(HumanMachineTest, AlternativeDistancesRun) {
+  Population pop = bots_and_humans();
+  for (const HmDistance d :
+       {HmDistance::kEmd, HmDistance::kEmdBinIndex, HmDistance::kBinL1}) {
+    HumanMachineConfig config;
+    config.distance = d;
+    const HumanMachineResult result = human_machine_test(pop.features, pop.input, config);
+    EXPECT_FALSE(result.clusters.empty());
+  }
+}
+
+TEST(HumanMachineTest, JitteredAndDilutedBotsEscape) {
+  // The paper's Fig. 12 mechanism in miniature. Jitter alone does not break
+  // the similarity of bots running the same algorithm (their smeared
+  // distributions stay identical); what pushes them apart is the smear
+  // *combined* with the traffic of the host each bot rides on — once the
+  // comb no longer dominates, the per-carrier background differences do.
+  util::Pcg32 rng(5);
+  Population pop;
+  for (std::uint8_t b = 1; b <= 5; ++b) {
+    // timer 30 s + uniform jitter of +-300 s, mixed with the carrier's own
+    // human traffic at a per-host scale.
+    std::vector<double> gaps(400);
+    for (double& g : gaps) g = 30.0 + rng.uniform(0.0, 600.0);
+    const auto background = human_gaps(rng, 5.5 + b * 0.5, 120);
+    gaps.insert(gaps.end(), background.begin(), background.end());
+    pop.add(with_interstitials(b, std::move(gaps)));
+  }
+  for (std::uint8_t h = 20; h < 32; ++h) {
+    pop.add(with_interstitials(h, human_gaps(rng, 5.0 + (h % 5) * 0.4, 300)));
+  }
+  const HumanMachineResult result = human_machine_test(pop.features, pop.input, {});
+  std::size_t flagged_bots = 0;
+  for (std::uint8_t b = 1; b <= 5; ++b) {
+    if (std::binary_search(result.flagged.begin(), result.flagged.end(), host(b)))
+      ++flagged_bots;
+  }
+  EXPECT_LT(flagged_bots, 5u);
+}
+
+}  // namespace
+}  // namespace tradeplot::detect

@@ -1,0 +1,156 @@
+#include "detect/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "botnet/honeynet.h"
+#include "eval/day.h"
+#include "util/error.h"
+
+namespace tradeplot::detect {
+namespace {
+
+bool is_internal(simnet::Ipv4 ip) { return default_internal_predicate(ip); }
+
+netflow::FlowRecord flow(simnet::Ipv4 src, simnet::Ipv4 dst, double start,
+                         std::uint64_t bytes = 100) {
+  netflow::FlowRecord r;
+  r.src = src;
+  r.dst = dst;
+  r.start_time = start;
+  r.end_time = start + 1;
+  r.bytes_src = bytes;
+  r.pkts_src = 1;
+  r.pkts_dst = 1;
+  return r;
+}
+
+StreamingConfig config(double window = 100.0) {
+  StreamingConfig c;
+  c.window = window;
+  c.is_internal = is_internal;
+  return c;
+}
+
+TEST(StreamingDetector, ValidatesConfig) {
+  const auto sink = [](const WindowVerdict&) {};
+  EXPECT_THROW(StreamingDetector(StreamingConfig{}, sink), util::ConfigError);
+  StreamingConfig bad = config();
+  bad.window = 0;
+  EXPECT_THROW(StreamingDetector(bad, sink), util::ConfigError);
+  EXPECT_THROW(StreamingDetector(config(), nullptr), util::ConfigError);
+}
+
+TEST(StreamingDetector, EmitsOneVerdictPerWindow) {
+  std::vector<WindowVerdict> verdicts;
+  StreamingDetector detector(config(100.0),
+                             [&](const WindowVerdict& v) { verdicts.push_back(v); });
+  const simnet::Ipv4 host(128, 2, 0, 1);
+  detector.ingest(flow(host, simnet::Ipv4(1, 1, 1, 1), 10));
+  detector.ingest(flow(host, simnet::Ipv4(1, 1, 1, 2), 50));
+  detector.ingest(flow(host, simnet::Ipv4(1, 1, 1, 3), 150));  // rolls window 0
+  detector.ingest(flow(host, simnet::Ipv4(1, 1, 1, 4), 260));  // rolls window 1
+  detector.flush();                                            // emits window 2
+  ASSERT_EQ(verdicts.size(), 3u);
+  EXPECT_EQ(verdicts[0].flows_seen, 2u);
+  EXPECT_DOUBLE_EQ(verdicts[0].window_start, 0.0);
+  EXPECT_DOUBLE_EQ(verdicts[0].window_end, 100.0);
+  EXPECT_EQ(verdicts[1].flows_seen, 1u);
+  EXPECT_EQ(verdicts[2].flows_seen, 1u);
+  EXPECT_EQ(verdicts[2].window_index, 2u);
+}
+
+TEST(StreamingDetector, LongGapsEmitEmptyWindows) {
+  std::vector<WindowVerdict> verdicts;
+  StreamingDetector detector(config(100.0),
+                             [&](const WindowVerdict& v) { verdicts.push_back(v); });
+  const simnet::Ipv4 host(128, 2, 0, 1);
+  detector.ingest(flow(host, simnet::Ipv4(1, 1, 1, 1), 10));
+  detector.ingest(flow(host, simnet::Ipv4(1, 1, 1, 2), 350));
+  detector.flush();
+  ASSERT_EQ(verdicts.size(), 4u);  // windows [0,100), [100,200), [200,300), [300,400)
+  EXPECT_EQ(verdicts[1].flows_seen, 0u);
+  EXPECT_EQ(verdicts[2].flows_seen, 0u);
+}
+
+TEST(StreamingDetector, FirstWindowAlignsToMultipleOfD) {
+  std::vector<WindowVerdict> verdicts;
+  StreamingDetector detector(config(100.0),
+                             [&](const WindowVerdict& v) { verdicts.push_back(v); });
+  detector.ingest(flow(simnet::Ipv4(128, 2, 0, 1), simnet::Ipv4(1, 1, 1, 1), 567.0));
+  detector.flush();
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_DOUBLE_EQ(verdicts[0].window_start, 500.0);
+}
+
+TEST(StreamingDetector, MatchesBatchExtractorOnOrderedTrace) {
+  // A streaming pass over one window must produce the same features as the
+  // batch extractor for in-order flows.
+  const auto storm_cfg = [] {
+    botnet::HoneynetConfig h;
+    h.seed = 3;
+    h.duration = 1800.0;
+    h.nugache_bots = 0;
+    return h;
+  }();
+  const netflow::TraceSet trace = botnet::generate_storm_trace(storm_cfg);
+
+  FeatureMap streamed;
+  StreamingConfig cfg = config(3600.0);
+  StreamingDetector detector(cfg, [&](const WindowVerdict&) {});
+  // Capture features via a custom sink is not possible (result only), so
+  // compare through the pipeline result instead: run both paths.
+  std::vector<FindPlottersResult> results;
+  StreamingDetector detector2(cfg, [&](const WindowVerdict& v) { results.push_back(v.result); });
+  for (const auto& rec : trace.flows()) detector2.ingest(rec);
+  detector2.flush();
+
+  FeatureExtractorConfig fx;
+  fx.is_internal = is_internal;
+  const FeatureMap batch = extract_features(trace, fx);
+  const FindPlottersResult batch_result = find_plotters(batch);
+
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].input, batch_result.input);
+  EXPECT_EQ(results[0].reduced, batch_result.reduced);
+  EXPECT_EQ(results[0].s_vol, batch_result.s_vol);
+  EXPECT_EQ(results[0].s_churn, batch_result.s_churn);
+  EXPECT_EQ(results[0].plotters, batch_result.plotters);
+}
+
+TEST(StreamingDetector, ParityWithBatchOnOverlaidDay) {
+  // The streaming path must reach the same verdict as the batch pipeline
+  // on a full overlaid day whose flows arrive in time order.
+  botnet::HoneynetConfig honeynet;
+  honeynet.seed = 11;
+  honeynet.duration = 2 * 3600.0;
+  const netflow::TraceSet storm = botnet::generate_storm_trace(honeynet);
+  const netflow::TraceSet empty;
+  trace::CampusConfig campus;
+  campus.seed = 11;
+  campus.window = 2 * 3600.0;
+  campus.web_clients = 150;
+  campus.idle_hosts = 50;
+  campus.gnutella_hosts = 5;
+  campus.emule_hosts = 5;
+  campus.bittorrent_hosts = 8;
+  const eval::DayData day = eval::make_day(campus, storm, empty, 0);
+  const FindPlottersResult batch = find_plotters(day.features);
+
+  StreamingConfig cfg = config(2 * 3600.0);
+  std::vector<WindowVerdict> verdicts;
+  StreamingDetector detector(cfg, [&](const WindowVerdict& v) { verdicts.push_back(v); });
+  for (const auto& rec : day.combined.flows()) detector.ingest(rec);
+  detector.flush();
+
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].flows_seen, day.combined.flows().size());
+  EXPECT_EQ(verdicts[0].result.input, batch.input);
+  EXPECT_EQ(verdicts[0].result.reduced, batch.reduced);
+  EXPECT_EQ(verdicts[0].result.vol_or_churn, batch.vol_or_churn);
+  EXPECT_EQ(verdicts[0].result.plotters, batch.plotters);
+}
+
+}  // namespace
+}  // namespace tradeplot::detect

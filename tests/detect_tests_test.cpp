@@ -1,0 +1,167 @@
+#include "detect/tests.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tradeplot::detect {
+namespace {
+
+// Builds a feature map from compact per-host tuples.
+struct HostSpec {
+  std::uint8_t last_octet;
+  double failed_rate;        // over 10 initiated flows
+  double avg_bytes_per_flow; // sent per initiated flow, no received flows
+  double new_ip_fraction;    // over 10 distinct destinations
+};
+
+FeatureMap build(const std::vector<HostSpec>& specs) {
+  FeatureMap features;
+  for (const HostSpec& spec : specs) {
+    HostFeatures f;
+    f.host = simnet::Ipv4(128, 2, 0, spec.last_octet);
+    f.flows_initiated = 10;
+    f.flows_failed = static_cast<std::size_t>(spec.failed_rate * 10.0 + 0.5);
+    f.bytes_sent_initiated = static_cast<std::uint64_t>(spec.avg_bytes_per_flow * 10.0);
+    f.distinct_dsts = 10;
+    f.dsts_after_first_hour = static_cast<std::size_t>(spec.new_ip_fraction * 10.0 + 0.5);
+    features.emplace(f.host, std::move(f));
+  }
+  return features;
+}
+
+simnet::Ipv4 host(std::uint8_t last_octet) { return simnet::Ipv4(128, 2, 0, last_octet); }
+
+TEST(DataReduction, KeepsHostsAboveMedianFailedRate) {
+  const FeatureMap features = build({
+      {1, 0.0, 100, 0.5},
+      {2, 0.1, 100, 0.5},
+      {3, 0.2, 100, 0.5},
+      {4, 0.5, 100, 0.5},
+      {5, 0.9, 100, 0.5},
+  });
+  const HostSet input = all_hosts(features);
+  EXPECT_DOUBLE_EQ(data_reduction_threshold(features, input), 0.2);
+  const HostSet kept = data_reduction(features, input);
+  EXPECT_EQ(kept, (HostSet{host(4), host(5)}));
+}
+
+TEST(DataReduction, DropsHostsWithNoSuccessfulFlows) {
+  FeatureMap features = build({{1, 0.1, 100, 0.5}, {2, 0.5, 100, 0.5}});
+  HostFeatures all_fail;
+  all_fail.host = host(3);
+  all_fail.flows_initiated = 5;
+  all_fail.flows_failed = 5;
+  features.emplace(all_fail.host, all_fail);
+  const HostSet kept = data_reduction(features, all_hosts(features));
+  // Host 3's 100% failure rate is excluded from both the threshold and the
+  // output ("only hosts that initiated successful connections").
+  EXPECT_EQ(kept, (HostSet{host(2)}));
+}
+
+TEST(DataReduction, PercentileIsConfigurable) {
+  const FeatureMap features = build({
+      {1, 0.1, 100, 0.5}, {2, 0.2, 100, 0.5}, {3, 0.3, 100, 0.5},
+      {4, 0.4, 100, 0.5}, {5, 0.6, 100, 0.5},
+  });
+  DataReductionConfig config;
+  config.percentile = 0.1;  // keep almost everyone
+  const HostSet kept = data_reduction(features, all_hosts(features), config);
+  EXPECT_EQ(kept.size(), 4u);
+}
+
+TEST(VolumeTest, KeepsLowVolumeHosts) {
+  const FeatureMap features = build({
+      {1, 0.5, 50, 0.5},     // bot-like: tiny flows
+      {2, 0.5, 2000, 0.5},   // web-ish
+      {3, 0.5, 5000, 0.5},
+      {4, 0.5, 100000, 0.5}, // trader-like
+      {5, 0.5, 300000, 0.5},
+  });
+  const HostSet input = all_hosts(features);
+  EXPECT_DOUBLE_EQ(volume_threshold(features, input, {}), 5000.0);
+  const HostSet kept = volume_test(features, input, {});
+  EXPECT_EQ(kept, (HostSet{host(1), host(2)}));
+}
+
+TEST(VolumeTest, MetricChoiceMatters) {
+  FeatureMap features;
+  HostFeatures chatty;  // many tiny flows: low avg, high cumulative
+  chatty.host = host(1);
+  chatty.flows_initiated = 1000;
+  chatty.bytes_sent_initiated = 100000;  // 100 B per flow
+  features.emplace(chatty.host, chatty);
+  HostFeatures quiet;  // one large flow
+  quiet.host = host(2);
+  quiet.flows_initiated = 1;
+  quiet.bytes_sent_initiated = 50000;
+  features.emplace(quiet.host, quiet);
+
+  EXPECT_LT(features.at(host(1)).volume(VolumeMetric::kSentPerFlow),
+            features.at(host(2)).volume(VolumeMetric::kSentPerFlow));
+  EXPECT_GT(features.at(host(1)).volume(VolumeMetric::kCumulativeBytes),
+            features.at(host(2)).volume(VolumeMetric::kCumulativeBytes));
+}
+
+TEST(ChurnTest, KeepsLowChurnHosts) {
+  const FeatureMap features = build({
+      {1, 0.5, 100, 0.05},  // bot-like: mostly repeat contacts
+      {2, 0.5, 100, 0.30},
+      {3, 0.5, 100, 0.60},
+      {4, 0.5, 100, 0.90},  // trader-like
+      {5, 0.5, 100, 1.00},
+  });
+  const HostSet input = all_hosts(features);
+  EXPECT_DOUBLE_EQ(churn_threshold(features, input, {}), 0.6);
+  const HostSet kept = churn_test(features, input, {});
+  EXPECT_EQ(kept, (HostSet{host(1), host(2)}));
+}
+
+TEST(Tests, ThrowOnUnknownHost) {
+  const FeatureMap features = build({{1, 0.5, 100, 0.5}});
+  const HostSet bogus = {host(99)};
+  EXPECT_THROW((void)volume_test(features, bogus, {}), util::ConfigError);
+  EXPECT_THROW((void)churn_test(features, bogus, {}), util::ConfigError);
+  EXPECT_THROW((void)data_reduction(features, bogus), util::ConfigError);
+}
+
+TEST(Tests, EmptyInputThrows) {
+  const FeatureMap features;
+  EXPECT_THROW((void)volume_threshold(features, {}, {}), util::ConfigError);
+}
+
+TEST(HostUnion, SortedUniqueMerge) {
+  const HostSet a = {host(3), host(1)};
+  const HostSet b = {host(2), host(3)};
+  EXPECT_EQ(host_union(a, b), (HostSet{host(1), host(2), host(3)}));
+  EXPECT_EQ(host_union({}, {}), HostSet{});
+}
+
+TEST(AllHosts, SortedListOfFeatureMapKeys) {
+  const FeatureMap features = build({{5, 0, 0, 0}, {1, 0, 0, 0}, {3, 0, 0, 0}});
+  EXPECT_EQ(all_hosts(features), (HostSet{host(1), host(3), host(5)}));
+}
+
+// Property: the percentile threshold adapts — scaling every host's volume
+// by a constant leaves the kept *set* unchanged (the paper's evasion
+// argument in miniature).
+class RelativeThresholdProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(RelativeThresholdProperty, VolumeTestIsScaleInvariant) {
+  const double scale = GetParam();
+  std::vector<HostSpec> specs;
+  for (std::uint8_t i = 1; i <= 20; ++i) {
+    specs.push_back({i, 0.5, i * 137.0, 0.5});
+  }
+  const FeatureMap base = build(specs);
+  for (auto& spec : specs) spec.avg_bytes_per_flow *= scale;
+  const FeatureMap scaled = build(specs);
+  EXPECT_EQ(volume_test(base, all_hosts(base), {}),
+            volume_test(scaled, all_hosts(scaled), {}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, RelativeThresholdProperty,
+                         ::testing::Values(0.5, 2.0, 10.0, 100.0));
+
+}  // namespace
+}  // namespace tradeplot::detect

@@ -1,0 +1,83 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace tradeplot::eval {
+namespace {
+
+simnet::Ipv4 host(std::uint8_t last_octet) { return simnet::Ipv4(128, 2, 0, last_octet); }
+
+DayData fake_day() {
+  DayData day;
+  day.storm_hosts = {host(1), host(2)};
+  day.nugache_hosts = {host(3), host(4), host(5)};
+  day.combined.set_truth(host(10), netflow::HostKind::kBitTorrent);
+  day.combined.set_truth(host(11), netflow::HostKind::kGnutella);
+  day.combined.set_truth(host(20), netflow::HostKind::kWebClient);
+  return day;
+}
+
+TEST(StageRatesTest, CountsPerBotnetAndNegatives) {
+  const DayData day = fake_day();
+  const detect::HostSet population = {host(1), host(2), host(3), host(4), host(5),
+                                      host(10), host(11), host(20)};
+  const detect::HostSet output = {host(1), host(3), host(10)};
+  const StageRates rates = stage_rates(day, output, population);
+  EXPECT_EQ(rates.storm_in_population, 2u);
+  EXPECT_EQ(rates.nugache_in_population, 3u);
+  EXPECT_EQ(rates.negatives_in_population, 3u);
+  EXPECT_EQ(rates.traders_in_population, 2u);
+  EXPECT_DOUBLE_EQ(rates.storm_tp, 0.5);
+  EXPECT_NEAR(rates.nugache_tp, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(rates.fp, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rates.traders_remaining, 0.5);
+  EXPECT_EQ(rates.flagged, 3u);
+}
+
+TEST(StageRatesTest, RatesAreRelativeToPopulation) {
+  const DayData day = fake_day();
+  // A population that excludes one storm host: only the included one counts.
+  const detect::HostSet population = {host(1), host(20)};
+  const detect::HostSet output = {host(1)};
+  const StageRates rates = stage_rates(day, output, population);
+  EXPECT_EQ(rates.storm_in_population, 1u);
+  EXPECT_DOUBLE_EQ(rates.storm_tp, 1.0);
+  EXPECT_DOUBLE_EQ(rates.fp, 0.0);
+}
+
+TEST(StageRatesTest, EmptyPopulationYieldsZeros) {
+  const DayData day = fake_day();
+  const StageRates rates = stage_rates(day, {}, {});
+  EXPECT_DOUBLE_EQ(rates.storm_tp, 0.0);
+  EXPECT_DOUBLE_EQ(rates.fp, 0.0);
+}
+
+TEST(AverageTest, MeansOverDays) {
+  StageRates a;
+  a.storm_tp = 1.0;
+  a.fp = 0.02;
+  a.flagged = 10;
+  StageRates b;
+  b.storm_tp = 0.5;
+  b.fp = 0.04;
+  b.flagged = 20;
+  const StageRates avg = average({a, b});
+  EXPECT_DOUBLE_EQ(avg.storm_tp, 0.75);
+  EXPECT_DOUBLE_EQ(avg.fp, 0.03);
+  EXPECT_EQ(avg.flagged, 30u);  // accumulated, not averaged
+  EXPECT_DOUBLE_EQ(average({}).storm_tp, 0.0);
+}
+
+TEST(DayDataTest, MembershipPredicates) {
+  const DayData day = fake_day();
+  EXPECT_TRUE(day.is_storm(host(1)));
+  EXPECT_FALSE(day.is_storm(host(3)));
+  EXPECT_TRUE(day.is_nugache(host(3)));
+  EXPECT_TRUE(day.is_plotter(host(2)));
+  EXPECT_FALSE(day.is_plotter(host(10)));
+  EXPECT_TRUE(day.is_trader(host(10)));
+  EXPECT_FALSE(day.is_trader(host(20)));
+}
+
+}  // namespace
+}  // namespace tradeplot::eval

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hosts/misc.h"
+#include "hosts/services.h"
+#include "hosts/web.h"
+#include "netflow/app_env.h"
+#include "simnet/address.h"
+#include "simnet/simulation.h"
+
+namespace tradeplot::hosts {
+namespace {
+
+constexpr double kWindow = 6 * 3600.0;
+const simnet::Ipv4 kSelf(128, 2, 0, 42);
+
+struct World {
+  simnet::Simulation sim;
+  simnet::SubnetAllocator alloc{{simnet::Subnet(simnet::Ipv4(128, 2, 0, 0), 16)},
+                                util::Pcg32(999)};
+  std::vector<netflow::FlowRecord> flows;
+
+  netflow::AppEnv env() {
+    netflow::AppEnv e;
+    e.sim = &sim;
+    e.window_end = kWindow;
+    e.sink = [this](netflow::FlowRecord r) { flows.push_back(std::move(r)); };
+    e.external_addr = [this] { return alloc.random_external(); };
+    return e;
+  }
+
+  void run() { sim.run_until(kWindow); }
+};
+
+struct Stats {
+  std::size_t initiated = 0;
+  std::size_t received = 0;
+  std::size_t failed = 0;
+  std::set<simnet::Ipv4> dsts;
+};
+
+Stats stats_for(const std::vector<netflow::FlowRecord>& flows, simnet::Ipv4 self) {
+  Stats s;
+  for (const auto& r : flows) {
+    if (r.src == self) {
+      ++s.initiated;
+      if (r.failed()) ++s.failed;
+      s.dsts.insert(r.dst);
+    } else if (r.dst == self) {
+      ++s.received;
+    }
+  }
+  return s;
+}
+
+TEST(WebClient, GeneratesBrowsingTrafficWithinWindow) {
+  World world;
+  WebClient client(world.env(), kSelf, util::Pcg32(1));
+  client.start();
+  world.run();
+  ASSERT_FALSE(world.flows.empty());
+  const Stats s = stats_for(world.flows, kSelf);
+  EXPECT_GT(s.initiated, 5u);
+  EXPECT_GT(s.dsts.size(), 3u);
+  for (const auto& r : world.flows) {
+    EXPECT_GE(r.start_time, 0.0);
+    EXPECT_LE(r.start_time, kWindow);
+    EXPECT_TRUE(r.dport == 80 || r.dport == 443) << r.dport;
+  }
+}
+
+TEST(WebClient, PopulationFailureRatesSpreadWide) {
+  // The per-host flakiness draw must produce both clean and flaky hosts.
+  World world;
+  std::vector<std::unique_ptr<WebClient>> clients;
+  std::vector<simnet::Ipv4> ips;
+  for (int i = 0; i < 60; ++i) {
+    const auto ip = world.alloc.next_internal();
+    ips.push_back(ip);
+    clients.push_back(std::make_unique<WebClient>(world.env(), ip, util::Pcg32(100 + i)));
+    clients.back()->start();
+  }
+  world.run();
+  int clean = 0, flaky = 0;
+  for (const auto ip : ips) {
+    const Stats s = stats_for(world.flows, ip);
+    if (s.initiated < 10) continue;
+    const double rate = static_cast<double>(s.failed) / static_cast<double>(s.initiated);
+    if (rate < 0.05) ++clean;
+    if (rate > 0.20) ++flaky;
+  }
+  EXPECT_GT(clean, 5);
+  EXPECT_GT(flaky, 2);
+}
+
+TEST(WebServer, MostlyInboundTraffic) {
+  World world;
+  WebServer server(world.env(), kSelf, util::Pcg32(2));
+  server.start();
+  world.run();
+  const Stats s = stats_for(world.flows, kSelf);
+  EXPECT_GT(s.received, 100u);
+  EXPECT_GT(s.initiated, 0u);
+  EXPECT_LT(s.initiated, s.received / 4);
+}
+
+TEST(MailServer, HighChurnAndModerateFailures) {
+  World world;
+  MailServer mail(world.env(), kSelf, util::Pcg32(3));
+  mail.start();
+  world.run();
+  const Stats s = stats_for(world.flows, kSelf);
+  ASSERT_GT(s.initiated, 50u);
+  const double fail_rate = static_cast<double>(s.failed) / static_cast<double>(s.initiated);
+  EXPECT_GT(fail_rate, 0.08);
+  EXPECT_LT(fail_rate, 0.40);
+  // Most destinations contacted only once or twice: high churn.
+  EXPECT_GT(s.dsts.size(), s.initiated / 3);
+}
+
+TEST(DnsClient, SmallUdpFlowsToFewResolvers) {
+  World world;
+  DnsClient dns(world.env(), kSelf, util::Pcg32(4));
+  dns.start();
+  world.run();
+  const Stats s = stats_for(world.flows, kSelf);
+  ASSERT_GT(s.initiated, 100u);
+  EXPECT_LE(s.dsts.size(), 2u);
+  for (const auto& r : world.flows) {
+    if (r.src != kSelf) continue;
+    EXPECT_EQ(r.proto, netflow::Protocol::kUdp);
+    EXPECT_EQ(r.dport, 53);
+    EXPECT_LT(r.bytes_src, 100u);
+  }
+}
+
+TEST(NtpClient, StrictlyPeriodicBeacons) {
+  World world;
+  NtpClient ntp(world.env(), kSelf, util::Pcg32(5));
+  ntp.start();
+  world.run();
+  const Stats s = stats_for(world.flows, kSelf);
+  // ~ window/64s beacons per server, 2 servers.
+  EXPECT_NEAR(static_cast<double>(s.initiated), 2 * kWindow / 64.0,
+              0.1 * 2 * kWindow / 64.0);
+  EXPECT_EQ(s.failed, 0u);
+  // Interstitial gaps to one server concentrate at the poll period.
+  std::vector<double> times;
+  const simnet::Ipv4 server = *s.dsts.begin();
+  for (const auto& r : world.flows) {
+    if (r.src == kSelf && r.dst == server) times.push_back(r.start_time);
+  }
+  ASSERT_GT(times.size(), 10u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_NEAR(times[i] - times[i - 1], 64.0, 1.5);
+  }
+}
+
+TEST(ScannerHost, OverwhelminglyFailedContactsToUniqueTargets) {
+  World world;
+  ScannerHost scanner(world.env(), kSelf, util::Pcg32(6));
+  scanner.start();
+  world.run();
+  const Stats s = stats_for(world.flows, kSelf);
+  ASSERT_GT(s.initiated, 300u);
+  EXPECT_GT(static_cast<double>(s.failed) / static_cast<double>(s.initiated), 0.9);
+  // Random scanning: virtually every destination is new.
+  EXPECT_GT(s.dsts.size(), s.initiated * 95 / 100);
+}
+
+TEST(IdleHost, EmitsFewFlows) {
+  World world;
+  IdleHost idle(world.env(), kSelf, util::Pcg32(7));
+  idle.start();
+  world.run();
+  const Stats s = stats_for(world.flows, kSelf);
+  EXPECT_GE(s.initiated, 1u);
+  EXPECT_LT(s.initiated, 60u);
+}
+
+TEST(Models, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    World world;
+    WebClient client(world.env(), kSelf, util::Pcg32(42));
+    client.start();
+    world.run();
+    return world.flows;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace tradeplot::hosts

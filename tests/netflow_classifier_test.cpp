@@ -1,0 +1,132 @@
+#include "netflow/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "netflow/flow_record.h"
+
+namespace tradeplot::netflow {
+namespace {
+
+std::string ed2k(unsigned char proto, std::uint32_t len, unsigned char opcode) {
+  std::string f;
+  f.push_back(static_cast<char>(proto));
+  f.push_back(static_cast<char>(len & 0xff));
+  f.push_back(static_cast<char>((len >> 8) & 0xff));
+  f.push_back(static_cast<char>((len >> 16) & 0xff));
+  f.push_back(static_cast<char>((len >> 24) & 0xff));
+  f.push_back(static_cast<char>(opcode));
+  return f;
+}
+
+TEST(PayloadClassifier, GnutellaKeywords) {
+  EXPECT_EQ(PayloadClassifier::classify("GNUTELLA CONNECT/0.6\r\n"), AppLabel::kGnutella);
+  EXPECT_EQ(PayloadClassifier::classify("GNUTELLA/0.6 200 OK"), AppLabel::kGnutella);
+  EXPECT_EQ(PayloadClassifier::classify("x CONNECT BACK y"), AppLabel::kGnutella);
+  EXPECT_EQ(PayloadClassifier::classify("servent: LIME"), AppLabel::kGnutella);
+}
+
+TEST(PayloadClassifier, EMuleFrames) {
+  EXPECT_EQ(PayloadClassifier::classify(ed2k(0xe3, 0x55, 0x01)), AppLabel::kEMule);
+  EXPECT_EQ(PayloadClassifier::classify(ed2k(0xc5, 0x2c00, 0x40)), AppLabel::kEMule);
+  EXPECT_EQ(PayloadClassifier::classify(ed2k(0xe3, 0x20, 0x58)), AppLabel::kEMule);
+  EXPECT_EQ(PayloadClassifier::classify(ed2k(0xe3, 0x30, 0x92)), AppLabel::kEMule);  // Kad
+}
+
+TEST(PayloadClassifier, EMuleRejectsBadFrames) {
+  // Unknown opcode.
+  EXPECT_EQ(PayloadClassifier::classify(ed2k(0xe3, 0x10, 0xff)), AppLabel::kUnknown);
+  // Zero / absurd length.
+  EXPECT_EQ(PayloadClassifier::classify(ed2k(0xe3, 0, 0x01)), AppLabel::kUnknown);
+  EXPECT_EQ(PayloadClassifier::classify(ed2k(0xe3, 0x7fffffff, 0x01)), AppLabel::kUnknown);
+  // Wrong protocol byte.
+  EXPECT_EQ(PayloadClassifier::classify(ed2k(0xe5, 0x10, 0x01)), AppLabel::kUnknown);
+  // Too short.
+  EXPECT_EQ(PayloadClassifier::classify(std::string_view("\xe3\x01", 2)), AppLabel::kUnknown);
+}
+
+TEST(PayloadClassifier, BitTorrentMarkers) {
+  const std::string handshake = std::string("\x13") + "BitTorrent protocol";
+  EXPECT_EQ(PayloadClassifier::classify(handshake), AppLabel::kBitTorrent);
+  EXPECT_EQ(PayloadClassifier::classify("GET /scrape?info_hash=aa HTTP/1.1"),
+            AppLabel::kBitTorrent);
+  EXPECT_EQ(PayloadClassifier::classify("GET /announce?info_hash=aa HTTP/1.1"),
+            AppLabel::kBitTorrent);
+  EXPECT_EQ(PayloadClassifier::classify("d1:ad2:id20:abcdefghij0123456789e1:q4:ping"),
+            AppLabel::kBitTorrent);
+  EXPECT_EQ(PayloadClassifier::classify("d1:rd2:id20:abcdefghij0123456789e"),
+            AppLabel::kBitTorrent);
+}
+
+TEST(PayloadClassifier, TrackerRequestMustBeAtStart) {
+  // The paper matches web requests *beginning with* GET /scrape|/announce.
+  EXPECT_EQ(PayloadClassifier::classify("POST /x\r\nGET /scrape"), AppLabel::kUnknown);
+}
+
+TEST(PayloadClassifier, NegativesStayUnknown) {
+  EXPECT_EQ(PayloadClassifier::classify(""), AppLabel::kUnknown);
+  EXPECT_EQ(PayloadClassifier::classify("GET /index.html HTTP/1.1"), AppLabel::kUnknown);
+  EXPECT_EQ(PayloadClassifier::classify("EHLO mail.campus.edu"), AppLabel::kUnknown);
+  // Nugache-style opaque ciphertext.
+  EXPECT_EQ(PayloadClassifier::classify(std::string_view("\x9f\x3a\xc2\x71\x08\x5d", 6)),
+            AppLabel::kUnknown);
+}
+
+TEST(PayloadClassifier, ToStringNames) {
+  EXPECT_EQ(to_string(AppLabel::kUnknown), "unknown");
+  EXPECT_EQ(to_string(AppLabel::kGnutella), "gnutella");
+  EXPECT_EQ(to_string(AppLabel::kEMule), "emule");
+  EXPECT_EQ(to_string(AppLabel::kBitTorrent), "bittorrent");
+}
+
+FlowRecord flow(simnet::Ipv4 src, simnet::Ipv4 dst, std::string_view payload,
+                bool failed = false) {
+  FlowRecord r;
+  r.src = src;
+  r.dst = dst;
+  r.pkts_src = 2;
+  r.pkts_dst = failed ? 0 : 2;
+  r.state = failed ? FlowState::kAttempted : FlowState::kEstablished;
+  r.set_payload(payload);
+  return r;
+}
+
+TEST(LabelHosts, MajorityLabelWins) {
+  const simnet::Ipv4 host(128, 2, 0, 9);
+  const simnet::Ipv4 peer(9, 9, 9, 9);
+  std::vector<FlowRecord> flows;
+  flows.push_back(flow(host, peer, "GNUTELLA CONNECT/0.6"));
+  flows.push_back(flow(host, peer, "GNUTELLA CONNECT/0.6"));
+  flows.push_back(flow(host, peer, ed2k(0xe3, 0x55, 0x01)));
+  const auto labels = PayloadClassifier::label_hosts(flows);
+  ASSERT_TRUE(labels.contains(host));
+  EXPECT_EQ(labels.at(host), AppLabel::kGnutella);
+}
+
+TEST(LabelHosts, MinFlowsThresholdFiltersOneOffs) {
+  const simnet::Ipv4 host(128, 2, 0, 9);
+  std::vector<FlowRecord> flows = {flow(host, simnet::Ipv4(9, 9, 9, 9), "GNUTELLA")};
+  EXPECT_TRUE(PayloadClassifier::label_hosts(flows, 2).empty());
+  EXPECT_EQ(PayloadClassifier::label_hosts(flows, 1).size(), 2u);  // host + responding peer
+}
+
+TEST(LabelHosts, FailedFlowsDoNotLabelResponder) {
+  const simnet::Ipv4 host(128, 2, 0, 9);
+  const simnet::Ipv4 dead_peer(9, 9, 9, 10);
+  std::vector<FlowRecord> flows = {
+      flow(host, dead_peer, std::string("\x13") + "BitTorrent protocol", /*failed=*/true)};
+  // UDP-style failed flow still shows the initiator's intent...
+  const auto labels = PayloadClassifier::label_hosts(flows);
+  EXPECT_TRUE(labels.contains(host));
+  EXPECT_FALSE(labels.contains(dead_peer));
+}
+
+TEST(LabelHosts, UnknownPayloadsProduceNoLabels) {
+  std::vector<FlowRecord> flows = {
+      flow(simnet::Ipv4(1, 1, 1, 1), simnet::Ipv4(2, 2, 2, 2), "plain http")};
+  EXPECT_TRUE(PayloadClassifier::label_hosts(flows).empty());
+}
+
+}  // namespace
+}  // namespace tradeplot::netflow

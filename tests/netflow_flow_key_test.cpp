@@ -1,0 +1,62 @@
+#include "netflow/flow_key.h"
+
+#include <gtest/gtest.h>
+
+namespace tradeplot::netflow {
+namespace {
+
+TEST(FlowKey, BothDirectionsCanonicalizeIdentically) {
+  const simnet::Ipv4 a(128, 2, 0, 1);
+  const simnet::Ipv4 b(5, 6, 7, 8);
+  const FlowKey forward = FlowKey::canonical(a, 50000, b, 80, Protocol::kTcp);
+  const FlowKey backward = FlowKey::canonical(b, 80, a, 50000, Protocol::kTcp);
+  EXPECT_EQ(forward, backward);
+  EXPECT_EQ(FlowKeyHash{}(forward), FlowKeyHash{}(backward));
+}
+
+TEST(FlowKey, DifferentPortsDiffer) {
+  const simnet::Ipv4 a(1, 1, 1, 1);
+  const simnet::Ipv4 b(2, 2, 2, 2);
+  const FlowKey k1 = FlowKey::canonical(a, 1000, b, 80, Protocol::kTcp);
+  const FlowKey k2 = FlowKey::canonical(a, 1001, b, 80, Protocol::kTcp);
+  EXPECT_NE(k1, k2);
+}
+
+TEST(FlowKey, ProtocolDistinguishes) {
+  const simnet::Ipv4 a(1, 1, 1, 1);
+  const simnet::Ipv4 b(2, 2, 2, 2);
+  const FlowKey tcp = FlowKey::canonical(a, 53, b, 53, Protocol::kTcp);
+  const FlowKey udp = FlowKey::canonical(a, 53, b, 53, Protocol::kUdp);
+  EXPECT_NE(tcp, udp);
+}
+
+TEST(FlowKey, SelfFlowWithSwappedPortsCanonicalizes) {
+  const simnet::Ipv4 a(1, 1, 1, 1);
+  const FlowKey k1 = FlowKey::canonical(a, 10, a, 20, Protocol::kUdp);
+  const FlowKey k2 = FlowKey::canonical(a, 20, a, 10, Protocol::kUdp);
+  EXPECT_EQ(k1, k2);
+}
+
+TEST(FlowKey, OrderingByAddressThenPort) {
+  const simnet::Ipv4 lo(1, 1, 1, 1);
+  const simnet::Ipv4 hi(9, 9, 9, 9);
+  const FlowKey k = FlowKey::canonical(hi, 1, lo, 2, Protocol::kTcp);
+  EXPECT_EQ(k.ip_a, lo);
+  EXPECT_EQ(k.port_a, 2);
+  EXPECT_EQ(k.ip_b, hi);
+  EXPECT_EQ(k.port_b, 1);
+}
+
+TEST(FlowKeyHash, ReasonableSpread) {
+  std::set<std::size_t> hashes;
+  int collisions = 0;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    const FlowKey k = FlowKey::canonical(simnet::Ipv4(10 + i), static_cast<std::uint16_t>(i),
+                                         simnet::Ipv4(1, 2, 3, 4), 80, Protocol::kTcp);
+    if (!hashes.insert(FlowKeyHash{}(k)).second) ++collisions;
+  }
+  EXPECT_LE(collisions, 1);
+}
+
+}  // namespace
+}  // namespace tradeplot::netflow

@@ -1,0 +1,145 @@
+#include "netflow/flow_record.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace tradeplot::netflow {
+namespace {
+
+TEST(FlowRecord, EnumRoundTrips) {
+  for (const Protocol p : {Protocol::kTcp, Protocol::kUdp, Protocol::kIcmp}) {
+    EXPECT_EQ(protocol_from_string(to_string(p)), p);
+  }
+  for (const FlowState s : {FlowState::kEstablished, FlowState::kAttempted, FlowState::kReset,
+                            FlowState::kIcmpUnreach}) {
+    EXPECT_EQ(flow_state_from_string(to_string(s)), s);
+  }
+  EXPECT_THROW((void)protocol_from_string("bogus"), util::ParseError);
+  EXPECT_THROW((void)flow_state_from_string("bogus"), util::ParseError);
+}
+
+TEST(FlowRecord, PayloadTruncatesAt64Bytes) {
+  FlowRecord r;
+  const std::string big(200, 'x');
+  r.set_payload(big);
+  EXPECT_EQ(r.payload_len, kPayloadPrefixLen);
+  EXPECT_EQ(r.payload_view(), std::string(64, 'x'));
+}
+
+TEST(FlowRecord, PayloadHandlesBinaryAndEmpty) {
+  FlowRecord r;
+  r.set_payload(std::string_view("\x00\xe3\x01", 3));
+  EXPECT_EQ(r.payload_len, 3);
+  EXPECT_EQ(r.payload_view()[1], '\xe3');
+  r.set_payload("");
+  EXPECT_EQ(r.payload_len, 0);
+  EXPECT_TRUE(r.payload_view().empty());
+}
+
+TEST(FlowRecord, DerivedQuantities) {
+  FlowRecord r;
+  r.start_time = 10;
+  r.end_time = 25;
+  r.bytes_src = 100;
+  r.bytes_dst = 200;
+  r.pkts_src = 3;
+  r.pkts_dst = 4;
+  EXPECT_DOUBLE_EQ(r.duration(), 15.0);
+  EXPECT_EQ(r.total_bytes(), 300u);
+  EXPECT_EQ(r.total_pkts(), 7u);
+  EXPECT_FALSE(r.failed());
+  r.state = FlowState::kAttempted;
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(FlowBuilder, SuccessfulTcpExchange) {
+  const FlowRecord r = FlowBuilder{}
+                           .from(simnet::Ipv4(128, 2, 0, 1), 50000)
+                           .to(simnet::Ipv4(1, 2, 3, 4), 80)
+                           .proto(Protocol::kTcp)
+                           .at(100.0, 5.0)
+                           .transfer(1000, 50000)
+                           .payload("GET /")
+                           .build();
+  EXPECT_EQ(r.state, FlowState::kEstablished);
+  EXPECT_EQ(r.bytes_src, 1000u);
+  EXPECT_EQ(r.bytes_dst, 50000u);
+  // Data packets plus handshake/teardown overhead.
+  EXPECT_GE(r.pkts_src, 3u);
+  EXPECT_GE(r.pkts_dst, 35u);  // ~50000/1460 + overhead
+  EXPECT_DOUBLE_EQ(r.start_time, 100.0);
+  EXPECT_DOUBLE_EQ(r.end_time, 105.0);
+  EXPECT_EQ(r.payload_view(), "GET /");
+}
+
+TEST(FlowBuilder, DerivedStateIsAttemptedWithoutResponse) {
+  const FlowRecord r = FlowBuilder{}
+                           .from(simnet::Ipv4(128, 2, 0, 1), 50000)
+                           .to(simnet::Ipv4(1, 2, 3, 4), 80)
+                           .proto(Protocol::kUdp)
+                           .at(0, 1)
+                           .transfer(100, 0)
+                           .payload("x")
+                           .build();
+  EXPECT_EQ(r.state, FlowState::kAttempted);
+  EXPECT_EQ(r.pkts_dst, 0u);
+}
+
+TEST(FlowBuilder, FailedTcpCarriesNoPayloadOrData) {
+  const FlowRecord r = FlowBuilder{}
+                           .from(simnet::Ipv4(128, 2, 0, 1), 50000)
+                           .to(simnet::Ipv4(1, 2, 3, 4), 80)
+                           .proto(Protocol::kTcp)
+                           .at(0, 6)
+                           .transfer(500, 0)
+                           .state(FlowState::kAttempted)
+                           .payload("should vanish")
+                           .build();
+  EXPECT_EQ(r.state, FlowState::kAttempted);
+  EXPECT_EQ(r.bytes_src, 0u);   // SYNs carry no payload bytes
+  EXPECT_EQ(r.bytes_dst, 0u);
+  EXPECT_EQ(r.pkts_dst, 0u);
+  EXPECT_EQ(r.payload_len, 0);
+}
+
+TEST(FlowBuilder, ResetHasOneResponderPacket) {
+  const FlowRecord r = FlowBuilder{}
+                           .from(simnet::Ipv4(128, 2, 0, 1), 50000)
+                           .to(simnet::Ipv4(1, 2, 3, 4), 80)
+                           .proto(Protocol::kTcp)
+                           .at(0, 0.1)
+                           .transfer(0, 0)
+                           .state(FlowState::kReset)
+                           .build();
+  EXPECT_EQ(r.state, FlowState::kReset);
+  EXPECT_EQ(r.pkts_dst, 1u);  // the RST itself
+}
+
+TEST(FlowBuilder, FailedUdpKeepsRequestPayload) {
+  // An unanswered UDP probe still carried its request payload on the wire.
+  const FlowRecord r = FlowBuilder{}
+                           .from(simnet::Ipv4(128, 2, 0, 1), 50000)
+                           .to(simnet::Ipv4(1, 2, 3, 4), 53)
+                           .proto(Protocol::kUdp)
+                           .at(0, 2)
+                           .transfer(60, 0)
+                           .state(FlowState::kAttempted)
+                           .payload("\x12\x34")
+                           .build();
+  EXPECT_EQ(r.bytes_src, 60u);
+  EXPECT_EQ(r.payload_len, 2);
+}
+
+TEST(FlowBuilder, NegativeDurationClampsToZero) {
+  const FlowRecord r = FlowBuilder{}
+                           .from(simnet::Ipv4(1, 1, 1, 1), 1)
+                           .to(simnet::Ipv4(2, 2, 2, 2), 2)
+                           .at(10.0, -5.0)
+                           .transfer(1, 1)
+                           .build();
+  EXPECT_DOUBLE_EQ(r.end_time, 10.0);
+}
+
+}  // namespace
+}  // namespace tradeplot::netflow

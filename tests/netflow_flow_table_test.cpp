@@ -1,0 +1,191 @@
+#include "netflow/flow_table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tradeplot::netflow {
+namespace {
+
+const simnet::Ipv4 kClient(128, 2, 0, 50);
+const simnet::Ipv4 kServer(93, 184, 216, 34);
+
+PacketEvent packet(double t, simnet::Ipv4 src, std::uint16_t sport, simnet::Ipv4 dst,
+                   std::uint16_t dport, Protocol proto, std::uint32_t bytes, TcpFlags flags = {},
+                   std::string_view payload = {}) {
+  PacketEvent p;
+  p.time = t;
+  p.src = src;
+  p.dst = dst;
+  p.sport = sport;
+  p.dport = dport;
+  p.proto = proto;
+  p.payload_bytes = bytes;
+  p.tcp = flags;
+  p.payload = payload;
+  return p;
+}
+
+TEST(FlowTable, AssemblesEstablishedTcpConnection) {
+  FlowTable table;
+  table.add_packet(packet(0.0, kClient, 50000, kServer, 80, Protocol::kTcp, 0, {.syn = true}));
+  table.add_packet(
+      packet(0.01, kServer, 80, kClient, 50000, Protocol::kTcp, 0, {.syn = true, .ack = true}));
+  table.add_packet(packet(0.02, kClient, 50000, kServer, 80, Protocol::kTcp, 500, {.ack = true},
+                          "GET / HTTP/1.1"));
+  table.add_packet(packet(0.5, kServer, 80, kClient, 50000, Protocol::kTcp, 4000, {.ack = true}));
+  const auto flows = table.flush();
+  ASSERT_EQ(flows.size(), 1u);
+  const FlowRecord& r = flows[0];
+  EXPECT_EQ(r.src, kClient);  // initiator
+  EXPECT_EQ(r.dst, kServer);
+  EXPECT_EQ(r.sport, 50000);
+  EXPECT_EQ(r.dport, 80);
+  EXPECT_EQ(r.state, FlowState::kEstablished);
+  EXPECT_EQ(r.bytes_src, 500u);
+  EXPECT_EQ(r.bytes_dst, 4000u);
+  EXPECT_EQ(r.pkts_src, 2u);
+  EXPECT_EQ(r.pkts_dst, 2u);
+  EXPECT_DOUBLE_EQ(r.start_time, 0.0);
+  EXPECT_DOUBLE_EQ(r.end_time, 0.5);
+  EXPECT_EQ(r.payload_view(), "GET / HTTP/1.1");
+}
+
+TEST(FlowTable, UnansweredSynIsAttempted) {
+  FlowTable table;
+  for (int i = 0; i < 3; ++i) {
+    table.add_packet(
+        packet(i * 3.0, kClient, 50001, kServer, 445, Protocol::kTcp, 0, {.syn = true}));
+  }
+  const auto flows = table.flush();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].state, FlowState::kAttempted);
+  EXPECT_EQ(flows[0].pkts_src, 3u);
+  EXPECT_EQ(flows[0].pkts_dst, 0u);
+}
+
+TEST(FlowTable, RstBeforeEstablishmentIsReset) {
+  FlowTable table;
+  table.add_packet(packet(0.0, kClient, 50002, kServer, 25, Protocol::kTcp, 0, {.syn = true}));
+  table.add_packet(packet(0.05, kServer, 25, kClient, 50002, Protocol::kTcp, 0, {.rst = true}));
+  const auto flows = table.flush();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].state, FlowState::kReset);
+  EXPECT_EQ(flows[0].src, kClient);
+}
+
+TEST(FlowTable, UdpWithReplyIsEstablished) {
+  FlowTable table;
+  table.add_packet(packet(0.0, kClient, 53000, kServer, 53, Protocol::kUdp, 60));
+  table.add_packet(packet(0.02, kServer, 53, kClient, 53000, Protocol::kUdp, 300));
+  const auto flows = table.flush();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].state, FlowState::kEstablished);
+  EXPECT_EQ(flows[0].src, kClient);
+}
+
+TEST(FlowTable, UdpWithoutReplyIsAttempted) {
+  FlowTable table;
+  table.add_packet(packet(0.0, kClient, 53001, kServer, 7871, Protocol::kUdp, 25));
+  const auto flows = table.flush();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].state, FlowState::kAttempted);
+}
+
+TEST(FlowTable, IdleTimeoutSplitsFlows) {
+  FlowTable table(FlowTableConfig{.idle_timeout = 10.0});
+  table.add_packet(packet(0.0, kClient, 50003, kServer, 80, Protocol::kUdp, 100));
+  table.add_packet(packet(1.0, kServer, 80, kClient, 50003, Protocol::kUdp, 100));
+  // Long silence, then the "same" 5-tuple reappears: a new flow.
+  table.add_packet(packet(60.0, kClient, 50003, kServer, 80, Protocol::kUdp, 100));
+  const auto flows = table.flush();
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].state, FlowState::kEstablished);
+  EXPECT_EQ(flows[1].state, FlowState::kAttempted);
+}
+
+TEST(FlowTable, ActiveTimeoutSplitsLongFlows) {
+  FlowTable table(FlowTableConfig{.idle_timeout = 1000.0, .active_timeout = 30.0});
+  for (int i = 0; i <= 8; ++i) {
+    table.add_packet(
+        packet(i * 10.0, kClient, 50004, kServer, 80, Protocol::kUdp, 10));
+  }
+  const auto flows = table.flush();
+  EXPECT_GE(flows.size(), 2u);
+}
+
+TEST(FlowTable, RejectsOutOfOrderPackets) {
+  FlowTable table;
+  table.add_packet(packet(5.0, kClient, 1, kServer, 2, Protocol::kUdp, 1));
+  EXPECT_THROW(table.add_packet(packet(4.0, kClient, 1, kServer, 2, Protocol::kUdp, 1)),
+               util::Error);
+}
+
+TEST(FlowTable, RejectsNonPositiveIdleTimeout) {
+  EXPECT_THROW(FlowTable(FlowTableConfig{.idle_timeout = 0.0}), util::ConfigError);
+}
+
+TEST(FlowTable, FlushReturnsFlowsSortedByStart) {
+  FlowTable table;
+  table.add_packet(packet(0.0, kClient, 1000, kServer, 80, Protocol::kUdp, 1));
+  table.add_packet(packet(1.0, kClient, 1001, kServer, 80, Protocol::kUdp, 1));
+  table.add_packet(packet(2.0, kClient, 1002, kServer, 80, Protocol::kUdp, 1));
+  const auto flows = table.flush();
+  ASSERT_EQ(flows.size(), 3u);
+  EXPECT_LT(flows[0].start_time, flows[1].start_time);
+  EXPECT_LT(flows[1].start_time, flows[2].start_time);
+  EXPECT_EQ(table.open_flows(), 0u);
+}
+
+TEST(FlowTable, FinFinClosesFlow) {
+  FlowTable table;
+  table.add_packet(packet(0.0, kClient, 50005, kServer, 80, Protocol::kTcp, 0, {.syn = true}));
+  table.add_packet(
+      packet(0.01, kServer, 80, kClient, 50005, Protocol::kTcp, 0, {.syn = true, .ack = true}));
+  table.add_packet(packet(0.02, kClient, 50005, kServer, 80, Protocol::kTcp, 100, {.ack = true}));
+  table.add_packet(
+      packet(0.5, kClient, 50005, kServer, 80, Protocol::kTcp, 0, {.ack = true, .fin = true}));
+  table.add_packet(
+      packet(0.6, kServer, 80, kClient, 50005, Protocol::kTcp, 0, {.ack = true, .fin = true}));
+  EXPECT_EQ(table.take_completed().size(), 1u);
+  EXPECT_EQ(table.open_flows(), 0u);
+}
+
+// Property: packets and bytes are conserved through assembly, whatever the
+// interleaving of concurrent flows.
+class FlowTableConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowTableConservation, PacketsAndBytesConserved) {
+  util::Pcg32 rng(GetParam());
+  FlowTable table(FlowTableConfig{.idle_timeout = 30.0});
+  double t = 0.0;
+  std::uint64_t total_packets = 0;
+  std::uint64_t total_bytes = 0;
+  for (int i = 0; i < 5000; ++i) {
+    t += rng.exponential(0.05);
+    const auto bytes = static_cast<std::uint32_t>(rng.uniform_int(0, 1500));
+    const auto sport = static_cast<std::uint16_t>(rng.uniform_int(1024, 1034));
+    const auto dport = static_cast<std::uint16_t>(rng.uniform_int(80, 82));
+    const bool reverse = rng.chance(0.4);
+    auto p = packet(t, reverse ? kServer : kClient, reverse ? dport : sport,
+                    reverse ? kClient : kServer, reverse ? sport : dport, Protocol::kUdp, bytes);
+    table.add_packet(p);
+    ++total_packets;
+    total_bytes += bytes;
+  }
+  const auto flows = table.flush();
+  std::uint64_t flow_packets = 0;
+  std::uint64_t flow_bytes = 0;
+  for (const FlowRecord& r : flows) {
+    flow_packets += r.total_pkts();
+    flow_bytes += r.total_bytes();
+  }
+  EXPECT_EQ(flow_packets, total_packets);
+  EXPECT_EQ(flow_bytes, total_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowTableConservation, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace tradeplot::netflow

@@ -1,0 +1,129 @@
+#include "netflow/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tradeplot::netflow {
+namespace {
+
+TraceSet sample_trace(int flows = 25, std::uint64_t seed = 1) {
+  util::Pcg32 rng(seed);
+  TraceSet trace(0.0, 21600.0);
+  trace.set_truth(simnet::Ipv4(128, 2, 0, 1), HostKind::kWebClient);
+  trace.set_truth(simnet::Ipv4(128, 2, 0, 2), HostKind::kStorm);
+  for (int i = 0; i < flows; ++i) {
+    FlowRecord r;
+    r.src = simnet::Ipv4(128, 2, 0, static_cast<std::uint8_t>(1 + (i % 2)));
+    r.dst = simnet::Ipv4(static_cast<std::uint32_t>(rng.uniform_int(1 << 26, 1 << 28)));
+    r.sport = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+    r.dport = static_cast<std::uint16_t>(rng.uniform_int(1, 1023));
+    r.proto = rng.chance(0.5) ? Protocol::kTcp : Protocol::kUdp;
+    r.start_time = rng.uniform(0, 21000);
+    r.end_time = r.start_time + rng.uniform(0, 60);
+    r.pkts_src = static_cast<std::uint64_t>(rng.uniform_int(1, 100));
+    r.pkts_dst = static_cast<std::uint64_t>(rng.uniform_int(0, 100));
+    r.bytes_src = static_cast<std::uint64_t>(rng.uniform_int(0, 100000));
+    r.bytes_dst = static_cast<std::uint64_t>(rng.uniform_int(0, 1000000));
+    r.state = r.pkts_dst == 0 ? FlowState::kAttempted : FlowState::kEstablished;
+    if (rng.chance(0.5)) r.set_payload(std::string_view("\xe3\x01\x02binary\x00payload", 18));
+    trace.add_flow(std::move(r));
+  }
+  return trace;
+}
+
+void expect_equal(const TraceSet& a, const TraceSet& b) {
+  EXPECT_DOUBLE_EQ(a.window_start(), b.window_start());
+  EXPECT_DOUBLE_EQ(a.window_end(), b.window_end());
+  ASSERT_EQ(a.flows().size(), b.flows().size());
+  for (std::size_t i = 0; i < a.flows().size(); ++i) {
+    EXPECT_EQ(a.flows()[i], b.flows()[i]) << "flow " << i;
+  }
+  EXPECT_EQ(a.truth().size(), b.truth().size());
+  for (const auto& [ip, kind] : a.truth()) EXPECT_EQ(b.kind_of(ip), kind);
+}
+
+TEST(CsvIo, RoundTrip) {
+  const TraceSet trace = sample_trace();
+  std::stringstream buffer;
+  write_csv(buffer, trace);
+  expect_equal(trace, read_csv(buffer));
+}
+
+TEST(CsvIo, EmptyTraceRoundTrips) {
+  TraceSet trace(5.0, 10.0);
+  std::stringstream buffer;
+  write_csv(buffer, trace);
+  const TraceSet back = read_csv(buffer);
+  EXPECT_TRUE(back.flows().empty());
+  EXPECT_DOUBLE_EQ(back.window_start(), 5.0);
+}
+
+TEST(CsvIo, RejectsMissingHeader) {
+  std::stringstream buffer("1.2.3.4,5.6.7.8,1,2,tcp,0,1,1,1,1,1,est,\n");
+  EXPECT_THROW((void)read_csv(buffer), util::ParseError);
+}
+
+TEST(CsvIo, RejectsBadFieldCount) {
+  std::stringstream buffer;
+  write_csv(buffer, sample_trace(1));
+  std::string text = buffer.str();
+  text += "only,three,fields\n";
+  std::stringstream corrupted(text);
+  EXPECT_THROW((void)read_csv(corrupted), util::ParseError);
+}
+
+TEST(CsvIo, RejectsOddPayloadHex) {
+  std::stringstream buffer;
+  buffer << "src,dst,sport,dport,proto,start,end,pkts_src,pkts_dst,bytes_src,bytes_dst,state,"
+            "payload\n";
+  buffer << "1.2.3.4,5.6.7.8,1,2,tcp,0,1,1,1,1,1,est,abc\n";
+  EXPECT_THROW((void)read_csv(buffer), util::ParseError);
+}
+
+TEST(BinaryIo, RoundTrip) {
+  const TraceSet trace = sample_trace(100, 7);
+  std::stringstream buffer;
+  write_binary(buffer, trace);
+  expect_equal(trace, read_binary(buffer));
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  std::stringstream buffer("not a trace at all");
+  EXPECT_THROW((void)read_binary(buffer), util::ParseError);
+}
+
+TEST(BinaryIo, RejectsTruncation) {
+  const TraceSet trace = sample_trace(10);
+  std::stringstream buffer;
+  write_binary(buffer, trace);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW((void)read_binary(truncated), util::Error);
+}
+
+TEST(FileIo, RoundTripsThroughDisk) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string csv_path = (dir / "tp_test_trace.csv").string();
+  const std::string bin_path = (dir / "tp_test_trace.bin").string();
+  const TraceSet trace = sample_trace(40, 3);
+  write_csv_file(csv_path, trace);
+  write_binary_file(bin_path, trace);
+  expect_equal(trace, read_csv_file(csv_path));
+  expect_equal(trace, read_binary_file(bin_path));
+  std::remove(csv_path.c_str());
+  std::remove(bin_path.c_str());
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_csv_file("/nonexistent/path/x.csv"), util::IoError);
+  EXPECT_THROW((void)read_binary_file("/nonexistent/path/x.bin"), util::IoError);
+}
+
+}  // namespace
+}  // namespace tradeplot::netflow

@@ -1,0 +1,90 @@
+#include "netflow/trace_set.h"
+
+#include <gtest/gtest.h>
+
+namespace tradeplot::netflow {
+namespace {
+
+FlowRecord flow(simnet::Ipv4 src, simnet::Ipv4 dst, double start) {
+  FlowRecord r;
+  r.src = src;
+  r.dst = dst;
+  r.start_time = start;
+  r.end_time = start + 1;
+  r.pkts_src = 1;
+  r.pkts_dst = 1;
+  return r;
+}
+
+TEST(HostTaxonomy, ClassOfKinds) {
+  EXPECT_EQ(host_class(HostKind::kWebClient), HostClass::kBackground);
+  EXPECT_EQ(host_class(HostKind::kScanner), HostClass::kBackground);
+  EXPECT_EQ(host_class(HostKind::kGnutella), HostClass::kTrader);
+  EXPECT_EQ(host_class(HostKind::kEMule), HostClass::kTrader);
+  EXPECT_EQ(host_class(HostKind::kBitTorrent), HostClass::kTrader);
+  EXPECT_EQ(host_class(HostKind::kStorm), HostClass::kPlotter);
+  EXPECT_EQ(host_class(HostKind::kNugache), HostClass::kPlotter);
+  EXPECT_EQ(host_class(HostKind::kUnknown), HostClass::kBackground);
+}
+
+TEST(HostTaxonomy, Names) {
+  EXPECT_EQ(to_string(HostKind::kStorm), "storm");
+  EXPECT_EQ(to_string(HostClass::kPlotter), "plotter");
+  EXPECT_EQ(to_string(HostClass::kTrader), "trader");
+}
+
+TEST(TraceSet, TruthQueries) {
+  TraceSet trace;
+  const simnet::Ipv4 bot(128, 2, 0, 1);
+  trace.set_truth(bot, HostKind::kStorm);
+  EXPECT_EQ(trace.kind_of(bot), HostKind::kStorm);
+  EXPECT_EQ(trace.class_of(bot), HostClass::kPlotter);
+  EXPECT_EQ(trace.kind_of(simnet::Ipv4(9, 9, 9, 9)), HostKind::kUnknown);
+  EXPECT_EQ(trace.hosts_of_kind(HostKind::kStorm).size(), 1u);
+  EXPECT_EQ(trace.hosts_of_class(HostClass::kPlotter).size(), 1u);
+  EXPECT_TRUE(trace.hosts_of_class(HostClass::kTrader).empty());
+}
+
+TEST(TraceSet, InitiatorsAreUniqueAndSorted) {
+  TraceSet trace;
+  const simnet::Ipv4 a(128, 2, 0, 2);
+  const simnet::Ipv4 b(128, 2, 0, 1);
+  trace.add_flow(flow(a, simnet::Ipv4(1, 1, 1, 1), 0));
+  trace.add_flow(flow(a, simnet::Ipv4(1, 1, 1, 2), 1));
+  trace.add_flow(flow(b, simnet::Ipv4(1, 1, 1, 3), 2));
+  const auto inits = trace.initiators();
+  ASSERT_EQ(inits.size(), 2u);
+  EXPECT_EQ(inits[0], b);
+  EXPECT_EQ(inits[1], a);
+}
+
+TEST(TraceSet, SortByTimeIsStable) {
+  TraceSet trace;
+  trace.add_flow(flow(simnet::Ipv4(1, 0, 0, 3), simnet::Ipv4(2, 0, 0, 0), 5.0));
+  trace.add_flow(flow(simnet::Ipv4(1, 0, 0, 1), simnet::Ipv4(2, 0, 0, 0), 5.0));
+  trace.add_flow(flow(simnet::Ipv4(1, 0, 0, 2), simnet::Ipv4(2, 0, 0, 0), 1.0));
+  trace.sort_by_time();
+  EXPECT_EQ(trace.flows()[0].src, simnet::Ipv4(1, 0, 0, 2));
+  // Equal timestamps keep insertion order.
+  EXPECT_EQ(trace.flows()[1].src, simnet::Ipv4(1, 0, 0, 3));
+  EXPECT_EQ(trace.flows()[2].src, simnet::Ipv4(1, 0, 0, 1));
+}
+
+TEST(TraceSet, MergeCombinesFlowsTruthAndWindow) {
+  TraceSet a(0.0, 100.0);
+  a.add_flow(flow(simnet::Ipv4(1, 0, 0, 1), simnet::Ipv4(2, 0, 0, 0), 0));
+  a.set_truth(simnet::Ipv4(1, 0, 0, 1), HostKind::kWebClient);
+
+  TraceSet b(50.0, 300.0);
+  b.add_flow(flow(simnet::Ipv4(1, 0, 0, 2), simnet::Ipv4(2, 0, 0, 0), 60));
+  b.set_truth(simnet::Ipv4(1, 0, 0, 1), HostKind::kStorm);  // conflicting: b wins
+
+  a.merge(b);
+  EXPECT_EQ(a.flows().size(), 2u);
+  EXPECT_EQ(a.kind_of(simnet::Ipv4(1, 0, 0, 1)), HostKind::kStorm);
+  EXPECT_DOUBLE_EQ(a.window_start(), 0.0);
+  EXPECT_DOUBLE_EQ(a.window_end(), 300.0);
+}
+
+}  // namespace
+}  // namespace tradeplot::netflow

@@ -1,0 +1,62 @@
+#include "p2p/churn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tradeplot::p2p {
+namespace {
+
+TEST(ChurnModel, SessionDurationsArePositiveAndMinutesScale) {
+  ChurnModel churn;
+  util::Pcg32 rng(1);
+  double sum = 0;
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) {
+    const double d = churn.session_duration(rng);
+    ASSERT_GT(d, 0.0);
+    xs.push_back(d);
+    sum += d;
+  }
+  std::sort(xs.begin(), xs.end());
+  // Median should be exp(mu) ~ 330 s with the default parameters.
+  EXPECT_NEAR(xs[xs.size() / 2], std::exp(churn.params().session_mu),
+              std::exp(churn.params().session_mu) * 0.15);
+}
+
+TEST(ChurnModel, FreshContactLivenessMatchesStaleProbability) {
+  ChurnParams params;
+  params.stale_contact_prob = 0.35;
+  ChurnModel churn(params);
+  util::Pcg32 rng(2);
+  int alive = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) alive += churn.fresh_contact_alive(rng) ? 1 : 0;
+  EXPECT_NEAR(alive / static_cast<double>(n), 0.65, 0.02);
+}
+
+TEST(ChurnModel, RevisitLivenessMatchesProbability) {
+  ChurnParams params;
+  params.revisit_alive_prob = 0.45;
+  ChurnModel churn(params);
+  util::Pcg32 rng(3);
+  int alive = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) alive += churn.revisit_alive(rng) ? 1 : 0;
+  EXPECT_NEAR(alive / static_cast<double>(n), 0.45, 0.02);
+}
+
+TEST(ChurnModel, ExtremeProbabilities) {
+  ChurnParams params;
+  params.stale_contact_prob = 1.0;
+  params.revisit_alive_prob = 0.0;
+  ChurnModel churn(params);
+  util::Pcg32 rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(churn.fresh_contact_alive(rng));
+    EXPECT_FALSE(churn.revisit_alive(rng));
+  }
+}
+
+}  // namespace
+}  // namespace tradeplot::p2p

@@ -1,0 +1,189 @@
+#include "p2p/kademlia.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace tradeplot::p2p {
+namespace {
+
+Contact contact(std::uint64_t hi, std::uint64_t lo, std::uint32_t ip = 0) {
+  return Contact{NodeId(hi, lo), simnet::Ipv4(ip ? ip : static_cast<std::uint32_t>(lo)), 7871};
+}
+
+TEST(KBucket, InsertAndCapacity) {
+  KBucket bucket(3);
+  EXPECT_TRUE(bucket.upsert(contact(0, 1)));
+  EXPECT_TRUE(bucket.upsert(contact(0, 2)));
+  EXPECT_TRUE(bucket.upsert(contact(0, 3)));
+  EXPECT_TRUE(bucket.full());
+  EXPECT_FALSE(bucket.upsert(contact(0, 4)));  // drop-new when full
+  EXPECT_EQ(bucket.contacts().size(), 3u);
+}
+
+TEST(KBucket, UpsertRefreshesToMostRecent) {
+  KBucket bucket(3);
+  bucket.upsert(contact(0, 1));
+  bucket.upsert(contact(0, 2));
+  bucket.upsert(contact(0, 1));  // refresh
+  ASSERT_EQ(bucket.contacts().size(), 2u);
+  EXPECT_EQ(bucket.contacts().back().id, NodeId(0, 1));
+}
+
+TEST(KBucket, Remove) {
+  KBucket bucket(2);
+  bucket.upsert(contact(0, 1));
+  EXPECT_TRUE(bucket.remove(NodeId(0, 1)));
+  EXPECT_FALSE(bucket.remove(NodeId(0, 1)));
+  EXPECT_TRUE(bucket.contacts().empty());
+}
+
+TEST(RoutingTable, IgnoresSelf) {
+  RoutingTable table(NodeId(0, 42));
+  EXPECT_FALSE(table.insert(contact(0, 42)));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(RoutingTable, ClosestReturnsByXorDistance) {
+  RoutingTable table(NodeId(0, 0));
+  table.insert(contact(0, 0b0001));
+  table.insert(contact(0, 0b0010));
+  table.insert(contact(0, 0b1000));
+  table.insert(contact(0, 0b1111));
+  const auto closest = table.closest(NodeId(0, 0b0011), 2);
+  ASSERT_EQ(closest.size(), 2u);
+  // d(0011,0010)=1, d(0011,0001)=2, d(0011,1111)=12, d(0011,1000)=11.
+  EXPECT_EQ(closest[0].id, NodeId(0, 0b0010));
+  EXPECT_EQ(closest[1].id, NodeId(0, 0b0001));
+}
+
+TEST(RoutingTable, RemoveShrinksSize) {
+  RoutingTable table(NodeId(0, 0));
+  table.insert(contact(0, 5));
+  table.insert(contact(0, 9));
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_TRUE(table.remove(NodeId(0, 5)));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(RoutingTable, RejectsZeroK) {
+  EXPECT_THROW(RoutingTable(NodeId(0, 0), 0), util::ConfigError);
+}
+
+TEST(Overlay, AddFindOnline) {
+  Overlay overlay;
+  overlay.add_node(contact(0, 1));
+  EXPECT_TRUE(overlay.is_online(NodeId(0, 1)));
+  overlay.set_online(NodeId(0, 1), false);
+  EXPECT_FALSE(overlay.is_online(NodeId(0, 1)));
+  EXPECT_TRUE(overlay.find(NodeId(0, 1)).has_value());
+  EXPECT_FALSE(overlay.find(NodeId(0, 2)).has_value());
+  EXPECT_THROW(overlay.add_node(contact(0, 1)), util::ConfigError);
+}
+
+TEST(Overlay, RandomNodeFromEmptyIsNull) {
+  Overlay overlay;
+  util::Pcg32 rng(1);
+  EXPECT_FALSE(overlay.random_node(rng).has_value());
+}
+
+TEST(Overlay, ClosestIsSortedByDistance) {
+  Overlay overlay;
+  util::Pcg32 rng(2);
+  for (int i = 1; i <= 50; ++i) overlay.add_node(contact(0, static_cast<std::uint64_t>(i * 7)));
+  const NodeId target(0, 100);
+  const auto closest = overlay.closest(target, 10);
+  ASSERT_EQ(closest.size(), 10u);
+  for (std::size_t i = 1; i < closest.size(); ++i) {
+    EXPECT_LE(closest[i - 1].id.distance_to(target), closest[i].id.distance_to(target));
+  }
+}
+
+class LookupFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Pcg32 seed_rng(77);
+    for (int i = 0; i < 200; ++i) {
+      const Contact c{NodeId::random(seed_rng),
+                      simnet::Ipv4(static_cast<std::uint32_t>(0x08000000 + i)), 7871};
+      overlay_.add_node(c);
+      all_.push_back(c);
+    }
+  }
+
+  Overlay overlay_;
+  std::vector<Contact> all_;
+};
+
+TEST_F(LookupFixture, FindsGloballyClosestNodes) {
+  util::Pcg32 rng(1);
+  RoutingTable table(NodeId::random(rng));
+  for (int i = 0; i < 10; ++i) table.insert(all_[static_cast<std::size_t>(i * 19)]);
+
+  const NodeId target = NodeId::random(rng);
+  const LookupResult result = iterative_find_node(overlay_, table, target, LookupParams{}, rng);
+
+  ASSERT_FALSE(result.closest.empty());
+  EXPECT_TRUE(result.converged);
+  // The best discovered contact must be the true global best (all online).
+  auto sorted = all_;
+  std::sort(sorted.begin(), sorted.end(), [&](const Contact& a, const Contact& b) {
+    return a.id.distance_to(target) < b.id.distance_to(target);
+  });
+  EXPECT_EQ(result.closest.front().id, sorted.front().id);
+}
+
+TEST_F(LookupFixture, OfflineNodesShowAsFailedProbes) {
+  util::Pcg32 rng(2);
+  // Take a third of the overlay offline.
+  for (std::size_t i = 0; i < all_.size(); i += 3) overlay_.set_online(all_[i].id, false);
+  RoutingTable table(NodeId::random(rng));
+  for (int i = 0; i < 12; ++i) table.insert(all_[static_cast<std::size_t>(i)]);
+
+  const LookupResult result =
+      iterative_find_node(overlay_, table, NodeId::random(rng), LookupParams{}, rng);
+  int failed = 0;
+  for (const Probe& probe : result.probes) {
+    EXPECT_EQ(probe.responded, overlay_.is_online(probe.peer.id));
+    if (!probe.responded) ++failed;
+  }
+  // All returned "closest" contacts must have responded.
+  for (const Contact& c : result.closest) EXPECT_TRUE(overlay_.is_online(c.id));
+  EXPECT_GT(result.probes.size(), 0u);
+  (void)failed;
+}
+
+TEST_F(LookupFixture, EmptyRoutingTableProducesNoProbes) {
+  util::Pcg32 rng(3);
+  RoutingTable table(NodeId::random(rng));
+  const LookupResult result =
+      iterative_find_node(overlay_, table, NodeId::random(rng), LookupParams{}, rng);
+  EXPECT_TRUE(result.probes.empty());
+  EXPECT_TRUE(result.closest.empty());
+}
+
+TEST_F(LookupFixture, ProbeCountBoundedByRoundsTimesAlpha) {
+  util::Pcg32 rng(4);
+  RoutingTable table(NodeId::random(rng));
+  for (const Contact& c : all_) table.insert(c);
+  LookupParams params;
+  params.alpha = 2;
+  params.max_rounds = 4;
+  const LookupResult result =
+      iterative_find_node(overlay_, table, NodeId::random(rng), params, rng);
+  EXPECT_LE(result.probes.size(), params.alpha * params.max_rounds);
+}
+
+TEST_F(LookupFixture, LookupUpdatesRoutingTable) {
+  util::Pcg32 rng(5);
+  RoutingTable table(NodeId::random(rng));
+  for (int i = 0; i < 5; ++i) table.insert(all_[static_cast<std::size_t>(i * 31)]);
+  const std::size_t before = table.size();
+  (void)iterative_find_node(overlay_, table, NodeId::random(rng), LookupParams{}, rng);
+  EXPECT_GT(table.size(), before);  // learned responders' neighbours
+}
+
+}  // namespace
+}  // namespace tradeplot::p2p

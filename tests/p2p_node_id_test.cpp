@@ -1,0 +1,57 @@
+#include "p2p/node_id.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tradeplot::p2p {
+namespace {
+
+TEST(NodeId, XorMetricProperties) {
+  util::Pcg32 rng(1);
+  const NodeId a = NodeId::random(rng);
+  const NodeId b = NodeId::random(rng);
+  const NodeId c = NodeId::random(rng);
+  // d(x,x) = 0.
+  EXPECT_EQ(a.distance_to(a), NodeId(0, 0));
+  // Symmetry.
+  EXPECT_EQ(a.distance_to(b), b.distance_to(a));
+  // XOR triangle *equality* relation: d(a,c) = d(a,b) ^ d(b,c).
+  const NodeId ab = a.distance_to(b);
+  const NodeId bc = b.distance_to(c);
+  EXPECT_EQ(a.distance_to(c), NodeId(ab.hi() ^ bc.hi(), ab.lo() ^ bc.lo()));
+}
+
+TEST(NodeId, HighestBit) {
+  EXPECT_EQ(NodeId(0, 0).highest_bit(), -1);
+  EXPECT_EQ(NodeId(0, 1).highest_bit(), 0);
+  EXPECT_EQ(NodeId(0, 0x8000000000000000ULL).highest_bit(), 63);
+  EXPECT_EQ(NodeId(1, 0).highest_bit(), 64);
+  EXPECT_EQ(NodeId(0x8000000000000000ULL, 0).highest_bit(), 127);
+}
+
+TEST(NodeId, OrderingMatchesNumericValue) {
+  EXPECT_LT(NodeId(0, 1), NodeId(0, 2));
+  EXPECT_LT(NodeId(0, 0xffffffffffffffffULL), NodeId(1, 0));
+}
+
+TEST(NodeId, HashIsDeterministic) {
+  EXPECT_EQ(NodeId::hash("storm"), NodeId::hash("storm"));
+  EXPECT_NE(NodeId::hash("storm"), NodeId::hash("nugache"));
+  EXPECT_NE(NodeId::hash(""), NodeId::hash("x"));
+}
+
+TEST(NodeId, RandomIdsRarelyCollide) {
+  util::Pcg32 rng(2);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 10000; ++i) EXPECT_TRUE(seen.insert(NodeId::random(rng)).second);
+}
+
+TEST(NodeId, HexFormat) {
+  EXPECT_EQ(NodeId(0, 0).to_hex(), "00000000000000000000000000000000");
+  EXPECT_EQ(NodeId(0xdeadbeefULL, 0xcafeULL).to_hex(),
+            "00000000deadbeef000000000000cafe");
+}
+
+}  // namespace
+}  // namespace tradeplot::p2p

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netflow/classifier.h"
+#include "p2p/bittorrent.h"
+#include "p2p/emule.h"
+#include "p2p/gnutella.h"
+#include "p2p/kademlia.h"
+#include "simnet/simulation.h"
+
+namespace tradeplot::p2p {
+namespace {
+
+constexpr double kWindow = 6 * 3600.0;
+const simnet::Ipv4 kSelf(128, 2, 0, 7);
+
+struct World {
+  simnet::Simulation sim;
+  simnet::SubnetAllocator alloc{{simnet::Subnet(simnet::Ipv4(128, 2, 0, 0), 16)},
+                                util::Pcg32(4242)};
+  std::vector<netflow::FlowRecord> flows;
+  Overlay overlay;
+
+  World() {
+    util::Pcg32 rng(7);
+    for (int i = 0; i < 120; ++i) {
+      const Contact c{NodeId::random(rng), alloc.random_external(), 4672};
+      overlay.add_node(c);
+      if (rng.chance(0.3)) overlay.set_online(c.id, false);
+    }
+  }
+
+  netflow::AppEnv env() {
+    netflow::AppEnv e;
+    e.sim = &sim;
+    e.window_end = kWindow;
+    e.sink = [this](netflow::FlowRecord r) { flows.push_back(std::move(r)); };
+    e.external_addr = [this] { return alloc.random_external(); };
+    return e;
+  }
+
+  void run() { sim.run_until(kWindow); }
+};
+
+struct Summary {
+  std::size_t initiated = 0;
+  std::size_t failed = 0;
+  std::size_t inbound = 0;
+  std::uint64_t bytes_down = 0;
+  std::set<simnet::Ipv4> dsts;
+  std::set<netflow::AppLabel> labels;
+};
+
+Summary summarize(const std::vector<netflow::FlowRecord>& flows) {
+  Summary s;
+  for (const auto& r : flows) {
+    const auto label = netflow::PayloadClassifier::classify(r);
+    if (label != netflow::AppLabel::kUnknown) s.labels.insert(label);
+    if (r.src == kSelf) {
+      ++s.initiated;
+      if (r.failed()) ++s.failed;
+      s.dsts.insert(r.dst);
+      s.bytes_down += r.bytes_dst;
+    } else {
+      ++s.inbound;
+    }
+  }
+  return s;
+}
+
+TEST(GnutellaHost, ProducesClassifiableFileSharingTraffic) {
+  World world;
+  GnutellaHost host(world.env(), kSelf, util::Pcg32(1));
+  host.start();
+  world.run();
+  const Summary s = summarize(world.flows);
+  ASSERT_GT(s.initiated, 10u);
+  EXPECT_TRUE(s.labels.contains(netflow::AppLabel::kGnutella));
+  // Stale sources produce a visible failed-connection rate.
+  const double failed = static_cast<double>(s.failed) / static_cast<double>(s.initiated);
+  EXPECT_GT(failed, 0.15);
+  EXPECT_LT(failed, 0.7);
+  // Media transfers dominate the byte count.
+  EXPECT_GT(s.bytes_down, 10u * 1024 * 1024);
+  for (const auto& r : world.flows) {
+    EXPECT_LE(r.start_time, kWindow);
+    if (r.src == kSelf) EXPECT_EQ(r.dport, GnutellaHost::kPort);
+  }
+}
+
+TEST(EMuleHost, UsesKadOverlayAndEd2kPorts) {
+  World world;
+  EMuleHost host(world.env(), kSelf, util::Pcg32(2), &world.overlay);
+  host.start();
+  world.run();
+  const Summary s = summarize(world.flows);
+  ASSERT_GT(s.initiated, 20u);
+  EXPECT_TRUE(s.labels.contains(netflow::AppLabel::kEMule));
+  std::size_t udp_probes = 0;
+  for (const auto& r : world.flows) {
+    if (r.src != kSelf) continue;
+    EXPECT_TRUE(r.dport == EMuleHost::kTcpPort || r.dport == EMuleHost::kUdpPort ||
+                r.dport == EMuleHost::kServerPort)
+        << r.dport;
+    if (r.proto == netflow::Protocol::kUdp) ++udp_probes;
+  }
+  // Kad lookups against the overlay produce UDP probe flows.
+  EXPECT_GT(udp_probes, 5u);
+}
+
+TEST(EMuleHost, WorksWithoutOverlay) {
+  World world;
+  EMuleHost host(world.env(), kSelf, util::Pcg32(3), nullptr);
+  host.start();
+  world.run();
+  EXPECT_GT(summarize(world.flows).initiated, 10u);
+}
+
+TEST(BitTorrentHost, TrackerAnnouncesAndSwarmTraffic) {
+  World world;
+  BitTorrentHost host(world.env(), kSelf, util::Pcg32(4), &world.overlay);
+  host.start();
+  world.run();
+  const Summary s = summarize(world.flows);
+  ASSERT_GT(s.initiated, 20u);
+  EXPECT_TRUE(s.labels.contains(netflow::AppLabel::kBitTorrent));
+  // High peer churn: most swarm peers contacted once.
+  EXPECT_GT(s.dsts.size(), s.initiated / 2);
+  // Tracker re-announces: repeated successful flows to the same tracker.
+  std::map<simnet::Ipv4, int> port80_counts;
+  for (const auto& r : world.flows) {
+    if (r.src == kSelf && r.dport == 80 && !r.failed()) port80_counts[r.dst] += 1;
+  }
+  int max_announces = 0;
+  for (const auto& [tracker, count] : port80_counts) max_announces = std::max(max_announces, count);
+  EXPECT_GE(max_announces, 2);
+}
+
+TEST(BitTorrentHost, WebOnlyVariantNeverJoinsSwarms) {
+  World world;
+  BitTorrentConfig config;
+  config.web_only = true;
+  BitTorrentHost host(world.env(), kSelf, util::Pcg32(5), &world.overlay, config);
+  host.start();
+  world.run();
+  const Summary s = summarize(world.flows);
+  ASSERT_GT(s.initiated, 2u);
+  for (const auto& r : world.flows) {
+    if (r.src != kSelf) continue;
+    EXPECT_EQ(r.dport, 80);           // tracker web traffic only
+    EXPECT_FALSE(r.failed());          // the paper's low-failure Trader corner
+    EXPECT_EQ(r.proto, netflow::Protocol::kTcp);
+  }
+  EXPECT_TRUE(s.labels.contains(netflow::AppLabel::kBitTorrent));
+}
+
+TEST(TraderModels, SessionsAreDeterministicPerSeed) {
+  const auto run_once = [] {
+    World world;
+    BitTorrentHost host(world.env(), kSelf, util::Pcg32(99), &world.overlay);
+    host.start();
+    world.run();
+    return world.flows.size();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(TraderModels, InboundServiceMakesTradersUploaders) {
+  // Traders serve content: their inbound flows carry large responder bytes,
+  // the source of the paper's Fig. 1 volume separation.
+  World world;
+  GnutellaHost host(world.env(), kSelf, util::Pcg32(6));
+  host.start();
+  world.run();
+  std::uint64_t served = 0;
+  for (const auto& r : world.flows) {
+    if (r.dst == kSelf) served += r.bytes_dst;
+  }
+  EXPECT_GT(served, 1024u * 1024u);
+}
+
+}  // namespace
+}  // namespace tradeplot::p2p

@@ -1,0 +1,105 @@
+#include "simnet/address.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.h"
+
+namespace tradeplot::simnet {
+namespace {
+
+TEST(Ipv4, RoundTrip) {
+  const Ipv4 addr(128, 2, 13, 7);
+  EXPECT_EQ(addr.to_string(), "128.2.13.7");
+  EXPECT_EQ(Ipv4::parse("128.2.13.7"), addr);
+  EXPECT_EQ(Ipv4::parse("0.0.0.0").value(), 0u);
+  EXPECT_EQ(Ipv4::parse("255.255.255.255").value(), 0xffffffffu);
+}
+
+TEST(Ipv4, ParseRejectsGarbage) {
+  EXPECT_THROW((void)Ipv4::parse(""), util::ParseError);
+  EXPECT_THROW((void)Ipv4::parse("1.2.3"), util::ParseError);
+  EXPECT_THROW((void)Ipv4::parse("256.1.1.1"), util::ParseError);
+  EXPECT_THROW((void)Ipv4::parse("1.2.3.4.5"), util::ParseError);
+  EXPECT_THROW((void)Ipv4::parse("a.b.c.d"), util::ParseError);
+}
+
+TEST(Ipv4, Ordering) {
+  EXPECT_LT(Ipv4(1, 0, 0, 0), Ipv4(2, 0, 0, 0));
+  EXPECT_LT(Ipv4(1, 0, 0, 1), Ipv4(1, 0, 1, 0));
+  EXPECT_EQ(Ipv4(9, 9, 9, 9), Ipv4(9, 9, 9, 9));
+}
+
+TEST(Ipv4, HashSpreadsSequentialAddresses) {
+  std::hash<Ipv4> h;
+  std::set<std::size_t> hashes;
+  for (std::uint32_t i = 0; i < 1000; ++i) hashes.insert(h(Ipv4(i)));
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(Subnet, ContainsAndSize) {
+  const Subnet net(Ipv4(128, 2, 0, 0), 16);
+  EXPECT_TRUE(net.contains(Ipv4(128, 2, 255, 255)));
+  EXPECT_FALSE(net.contains(Ipv4(128, 3, 0, 0)));
+  EXPECT_EQ(net.size(), 65536u);
+  EXPECT_EQ(net.at(1), Ipv4(128, 2, 0, 1));
+  EXPECT_THROW((void)net.at(65536), std::out_of_range);
+}
+
+TEST(Subnet, BaseIsMasked) {
+  const Subnet net(Ipv4(128, 2, 200, 7), 16);
+  EXPECT_EQ(net.base(), Ipv4(128, 2, 0, 0));
+  EXPECT_EQ(net.to_string(), "128.2.0.0/16");
+}
+
+TEST(Subnet, ParseAndErrors) {
+  const Subnet net = Subnet::parse("10.0.0.0/8");
+  EXPECT_TRUE(net.contains(Ipv4(10, 200, 1, 1)));
+  EXPECT_THROW((void)Subnet::parse("10.0.0.0"), util::ParseError);
+  EXPECT_THROW((void)Subnet::parse("10.0.0.0/abc"), util::ParseError);
+  EXPECT_THROW(Subnet(Ipv4(1, 2, 3, 4), 33), util::ConfigError);
+  EXPECT_THROW(Subnet(Ipv4(1, 2, 3, 4), -1), util::ConfigError);
+}
+
+TEST(Subnet, EdgePrefixLengths) {
+  const Subnet all(Ipv4(0, 0, 0, 0), 0);
+  EXPECT_TRUE(all.contains(Ipv4(255, 255, 255, 255)));
+  const Subnet host(Ipv4(1, 2, 3, 4), 32);
+  EXPECT_TRUE(host.contains(Ipv4(1, 2, 3, 4)));
+  EXPECT_FALSE(host.contains(Ipv4(1, 2, 3, 5)));
+  EXPECT_EQ(host.size(), 1u);
+}
+
+TEST(SubnetAllocator, SequentialInternalAddressesAreUnique) {
+  SubnetAllocator alloc({Subnet(Ipv4(128, 2, 0, 0), 24), Subnet(Ipv4(128, 3, 0, 0), 24)},
+                        util::Pcg32(1));
+  std::set<Ipv4> seen;
+  // 254 usable in the first /24 + 254 in the second.
+  for (int i = 0; i < 508; ++i) {
+    const Ipv4 addr = alloc.next_internal();
+    EXPECT_TRUE(alloc.is_internal(addr));
+    EXPECT_TRUE(seen.insert(addr).second) << "duplicate " << addr.to_string();
+  }
+  EXPECT_THROW((void)alloc.next_internal(), util::Error);
+}
+
+TEST(SubnetAllocator, ExternalAvoidsInternalAndReserved) {
+  SubnetAllocator alloc({Subnet(Ipv4(128, 2, 0, 0), 16)}, util::Pcg32(2));
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv4 addr = alloc.random_external();
+    EXPECT_FALSE(alloc.is_internal(addr));
+    const auto o1 = (addr.value() >> 24) & 0xff;
+    EXPECT_NE(o1, 10u);
+    EXPECT_NE(o1, 127u);
+    EXPECT_NE(o1, 0u);
+    EXPECT_LT(o1, 224u);
+  }
+}
+
+TEST(SubnetAllocator, RequiresAtLeastOneSubnet) {
+  EXPECT_THROW(SubnetAllocator({}, util::Pcg32(1)), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace tradeplot::simnet

@@ -1,0 +1,127 @@
+#include "simnet/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tradeplot::simnet {
+namespace {
+
+TEST(Simulation, ExecutesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run_all(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, TieBrokenByInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, NowAdvancesWithEvents) {
+  Simulation sim;
+  double seen = -1;
+  sim.schedule_at(4.5, [&] { seen = sim.now(); });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.5);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundaryInclusive) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  sim.schedule_at(2.0001, [&] { ++count; });
+  EXPECT_EQ(sim.run_until(2.0), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulation, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulation sim;
+  sim.run_until(100.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulation, SchedulingInThePastClampsToNow) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_at(1.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run_all();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 5.0);
+}
+
+TEST(Simulation, ScheduleAfterNegativeDelayClamps) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_after(-3.0, [&] { ++count; });
+  sim.run_all();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulation, EventsCanScheduleMoreEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(1.0, recurse);
+  };
+  sim.schedule_at(0.0, recurse);
+  sim.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(PeriodicProcess, FiresAtFixedPeriodUntilDeadline) {
+  Simulation sim;
+  std::vector<double> fire_times;
+  PeriodicProcess::start(
+      sim, 1.0, 10.0, [] { return 2.0; },
+      [&](SimTime now) { fire_times.push_back(now); });
+  sim.run_until(100.0);
+  // Fires at 1, 3, 5, 7, 9.
+  ASSERT_EQ(fire_times.size(), 5u);
+  EXPECT_DOUBLE_EQ(fire_times.front(), 1.0);
+  EXPECT_DOUBLE_EQ(fire_times.back(), 9.0);
+}
+
+TEST(PeriodicProcess, NeverFiresIfFirstDelayPastDeadline) {
+  Simulation sim;
+  int count = 0;
+  PeriodicProcess::start(
+      sim, 50.0, 10.0, [] { return 1.0; }, [&](SimTime) { ++count; });
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 0);
+}
+
+TEST(PeriodicProcess, VariablePeriod) {
+  Simulation sim;
+  double period = 1.0;
+  std::vector<double> fire_times;
+  PeriodicProcess::start(
+      sim, 0.0, 16.0,
+      [&] {
+        period *= 2.0;
+        return period;
+      },
+      [&](SimTime now) { fire_times.push_back(now); });
+  sim.run_until(100.0);
+  // Fires at 0, 2, 6, 14 (periods 2, 4, 8 after the first).
+  EXPECT_EQ(fire_times, (std::vector<double>{0.0, 2.0, 6.0, 14.0}));
+}
+
+}  // namespace
+}  // namespace tradeplot::simnet

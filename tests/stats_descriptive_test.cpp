@@ -1,0 +1,86 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tradeplot::stats {
+namespace {
+
+TEST(Descriptive, MeanVarianceStddev) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(Descriptive, QuantileInterpolation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Descriptive, QuantileHandlesUnsortedInput) {
+  const std::vector<double> xs = {9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(median(xs), 5.0);
+}
+
+TEST(Descriptive, QuantileErrors) {
+  EXPECT_THROW((void)quantile(std::vector<double>{}, 0.5), util::ConfigError);
+  EXPECT_THROW((void)quantile(std::vector<double>{1.0}, -0.1), util::ConfigError);
+  EXPECT_THROW((void)quantile(std::vector<double>{1.0}, 1.1), util::ConfigError);
+}
+
+TEST(Descriptive, Iqr) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_DOUBLE_EQ(iqr(xs), 4.0);
+  EXPECT_DOUBLE_EQ(iqr(std::vector<double>{5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(Descriptive, EcdfAt) {
+  const std::vector<double> sorted = {1, 2, 2, 3};
+  EXPECT_DOUBLE_EQ(ecdf_at(sorted, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf_at(sorted, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf_at(sorted, 2.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf_at(sorted, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf_at(std::vector<double>{}, 1.0), 0.0);
+}
+
+TEST(Descriptive, EcdfCollapsesDuplicates) {
+  const std::vector<double> xs = {3, 1, 3, 2, 3};
+  const auto points = ecdf(xs);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(points[0].fraction, 0.2);
+  EXPECT_DOUBLE_EQ(points[2].value, 3.0);
+  EXPECT_DOUBLE_EQ(points[2].fraction, 1.0);
+}
+
+// Property: quantile_sorted agrees with quantile, and the ECDF evaluated at
+// the q-th quantile is >= q.
+class QuantileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantileProperty, SortedAgreesAndEcdfIsConsistent) {
+  util::Pcg32 rng(GetParam());
+  std::vector<double> xs(200);
+  for (double& x : xs) x = rng.lognormal(2.0, 1.5);
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile(xs, q), quantile_sorted(sorted, q));
+    EXPECT_GE(ecdf_at(sorted, quantile(xs, q)) + 1e-12, q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileProperty, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace tradeplot::stats

@@ -1,0 +1,153 @@
+#include "stats/emd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tradeplot::stats {
+namespace {
+
+Signature sig(std::initializer_list<SignaturePoint> points) { return Signature(points); }
+
+TEST(Emd1d, IdenticalDistributionsHaveZeroDistance) {
+  const Signature a = sig({{1.0, 0.5}, {3.0, 0.5}});
+  EXPECT_DOUBLE_EQ(emd_1d(a, a), 0.0);
+}
+
+TEST(Emd1d, PointMassesDistanceIsPositionGap) {
+  const Signature a = sig({{0.0, 1.0}});
+  const Signature b = sig({{7.5, 1.0}});
+  EXPECT_DOUBLE_EQ(emd_1d(a, b), 7.5);
+}
+
+TEST(Emd1d, KnownSplitMassValue) {
+  // Half the mass moves 2, half stays: EMD = 1.
+  const Signature a = sig({{0.0, 0.5}, {2.0, 0.5}});
+  const Signature b = sig({{2.0, 1.0}});
+  EXPECT_DOUBLE_EQ(emd_1d(a, b), 1.0);
+}
+
+TEST(Emd1d, ShiftEqualsOffset) {
+  const Signature a = sig({{1.0, 0.3}, {2.0, 0.4}, {5.0, 0.3}});
+  Signature b = a;
+  for (auto& p : b) p.position += 10.0;
+  EXPECT_NEAR(emd_1d(a, b), 10.0, 1e-12);
+}
+
+TEST(Emd1d, Symmetric) {
+  const Signature a = sig({{0.0, 0.7}, {4.0, 0.3}});
+  const Signature b = sig({{1.0, 0.2}, {3.0, 0.8}});
+  EXPECT_DOUBLE_EQ(emd_1d(a, b), emd_1d(b, a));
+}
+
+TEST(Emd1d, NormalizesUnequalMass) {
+  // Same shape at different total mass must compare equal.
+  const Signature a = sig({{0.0, 2.0}, {1.0, 2.0}});
+  const Signature b = sig({{0.0, 0.5}, {1.0, 0.5}});
+  EXPECT_NEAR(emd_1d(a, b), 0.0, 1e-12);
+}
+
+TEST(Emd1d, UnsortedInputHandled) {
+  const Signature a = sig({{5.0, 0.5}, {0.0, 0.5}});
+  const Signature b = sig({{0.0, 0.5}, {5.0, 0.5}});
+  EXPECT_DOUBLE_EQ(emd_1d(a, b), 0.0);
+}
+
+TEST(Emd1d, Errors) {
+  const Signature ok = sig({{0.0, 1.0}});
+  EXPECT_THROW((void)emd_1d({}, ok), util::ConfigError);
+  EXPECT_THROW((void)emd_1d(ok, sig({{0.0, 0.0}})), util::ConfigError);
+  EXPECT_THROW((void)emd_1d(ok, sig({{0.0, -1.0}})), util::ConfigError);
+}
+
+TEST(EmdTransport, MatchesClosedFormOnPointMasses) {
+  const Signature a = sig({{0.0, 1.0}});
+  const Signature b = sig({{3.0, 1.0}});
+  EXPECT_NEAR(emd_transport(a, b), 3.0, 1e-9);
+}
+
+TEST(EmdTransport, CustomGroundDistance) {
+  const Signature a = sig({{0.0, 1.0}});
+  const Signature b = sig({{3.0, 1.0}});
+  const double squared = emd_transport(a, b, [](double x, double y) {
+    return (x - y) * (x - y);
+  });
+  EXPECT_NEAR(squared, 9.0, 1e-9);
+}
+
+TEST(EmdTransport, RejectsNegativeGroundDistance) {
+  const Signature a = sig({{0.0, 1.0}});
+  const Signature b = sig({{3.0, 1.0}});
+  EXPECT_THROW((void)emd_transport(a, b, [](double, double) { return -1.0; }),
+               util::ConfigError);
+}
+
+// Property: the min-cost-flow solver and the closed-form 1-D EMD agree on
+// random signatures — each validates the other.
+class EmdAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EmdAgreement, TransportMatchesClosedForm) {
+  util::Pcg32 rng(GetParam());
+  const auto make = [&rng] {
+    Signature s;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    for (std::size_t i = 0; i < n; ++i) {
+      s.push_back({rng.uniform(0, 100), rng.uniform(0.05, 1.0)});
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 5; ++trial) {
+    const Signature a = make();
+    const Signature b = make();
+    const double closed = emd_1d(a, b);
+    const double flow = emd_transport(a, b);
+    EXPECT_NEAR(closed, flow, 1e-6 * std::max(1.0, closed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmdAgreement, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// Property: emd_1d is a metric on normalized signatures (triangle
+// inequality, symmetry, identity).
+class EmdMetric : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EmdMetric, TriangleInequalityHolds) {
+  util::Pcg32 rng(GetParam());
+  const auto make = [&rng] {
+    Signature s;
+    for (int i = 0; i < 6; ++i) s.push_back({rng.uniform(0, 50), rng.uniform(0.1, 1.0)});
+    return s;
+  };
+  const Signature a = make();
+  const Signature b = make();
+  const Signature c = make();
+  const double ab = emd_1d(a, b);
+  const double bc = emd_1d(b, c);
+  const double ac = emd_1d(a, c);
+  EXPECT_LE(ac, ab + bc + 1e-9);
+  EXPECT_DOUBLE_EQ(ab, emd_1d(b, a));
+  EXPECT_NEAR(emd_1d(a, a), 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmdMetric, ::testing::Values(11, 12, 13, 14, 15, 16));
+
+TEST(PairwiseEmd, MatrixIsSymmetricWithZeroDiagonal) {
+  util::Pcg32 rng(3);
+  std::vector<Signature> sigs;
+  for (int i = 0; i < 6; ++i) {
+    Signature s;
+    for (int j = 0; j < 4; ++j) s.push_back({rng.uniform(0, 20), rng.uniform(0.1, 1.0)});
+    sigs.push_back(std::move(s));
+  }
+  const auto d = pairwise_emd(sigs);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(d[i * 6 + i], 0.0);
+    for (std::size_t j = 0; j < 6; ++j) EXPECT_DOUBLE_EQ(d[i * 6 + j], d[j * 6 + i]);
+  }
+}
+
+}  // namespace
+}  // namespace tradeplot::stats

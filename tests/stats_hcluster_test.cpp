@@ -1,0 +1,211 @@
+#include "stats/hcluster.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tradeplot::stats {
+namespace {
+
+std::vector<double> matrix(std::size_t n, std::initializer_list<double> upper) {
+  std::vector<double> d(n * n, 0.0);
+  auto it = upper.begin();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      d[i * n + j] = *it;
+      d[j * n + i] = *it;
+      ++it;
+    }
+  }
+  return d;
+}
+
+TEST(Upgma, TwoItems) {
+  const auto d = matrix(2, {3.0});
+  const Dendrogram dend = agglomerative_average_linkage(d, 2);
+  ASSERT_EQ(dend.merges().size(), 1u);
+  EXPECT_DOUBLE_EQ(dend.merges()[0].height, 3.0);
+  EXPECT_EQ(dend.merges()[0].size, 2u);
+}
+
+TEST(Upgma, ClassicThreeItemAverageLinkage) {
+  // d(0,1)=2 (merge first); d(0,2)=8, d(1,2)=4 -> avg to {0,1} is 6.
+  const auto d = matrix(3, {2.0, 8.0, 4.0});
+  const Dendrogram dend = agglomerative_average_linkage(d, 3);
+  ASSERT_EQ(dend.merges().size(), 2u);
+  EXPECT_DOUBLE_EQ(dend.merges()[0].height, 2.0);
+  EXPECT_DOUBLE_EQ(dend.merges()[1].height, 6.0);
+  EXPECT_EQ(dend.merges()[1].size, 3u);
+}
+
+TEST(Upgma, WeightedAverageUsesClusterSizes) {
+  // Items 0,1,2 mutually close (will merge into a 3-cluster), item 3 far.
+  // d(3, {0,1,2}) must be the arithmetic mean of the three leaf distances.
+  const auto d = matrix(4, {1.0, 1.0, 30.0,   // d01 d02 d03
+                            1.0, 60.0,        // d12 d13
+                            90.0});           // d23
+  const Dendrogram dend = agglomerative_average_linkage(d, 4);
+  ASSERT_EQ(dend.merges().size(), 3u);
+  EXPECT_DOUBLE_EQ(dend.merges()[2].height, 60.0);  // (30+60+90)/3
+}
+
+TEST(Upgma, SingleLeafDendrogram) {
+  const Dendrogram dend = agglomerative_average_linkage(std::vector<double>{0.0}, 1);
+  EXPECT_EQ(dend.leaf_count(), 1u);
+  EXPECT_TRUE(dend.merges().empty());
+  EXPECT_EQ(dend.cut_top_fraction(0.05).size(), 1u);
+}
+
+TEST(Upgma, Errors) {
+  EXPECT_THROW((void)agglomerative_average_linkage(std::vector<double>{}, 0), util::ConfigError);
+  EXPECT_THROW((void)agglomerative_average_linkage(std::vector<double>{0.0, 1.0}, 2),
+               util::ConfigError);
+}
+
+TEST(Dendrogram, CutZeroFractionKeepsOneCluster) {
+  const auto d = matrix(3, {1.0, 5.0, 4.0});
+  const Dendrogram dend = agglomerative_average_linkage(d, 3);
+  const auto clusters = dend.cut_top_fraction(0.0);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].size(), 3u);
+}
+
+TEST(Dendrogram, CutFullFractionShattersToSingletons) {
+  const auto d = matrix(4, {1, 2, 3, 4, 5, 6});
+  const Dendrogram dend = agglomerative_average_linkage(d, 4);
+  const auto clusters = dend.cut_top_fraction(1.0);
+  EXPECT_EQ(clusters.size(), 4u);
+}
+
+TEST(Dendrogram, CutSeparatesTwoObviousGroups) {
+  // Two tight pairs far apart: cutting the single top link yields them.
+  const auto d = matrix(4, {1.0, 100.0, 100.0,   // d01 d02 d03
+                            100.0, 100.0,        // d12 d13
+                            1.0});               // d23
+  const Dendrogram dend = agglomerative_average_linkage(d, 4);
+  const auto clusters = dend.cut_top_fraction(0.3);  // cut 1 of 3 links
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(clusters[1], (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(Dendrogram, CutAtHeight) {
+  const auto d = matrix(4, {1.0, 100.0, 100.0, 100.0, 100.0, 1.0});
+  const Dendrogram dend = agglomerative_average_linkage(d, 4);
+  EXPECT_EQ(dend.cut_at_height(10.0).size(), 2u);
+  EXPECT_EQ(dend.cut_at_height(0.5).size(), 4u);
+  EXPECT_EQ(dend.cut_at_height(1000.0).size(), 1u);
+}
+
+TEST(Dendrogram, CutFractionOutOfRangeThrows) {
+  const Dendrogram dend = agglomerative_average_linkage(matrix(2, {1.0}), 2);
+  EXPECT_THROW((void)dend.cut_top_fraction(-0.1), util::ConfigError);
+  EXPECT_THROW((void)dend.cut_top_fraction(1.1), util::ConfigError);
+}
+
+TEST(ClusterDiameter, MaxPairwiseDistance) {
+  const auto d = matrix(3, {2.0, 8.0, 4.0});
+  const std::vector<std::size_t> all = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(cluster_diameter(d, 3, all), 8.0);
+  const std::vector<std::size_t> pair = {0, 1};
+  EXPECT_DOUBLE_EQ(cluster_diameter(d, 3, pair), 2.0);
+  const std::vector<std::size_t> single = {2};
+  EXPECT_DOUBLE_EQ(cluster_diameter(d, 3, single), 0.0);
+}
+
+// Reference implementation: naive O(n^3) average linkage.
+std::vector<Merge> brute_force_upgma(std::vector<double> d, std::size_t n) {
+  std::vector<std::vector<std::size_t>> clusters;
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    clusters.push_back({i});
+    ids.push_back(i);
+  }
+  std::size_t next_id = n;
+  std::vector<Merge> merges;
+  const auto dist = [&](const std::vector<std::size_t>& a, const std::vector<std::size_t>& b) {
+    double sum = 0;
+    for (const std::size_t x : a)
+      for (const std::size_t y : b) sum += d[x * n + y];
+    return sum / (static_cast<double>(a.size()) * static_cast<double>(b.size()));
+  };
+  while (clusters.size() > 1) {
+    std::size_t bi = 0, bj = 1;
+    double best = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+        const double dij = dist(clusters[i], clusters[j]);
+        if (dij < best) {
+          best = dij;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    merges.push_back(Merge{ids[bi], ids[bj], best, clusters[bi].size() + clusters[bj].size()});
+    clusters[bi].insert(clusters[bi].end(), clusters[bj].begin(), clusters[bj].end());
+    ids[bi] = next_id++;
+    clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(bj));
+    ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(bj));
+  }
+  return merges;
+}
+
+// Property: the NN-chain implementation produces the same merge heights as
+// the brute-force reference on random matrices (heights identify the
+// dendrogram up to tie-ordering).
+class UpgmaAgainstBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UpgmaAgainstBruteForce, SameMergeHeights) {
+  util::Pcg32 rng(GetParam());
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 24));
+  std::vector<double> d(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      d[i * n + j] = d[j * n + i] = rng.uniform(0.1, 100.0);
+    }
+  }
+  const Dendrogram fast = agglomerative_average_linkage(d, n);
+  auto reference = brute_force_upgma(d, n);
+  std::vector<double> fast_heights, ref_heights;
+  for (const Merge& m : fast.merges()) fast_heights.push_back(m.height);
+  for (const Merge& m : reference) ref_heights.push_back(m.height);
+  std::sort(ref_heights.begin(), ref_heights.end());
+  ASSERT_EQ(fast_heights.size(), ref_heights.size());
+  for (std::size_t i = 0; i < fast_heights.size(); ++i) {
+    EXPECT_NEAR(fast_heights[i], ref_heights[i], 1e-9) << "merge " << i << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpgmaAgainstBruteForce,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
+
+// Property: cut components always partition the leaves.
+class CutPartition : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CutPartition, ComponentsPartitionLeaves) {
+  util::Pcg32 rng(GetParam());
+  const std::size_t n = 30;
+  std::vector<double> d(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) d[i * n + j] = d[j * n + i] = rng.uniform(1, 50);
+  const Dendrogram dend = agglomerative_average_linkage(d, n);
+  for (const double frac : {0.05, 0.2, 0.5}) {
+    const auto clusters = dend.cut_top_fraction(frac);
+    std::vector<std::size_t> all;
+    for (const auto& c : clusters) all.insert(all.end(), c.begin(), c.end());
+    std::sort(all.begin(), all.end());
+    std::vector<std::size_t> expected(n);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(all, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CutPartition, ::testing::Values(21, 22, 23, 24));
+
+}  // namespace
+}  // namespace tradeplot::stats

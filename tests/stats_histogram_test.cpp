@@ -1,0 +1,117 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tradeplot::stats {
+namespace {
+
+TEST(FreedmanDiaconis, MatchesFormula) {
+  // Samples 1..8: IQR = 6.25 - 2.75 = 3.5 under linear interpolation.
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8};
+  const double expected = 2.0 * 3.5 * std::pow(8.0, -1.0 / 3.0);
+  EXPECT_NEAR(freedman_diaconis_width(xs), expected, 1e-12);
+}
+
+TEST(FreedmanDiaconis, ZeroIqrFallsBackToRange) {
+  // Heavily repeated central value: IQR 0, range 10.
+  std::vector<double> xs(100, 5.0);
+  xs.front() = 0.0;
+  xs.back() = 10.0;
+  EXPECT_NEAR(freedman_diaconis_width(xs), 10.0 / 10.0, 1e-12);  // range/sqrt(n)
+}
+
+TEST(FreedmanDiaconis, AllEqualSamplesGiveUnitWidth) {
+  const std::vector<double> xs(50, 3.3);
+  EXPECT_DOUBLE_EQ(freedman_diaconis_width(xs), 1.0);
+}
+
+TEST(FreedmanDiaconis, EmptyThrows) {
+  EXPECT_THROW((void)freedman_diaconis_width(std::vector<double>{}), util::ConfigError);
+}
+
+TEST(Histogram, CountsLandInCorrectBins) {
+  const std::vector<double> xs = {0.0, 0.5, 1.0, 1.5, 2.0};
+  const Histogram h(xs, 1.0);
+  EXPECT_DOUBLE_EQ(h.origin(), 0.0);
+  ASSERT_EQ(h.bin_count(), 3u);
+  EXPECT_EQ(h.count(0), 2u);  // 0.0, 0.5
+  EXPECT_EQ(h.count(1), 2u);  // 1.0, 1.5
+  EXPECT_EQ(h.count(2), 1u);  // 2.0 (max lands in last bin)
+  EXPECT_EQ(h.total_count(), 5u);
+}
+
+TEST(Histogram, BinCenters) {
+  const Histogram h(std::vector<double>{10.0, 12.0}, 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 11.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(1), 13.0);
+}
+
+TEST(Histogram, PmfSumsToOne) {
+  util::Pcg32 rng(1);
+  std::vector<double> xs(1000);
+  for (double& x : xs) x = rng.lognormal(1.0, 1.0);
+  const Histogram h = Histogram::with_fd_width(xs);
+  const auto pmf = h.pmf();
+  const double sum = std::accumulate(pmf.begin(), pmf.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Histogram, SignatureOmitsEmptyBinsAndSumsToOne) {
+  const std::vector<double> xs = {0.0, 10.0};
+  const Histogram h(xs, 1.0);
+  const Signature sig = h.signature();
+  ASSERT_EQ(sig.size(), 2u);
+  EXPECT_DOUBLE_EQ(sig[0].weight + sig[1].weight, 1.0);
+  EXPECT_DOUBLE_EQ(sig[0].position, 0.5);
+  // 10.0 is the max sample; it lands in the last bin.
+  EXPECT_GT(sig[1].position, 9.0);
+}
+
+TEST(Histogram, IndexSignaturePositionsAreBinIndices) {
+  const std::vector<double> xs = {0.0, 5.0, 10.0};
+  const Histogram h(xs, 5.0);
+  const Signature sig = h.index_signature();
+  ASSERT_EQ(sig.size(), 3u);
+  EXPECT_DOUBLE_EQ(sig[0].position, 0.0);
+  EXPECT_DOUBLE_EQ(sig[1].position, 1.0);
+  EXPECT_DOUBLE_EQ(sig[2].position, 2.0);
+}
+
+TEST(Histogram, TinyWidthIsCappedNotExploded) {
+  // A pathological width request must not allocate unbounded memory.
+  const std::vector<double> xs = {0.0, 1e9};
+  const Histogram h(xs, 1e-9);
+  EXPECT_LE(h.bin_count(), 1u << 20);
+  EXPECT_EQ(h.total_count(), 2u);
+}
+
+TEST(Histogram, Errors) {
+  EXPECT_THROW(Histogram(std::vector<double>{}, 1.0), util::ConfigError);
+  EXPECT_THROW(Histogram(std::vector<double>{1.0}, 0.0), util::ConfigError);
+  EXPECT_THROW(Histogram(std::vector<double>{1.0}, -1.0), util::ConfigError);
+}
+
+// Property: total mass is conserved for random sample sets and widths.
+class HistogramMass : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramMass, CountsSumToSampleSize) {
+  util::Pcg32 rng(GetParam());
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 5000));
+  std::vector<double> xs(n);
+  for (double& x : xs) x = rng.uniform(-100, 100);
+  const Histogram h = Histogram::with_fd_width(xs);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < h.bin_count(); ++i) total += h.count(i);
+  EXPECT_EQ(total, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramMass, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace tradeplot::stats

@@ -1,0 +1,62 @@
+#include "stats/roc.h"
+
+#include <gtest/gtest.h>
+
+namespace tradeplot::stats {
+namespace {
+
+TEST(RocCurve, EmptyCurveHasDiagonalAuc) {
+  RocCurve curve;
+  EXPECT_TRUE(curve.empty());
+  EXPECT_DOUBLE_EQ(curve.auc(), 0.5);  // straight line (0,0)-(1,1)
+}
+
+TEST(RocCurve, PerfectDetectorAucIsOne) {
+  RocCurve curve;
+  curve.add(0.0, 1.0, "perfect");
+  EXPECT_DOUBLE_EQ(curve.auc(), 1.0);
+}
+
+TEST(RocCurve, UselessDetectorAucIsHalf) {
+  RocCurve curve;
+  curve.add(0.25, 0.25);
+  curve.add(0.5, 0.5);
+  curve.add(0.75, 0.75);
+  EXPECT_DOUBLE_EQ(curve.auc(), 0.5);
+}
+
+TEST(RocCurve, PointsSortedByFalsePositiveRate) {
+  RocCurve curve;
+  curve.add(0.9, 1.0, "p90");
+  curve.add(0.1, 0.5, "p10");
+  curve.add(0.5, 0.9, "p50");
+  const auto& pts = curve.points();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[0].label, "p10");
+  EXPECT_EQ(pts[1].label, "p50");
+  EXPECT_EQ(pts[2].label, "p90");
+}
+
+TEST(RocCurve, KnownAucValue) {
+  RocCurve curve;
+  curve.add(0.0, 0.5);
+  curve.add(0.5, 1.0);
+  // Segments: (0,0)->(0,0.5): 0; (0,0.5)->(0.5,1): 0.375; (0.5,1)->(1,1): 0.5.
+  EXPECT_DOUBLE_EQ(curve.auc(), 0.875);
+}
+
+TEST(Confusion, Rates) {
+  Confusion c;
+  c.true_positives = 7;
+  c.positives = 8;
+  c.false_positives = 5;
+  c.negatives = 1000;
+  EXPECT_DOUBLE_EQ(c.tp_rate(), 0.875);
+  EXPECT_DOUBLE_EQ(c.fp_rate(), 0.005);
+  Confusion empty;
+  EXPECT_DOUBLE_EQ(empty.tp_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.fp_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace tradeplot::stats

@@ -1,0 +1,101 @@
+#include "trace/campus.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netflow/classifier.h"
+
+namespace tradeplot::trace {
+namespace {
+
+CampusConfig small_config(std::uint64_t seed = 3) {
+  CampusConfig config;
+  config.seed = seed;
+  config.window = 3600.0;  // one hour keeps the test fast
+  config.web_clients = 40;
+  config.idle_hosts = 10;
+  config.dns_clients = 5;
+  config.ntp_clients = 3;
+  config.web_servers = 2;
+  config.mail_servers = 2;
+  config.scanners = 1;
+  config.gnutella_hosts = 4;
+  config.emule_hosts = 4;
+  config.bittorrent_hosts = 4;
+  config.bittorrent_web_only = 1;
+  config.kad_overlay_size = 80;
+  config.bt_overlay_size = 80;
+  return config;
+}
+
+TEST(CampusSimulator, PopulationMatchesConfig) {
+  const CampusConfig config = small_config();
+  const netflow::TraceSet trace = generate_campus_trace(config);
+  EXPECT_EQ(trace.hosts_of_kind(netflow::HostKind::kWebClient).size(), 40u);
+  EXPECT_EQ(trace.hosts_of_kind(netflow::HostKind::kGnutella).size(), 4u);
+  EXPECT_EQ(trace.hosts_of_kind(netflow::HostKind::kEMule).size(), 4u);
+  EXPECT_EQ(trace.hosts_of_kind(netflow::HostKind::kBitTorrent).size(), 5u);  // incl. web-only
+  EXPECT_EQ(trace.hosts_of_class(netflow::HostClass::kTrader).size(), 13u);
+  EXPECT_TRUE(trace.hosts_of_class(netflow::HostClass::kPlotter).empty());
+}
+
+TEST(CampusSimulator, FlowsStayInWindowAndAreSorted) {
+  const netflow::TraceSet trace = generate_campus_trace(small_config());
+  ASSERT_FALSE(trace.flows().empty());
+  double prev = 0.0;
+  for (const auto& r : trace.flows()) {
+    EXPECT_GE(r.start_time, prev);
+    EXPECT_LE(r.start_time, trace.window_end());
+    prev = r.start_time;
+  }
+}
+
+TEST(CampusSimulator, EveryFlowTouchesTheCampus) {
+  const netflow::TraceSet trace = generate_campus_trace(small_config());
+  for (const auto& r : trace.flows()) {
+    EXPECT_TRUE(campus_internal(r.src) || campus_internal(r.dst));
+    EXPECT_FALSE(campus_internal(r.src) && campus_internal(r.dst))
+        << "border monitor should not see internal-to-internal traffic";
+  }
+}
+
+TEST(CampusSimulator, DeterministicPerSeed) {
+  const auto a = generate_campus_trace(small_config(11));
+  const auto b = generate_campus_trace(small_config(11));
+  const auto c = generate_campus_trace(small_config(12));
+  ASSERT_EQ(a.flows().size(), b.flows().size());
+  for (std::size_t i = 0; i < a.flows().size(); ++i) EXPECT_EQ(a.flows()[i], b.flows()[i]);
+  EXPECT_NE(a.flows().size(), c.flows().size());
+}
+
+TEST(CampusSimulator, PayloadClassifierRecoversTraders) {
+  // Ground truth via payload inspection, exactly as the paper builds its
+  // Trader dataset: every payload-labelled internal host must really be a
+  // Trader, and most Traders must be found.
+  const netflow::TraceSet trace = generate_campus_trace(small_config(4));
+  const auto labels = netflow::PayloadClassifier::label_hosts(trace.flows(), 2);
+  std::size_t labelled_traders = 0, mislabelled = 0;
+  for (const auto& [ip, label] : labels) {
+    if (!campus_internal(ip)) continue;
+    if (trace.class_of(ip) == netflow::HostClass::kTrader) {
+      ++labelled_traders;
+    } else {
+      ++mislabelled;
+    }
+  }
+  const auto traders = trace.hosts_of_class(netflow::HostClass::kTrader);
+  EXPECT_EQ(mislabelled, 0u);
+  EXPECT_GE(labelled_traders, traders.size() * 3 / 4);
+}
+
+TEST(CampusSubnets, InternalPredicate) {
+  EXPECT_TRUE(campus_internal(simnet::Ipv4(128, 2, 1, 1)));
+  EXPECT_TRUE(campus_internal(simnet::Ipv4(128, 237, 200, 9)));
+  EXPECT_FALSE(campus_internal(simnet::Ipv4(128, 3, 0, 1)));
+  EXPECT_FALSE(campus_internal(simnet::Ipv4(8, 8, 8, 8)));
+  EXPECT_EQ(campus_subnets().size(), 2u);
+}
+
+}  // namespace
+}  // namespace tradeplot::trace

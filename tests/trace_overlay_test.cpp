@@ -1,0 +1,156 @@
+#include "trace/overlay.h"
+
+#include "trace/campus.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.h"
+
+namespace tradeplot::trace {
+namespace {
+
+netflow::FlowRecord flow(simnet::Ipv4 src, simnet::Ipv4 dst, double start) {
+  netflow::FlowRecord r;
+  r.src = src;
+  r.dst = dst;
+  r.start_time = start;
+  r.end_time = start + 1;
+  r.pkts_src = 1;
+  r.pkts_dst = 1;
+  r.bytes_src = 10;
+  return r;
+}
+
+netflow::TraceSet campus_with_hosts(int hosts) {
+  netflow::TraceSet campus(0.0, 21600.0);
+  for (int i = 1; i <= hosts; ++i) {
+    const simnet::Ipv4 ip(128, 2, 0, static_cast<std::uint8_t>(i));
+    campus.set_truth(ip, netflow::HostKind::kWebClient);
+    campus.add_flow(flow(ip, simnet::Ipv4(1, 2, 3, 4), i * 10.0));
+  }
+  // External hosts also initiate flows (inbound connections); they must
+  // never be chosen as bot carriers.
+  campus.add_flow(flow(simnet::Ipv4(9, 9, 9, 9), simnet::Ipv4(128, 2, 0, 1), 5.0));
+  return campus;
+}
+
+netflow::TraceSet bot_trace(int bots, double duration = 86400.0) {
+  netflow::TraceSet bots_trace(0.0, duration);
+  for (int b = 1; b <= bots; ++b) {
+    const simnet::Ipv4 bot(10, 99, 0, static_cast<std::uint8_t>(b));
+    bots_trace.set_truth(bot, netflow::HostKind::kStorm);
+    for (double t = 0; t < duration; t += 600.0) {
+      bots_trace.add_flow(flow(bot, simnet::Ipv4(7, 7, 7, static_cast<std::uint8_t>(b)), t));
+    }
+  }
+  return bots_trace;
+}
+
+TEST(Overlay, AssignsEachBotToDistinctInternalHost) {
+  const auto campus = campus_with_hosts(20);
+  const auto bots = bot_trace(5);
+  util::Pcg32 rng(1);
+  const OverlayResult result = overlay_bots(campus, bots, rng);
+  EXPECT_EQ(result.bot_hosts.size(), 5u);
+  const std::set<simnet::Ipv4> unique(result.bot_hosts.begin(), result.bot_hosts.end());
+  EXPECT_EQ(unique.size(), 5u);
+  for (const simnet::Ipv4 host : result.bot_hosts) {
+    EXPECT_TRUE(campus_internal(host));
+    EXPECT_EQ(result.combined.kind_of(host), netflow::HostKind::kStorm);
+  }
+}
+
+TEST(Overlay, BotFlowsAreRehomedAndShiftedIntoWindow) {
+  const auto campus = campus_with_hosts(20);
+  const auto bots = bot_trace(3);
+  util::Pcg32 rng(2);
+  const OverlayResult result = overlay_bots(campus, bots, rng);
+  std::size_t bot_flows = 0;
+  for (const auto& r : result.combined.flows()) {
+    EXPECT_GE(r.start_time, result.combined.window_start());
+    EXPECT_LT(r.start_time, result.combined.window_end() + 1e-9);
+    if ((r.dst.value() >> 8) == ((7u << 16) | (7u << 8) | 7u)) ++bot_flows;  // 7.7.7.x
+  }
+  // A 6-hour slice of a 24-hour trace with one flow per 10 min per bot.
+  EXPECT_EQ(bot_flows, 3u * 36u);
+  // No honeynet addresses survive re-homing.
+  for (const auto& r : result.combined.flows()) {
+    EXPECT_NE((r.src.value() >> 16), ((10u << 8) | 99u));
+  }
+}
+
+TEST(Overlay, CarrierKeepsItsOwnTraffic) {
+  const auto campus = campus_with_hosts(10);
+  const auto bots = bot_trace(1);
+  util::Pcg32 rng(3);
+  const OverlayResult result = overlay_bots(campus, bots, rng);
+  const simnet::Ipv4 carrier = result.bot_hosts[0];
+  int own = 0, bot = 0;
+  for (const auto& r : result.combined.flows()) {
+    if (r.src != carrier) continue;
+    if (r.dst == simnet::Ipv4(1, 2, 3, 4)) ++own;
+    else ++bot;
+  }
+  EXPECT_EQ(own, 1);
+  EXPECT_GT(bot, 0);
+}
+
+TEST(Overlay, ExcludedHostsAreNeverCarriers) {
+  const auto campus = campus_with_hosts(6);
+  const auto bots = bot_trace(5);
+  OverlayOptions options;
+  options.exclude_hosts = {simnet::Ipv4(128, 2, 0, 1)};
+  util::Pcg32 rng(4);
+  const OverlayResult result = overlay_bots(campus, bots, rng, options);
+  for (const simnet::Ipv4 host : result.bot_hosts) {
+    EXPECT_NE(host, simnet::Ipv4(128, 2, 0, 1));
+  }
+}
+
+TEST(Overlay, ThrowsWhenMoreBotsThanHosts) {
+  const auto campus = campus_with_hosts(3);
+  const auto bots = bot_trace(10);
+  util::Pcg32 rng(5);
+  EXPECT_THROW((void)overlay_bots(campus, bots, rng), util::ConfigError);
+}
+
+TEST(Overlay, EmptyBotTraceIsNoOp) {
+  const auto campus = campus_with_hosts(5);
+  netflow::TraceSet empty;
+  util::Pcg32 rng(6);
+  const OverlayResult result = overlay_bots(campus, empty, rng);
+  EXPECT_TRUE(result.bot_hosts.empty());
+  EXPECT_EQ(result.combined.flows().size(), campus.flows().size());
+}
+
+TEST(Overlay, FixedSliceStartsAtTraceBeginning) {
+  const auto campus = campus_with_hosts(5);
+  auto bots = bot_trace(1);
+  OverlayOptions options;
+  options.random_slice = false;
+  util::Pcg32 rng(7);
+  const OverlayResult result = overlay_bots(campus, bots, rng, options);
+  // With slice at 0 and flows every 600 s, the first re-homed flow lands at 0.
+  double first_bot_flow = 1e18;
+  for (const auto& r : result.combined.flows()) {
+    if (r.dst == simnet::Ipv4(7, 7, 7, 1)) first_bot_flow = std::min(first_bot_flow, r.start_time);
+  }
+  EXPECT_DOUBLE_EQ(first_bot_flow, 0.0);
+}
+
+TEST(Overlay, DeterministicGivenSameRngState) {
+  const auto campus = campus_with_hosts(15);
+  const auto bots = bot_trace(4);
+  util::Pcg32 rng_a(8);
+  util::Pcg32 rng_b(8);
+  const auto a = overlay_bots(campus, bots, rng_a);
+  const auto b = overlay_bots(campus, bots, rng_b);
+  EXPECT_EQ(a.bot_hosts, b.bot_hosts);
+  EXPECT_EQ(a.combined.flows().size(), b.combined.flows().size());
+}
+
+}  // namespace
+}  // namespace tradeplot::trace

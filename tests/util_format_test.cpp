@@ -1,0 +1,43 @@
+#include "util/format.h"
+
+#include <gtest/gtest.h>
+
+namespace tradeplot::util {
+namespace {
+
+TEST(Format, HumanBytes) {
+  EXPECT_EQ(human_bytes(0), "0 B");
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(1024), "1.00 KB");
+  EXPECT_EQ(human_bytes(1536), "1.50 KB");
+  EXPECT_EQ(human_bytes(1024.0 * 1024.0), "1.00 MB");
+  EXPECT_EQ(human_bytes(3.5 * 1024 * 1024 * 1024), "3.50 GB");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(percent(0.5), "50.00%");
+  EXPECT_EQ(percent(0.0081), "0.81%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+TEST(Format, HumanDuration) {
+  EXPECT_EQ(human_duration(0.5), "0.50s");
+  EXPECT_EQ(human_duration(3723), "01:02:03");
+  EXPECT_EQ(human_duration(59), "00:00:59");
+  EXPECT_EQ(human_duration(86400), "24:00:00");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(-1.0, 0), "-1");
+  EXPECT_EQ(fixed(2.5, 3), "2.500");
+}
+
+TEST(Format, Column) {
+  EXPECT_EQ(column("abc", 5), "  abc");
+  EXPECT_EQ(column("abcdef", 4), "abcd");
+  EXPECT_EQ(column("", 3), "   ");
+}
+
+}  // namespace
+}  // namespace tradeplot::util

@@ -1,0 +1,264 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace tradeplot::util {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed) {
+  Pcg32 a(42, 7);
+  Pcg32 b(42, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer) {
+  Pcg32 a(42);
+  Pcg32 b(43);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, DifferentStreamsDiffer) {
+  Pcg32 a(42, 1);
+  Pcg32 b(42, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, SplitIsDeterministicAndIndependent) {
+  Pcg32 parent(99);
+  Pcg32 child1 = parent.split(1);
+  Pcg32 child1_again = Pcg32(99).split(1);
+  Pcg32 child2 = parent.split(2);
+  EXPECT_EQ(child1(), child1_again());
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1() == child2()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, UniformInUnitInterval) {
+  Pcg32 rng(1);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Pcg32, UniformIntCoversRangeInclusive) {
+  Pcg32 rng(2);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Pcg32, UniformIntSingleton) {
+  Pcg32 rng(3);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Pcg32, UniformIntRejectsInvertedRange) {
+  Pcg32 rng(3);
+  EXPECT_THROW((void)rng.uniform_int(10, 3), std::invalid_argument);
+}
+
+TEST(Pcg32, UniformIntNegativeRange) {
+  Pcg32 rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const auto v = rng.uniform_int(-10, -5);
+    ASSERT_GE(v, -10);
+    ASSERT_LE(v, -5);
+  }
+}
+
+TEST(Pcg32, ChanceExtremes) {
+  Pcg32 rng(5);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_FALSE(rng.chance(-0.5));
+  EXPECT_TRUE(rng.chance(1.5));
+}
+
+TEST(Pcg32, ChanceFrequency) {
+  Pcg32 rng(6);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Pcg32, ExponentialMean) {
+  Pcg32 rng(7);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / 20000.0, 5.0, 0.2);
+}
+
+TEST(Pcg32, ExponentialRejectsNonPositiveMean) {
+  Pcg32 rng(7);
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Pcg32, NormalMoments) {
+  Pcg32 rng(8);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.normal(10.0, 2.0);
+  double mean = 0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Pcg32, LognormalMedian) {
+  Pcg32 rng(9);
+  std::vector<double> xs(20001);
+  for (double& x : xs) x = rng.lognormal(3.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  // Median of lognormal(mu, sigma) is exp(mu).
+  EXPECT_NEAR(xs[xs.size() / 2], std::exp(3.0), std::exp(3.0) * 0.1);
+}
+
+TEST(Pcg32, ParetoBoundsAndShape) {
+  Pcg32 rng(10);
+  for (int i = 0; i < 1000; ++i) ASSERT_GE(rng.pareto(2.0, 1.5), 2.0);
+  EXPECT_THROW((void)rng.pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.pareto(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Pcg32, BoundedParetoStaysInBounds) {
+  Pcg32 rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.bounded_pareto(10.0, 1000.0, 1.2);
+    ASSERT_GE(x, 10.0 * 0.999);
+    ASSERT_LE(x, 1000.0 * 1.001);
+  }
+  EXPECT_THROW((void)rng.bounded_pareto(10.0, 5.0, 1.0), std::invalid_argument);
+}
+
+TEST(Pcg32, BoundedParetoIsHeavyTailedTowardsLow) {
+  Pcg32 rng(12);
+  int low = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bounded_pareto(1.0, 1000.0, 1.1) < 10.0) ++low;
+  }
+  // Most draws should be near the lower bound for alpha > 1.
+  EXPECT_GT(low, n / 2);
+}
+
+TEST(Pcg32, ZipfBoundsAndMonotoneFrequencies) {
+  Pcg32 rng(13);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const auto r = rng.zipf(10, 1.0);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 10u);
+    counts[r] += 1;
+  }
+  // Rank 1 should clearly beat rank 5 which should beat rank 10.
+  EXPECT_GT(counts[1], counts[5]);
+  EXPECT_GT(counts[5], counts[10]);
+}
+
+TEST(Pcg32, ZipfUniformWhenExponentZero) {
+  Pcg32 rng(14);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 20000; ++i) counts[rng.zipf(5, 0.0) - 1] += 1;
+  for (const int c : counts) EXPECT_NEAR(c, 4000, 400);
+}
+
+TEST(Pcg32, ZipfSingleton) {
+  Pcg32 rng(15);
+  EXPECT_EQ(rng.zipf(1, 1.2), 1u);
+  EXPECT_THROW((void)rng.zipf(0, 1.0), std::invalid_argument);
+}
+
+TEST(Pcg32, WeightedIndexRespectsWeights) {
+  Pcg32 rng(16);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) counts[rng.weighted_index(weights)] += 1;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Pcg32, WeightedIndexErrors) {
+  Pcg32 rng(17);
+  std::vector<double> zero = {0.0, 0.0};
+  std::vector<double> negative = {1.0, -1.0};
+  EXPECT_THROW((void)rng.weighted_index(zero), std::invalid_argument);
+  EXPECT_THROW((void)rng.weighted_index(negative), std::invalid_argument);
+}
+
+TEST(Pcg32, ShuffleIsPermutation) {
+  Pcg32 rng(18);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Pcg32, PickReturnsElement) {
+  Pcg32 rng(19);
+  const std::vector<int> v = {7, 8, 9};
+  for (int i = 0; i < 50; ++i) {
+    const int x = rng.pick(v);
+    EXPECT_TRUE(x == 7 || x == 8 || x == 9);
+  }
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 a(0);
+  SplitMix64 b(0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+  SplitMix64 c(1);
+  EXPECT_NE(SplitMix64(0).next(), c.next());
+}
+
+// Distribution determinism across the whole helper surface: the same seed
+// must give the same draws — the reproducibility contract of the library.
+TEST(Pcg32, AllDistributionsDeterministic) {
+  const auto draw_all = [](Pcg32 rng) {
+    std::vector<double> out;
+    out.push_back(rng.uniform());
+    out.push_back(rng.uniform(2, 3));
+    out.push_back(static_cast<double>(rng.uniform_int(0, 1000)));
+    out.push_back(rng.exponential(2.0));
+    out.push_back(rng.normal(0, 1));
+    out.push_back(rng.lognormal(1, 0.5));
+    out.push_back(rng.pareto(1.0, 2.0));
+    out.push_back(rng.bounded_pareto(1.0, 100.0, 1.5));
+    out.push_back(static_cast<double>(rng.zipf(100, 0.8)));
+    return out;
+  };
+  EXPECT_EQ(draw_all(Pcg32(12345)), draw_all(Pcg32(12345)));
+}
+
+}  // namespace
+}  // namespace tradeplot::util

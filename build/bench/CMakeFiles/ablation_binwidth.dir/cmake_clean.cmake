@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_binwidth.dir/ablation_binwidth.cpp.o"
+  "CMakeFiles/ablation_binwidth.dir/ablation_binwidth.cpp.o.d"
+  "ablation_binwidth"
+  "ablation_binwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_binwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

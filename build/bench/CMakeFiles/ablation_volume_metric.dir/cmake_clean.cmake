@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_volume_metric.dir/ablation_volume_metric.cpp.o"
+  "CMakeFiles/ablation_volume_metric.dir/ablation_volume_metric.cpp.o.d"
+  "ablation_volume_metric"
+  "ablation_volume_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_volume_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_new_ip_churn.dir/fig02_new_ip_churn.cpp.o"
+  "CMakeFiles/fig02_new_ip_churn.dir/fig02_new_ip_churn.cpp.o.d"
+  "fig02_new_ip_churn"
+  "fig02_new_ip_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_new_ip_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

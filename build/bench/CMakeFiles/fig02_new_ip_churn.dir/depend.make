@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_new_ip_churn.
+# This may be replaced when dependencies are built.

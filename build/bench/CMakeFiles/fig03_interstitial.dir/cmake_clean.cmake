@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_interstitial.dir/fig03_interstitial.cpp.o"
+  "CMakeFiles/fig03_interstitial.dir/fig03_interstitial.cpp.o.d"
+  "fig03_interstitial"
+  "fig03_interstitial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_interstitial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

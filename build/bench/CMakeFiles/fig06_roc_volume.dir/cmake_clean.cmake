@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_roc_volume.dir/fig06_roc_volume.cpp.o"
+  "CMakeFiles/fig06_roc_volume.dir/fig06_roc_volume.cpp.o.d"
+  "fig06_roc_volume"
+  "fig06_roc_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_roc_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

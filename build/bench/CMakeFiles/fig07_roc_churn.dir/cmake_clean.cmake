@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_roc_churn.dir/fig07_roc_churn.cpp.o"
+  "CMakeFiles/fig07_roc_churn.dir/fig07_roc_churn.cpp.o.d"
+  "fig07_roc_churn"
+  "fig07_roc_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_roc_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

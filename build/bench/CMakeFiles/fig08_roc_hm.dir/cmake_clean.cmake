@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_roc_hm.dir/fig08_roc_hm.cpp.o"
+  "CMakeFiles/fig08_roc_hm.dir/fig08_roc_hm.cpp.o.d"
+  "fig08_roc_hm"
+  "fig08_roc_hm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_roc_hm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_funnel.dir/fig09_funnel.cpp.o"
+  "CMakeFiles/fig09_funnel.dir/fig09_funnel.cpp.o.d"
+  "fig09_funnel"
+  "fig09_funnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_funnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

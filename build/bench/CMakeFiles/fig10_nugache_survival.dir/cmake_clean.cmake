@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_nugache_survival.dir/fig10_nugache_survival.cpp.o"
+  "CMakeFiles/fig10_nugache_survival.dir/fig10_nugache_survival.cpp.o.d"
+  "fig10_nugache_survival"
+  "fig10_nugache_survival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_nugache_survival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_evasion_thresholds.cpp" "bench/CMakeFiles/fig11_evasion_thresholds.dir/fig11_evasion_thresholds.cpp.o" "gcc" "bench/CMakeFiles/fig11_evasion_thresholds.dir/fig11_evasion_thresholds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/tp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hosts/CMakeFiles/tp_hosts.dir/DependInfo.cmake"
+  "/root/repo/build/src/botnet/CMakeFiles/tp_botnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/tp_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/tp_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/netflow/CMakeFiles/tp_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/tp_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

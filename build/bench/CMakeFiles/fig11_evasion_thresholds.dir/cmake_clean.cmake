@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_evasion_thresholds.dir/fig11_evasion_thresholds.cpp.o"
+  "CMakeFiles/fig11_evasion_thresholds.dir/fig11_evasion_thresholds.cpp.o.d"
+  "fig11_evasion_thresholds"
+  "fig11_evasion_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_evasion_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_evasion_delay.dir/fig12_evasion_delay.cpp.o"
+  "CMakeFiles/fig12_evasion_delay.dir/fig12_evasion_delay.cpp.o.d"
+  "fig12_evasion_delay"
+  "fig12_evasion_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_evasion_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/botnet/honeynet.cpp" "src/botnet/CMakeFiles/tp_botnet.dir/honeynet.cpp.o" "gcc" "src/botnet/CMakeFiles/tp_botnet.dir/honeynet.cpp.o.d"
+  "/root/repo/src/botnet/nugache.cpp" "src/botnet/CMakeFiles/tp_botnet.dir/nugache.cpp.o" "gcc" "src/botnet/CMakeFiles/tp_botnet.dir/nugache.cpp.o.d"
+  "/root/repo/src/botnet/storm.cpp" "src/botnet/CMakeFiles/tp_botnet.dir/storm.cpp.o" "gcc" "src/botnet/CMakeFiles/tp_botnet.dir/storm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/tp_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/netflow/CMakeFiles/tp_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/tp_p2p.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_botnet.dir/honeynet.cpp.o"
+  "CMakeFiles/tp_botnet.dir/honeynet.cpp.o.d"
+  "CMakeFiles/tp_botnet.dir/nugache.cpp.o"
+  "CMakeFiles/tp_botnet.dir/nugache.cpp.o.d"
+  "CMakeFiles/tp_botnet.dir/storm.cpp.o"
+  "CMakeFiles/tp_botnet.dir/storm.cpp.o.d"
+  "libtp_botnet.a"
+  "libtp_botnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_botnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/baselines.cpp" "src/detect/CMakeFiles/tp_detect.dir/baselines.cpp.o" "gcc" "src/detect/CMakeFiles/tp_detect.dir/baselines.cpp.o.d"
+  "/root/repo/src/detect/features.cpp" "src/detect/CMakeFiles/tp_detect.dir/features.cpp.o" "gcc" "src/detect/CMakeFiles/tp_detect.dir/features.cpp.o.d"
+  "/root/repo/src/detect/find_plotters.cpp" "src/detect/CMakeFiles/tp_detect.dir/find_plotters.cpp.o" "gcc" "src/detect/CMakeFiles/tp_detect.dir/find_plotters.cpp.o.d"
+  "/root/repo/src/detect/human_machine.cpp" "src/detect/CMakeFiles/tp_detect.dir/human_machine.cpp.o" "gcc" "src/detect/CMakeFiles/tp_detect.dir/human_machine.cpp.o.d"
+  "/root/repo/src/detect/streaming.cpp" "src/detect/CMakeFiles/tp_detect.dir/streaming.cpp.o" "gcc" "src/detect/CMakeFiles/tp_detect.dir/streaming.cpp.o.d"
+  "/root/repo/src/detect/tests.cpp" "src/detect/CMakeFiles/tp_detect.dir/tests.cpp.o" "gcc" "src/detect/CMakeFiles/tp_detect.dir/tests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/tp_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/netflow/CMakeFiles/tp_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_detect.dir/baselines.cpp.o"
+  "CMakeFiles/tp_detect.dir/baselines.cpp.o.d"
+  "CMakeFiles/tp_detect.dir/features.cpp.o"
+  "CMakeFiles/tp_detect.dir/features.cpp.o.d"
+  "CMakeFiles/tp_detect.dir/find_plotters.cpp.o"
+  "CMakeFiles/tp_detect.dir/find_plotters.cpp.o.d"
+  "CMakeFiles/tp_detect.dir/human_machine.cpp.o"
+  "CMakeFiles/tp_detect.dir/human_machine.cpp.o.d"
+  "CMakeFiles/tp_detect.dir/streaming.cpp.o"
+  "CMakeFiles/tp_detect.dir/streaming.cpp.o.d"
+  "CMakeFiles/tp_detect.dir/tests.cpp.o"
+  "CMakeFiles/tp_detect.dir/tests.cpp.o.d"
+  "libtp_detect.a"
+  "libtp_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

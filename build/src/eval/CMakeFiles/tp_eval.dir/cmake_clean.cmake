@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_eval.dir/day.cpp.o"
+  "CMakeFiles/tp_eval.dir/day.cpp.o.d"
+  "CMakeFiles/tp_eval.dir/experiments.cpp.o"
+  "CMakeFiles/tp_eval.dir/experiments.cpp.o.d"
+  "CMakeFiles/tp_eval.dir/metrics.cpp.o"
+  "CMakeFiles/tp_eval.dir/metrics.cpp.o.d"
+  "libtp_eval.a"
+  "libtp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

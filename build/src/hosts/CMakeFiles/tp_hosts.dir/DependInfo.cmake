@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hosts/misc.cpp" "src/hosts/CMakeFiles/tp_hosts.dir/misc.cpp.o" "gcc" "src/hosts/CMakeFiles/tp_hosts.dir/misc.cpp.o.d"
+  "/root/repo/src/hosts/services.cpp" "src/hosts/CMakeFiles/tp_hosts.dir/services.cpp.o" "gcc" "src/hosts/CMakeFiles/tp_hosts.dir/services.cpp.o.d"
+  "/root/repo/src/hosts/web.cpp" "src/hosts/CMakeFiles/tp_hosts.dir/web.cpp.o" "gcc" "src/hosts/CMakeFiles/tp_hosts.dir/web.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/tp_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/netflow/CMakeFiles/tp_netflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

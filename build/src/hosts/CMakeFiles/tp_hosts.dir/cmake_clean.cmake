@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_hosts.dir/misc.cpp.o"
+  "CMakeFiles/tp_hosts.dir/misc.cpp.o.d"
+  "CMakeFiles/tp_hosts.dir/services.cpp.o"
+  "CMakeFiles/tp_hosts.dir/services.cpp.o.d"
+  "CMakeFiles/tp_hosts.dir/web.cpp.o"
+  "CMakeFiles/tp_hosts.dir/web.cpp.o.d"
+  "libtp_hosts.a"
+  "libtp_hosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_hosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

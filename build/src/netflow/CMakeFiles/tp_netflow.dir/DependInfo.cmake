@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netflow/classifier.cpp" "src/netflow/CMakeFiles/tp_netflow.dir/classifier.cpp.o" "gcc" "src/netflow/CMakeFiles/tp_netflow.dir/classifier.cpp.o.d"
+  "/root/repo/src/netflow/flow_emit.cpp" "src/netflow/CMakeFiles/tp_netflow.dir/flow_emit.cpp.o" "gcc" "src/netflow/CMakeFiles/tp_netflow.dir/flow_emit.cpp.o.d"
+  "/root/repo/src/netflow/flow_key.cpp" "src/netflow/CMakeFiles/tp_netflow.dir/flow_key.cpp.o" "gcc" "src/netflow/CMakeFiles/tp_netflow.dir/flow_key.cpp.o.d"
+  "/root/repo/src/netflow/flow_record.cpp" "src/netflow/CMakeFiles/tp_netflow.dir/flow_record.cpp.o" "gcc" "src/netflow/CMakeFiles/tp_netflow.dir/flow_record.cpp.o.d"
+  "/root/repo/src/netflow/flow_table.cpp" "src/netflow/CMakeFiles/tp_netflow.dir/flow_table.cpp.o" "gcc" "src/netflow/CMakeFiles/tp_netflow.dir/flow_table.cpp.o.d"
+  "/root/repo/src/netflow/io.cpp" "src/netflow/CMakeFiles/tp_netflow.dir/io.cpp.o" "gcc" "src/netflow/CMakeFiles/tp_netflow.dir/io.cpp.o.d"
+  "/root/repo/src/netflow/trace_set.cpp" "src/netflow/CMakeFiles/tp_netflow.dir/trace_set.cpp.o" "gcc" "src/netflow/CMakeFiles/tp_netflow.dir/trace_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/tp_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_netflow.dir/classifier.cpp.o"
+  "CMakeFiles/tp_netflow.dir/classifier.cpp.o.d"
+  "CMakeFiles/tp_netflow.dir/flow_emit.cpp.o"
+  "CMakeFiles/tp_netflow.dir/flow_emit.cpp.o.d"
+  "CMakeFiles/tp_netflow.dir/flow_key.cpp.o"
+  "CMakeFiles/tp_netflow.dir/flow_key.cpp.o.d"
+  "CMakeFiles/tp_netflow.dir/flow_record.cpp.o"
+  "CMakeFiles/tp_netflow.dir/flow_record.cpp.o.d"
+  "CMakeFiles/tp_netflow.dir/flow_table.cpp.o"
+  "CMakeFiles/tp_netflow.dir/flow_table.cpp.o.d"
+  "CMakeFiles/tp_netflow.dir/io.cpp.o"
+  "CMakeFiles/tp_netflow.dir/io.cpp.o.d"
+  "CMakeFiles/tp_netflow.dir/trace_set.cpp.o"
+  "CMakeFiles/tp_netflow.dir/trace_set.cpp.o.d"
+  "libtp_netflow.a"
+  "libtp_netflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_netflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

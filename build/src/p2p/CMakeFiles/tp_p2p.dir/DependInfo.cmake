@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p2p/bittorrent.cpp" "src/p2p/CMakeFiles/tp_p2p.dir/bittorrent.cpp.o" "gcc" "src/p2p/CMakeFiles/tp_p2p.dir/bittorrent.cpp.o.d"
+  "/root/repo/src/p2p/emule.cpp" "src/p2p/CMakeFiles/tp_p2p.dir/emule.cpp.o" "gcc" "src/p2p/CMakeFiles/tp_p2p.dir/emule.cpp.o.d"
+  "/root/repo/src/p2p/gnutella.cpp" "src/p2p/CMakeFiles/tp_p2p.dir/gnutella.cpp.o" "gcc" "src/p2p/CMakeFiles/tp_p2p.dir/gnutella.cpp.o.d"
+  "/root/repo/src/p2p/kademlia.cpp" "src/p2p/CMakeFiles/tp_p2p.dir/kademlia.cpp.o" "gcc" "src/p2p/CMakeFiles/tp_p2p.dir/kademlia.cpp.o.d"
+  "/root/repo/src/p2p/node_id.cpp" "src/p2p/CMakeFiles/tp_p2p.dir/node_id.cpp.o" "gcc" "src/p2p/CMakeFiles/tp_p2p.dir/node_id.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/tp_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/netflow/CMakeFiles/tp_netflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

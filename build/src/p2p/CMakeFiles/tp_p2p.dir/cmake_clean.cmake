@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_p2p.dir/bittorrent.cpp.o"
+  "CMakeFiles/tp_p2p.dir/bittorrent.cpp.o.d"
+  "CMakeFiles/tp_p2p.dir/emule.cpp.o"
+  "CMakeFiles/tp_p2p.dir/emule.cpp.o.d"
+  "CMakeFiles/tp_p2p.dir/gnutella.cpp.o"
+  "CMakeFiles/tp_p2p.dir/gnutella.cpp.o.d"
+  "CMakeFiles/tp_p2p.dir/kademlia.cpp.o"
+  "CMakeFiles/tp_p2p.dir/kademlia.cpp.o.d"
+  "CMakeFiles/tp_p2p.dir/node_id.cpp.o"
+  "CMakeFiles/tp_p2p.dir/node_id.cpp.o.d"
+  "libtp_p2p.a"
+  "libtp_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

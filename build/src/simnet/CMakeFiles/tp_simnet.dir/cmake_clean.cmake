@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_simnet.dir/address.cpp.o"
+  "CMakeFiles/tp_simnet.dir/address.cpp.o.d"
+  "CMakeFiles/tp_simnet.dir/simulation.cpp.o"
+  "CMakeFiles/tp_simnet.dir/simulation.cpp.o.d"
+  "libtp_simnet.a"
+  "libtp_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

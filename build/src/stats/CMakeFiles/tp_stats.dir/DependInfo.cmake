@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/tp_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/tp_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/emd.cpp" "src/stats/CMakeFiles/tp_stats.dir/emd.cpp.o" "gcc" "src/stats/CMakeFiles/tp_stats.dir/emd.cpp.o.d"
+  "/root/repo/src/stats/hcluster.cpp" "src/stats/CMakeFiles/tp_stats.dir/hcluster.cpp.o" "gcc" "src/stats/CMakeFiles/tp_stats.dir/hcluster.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/tp_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/tp_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/roc.cpp" "src/stats/CMakeFiles/tp_stats.dir/roc.cpp.o" "gcc" "src/stats/CMakeFiles/tp_stats.dir/roc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/tp_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/tp_stats.dir/emd.cpp.o"
+  "CMakeFiles/tp_stats.dir/emd.cpp.o.d"
+  "CMakeFiles/tp_stats.dir/hcluster.cpp.o"
+  "CMakeFiles/tp_stats.dir/hcluster.cpp.o.d"
+  "CMakeFiles/tp_stats.dir/histogram.cpp.o"
+  "CMakeFiles/tp_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/tp_stats.dir/roc.cpp.o"
+  "CMakeFiles/tp_stats.dir/roc.cpp.o.d"
+  "libtp_stats.a"
+  "libtp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/campus.cpp" "src/trace/CMakeFiles/tp_trace.dir/campus.cpp.o" "gcc" "src/trace/CMakeFiles/tp_trace.dir/campus.cpp.o.d"
+  "/root/repo/src/trace/overlay.cpp" "src/trace/CMakeFiles/tp_trace.dir/overlay.cpp.o" "gcc" "src/trace/CMakeFiles/tp_trace.dir/overlay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/tp_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/netflow/CMakeFiles/tp_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/tp_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/hosts/CMakeFiles/tp_hosts.dir/DependInfo.cmake"
+  "/root/repo/build/src/botnet/CMakeFiles/tp_botnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_trace.dir/campus.cpp.o"
+  "CMakeFiles/tp_trace.dir/campus.cpp.o.d"
+  "CMakeFiles/tp_trace.dir/overlay.cpp.o"
+  "CMakeFiles/tp_trace.dir/overlay.cpp.o.d"
+  "libtp_trace.a"
+  "libtp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

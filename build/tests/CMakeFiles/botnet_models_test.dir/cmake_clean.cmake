@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botnet_models_test.dir/botnet_models_test.cpp.o"
+  "CMakeFiles/botnet_models_test.dir/botnet_models_test.cpp.o.d"
+  "botnet_models_test"
+  "botnet_models_test.pdb"
+  "botnet_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botnet_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_baselines_test.dir/detect_baselines_test.cpp.o"
+  "CMakeFiles/detect_baselines_test.dir/detect_baselines_test.cpp.o.d"
+  "detect_baselines_test"
+  "detect_baselines_test.pdb"
+  "detect_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_features_test.dir/detect_features_test.cpp.o"
+  "CMakeFiles/detect_features_test.dir/detect_features_test.cpp.o.d"
+  "detect_features_test"
+  "detect_features_test.pdb"
+  "detect_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_find_plotters_test.dir/detect_find_plotters_test.cpp.o"
+  "CMakeFiles/detect_find_plotters_test.dir/detect_find_plotters_test.cpp.o.d"
+  "detect_find_plotters_test"
+  "detect_find_plotters_test.pdb"
+  "detect_find_plotters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_find_plotters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_human_machine_test.dir/detect_human_machine_test.cpp.o"
+  "CMakeFiles/detect_human_machine_test.dir/detect_human_machine_test.cpp.o.d"
+  "detect_human_machine_test"
+  "detect_human_machine_test.pdb"
+  "detect_human_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_human_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_streaming_test.dir/detect_streaming_test.cpp.o"
+  "CMakeFiles/detect_streaming_test.dir/detect_streaming_test.cpp.o.d"
+  "detect_streaming_test"
+  "detect_streaming_test.pdb"
+  "detect_streaming_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_streaming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

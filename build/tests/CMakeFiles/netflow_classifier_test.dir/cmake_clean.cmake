@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netflow_classifier_test.dir/netflow_classifier_test.cpp.o"
+  "CMakeFiles/netflow_classifier_test.dir/netflow_classifier_test.cpp.o.d"
+  "netflow_classifier_test"
+  "netflow_classifier_test.pdb"
+  "netflow_classifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netflow_classifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netflow_flow_table_test.dir/netflow_flow_table_test.cpp.o"
+  "CMakeFiles/netflow_flow_table_test.dir/netflow_flow_table_test.cpp.o.d"
+  "netflow_flow_table_test"
+  "netflow_flow_table_test.pdb"
+  "netflow_flow_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netflow_flow_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netflow_io_test.dir/netflow_io_test.cpp.o"
+  "CMakeFiles/netflow_io_test.dir/netflow_io_test.cpp.o.d"
+  "netflow_io_test"
+  "netflow_io_test.pdb"
+  "netflow_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netflow_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netflow_trace_set_test.dir/netflow_trace_set_test.cpp.o"
+  "CMakeFiles/netflow_trace_set_test.dir/netflow_trace_set_test.cpp.o.d"
+  "netflow_trace_set_test"
+  "netflow_trace_set_test.pdb"
+  "netflow_trace_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netflow_trace_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simnet_address_test.dir/simnet_address_test.cpp.o"
+  "CMakeFiles/simnet_address_test.dir/simnet_address_test.cpp.o.d"
+  "simnet_address_test"
+  "simnet_address_test.pdb"
+  "simnet_address_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simnet_address_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_emd_test.dir/stats_emd_test.cpp.o"
+  "CMakeFiles/stats_emd_test.dir/stats_emd_test.cpp.o.d"
+  "stats_emd_test"
+  "stats_emd_test.pdb"
+  "stats_emd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_emd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

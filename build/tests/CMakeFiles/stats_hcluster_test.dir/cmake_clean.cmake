@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_hcluster_test.dir/stats_hcluster_test.cpp.o"
+  "CMakeFiles/stats_hcluster_test.dir/stats_hcluster_test.cpp.o.d"
+  "stats_hcluster_test"
+  "stats_hcluster_test.pdb"
+  "stats_hcluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_hcluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

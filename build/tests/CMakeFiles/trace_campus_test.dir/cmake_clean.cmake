@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_campus_test.dir/trace_campus_test.cpp.o"
+  "CMakeFiles/trace_campus_test.dir/trace_campus_test.cpp.o.d"
+  "trace_campus_test"
+  "trace_campus_test.pdb"
+  "trace_campus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_campus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_overlay_test.dir/trace_overlay_test.cpp.o"
+  "CMakeFiles/trace_overlay_test.dir/trace_overlay_test.cpp.o.d"
+  "trace_overlay_test"
+  "trace_overlay_test.pdb"
+  "trace_overlay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_overlay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,105 @@
+// Serial vs. parallel pairwise-distance kernels (the θ_hm hot path).
+//
+// For host counts 64/256/1024 and small/large histogram signatures, times
+// stats::pairwise_emd and detect::pairwise_bin_l1 at 1 thread (the serial
+// reference path) and at 2/4/8/auto threads, and verifies the parallel
+// matrices are bit-identical to the serial ones — the determinism contract
+// of util::parallel_for. Speedups are hardware-dependent: expect ~linear
+// scaling up to the physical core count and ~1x beyond it.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "detect/human_machine.h"
+#include "stats/emd.h"
+#include "stats/histogram.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+using namespace tradeplot;
+
+namespace {
+
+std::vector<stats::Signature> make_signatures(std::size_t hosts, std::size_t samples,
+                                              std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<stats::Signature> sigs;
+  sigs.reserve(hosts);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    std::vector<double> v(samples);
+    for (double& x : v) x = rng.lognormal(4.0, 1.2);
+    sigs.push_back(stats::Histogram::with_fd_width(v).signature());
+  }
+  return sigs;
+}
+
+double time_ms(const std::function<std::vector<double>()>& fn, std::vector<double>& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  out = fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+bool bit_identical(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("bench_pairwise - serial vs parallel pairwise distance kernels\n");
+  std::printf("==============================================================\n");
+  std::printf("  hardware threads: %zu, TRADEPLOT_THREADS-resolved: %zu\n\n",
+              static_cast<std::size_t>(std::thread::hardware_concurrency()),
+              util::resolve_threads(0));
+
+  const std::size_t thread_counts[] = {2, 4, 8, util::resolve_threads(0)};
+  bool all_identical = true;
+
+  for (const std::size_t samples : {200UL, 2000UL}) {
+    for (const std::size_t hosts : {64UL, 256UL, 1024UL}) {
+      const auto sigs = make_signatures(hosts, samples, 20100621 + hosts);
+      std::size_t points = 0;
+      for (const auto& s : sigs) points += s.size();
+      std::printf("  %4zu hosts, ~%3zu signature points (EMD):\n", hosts,
+                  points / hosts);
+
+      std::vector<double> serial;
+      const double serial_ms = time_ms([&] { return stats::pairwise_emd(sigs, 1); }, serial);
+      std::printf("    %-10s %9.1f ms\n", "serial", serial_ms);
+      for (const std::size_t t : thread_counts) {
+        std::vector<double> parallel;
+        const double ms =
+            time_ms([&] { return stats::pairwise_emd(sigs, t); }, parallel);
+        const bool same = bit_identical(serial, parallel);
+        all_identical = all_identical && same;
+        std::printf("    %zu threads  %9.1f ms   speedup %5.2fx   bit-identical: %s\n", t, ms,
+                    serial_ms / ms, same ? "yes" : "NO");
+      }
+
+      detect::HumanMachineConfig l1;
+      l1.threads = 1;
+      std::vector<double> l1_serial;
+      const double l1_serial_ms =
+          time_ms([&] { return detect::pairwise_bin_l1(sigs, l1); }, l1_serial);
+      std::printf("    bin-L1 serial %6.1f ms", l1_serial_ms);
+      l1.threads = util::resolve_threads(0);
+      std::vector<double> l1_parallel;
+      const double l1_ms = time_ms([&] { return detect::pairwise_bin_l1(sigs, l1); }, l1_parallel);
+      const bool l1_same = bit_identical(l1_serial, l1_parallel);
+      all_identical = all_identical && l1_same;
+      std::printf(", auto %6.1f ms, speedup %5.2fx, bit-identical: %s\n\n", l1_ms,
+                  l1_serial_ms / l1_ms, l1_same ? "yes" : "NO");
+    }
+  }
+
+  std::printf("  determinism: %s\n", all_identical ? "PASS (all matrices bit-identical)"
+                                                   : "FAIL (parallel != serial)");
+  return all_identical ? 0 : 1;
+}

@@ -15,6 +15,7 @@
 #include "detect/find_plotters.h"
 #include "eval/day.h"
 #include "util/format.h"
+#include "util/parallel.h"
 
 using namespace tradeplot;
 
@@ -42,6 +43,10 @@ int main(int argc, char** argv) {
 
   trace::CampusConfig campus;
   campus.seed = seed;
+
+  // θ_hm's pairwise kernels honor TRADEPLOT_THREADS; the verdicts are
+  // bit-identical no matter how many workers run them.
+  std::printf("pairwise kernels on %zu thread(s)\n\n", util::resolve_threads());
 
   int tp_total = 0, fp_total = 0, bots_total = 0;
   for (int d = 0; d < days; ++d) {

@@ -29,11 +29,24 @@ namespace {
 struct Accumulator {
   HostFeatures features;
   // Per-destination initiated-flow start times (unsorted; sorted at the end).
-  std::unordered_map<simnet::Ipv4, std::vector<double>> per_dst_times;
+  PerDestinationTimes per_dst_times;
   bool seen = false;
 };
 
 }  // namespace
+
+void finalize_destinations(HostFeatures& f, PerDestinationTimes& times, double grace) {
+  f.distinct_dsts = times.size();
+  f.dsts_after_first_hour = 0;
+  const double horizon = f.first_activity + grace;
+  for (auto& [dst, starts] : times) {
+    std::sort(starts.begin(), starts.end());
+    if (starts.front() > horizon) f.dsts_after_first_hour += 1;
+    for (std::size_t i = 1; i < starts.size(); ++i) {
+      f.interstitials.push_back(starts[i] - starts[i - 1]);
+    }
+  }
+}
 
 FeatureMap extract_features(const netflow::TraceSet& trace,
                             const FeatureExtractorConfig& config) {
@@ -71,17 +84,8 @@ FeatureMap extract_features(const netflow::TraceSet& trace,
   FeatureMap out;
   out.reserve(acc.size());
   for (auto& [host, a] : acc) {
-    HostFeatures& f = a.features;
-    const double horizon = f.first_activity + config.new_ip_grace;
-    for (auto& [dst, times] : a.per_dst_times) {
-      std::sort(times.begin(), times.end());
-      f.distinct_dsts += 1;
-      if (times.front() > horizon) f.dsts_after_first_hour += 1;
-      for (std::size_t i = 1; i < times.size(); ++i) {
-        f.interstitials.push_back(times[i] - times[i - 1]);
-      }
-    }
-    out.emplace(host, std::move(f));
+    finalize_destinations(a.features, a.per_dst_times, config.new_ip_grace);
+    out.emplace(host, std::move(a.features));
   }
   return out;
 }

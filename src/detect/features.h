@@ -75,6 +75,19 @@ struct FeatureExtractorConfig {
 [[nodiscard]] FeatureMap extract_features(const netflow::TraceSet& trace,
                                           const FeatureExtractorConfig& config);
 
+/// Per-destination initiated-flow start times accumulated during a pass
+/// over the flows, before finalization.
+using PerDestinationTimes = std::unordered_map<simnet::Ipv4, std::vector<double>>;
+
+/// Folds accumulated per-destination times into `f`: sets distinct_dsts and
+/// dsts_after_first_hour (destinations first contacted after
+/// f.first_activity + grace) and appends the pooled interstitial samples
+/// (consecutive gaps of each destination's *sorted* times). Sorts the time
+/// vectors in place. Both the batch and the streaming extractor finalize
+/// through this helper, so their features agree exactly — for any arrival
+/// order of the flows.
+void finalize_destinations(HostFeatures& f, PerDestinationTimes& times, double grace);
+
 /// Convenience predicate for the default campus subnets (128.2/16 and
 /// 128.237/16, plus the honeynet block 10.99/16 used by raw bot traces).
 [[nodiscard]] bool default_internal_predicate(simnet::Ipv4 addr);

@@ -9,26 +9,24 @@
 #include "stats/hcluster.h"
 #include "stats/histogram.h"
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace tradeplot::detect {
 
-namespace {
-
-/// L1 distance over a fixed common binning (the ablation alternative to
-/// EMD): both signatures are re-binned onto an absolute grid and the
-/// probability masses compared bin by bin.
 std::vector<double> pairwise_bin_l1(const std::vector<stats::Signature>& sigs,
                                     const HumanMachineConfig& config) {
   const double grid = config.fixed_bin_width > 0.0 ? config.fixed_bin_width : 60.0;
-  std::vector<std::unordered_map<long long, double>> binned(sigs.size());
-  for (std::size_t i = 0; i < sigs.size(); ++i) {
-    for (const stats::SignaturePoint& p : sigs[i]) {
-      binned[i][static_cast<long long>(p.position / grid)] += p.weight;
-    }
-  }
   const std::size_t n = sigs.size();
+  std::vector<std::unordered_map<long long, double>> binned(n);
+  util::parallel_for(0, n, 8, config.threads, [&](std::size_t i) {
+    for (const stats::SignaturePoint& p : sigs[i]) {
+      // floor, not truncation: casting p.position / grid rounds toward zero
+      // and would merge the two grid cells straddling 0 into one bin.
+      binned[i][std::llround(std::floor(p.position / grid))] += p.weight;
+    }
+  });
   std::vector<double> d(n * n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
+  util::parallel_for(0, n, 1, config.threads, [&](std::size_t i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       double l1 = 0.0;
       for (const auto& [bin, w] : binned[i]) {
@@ -41,19 +39,19 @@ std::vector<double> pairwise_bin_l1(const std::vector<stats::Signature>& sigs,
       d[i * n + j] = l1;
       d[j * n + i] = l1;
     }
-  }
+  });
   return d;
 }
-
-}  // namespace
 
 HumanMachineResult human_machine_test(const FeatureMap& features, const HostSet& input,
                                       const HumanMachineConfig& config) {
   HumanMachineResult result;
 
-  // Build one histogram signature per eligible host.
+  // Select eligible hosts serially (cheap), then build the histogram
+  // signatures in parallel — each host writes only its own slot, so the
+  // signature list is identical for every thread count.
   std::vector<simnet::Ipv4> hosts;
-  std::vector<stats::Signature> signatures;
+  std::vector<const HostFeatures*> eligible;
   for (const simnet::Ipv4 host : input) {
     const auto it = features.find(host);
     if (it == features.end())
@@ -64,19 +62,26 @@ HumanMachineResult human_machine_test(const FeatureMap& features, const HostSet&
       continue;
     }
     hosts.push_back(host);
+    eligible.push_back(&f);
+  }
+  if (hosts.size() < config.min_cluster_size) {
+    std::sort(result.skipped.begin(), result.skipped.end());
+    return result;
+  }
+  std::vector<stats::Signature> signatures(hosts.size());
+  util::parallel_for(0, hosts.size(), 1, config.threads, [&](std::size_t i) {
+    const HostFeatures& f = *eligible[i];
     const stats::Histogram hist =
         config.fixed_bin_width > 0.0
             ? stats::Histogram(f.interstitials, config.fixed_bin_width)
             : stats::Histogram::with_fd_width(f.interstitials);
-    signatures.push_back(config.distance == HmDistance::kEmdBinIndex
-                             ? hist.index_signature()
-                             : hist.signature());
-  }
-  if (hosts.size() < config.min_cluster_size) return result;
+    signatures[i] = config.distance == HmDistance::kEmdBinIndex ? hist.index_signature()
+                                                                : hist.signature();
+  });
 
   const std::vector<double> distances = config.distance == HmDistance::kBinL1
                                             ? pairwise_bin_l1(signatures, config)
-                                            : stats::pairwise_emd(signatures);
+                                            : stats::pairwise_emd(signatures, config.threads);
   const stats::Dendrogram dendrogram =
       stats::agglomerative_average_linkage(distances, hosts.size());
   const auto groups = dendrogram.cut_top_fraction(config.cut_fraction);
@@ -91,7 +96,10 @@ HumanMachineResult human_machine_test(const FeatureMap& features, const HostSet&
     diameters.push_back(cluster.diameter);
     result.clusters.push_back(std::move(cluster));
   }
-  if (result.clusters.empty()) return result;
+  if (result.clusters.empty()) {
+    std::sort(result.skipped.begin(), result.skipped.end());
+    return result;
+  }
 
   result.tau_hm = stats::quantile(diameters, config.diameter_percentile);
   for (HostCluster& cluster : result.clusters) {

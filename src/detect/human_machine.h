@@ -15,6 +15,7 @@
 
 #include "detect/features.h"
 #include "detect/tests.h"
+#include "stats/histogram.h"
 
 namespace tradeplot::detect {
 
@@ -53,6 +54,11 @@ struct HumanMachineConfig {
   /// seconds (ablation: fixed widths are easier for a bot to reason about).
   double fixed_bin_width = 0.0;
   HmDistance distance = HmDistance::kEmd;
+  /// Worker threads for the O(n^2) kernels (per-host signature build and
+  /// the pairwise distance matrix). 0 = the TRADEPLOT_THREADS environment
+  /// variable, else hardware concurrency; 1 = the serial reference path.
+  /// Every thread count produces bit-identical results.
+  std::size_t threads = 0;
 };
 
 struct HostCluster {
@@ -72,5 +78,13 @@ struct HumanMachineResult {
 [[nodiscard]] HumanMachineResult human_machine_test(const FeatureMap& features,
                                                     const HostSet& input,
                                                     const HumanMachineConfig& config = {});
+
+/// The kBinL1 distance matrix (the ablation alternative to EMD): both
+/// signatures are re-binned onto an absolute grid of width
+/// config.fixed_bin_width (60 s when unset) anchored at 0, and the
+/// probability masses compared bin by bin. Exposed for the ablation and
+/// pairwise benches; entry [i*n + j] as in stats::pairwise_emd.
+[[nodiscard]] std::vector<double> pairwise_bin_l1(const std::vector<stats::Signature>& sigs,
+                                                  const HumanMachineConfig& config);
 
 }  // namespace tradeplot::detect

@@ -43,29 +43,11 @@ void StreamingDetector::ingest(const netflow::FlowRecord& flow) {
     f.flows_initiated += 1;
     if (flow.failed()) f.flows_failed += 1;
     f.bytes_sent_initiated += flow.bytes_src;
-    // Destination bookkeeping: first/last contact drive churn and
-    // interstitials incrementally.
-    const auto first_it = state.first_contact.find(flow.dst);
-    if (first_it == state.first_contact.end()) {
-      state.first_contact.emplace(flow.dst, flow.start_time);
-      f.distinct_dsts += 1;
-    } else if (flow.start_time < first_it->second) {
-      first_it->second = flow.start_time;  // late arrival predates first sight
-    }
-    const auto last_it = state.last_contact.find(flow.dst);
-    if (last_it != state.last_contact.end()) {
-      const double gap = flow.start_time - last_it->second;
-      if (gap >= 0.0) {
-        f.interstitials.push_back(gap);
-        last_it->second = flow.start_time;
-      } else {
-        // Late arrival: record the magnitude; keeps memory O(1) per dst
-        // while staying within sampling noise of the batch extractor.
-        f.interstitials.push_back(-gap);
-      }
-    } else {
-      state.last_contact.emplace(flow.dst, flow.start_time);
-    }
+    // Accumulate the raw start time; churn and interstitials are derived
+    // from the sorted per-destination times at window close, so late
+    // arrivals land in their true position instead of producing spurious
+    // |gap| samples that diverge from the batch extractor.
+    state.per_dst_times[flow.dst].push_back(flow.start_time);
   }
   if (config_.is_internal(flow.dst) && !flow.failed()) {
     HostState& state = touch(flow.dst, flow.start_time);
@@ -83,17 +65,13 @@ void StreamingDetector::roll_to(double time) {
 }
 
 void StreamingDetector::emit() {
-  // Finalize churn: destinations first contacted after the grace horizon.
+  // Finalize per-destination state (churn + interstitials) via the same
+  // helper as the batch extractor.
   FeatureMap features;
   features.reserve(hosts_.size());
   for (auto& [host, state] : hosts_) {
-    HostFeatures& f = state.features;
-    f.dsts_after_first_hour = 0;
-    const double horizon = f.first_activity + config_.new_ip_grace;
-    for (const auto& [dst, first] : state.first_contact) {
-      if (first > horizon) f.dsts_after_first_hour += 1;
-    }
-    features.emplace(host, std::move(f));
+    finalize_destinations(state.features, state.per_dst_times, config_.new_ip_grace);
+    features.emplace(host, std::move(state.features));
   }
 
   WindowVerdict verdict;
@@ -104,6 +82,7 @@ void StreamingDetector::emit() {
   if (!features.empty()) {
     verdict.result = find_plotters(features, config_.pipeline);
   }
+  verdict.features = std::move(features);
   sink_(verdict);
 
   hosts_.clear();

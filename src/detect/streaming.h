@@ -6,9 +6,12 @@
 // FindPlotters result at each detection-window boundary (the paper's
 // window D, one day by default), then rolls the window forward.
 //
-// Memory is bounded by the number of active hosts per window: all per-host
-// state is dropped when the window rolls. Flow ingestion is O(1) amortised
-// per flow; the per-window detection pass runs the regular pipeline.
+// Memory is bounded by the flows of the current window: all per-host state
+// is dropped when the window rolls. Flow ingestion is O(1) amortised per
+// flow; the per-window detection pass finalizes features through the same
+// code as the batch extractor, so a window's verdict is identical to
+// running extract_features + find_plotters over that window's flows — for
+// any arrival order of the flows within the window.
 #pragma once
 
 #include <functional>
@@ -35,6 +38,9 @@ struct WindowVerdict {
   double window_start = 0.0;
   double window_end = 0.0;
   std::size_t flows_seen = 0;
+  /// The finalized per-host features the verdict was computed from (equal
+  /// to extract_features over this window's flows).
+  FeatureMap features;
   FindPlottersResult result;
 };
 
@@ -67,12 +73,14 @@ class StreamingDetector {
   StreamingConfig config_;
   VerdictSink sink_;
 
-  // Incremental per-host accumulation for the current window. Mirrors
-  // extract_features(), but built flow by flow.
+  // Incremental per-host accumulation for the current window: scalar
+  // counters update flow by flow; per-destination start times accumulate
+  // raw and are finalized (sorted -> churn + interstitials) by the shared
+  // finalize_destinations() when the window closes, exactly as in the
+  // batch extractor.
   struct HostState {
     HostFeatures features;
-    std::unordered_map<simnet::Ipv4, double> last_contact;   // dst -> last start
-    std::unordered_map<simnet::Ipv4, double> first_contact;  // dst -> first start
+    PerDestinationTimes per_dst_times;  // dst -> initiated-flow start times
     bool seen = false;
   };
   std::unordered_map<simnet::Ipv4, HostState> hosts_;

@@ -44,12 +44,30 @@ HostSet data_reduction(const FeatureMap& features, const HostSet& input,
   });
   if (!any_eligible) return {};
   const double threshold = data_reduction_threshold(features, input, config);
-  HostSet out;
-  for (const simnet::Ipv4 host : input) {
-    const HostFeatures& f = features_of(features, host);
-    if (f.initiated_success() && f.failed_rate() > threshold) out.push_back(host);
+  const auto select = [&](bool inclusive) {
+    HostSet out;
+    for (const simnet::Ipv4 host : input) {
+      const HostFeatures& f = features_of(features, host);
+      if (!f.initiated_success()) continue;
+      const double rate = f.failed_rate();
+      if (rate > threshold || (inclusive && rate == threshold)) out.push_back(host);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  switch (config.comparison) {
+    case ReductionComparison::kStrict:
+      return select(false);
+    case ReductionComparison::kInclusive:
+      return select(true);
+    case ReductionComparison::kStrictThenInclusive:
+      break;
   }
-  std::sort(out.begin(), out.end());
+  HostSet out = select(false);
+  // Strict `>` selects nobody exactly when the maximum eligible rate ties
+  // the threshold (e.g. most hosts sharing one failed rate); keep the tied
+  // hosts rather than collapsing the pipeline's input to nothing.
+  if (out.empty()) out = select(true);
   return out;
 }
 

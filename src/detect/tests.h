@@ -21,8 +21,23 @@ using HostSet = std::vector<simnet::Ipv4>;
 /// never initiated a successful flow are dropped from consideration
 /// entirely, as in the paper ("only hosts that initiated successful
 /// connections ... were included").
+/// How a host's failed rate is compared against the reduction threshold.
+/// The paper says hosts whose rate "exceeds" the median are kept, i.e.
+/// strictly `>` — but when many eligible hosts share one failed rate
+/// (common in synthetic or quiet traffic) the median *equals* that rate and
+/// strict comparison empties the reduced set, short-circuiting the whole
+/// pipeline. kStrictThenInclusive keeps the paper's strict reading and
+/// falls back to `>=` only in exactly that degenerate case (every kept host
+/// then ties the threshold, so no host below the median ever enters).
+enum class ReductionComparison {
+  kStrictThenInclusive,  // `>`; retry with `>=` if that selects nobody
+  kStrict,               // `>` always (the paper, literally)
+  kInclusive,            // `>=` always
+};
+
 struct DataReductionConfig {
   double percentile = 0.5;
+  ReductionComparison comparison = ReductionComparison::kStrictThenInclusive;
 };
 [[nodiscard]] HostSet data_reduction(const FeatureMap& features, const HostSet& input,
                                      const DataReductionConfig& config = {});

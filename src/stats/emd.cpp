@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace tradeplot::stats {
 
@@ -171,17 +172,25 @@ double emd_transport(const Signature& a, const Signature& b) {
   return emd_transport(a, b, [](double x, double y) { return std::abs(x - y); });
 }
 
-std::vector<double> pairwise_emd(const std::vector<Signature>& sigs) {
+std::vector<double> pairwise_emd(const std::vector<Signature>& sigs, std::size_t threads) {
   const std::size_t n = sigs.size();
   std::vector<double> d(n * n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
+  if (n < 2) return d;
+  // One task per row: row i owns cells (i,j) and (j,i) for j > i, so writers
+  // never overlap. Rows shrink toward the end of the triangle; the dynamic
+  // chunk handout in parallel_for keeps the load balanced anyway.
+  util::parallel_for(0, n, 1, threads, [&](std::size_t i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       const double v = emd_1d(sigs[i], sigs[j]);
       d[i * n + j] = v;
       d[j * n + i] = v;
     }
-  }
+  });
   return d;
+}
+
+std::vector<double> pairwise_emd(const std::vector<Signature>& sigs) {
+  return pairwise_emd(sigs, 0);
 }
 
 }  // namespace tradeplot::stats

@@ -35,7 +35,15 @@ using GroundDistance = std::function<double(double, double)>;
 [[nodiscard]] double emd_transport(const Signature& a, const Signature& b);
 
 /// Symmetric pairwise EMD matrix (emd_1d) for a set of signatures; entry
-/// [i*n + j] is the distance between signatures i and j.
+/// [i*n + j] is the distance between signatures i and j. Rows are computed
+/// in parallel on `threads` workers (0 = TRADEPLOT_THREADS env var, else
+/// hardware concurrency; 1 = the serial reference loop); every cell is an
+/// independent pure computation, so the matrix is bit-identical for every
+/// thread count.
+[[nodiscard]] std::vector<double> pairwise_emd(const std::vector<Signature>& sigs,
+                                               std::size_t threads);
+
+/// pairwise_emd with the default thread count.
 [[nodiscard]] std::vector<double> pairwise_emd(const std::vector<Signature>& sigs);
 
 }  // namespace tradeplot::stats

@@ -1,0 +1,122 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+namespace tradeplot::util {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("TRADEPLOT_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = resolve_threads(threads);
+  workers_.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (end - begin + grain - 1) / grain;
+  const std::size_t workers = std::min(resolve_threads(threads), chunks);
+  if (workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  struct State {
+    std::atomic<std::size_t> next_chunk{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t helpers_finished = 0;
+    std::exception_ptr error;
+  } state;
+
+  const auto work = [&state, &fn, begin, end, grain, chunks] {
+    for (;;) {
+      const std::size_t c = state.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const std::size_t lo = begin + c * grain;
+      const std::size_t hi = std::min(end, lo + grain);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (!state.error) state.error = std::current_exception();
+        state.next_chunk.store(chunks, std::memory_order_relaxed);  // abandon the rest
+      }
+    }
+  };
+
+  // helpers-1 tasks on the shared pool; the calling thread is worker zero,
+  // so the loop drains even when the pool is saturated (or smaller than
+  // `workers`, in which case extra tasks just queue behind each other).
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t helpers = workers - 1;
+  for (std::size_t t = 0; t < helpers; ++t) {
+    pool.submit([&state, work] {
+      work();
+      std::lock_guard<std::mutex> lock(state.mutex);
+      ++state.helpers_finished;
+      state.done.notify_one();
+    });
+  }
+  work();
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.done.wait(lock, [&state, helpers] { return state.helpers_finished == helpers; });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t)>& fn) {
+  parallel_for(begin, end, grain, 0, fn);
+}
+
+}  // namespace tradeplot::util

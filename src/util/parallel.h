@@ -1,0 +1,70 @@
+// Deterministic fork-join parallelism for the detection pipeline's O(n^2)
+// kernels (pairwise distances, per-host signature construction).
+//
+// ThreadPool is a fixed set of workers fed from one queue. parallel_for
+// splits an index range into contiguous chunks, hands chunks to the shared
+// pool, and blocks until every index has been processed. Each index runs
+// exactly once and callers write to disjoint output slots, so results are
+// bit-identical to the serial loop for every thread count — `threads == 1`
+// is the serial reference path (no pool, plain loop), kept reachable for
+// A/B testing.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tradeplot::util {
+
+/// Effective worker count: `requested` if > 0; else the TRADEPLOT_THREADS
+/// environment variable if set to a positive integer; else
+/// std::thread::hardware_concurrency() (at least 1).
+[[nodiscard]] std::size_t resolve_threads(std::size_t requested = 0);
+
+class ThreadPool {
+ public:
+  /// threads == 0 resolves via resolve_threads().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task for any idle worker. Tasks must not throw.
+  void submit(std::function<void()> task);
+
+  /// Process-wide pool, created on first use with resolve_threads(0)
+  /// workers (TRADEPLOT_THREADS is read once, when the pool is created).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Invokes fn(i) for every i in [begin, end). The range is split into
+/// contiguous chunks of `grain` indices; chunks are claimed dynamically, so
+/// uneven per-index cost (e.g. triangular pairwise loops) still balances.
+/// The calling thread participates in the work, so the function completes
+/// even if every pool worker is busy. The first exception thrown by fn is
+/// rethrown after in-flight chunks drain; remaining chunks are abandoned.
+/// `threads` follows resolve_threads(); pass 1 to force the serial path.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+/// parallel_for with the default thread count (TRADEPLOT_THREADS or
+/// hardware concurrency).
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace tradeplot::util

@@ -148,6 +148,50 @@ TEST(HumanMachineTest, AlternativeDistancesRun) {
   }
 }
 
+TEST(PairwiseBinL1, MassStraddlingZeroLandsInDistinctBins) {
+  // Regression: binning with a truncating cast mapped +-grid/2 both to bin
+  // 0, so two point masses on opposite sides of 0 compared as identical.
+  // Floor-based binning puts them one bin apart: total L1 mass of 2.
+  HumanMachineConfig config;
+  config.fixed_bin_width = 60.0;
+  const std::vector<stats::Signature> sigs = {{{-30.0, 1.0}}, {{30.0, 1.0}}};
+  const std::vector<double> d = pairwise_bin_l1(sigs, config);
+  EXPECT_DOUBLE_EQ(d[0 * 2 + 1], 2.0);
+  EXPECT_DOUBLE_EQ(d[1 * 2 + 0], 2.0);
+}
+
+TEST(PairwiseBinL1, NegativeAxisBinsConsistentWithPositive) {
+  // Mass at -90 and -30 (bins -2 and -1) must be as far apart as mass at
+  // +30 and +90 (bins 0 and 1): truncation used to squash the negative
+  // pair into adjacent-looking bins asymmetrically.
+  HumanMachineConfig config;
+  config.fixed_bin_width = 60.0;
+  const std::vector<stats::Signature> sigs = {
+      {{-90.0, 1.0}}, {{-30.0, 1.0}}, {{30.0, 1.0}}, {{90.0, 1.0}}};
+  const std::vector<double> d = pairwise_bin_l1(sigs, config);
+  EXPECT_DOUBLE_EQ(d[0 * 4 + 1], d[2 * 4 + 3]);  // one bin apart each
+  EXPECT_DOUBLE_EQ(d[1 * 4 + 2], 2.0);           // -30 vs 30: different bins
+}
+
+TEST(HumanMachineTest, ThreadCountDoesNotChangeTheResult) {
+  Population pop = bots_and_humans();
+  HumanMachineConfig serial;
+  serial.threads = 1;
+  const HumanMachineResult reference = human_machine_test(pop.features, pop.input, serial);
+  for (const std::size_t threads : {2u, 8u}) {
+    HumanMachineConfig config;
+    config.threads = threads;
+    const HumanMachineResult result = human_machine_test(pop.features, pop.input, config);
+    EXPECT_EQ(result.flagged, reference.flagged) << threads << " threads";
+    EXPECT_EQ(result.tau_hm, reference.tau_hm) << threads << " threads";
+    ASSERT_EQ(result.clusters.size(), reference.clusters.size());
+    for (std::size_t c = 0; c < result.clusters.size(); ++c) {
+      EXPECT_EQ(result.clusters[c].members, reference.clusters[c].members);
+      EXPECT_EQ(result.clusters[c].diameter, reference.clusters[c].diameter);
+    }
+  }
+}
+
 TEST(HumanMachineTest, JitteredAndDilutedBotsEscape) {
   // The paper's Fig. 12 mechanism in miniature. Jitter alone does not break
   // the similarity of bots running the same algorithm (their smeared

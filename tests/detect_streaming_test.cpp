@@ -7,6 +7,7 @@
 #include "botnet/honeynet.h"
 #include "eval/day.h"
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace tradeplot::detect {
 namespace {
@@ -117,6 +118,72 @@ TEST(StreamingDetector, MatchesBatchExtractorOnOrderedTrace) {
   EXPECT_EQ(results[0].s_vol, batch_result.s_vol);
   EXPECT_EQ(results[0].s_churn, batch_result.s_churn);
   EXPECT_EQ(results[0].plotters, batch_result.plotters);
+}
+
+TEST(StreamingDetector, OutOfOrderFlowsMatchBatchInterstitials) {
+  // Regression: the streaming extractor used to record a late arrival as
+  // |t - last_contact| without updating last_contact, so times 0, 10, 5
+  // yielded interstitials {10, 5} where the batch extractor (which sorts
+  // per-destination times) yields {5, 5}.
+  const simnet::Ipv4 src(128, 2, 0, 1);
+  const simnet::Ipv4 dst(1, 1, 1, 1);
+  std::vector<WindowVerdict> verdicts;
+  StreamingDetector detector(config(100.0),
+                             [&](const WindowVerdict& v) { verdicts.push_back(v); });
+  detector.ingest(flow(src, dst, 0.0));
+  detector.ingest(flow(src, dst, 10.0));
+  detector.ingest(flow(src, dst, 5.0));  // late arrival
+  detector.flush();
+  ASSERT_EQ(verdicts.size(), 1u);
+  std::vector<double> gaps = verdicts[0].features.at(src).interstitials;
+  std::sort(gaps.begin(), gaps.end());
+  EXPECT_EQ(gaps, (std::vector<double>{5.0, 5.0}));
+}
+
+TEST(StreamingDetector, ShuffledTraceMatchesBatchFeatures) {
+  // Feed the same trace to the batch extractor (in order) and the streaming
+  // detector (shuffled within the window): every per-host feature,
+  // including the interstitial multiset, must agree exactly.
+  botnet::HoneynetConfig honeynet;
+  honeynet.seed = 7;
+  honeynet.duration = 1800.0;
+  honeynet.nugache_bots = 0;
+  const netflow::TraceSet trace = botnet::generate_storm_trace(honeynet);
+
+  FeatureExtractorConfig fx;
+  fx.is_internal = is_internal;
+  const FeatureMap batch = extract_features(trace, fx);
+
+  std::vector<netflow::FlowRecord> shuffled(trace.flows().begin(), trace.flows().end());
+  util::Pcg32 rng(99);
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(i) - 1));
+    std::swap(shuffled[i - 1], shuffled[j]);
+  }
+
+  std::vector<WindowVerdict> verdicts;
+  StreamingConfig cfg = config(3600.0);
+  StreamingDetector detector(cfg, [&](const WindowVerdict& v) { verdicts.push_back(v); });
+  // Anchor the window so every shuffled flow lands in window [0, 3600).
+  detector.ingest(flow(simnet::Ipv4(128, 2, 0, 200), simnet::Ipv4(9, 9, 9, 9), 0.0));
+  for (const auto& rec : shuffled) detector.ingest(rec);
+  detector.flush();
+
+  ASSERT_EQ(verdicts.size(), 1u);
+  const FeatureMap& streamed = verdicts[0].features;
+  for (const auto& [host, bf] : batch) {
+    ASSERT_TRUE(streamed.contains(host)) << host.to_string();
+    const HostFeatures& sf = streamed.at(host);
+    EXPECT_EQ(sf.flows_initiated, bf.flows_initiated);
+    EXPECT_EQ(sf.flows_failed, bf.flows_failed);
+    EXPECT_EQ(sf.distinct_dsts, bf.distinct_dsts);
+    EXPECT_EQ(sf.dsts_after_first_hour, bf.dsts_after_first_hour);
+    EXPECT_DOUBLE_EQ(sf.first_activity, bf.first_activity);
+    std::vector<double> sg = sf.interstitials, bg = bf.interstitials;
+    std::sort(sg.begin(), sg.end());
+    std::sort(bg.begin(), bg.end());
+    EXPECT_EQ(sg, bg) << "interstitials diverge for " << host.to_string();
+  }
 }
 
 TEST(StreamingDetector, ParityWithBatchOnOverlaidDay) {

@@ -70,6 +70,43 @@ TEST(DataReduction, PercentileIsConfigurable) {
   EXPECT_EQ(kept.size(), 4u);
 }
 
+TEST(DataReduction, SharedFailedRateFallsBackToInclusive) {
+  // Regression: when every eligible host shares one failed rate the median
+  // equals it, strict `>` kept nobody, and find_plotters short-circuited
+  // to an empty result. The default comparison now falls back to `>=` in
+  // exactly that degenerate case.
+  const FeatureMap features = build({
+      {1, 0.4, 100, 0.5},
+      {2, 0.4, 100, 0.5},
+      {3, 0.4, 100, 0.5},
+      {4, 0.4, 100, 0.5},
+  });
+  const HostSet input = all_hosts(features);
+  EXPECT_EQ(data_reduction(features, input), input);  // default: fallback kicks in
+  DataReductionConfig strict;
+  strict.comparison = ReductionComparison::kStrict;
+  EXPECT_EQ(data_reduction(features, input, strict), HostSet{});  // the paper, literally
+}
+
+TEST(DataReduction, ComparisonModesOnMixedRates) {
+  const FeatureMap features = build({
+      {1, 0.1, 100, 0.5},
+      {2, 0.3, 100, 0.5},
+      {3, 0.3, 100, 0.5},
+      {4, 0.3, 100, 0.5},
+      {5, 0.9, 100, 0.5},
+  });
+  const HostSet input = all_hosts(features);
+  EXPECT_DOUBLE_EQ(data_reduction_threshold(features, input), 0.3);
+  // Strict selection is non-empty (host 5), so the default does NOT fall
+  // back: hosts tying the median stay excluded.
+  EXPECT_EQ(data_reduction(features, input), (HostSet{host(5)}));
+  DataReductionConfig inclusive;
+  inclusive.comparison = ReductionComparison::kInclusive;
+  EXPECT_EQ(data_reduction(features, input, inclusive),
+            (HostSet{host(2), host(3), host(4), host(5)}));
+}
+
 TEST(VolumeTest, KeepsLowVolumeHosts) {
   const FeatureMap features = build({
       {1, 0.5, 50, 0.5},     // bot-like: tiny flows

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "util/error.h"
 #include "util/rng.h"
@@ -133,6 +134,26 @@ TEST_P(EmdMetric, TriangleInequalityHolds) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EmdMetric, ::testing::Values(11, 12, 13, 14, 15, 16));
+
+TEST(PairwiseEmd, ParallelMatrixIsBitIdenticalToSerial) {
+  util::Pcg32 rng(17);
+  std::vector<Signature> sigs;
+  for (int i = 0; i < 40; ++i) {
+    Signature s;
+    const auto points = static_cast<std::size_t>(rng.uniform_int(3, 20));
+    for (std::size_t j = 0; j < points; ++j) {
+      s.push_back({rng.uniform(0, 300), rng.uniform(0.05, 1.0)});
+    }
+    sigs.push_back(std::move(s));
+  }
+  const std::vector<double> serial = pairwise_emd(sigs, 1);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const std::vector<double> parallel = pairwise_emd(sigs, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    EXPECT_EQ(0, std::memcmp(parallel.data(), serial.data(), serial.size() * sizeof(double)))
+        << threads << " threads";
+  }
+}
 
 TEST(PairwiseEmd, MatrixIsSymmetricWithZeroDiagonal) {
   util::Pcg32 rng(3);

@@ -107,6 +107,57 @@ TEST(Dendrogram, CutFractionOutOfRangeThrows) {
   EXPECT_THROW((void)dend.cut_top_fraction(1.1), util::ConfigError);
 }
 
+TEST(Dendrogram, TiedHeightsCutLaterMergesFirst) {
+  // Three merges at the same height: cut_top_fraction's tie rule removes
+  // later (higher) merges first, so cutting 1 of 3 severs the root and
+  // cutting 2 of 3 additionally severs the second merge.
+  const std::vector<Merge> merges = {
+      {0, 1, 1.0, 2},  // node 4
+      {2, 3, 1.0, 2},  // node 5
+      {4, 5, 1.0, 4},  // root
+  };
+  const Dendrogram dend(4, merges);
+  const auto one_cut = dend.cut_top_fraction(1.0 / 3.0);
+  ASSERT_EQ(one_cut.size(), 2u);
+  EXPECT_EQ(one_cut[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(one_cut[1], (std::vector<std::size_t>{2, 3}));
+  const auto two_cuts = dend.cut_top_fraction(2.0 / 3.0);
+  ASSERT_EQ(two_cuts.size(), 3u);
+  EXPECT_EQ(two_cuts[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(two_cuts[1], (std::vector<std::size_t>{2}));
+  EXPECT_EQ(two_cuts[2], (std::vector<std::size_t>{3}));
+}
+
+TEST(Dendrogram, SeveredMergeReferencedByLaterMergeResolves) {
+  // Non-monotonic dendrogram: the first merge (node 3) is severed while a
+  // *later* kept merge references node 3. The internal node's
+  // representative is its left child, so the kept merge joins leaf 2 with
+  // leaf 0's component — and leaf 1, detached by the cut, stays alone.
+  const std::vector<Merge> merges = {
+      {0, 1, 10.0, 2},  // node 3 (tall: severed by the height cut)
+      {3, 2, 1.0, 3},   // root references severed node 3
+  };
+  const Dendrogram dend(3, merges);
+  const auto groups = dend.cut_at_height(5.0);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(groups[1], (std::vector<std::size_t>{1}));
+}
+
+TEST(Dendrogram, CutTopFractionOnTiesKeepsEarlierStructure) {
+  // A tie between a leaf-level merge and the root: the root (later index)
+  // must be the one removed.
+  const std::vector<Merge> merges = {
+      {0, 1, 2.0, 2},  // node 3
+      {3, 2, 2.0, 3},  // root, same height
+  };
+  const Dendrogram dend(3, merges);
+  const auto groups = dend.cut_top_fraction(0.5);  // cut 1 of 2 links
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(groups[1], (std::vector<std::size_t>{2}));
+}
+
 TEST(ClusterDiameter, MaxPairwiseDistance) {
   const auto d = matrix(3, {2.0, 8.0, 4.0});
   const std::vector<std::size_t> all = {0, 1, 2};

@@ -1,0 +1,124 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tradeplot::util {
+namespace {
+
+TEST(ResolveThreads, ExplicitRequestWins) {
+  EXPECT_EQ(resolve_threads(3), 3u);
+  EXPECT_EQ(resolve_threads(1), 1u);
+}
+
+TEST(ResolveThreads, ReadsEnvironmentVariable) {
+  const char* saved = std::getenv("TRADEPLOT_THREADS");
+  const std::string restore = saved ? saved : "";
+  setenv("TRADEPLOT_THREADS", "5", 1);
+  EXPECT_EQ(resolve_threads(0), 5u);
+  EXPECT_EQ(resolve_threads(2), 2u);  // explicit still wins
+  setenv("TRADEPLOT_THREADS", "garbage", 1);
+  EXPECT_GE(resolve_threads(0), 1u);  // invalid -> hardware fallback
+  setenv("TRADEPLOT_THREADS", "0", 1);
+  EXPECT_GE(resolve_threads(0), 1u);
+  if (saved) {
+    setenv("TRADEPLOT_THREADS", restore.c_str(), 1);
+  } else {
+    unsetenv("TRADEPLOT_THREADS");
+  }
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (done.load() < 64 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) pool.submit([&done] { done.fetch_add(1); });
+  }  // join happens here
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    std::vector<int> hits(1000, 0);
+    parallel_for(0, hits.size(), 7, threads, [&](std::size_t i) { hits[i] += 1; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000) << threads << " threads";
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(), [](int h) { return h == 1; }));
+  }
+}
+
+TEST(ParallelFor, RespectsRangeOffsets) {
+  std::vector<int> hits(100, 0);
+  parallel_for(40, 60, 3, 4, [&](std::size_t i) { hits[i] = 1; });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], i >= 40 && i < 60 ? 1 : 0);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  parallel_for(5, 5, 1, 8, [](std::size_t) { FAIL() << "must not be called"; });
+  parallel_for(9, 2, 1, 8, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, ZeroGrainTreatedAsOne) {
+  std::atomic<int> count{0};
+  parallel_for(0, 10, 0, 4, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  for (const std::size_t threads : {1u, 4u}) {
+    EXPECT_THROW(
+        parallel_for(0, 100, 5, threads,
+                     [](std::size_t i) {
+                       if (i == 37) throw std::runtime_error("boom");
+                     }),
+        std::runtime_error)
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelFor, ResultsAreIdenticalAcrossThreadCounts) {
+  const auto run = [](std::size_t threads) {
+    std::vector<double> out(512);
+    parallel_for(0, out.size(), 3, threads, [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 0.37 + 1.0 / (static_cast<double>(i) + 1.0);
+    });
+    return out;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(ParallelFor, ManyConcurrentCallsShareThePool) {
+  // Several parallel_for calls issued back to back from one thread (the
+  // streaming detector's window cadence) must all complete.
+  std::atomic<int> total{0};
+  for (int round = 0; round < 20; ++round) {
+    parallel_for(0, 50, 1, 4, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 20 * 50);
+}
+
+}  // namespace
+}  // namespace tradeplot::util

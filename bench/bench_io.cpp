@@ -1,0 +1,280 @@
+// Trace-ingestion throughput: legacy (iostream + stod) vs. current readers.
+//
+// Generates a synthetic trace (default 1,000,000 flows; argv[1] overrides),
+// writes it as CSV and binary, then times four readers over the same files:
+// the pre-rewrite CSV/binary readers (reproduced below verbatim as the
+// baseline) and the current TraceReader-backed read_csv_file /
+// read_binary_file. Every pass is verified to decode the identical TraceSet.
+//
+//   bench_io [flows]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "netflow/io.h"
+#include "netflow/trace_reader.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+using namespace tradeplot;
+
+namespace legacy {
+
+// The seed repo's readers, kept as the measurement baseline. Do not modernize:
+// the point of this file is to quantify what the rewrite bought.
+using namespace tradeplot::netflow;
+
+constexpr std::string_view kCsvHeader =
+    "src,dst,sport,dport,proto,start,end,pkts_src,pkts_dst,bytes_src,bytes_dst,state,payload";
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw util::ParseError("bad hex digit");
+}
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t next = line.find(sep, pos);
+    if (next == std::string::npos) {
+      out.push_back(line.substr(pos));
+      return out;
+    }
+    out.push_back(line.substr(pos, next - pos));
+    pos = next + 1;
+  }
+}
+
+HostKind host_kind_from_string(std::string_view s) {
+  for (int i = 0; i <= static_cast<int>(HostKind::kNugache); ++i) {
+    const auto kind = static_cast<HostKind>(i);
+    if (to_string(kind) == s) return kind;
+  }
+  throw util::ParseError("unknown host kind '" + std::string(s) + "'");
+}
+
+TraceSet read_csv(std::istream& in) {
+  TraceSet trace;
+  std::string line;
+  bool seen_header = false;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const auto parts = split(line, ',');
+      if (parts[0] == "#window" && parts.size() == 3) {
+        trace.set_window(std::stod(parts[1]), std::stod(parts[2]));
+      } else if (parts[0] == "#truth" && parts.size() == 3) {
+        trace.set_truth(simnet::Ipv4::parse(parts[1]), host_kind_from_string(parts[2]));
+      } else {
+        throw util::ParseError("bad comment line " + std::to_string(lineno));
+      }
+      continue;
+    }
+    if (!seen_header) {
+      if (line != kCsvHeader) throw util::ParseError("missing CSV header");
+      seen_header = true;
+      continue;
+    }
+    const auto f = split(line, ',');
+    if (f.size() != 13) throw util::ParseError("bad field count on line " + std::to_string(lineno));
+    FlowRecord r;
+    r.src = simnet::Ipv4::parse(f[0]);
+    r.dst = simnet::Ipv4::parse(f[1]);
+    r.sport = static_cast<std::uint16_t>(std::stoul(f[2]));
+    r.dport = static_cast<std::uint16_t>(std::stoul(f[3]));
+    r.proto = protocol_from_string(f[4]);
+    r.start_time = std::stod(f[5]);
+    r.end_time = std::stod(f[6]);
+    r.pkts_src = std::stoull(f[7]);
+    r.pkts_dst = std::stoull(f[8]);
+    r.bytes_src = std::stoull(f[9]);
+    r.bytes_dst = std::stoull(f[10]);
+    r.state = flow_state_from_string(f[11]);
+    const std::string& hex = f[12];
+    if (hex.size() % 2 != 0 || hex.size() / 2 > kPayloadPrefixLen)
+      throw util::ParseError("bad payload hex");
+    r.payload_len = static_cast<std::uint8_t>(hex.size() / 2);
+    for (std::size_t i = 0; i < r.payload_len; ++i) {
+      r.payload[i] = static_cast<unsigned char>((hex_nibble(hex[2 * i]) << 4) |
+                                                hex_nibble(hex[2 * i + 1]));
+    }
+    trace.add_flow(std::move(r));
+  }
+  if (!seen_header) throw util::ParseError("empty CSV trace");
+  return trace;
+}
+
+constexpr std::uint32_t kBinMagic = 0x54504654;
+
+template <typename T>
+T get(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw util::IoError("binary trace: short read");
+  return value;
+}
+
+TraceSet read_binary(std::istream& in) {
+  if (get<std::uint32_t>(in) != kBinMagic) throw util::ParseError("binary trace: bad magic");
+  if (get<std::uint32_t>(in) != 1) throw util::ParseError("binary trace: bad version");
+  TraceSet trace;
+  const double ws = get<double>(in);
+  const double we = get<double>(in);
+  trace.set_window(ws, we);
+  const auto truth_count = get<std::uint64_t>(in);
+  for (std::uint64_t i = 0; i < truth_count; ++i) {
+    const auto ip = simnet::Ipv4(get<std::uint32_t>(in));
+    trace.set_truth(ip, static_cast<HostKind>(get<std::uint8_t>(in)));
+  }
+  const auto flow_count = get<std::uint64_t>(in);
+  for (std::uint64_t i = 0; i < flow_count; ++i) {
+    FlowRecord r;
+    r.src = simnet::Ipv4(get<std::uint32_t>(in));
+    r.dst = simnet::Ipv4(get<std::uint32_t>(in));
+    r.sport = get<std::uint16_t>(in);
+    r.dport = get<std::uint16_t>(in);
+    r.proto = static_cast<Protocol>(get<std::uint8_t>(in));
+    r.start_time = get<double>(in);
+    r.end_time = get<double>(in);
+    r.pkts_src = get<std::uint64_t>(in);
+    r.pkts_dst = get<std::uint64_t>(in);
+    r.bytes_src = get<std::uint64_t>(in);
+    r.bytes_dst = get<std::uint64_t>(in);
+    r.state = static_cast<FlowState>(get<std::uint8_t>(in));
+    r.payload_len = get<std::uint8_t>(in);
+    in.read(reinterpret_cast<char*>(r.payload.data()), r.payload_len);
+    if (!in) throw util::IoError("binary trace: short payload read");
+    trace.add_flow(std::move(r));
+  }
+  return trace;
+}
+
+TraceSet read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return read_csv(in);
+}
+
+TraceSet read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return read_binary(in);
+}
+
+}  // namespace legacy
+
+namespace {
+
+netflow::TraceSet synthetic_trace(std::size_t flows, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  netflow::TraceSet trace(0.0, 86400.0);
+  for (int h = 0; h < 64; ++h)
+    trace.set_truth(simnet::Ipv4(128, 2, 1, static_cast<std::uint8_t>(h)),
+                    rng.chance(0.1) ? netflow::HostKind::kStorm : netflow::HostKind::kWebClient);
+  trace.reserve_flows(flows);
+  for (std::size_t i = 0; i < flows; ++i) {
+    netflow::FlowRecord r;
+    r.src = simnet::Ipv4(128, 2, static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+                         static_cast<std::uint8_t>(rng.uniform_int(1, 254)));
+    r.dst = simnet::Ipv4(static_cast<std::uint32_t>(rng.uniform_int(1 << 26, 1 << 30)));
+    r.sport = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+    r.dport = static_cast<std::uint16_t>(rng.uniform_int(1, 1023));
+    r.proto = rng.chance(0.7) ? netflow::Protocol::kTcp : netflow::Protocol::kUdp;
+    r.start_time = rng.uniform(0, 86400);
+    r.end_time = r.start_time + rng.uniform(0, 120);
+    r.pkts_src = static_cast<std::uint64_t>(rng.uniform_int(1, 1000));
+    r.pkts_dst = static_cast<std::uint64_t>(rng.uniform_int(0, 1000));
+    r.bytes_src = static_cast<std::uint64_t>(rng.uniform_int(0, 10'000'000));
+    r.bytes_dst = static_cast<std::uint64_t>(rng.uniform_int(0, 10'000'000));
+    r.state = r.pkts_dst == 0 ? netflow::FlowState::kAttempted : netflow::FlowState::kEstablished;
+    if (rng.chance(0.3)) {
+      unsigned char payload[netflow::kPayloadPrefixLen];
+      const auto len = static_cast<std::size_t>(rng.uniform_int(1, 64));
+      for (std::size_t b = 0; b < len; ++b)
+        payload[b] = static_cast<unsigned char>(rng.uniform_int(0, 255));
+      r.set_payload({reinterpret_cast<const char*>(payload), len});
+    }
+    trace.add_flow(std::move(r));
+  }
+  return trace;
+}
+
+bool traces_equal(const netflow::TraceSet& a, const netflow::TraceSet& b) {
+  if (a.window_start() != b.window_start() || a.window_end() != b.window_end()) return false;
+  if (a.flows() != b.flows()) return false;
+  if (a.truth().size() != b.truth().size()) return false;
+  for (const auto& [ip, kind] : a.truth())
+    if (b.kind_of(ip) != kind) return false;
+  return true;
+}
+
+struct Timed {
+  netflow::TraceSet trace;
+  double seconds = 0.0;
+};
+
+Timed time_reader(const std::function<netflow::TraceSet()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Timed out{fn(), 0.0};
+  const auto t1 = std::chrono::steady_clock::now();
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return out;
+}
+
+void report(const char* format, std::size_t flows, const Timed& before, const Timed& after) {
+  const double mflows_before = static_cast<double>(flows) / before.seconds / 1e6;
+  const double mflows_after = static_cast<double>(flows) / after.seconds / 1e6;
+  std::printf("  %-6s  legacy %7.2f s (%6.2f Mflows/s)   current %7.2f s (%6.2f Mflows/s)   "
+              "speedup %5.2fx\n",
+              format, before.seconds, mflows_before, after.seconds, mflows_after,
+              before.seconds / after.seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t flows =
+      argc > 1 ? static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10)) : 1'000'000;
+
+  std::printf("==============================================================\n");
+  std::printf("bench_io - trace ingestion throughput, %zu flows\n", flows);
+  std::printf("==============================================================\n");
+
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string csv_path = (dir / "tp_bench_io.csv").string();
+  const std::string bin_path = (dir / "tp_bench_io.bin").string();
+
+  std::printf("  generating synthetic trace...\n");
+  const netflow::TraceSet trace = synthetic_trace(flows, 20100621);
+  netflow::write_csv_file(csv_path, trace);
+  netflow::write_binary_file(bin_path, trace);
+  std::printf("  csv %.1f MiB, bin %.1f MiB\n\n",
+              static_cast<double>(std::filesystem::file_size(csv_path)) / (1 << 20),
+              static_cast<double>(std::filesystem::file_size(bin_path)) / (1 << 20));
+
+  const Timed csv_before = time_reader([&] { return legacy::read_csv_file(csv_path); });
+  const Timed csv_after = time_reader([&] { return netflow::read_csv_file(csv_path); });
+  report("csv", flows, csv_before, csv_after);
+
+  const Timed bin_before = time_reader([&] { return legacy::read_binary_file(bin_path); });
+  const Timed bin_after = time_reader([&] { return netflow::read_binary_file(bin_path); });
+  report("binary", flows, bin_before, bin_after);
+
+  const bool ok = traces_equal(trace, csv_before.trace) && traces_equal(trace, csv_after.trace) &&
+                  traces_equal(trace, bin_before.trace) && traces_equal(trace, bin_after.trace);
+  std::printf("\n  all four decoded traces identical to the generated one: %s\n",
+              ok ? "PASS" : "FAIL");
+
+  std::filesystem::remove(csv_path);
+  std::filesystem::remove(bin_path);
+  return ok ? 0 : 1;
+}

@@ -6,6 +6,10 @@
 //   trace_tool nugache  <out.(csv|bin)> [seed]              24h Nugache honeynet trace
 //   trace_tool convert  <in> <out>                          csv <-> bin by extension
 //   trace_tool stats    <in>                                per-class summary
+//   trace_tool head     <in> [n]                            first n flows (streaming)
+//
+// Inputs are format-sniffed by content (TraceReader), so a binary trace with
+// a .csv name still loads; outputs pick their format by extension.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,6 +20,7 @@
 #include "detect/features.h"
 #include "netflow/classifier.h"
 #include "netflow/io.h"
+#include "netflow/trace_reader.h"
 #include "trace/campus.h"
 #include "util/format.h"
 
@@ -28,8 +33,8 @@ bool has_suffix(const std::string& s, const std::string& suffix) {
 }
 
 netflow::TraceSet load(const std::string& path) {
-  return has_suffix(path, ".bin") ? netflow::read_binary_file(path)
-                                  : netflow::read_csv_file(path);
+  netflow::TraceReader reader(path);  // format sniffed from the file content
+  return reader.read_all();
 }
 
 void store(const std::string& path, const netflow::TraceSet& trace) {
@@ -82,6 +87,26 @@ int stats(const std::string& path) {
   return 0;
 }
 
+int head(const std::string& path, std::size_t n) {
+  // Streams the first n flows without loading the trace: memory stays at one
+  // read buffer even for a multi-gigabyte input.
+  netflow::TraceReader reader(path);
+  std::printf("%s: %s trace, window [%.0f, %.0f] s\n", path.c_str(),
+              std::string(netflow::to_string(reader.format())).c_str(), reader.window_start(),
+              reader.window_end());
+  netflow::FlowRecord r;
+  while (reader.flows_read() < n && reader.next(r)) {
+    std::printf("  %-15s -> %-15s %5u -> %5u %-4s t=[%.3f, %.3f] %llu/%llu B %s\n",
+                r.src.to_string().c_str(), r.dst.to_string().c_str(), r.sport, r.dport,
+                std::string(netflow::to_string(r.proto)).c_str(), r.start_time, r.end_time,
+                static_cast<unsigned long long>(r.bytes_src),
+                static_cast<unsigned long long>(r.bytes_dst),
+                std::string(netflow::to_string(r.state)).c_str());
+  }
+  std::printf("  (%zu flow(s) shown)\n", reader.flows_read());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -89,13 +114,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s generate|storm|nugache <out> [seed] [window_s]\n"
                  "       %s convert <in> <out>\n"
-                 "       %s stats <in>\n",
-                 argv[0], argv[0], argv[0]);
+                 "       %s stats <in>\n"
+                 "       %s head <in> [n]\n",
+                 argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   const std::string command = argv[1];
   try {
     if (command == "stats") return stats(argv[2]);
+    if (command == "head")
+      return head(argv[2], argc > 3 ? static_cast<std::size_t>(std::strtoull(argv[3], nullptr, 10))
+                                    : 10);
     if (command == "convert") {
       if (argc < 4) {
         std::fprintf(stderr, "convert needs <in> <out>\n");

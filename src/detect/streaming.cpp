@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "netflow/trace_reader.h"
 #include "util/error.h"
 
 namespace tradeplot::detect {
@@ -94,6 +95,17 @@ void StreamingDetector::flush() {
   if (!window_open_) return;
   emit();
   window_open_ = false;
+}
+
+std::size_t feed(netflow::TraceReader& reader, StreamingDetector& detector) {
+  netflow::FlowRecord rec;
+  std::size_t fed = 0;
+  while (reader.next(rec)) {
+    detector.ingest(rec);
+    ++fed;
+  }
+  detector.flush();
+  return fed;
 }
 
 }  // namespace tradeplot::detect

@@ -20,6 +20,10 @@
 #include "detect/features.h"
 #include "detect/find_plotters.h"
 
+namespace tradeplot::netflow {
+class TraceReader;
+}
+
 namespace tradeplot::detect {
 
 struct StreamingConfig {
@@ -90,5 +94,11 @@ class StreamingDetector {
   std::size_t flows_in_window_ = 0;
   std::size_t windows_emitted_ = 0;
 };
+
+/// Drains `reader` into `detector` one flow at a time and flushes the final
+/// window at end-of-trace. Returns the number of flows fed. Combined with
+/// TraceReader this is the bounded-memory ingestion path: the trace is never
+/// materialized, so memory stays proportional to one detection window.
+std::size_t feed(netflow::TraceReader& reader, StreamingDetector& detector);
 
 }  // namespace tradeplot::detect

@@ -1,12 +1,13 @@
 #include "netflow/io.h"
 
-#include <array>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
-#include <sstream>
+#include <ostream>
 #include <string_view>
+#include <vector>
 
+#include "netflow/trace_reader.h"
 #include "util/error.h"
 
 namespace tradeplot::netflow {
@@ -25,35 +26,6 @@ std::string hex_encode(const unsigned char* data, std::size_t n) {
     out.push_back(kHex[data[i] & 0xf]);
   }
   return out;
-}
-
-int hex_nibble(char c) {
-  if (c >= '0' && c <= '9') return c - '0';
-  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
-  throw util::ParseError("bad hex digit");
-}
-
-std::vector<std::string> split(const std::string& line, char sep) {
-  std::vector<std::string> out;
-  std::size_t pos = 0;
-  for (;;) {
-    const std::size_t next = line.find(sep, pos);
-    if (next == std::string::npos) {
-      out.push_back(line.substr(pos));
-      return out;
-    }
-    out.push_back(line.substr(pos, next - pos));
-    pos = next + 1;
-  }
-}
-
-HostKind host_kind_from_string(std::string_view s) {
-  for (int i = 0; i <= static_cast<int>(HostKind::kNugache); ++i) {
-    const auto kind = static_cast<HostKind>(i);
-    if (to_string(kind) == s) return kind;
-  }
-  throw util::ParseError("unknown host kind '" + std::string(s) + "'");
 }
 
 }  // namespace
@@ -75,62 +47,8 @@ void write_csv(std::ostream& out, const TraceSet& trace) {
 }
 
 TraceSet read_csv(std::istream& in) {
-  TraceSet trace;
-  std::string line;
-  bool seen_header = false;
-  std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (line.empty()) continue;
-    if (line[0] == '#') {
-      const auto parts = split(line, ',');
-      if (parts[0] == "#window" && parts.size() == 3) {
-        trace.set_window(std::stod(parts[1]), std::stod(parts[2]));
-      } else if (parts[0] == "#truth" && parts.size() == 3) {
-        trace.set_truth(simnet::Ipv4::parse(parts[1]), host_kind_from_string(parts[2]));
-      } else {
-        throw util::ParseError("bad comment line " + std::to_string(lineno));
-      }
-      continue;
-    }
-    if (!seen_header) {
-      if (line != kCsvHeader) throw util::ParseError("missing CSV header");
-      seen_header = true;
-      continue;
-    }
-    const auto f = split(line, ',');
-    if (f.size() != 13) throw util::ParseError("bad field count on line " + std::to_string(lineno));
-    try {
-      FlowRecord r;
-      r.src = simnet::Ipv4::parse(f[0]);
-      r.dst = simnet::Ipv4::parse(f[1]);
-      r.sport = static_cast<std::uint16_t>(std::stoul(f[2]));
-      r.dport = static_cast<std::uint16_t>(std::stoul(f[3]));
-      r.proto = protocol_from_string(f[4]);
-      r.start_time = std::stod(f[5]);
-      r.end_time = std::stod(f[6]);
-      r.pkts_src = std::stoull(f[7]);
-      r.pkts_dst = std::stoull(f[8]);
-      r.bytes_src = std::stoull(f[9]);
-      r.bytes_dst = std::stoull(f[10]);
-      r.state = flow_state_from_string(f[11]);
-      const std::string& hex = f[12];
-      if (hex.size() % 2 != 0 || hex.size() / 2 > kPayloadPrefixLen)
-        throw util::ParseError("bad payload hex");
-      r.payload_len = static_cast<std::uint8_t>(hex.size() / 2);
-      for (std::size_t i = 0; i < r.payload_len; ++i) {
-        r.payload[i] = static_cast<unsigned char>((hex_nibble(hex[2 * i]) << 4) |
-                                                  hex_nibble(hex[2 * i + 1]));
-      }
-      trace.add_flow(std::move(r));
-    } catch (const util::ParseError&) {
-      throw;
-    } catch (const std::exception& e) {
-      throw util::ParseError("line " + std::to_string(lineno) + ": " + e.what());
-    }
-  }
-  if (!seen_header) throw util::ParseError("empty CSV trace");
-  return trace;
+  TraceReader reader(in, TraceFormat::kCsv);
+  return reader.read_all();
 }
 
 namespace {
@@ -138,87 +56,76 @@ namespace {
 constexpr std::uint32_t kBinMagic = 0x54504654;  // "TPFT"
 constexpr std::uint32_t kBinVersion = 1;
 
-template <typename T>
-void put(std::ostream& out, T value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
+// Accumulates the wire image in large chunks so the stream sees one write()
+// per block instead of one per field. The byte layout is identical to the
+// old field-at-a-time writer: each value is appended raw (packed,
+// little-endian on every supported target).
+class BufferedSink {
+ public:
+  static constexpr std::size_t kBlockSize = 1 << 18;  // 256 KiB
 
-template <typename T>
-T get(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(value));
-  if (!in) throw util::IoError("binary trace: short read");
-  return value;
-}
+  explicit BufferedSink(std::ostream& out) : out_(out) { buf_.reserve(kBlockSize); }
+
+  template <typename T>
+  void put(T value) {
+    append(&value, sizeof(value));
+  }
+
+  void append(const void* data, std::size_t n) {
+    if (buf_.size() + n > kBlockSize) flush();
+    const char* bytes = static_cast<const char*>(data);
+    buf_.insert(buf_.end(), bytes, bytes + n);
+  }
+
+  void flush() {
+    if (!buf_.empty()) {
+      out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+      buf_.clear();
+    }
+  }
+
+ private:
+  std::ostream& out_;
+  std::vector<char> buf_;
+};
 
 }  // namespace
 
 void write_binary(std::ostream& out, const TraceSet& trace) {
-  put(out, kBinMagic);
-  put(out, kBinVersion);
-  put(out, trace.window_start());
-  put(out, trace.window_end());
-  put(out, static_cast<std::uint64_t>(trace.truth().size()));
+  BufferedSink sink(out);
+  sink.put(kBinMagic);
+  sink.put(kBinVersion);
+  sink.put(trace.window_start());
+  sink.put(trace.window_end());
+  sink.put(static_cast<std::uint64_t>(trace.truth().size()));
   for (const auto& [ip, kind] : trace.truth()) {
-    put(out, ip.value());
-    put(out, static_cast<std::uint8_t>(kind));
+    sink.put(ip.value());
+    sink.put(static_cast<std::uint8_t>(kind));
   }
-  put(out, static_cast<std::uint64_t>(trace.flows().size()));
+  sink.put(static_cast<std::uint64_t>(trace.flows().size()));
   for (const FlowRecord& r : trace.flows()) {
-    put(out, r.src.value());
-    put(out, r.dst.value());
-    put(out, r.sport);
-    put(out, r.dport);
-    put(out, static_cast<std::uint8_t>(r.proto));
-    put(out, r.start_time);
-    put(out, r.end_time);
-    put(out, r.pkts_src);
-    put(out, r.pkts_dst);
-    put(out, r.bytes_src);
-    put(out, r.bytes_dst);
-    put(out, static_cast<std::uint8_t>(r.state));
-    put(out, r.payload_len);
-    out.write(reinterpret_cast<const char*>(r.payload.data()), r.payload_len);
+    sink.put(r.src.value());
+    sink.put(r.dst.value());
+    sink.put(r.sport);
+    sink.put(r.dport);
+    sink.put(static_cast<std::uint8_t>(r.proto));
+    sink.put(r.start_time);
+    sink.put(r.end_time);
+    sink.put(r.pkts_src);
+    sink.put(r.pkts_dst);
+    sink.put(r.bytes_src);
+    sink.put(r.bytes_dst);
+    sink.put(static_cast<std::uint8_t>(r.state));
+    sink.put(r.payload_len);
+    sink.append(r.payload.data(), r.payload_len);
   }
+  sink.flush();
   if (!out) throw util::IoError("binary trace write failed");
 }
 
 TraceSet read_binary(std::istream& in) {
-  if (get<std::uint32_t>(in) != kBinMagic) throw util::ParseError("binary trace: bad magic");
-  if (get<std::uint32_t>(in) != kBinVersion) throw util::ParseError("binary trace: bad version");
-  TraceSet trace;
-  const double ws = get<double>(in);
-  const double we = get<double>(in);
-  trace.set_window(ws, we);
-  const auto truth_count = get<std::uint64_t>(in);
-  for (std::uint64_t i = 0; i < truth_count; ++i) {
-    const auto ip = simnet::Ipv4(get<std::uint32_t>(in));
-    const auto kind = static_cast<HostKind>(get<std::uint8_t>(in));
-    if (kind > HostKind::kNugache) throw util::ParseError("binary trace: bad host kind");
-    trace.set_truth(ip, kind);
-  }
-  const auto flow_count = get<std::uint64_t>(in);
-  for (std::uint64_t i = 0; i < flow_count; ++i) {
-    FlowRecord r;
-    r.src = simnet::Ipv4(get<std::uint32_t>(in));
-    r.dst = simnet::Ipv4(get<std::uint32_t>(in));
-    r.sport = get<std::uint16_t>(in);
-    r.dport = get<std::uint16_t>(in);
-    r.proto = static_cast<Protocol>(get<std::uint8_t>(in));
-    r.start_time = get<double>(in);
-    r.end_time = get<double>(in);
-    r.pkts_src = get<std::uint64_t>(in);
-    r.pkts_dst = get<std::uint64_t>(in);
-    r.bytes_src = get<std::uint64_t>(in);
-    r.bytes_dst = get<std::uint64_t>(in);
-    r.state = static_cast<FlowState>(get<std::uint8_t>(in));
-    r.payload_len = get<std::uint8_t>(in);
-    if (r.payload_len > kPayloadPrefixLen) throw util::ParseError("binary trace: bad payload len");
-    in.read(reinterpret_cast<char*>(r.payload.data()), r.payload_len);
-    if (!in) throw util::IoError("binary trace: short payload read");
-    trace.add_flow(std::move(r));
-  }
-  return trace;
+  TraceReader reader(in, TraceFormat::kBinary);
+  return reader.read_all();
 }
 
 namespace {
@@ -230,13 +137,6 @@ void with_ofstream(const std::string& path, Fn fn) {
   fn(out);
 }
 
-template <typename Fn>
-auto with_ifstream(const std::string& path, Fn fn) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw util::IoError("cannot open for reading: " + path);
-  return fn(in);
-}
-
 }  // namespace
 
 void write_csv_file(const std::string& path, const TraceSet& trace) {
@@ -244,7 +144,8 @@ void write_csv_file(const std::string& path, const TraceSet& trace) {
 }
 
 TraceSet read_csv_file(const std::string& path) {
-  return with_ifstream(path, [](std::istream& in) { return read_csv(in); });
+  TraceReader reader(path, TraceFormat::kCsv);
+  return reader.read_all();
 }
 
 void write_binary_file(const std::string& path, const TraceSet& trace) {
@@ -252,7 +153,8 @@ void write_binary_file(const std::string& path, const TraceSet& trace) {
 }
 
 TraceSet read_binary_file(const std::string& path) {
-  return with_ifstream(path, [](std::istream& in) { return read_binary(in); });
+  TraceReader reader(path, TraceFormat::kBinary);
+  return reader.read_all();
 }
 
 }  // namespace tradeplot::netflow

@@ -6,6 +6,11 @@
 //            comment section so a TraceSet round-trips through one file.
 //   * BIN  — compact little-endian binary with a magic/version header, for
 //            large traces.
+//
+// The readers here are batch conveniences: they drain a streaming
+// netflow::TraceReader (see trace_reader.h) into a TraceSet. Callers that
+// ingest large traces should prefer TraceReader directly — it yields one
+// FlowRecord at a time in bounded memory.
 #pragma once
 
 #include <iosfwd>

@@ -1,0 +1,118 @@
+// Streaming, pull-based ingestion of flow traces.
+//
+// TraceReader is the high-throughput counterpart to io.h's batch readers: it
+// opens a CSV or binary trace (auto-detecting the format by content unless
+// told otherwise), reads the preamble (window + ground-truth entries for the
+// binary format, everything up to the header row for CSV), and then yields
+// one FlowRecord per next() call. Memory use is bounded by one internal read
+// buffer (kBufferSize) regardless of trace size, so a border monitor can feed
+// detect::StreamingDetector from a multi-gigabyte trace without ever
+// materializing a TraceSet.
+//
+// The reader is zero-copy on the hot path: input is pulled from the stream in
+// large blocks, CSV lines are tokenized as std::string_view slices of the
+// block, and numeric fields are decoded with std::from_chars (locale-free,
+// range-checked). io.h's read_csv/read_binary are thin wrappers over
+// TraceReader::read_all().
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "netflow/trace_set.h"
+
+namespace tradeplot::netflow {
+
+enum class TraceFormat { kCsv, kBinary };
+
+[[nodiscard]] std::string_view to_string(TraceFormat f);
+
+class TraceReader {
+ public:
+  /// Size of the internal read buffer; the reader's memory bound. (A buffer
+  /// holds whole CSV lines, so it grows only for pathological inputs whose
+  /// single line exceeds this.)
+  static constexpr std::size_t kBufferSize = 1 << 18;  // 256 KiB
+
+  /// Opens a trace on a caller-owned stream, auto-detecting the format: a
+  /// stream starting with the binary magic is binary, anything else is CSV.
+  /// Reads the preamble eagerly; throws util::ParseError / util::IoError on
+  /// malformed input, exactly as the batch readers do.
+  explicit TraceReader(std::istream& in);
+
+  /// Same, but with the format forced (no sniffing); a mismatched stream
+  /// fails with the corresponding format's parse error.
+  TraceReader(std::istream& in, TraceFormat format);
+
+  /// Opens a trace file (auto-detect / forced format). Throws util::IoError
+  /// if the file cannot be opened.
+  explicit TraceReader(const std::string& path);
+  TraceReader(const std::string& path, TraceFormat format);
+
+  ~TraceReader();
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  [[nodiscard]] TraceFormat format() const { return format_; }
+  [[nodiscard]] double window_start() const { return window_start_; }
+  [[nodiscard]] double window_end() const { return window_end_; }
+
+  /// Ground-truth entries seen so far. For binary traces this is complete
+  /// after construction; CSV traces normally carry truth in the preamble,
+  /// but "#truth" lines are legal anywhere, so entries can still be added
+  /// while flows are being pulled.
+  [[nodiscard]] const std::unordered_map<simnet::Ipv4, HostKind>& truth() const { return truth_; }
+
+  /// Flows yielded so far.
+  [[nodiscard]] std::size_t flows_read() const { return flows_read_; }
+
+  /// For binary traces, the total flow count declared in the header; 0 for
+  /// CSV (whose length is unknown until EOF).
+  [[nodiscard]] std::uint64_t declared_flow_count() const { return flow_count_; }
+
+  /// Reads the next flow into `out`. Returns false at clean end-of-trace;
+  /// throws util::ParseError / util::IoError on malformed or truncated
+  /// input. After false is returned, further calls keep returning false.
+  [[nodiscard]] bool next(FlowRecord& out);
+
+  /// Drains the remaining flows (plus window and truth) into a TraceSet —
+  /// the batch entry points read_csv/read_binary are implemented with this.
+  ///
+  /// Unlike next(), this is allowed to materialize the remaining input, so
+  /// the CSV drain decodes flow lines in parallel over the shared pool
+  /// (thread count per util::resolve_threads / TRADEPLOT_THREADS). Each line
+  /// parses into its own pre-sized slot, so the resulting TraceSet is
+  /// bit-identical to the serial read for every thread count, and the
+  /// earliest malformed line wins when reporting errors, exactly as a
+  /// sequential pass would.
+  [[nodiscard]] TraceSet read_all();
+
+ private:
+  class Source;  // buffered block reader (defined in trace_reader.cpp)
+
+  void open(std::istream& in, const TraceFormat* forced);
+  void read_csv_preamble();
+  void read_binary_preamble();
+  void parse_csv_comment(std::string_view line);
+  void read_all_csv(TraceSet& trace);
+  [[nodiscard]] bool next_csv(FlowRecord& out);
+  [[nodiscard]] bool next_binary(FlowRecord& out);
+
+  std::unique_ptr<std::istream> owned_stream_;  // set by the path ctors
+  std::unique_ptr<Source> src_;
+
+  TraceFormat format_ = TraceFormat::kCsv;
+  double window_start_ = 0.0;
+  double window_end_ = 0.0;
+  std::unordered_map<simnet::Ipv4, HostKind> truth_;
+
+  std::uint64_t flow_count_ = 0;  // binary only
+  std::size_t flows_read_ = 0;
+  std::size_t lineno_ = 0;  // CSV only
+  bool done_ = false;
+};
+
+}  // namespace tradeplot::netflow

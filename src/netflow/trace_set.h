@@ -59,6 +59,9 @@ class TraceSet {
   [[nodiscard]] std::vector<FlowRecord>& flows() { return flows_; }
 
   void add_flow(FlowRecord rec) { flows_.push_back(std::move(rec)); }
+  /// Pre-allocates room for `n` more flows (readers with a known flow count
+  /// use this to avoid reallocation during bulk ingestion).
+  void reserve_flows(std::size_t n) { flows_.reserve(flows_.size() + n); }
   void set_truth(simnet::Ipv4 host, HostKind kind) { truth_[host] = kind; }
 
   [[nodiscard]] HostKind kind_of(simnet::Ipv4 host) const;

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 
 #include "botnet/honeynet.h"
+#include "netflow/io.h"
+#include "netflow/trace_reader.h"
 #include "eval/day.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -217,6 +220,54 @@ TEST(StreamingDetector, ParityWithBatchOnOverlaidDay) {
   EXPECT_EQ(verdicts[0].result.reduced, batch.reduced);
   EXPECT_EQ(verdicts[0].result.vol_or_churn, batch.vol_or_churn);
   EXPECT_EQ(verdicts[0].result.plotters, batch.plotters);
+}
+
+TEST(Feed, TraceReaderFeedMatchesDirectIngestion) {
+  // The production ingestion path (trace file -> TraceReader -> feed) must
+  // reach verdicts identical to the batch pipeline over the same flows.
+  botnet::HoneynetConfig honeynet;
+  honeynet.seed = 21;
+  honeynet.duration = 2 * 3600.0;
+  honeynet.nugache_bots = 0;
+  const netflow::TraceSet trace = botnet::generate_storm_trace(honeynet);
+
+  const FindPlottersResult batch = [&] {
+    FeatureExtractorConfig fx;
+    fx.is_internal = is_internal;
+    return find_plotters(extract_features(trace, fx));
+  }();
+
+  for (const bool binary : {false, true}) {
+    SCOPED_TRACE(binary ? "binary" : "csv");
+    std::stringstream bytes;
+    if (binary) netflow::write_binary(bytes, trace);
+    else netflow::write_csv(bytes, trace);
+    netflow::TraceReader reader(bytes);
+
+    std::vector<WindowVerdict> verdicts;
+    StreamingDetector detector(config(2 * 3600.0),
+                               [&](const WindowVerdict& v) { verdicts.push_back(v); });
+    const std::size_t fed = feed(reader, detector);
+
+    EXPECT_EQ(fed, trace.flows().size());
+    EXPECT_EQ(reader.flows_read(), trace.flows().size());
+    ASSERT_GE(verdicts.size(), 1u);
+    EXPECT_EQ(verdicts[0].flows_seen, trace.flows().size());
+    EXPECT_EQ(verdicts[0].result.input, batch.input);
+    EXPECT_EQ(verdicts[0].result.reduced, batch.reduced);
+    EXPECT_EQ(verdicts[0].result.s_vol, batch.s_vol);
+    EXPECT_EQ(verdicts[0].result.s_churn, batch.s_churn);
+    EXPECT_EQ(verdicts[0].result.plotters, batch.plotters);
+  }
+}
+
+TEST(Feed, EmptyTraceFeedsZeroFlows) {
+  netflow::TraceSet empty(0.0, 100.0);
+  std::stringstream bytes;
+  netflow::write_csv(bytes, empty);
+  netflow::TraceReader reader(bytes);
+  StreamingDetector detector(config(), [](const WindowVerdict&) { FAIL(); });
+  EXPECT_EQ(feed(reader, detector), 0u);
 }
 
 }  // namespace

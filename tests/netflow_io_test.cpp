@@ -125,5 +125,199 @@ TEST(FileIo, MissingFileThrows) {
   EXPECT_THROW((void)read_binary_file("/nonexistent/path/x.bin"), util::IoError);
 }
 
+// --- CSV field validation -------------------------------------------------
+
+std::string csv_with_flow_line(const std::string& flow_line) {
+  return "src,dst,sport,dport,proto,start,end,pkts_src,pkts_dst,bytes_src,bytes_dst,state,"
+         "payload\n" +
+         flow_line + "\n";
+}
+
+TEST(CsvIo, RejectsOutOfRangePort) {
+  // 70000 does not fit in uint16; the seed reader silently truncated it to
+  // 4464 via static_cast — it must be a hard parse error.
+  std::stringstream buffer(csv_with_flow_line("1.2.3.4,5.6.7.8,70000,2,tcp,0,1,1,1,1,1,est,"));
+  try {
+    (void)read_csv(buffer);
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("sport"), std::string::npos) << e.what();
+  }
+}
+
+TEST(CsvIo, RejectsNegativeAndNonNumericCounters) {
+  std::stringstream neg(csv_with_flow_line("1.2.3.4,5.6.7.8,1,2,tcp,0,1,-1,1,1,1,est,"));
+  EXPECT_THROW((void)read_csv(neg), util::ParseError);
+  std::stringstream alpha(csv_with_flow_line("1.2.3.4,5.6.7.8,1,2,tcp,0,1,1,1,1x,1,est,"));
+  EXPECT_THROW((void)read_csv(alpha), util::ParseError);
+}
+
+TEST(CsvIo, RejectsBadAddressOctet) {
+  std::stringstream buffer(csv_with_flow_line("1.2.3.456,5.6.7.8,1,2,tcp,0,1,1,1,1,1,est,"));
+  EXPECT_THROW((void)read_csv(buffer), util::ParseError);
+}
+
+TEST(CsvIo, AcceptsHugeButValidCounter) {
+  // 20 digits is longer than the fast path accepts but still within uint64.
+  std::stringstream buffer(
+      csv_with_flow_line("1.2.3.4,5.6.7.8,1,2,tcp,0,1,1,1,18446744073709551615,1,est,"));
+  const TraceSet trace = read_csv(buffer);
+  ASSERT_EQ(trace.flows().size(), 1u);
+  EXPECT_EQ(trace.flows()[0].bytes_src, 18446744073709551615ull);
+}
+
+TEST(CsvIo, RejectsOverlongPayloadHex) {
+  // 65 payload bytes = 130 hex chars, one byte past kPayloadPrefixLen.
+  std::stringstream buffer(
+      csv_with_flow_line("1.2.3.4,5.6.7.8,1,2,tcp,0,1,1,1,1,1,est," + std::string(130, 'a')));
+  EXPECT_THROW((void)read_csv(buffer), util::ParseError);
+}
+
+TEST(CsvIo, RejectsNonHexPayloadDigit) {
+  std::stringstream buffer(csv_with_flow_line("1.2.3.4,5.6.7.8,1,2,tcp,0,1,1,1,1,1,est,zz"));
+  EXPECT_THROW((void)read_csv(buffer), util::ParseError);
+}
+
+TEST(CsvIo, CrlfLineEndingsRoundTrip) {
+  const TraceSet trace = sample_trace(30, 11);
+  std::stringstream buffer;
+  write_csv(buffer, trace);
+  std::string text = buffer.str();
+  // Re-terminate every line the way a Windows tool (or an HTTP transfer)
+  // would.
+  std::string crlf;
+  crlf.reserve(text.size() + text.size() / 40);
+  for (const char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  std::stringstream rewritten(crlf);
+  expect_equal(trace, read_csv(rewritten));
+}
+
+// --- binary wire validation ------------------------------------------------
+
+// Byte offsets in a binary trace with zero truth entries: the 40-byte
+// header (u32 magic, u32 version, f64 window x2, u64 truth count, u64 flow
+// count) followed by the first record's packed fields.
+constexpr std::size_t kVersionOffset = 4;
+constexpr std::size_t kFlow0 = 40;
+constexpr std::size_t kProtoOffset = kFlow0 + 4 + 4 + 2 + 2;            // 52
+constexpr std::size_t kStateOffset = kProtoOffset + 1 + 8 * 6;          // 101
+constexpr std::size_t kPayloadOffset = kStateOffset + 1 + 1;            // 103
+
+TraceSet no_truth_trace(int flows = 1) {
+  TraceSet trace = sample_trace(flows, 5);
+  TraceSet stripped(trace.window_start(), trace.window_end());
+  for (const FlowRecord& r : trace.flows()) stripped.add_flow(r);
+  return stripped;
+}
+
+std::string binary_bytes(const TraceSet& trace) {
+  std::stringstream buffer;
+  write_binary(buffer, trace);
+  return buffer.str();
+}
+
+TEST(BinaryIo, RejectsBadVersion) {
+  std::string bytes = binary_bytes(no_truth_trace());
+  bytes[kVersionOffset] = 9;
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW((void)read_binary(corrupted), util::ParseError);
+}
+
+TEST(BinaryIo, RejectsBadProtocolByte) {
+  std::string bytes = binary_bytes(no_truth_trace());
+  bytes[kProtoOffset] = static_cast<char>(200);  // no Protocol enumerator
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW((void)read_binary(corrupted), util::ParseError);
+}
+
+TEST(BinaryIo, RejectsBadFlowStateByte) {
+  std::string bytes = binary_bytes(no_truth_trace());
+  bytes[kStateOffset] = 17;  // FlowState tops out at kIcmpUnreach = 3
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW((void)read_binary(corrupted), util::ParseError);
+}
+
+TEST(BinaryIo, RejectsTruncationMidRecord) {
+  const std::string bytes = binary_bytes(no_truth_trace());
+  // Cut inside the first record's fixed-size prefix.
+  std::stringstream truncated(bytes.substr(0, kFlow0 + 20));
+  EXPECT_THROW((void)read_binary(truncated), util::IoError);
+}
+
+TEST(BinaryIo, RejectsTruncationMidPayload) {
+  TraceSet trace(0.0, 100.0);
+  FlowRecord r;
+  r.src = simnet::Ipv4(128, 2, 0, 1);
+  r.dst = simnet::Ipv4(10, 0, 0, 1);
+  r.proto = Protocol::kTcp;
+  r.state = FlowState::kEstablished;
+  r.set_payload("a sixteen-byte p");
+  trace.add_flow(r);
+  const std::string bytes = binary_bytes(trace);
+  ASSERT_GT(bytes.size(), kPayloadOffset + 4);
+  std::stringstream truncated(bytes.substr(0, kPayloadOffset + 4));
+  EXPECT_THROW((void)read_binary(truncated), util::IoError);
+}
+
+TEST(BinaryIo, RejectsTruncationInsideHeader) {
+  const std::string bytes = binary_bytes(no_truth_trace());
+  std::stringstream truncated(bytes.substr(0, 13));
+  EXPECT_THROW((void)read_binary(truncated), util::IoError);
+}
+
+// --- property-style round trips -------------------------------------------
+
+TraceSet random_trace(util::Pcg32& rng) {
+  TraceSet trace(rng.uniform(0, 100), rng.uniform(1000, 90000));
+  const int truth = static_cast<int>(rng.uniform_int(0, 8));
+  for (int i = 0; i < truth; ++i) {
+    trace.set_truth(simnet::Ipv4(static_cast<std::uint32_t>(rng.uniform_int(1, 1 << 30))),
+                    static_cast<HostKind>(rng.uniform_int(
+                        0, static_cast<std::int64_t>(HostKind::kNugache))));
+  }
+  const int flows = static_cast<int>(rng.uniform_int(0, 200));
+  for (int i = 0; i < flows; ++i) {
+    FlowRecord r;
+    r.src = simnet::Ipv4(static_cast<std::uint32_t>(rng.uniform_int(1, 1u << 31)));
+    r.dst = simnet::Ipv4(static_cast<std::uint32_t>(rng.uniform_int(1, 1u << 31)));
+    r.sport = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    r.dport = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    const std::int64_t proto = rng.uniform_int(0, 2);
+    r.proto = proto == 0 ? Protocol::kTcp : proto == 1 ? Protocol::kUdp : Protocol::kIcmp;
+    r.start_time = rng.uniform(0, 86400);
+    r.end_time = r.start_time + rng.uniform(0, 600);
+    r.pkts_src = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+    r.pkts_dst = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+    r.bytes_src = static_cast<std::uint64_t>(rng.uniform_int(0, 1ll << 40));
+    r.bytes_dst = static_cast<std::uint64_t>(rng.uniform_int(0, 1ll << 40));
+    r.state = static_cast<FlowState>(rng.uniform_int(
+        0, static_cast<std::int64_t>(FlowState::kIcmpUnreach)));
+    const auto payload_len = static_cast<std::size_t>(rng.uniform_int(0, 64));
+    std::string payload(payload_len, '\0');
+    for (char& c : payload) c = static_cast<char>(rng.uniform_int(0, 255));
+    r.set_payload(payload);
+    trace.add_flow(std::move(r));
+  }
+  return trace;
+}
+
+TEST(PropertyIo, RandomTracesRoundTripBothFormats) {
+  util::Pcg32 rng(20100621);
+  for (int iteration = 0; iteration < 12; ++iteration) {
+    SCOPED_TRACE(iteration);
+    const TraceSet trace = random_trace(rng);
+    std::stringstream csv;
+    write_csv(csv, trace);
+    expect_equal(trace, read_csv(csv));
+    std::stringstream bin;
+    write_binary(bin, trace);
+    expect_equal(trace, read_binary(bin));
+  }
+}
+
 }  // namespace
 }  // namespace tradeplot::netflow

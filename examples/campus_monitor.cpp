@@ -7,27 +7,84 @@
 // profile, and (since this is a simulation) whether the alarm was right.
 //
 // Usage: campus_monitor [days] [seed]
-//        campus_monitor --stream <trace.(csv|bin)> [window_s]
+//        campus_monitor --stream <trace.(csv|bin)> [window_s] [options]
 //
 // The --stream mode is the production ingestion path: it pulls flows from
 // the trace file through netflow::TraceReader into detect::StreamingDetector,
 // so memory stays bounded by one detection window no matter how large the
-// trace is, and prints the same per-window report.
+// trace is, and prints the same per-window report. It is also the
+// fault-tolerant path:
+//   --policy strict|skip|stop-after=N   what to do with malformed records
+//                                       (default strict; skip quarantines
+//                                       and keeps going)
+//   --checkpoint PATH                   periodically checkpoint detector
+//   --checkpoint-every N                state every N flows (default 100000)
+//   --resume PATH                       restore a checkpoint, fast-forward
+//                                       the trace, and continue
+//   --timing-budget N                   per-window cap on buffered timing
+//                                       samples; beyond it the lowest-
+//                                       evidence state is shed and the
+//                                       window is marked degraded
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <string_view>
 
 #include "botnet/honeynet.h"
 #include "detect/find_plotters.h"
 #include "detect/streaming.h"
 #include "eval/day.h"
 #include "netflow/trace_reader.h"
+#include "util/error.h"
 #include "util/format.h"
 #include "util/parallel.h"
 
 using namespace tradeplot;
 
 namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [days] [seed]\n"
+               "       %s --stream <trace.(csv|bin)> [window_s]\n"
+               "                 [--policy strict|skip|stop-after=N]\n"
+               "                 [--checkpoint PATH] [--checkpoint-every N]\n"
+               "                 [--resume PATH] [--timing-budget N]\n"
+               "days and window_s must be positive numbers; seed and N must be\n"
+               "non-negative integers.\n",
+               argv0, argv0);
+  return 2;
+}
+
+// std::atof/std::atoi silently turn garbage into 0; these helpers accept a
+// value only when the whole argument parses.
+bool parse_double_arg(const char* s, double& out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return *end == '\0';
+}
+
+bool parse_u64_arg(const char* s, std::uint64_t& out) {
+  if (s == nullptr || *s == '\0') return false;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+  }
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return *end == '\0';
+}
+
+struct StreamOptions {
+  std::string path;
+  double window = 6 * 3600.0;
+  netflow::ErrorPolicy policy{};
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every = 100000;
+  std::string resume_path;
+  std::uint64_t timing_budget = 0;
+};
 
 std::string verdict(const eval::DayData& day, simnet::Ipv4 host) {
   if (day.is_storm(host)) return "TRUE POSITIVE (Storm)";
@@ -36,19 +93,28 @@ std::string verdict(const eval::DayData& day, simnet::Ipv4 host) {
   return "false alarm (" + std::string(netflow::to_string(day.combined.kind_of(host))) + ")";
 }
 
-int run_stream(const std::string& path, double window) {
-  netflow::TraceReader reader(path);
-  std::printf("streaming %s (%s) in %.0f s windows, bounded-memory ingestion\n\n", path.c_str(),
-              std::string(netflow::to_string(reader.format())).c_str(), window);
+int run_stream(const StreamOptions& opt) {
+  netflow::TraceReader reader(opt.path, opt.policy);
+  std::printf("streaming %s (%s) in %.0f s windows, bounded-memory ingestion\n\n",
+              opt.path.c_str(), std::string(netflow::to_string(reader.format())).c_str(),
+              opt.window);
 
   detect::StreamingConfig cfg;
-  cfg.window = window;
+  cfg.window = opt.window;
   cfg.is_internal = detect::default_internal_predicate;
+  cfg.timing_budget = static_cast<std::size_t>(opt.timing_budget);
 
-  int flagged_total = 0, tp_total = 0;
+  int flagged_total = 0, tp_total = 0, degraded_windows = 0;
   detect::StreamingDetector detector(cfg, [&](const detect::WindowVerdict& v) {
-    std::printf("=== window %zu [%.0f, %.0f): %zu flows, %zu internal hosts ===\n",
-                v.window_index, v.window_start, v.window_end, v.flows_seen, v.features.size());
+    std::printf("=== window %zu [%.0f, %.0f): %zu flows, %zu internal hosts%s ===\n",
+                v.window_index, v.window_start, v.window_end, v.flows_seen, v.features.size(),
+                v.degraded ? " [DEGRADED]" : "");
+    if (v.degraded) {
+      ++degraded_windows;
+      std::printf("  timing budget exceeded: shed %zu hosts' timing state (%zu samples);\n"
+                  "  volume/failed-rate evidence stayed exact\n",
+                  v.hosts_shed, v.timing_samples_shed);
+    }
     if (v.result.plotters.empty()) {
       std::printf("  nothing flagged\n\n");
       return;
@@ -74,26 +140,148 @@ int run_stream(const std::string& path, double window) {
     std::printf("\n");
   });
 
-  const std::size_t fed = detect::feed(reader, detector);
+  if (!opt.resume_path.empty()) {
+    detector.restore_checkpoint_file(opt.resume_path);
+    const auto already = detector.flows_ingested_total();
+    const std::size_t skipped = reader.skip_flows(static_cast<std::size_t>(already));
+    std::printf("resumed from %s: %llu flows already ingested, fast-forwarded %zu\n\n",
+                opt.resume_path.c_str(), static_cast<unsigned long long>(already), skipped);
+  }
+
+  // Ingest flow by flow (rather than detect::feed) so we can checkpoint
+  // periodically and, on a mid-trace failure, still flush the partial
+  // window instead of discarding everything ingested since the last
+  // boundary.
+  std::size_t fed = 0;
+  bool failed = false;
+  std::string error;
+  try {
+    netflow::FlowRecord rec;
+    while (reader.next(rec)) {
+      detector.ingest(rec);
+      ++fed;
+      if (!opt.checkpoint_path.empty() && opt.checkpoint_every > 0 &&
+          detector.flows_ingested_total() % opt.checkpoint_every == 0) {
+        detector.save_checkpoint_file(opt.checkpoint_path);
+      }
+    }
+  } catch (const std::exception& e) {
+    failed = true;
+    error = e.what();
+  }
+  try {
+    detector.flush();
+  } catch (const std::exception& e) {
+    if (!failed) throw;
+    std::fprintf(stderr, "while flushing partial window: %s\n", e.what());
+  }
+
+  const netflow::IngestStats& stats = reader.ingest_stats();
   std::printf("=== summary: %zu flows across %zu windows, %d flagged (%d true positives) ===\n",
               fed, detector.windows_emitted(), flagged_total, tp_total);
+  if (degraded_windows > 0)
+    std::printf("  %d window(s) emitted degraded verdicts (timing budget %llu)\n",
+                degraded_windows, static_cast<unsigned long long>(opt.timing_budget));
+  if (stats.records_quarantined > 0 || stats.lost_sync) {
+    std::printf("  ingest health: %zu ok, %zu quarantined across %zu resync event(s)%s\n",
+                stats.records_ok, stats.records_quarantined, stats.resync_events,
+                stats.lost_sync ? ", stream abandoned after losing record sync" : "");
+    std::printf("  first fault (record %zu): %s\n", stats.first_error_record,
+                stats.first_error.c_str());
+  }
+  if (failed) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
   return 0;
+}
+
+int parse_stream_args(int argc, char** argv, StreamOptions& opt) {
+  opt.path = argv[2];
+  int i = 3;
+  if (i < argc && std::strncmp(argv[i], "--", 2) != 0) {
+    if (!parse_double_arg(argv[i], opt.window) || opt.window <= 0.0) {
+      std::fprintf(stderr, "bad window '%s': must be a positive number of seconds\n", argv[i]);
+      return usage(argv[0]);
+    }
+    ++i;
+  }
+  for (; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    const auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (flag == "--policy") {
+      const char* v = value();
+      std::uint64_t n = 0;
+      if (v != nullptr && std::strcmp(v, "strict") == 0) {
+        opt.policy = netflow::ErrorPolicy::strict();
+      } else if (v != nullptr && std::strcmp(v, "skip") == 0) {
+        opt.policy = netflow::ErrorPolicy::skip();
+      } else if (v != nullptr && std::strncmp(v, "stop-after=", 11) == 0 &&
+                 parse_u64_arg(v + 11, n)) {
+        opt.policy = netflow::ErrorPolicy::stop_after(static_cast<std::size_t>(n));
+      } else {
+        std::fprintf(stderr, "bad --policy '%s'\n", v == nullptr ? "(missing)" : v);
+        return usage(argv[0]);
+      }
+    } else if (flag == "--checkpoint") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.checkpoint_path = v;
+    } else if (flag == "--checkpoint-every") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64_arg(v, opt.checkpoint_every) ||
+          opt.checkpoint_every == 0) {
+        std::fprintf(stderr, "bad --checkpoint-every '%s': must be a positive integer\n",
+                     v == nullptr ? "(missing)" : v);
+        return usage(argv[0]);
+      }
+    } else if (flag == "--resume") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      opt.resume_path = v;
+    } else if (flag == "--timing-budget") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64_arg(v, opt.timing_budget)) {
+        std::fprintf(stderr, "bad --timing-budget '%s': must be a non-negative integer\n",
+                     v == nullptr ? "(missing)" : v);
+        return usage(argv[0]);
+      }
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return usage(argv[0]);
+    }
+  }
+  return -1;  // parsed OK
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 2 && std::string(argv[1]) == "--stream") {
-    const double window = argc > 3 ? std::atof(argv[3]) : 6 * 3600.0;
+  if (argc > 1 && std::string(argv[1]) == "--stream") {
+    if (argc < 3) return usage(argv[0]);
+    StreamOptions opt;
+    const int rc = parse_stream_args(argc, argv, opt);
+    if (rc >= 0) return rc;
     try {
-      return run_stream(argv[2], window);
+      return run_stream(opt);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
     }
   }
-  const int days = argc > 1 ? std::atoi(argv[1]) : 5;
-  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20100621;
+
+  double days_value = 5;
+  std::uint64_t seed = 20100621;
+  if (argc > 1 && (!parse_double_arg(argv[1], days_value) || days_value <= 0 ||
+                   days_value != static_cast<double>(static_cast<int>(days_value)))) {
+    std::fprintf(stderr, "bad days '%s': must be a positive integer\n", argv[1]);
+    return usage(argv[0]);
+  }
+  if (argc > 2 && !parse_u64_arg(argv[2], seed)) {
+    std::fprintf(stderr, "bad seed '%s': must be a non-negative integer\n", argv[2]);
+    return usage(argv[0]);
+  }
+  const int days = static_cast<int>(days_value);
 
   // The infection: Storm bots have a foothold on campus. The honeynet trace
   // stands in for their command-and-control traffic.

@@ -2,8 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <type_traits>
+#include <utility>
 
 #include "netflow/trace_reader.h"
+#include "util/checksum.h"
 #include "util/error.h"
 
 namespace tradeplot::detect {
@@ -48,7 +55,17 @@ void StreamingDetector::ingest(const netflow::FlowRecord& flow) {
     // from the sorted per-destination times at window close, so late
     // arrivals land in their true position instead of producing spurious
     // |gap| samples that diverge from the batch extractor.
-    state.per_dst_times[flow.dst].push_back(flow.start_time);
+    //
+    // A host whose timing state was shed this window stops buffering (its
+    // scalar counters above stay exact); everyone else counts toward the
+    // window's timing budget.
+    if (!state.timing_shed) {
+      state.per_dst_times[flow.dst].push_back(flow.start_time);
+      ++state.timing_samples;
+      ++timing_samples_;
+      if (config_.timing_budget != 0 && timing_samples_ > config_.timing_budget)
+        shed_timing_state();
+    }
   }
   if (config_.is_internal(flow.dst) && !flow.failed()) {
     HostState& state = touch(flow.dst, flow.start_time);
@@ -56,6 +73,34 @@ void StreamingDetector::ingest(const netflow::FlowRecord& flow) {
     state.features.bytes_sent_received += flow.bytes_dst;
   }
   ++flows_in_window_;
+  ++flows_ingested_total_;
+}
+
+void StreamingDetector::shed_timing_state() {
+  // Lowest evidence first: hosts with the fewest buffered timing samples
+  // have the least interstitial/churn signal to lose. Ties break by
+  // address so the shed set is deterministic for a given flow sequence.
+  std::vector<std::pair<std::size_t, simnet::Ipv4>> candidates;
+  candidates.reserve(hosts_.size());
+  for (const auto& [host, state] : hosts_) {
+    if (!state.timing_shed && state.timing_samples > 0)
+      candidates.emplace_back(state.timing_samples, host);
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  // Hysteresis: shed down to ~3/4 of the budget so one more sample does not
+  // immediately re-trigger a full scan-and-sort.
+  const std::size_t target = config_.timing_budget - config_.timing_budget / 4;
+  for (const auto& [samples, host] : candidates) {
+    if (timing_samples_ <= target) break;
+    HostState& state = hosts_.at(host);
+    timing_samples_ -= state.timing_samples;
+    timing_samples_shed_ += state.timing_samples;
+    state.timing_samples = 0;
+    state.per_dst_times.clear();
+    state.timing_shed = true;
+    ++hosts_shed_;
+  }
 }
 
 void StreamingDetector::roll_to(double time) {
@@ -80,6 +125,9 @@ void StreamingDetector::emit() {
   verdict.window_start = window_start_;
   verdict.window_end = window_start_ + config_.window;
   verdict.flows_seen = flows_in_window_;
+  verdict.degraded = hosts_shed_ > 0;
+  verdict.hosts_shed = hosts_shed_;
+  verdict.timing_samples_shed = timing_samples_shed_;
   if (!features.empty()) {
     verdict.result = find_plotters(features, config_.pipeline);
   }
@@ -88,6 +136,9 @@ void StreamingDetector::emit() {
 
   hosts_.clear();
   flows_in_window_ = 0;
+  timing_samples_ = 0;
+  hosts_shed_ = 0;
+  timing_samples_shed_ = 0;
   ++windows_emitted_;
 }
 
@@ -95,6 +146,222 @@ void StreamingDetector::flush() {
   if (!window_open_) return;
   emit();
   window_open_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint format: a versioned, CRC-checked image of the full mid-window
+// state. Layout (packed little-endian):
+//
+//   u32 magic "TPCK"   u32 version   u64 payload_size   payload   u32 crc32
+//
+// The payload opens with the config parameters the state depends on
+// (window D, churn grace) so a restore into a differently-configured
+// detector is rejected instead of silently producing different verdicts.
+
+namespace {
+
+constexpr std::uint32_t kCkptMagic = 0x4B435054;  // "TPCK" on the wire
+constexpr std::uint32_t kCkptVersion = 1;
+/// Upper bound on a plausible checkpoint payload; a corrupted size field
+/// must not make restore attempt a multi-gigabyte allocation.
+constexpr std::uint64_t kCkptMaxPayload = 1ull << 30;
+
+class PayloadWriter {
+ public:
+  template <typename T>
+  void put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const char* bytes = reinterpret_cast<const char*>(&value);
+    buf_.append(bytes, sizeof(value));
+  }
+
+  void put_times(const std::vector<double>& v) {
+    put(static_cast<std::uint64_t>(v.size()));
+    if (!v.empty())
+      buf_.append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(double));
+  }
+
+  [[nodiscard]] const std::string& bytes() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::string& buf) : buf_(buf) {}
+
+  template <typename T>
+  T take() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    if (pos_ + sizeof(value) > buf_.size())
+      throw util::ParseError("checkpoint: truncated payload");
+    std::memcpy(&value, buf_.data() + pos_, sizeof(value));
+    pos_ += sizeof(value);
+    return value;
+  }
+
+  std::vector<double> take_times() {
+    const auto n = take<std::uint64_t>();
+    if (pos_ + n * sizeof(double) > buf_.size())
+      throw util::ParseError("checkpoint: truncated payload");
+    std::vector<double> v(static_cast<std::size_t>(n));
+    if (n != 0) std::memcpy(v.data(), buf_.data() + pos_, v.size() * sizeof(double));
+    pos_ += v.size() * sizeof(double);
+    return v;
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  const std::string& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void StreamingDetector::save_checkpoint(std::ostream& out) const {
+  PayloadWriter w;
+  w.put(config_.window);
+  w.put(config_.new_ip_grace);
+  w.put(static_cast<std::uint8_t>(window_open_));
+  w.put(window_start_);
+  w.put(static_cast<std::uint64_t>(flows_in_window_));
+  w.put(static_cast<std::uint64_t>(windows_emitted_));
+  w.put(flows_ingested_total_);
+  w.put(static_cast<std::uint64_t>(timing_samples_));
+  w.put(static_cast<std::uint64_t>(hosts_shed_));
+  w.put(static_cast<std::uint64_t>(timing_samples_shed_));
+  w.put(static_cast<std::uint64_t>(hosts_.size()));
+  for (const auto& [host, state] : hosts_) {
+    w.put(host.value());
+    w.put(static_cast<std::uint8_t>(state.seen));
+    w.put(static_cast<std::uint8_t>(state.timing_shed));
+    const HostFeatures& f = state.features;
+    w.put(static_cast<std::uint64_t>(f.flows_initiated));
+    w.put(static_cast<std::uint64_t>(f.flows_failed));
+    w.put(static_cast<std::uint64_t>(f.flows_received));
+    w.put(f.bytes_sent_initiated);
+    w.put(f.bytes_sent_received);
+    w.put(static_cast<std::uint64_t>(f.distinct_dsts));
+    w.put(static_cast<std::uint64_t>(f.dsts_after_first_hour));
+    w.put(f.first_activity);
+    w.put_times(f.interstitials);
+    w.put(static_cast<std::uint64_t>(state.per_dst_times.size()));
+    for (const auto& [dst, times] : state.per_dst_times) {
+      w.put(dst.value());
+      w.put_times(times);
+    }
+  }
+
+  const std::string& payload = w.bytes();
+  const std::uint32_t crc = util::crc32(payload.data(), payload.size());
+  const auto put_raw = [&](const void* p, std::size_t n) {
+    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  };
+  put_raw(&kCkptMagic, sizeof(kCkptMagic));
+  put_raw(&kCkptVersion, sizeof(kCkptVersion));
+  const auto size = static_cast<std::uint64_t>(payload.size());
+  put_raw(&size, sizeof(size));
+  put_raw(payload.data(), payload.size());
+  put_raw(&crc, sizeof(crc));
+  out.flush();
+  if (!out) throw util::IoError("checkpoint write failed");
+}
+
+void StreamingDetector::restore_checkpoint(std::istream& in) {
+  const auto read_raw = [&](void* p, std::size_t n) {
+    in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in.gcount()) != n)
+      throw util::ParseError("checkpoint: truncated");
+  };
+  std::uint32_t magic = 0, version = 0;
+  read_raw(&magic, sizeof(magic));
+  if (magic != kCkptMagic) throw util::ParseError("checkpoint: bad magic");
+  read_raw(&version, sizeof(version));
+  if (version != kCkptVersion)
+    throw util::ParseError("checkpoint: unsupported version " + std::to_string(version));
+  std::uint64_t size = 0;
+  read_raw(&size, sizeof(size));
+  if (size > kCkptMaxPayload) throw util::ParseError("checkpoint: implausible payload size");
+  std::string payload(static_cast<std::size_t>(size), '\0');
+  read_raw(payload.data(), payload.size());
+  std::uint32_t crc = 0;
+  read_raw(&crc, sizeof(crc));
+  if (crc != util::crc32(payload.data(), payload.size()))
+    throw util::ParseError("checkpoint: checksum mismatch");
+
+  PayloadReader r(payload);
+  const auto window = r.take<double>();
+  const auto grace = r.take<double>();
+  if (window != config_.window || grace != config_.new_ip_grace)
+    throw util::ConfigError(
+        "checkpoint: saved with different window/grace than this detector");
+
+  // Decode into fresh state first; only swap in once the whole payload
+  // parsed, so a fault mid-payload never leaves the detector half-restored.
+  const auto open = r.take<std::uint8_t>();
+  const auto window_start = r.take<double>();
+  const auto flows_in_window = r.take<std::uint64_t>();
+  const auto windows_emitted = r.take<std::uint64_t>();
+  const auto flows_total = r.take<std::uint64_t>();
+  const auto timing_samples = r.take<std::uint64_t>();
+  const auto hosts_shed = r.take<std::uint64_t>();
+  const auto samples_shed = r.take<std::uint64_t>();
+  const auto host_count = r.take<std::uint64_t>();
+  std::unordered_map<simnet::Ipv4, HostState> hosts;
+  hosts.reserve(static_cast<std::size_t>(host_count));
+  for (std::uint64_t i = 0; i < host_count; ++i) {
+    const simnet::Ipv4 host(r.take<std::uint32_t>());
+    HostState state;
+    state.seen = r.take<std::uint8_t>() != 0;
+    state.timing_shed = r.take<std::uint8_t>() != 0;
+    HostFeatures& f = state.features;
+    f.host = host;
+    f.flows_initiated = static_cast<std::size_t>(r.take<std::uint64_t>());
+    f.flows_failed = static_cast<std::size_t>(r.take<std::uint64_t>());
+    f.flows_received = static_cast<std::size_t>(r.take<std::uint64_t>());
+    f.bytes_sent_initiated = r.take<std::uint64_t>();
+    f.bytes_sent_received = r.take<std::uint64_t>();
+    f.distinct_dsts = static_cast<std::size_t>(r.take<std::uint64_t>());
+    f.dsts_after_first_hour = static_cast<std::size_t>(r.take<std::uint64_t>());
+    f.first_activity = r.take<double>();
+    f.interstitials = r.take_times();
+    const auto dst_count = r.take<std::uint64_t>();
+    state.per_dst_times.reserve(static_cast<std::size_t>(dst_count));
+    for (std::uint64_t d = 0; d < dst_count; ++d) {
+      const simnet::Ipv4 dst(r.take<std::uint32_t>());
+      state.per_dst_times.emplace(dst, r.take_times());
+      state.timing_samples += state.per_dst_times.at(dst).size();
+    }
+    hosts.emplace(host, std::move(state));
+  }
+  if (!r.exhausted()) throw util::ParseError("checkpoint: trailing bytes in payload");
+
+  hosts_ = std::move(hosts);
+  window_open_ = open != 0;
+  window_start_ = window_start;
+  flows_in_window_ = static_cast<std::size_t>(flows_in_window);
+  windows_emitted_ = static_cast<std::size_t>(windows_emitted);
+  flows_ingested_total_ = flows_total;
+  timing_samples_ = static_cast<std::size_t>(timing_samples);
+  hosts_shed_ = static_cast<std::size_t>(hosts_shed);
+  timing_samples_shed_ = static_cast<std::size_t>(samples_shed);
+}
+
+void StreamingDetector::save_checkpoint_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw util::IoError("cannot open checkpoint for writing: " + path);
+  save_checkpoint(out);
+  out.close();
+  if (!out) throw util::IoError("checkpoint write failed: " + path);
+}
+
+void StreamingDetector::restore_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::IoError("cannot open checkpoint for reading: " + path);
+  restore_checkpoint(in);
 }
 
 std::size_t feed(netflow::TraceReader& reader, StreamingDetector& detector) {

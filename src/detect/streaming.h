@@ -14,7 +14,10 @@
 // any arrival order of the flows within the window.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "detect/features.h"
@@ -35,6 +38,17 @@ struct StreamingConfig {
   double new_ip_grace = 3600.0;
   /// Pipeline thresholds.
   FindPlottersConfig pipeline{};
+  /// Graceful-degradation budget: the maximum number of buffered
+  /// per-destination timing samples across all hosts in one window
+  /// (0 = unlimited). The timing buffers are the only per-window state that
+  /// grows with traffic rather than with the host count; when the budget is
+  /// exceeded the detector sheds the lowest-evidence hosts' timing state
+  /// (fewest buffered samples first, ties by address) until usage is back
+  /// under ~3/4 of the budget. Shed hosts keep their scalar counters exact
+  /// (θ_vol and the failed-rate reduction are unaffected) but lose churn and
+  /// interstitial evidence for the window, and the window's verdict is
+  /// marked degraded.
+  std::size_t timing_budget = 0;
 };
 
 struct WindowVerdict {
@@ -46,6 +60,12 @@ struct WindowVerdict {
   /// to extract_features over this window's flows).
   FeatureMap features;
   FindPlottersResult result;
+  /// True when the timing budget forced state shedding this window: the
+  /// verdict was computed from degraded (churn/timing-free) evidence for
+  /// `hosts_shed` hosts. Scalar features stayed exact.
+  bool degraded = false;
+  std::size_t hosts_shed = 0;
+  std::size_t timing_samples_shed = 0;
 };
 
 class StreamingDetector {
@@ -64,15 +84,39 @@ class StreamingDetector {
   void ingest(const netflow::FlowRecord& flow);
 
   /// Closes the current window and emits its verdict (e.g. at shutdown).
+  /// A no-op when no window was ever opened (no flows ingested) or when the
+  /// detector was already flushed — flush never emits an empty verdict for
+  /// a window it never saw, and double-flush is idempotent.
   void flush();
 
   [[nodiscard]] std::size_t windows_emitted() const { return windows_emitted_; }
   [[nodiscard]] std::size_t flows_in_current_window() const { return flows_in_window_; }
   [[nodiscard]] double current_window_start() const { return window_start_; }
+  /// Flows ingested over the detector's lifetime (across all windows).
+  /// Stored in checkpoints so a resumed monitor knows how far to fast-
+  /// forward the trace (see netflow::TraceReader::skip_flows).
+  [[nodiscard]] std::uint64_t flows_ingested_total() const { return flows_ingested_total_; }
+
+  /// Serializes the full detector state (window bounds, per-host
+  /// accumulators, counters) as a versioned, CRC-checked binary image.
+  /// A detector restored from the checkpoint and fed the remaining flows
+  /// emits verdicts identical to the uninterrupted run. Throws
+  /// util::IoError if the stream fails.
+  void save_checkpoint(std::ostream& out) const;
+  void save_checkpoint_file(const std::string& path) const;
+
+  /// Replaces this detector's state with a checkpoint image. The detector
+  /// must have been constructed with the same window and new_ip_grace as
+  /// the one that saved it (util::ConfigError otherwise). Throws
+  /// util::ParseError on a bad magic/version/checksum or a truncated image
+  /// — corrupt checkpoints are rejected, never partially applied.
+  void restore_checkpoint(std::istream& in);
+  void restore_checkpoint_file(const std::string& path);
 
  private:
   void roll_to(double time);
   void emit();
+  void shed_timing_state();
 
   StreamingConfig config_;
   VerdictSink sink_;
@@ -85,7 +129,9 @@ class StreamingDetector {
   struct HostState {
     HostFeatures features;
     PerDestinationTimes per_dst_times;  // dst -> initiated-flow start times
+    std::size_t timing_samples = 0;     // total start times buffered above
     bool seen = false;
+    bool timing_shed = false;  // budget shed dropped this host's timing state
   };
   std::unordered_map<simnet::Ipv4, HostState> hosts_;
 
@@ -93,6 +139,12 @@ class StreamingDetector {
   bool window_open_ = false;
   std::size_t flows_in_window_ = 0;
   std::size_t windows_emitted_ = 0;
+  std::uint64_t flows_ingested_total_ = 0;
+
+  // Timing-budget bookkeeping (reset each window).
+  std::size_t timing_samples_ = 0;  // buffered across all hosts
+  std::size_t hosts_shed_ = 0;
+  std::size_t timing_samples_shed_ = 0;
 };
 
 /// Drains `reader` into `detector` one flow at a time and flushes the final

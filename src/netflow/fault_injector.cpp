@@ -1,0 +1,167 @@
+#include "netflow/fault_injector.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace tradeplot::netflow {
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFlippedByte: return "flipped-byte";
+    case FaultKind::kTruncatedLine: return "truncated-line";
+    case FaultKind::kGarbledLine: return "garbled-line";
+    case FaultKind::kOutOfRangeField: return "out-of-range-field";
+    case FaultKind::kMidRecordTruncation: return "mid-record-truncation";
+  }
+  return "?";
+}
+
+bool FaultReport::corrupted(std::size_t flow_index) const {
+  return std::any_of(faults.begin(), faults.end(), [&](const InjectedFault& f) {
+    return f.flow_index == flow_index;
+  });
+}
+
+namespace {
+
+/// Offset just past the `n`-th comma, or npos when the line has fewer.
+std::size_t after_nth_comma(std::string_view line, std::size_t n) {
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == ',' && ++seen == n) return i + 1;
+  }
+  return std::string_view::npos;
+}
+
+/// Cuts `line` to a prefix holding at most 11 commas, so the 13-field split
+/// can never succeed. Length is seeded but always in [1, pos-of-12th-comma).
+std::string truncate_line(std::string_view line, util::Pcg32& rng) {
+  const std::size_t limit = after_nth_comma(line, 12);
+  const std::size_t hi = (limit == std::string_view::npos ? line.size() : limit) - 1;
+  const auto cut = static_cast<std::size_t>(rng.uniform_int(1, static_cast<std::int64_t>(hi)));
+  return std::string(line.substr(0, cut));
+}
+
+/// One byte XOR 0x80: every valid flow-line byte is ASCII (< 0x80), so the
+/// result is invalid in any field — and if the victim is a comma, the field
+/// count breaks instead.
+std::string flip_byte(std::string_view line, util::Pcg32& rng) {
+  std::string out(line);
+  const auto pos =
+      static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(out.size()) - 1));
+  out[pos] = static_cast<char>(static_cast<unsigned char>(out[pos]) ^ 0x80u);
+  return out;
+}
+
+/// Comma-free junk (never 13 fields); first byte is not '#' so the line is
+/// not mistaken for a comment.
+std::string garble_line(util::Pcg32& rng) {
+  static constexpr std::string_view kJunk = "~!@$%^&*()_=?<>xyzqwerty";
+  const auto len = static_cast<std::size_t>(rng.uniform_int(3, 24));
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i)
+    out.push_back(kJunk[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kJunk.size()) - 1))]);
+  return out;
+}
+
+/// Rewrites the sport or dport field (fields 2/3) to a value past 65535 —
+/// syntactically clean, semantically impossible.
+std::string out_of_range_field(std::string_view line, util::Pcg32& rng) {
+  const bool sport = rng.chance(0.5);
+  const std::size_t begin = after_nth_comma(line, sport ? 2 : 3);
+  const std::size_t end = after_nth_comma(line, sport ? 3 : 4);
+  if (begin == std::string_view::npos || end == std::string_view::npos)
+    return flip_byte(line, rng);  // malformed input line; still corrupt it
+  std::string out(line.substr(0, begin));
+  out += sport ? "655360" : "99999";
+  out += line.substr(end - 1);  // keep the trailing comma
+  return out;
+}
+
+}  // namespace
+
+std::string FaultInjector::corrupt_csv(std::string_view csv, FaultReport& report) const {
+  report = FaultReport{};
+  const util::Pcg32 root(config_.seed);
+
+  // Index the input: split into lines and find the flow lines (everything
+  // after the header row that is neither empty nor a comment).
+  struct Line {
+    std::string_view text;
+    bool is_flow = false;
+  };
+  std::vector<Line> lines;
+  bool header_seen = false;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t nl = csv.find('\n', pos);
+    std::string_view text = csv.substr(pos, nl == std::string_view::npos ? csv.size() - pos
+                                                                         : nl - pos);
+    pos = nl == std::string_view::npos ? csv.size() : nl + 1;
+    if (!text.empty() && text.back() == '\r') text.remove_suffix(1);
+    Line line{text, false};
+    if (!text.empty() && text[0] != '#') {
+      if (!header_seen) {
+        header_seen = true;  // the header row itself stays intact
+      } else {
+        line.is_flow = true;
+        ++report.flow_lines;
+      }
+    }
+    lines.push_back(line);
+  }
+
+  // The tail truncation consumes the last flow line; keep it out of the
+  // per-line mutation pass so each flow index appears at most once in the
+  // report.
+  std::size_t last_flow_line = lines.size();
+  if (config_.truncate_tail) {
+    for (std::size_t i = lines.size(); i-- > 0;) {
+      if (lines[i].is_flow) {
+        last_flow_line = i;
+        break;
+      }
+    }
+  }
+
+  std::string out;
+  out.reserve(csv.size());
+  std::size_t flow_index = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const Line& line = lines[i];
+    std::string text(line.text);
+    bool crlf = false;
+    if (line.is_flow && i != last_flow_line) {
+      util::Pcg32 rng = root.split(flow_index);
+      if (!text.empty() && rng.chance(config_.fault_rate)) {
+        const auto kind = static_cast<FaultKind>(rng.uniform_int(0, 3));
+        switch (kind) {
+          case FaultKind::kFlippedByte: text = flip_byte(text, rng); break;
+          case FaultKind::kTruncatedLine: text = truncate_line(text, rng); break;
+          case FaultKind::kGarbledLine: text = garble_line(rng); break;
+          default: text = out_of_range_field(text, rng); break;
+        }
+        report.faults.push_back({flow_index, i + 1, kind});
+      } else if (rng.chance(config_.crlf_rate)) {
+        crlf = true;
+        ++report.crlf_lines;
+      }
+    }
+    if (line.is_flow) ++flow_index;
+    if (i == last_flow_line) {
+      // Crash-mid-write image: the last record stops mid-way, unterminated.
+      util::Pcg32 rng = root.split(0x7461696CULL + flow_index);
+      out += truncate_line(text, rng);
+      report.faults.push_back({flow_index - 1, i + 1, FaultKind::kMidRecordTruncation});
+      break;
+    }
+    out += text;
+    out += crlf ? "\r\n" : "\n";
+  }
+  return out;
+}
+
+}  // namespace tradeplot::netflow

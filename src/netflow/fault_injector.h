@@ -1,0 +1,81 @@
+// Deterministic trace corruption for fault-tolerance testing.
+//
+// FaultInjector takes the textual CSV image of a trace (as produced by
+// write_csv) and damages a seeded, reproducible subset of its flow lines —
+// flipped bytes, truncated lines, garbled lines, out-of-range field values,
+// and an optional mid-record tail truncation. Every corrupting mutation is
+// guaranteed to make the line unparseable (e.g. flipped bytes set the high
+// bit, which no valid field byte carries), so the report's fault list is an
+// exact account of the records a skip-policy reader must quarantine.
+// CRLF mixing is also injected, as a *benign* mutation: the reader's CRLF
+// tolerance means those lines must still parse.
+//
+// The injector is the workload generator for the fault-injection test
+// suite: feed the corrupted image with ErrorPolicy::skip() and the verdicts
+// must match feeding the clean subset (the original flows minus the ones
+// listed in the report).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tradeplot::netflow {
+
+enum class FaultKind : std::uint8_t {
+  kFlippedByte,        // one byte XOR 0x80 (never a valid field byte)
+  kTruncatedLine,      // line cut so fewer than 12 commas remain
+  kGarbledLine,        // line replaced with comma-free junk
+  kOutOfRangeField,    // a port field rewritten past 65535
+  kMidRecordTruncation // the output's tail cut mid-way through the last line
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind);
+
+struct InjectedFault {
+  /// 0-based index among the trace's flow lines (== index into the original
+  /// TraceSet::flows() for traces written by write_csv).
+  std::size_t flow_index = 0;
+  /// 1-based line number in the corrupted output.
+  std::size_t lineno = 0;
+  FaultKind kind = FaultKind::kFlippedByte;
+};
+
+struct FaultReport {
+  std::size_t flow_lines = 0;          // flow lines in the input
+  std::vector<InjectedFault> faults;   // corrupting mutations, in line order
+  std::size_t crlf_lines = 0;          // benign CRLF endings injected
+
+  [[nodiscard]] std::size_t fault_count() const { return faults.size(); }
+  /// True when `flow_index` was corrupted (and must be absent from the
+  /// clean subset a skip-policy read is compared against).
+  [[nodiscard]] bool corrupted(std::size_t flow_index) const;
+};
+
+struct FaultInjectorConfig {
+  std::uint64_t seed = 1;
+  /// Probability that a flow line receives a corrupting mutation.
+  double fault_rate = 0.05;
+  /// Probability that a surviving line gets a CRLF ending (benign).
+  double crlf_rate = 0.0;
+  /// When true, the output is additionally cut mid-way through its last
+  /// flow line (no trailing newline) — a crash-mid-write image.
+  bool truncate_tail = false;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectorConfig config) : config_(config) {}
+
+  /// Corrupts the CSV text `csv`. Preamble comments and the header row are
+  /// left intact (structural faults are always fatal and tested
+  /// separately); only flow lines are mutated. Deterministic: the same
+  /// (input, config) yields the same output and report.
+  [[nodiscard]] std::string corrupt_csv(std::string_view csv, FaultReport& report) const;
+
+ private:
+  FaultInjectorConfig config_;
+};
+
+}  // namespace tradeplot::netflow

@@ -44,7 +44,7 @@ FlowState flow_state_from_string(std::string_view s) {
 void FlowRecord::set_payload(std::string_view data) {
   const std::size_t n = std::min(data.size(), kPayloadPrefixLen);
   payload.fill(0);
-  std::memcpy(payload.data(), data.data(), n);
+  if (n != 0) std::memcpy(payload.data(), data.data(), n);
   payload_len = static_cast<std::uint8_t>(n);
 }
 

@@ -77,10 +77,15 @@ class BufferedSink {
     buf_.insert(buf_.end(), bytes, bytes + n);
   }
 
+  /// Drains the buffer and verifies the stream accepted it: an unwritable
+  /// sink (closed file, full disk) must surface as util::IoError at the
+  /// first failing block, not be silently dropped.
   void flush() {
     if (!buf_.empty()) {
       out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
       buf_.clear();
+      if (out_.fail())
+        throw util::IoError("binary trace write failed (sink rejected write)");
     }
   }
 
@@ -135,6 +140,10 @@ void with_ofstream(const std::string& path, Fn fn) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw util::IoError("cannot open for writing: " + path);
   fn(out);
+  // Close before returning so a failure while the OS flushes (disk full,
+  // quota) is reported here instead of being swallowed by the destructor.
+  out.close();
+  if (!out) throw util::IoError("write failed (close): " + path);
 }
 
 }  // namespace

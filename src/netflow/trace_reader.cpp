@@ -390,6 +390,15 @@ TraceReader::TraceReader(std::istream& in) { open(in, nullptr); }
 
 TraceReader::TraceReader(std::istream& in, TraceFormat format) { open(in, &format); }
 
+TraceReader::TraceReader(std::istream& in, ErrorPolicy policy) : policy_(policy) {
+  open(in, nullptr);
+}
+
+TraceReader::TraceReader(std::istream& in, TraceFormat format, ErrorPolicy policy)
+    : policy_(policy) {
+  open(in, &format);
+}
+
 TraceReader::TraceReader(const std::string& path) {
   auto file = std::make_unique<std::ifstream>(path, std::ios::binary);
   if (!*file) throw util::IoError("cannot open for reading: " + path);
@@ -398,6 +407,21 @@ TraceReader::TraceReader(const std::string& path) {
 }
 
 TraceReader::TraceReader(const std::string& path, TraceFormat format) {
+  auto file = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*file) throw util::IoError("cannot open for reading: " + path);
+  owned_stream_ = std::move(file);
+  open(*owned_stream_, &format);
+}
+
+TraceReader::TraceReader(const std::string& path, ErrorPolicy policy) : policy_(policy) {
+  auto file = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*file) throw util::IoError("cannot open for reading: " + path);
+  owned_stream_ = std::move(file);
+  open(*owned_stream_, nullptr);
+}
+
+TraceReader::TraceReader(const std::string& path, TraceFormat format, ErrorPolicy policy)
+    : policy_(policy) {
   auto file = std::make_unique<std::ifstream>(path, std::ios::binary);
   if (!*file) throw util::IoError("cannot open for reading: " + path);
   owned_stream_ = std::move(file);
@@ -487,10 +511,39 @@ bool TraceReader::next(FlowRecord& out) {
       format_ == TraceFormat::kBinary ? next_binary(out) : next_csv(out);
   if (got) {
     ++flows_read_;
+    ++stats_.records_ok;
+    in_bad_run_ = false;
   } else {
     done_ = true;
   }
   return got;
+}
+
+std::size_t TraceReader::skip_flows(std::size_t n) {
+  FlowRecord scratch;
+  std::size_t skipped = 0;
+  while (skipped < n && next(scratch)) ++skipped;
+  return skipped;
+}
+
+void TraceReader::quarantine(std::size_t record) {
+  if (policy_.action == OnError::kStrict) throw;
+  if (policy_.action == OnError::kStopAfter &&
+      stats_.records_quarantined >= policy_.max_quarantined)
+    throw;
+  ++stats_.records_quarantined;
+  if (!in_bad_run_) {
+    ++stats_.resync_events;
+    in_bad_run_ = true;
+  }
+  if (stats_.first_error_record == 0) {
+    stats_.first_error_record = record;
+    try {
+      throw;
+    } catch (const std::exception& e) {
+      stats_.first_error = e.what();
+    }
+  }
 }
 
 bool TraceReader::next_csv(FlowRecord& out) {
@@ -499,49 +552,105 @@ bool TraceReader::next_csv(FlowRecord& out) {
     ++lineno_;
     if (line.empty()) continue;
     if (line[0] == '#') {
-      parse_csv_comment(line);
+      try {
+        parse_csv_comment(line);
+      } catch (...) {
+        quarantine(lineno_);  // rethrows under kStrict / exhausted kStopAfter
+      }
       continue;
     }
     out = FlowRecord{};
-    parse_flow_line(line, lineno_, out);
+    try {
+      parse_flow_line(line, lineno_, out);
+    } catch (...) {
+      quarantine(lineno_);
+      continue;  // resync: the line boundary was already consumed
+    }
     return true;
   }
   return false;
 }
 
 bool TraceReader::next_binary(FlowRecord& out) {
-  if (flows_read_ == flow_count_) return false;
   // The fixed-size part of one record on the wire (fields are written
   // individually, so the layout is packed, independent of FlowRecord's
   // in-memory padding).
   constexpr std::size_t kFixedBytes = 4 + 4 + 2 + 2 + 1 + 8 + 8 + 8 + 8 + 8 + 8 + 1 + 1;
-  std::array<char, kFixedBytes> raw;
-  src_->read_exact(raw.data(), raw.size(), "short read");
-  const char* p = raw.data();
-  out = FlowRecord{};
-  out.src = simnet::Ipv4(take<std::uint32_t>(p));
-  out.dst = simnet::Ipv4(take<std::uint32_t>(p));
-  out.sport = take<std::uint16_t>(p);
-  out.dport = take<std::uint16_t>(p);
-  out.proto = protocol_from_byte(take<std::uint8_t>(p));
-  out.start_time = take<double>(p);
-  out.end_time = take<double>(p);
-  out.pkts_src = take<std::uint64_t>(p);
-  out.pkts_dst = take<std::uint64_t>(p);
-  out.bytes_src = take<std::uint64_t>(p);
-  out.bytes_dst = take<std::uint64_t>(p);
-  out.state = flow_state_from_byte(take<std::uint8_t>(p));
-  out.payload_len = take<std::uint8_t>(p);
-  if (out.payload_len > kPayloadPrefixLen)
-    throw util::ParseError("binary trace: bad payload len");
-  src_->read_exact(out.payload.data(), out.payload_len, "short payload read");
-  return true;
+
+  // A record whose *length* cannot be trusted (truncated fixed part, or a
+  // payload_len past the cap) leaves the reader with no next boundary to
+  // resync to; under a skip policy the remainder of the stream is abandoned
+  // (stats_.lost_sync) instead of misparsed.
+  const auto lose_sync = [&](std::size_t ordinal) {
+    quarantine(ordinal);  // rethrows under kStrict / exhausted kStopAfter
+    stats_.lost_sync = true;
+    records_consumed_ = flow_count_;
+  };
+
+  while (records_consumed_ < flow_count_) {
+    ++records_consumed_;
+    const auto ordinal = static_cast<std::size_t>(records_consumed_);
+    std::array<char, kFixedBytes> raw;
+    try {
+      src_->read_exact(raw.data(), raw.size(), "short read");
+    } catch (...) {
+      lose_sync(ordinal);
+      return false;
+    }
+    const char* p = raw.data();
+    out = FlowRecord{};
+    out.src = simnet::Ipv4(take<std::uint32_t>(p));
+    out.dst = simnet::Ipv4(take<std::uint32_t>(p));
+    out.sport = take<std::uint16_t>(p);
+    out.dport = take<std::uint16_t>(p);
+    const auto proto_byte = take<std::uint8_t>(p);
+    out.start_time = take<double>(p);
+    out.end_time = take<double>(p);
+    out.pkts_src = take<std::uint64_t>(p);
+    out.pkts_dst = take<std::uint64_t>(p);
+    out.bytes_src = take<std::uint64_t>(p);
+    out.bytes_dst = take<std::uint64_t>(p);
+    const auto state_byte = take<std::uint8_t>(p);
+    out.payload_len = take<std::uint8_t>(p);
+    if (out.payload_len > kPayloadPrefixLen) {
+      try {
+        throw util::ParseError("binary trace: bad payload len");
+      } catch (...) {
+        lose_sync(ordinal);
+      }
+      return false;
+    }
+    try {
+      src_->read_exact(out.payload.data(), out.payload_len, "short payload read");
+    } catch (...) {
+      lose_sync(ordinal);
+      return false;
+    }
+    // Enum validation last: a bad proto/state byte leaves the record fully
+    // consumed (framing intact), so under a skip policy we quarantine just
+    // this record and continue with the next one.
+    try {
+      out.proto = protocol_from_byte(proto_byte);
+      out.state = flow_state_from_byte(state_byte);
+    } catch (...) {
+      quarantine(ordinal);
+      continue;
+    }
+    return true;
+  }
+  return false;
 }
 
 TraceSet TraceReader::read_all() {
   TraceSet trace;
   if (format_ == TraceFormat::kBinary) {
     if (flow_count_ > flows_read_) trace.reserve_flows(flow_count_ - flows_read_);
+    FlowRecord rec;
+    while (next(rec)) trace.add_flow(rec);
+  } else if (policy_.action != OnError::kStrict) {
+    // Skip policies go through the serial next() path so that quarantine
+    // accounting (stats, resync runs, kStopAfter budgets) behaves exactly
+    // like pull-mode ingestion; the parallel drain below is strict-only.
     FlowRecord rec;
     while (next(rec)) trace.add_flow(rec);
   } else {

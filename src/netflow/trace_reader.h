@@ -30,6 +30,51 @@ enum class TraceFormat { kCsv, kBinary };
 
 [[nodiscard]] std::string_view to_string(TraceFormat f);
 
+/// What TraceReader does when one record is malformed.
+///
+/// The policy governs *record-level* faults only: a bad flow line, a bad
+/// mid-stream "#truth" comment, a binary record with an invalid enum byte.
+/// Structural faults — a missing CSV header, a bad magic/version, a
+/// malformed preamble — are always fatal, because there is no boundary to
+/// resync to before the record stream even starts.
+enum class OnError : std::uint8_t {
+  kStrict,     // throw on the first malformed record (the historical default)
+  kSkip,       // quarantine the record, resync to the next boundary, continue
+  kStopAfter,  // behave like kSkip for up to max_quarantined records, then throw
+};
+
+struct ErrorPolicy {
+  OnError action = OnError::kStrict;
+  /// For kStopAfter: the number of quarantined records tolerated before the
+  /// next fault is rethrown. Ignored by the other actions.
+  std::size_t max_quarantined = 0;
+
+  [[nodiscard]] static ErrorPolicy strict() { return {}; }
+  [[nodiscard]] static ErrorPolicy skip() { return {OnError::kSkip, 0}; }
+  [[nodiscard]] static ErrorPolicy stop_after(std::size_t n) {
+    return {OnError::kStopAfter, n};
+  }
+};
+
+/// Ingestion health report, accumulated while records are pulled. Under
+/// ErrorPolicy::strict() the quarantine counters stay zero (the first fault
+/// throws instead).
+struct IngestStats {
+  std::size_t records_ok = 0;           // flows decoded successfully
+  std::size_t records_quarantined = 0;  // malformed records skipped
+  /// Recovery runs: incremented once per maximal run of consecutive bad
+  /// records (a burst of 5 garbled lines is 1 resync event, 5 quarantines).
+  std::size_t resync_events = 0;
+  /// True when a binary stream lost record framing (bad payload length or a
+  /// mid-record truncation) and the reader abandoned the remainder; the
+  /// stream then ends early instead of throwing under kSkip.
+  bool lost_sync = false;
+  /// Diagnostics of the first quarantined record (empty when none).
+  std::string first_error;
+  /// CSV line number / 1-based binary record ordinal of the first fault.
+  std::size_t first_error_record = 0;
+};
+
 class TraceReader {
  public:
   /// Size of the internal read buffer; the reader's memory bound. (A buffer
@@ -52,6 +97,14 @@ class TraceReader {
   explicit TraceReader(const std::string& path);
   TraceReader(const std::string& path, TraceFormat format);
 
+  /// Same constructors with an explicit error policy. Preamble parsing is
+  /// always strict (see OnError); the policy takes effect from the first
+  /// record onward.
+  TraceReader(std::istream& in, ErrorPolicy policy);
+  TraceReader(std::istream& in, TraceFormat format, ErrorPolicy policy);
+  TraceReader(const std::string& path, ErrorPolicy policy);
+  TraceReader(const std::string& path, TraceFormat format, ErrorPolicy policy);
+
   ~TraceReader();
   TraceReader(const TraceReader&) = delete;
   TraceReader& operator=(const TraceReader&) = delete;
@@ -73,10 +126,24 @@ class TraceReader {
   /// CSV (whose length is unknown until EOF).
   [[nodiscard]] std::uint64_t declared_flow_count() const { return flow_count_; }
 
+  [[nodiscard]] const ErrorPolicy& error_policy() const { return policy_; }
+
+  /// Ingestion health counters accumulated so far (quarantined records,
+  /// resync events, first-fault diagnostics). Always valid; under
+  /// ErrorPolicy::strict() only records_ok ever moves.
+  [[nodiscard]] const IngestStats& ingest_stats() const { return stats_; }
+
   /// Reads the next flow into `out`. Returns false at clean end-of-trace;
   /// throws util::ParseError / util::IoError on malformed or truncated
-  /// input. After false is returned, further calls keep returning false.
+  /// input per the error policy (under kSkip malformed records are
+  /// quarantined into ingest_stats() instead of thrown). After false is
+  /// returned, further calls keep returning false.
   [[nodiscard]] bool next(FlowRecord& out);
+
+  /// Pulls and discards up to `n` flows (honoring the error policy);
+  /// returns how many were discarded. Used to fast-forward a trace when
+  /// resuming a checkpointed monitor.
+  std::size_t skip_flows(std::size_t n);
 
   /// Drains the remaining flows (plus window and truth) into a TraceSet —
   /// the batch entry points read_csv/read_binary are implemented with this.
@@ -100,6 +167,10 @@ class TraceReader {
   void read_all_csv(TraceSet& trace);
   [[nodiscard]] bool next_csv(FlowRecord& out);
   [[nodiscard]] bool next_binary(FlowRecord& out);
+  /// Routes one malformed record through the policy: records it in stats_
+  /// and returns (to resume scanning) or rethrows. `record` is the CSV line
+  /// number / 1-based binary record ordinal.
+  void quarantine(std::size_t record);
 
   std::unique_ptr<std::istream> owned_stream_;  // set by the path ctors
   std::unique_ptr<Source> src_;
@@ -111,8 +182,16 @@ class TraceReader {
 
   std::uint64_t flow_count_ = 0;  // binary only
   std::size_t flows_read_ = 0;
+  /// Binary records consumed from the stream, including quarantined ones —
+  /// the cursor checked against the declared flow_count_ (flows_read_ only
+  /// counts records actually yielded).
+  std::uint64_t records_consumed_ = 0;
   std::size_t lineno_ = 0;  // CSV only
   bool done_ = false;
+
+  ErrorPolicy policy_{};
+  IngestStats stats_{};
+  bool in_bad_run_ = false;  // tracks resync_events (runs of quarantines)
 };
 
 }  // namespace tradeplot::netflow

@@ -43,19 +43,29 @@ std::size_t Simulation::run_all() {
 
 void PeriodicProcess::start(Simulation& sim, SimTime first_delay, SimTime until,
                             NextDelay next_delay, Body body) {
-  // The recursive lambda owns both closures via shared_ptr so the chain of
-  // scheduled events keeps itself alive without an external registry.
-  auto state = std::make_shared<std::pair<NextDelay, Body>>(std::move(next_delay),
-                                                            std::move(body));
-  auto step = std::make_shared<std::function<void()>>();
-  *step = [&sim, until, state, step]() {
-    if (sim.now() > until) return;
-    state->second(sim.now());
-    const double d = state->first();
-    const SimTime next = sim.now() + (d > 0 ? d : 0);
-    if (next <= until) sim.schedule_at(next, *step);
+  // Ownership lives only in the pending event's closure: each event holds
+  // the shared state and hands it to the next one, so the chain keeps
+  // itself alive without an external registry and is freed as soon as the
+  // last event runs (or the simulation's queue is destroyed). The state
+  // must not hold a shared_ptr to itself — that cycle would never free.
+  struct Chain {
+    Simulation& sim;
+    SimTime until;
+    NextDelay next_delay;
+    Body body;
+
+    void step(const std::shared_ptr<Chain>& self) {
+      if (sim.now() > until) return;
+      body(sim.now());
+      const double d = next_delay();
+      const SimTime next = sim.now() + (d > 0 ? d : 0);
+      if (next <= until) sim.schedule_at(next, [self] { self->step(self); });
+    }
   };
-  if (sim.now() + first_delay <= until) sim.schedule_after(first_delay, *step);
+  auto chain =
+      std::make_shared<Chain>(Chain{sim, until, std::move(next_delay), std::move(body)});
+  if (sim.now() + first_delay <= until)
+    sim.schedule_after(first_delay, [chain] { chain->step(chain); });
 }
 
 }  // namespace tradeplot::simnet

@@ -261,6 +261,34 @@ TEST(Feed, TraceReaderFeedMatchesDirectIngestion) {
   }
 }
 
+TEST(StreamingDetector, FlushOnNeverOpenedWindowEmitsNothing) {
+  std::vector<WindowVerdict> verdicts;
+  StreamingDetector detector(config(), [&](const WindowVerdict& v) { verdicts.push_back(v); });
+  detector.flush();
+  detector.flush();
+  EXPECT_TRUE(verdicts.empty());
+  EXPECT_EQ(detector.windows_emitted(), 0u);
+}
+
+TEST(StreamingDetector, DoubleFlushIsIdempotent) {
+  std::vector<WindowVerdict> verdicts;
+  StreamingDetector detector(config(), [&](const WindowVerdict& v) { verdicts.push_back(v); });
+  detector.ingest(flow(simnet::Ipv4(128, 2, 0, 1), simnet::Ipv4(5, 5, 5, 5), 10.0));
+  detector.flush();
+  ASSERT_EQ(verdicts.size(), 1u);
+  // A second flush with nothing new must not emit a spurious empty verdict.
+  detector.flush();
+  EXPECT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(detector.windows_emitted(), 1u);
+  // The detector stays usable: a later flow opens a fresh window.
+  detector.ingest(flow(simnet::Ipv4(128, 2, 0, 1), simnet::Ipv4(5, 5, 5, 6), 250.0));
+  detector.flush();
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_EQ(verdicts[1].flows_seen, 1u);
+  detector.flush();
+  EXPECT_EQ(verdicts.size(), 2u);
+}
+
 TEST(Feed, EmptyTraceFeedsZeroFlows) {
   netflow::TraceSet empty(0.0, 100.0);
   std::stringstream bytes;

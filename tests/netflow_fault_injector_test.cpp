@@ -1,0 +1,345 @@
+// Fault-injection harness: corrupt traces with seeded faults and assert the
+// skip policy recovers — every injected fault accounted for, and the decoded
+// stream identical to the clean subset of records.
+#include "netflow/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "detect/streaming.h"
+#include "netflow/io.h"
+#include "netflow/trace_reader.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tradeplot::netflow {
+namespace {
+
+TraceSet sample_trace(int flows = 200, std::uint64_t seed = 1, bool payloads = true) {
+  util::Pcg32 rng(seed);
+  TraceSet trace(0.0, 21600.0);
+  trace.set_truth(simnet::Ipv4(128, 2, 0, 1), HostKind::kWebClient);
+  trace.set_truth(simnet::Ipv4(128, 2, 0, 2), HostKind::kStorm);
+  for (int i = 0; i < flows; ++i) {
+    FlowRecord r;
+    r.src = simnet::Ipv4(128, 2, 0, static_cast<std::uint8_t>(1 + (i % 8)));
+    r.dst = simnet::Ipv4(static_cast<std::uint32_t>(rng.uniform_int(1 << 26, 1 << 28)));
+    r.sport = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+    r.dport = static_cast<std::uint16_t>(rng.uniform_int(1, 1023));
+    r.proto = rng.chance(0.5) ? Protocol::kTcp : Protocol::kUdp;
+    r.start_time = rng.uniform(0, 21000);
+    r.end_time = r.start_time + rng.uniform(0, 60);
+    r.pkts_src = static_cast<std::uint64_t>(rng.uniform_int(1, 100));
+    r.pkts_dst = static_cast<std::uint64_t>(rng.uniform_int(0, 100));
+    r.bytes_src = static_cast<std::uint64_t>(rng.uniform_int(0, 100000));
+    r.bytes_dst = static_cast<std::uint64_t>(rng.uniform_int(0, 1000000));
+    r.state = r.pkts_dst == 0 ? FlowState::kAttempted : FlowState::kEstablished;
+    if (payloads && rng.chance(0.5))
+      r.set_payload(std::string_view("\xe3\x01\x02" "fault\x00" "payload", 16));
+    trace.add_flow(std::move(r));
+  }
+  return trace;
+}
+
+std::string csv_bytes(const TraceSet& trace) {
+  std::stringstream buffer;
+  write_csv(buffer, trace);
+  return buffer.str();
+}
+
+/// The flows the injector left intact, in trace order.
+std::vector<FlowRecord> clean_subset(const TraceSet& trace, const FaultReport& report) {
+  std::vector<FlowRecord> out;
+  for (std::size_t i = 0; i < trace.flows().size(); ++i) {
+    if (!report.corrupted(i)) out.push_back(trace.flows()[i]);
+  }
+  return out;
+}
+
+TEST(FaultInjector, DeterministicForSameSeed) {
+  const TraceSet trace = sample_trace();
+  const std::string csv = csv_bytes(trace);
+  FaultInjectorConfig cfg;
+  cfg.seed = 42;
+  cfg.fault_rate = 0.3;
+  cfg.crlf_rate = 0.2;
+  FaultReport r1, r2;
+  const std::string a = FaultInjector(cfg).corrupt_csv(csv, r1);
+  const std::string b = FaultInjector(cfg).corrupt_csv(csv, r2);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(r1.fault_count(), r2.fault_count());
+  for (std::size_t i = 0; i < r1.faults.size(); ++i) {
+    EXPECT_EQ(r1.faults[i].flow_index, r2.faults[i].flow_index);
+    EXPECT_EQ(r1.faults[i].kind, r2.faults[i].kind);
+  }
+
+  cfg.seed = 43;
+  FaultReport r3;
+  const std::string c = FaultInjector(cfg).corrupt_csv(csv, r3);
+  EXPECT_NE(a, c);  // a different seed corrupts a different subset
+}
+
+TEST(FaultInjector, SkipPolicyRecoversEveryInjectedFault) {
+  const TraceSet trace = sample_trace(300, 7);
+  const std::string csv = csv_bytes(trace);
+  FaultInjectorConfig cfg;
+  cfg.seed = 9;
+  cfg.fault_rate = 0.25;
+  cfg.crlf_rate = 0.1;
+  FaultReport report;
+  const std::string corrupted = FaultInjector(cfg).corrupt_csv(csv, report);
+  ASSERT_GT(report.fault_count(), 10u);  // the workload actually corrupts
+  EXPECT_EQ(report.flow_lines, trace.flows().size());
+
+  std::stringstream in(corrupted);
+  TraceReader reader(in, ErrorPolicy::skip());
+  std::vector<FlowRecord> decoded;
+  FlowRecord rec;
+  while (reader.next(rec)) decoded.push_back(rec);
+
+  const IngestStats& stats = reader.ingest_stats();
+  // Every injected fault is quarantined — no more (benign CRLF lines must
+  // parse), no fewer (every corruption must be unparseable).
+  EXPECT_EQ(stats.records_quarantined, report.fault_count());
+  EXPECT_EQ(stats.records_ok, trace.flows().size() - report.fault_count());
+  EXPECT_GE(stats.resync_events, 1u);
+  EXPECT_LE(stats.resync_events, stats.records_quarantined);
+  EXPECT_FALSE(stats.first_error.empty());
+  EXPECT_GT(stats.first_error_record, 0u);
+
+  // The surviving records decode to exactly the clean subset.
+  const std::vector<FlowRecord> expected = clean_subset(trace, report);
+  ASSERT_EQ(decoded.size(), expected.size());
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_EQ(decoded[i], expected[i]) << "flow " << i;
+  }
+}
+
+TEST(FaultInjector, TailTruncationIsAccountedFor) {
+  const TraceSet trace = sample_trace(60, 3);
+  FaultInjectorConfig cfg;
+  cfg.seed = 5;
+  cfg.fault_rate = 0.0;
+  cfg.truncate_tail = true;
+  FaultReport report;
+  const std::string corrupted = FaultInjector(cfg).corrupt_csv(csv_bytes(trace), report);
+  ASSERT_EQ(report.fault_count(), 1u);
+  EXPECT_EQ(report.faults[0].kind, FaultKind::kMidRecordTruncation);
+  EXPECT_EQ(report.faults[0].flow_index, trace.flows().size() - 1);
+
+  std::stringstream in(corrupted);
+  TraceReader reader(in, ErrorPolicy::skip());
+  std::vector<FlowRecord> decoded;
+  FlowRecord rec;
+  while (reader.next(rec)) decoded.push_back(rec);
+  EXPECT_EQ(decoded.size(), trace.flows().size() - 1);
+  EXPECT_EQ(reader.ingest_stats().records_quarantined, 1u);
+}
+
+TEST(FaultInjector, CrlfMixingIsBenign) {
+  const TraceSet trace = sample_trace(80, 11);
+  FaultInjectorConfig cfg;
+  cfg.seed = 2;
+  cfg.fault_rate = 0.0;
+  cfg.crlf_rate = 1.0;
+  FaultReport report;
+  const std::string mixed = FaultInjector(cfg).corrupt_csv(csv_bytes(trace), report);
+  EXPECT_EQ(report.fault_count(), 0u);
+  EXPECT_GT(report.crlf_lines, 0u);
+
+  std::stringstream in(mixed);
+  TraceReader reader(in, ErrorPolicy::skip());
+  const TraceSet decoded = reader.read_all();
+  EXPECT_EQ(reader.ingest_stats().records_quarantined, 0u);
+  ASSERT_EQ(decoded.flows().size(), trace.flows().size());
+  for (std::size_t i = 0; i < decoded.flows().size(); ++i) {
+    EXPECT_EQ(decoded.flows()[i], trace.flows()[i]) << "flow " << i;
+  }
+}
+
+TEST(FaultInjector, StrictPolicyStillThrows) {
+  const TraceSet trace = sample_trace(100, 13);
+  FaultInjectorConfig cfg;
+  cfg.seed = 17;
+  cfg.fault_rate = 0.2;
+  FaultReport report;
+  const std::string corrupted = FaultInjector(cfg).corrupt_csv(csv_bytes(trace), report);
+  ASSERT_GT(report.fault_count(), 0u);
+
+  std::stringstream in(corrupted);
+  TraceReader reader(in);  // default policy: strict
+  FlowRecord rec;
+  EXPECT_THROW(
+      {
+        while (reader.next(rec)) {
+        }
+      },
+      util::Error);
+  EXPECT_EQ(reader.ingest_stats().records_quarantined, 0u);
+}
+
+TEST(FaultInjector, StopAfterBudgetsQuarantines) {
+  const TraceSet trace = sample_trace(150, 19);
+  FaultInjectorConfig cfg;
+  cfg.seed = 23;
+  cfg.fault_rate = 0.2;
+  FaultReport report;
+  const std::string corrupted = FaultInjector(cfg).corrupt_csv(csv_bytes(trace), report);
+  ASSERT_GE(report.fault_count(), 3u);
+
+  const auto drain = [&](ErrorPolicy policy) {
+    std::stringstream in(corrupted);
+    TraceReader reader(in, policy);
+    FlowRecord rec;
+    while (reader.next(rec)) {
+    }
+    return reader.ingest_stats().records_quarantined;
+  };
+
+  // A budget below the fault count throws on fault budget+1...
+  {
+    std::stringstream in(corrupted);
+    TraceReader reader(in, ErrorPolicy::stop_after(report.fault_count() - 1));
+    FlowRecord rec;
+    EXPECT_THROW(
+        {
+          while (reader.next(rec)) {
+          }
+        },
+        util::Error);
+    EXPECT_EQ(reader.ingest_stats().records_quarantined, report.fault_count() - 1);
+  }
+  // ...while a budget at or above it behaves exactly like kSkip.
+  EXPECT_EQ(drain(ErrorPolicy::stop_after(report.fault_count())), report.fault_count());
+  EXPECT_EQ(drain(ErrorPolicy::skip()), report.fault_count());
+}
+
+TEST(FaultInjector, ConsecutiveBadLinesAreOneResyncEvent) {
+  const TraceSet trace = sample_trace(6, 29);
+  std::string csv = csv_bytes(trace);
+  // Hand-build a burst: three garbage lines in the middle of the stream.
+  const std::size_t header_end = csv.find("payload\n") + 8;
+  const std::size_t second_line = csv.find('\n', header_end) + 1;
+  csv.insert(second_line, "garbage one\n???\n,,,,\n");
+
+  std::stringstream in(csv);
+  TraceReader reader(in, ErrorPolicy::skip());
+  FlowRecord rec;
+  while (reader.next(rec)) {
+  }
+  const IngestStats& stats = reader.ingest_stats();
+  EXPECT_EQ(stats.records_quarantined, 3u);
+  EXPECT_EQ(stats.resync_events, 1u);
+  EXPECT_EQ(stats.records_ok, trace.flows().size());
+}
+
+TEST(FaultInjector, BinaryBadEnumByteIsQuarantinedInPlace) {
+  // Payload-free records are fixed 63 bytes; with 2 truth entries the first
+  // record starts at byte 50 and its proto byte sits at offset +12.
+  const TraceSet trace = sample_trace(20, 31, /*payloads=*/false);
+  std::stringstream buffer;
+  write_binary(buffer, trace);
+  std::string bytes = buffer.str();
+  const std::size_t first_record = 4 + 4 + 8 + 8 + 8 + 2 * 5 + 8;
+  bytes[first_record + 12] = static_cast<char>(0xFF);  // invalid Protocol
+
+  std::stringstream in(bytes);
+  TraceReader reader(in, ErrorPolicy::skip());
+  std::vector<FlowRecord> decoded;
+  FlowRecord rec;
+  while (reader.next(rec)) decoded.push_back(rec);
+
+  const IngestStats& stats = reader.ingest_stats();
+  EXPECT_EQ(stats.records_quarantined, 1u);
+  EXPECT_FALSE(stats.lost_sync);
+  ASSERT_EQ(decoded.size(), trace.flows().size() - 1);
+  // Framing was preserved: every record after the corrupt one decodes intact.
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_EQ(decoded[i], trace.flows()[i + 1]) << "flow " << i;
+  }
+}
+
+TEST(FaultInjector, BinaryMidRecordTruncationLosesSyncGracefully) {
+  const TraceSet trace = sample_trace(20, 37, /*payloads=*/false);
+  std::stringstream buffer;
+  write_binary(buffer, trace);
+  const std::string bytes = buffer.str();
+  const std::size_t first_record = 4 + 4 + 8 + 8 + 8 + 2 * 5 + 8;
+  // Keep 10 full records plus half of the 11th.
+  const std::string truncated = bytes.substr(0, first_record + 10 * 63 + 30);
+
+  {
+    std::stringstream in(truncated);
+    TraceReader reader(in, ErrorPolicy::skip());
+    std::vector<FlowRecord> decoded;
+    FlowRecord rec;
+    while (reader.next(rec)) decoded.push_back(rec);
+    EXPECT_EQ(decoded.size(), 10u);
+    EXPECT_TRUE(reader.ingest_stats().lost_sync);
+    EXPECT_EQ(reader.ingest_stats().records_quarantined, 1u);
+  }
+  {
+    std::stringstream in(truncated);
+    TraceReader reader(in);  // strict: same corruption must still throw
+    FlowRecord rec;
+    EXPECT_THROW(
+        {
+          while (reader.next(rec)) {
+          }
+        },
+        util::IoError);
+  }
+}
+
+TEST(FaultInjector, SkipPolicyVerdictsMatchCleanSubset) {
+  // The acceptance bar: detection over a corrupted trace under kSkip is
+  // indistinguishable from detection over the records that survived.
+  const TraceSet trace = sample_trace(400, 41);
+  FaultInjectorConfig cfg;
+  cfg.seed = 43;
+  cfg.fault_rate = 0.15;
+  cfg.crlf_rate = 0.1;
+  FaultReport report;
+  const std::string corrupted = FaultInjector(cfg).corrupt_csv(csv_bytes(trace), report);
+  ASSERT_GT(report.fault_count(), 0u);
+
+  const auto run = [](auto&& feed_fn) {
+    std::vector<detect::WindowVerdict> verdicts;
+    detect::StreamingConfig cfg2;
+    cfg2.window = 21600.0;
+    cfg2.is_internal = detect::default_internal_predicate;
+    detect::StreamingDetector detector(
+        cfg2, [&](const detect::WindowVerdict& v) { verdicts.push_back(v); });
+    feed_fn(detector);
+    detector.flush();
+    return verdicts;
+  };
+
+  const auto corrupted_verdicts = run([&](detect::StreamingDetector& d) {
+    std::stringstream in(corrupted);
+    TraceReader reader(in, ErrorPolicy::skip());
+    FlowRecord rec;
+    while (reader.next(rec)) d.ingest(rec);
+  });
+  const auto clean_verdicts = run([&](detect::StreamingDetector& d) {
+    for (const FlowRecord& rec : clean_subset(trace, report)) d.ingest(rec);
+  });
+
+  ASSERT_EQ(corrupted_verdicts.size(), clean_verdicts.size());
+  for (std::size_t i = 0; i < corrupted_verdicts.size(); ++i) {
+    const auto& a = corrupted_verdicts[i];
+    const auto& b = clean_verdicts[i];
+    EXPECT_EQ(a.flows_seen, b.flows_seen);
+    EXPECT_EQ(a.result.input, b.result.input);
+    EXPECT_EQ(a.result.reduced, b.result.reduced);
+    EXPECT_EQ(a.result.s_vol, b.result.s_vol);
+    EXPECT_EQ(a.result.s_churn, b.result.s_churn);
+    EXPECT_EQ(a.result.plotters, b.result.plotters);
+  }
+}
+
+}  // namespace
+}  // namespace tradeplot::netflow

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "util/error.h"
@@ -31,7 +32,8 @@ TraceSet sample_trace(int flows = 25, std::uint64_t seed = 1) {
     r.bytes_src = static_cast<std::uint64_t>(rng.uniform_int(0, 100000));
     r.bytes_dst = static_cast<std::uint64_t>(rng.uniform_int(0, 1000000));
     r.state = r.pkts_dst == 0 ? FlowState::kAttempted : FlowState::kEstablished;
-    if (rng.chance(0.5)) r.set_payload(std::string_view("\xe3\x01\x02binary\x00payload", 18));
+    if (rng.chance(0.5))
+      r.set_payload(std::string_view("\xe3\x01\x02" "binary\x00" "payload", 17));
     trace.add_flow(std::move(r));
   }
   return trace;
@@ -303,6 +305,24 @@ TraceSet random_trace(util::Pcg32& rng) {
     trace.add_flow(std::move(r));
   }
   return trace;
+}
+
+TEST(BinaryIo, WriteToFailedSinkThrowsIoError) {
+  // A sink that rejects writes (closed file, full disk) must surface as
+  // util::IoError, not be silently dropped. A never-opened ofstream is the
+  // simplest always-failing ostream.
+  const TraceSet trace = sample_trace();
+  std::ofstream dead;  // no file attached: every write fails
+  EXPECT_THROW(write_binary(dead, trace), util::IoError);
+  std::ofstream dead_csv;
+  EXPECT_THROW(write_csv(dead_csv, trace), util::IoError);
+}
+
+TEST(BinaryIo, WriteFileToBadPathThrowsIoError) {
+  const TraceSet trace = sample_trace();
+  // A directory is not a writable file; the open itself must be checked.
+  EXPECT_THROW(write_binary_file("/tmp", trace), util::IoError);
+  EXPECT_THROW(write_csv_file("/nonexistent-dir/trace.csv", trace), util::IoError);
 }
 
 TEST(PropertyIo, RandomTracesRoundTripBothFormats) {

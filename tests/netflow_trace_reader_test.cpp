@@ -32,7 +32,8 @@ TraceSet sample_trace(int flows = 50, std::uint64_t seed = 1) {
     r.bytes_src = static_cast<std::uint64_t>(rng.uniform_int(0, 100000));
     r.bytes_dst = static_cast<std::uint64_t>(rng.uniform_int(0, 1000000));
     r.state = r.pkts_dst == 0 ? FlowState::kAttempted : FlowState::kEstablished;
-    if (rng.chance(0.5)) r.set_payload(std::string_view("\xe3\x01\x02stream\x00payload", 18));
+    if (rng.chance(0.5))
+      r.set_payload(std::string_view("\xe3\x01\x02" "stream\x00" "payload", 17));
     trace.add_flow(std::move(r));
   }
   return trace;

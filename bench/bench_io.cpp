@@ -6,13 +6,19 @@
 // baseline) and the current TraceReader-backed read_csv_file /
 // read_binary_file. Every pass is verified to decode the identical TraceSet.
 //
-//   bench_io [flows]
+//   bench_io [flows] [--json <path>]
+//
+// --json writes a machine-readable report to <path>. TRADEPLOT_THREADS is
+// parsed strictly (the readers are single-threaded, but a malformed value in
+// the environment should fail any bench run, not be silently ignored): a bad
+// value aborts with the pinned config error on stderr and exit code 2.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,6 +26,7 @@
 #include "netflow/io.h"
 #include "netflow/trace_reader.h"
 #include "util/error.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 using namespace tradeplot;
@@ -242,8 +249,27 @@ void report(const char* format, std::size_t flows, const Timed& before, const Ti
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t flows =
-      argc > 1 ? static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10)) : 1'000'000;
+  std::size_t flows = 1'000'000;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-') {
+      flows = static_cast<std::size_t>(std::strtoull(arg.c_str(), nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: bench_io [flows] [--json <path>]\n");
+      return 2;
+    }
+  }
+
+  std::optional<std::size_t> env_threads;
+  try {
+    env_threads = util::threads_env_strict();
+  } catch (const util::ConfigError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 
   std::printf("==============================================================\n");
   std::printf("bench_io - trace ingestion throughput, %zu flows\n", flows);
@@ -273,6 +299,45 @@ int main(int argc, char** argv) {
                   traces_equal(trace, bin_before.trace) && traces_equal(trace, bin_after.trace);
   std::printf("\n  all four decoded traces identical to the generated one: %s\n",
               ok ? "PASS" : "FAIL");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "bench_io: cannot write JSON to %s\n", json_path.c_str());
+      return 1;
+    }
+    const auto mflows = [flows](const Timed& t) {
+      return static_cast<double>(flows) / t.seconds / 1e6;
+    };
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\n"
+        "  \"bench\": \"bench_io\",\n"
+        "  \"flows\": %zu,\n"
+        "  \"tradeplot_threads\": %s,\n"
+        "  \"formats\": [\n"
+        "    {\"format\": \"csv\", \"legacy_s\": %.3f, \"current_s\": %.3f,\n"
+        "     \"legacy_mflows_per_s\": %.3f, \"current_mflows_per_s\": %.3f,\n"
+        "     \"speedup_vs_legacy\": %.3f},\n"
+        "    {\"format\": \"binary\", \"legacy_s\": %.3f, \"current_s\": %.3f,\n"
+        "     \"legacy_mflows_per_s\": %.3f, \"current_mflows_per_s\": %.3f,\n"
+        "     \"speedup_vs_legacy\": %.3f}\n"
+        "  ],\n"
+        "  \"decoded_traces_identical\": %s\n"
+        "}\n",
+        flows, env_threads ? std::to_string(*env_threads).c_str() : "null",
+        csv_before.seconds, csv_after.seconds, mflows(csv_before), mflows(csv_after),
+        csv_before.seconds / csv_after.seconds, bin_before.seconds, bin_after.seconds,
+        mflows(bin_before), mflows(bin_after), bin_before.seconds / bin_after.seconds,
+        ok ? "true" : "false");
+    out << buf;
+    if (!out.flush()) {
+      std::fprintf(stderr, "bench_io: cannot write JSON to %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("  JSON report written to %s\n", json_path.c_str());
+  }
 
   std::filesystem::remove(csv_path);
   std::filesystem::remove(bin_path);

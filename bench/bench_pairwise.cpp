@@ -1,38 +1,105 @@
-// Serial vs. parallel pairwise-distance kernels (the θ_hm hot path).
+// The θ_hm pairwise-distance hot path: pre-PR kernels vs. flat kernels.
 //
-// For host counts 64/256/1024 and small/large histogram signatures, times
-// stats::pairwise_emd and detect::pairwise_bin_l1 at 1 thread (the serial
-// reference path) and at 2/4/8/auto threads, and verifies the parallel
-// matrices are bit-identical to the serial ones — the determinism contract
-// of util::parallel_for. Speedups are hardware-dependent: expect ~linear
-// scaling up to the physical core count and ~1x beyond it.
+// Times stats::pairwise_emd and detect::pairwise_bin_l1 against the seed
+// implementations (reproduced below verbatim as the `legacy` baseline) for
+// several host/signature sizes at 1/2/4/8/auto threads, and verifies the
+// determinism contract: every flat EMD matrix is bit-identical to the legacy
+// serial matrix, and every parallel flat matrix is bit-identical to the flat
+// serial one. The legacy bin-L1 summed histogram bins in unordered_map
+// iteration order, so it is compared to the flat kernel within 1e-9 instead
+// of bitwise; the flat bin-L1 is still bit-identical across thread counts.
+//
+//   bench_pairwise [--quick] [--json <path>]
+//
+// --quick shrinks the matrix sizes for CI smoke runs; --json writes the
+// machine-readable report (config, threads, ns/pair, speedups) to <path>.
+// TRADEPLOT_THREADS is parsed strictly: a malformed value aborts with the
+// pinned config error on stderr and exit code 2.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
+#include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "detect/human_machine.h"
 #include "stats/emd.h"
-#include "stats/histogram.h"
+#include "util/error.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
 using namespace tradeplot;
 
+namespace legacy {
+
+// The seed repo's kernels, kept as the measurement baseline. Do not
+// modernize: the point of this file is to quantify what the flat
+// signature-set rewrite bought.
+
+std::vector<double> pairwise_emd(const std::vector<stats::Signature>& sigs,
+                                 std::size_t threads) {
+  const std::size_t n = sigs.size();
+  std::vector<double> d(n * n, 0.0);
+  if (n < 2) return d;
+  util::parallel_for(0, n, 1, threads, [&](std::size_t i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = stats::emd_1d(sigs[i], sigs[j]);
+      d[i * n + j] = v;
+      d[j * n + i] = v;
+    }
+  });
+  return d;
+}
+
+std::vector<double> pairwise_bin_l1(const std::vector<stats::Signature>& sigs,
+                                    const detect::HumanMachineConfig& config) {
+  const double grid = config.fixed_bin_width > 0.0 ? config.fixed_bin_width : 60.0;
+  const std::size_t n = sigs.size();
+  std::vector<std::unordered_map<long long, double>> binned(n);
+  util::parallel_for(0, n, 8, config.threads, [&](std::size_t i) {
+    for (const stats::SignaturePoint& p : sigs[i]) {
+      binned[i][std::llround(std::floor(p.position / grid))] += p.weight;
+    }
+  });
+  std::vector<double> d(n * n, 0.0);
+  util::parallel_for(0, n, 1, config.threads, [&](std::size_t i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double l1 = 0.0;
+      for (const auto& [bin, w] : binned[i]) {
+        const auto it = binned[j].find(bin);
+        l1 += std::abs(w - (it == binned[j].end() ? 0.0 : it->second));
+      }
+      for (const auto& [bin, w] : binned[j]) {
+        if (!binned[i].contains(bin)) l1 += w;
+      }
+      d[i * n + j] = l1;
+      d[j * n + i] = l1;
+    }
+  });
+  return d;
+}
+
+}  // namespace legacy
+
 namespace {
 
-std::vector<stats::Signature> make_signatures(std::size_t hosts, std::size_t samples,
+// Raw signatures with a fixed point count: unsorted lognormal positions and
+// non-uniform weights, the shape the interstitial histograms feed the kernel.
+std::vector<stats::Signature> make_signatures(std::size_t hosts, std::size_t points,
                                               std::uint64_t seed) {
   util::Pcg32 rng(seed);
-  std::vector<stats::Signature> sigs;
-  sigs.reserve(hosts);
-  for (std::size_t h = 0; h < hosts; ++h) {
-    std::vector<double> v(samples);
-    for (double& x : v) x = rng.lognormal(4.0, 1.2);
-    sigs.push_back(stats::Histogram::with_fd_width(v).signature());
+  std::vector<stats::Signature> sigs(hosts);
+  for (auto& sig : sigs) {
+    sig.reserve(points);
+    for (std::size_t p = 0; p < points; ++p) {
+      sig.push_back({rng.lognormal(4.0, 1.2), rng.uniform(0.5, 1.5)});
+    }
   }
   return sigs;
 }
@@ -49,57 +116,225 @@ bool bit_identical(const std::vector<double>& a, const std::vector<double>& b) {
          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
 }
 
+double max_abs_diff(const std::vector<double>& a, const std::vector<double>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+struct Run {
+  std::size_t threads = 0;
+  double legacy_ms = 0.0;
+  double flat_ms = 0.0;
+  bool bit_identical = false;  // EMD: vs legacy serial; bin-L1: vs flat serial
+};
+
+struct ConfigReport {
+  const char* kernel = "";
+  std::size_t hosts = 0;
+  std::size_t points = 0;
+  std::size_t pairs = 0;
+  std::vector<Run> runs;
+  double bin_l1_max_diff_vs_legacy = 0.0;  // bin-L1 only
+};
+
+double ns_per_pair(double ms, std::size_t pairs) {
+  return pairs == 0 ? 0.0 : ms * 1e6 / static_cast<double>(pairs);
+}
+
+void write_json(const std::string& path, bool quick,
+                const std::optional<std::size_t>& env_threads,
+                const std::vector<ConfigReport>& reports, bool deterministic) {
+  std::ofstream out(path);
+  if (!out) throw util::IoError("bench_pairwise: cannot write JSON to " + path);
+  out << "{\n  \"bench\": \"bench_pairwise\",\n";
+  out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  out << "  \"tradeplot_threads\": ";
+  if (env_threads) {
+    out << *env_threads;
+  } else {
+    out << "null";
+  }
+  out << ",\n  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"configs\": [\n";
+  for (std::size_t c = 0; c < reports.size(); ++c) {
+    const ConfigReport& r = reports[c];
+    out << "    {\n      \"kernel\": \"" << r.kernel << "\",\n";
+    out << "      \"hosts\": " << r.hosts << ",\n";
+    out << "      \"points_per_signature\": " << r.points << ",\n";
+    out << "      \"pairs\": " << r.pairs << ",\n";
+    if (std::string(r.kernel) == "bin_l1") {
+      char diff[32];
+      std::snprintf(diff, sizeof diff, "%.3e", r.bin_l1_max_diff_vs_legacy);
+      out << "      \"max_abs_diff_vs_legacy\": " << diff << ",\n";
+    }
+    const double flat_serial_ms = r.runs.front().flat_ms;
+    out << "      \"runs\": [\n";
+    for (std::size_t i = 0; i < r.runs.size(); ++i) {
+      const Run& run = r.runs[i];
+      char buf[512];
+      std::snprintf(buf, sizeof buf,
+                    "        {\"threads\": %zu, \"legacy_ms\": %.3f, \"flat_ms\": %.3f, "
+                    "\"legacy_ns_per_pair\": %.1f, \"flat_ns_per_pair\": %.1f, "
+                    "\"speedup_vs_legacy\": %.3f, \"speedup_vs_serial\": %.3f, "
+                    "\"bit_identical\": %s}%s\n",
+                    run.threads, run.legacy_ms, run.flat_ms,
+                    ns_per_pair(run.legacy_ms, r.pairs), ns_per_pair(run.flat_ms, r.pairs),
+                    run.legacy_ms / run.flat_ms, flat_serial_ms / run.flat_ms,
+                    run.bit_identical ? "true" : "false",
+                    i + 1 < r.runs.size() ? "," : "");
+      out << buf;
+    }
+    out << "      ]\n    }" << (c + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"determinism\": \"" << (deterministic ? "pass" : "fail") << "\"\n}\n";
+  if (!out.flush()) throw util::IoError("bench_pairwise: cannot write JSON to " + path);
+}
+
 }  // namespace
 
-int main() {
-  std::printf("==============================================================\n");
-  std::printf("bench_pairwise - serial vs parallel pairwise distance kernels\n");
-  std::printf("==============================================================\n");
-  std::printf("  hardware threads: %zu, TRADEPLOT_THREADS-resolved: %zu\n\n",
-              static_cast<std::size_t>(std::thread::hardware_concurrency()),
-              util::resolve_threads(0));
-
-  const std::size_t thread_counts[] = {2, 4, 8, util::resolve_threads(0)};
-  bool all_identical = true;
-
-  for (const std::size_t samples : {200UL, 2000UL}) {
-    for (const std::size_t hosts : {64UL, 256UL, 1024UL}) {
-      const auto sigs = make_signatures(hosts, samples, 20100621 + hosts);
-      std::size_t points = 0;
-      for (const auto& s : sigs) points += s.size();
-      std::printf("  %4zu hosts, ~%3zu signature points (EMD):\n", hosts,
-                  points / hosts);
-
-      std::vector<double> serial;
-      const double serial_ms = time_ms([&] { return stats::pairwise_emd(sigs, 1); }, serial);
-      std::printf("    %-10s %9.1f ms\n", "serial", serial_ms);
-      for (const std::size_t t : thread_counts) {
-        std::vector<double> parallel;
-        const double ms =
-            time_ms([&] { return stats::pairwise_emd(sigs, t); }, parallel);
-        const bool same = bit_identical(serial, parallel);
-        all_identical = all_identical && same;
-        std::printf("    %zu threads  %9.1f ms   speedup %5.2fx   bit-identical: %s\n", t, ms,
-                    serial_ms / ms, same ? "yes" : "NO");
-      }
-
-      detect::HumanMachineConfig l1;
-      l1.threads = 1;
-      std::vector<double> l1_serial;
-      const double l1_serial_ms =
-          time_ms([&] { return detect::pairwise_bin_l1(sigs, l1); }, l1_serial);
-      std::printf("    bin-L1 serial %6.1f ms", l1_serial_ms);
-      l1.threads = util::resolve_threads(0);
-      std::vector<double> l1_parallel;
-      const double l1_ms = time_ms([&] { return detect::pairwise_bin_l1(sigs, l1); }, l1_parallel);
-      const bool l1_same = bit_identical(l1_serial, l1_parallel);
-      all_identical = all_identical && l1_same;
-      std::printf(", auto %6.1f ms, speedup %5.2fx, bit-identical: %s\n\n", l1_ms,
-                  l1_serial_ms / l1_ms, l1_same ? "yes" : "NO");
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_pairwise [--quick] [--json <path>]\n");
+      return 2;
     }
   }
 
-  std::printf("  determinism: %s\n", all_identical ? "PASS (all matrices bit-identical)"
-                                                   : "FAIL (parallel != serial)");
-  return all_identical ? 0 : 1;
+  // Strict TRADEPLOT_THREADS: a garbage value must fail the run up front,
+  // not silently fall back to hardware concurrency mid-benchmark.
+  std::optional<std::size_t> env_threads;
+  try {
+    env_threads = util::threads_env_strict();
+  } catch (const util::ConfigError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  std::printf("==============================================================\n");
+  std::printf("bench_pairwise - theta_hm distance kernels, legacy vs flat\n");
+  std::printf("==============================================================\n");
+  std::printf("  hardware threads: %zu, TRADEPLOT_THREADS: %s\n\n",
+              static_cast<std::size_t>(std::thread::hardware_concurrency()),
+              env_threads ? std::to_string(*env_threads).c_str() : "(unset)");
+
+  struct Shape {
+    std::size_t hosts;
+    std::size_t points;
+  };
+  const std::vector<Shape> shapes = quick
+      ? std::vector<Shape>{{96, 32}}
+      : std::vector<Shape>{{256, 64}, {512, 64}, {512, 256}};
+  std::vector<std::size_t> thread_counts = {1};
+  if (!quick) {
+    thread_counts.push_back(2);
+    thread_counts.push_back(4);
+    thread_counts.push_back(8);
+  }
+  const std::size_t auto_threads = util::resolve_threads(0);
+  thread_counts.push_back(auto_threads);
+  // Drop repeats (e.g. auto == 8, or auto == 1 on a single-core box) so each
+  // timing appears once; the serial reference stays first.
+  std::vector<std::size_t> unique_counts;
+  for (const std::size_t t : thread_counts) {
+    if (std::find(unique_counts.begin(), unique_counts.end(), t) == unique_counts.end()) {
+      unique_counts.push_back(t);
+    }
+  }
+  thread_counts = std::move(unique_counts);
+
+  std::vector<ConfigReport> reports;
+  bool deterministic = true;
+
+  for (const Shape& shape : shapes) {
+    const auto sigs = make_signatures(shape.hosts, shape.points, 20100621 + shape.hosts);
+    const std::size_t pairs = shape.hosts * (shape.hosts - 1) / 2;
+
+    // -- EMD ---------------------------------------------------------------
+    ConfigReport emd;
+    emd.kernel = "emd";
+    emd.hosts = shape.hosts;
+    emd.points = shape.points;
+    emd.pairs = pairs;
+    std::printf("  %4zu hosts x %3zu points, EMD:\n", shape.hosts, shape.points);
+    std::vector<double> legacy_serial;
+    std::vector<double> flat_serial;
+    for (const std::size_t t : thread_counts) {
+      Run run;
+      run.threads = t;
+      std::vector<double> legacy_m;
+      run.legacy_ms = time_ms([&] { return legacy::pairwise_emd(sigs, t); }, legacy_m);
+      std::vector<double> flat_m;
+      run.flat_ms = time_ms([&] { return stats::pairwise_emd(sigs, t); }, flat_m);
+      if (t == thread_counts.front()) {
+        legacy_serial = std::move(legacy_m);
+        flat_serial = flat_m;
+      }
+      run.bit_identical = bit_identical(flat_m, legacy_serial) &&
+                          bit_identical(flat_m, flat_serial);
+      deterministic = deterministic && run.bit_identical;
+      std::printf("    %2zu threads  legacy %8.1f ms  flat %8.1f ms  "
+                  "speedup %5.2fx  bit-identical: %s\n",
+                  t, run.legacy_ms, run.flat_ms, run.legacy_ms / run.flat_ms,
+                  run.bit_identical ? "yes" : "NO");
+      emd.runs.push_back(run);
+    }
+    reports.push_back(std::move(emd));
+
+    // -- bin-L1 ------------------------------------------------------------
+    ConfigReport l1;
+    l1.kernel = "bin_l1";
+    l1.hosts = shape.hosts;
+    l1.points = shape.points;
+    l1.pairs = pairs;
+    std::printf("  %4zu hosts x %3zu points, bin-L1:\n", shape.hosts, shape.points);
+    detect::HumanMachineConfig cfg;
+    std::vector<double> l1_legacy_serial;
+    std::vector<double> l1_flat_serial;
+    for (const std::size_t t : thread_counts) {
+      Run run;
+      run.threads = t;
+      cfg.threads = t;
+      std::vector<double> legacy_m;
+      run.legacy_ms = time_ms([&] { return legacy::pairwise_bin_l1(sigs, cfg); }, legacy_m);
+      std::vector<double> flat_m;
+      run.flat_ms = time_ms([&] { return detect::pairwise_bin_l1(sigs, cfg); }, flat_m);
+      if (t == thread_counts.front()) {
+        l1_legacy_serial = std::move(legacy_m);
+        l1_flat_serial = flat_m;
+        l1.bin_l1_max_diff_vs_legacy = max_abs_diff(flat_m, l1_legacy_serial);
+      }
+      // The legacy kernel summed in hash order, so cross-implementation
+      // equality is within rounding; the flat kernel itself is bit-stable
+      // across thread counts.
+      run.bit_identical = bit_identical(flat_m, l1_flat_serial) &&
+                          max_abs_diff(flat_m, l1_legacy_serial) <= 1e-9;
+      deterministic = deterministic && run.bit_identical;
+      std::printf("    %2zu threads  legacy %8.1f ms  flat %8.1f ms  "
+                  "speedup %5.2fx  ok: %s\n",
+                  t, run.legacy_ms, run.flat_ms, run.legacy_ms / run.flat_ms,
+                  run.bit_identical ? "yes" : "NO");
+      l1.runs.push_back(run);
+    }
+    std::printf("    max |flat - legacy| = %.3e\n\n", l1.bin_l1_max_diff_vs_legacy);
+    reports.push_back(std::move(l1));
+  }
+
+  std::printf("  determinism: %s\n",
+              deterministic ? "PASS (flat matrices bit-identical across thread counts, "
+                              "EMD bit-identical to legacy)"
+                            : "FAIL");
+
+  if (!json_path.empty()) {
+    write_json(json_path, quick, env_threads, reports, deterministic);
+    std::printf("  JSON report written to %s\n", json_path.c_str());
+  }
+  return deterministic ? 0 : 1;
 }

@@ -2,7 +2,8 @@
 
 namespace tradeplot::detect {
 
-FindPlottersResult find_plotters(const FeatureMap& features, const FindPlottersConfig& config) {
+FindPlottersResult find_plotters(const FeatureMap& features, const FindPlottersConfig& config,
+                                 HmCache* cache) {
   FindPlottersResult result;
   result.input = all_hosts(features);
   if (result.input.empty()) return result;
@@ -11,7 +12,7 @@ FindPlottersResult find_plotters(const FeatureMap& features, const FindPlottersC
   result.s_vol = volume_test(features, result.reduced, config.volume);
   result.s_churn = churn_test(features, result.reduced, config.churn);
   result.vol_or_churn = host_union(result.s_vol, result.s_churn);
-  result.hm = human_machine_test(features, result.vol_or_churn, config.human_machine);
+  result.hm = human_machine_test(features, result.vol_or_churn, config.human_machine, cache);
   result.plotters = result.hm.flagged;
   return result;
 }

@@ -35,8 +35,12 @@ struct FindPlottersResult {
   HostSet plotters;     // final output (== hm.flagged)
 };
 
-/// Runs the full pipeline over the features of one detection window.
+/// Runs the full pipeline over the features of one detection window. A
+/// non-null `cache` is handed to θ_hm so signatures and distance rows of
+/// hosts with unchanged timing buffers are reused across windows (see
+/// detect/hm_cache.h); the result is bit-identical with and without it.
 [[nodiscard]] FindPlottersResult find_plotters(const FeatureMap& features,
-                                               const FindPlottersConfig& config = {});
+                                               const FindPlottersConfig& config = {},
+                                               HmCache* cache = nullptr);
 
 }  // namespace tradeplot::detect

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <map>
 #include <unordered_map>
+#include <utility>
 
+#include "detect/hm_cache.h"
 #include "stats/descriptive.h"
 #include "stats/emd.h"
+#include "stats/flat_signature.h"
 #include "stats/hcluster.h"
 #include "stats/histogram.h"
 #include "util/error.h"
@@ -13,38 +18,224 @@
 
 namespace tradeplot::detect {
 
-std::vector<double> pairwise_bin_l1(const std::vector<stats::Signature>& sigs,
-                                    const HumanMachineConfig& config) {
-  const double grid = config.fixed_bin_width > 0.0 ? config.fixed_bin_width : 60.0;
-  const std::size_t n = sigs.size();
-  std::vector<std::unordered_map<long long, double>> binned(n);
-  util::parallel_for(0, n, 8, config.threads, [&](std::size_t i) {
-    for (const stats::SignaturePoint& p : sigs[i]) {
+namespace {
+
+/// All signatures re-binned once onto the absolute grid, stored flat. The
+/// per-pair kernel is then a straight L1 sweep with no lookups and no
+/// allocation. Two storage forms, bit-identical in the sums they produce
+/// (the sweep visits bins in ascending order either way, and bins where both
+/// signatures are empty contribute an exact 0.0):
+///  * dense  — one weight vector per signature over the population's full
+///             [lo, hi] bin span; branch-free sweep. Used when the span is
+///             modest (the realistic case: interstitials bounded by the
+///             detection window over a 60 s grid).
+///  * sparse — per-signature sorted (bin, weight) arrays with a merge
+///             sweep; keeps memory O(points) when outlier positions blow
+///             the span up.
+class FlatBinSet {
+ public:
+  FlatBinSet(const std::vector<stats::Signature>& sigs, double grid, std::size_t threads) {
+    const std::size_t n = sigs.size();
+    // Validate serially, up front: a malformed signature must throw on the
+    // calling thread before any worker starts.
+    for (const stats::Signature& s : sigs) {
+      double mass = 0.0;
+      for (const stats::SignaturePoint& p : s) {
+        if (p.weight < 0.0) throw util::ConfigError("bin-L1: negative signature weight");
+        mass += p.weight;
+      }
+      if (!(mass > 0.0)) throw util::ConfigError("bin-L1: signature has no mass");
+    }
+
+    // Re-bin each signature once (weights accumulated in point order, bins
+    // sorted). Each slot is written by exactly one task.
+    std::vector<std::vector<std::pair<long long, double>>> sparse(n);
+    util::parallel_for(0, n, 8, threads, [&](std::size_t i) {
       // floor, not truncation: casting p.position / grid rounds toward zero
       // and would merge the two grid cells straddling 0 into one bin.
-      binned[i][std::llround(std::floor(p.position / grid))] += p.weight;
+      std::map<long long, double> acc;
+      for (const stats::SignaturePoint& p : sigs[i]) {
+        acc[std::llround(std::floor(p.position / grid))] += p.weight;
+      }
+      sparse[i].assign(acc.begin(), acc.end());
+    });
+
+    offsets_.resize(n + 1, 0);
+    long long lo = 0, hi = -1;
+    bool any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      offsets_[i + 1] = offsets_[i] + sparse[i].size();
+      if (!sparse[i].empty()) {
+        lo = any ? std::min(lo, sparse[i].front().first) : sparse[i].front().first;
+        hi = any ? std::max(hi, sparse[i].back().first) : sparse[i].back().first;
+        any = true;
+      }
+    }
+    bins_.resize(offsets_[n]);
+    bin_weights_.resize(offsets_[n]);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < sparse[i].size(); ++k) {
+        bins_[offsets_[i] + k] = sparse[i][k].first;
+        bin_weights_[offsets_[i] + k] = sparse[i][k].second;
+      }
+    }
+
+    constexpr long long kDenseMaxBins = 4096;
+    if (any && hi - lo + 1 <= kDenseMaxBins) {
+      dense_ = true;
+      lo_ = lo;
+      width_ = static_cast<std::size_t>(hi - lo + 1);
+      dense_weights_.assign(n * width_, 0.0);
+      util::parallel_for(0, n, 8, threads, [&](std::size_t i) {
+        double* row = dense_weights_.data() + i * width_;
+        for (std::size_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
+          row[static_cast<std::size_t>(bins_[k] - lo_)] = bin_weights_[k];
+        }
+      });
+    }
+  }
+
+  [[nodiscard]] double l1(std::size_t i, std::size_t j) const {
+    double l1 = 0.0;
+    if (dense_) {
+      const double* a = dense_weights_.data() + i * width_;
+      const double* b = dense_weights_.data() + j * width_;
+      for (std::size_t k = 0; k < width_; ++k) l1 += std::abs(a[k] - b[k]);
+      return l1;
+    }
+    std::size_t a = offsets_[i], b = offsets_[j];
+    const std::size_t a_end = offsets_[i + 1], b_end = offsets_[j + 1];
+    while (a < a_end || b < b_end) {
+      if (b >= b_end || (a < a_end && bins_[a] < bins_[b])) {
+        l1 += bin_weights_[a++];
+      } else if (a >= a_end || bins_[b] < bins_[a]) {
+        l1 += bin_weights_[b++];
+      } else {
+        l1 += std::abs(bin_weights_[a++] - bin_weights_[b++]);
+      }
+    }
+    return l1;
+  }
+
+ private:
+  std::vector<long long> bins_;
+  std::vector<double> bin_weights_;
+  std::vector<std::size_t> offsets_;  // n + 1 entries into the sparse arrays
+  bool dense_ = false;
+  long long lo_ = 0;
+  std::size_t width_ = 0;
+  std::vector<double> dense_weights_;  // n * width_ when dense
+};
+
+/// Upper-triangle pairwise fill in cache-blocked tiles (mirrored into the
+/// lower triangle). Each tile owns disjoint cells, so any worker order
+/// produces the identical matrix.
+template <typename CellFn>
+void fill_pairwise_tiled(std::vector<double>& d, std::size_t n, std::size_t threads,
+                         const CellFn& cell) {
+  constexpr std::size_t kTile = 64;
+  const std::size_t tile_count = (n + kTile - 1) / kTile;
+  std::vector<std::pair<std::size_t, std::size_t>> tiles;
+  tiles.reserve(tile_count * (tile_count + 1) / 2);
+  for (std::size_t ti = 0; ti < tile_count; ++ti) {
+    for (std::size_t tj = ti; tj < tile_count; ++tj) tiles.emplace_back(ti, tj);
+  }
+  util::parallel_for(0, tiles.size(), 1, threads, [&](std::size_t t) {
+    const auto [ti, tj] = tiles[t];
+    const std::size_t i_end = std::min(n, (ti + 1) * kTile);
+    const std::size_t j_end = std::min(n, (tj + 1) * kTile);
+    for (std::size_t i = ti * kTile; i < i_end; ++i) {
+      for (std::size_t j = std::max(i + 1, tj * kTile); j < j_end; ++j) {
+        const double v = cell(i, j);
+        d[i * n + j] = v;
+        d[j * n + i] = v;
+      }
     }
   });
+}
+
+double bin_l1_grid(const HumanMachineConfig& config) {
+  return config.fixed_bin_width > 0.0 ? config.fixed_bin_width : 60.0;
+}
+
+/// Distance matrix through the cross-window cache: reuse every pair whose
+/// two hosts' content hashes match the stored entry, compute only the
+/// missing cells with the flat kernels, then retain exactly this window's
+/// pairs (one-window retention keeps the cache — and its checkpoint image —
+/// bounded by the last window's size).
+std::vector<double> cached_distances(const std::vector<stats::Signature>& signatures,
+                                     const std::vector<simnet::Ipv4>& hosts,
+                                     const std::vector<std::uint64_t>& hashes,
+                                     const HumanMachineConfig& config, HmCache& cache) {
+  const std::size_t n = signatures.size();
   std::vector<double> d(n * n, 0.0);
-  util::parallel_for(0, n, 1, config.threads, [&](std::size_t i) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> missing;
+  for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      double l1 = 0.0;
-      for (const auto& [bin, w] : binned[i]) {
-        const auto it = binned[j].find(bin);
-        l1 += std::abs(w - (it == binned[j].end() ? 0.0 : it->second));
+      const auto it = cache.distances.find(HmCache::pair_key(hosts[i], hosts[j]));
+      const std::uint64_t hash_lo = hosts[i].value() < hosts[j].value() ? hashes[i] : hashes[j];
+      const std::uint64_t hash_hi = hosts[i].value() < hosts[j].value() ? hashes[j] : hashes[i];
+      if (it != cache.distances.end() && it->second.hash_lo == hash_lo &&
+          it->second.hash_hi == hash_hi) {
+        d[i * n + j] = it->second.distance;
+        d[j * n + i] = it->second.distance;
+        ++cache.distances_reused;
+      } else {
+        missing.emplace_back(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j));
       }
-      for (const auto& [bin, w] : binned[j]) {
-        if (!binned[i].contains(bin)) l1 += w;
-      }
-      d[i * n + j] = l1;
-      d[j * n + i] = l1;
     }
-  });
+  }
+
+  if (!missing.empty()) {
+    if (config.distance == HmDistance::kBinL1) {
+      const FlatBinSet bins(signatures, bin_l1_grid(config), config.threads);
+      util::parallel_for(0, missing.size(), 64, config.threads, [&](std::size_t k) {
+        const auto [i, j] = missing[k];
+        const double v = bins.l1(i, j);
+        d[i * n + j] = v;
+        d[j * n + i] = v;
+      });
+    } else {
+      const stats::FlatSignatureSet flat(signatures, config.threads);
+      util::parallel_for(0, missing.size(), 64, config.threads, [&](std::size_t k) {
+        const auto [i, j] = missing[k];
+        const double v = stats::emd_1d_presorted(flat.view(i), flat.view(j));
+        d[i * n + j] = v;
+        d[j * n + i] = v;
+      });
+    }
+    cache.distances_computed += missing.size();
+  }
+
+  std::unordered_map<std::uint64_t, HmCache::DistanceEntry> retained;
+  retained.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const std::uint64_t hash_lo = hosts[i].value() < hosts[j].value() ? hashes[i] : hashes[j];
+      const std::uint64_t hash_hi = hosts[i].value() < hosts[j].value() ? hashes[j] : hashes[i];
+      retained.emplace(HmCache::pair_key(hosts[i], hosts[j]),
+                       HmCache::DistanceEntry{hash_lo, hash_hi, d[i * n + j]});
+    }
+  }
+  cache.distances = std::move(retained);
+  return d;
+}
+
+}  // namespace
+
+std::vector<double> pairwise_bin_l1(const std::vector<stats::Signature>& sigs,
+                                    const HumanMachineConfig& config) {
+  const std::size_t n = sigs.size();
+  const FlatBinSet bins(sigs, bin_l1_grid(config), config.threads);
+  std::vector<double> d(n * n, 0.0);
+  if (n < 2) return d;
+  fill_pairwise_tiled(d, n, config.threads,
+                      [&](std::size_t i, std::size_t j) { return bins.l1(i, j); });
   return d;
 }
 
 HumanMachineResult human_machine_test(const FeatureMap& features, const HostSet& input,
-                                      const HumanMachineConfig& config) {
+                                      const HumanMachineConfig& config, HmCache* cache) {
   HumanMachineResult result;
 
   // Select eligible hosts serially (cheap), then build the histogram
@@ -68,8 +259,29 @@ HumanMachineResult human_machine_test(const FeatureMap& features, const HostSet&
     std::sort(result.skipped.begin(), result.skipped.end());
     return result;
   }
+
+  // Content hashes of the timing buffers gate signature reuse: a host whose
+  // interstitials are byte-identical to its cached entry keeps its signature
+  // (and, below, its distance rows) without recomputation.
+  std::vector<std::uint64_t> hashes;
+  std::vector<std::uint8_t> reuse_signature;
+  if (cache != nullptr) {
+    hashes.resize(hosts.size());
+    reuse_signature.assign(hosts.size(), 0);
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      hashes[i] = hm_content_hash(eligible[i]->interstitials, config.fixed_bin_width,
+                                  static_cast<int>(config.distance));
+      const auto it = cache->signatures.find(hosts[i]);
+      reuse_signature[i] = it != cache->signatures.end() && it->second.hash == hashes[i];
+    }
+  }
+
   std::vector<stats::Signature> signatures(hosts.size());
   util::parallel_for(0, hosts.size(), 1, config.threads, [&](std::size_t i) {
+    if (cache != nullptr && reuse_signature[i]) {
+      signatures[i] = cache->signatures.at(hosts[i]).signature;
+      return;
+    }
     const HostFeatures& f = *eligible[i];
     const stats::Histogram hist =
         config.fixed_bin_width > 0.0
@@ -78,10 +290,25 @@ HumanMachineResult human_machine_test(const FeatureMap& features, const HostSet&
     signatures[i] = config.distance == HmDistance::kEmdBinIndex ? hist.index_signature()
                                                                 : hist.signature();
   });
+  if (cache != nullptr) {
+    std::unordered_map<simnet::Ipv4, HmCache::SignatureEntry> retained;
+    retained.reserve(hosts.size());
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      if (reuse_signature[i]) {
+        ++cache->signatures_reused;
+      } else {
+        ++cache->signatures_built;
+      }
+      retained.emplace(hosts[i], HmCache::SignatureEntry{hashes[i], signatures[i]});
+    }
+    cache->signatures = std::move(retained);
+  }
 
-  const std::vector<double> distances = config.distance == HmDistance::kBinL1
-                                            ? pairwise_bin_l1(signatures, config)
-                                            : stats::pairwise_emd(signatures, config.threads);
+  const std::vector<double> distances =
+      cache != nullptr ? cached_distances(signatures, hosts, hashes, config, *cache)
+      : config.distance == HmDistance::kBinL1
+          ? pairwise_bin_l1(signatures, config)
+          : stats::pairwise_emd(signatures, config.threads);
   const stats::Dendrogram dendrogram =
       stats::agglomerative_average_linkage(distances, hosts.size());
   const auto groups = dendrogram.cut_top_fraction(config.cut_fraction);

@@ -19,6 +19,8 @@
 
 namespace tradeplot::detect {
 
+class HmCache;
+
 /// Distance between per-host interstitial-time histograms.
 ///
 ///  * kEmd         — EMD with |seconds| ground distance between bin
@@ -75,15 +77,29 @@ struct HumanMachineResult {
 };
 
 /// Runs θ_hm over `input`. Returns the flagged set plus full diagnostics.
+///
+/// When `cache` is non-null, per-host signatures and pairwise distances are
+/// reused across calls for hosts whose timing buffers (content-hashed) are
+/// unchanged, and only the changed hosts' signatures and matrix rows are
+/// recomputed — the streaming detector's cross-window warm path. Cached
+/// values were produced by the same kernels on identical inputs, so the
+/// result is bit-identical with and without the cache, at every thread
+/// count.
 [[nodiscard]] HumanMachineResult human_machine_test(const FeatureMap& features,
                                                     const HostSet& input,
-                                                    const HumanMachineConfig& config = {});
+                                                    const HumanMachineConfig& config = {},
+                                                    HmCache* cache = nullptr);
 
-/// The kBinL1 distance matrix (the ablation alternative to EMD): both
-/// signatures are re-binned onto an absolute grid of width
-/// config.fixed_bin_width (60 s when unset) anchored at 0, and the
-/// probability masses compared bin by bin. Exposed for the ablation and
-/// pairwise benches; entry [i*n + j] as in stats::pairwise_emd.
+/// The kBinL1 distance matrix (the ablation alternative to EMD): every
+/// signature is re-binned once onto an absolute grid of width
+/// config.fixed_bin_width (60 s when unset) anchored at 0 — a dense
+/// per-signature bin vector when the population's bin span is modest, a
+/// sorted sparse one otherwise (bit-identical either way) — and the per-pair
+/// kernel is a straight allocation-free L1 sweep over two flat arrays.
+/// Signatures are validated up front (pinned ConfigError messages "bin-L1:
+/// negative signature weight" / "bin-L1: signature has no mass", thrown
+/// before any worker runs). Exposed for the ablation and pairwise benches;
+/// entry [i*n + j] as in stats::pairwise_emd.
 [[nodiscard]] std::vector<double> pairwise_bin_l1(const std::vector<stats::Signature>& sigs,
                                                   const HumanMachineConfig& config);
 

@@ -6,9 +6,9 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <type_traits>
 #include <utility>
 
+#include "detect/payload_codec.h"
 #include "netflow/trace_reader.h"
 #include "util/checksum.h"
 #include "util/error.h"
@@ -129,7 +129,8 @@ void StreamingDetector::emit() {
   verdict.hosts_shed = hosts_shed_;
   verdict.timing_samples_shed = timing_samples_shed_;
   if (!features.empty()) {
-    verdict.result = find_plotters(features, config_.pipeline);
+    verdict.result =
+        find_plotters(features, config_.pipeline, config_.signature_cache ? &hm_cache_ : nullptr);
   }
   verdict.features = std::move(features);
   sink_(verdict);
@@ -157,67 +158,18 @@ void StreamingDetector::flush() {
 // The payload opens with the config parameters the state depends on
 // (window D, churn grace) so a restore into a differently-configured
 // detector is rejected instead of silently producing different verdicts.
+//
+// Version 2 appends the θ_hm signature cache (detect/hm_cache.h) after the
+// per-host state, so a resumed monitor keeps its warm cross-window cache.
+// (The codec classes live in detect/payload_codec.h, shared with the cache.)
 
 namespace {
 
 constexpr std::uint32_t kCkptMagic = 0x4B435054;  // "TPCK" on the wire
-constexpr std::uint32_t kCkptVersion = 1;
+constexpr std::uint32_t kCkptVersion = 2;
 /// Upper bound on a plausible checkpoint payload; a corrupted size field
 /// must not make restore attempt a multi-gigabyte allocation.
 constexpr std::uint64_t kCkptMaxPayload = 1ull << 30;
-
-class PayloadWriter {
- public:
-  template <typename T>
-  void put(T value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const char* bytes = reinterpret_cast<const char*>(&value);
-    buf_.append(bytes, sizeof(value));
-  }
-
-  void put_times(const std::vector<double>& v) {
-    put(static_cast<std::uint64_t>(v.size()));
-    if (!v.empty())
-      buf_.append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(double));
-  }
-
-  [[nodiscard]] const std::string& bytes() const { return buf_; }
-
- private:
-  std::string buf_;
-};
-
-class PayloadReader {
- public:
-  explicit PayloadReader(const std::string& buf) : buf_(buf) {}
-
-  template <typename T>
-  T take() {
-    static_assert(std::is_trivially_copyable_v<T>);
-    T value;
-    if (pos_ + sizeof(value) > buf_.size())
-      throw util::ParseError("checkpoint: truncated payload");
-    std::memcpy(&value, buf_.data() + pos_, sizeof(value));
-    pos_ += sizeof(value);
-    return value;
-  }
-
-  std::vector<double> take_times() {
-    const auto n = take<std::uint64_t>();
-    if (pos_ + n * sizeof(double) > buf_.size())
-      throw util::ParseError("checkpoint: truncated payload");
-    std::vector<double> v(static_cast<std::size_t>(n));
-    if (n != 0) std::memcpy(v.data(), buf_.data() + pos_, v.size() * sizeof(double));
-    pos_ += v.size() * sizeof(double);
-    return v;
-  }
-
-  [[nodiscard]] bool exhausted() const { return pos_ == buf_.size(); }
-
- private:
-  const std::string& buf_;
-  std::size_t pos_ = 0;
-};
 
 }  // namespace
 
@@ -254,6 +206,7 @@ void StreamingDetector::save_checkpoint(std::ostream& out) const {
       w.put_times(times);
     }
   }
+  hm_cache_.encode(w);
 
   const std::string& payload = w.bytes();
   const std::uint32_t crc = util::crc32(payload.data(), payload.size());
@@ -337,9 +290,12 @@ void StreamingDetector::restore_checkpoint(std::istream& in) {
     }
     hosts.emplace(host, std::move(state));
   }
+  HmCache cache;
+  cache.decode(r);
   if (!r.exhausted()) throw util::ParseError("checkpoint: trailing bytes in payload");
 
   hosts_ = std::move(hosts);
+  hm_cache_ = std::move(cache);
   window_open_ = open != 0;
   window_start_ = window_start;
   flows_in_window_ = static_cast<std::size_t>(flows_in_window);

@@ -22,6 +22,7 @@
 
 #include "detect/features.h"
 #include "detect/find_plotters.h"
+#include "detect/hm_cache.h"
 
 namespace tradeplot::netflow {
 class TraceReader;
@@ -49,6 +50,11 @@ struct StreamingConfig {
   /// interstitial evidence for the window, and the window's verdict is
   /// marked degraded.
   std::size_t timing_budget = 0;
+  /// Reuse θ_hm signatures and distance rows across windows for hosts whose
+  /// timing buffers are unchanged (see detect/hm_cache.h). Verdicts are
+  /// bit-identical with the cache on or off; only wall clock changes. The
+  /// warm state rides along in checkpoints, so --resume keeps it.
+  bool signature_cache = true;
 };
 
 struct WindowVerdict {
@@ -97,6 +103,12 @@ class StreamingDetector {
   /// forward the trace (see netflow::TraceReader::skip_flows).
   [[nodiscard]] std::uint64_t flows_ingested_total() const { return flows_ingested_total_; }
 
+  /// The cross-window θ_hm cache (signatures, distance rows, and cumulative
+  /// reuse/recompute counters). Counters let tests assert that a window in
+  /// which one host's timing changed rebuilt only that host's signature and
+  /// matrix rows.
+  [[nodiscard]] const HmCache& hm_cache() const { return hm_cache_; }
+
   /// Serializes the full detector state (window bounds, per-host
   /// accumulators, counters) as a versioned, CRC-checked binary image.
   /// A detector restored from the checkpoint and fed the remaining flows
@@ -134,6 +146,8 @@ class StreamingDetector {
     bool timing_shed = false;  // budget shed dropped this host's timing state
   };
   std::unordered_map<simnet::Ipv4, HostState> hosts_;
+
+  HmCache hm_cache_;
 
   double window_start_ = 0.0;
   bool window_open_ = false;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 #include <vector>
 
+#include "stats/flat_signature.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -173,17 +175,38 @@ double emd_transport(const Signature& a, const Signature& b) {
 }
 
 std::vector<double> pairwise_emd(const std::vector<Signature>& sigs, std::size_t threads) {
+  // Preprocess once: validate (up front, on this thread), normalize, sort,
+  // pack. Every per-pair evaluation below is then an allocation-free merge
+  // sweep instead of emd_1d's copy+sort of both signatures.
+  const FlatSignatureSet flat(sigs, threads);
   const std::size_t n = sigs.size();
   std::vector<double> d(n * n, 0.0);
   if (n < 2) return d;
-  // One task per row: row i owns cells (i,j) and (j,i) for j > i, so writers
-  // never overlap. Rows shrink toward the end of the triangle; the dynamic
-  // chunk handout in parallel_for keeps the load balanced anyway.
-  util::parallel_for(0, n, 1, threads, [&](std::size_t i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double v = emd_1d(sigs[i], sigs[j]);
-      d[i * n + j] = v;
-      d[j * n + i] = v;
+
+  // Upper triangle in kTile x kTile tiles: one tile touches at most 2*kTile
+  // signatures' flat data, which stays resident in cache across the tile's
+  // kTile² sweeps. Each tile owns a disjoint set of (i,j) cells — and their
+  // (j,i) mirrors, which no other tile writes — so tiles can run on any
+  // worker in any order and the matrix is bit-identical for every thread
+  // count. Every cell holds exactly the value emd_1d would produce.
+  constexpr std::size_t kTile = 64;
+  const std::size_t tile_count = (n + kTile - 1) / kTile;
+  std::vector<std::pair<std::size_t, std::size_t>> tiles;
+  tiles.reserve(tile_count * (tile_count + 1) / 2);
+  for (std::size_t ti = 0; ti < tile_count; ++ti) {
+    for (std::size_t tj = ti; tj < tile_count; ++tj) tiles.emplace_back(ti, tj);
+  }
+  util::parallel_for(0, tiles.size(), 1, threads, [&](std::size_t t) {
+    const auto [ti, tj] = tiles[t];
+    const std::size_t i_end = std::min(n, (ti + 1) * kTile);
+    const std::size_t j_end = std::min(n, (tj + 1) * kTile);
+    for (std::size_t i = ti * kTile; i < i_end; ++i) {
+      const FlatSignatureView a = flat.view(i);
+      for (std::size_t j = std::max(i + 1, tj * kTile); j < j_end; ++j) {
+        const double v = emd_1d_presorted(a, flat.view(j));
+        d[i * n + j] = v;
+        d[j * n + i] = v;
+      }
     }
   });
   return d;

@@ -34,12 +34,16 @@ using GroundDistance = std::function<double(double, double)>;
 /// emd_transport with |x - y| ground distance.
 [[nodiscard]] double emd_transport(const Signature& a, const Signature& b);
 
-/// Symmetric pairwise EMD matrix (emd_1d) for a set of signatures; entry
-/// [i*n + j] is the distance between signatures i and j. Rows are computed
-/// in parallel on `threads` workers (0 = TRADEPLOT_THREADS env var, else
-/// hardware concurrency; 1 = the serial reference loop); every cell is an
-/// independent pure computation, so the matrix is bit-identical for every
-/// thread count.
+/// Symmetric pairwise EMD matrix for a set of signatures; entry [i*n + j]
+/// is the distance between signatures i and j, bit-identical to
+/// emd_1d(sigs[i], sigs[j]). All signatures are validated up front (pinned
+/// ConfigError messages, thrown before any worker runs), then preprocessed
+/// once into a FlatSignatureSet; the upper triangle is computed in
+/// cache-blocked tiles by the allocation-free emd_1d_presorted kernel and
+/// mirrored. `threads` follows resolve_threads (0 = TRADEPLOT_THREADS env
+/// var, else hardware concurrency; 1 = the serial reference loop); every
+/// cell is an independent pure computation, so the matrix is bit-identical
+/// for every thread count.
 [[nodiscard]] std::vector<double> pairwise_emd(const std::vector<Signature>& sigs,
                                                std::size_t threads);
 

@@ -1,0 +1,124 @@
+#include "stats/flat_signature.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/error.h"
+#include "util/parallel.h"
+
+namespace tradeplot::stats {
+
+FlatSignatureSet::FlatSignatureSet(const std::vector<Signature>& sigs, std::size_t threads) {
+  const std::size_t n = sigs.size();
+  offsets_.resize(n + 1, 0);
+
+  // Validation + total-mass pass, serial and up front: a malformed signature
+  // must surface here, on the calling thread, never from inside a worker.
+  // The weight sums run in the signatures' original point order — the same
+  // order emd_1d's total_weight uses — so the normalized values below are
+  // bit-identical to what emd_1d computes per call.
+  std::vector<double> totals(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double w = 0.0;
+    for (const SignaturePoint& p : sigs[i]) {
+      if (p.weight < 0.0) throw util::ConfigError("EMD: negative signature weight");
+      // A non-finite position would tie with (or pass) the sentinel and send
+      // the sweep's indices out of their slices, so it is rejected here;
+      // emd_1d would only have produced a non-finite distance from it.
+      if (!std::isfinite(p.position)) {
+        throw util::ConfigError("EMD: non-finite signature position");
+      }
+      w += p.weight;
+    }
+    if (!(w > 0.0)) throw util::ConfigError("EMD: signature has no mass");
+    totals[i] = w;
+    // One extra slot per signature holds the +inf sentinel the sweep kernel
+    // relies on to stay branch-free (see emd_1d_presorted).
+    offsets_[i + 1] = offsets_[i] + sigs[i].size() + 1;
+  }
+
+  positions_.resize(offsets_[n]);
+  weights_.resize(offsets_[n]);
+
+  // Normalize + sort + pack, one disjoint slice per signature. The sort runs
+  // over the same normalized SignaturePoint sequence emd_1d sorts (same
+  // values, same comparator), so ties land in the same order and the packed
+  // arrays reproduce emd_1d's working copy exactly.
+  util::parallel_for(0, n, 8, threads, [&](std::size_t i) {
+    Signature sorted = sigs[i];
+    for (SignaturePoint& p : sorted) p.weight /= totals[i];
+    std::sort(sorted.begin(), sorted.end(),
+              [](const SignaturePoint& x, const SignaturePoint& y) {
+                return x.position < y.position;
+              });
+    double* pos = positions_.data() + offsets_[i];
+    double* wgt = weights_.data() + offsets_[i];
+    for (std::size_t k = 0; k < sorted.size(); ++k) {
+      pos[k] = sorted[k].position;
+      wgt[k] = sorted[k].weight;
+    }
+    // Sentinel: a position beyond any real one with zero mass. The kernel may
+    // load (but never consume into the result) this slot.
+    pos[sorted.size()] = std::numeric_limits<double>::infinity();
+    wgt[sorted.size()] = 0.0;
+  });
+}
+
+double emd_1d_presorted(const FlatSignatureView& a, const FlatSignatureView& b) {
+  // The CDF-difference sweep of emd_1d: carry the running F_a - F_b across
+  // the merged support, accumulating |carried| * gap.
+  //
+  // Unlike the reference, this loop consumes exactly ONE point per iteration
+  // and accumulates into emd on EVERY iteration — the merge direction is a
+  // data dependency (conditional moves), not a branch, which is what makes
+  // the sweep fast on the randomly interleaved supports the reference's
+  // branchy merge mispredicts on. Bit-identity with emd_1d is preserved:
+  //  - Ties break toward `a` here exactly as in the reference, so the
+  //    carried sums accumulate the same weights in the same order (all of
+  //    a's equal-position weights before b's — one per iteration).
+  //  - The extra per-iteration terms at a repeated position are exactly
+  //    +0.0: gap = pos - prev_pos = x - x = +0.0, and |carried| * +0.0 is
+  //    +0.0 for any finite carried, so `emd += +0.0` leaves every bit of
+  //    emd unchanged (emd is a sum of non-negative terms, never -0.0).
+  //  - The first iteration's term is +0.0 too (prev_pos is seeded with the
+  //    first merged position and carried is zero), matching the reference's
+  //    skipped first increment.
+  // The one-past-end sentinel slot FlatSignatureSet packs after each slice
+  // (+inf position, zero weight) keeps the exhausted side's loads in bounds;
+  // positions are validated finite at pack time, so a sentinel can never win
+  // the select while the other span still has real points, and the loop runs
+  // exactly size_a + size_b iterations.
+  const double* pa = a.positions;
+  const double* wa = a.weights;
+  const double* pb = b.positions;
+  const double* wb = b.weights;
+  const std::size_t total = a.size + b.size;
+  double emd = 0.0;
+  double carried = 0.0;
+  double prev_pos = (pb[0] < pa[0]) ? pb[0] : pa[0];
+  std::size_t i = 0, j = 0;
+  // Bitwise m ? x : y — the selects must not become branches again under the
+  // compiler, so they are spelled as mask arithmetic rather than ternaries.
+  const auto select = [](std::uint64_t m, double x, double y) {
+    return std::bit_cast<double>((std::bit_cast<std::uint64_t>(x) & m) |
+                                 (std::bit_cast<std::uint64_t>(y) & ~m));
+  };
+  for (std::size_t k = 0; k < total; ++k) {
+    const double ap = pa[i];
+    const double bp = pb[j];
+    // All ones when b's point is strictly smaller; a wins ties, as in emd_1d.
+    const std::uint64_t take_b = -static_cast<std::uint64_t>(bp < ap);
+    const double pos = select(take_b, bp, ap);
+    emd += std::abs(carried) * (pos - prev_pos);
+    carried += select(take_b, -wb[j], wa[i]);
+    j += take_b & 1u;
+    i += ~take_b & 1u;
+    prev_pos = pos;
+  }
+  return emd;
+}
+
+}  // namespace tradeplot::stats

@@ -1,0 +1,71 @@
+// Preprocessed flat signature storage for the θ_hm pairwise-distance kernels.
+//
+// emd_1d copies, normalizes, and sorts *both* signatures on every call, so an
+// O(n²) pairwise sweep redoes O(n) sorts and heap allocations per signature —
+// O(n²·m log m) redundant work. FlatSignatureSet hoists all of that into one
+// preprocessing pass: every signature is validated, normalized to unit mass,
+// sorted by position, and packed into contiguous structure-of-arrays storage
+// (positions[], weights[], offsets[]). The per-pair kernel emd_1d_presorted
+// is then a pure merge sweep over two spans — zero allocation, zero sorting,
+// cache-friendly sequential reads.
+//
+// Determinism contract: emd_1d_presorted over FlatSignatureSet views performs
+// the *identical* floating-point operation sequence as emd_1d on the raw
+// signatures (same normalization order, same std::sort invocation on the same
+// values, same sweep arithmetic), so the results are bit-identical to the
+// reference kernel — and therefore bit-identical at every thread count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace tradeplot::stats {
+
+/// One preprocessed signature inside a FlatSignatureSet: parallel spans of
+/// sorted positions and matching normalized weights.
+struct FlatSignatureView {
+  const double* positions = nullptr;
+  const double* weights = nullptr;
+  std::size_t size = 0;
+};
+
+class FlatSignatureSet {
+ public:
+  /// Validates, normalizes, sorts, and packs all signatures in one pass.
+  /// Validation happens serially up front — before any worker threads run —
+  /// with the same pinned messages as emd_1d ("EMD: negative signature
+  /// weight", "EMD: signature has no mass"), so a bad signature can never
+  /// throw from inside a parallel_for worker. The normalize+sort pass runs
+  /// on `threads` workers (resolve_threads semantics); each signature is
+  /// packed into its own disjoint slice, so the packed data is identical
+  /// for every thread count.
+  explicit FlatSignatureSet(const std::vector<Signature>& sigs, std::size_t threads = 1);
+
+  [[nodiscard]] std::size_t size() const { return offsets_.size() - 1; }
+  [[nodiscard]] std::size_t total_points() const { return positions_.size() - size(); }
+  [[nodiscard]] FlatSignatureView view(std::size_t i) const {
+    // Each slice is followed by one sentinel slot (+inf position, zero
+    // weight) that the sweep kernel may load but never consumes; the view's
+    // size excludes it.
+    return FlatSignatureView{positions_.data() + offsets_[i], weights_.data() + offsets_[i],
+                             offsets_[i + 1] - offsets_[i] - 1};
+  }
+
+ private:
+  std::vector<double> positions_;
+  std::vector<double> weights_;
+  std::vector<std::size_t> offsets_;  // size() + 1 physical slice starts
+};
+
+/// Closed-form 1-D EMD over two preprocessed (normalized, position-sorted)
+/// signatures: the CDF-difference merge sweep of emd_1d without its per-call
+/// copy/normalize/sort, restructured branch-free. Allocation-free;
+/// bit-identical to emd_1d(raw_a, raw_b) when the views come from a
+/// FlatSignatureSet built over the same raw signatures. The views MUST come
+/// from a FlatSignatureSet: the kernel relies on the one-past-end sentinel
+/// slot the set packs after each slice.
+[[nodiscard]] double emd_1d_presorted(const FlatSignatureView& a, const FlatSignatureView& b);
+
+}  // namespace tradeplot::stats

@@ -5,6 +5,8 @@
 #include <exception>
 #include <string>
 
+#include "util/error.h"
+
 namespace tradeplot::util {
 
 std::size_t resolve_threads(std::size_t requested) {
@@ -16,6 +18,18 @@ std::size_t resolve_threads(std::size_t requested) {
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
+}
+
+std::optional<std::size_t> threads_env_strict() {
+  const char* env = std::getenv("TRADEPLOT_THREADS");
+  if (env == nullptr) return std::nullopt;
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || parsed <= 0) {
+    throw ConfigError("TRADEPLOT_THREADS must be a positive integer, got '" +
+                      std::string(env) + "'");
+  }
+  return static_cast<std::size_t>(parsed);
 }
 
 ThreadPool::ThreadPool(std::size_t threads) {

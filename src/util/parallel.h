@@ -15,6 +15,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -22,8 +23,17 @@ namespace tradeplot::util {
 
 /// Effective worker count: `requested` if > 0; else the TRADEPLOT_THREADS
 /// environment variable if set to a positive integer; else
-/// std::thread::hardware_concurrency() (at least 1).
+/// std::thread::hardware_concurrency() (at least 1). Malformed environment
+/// values are silently ignored here (library code must not abort on a bad
+/// env var); user-facing tools validate with threads_env_strict() first.
 [[nodiscard]] std::size_t resolve_threads(std::size_t requested = 0);
+
+/// Strict TRADEPLOT_THREADS parse for the benches and CLI tools: returns
+/// std::nullopt when the variable is unset, its value when it is a positive
+/// integer, and throws ConfigError with the pinned message
+/// "TRADEPLOT_THREADS must be a positive integer, got '<value>'" for
+/// anything else (garbage, zero, negative, trailing junk).
+[[nodiscard]] std::optional<std::size_t> threads_env_strict();
 
 class ThreadPool {
  public:

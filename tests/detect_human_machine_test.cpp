@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
 
+#include "util/error.h"
 #include "util/rng.h"
 
 namespace tradeplot::detect {
@@ -171,6 +175,108 @@ TEST(PairwiseBinL1, NegativeAxisBinsConsistentWithPositive) {
   const std::vector<double> d = pairwise_bin_l1(sigs, config);
   EXPECT_DOUBLE_EQ(d[0 * 4 + 1], d[2 * 4 + 3]);  // one bin apart each
   EXPECT_DOUBLE_EQ(d[1 * 4 + 2], 2.0);           // -30 vs 30: different bins
+}
+
+// The pre-flat formulation of pairwise_bin_l1 for one pair: accumulate each
+// signature into an ordered map keyed by the floor bin, then L1 over the
+// union of bins in ascending order — the operation sequence the flat
+// dense/sparse kernels must reproduce exactly.
+double reference_bin_l1(const stats::Signature& a, const stats::Signature& b, double grid) {
+  const auto binned = [grid](const stats::Signature& s) {
+    std::map<long long, double> acc;
+    for (const stats::SignaturePoint& p : s) {
+      acc[std::llround(std::floor(p.position / grid))] += p.weight;
+    }
+    return acc;
+  };
+  const std::map<long long, double> wa = binned(a);
+  const std::map<long long, double> wb = binned(b);
+  double l1 = 0.0;
+  auto ia = wa.begin();
+  auto ib = wb.begin();
+  while (ia != wa.end() || ib != wb.end()) {
+    if (ib == wb.end() || (ia != wa.end() && ia->first < ib->first)) {
+      l1 += std::abs(ia->second);
+      ++ia;
+    } else if (ia == wa.end() || ib->first < ia->first) {
+      l1 += std::abs(ib->second);
+      ++ib;
+    } else {
+      l1 += std::abs(ia->second - ib->second);
+      ++ia;
+      ++ib;
+    }
+  }
+  return l1;
+}
+
+stats::Signature random_l1_sig(util::Pcg32& rng, bool wide) {
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 30));
+  stats::Signature s;
+  for (std::size_t i = 0; i < n; ++i) {
+    // `wide` scatters mass far enough that the population overflows the
+    // dense-bin budget and the sparse merge path runs instead.
+    const double scale = wide ? 1.0e7 : 600.0;
+    s.push_back({rng.uniform(-scale, scale), rng.uniform(0.0, 2.0)});
+  }
+  s[0].weight += 0.125;
+  return s;
+}
+
+TEST(PairwiseBinL1, FlatKernelMatchesOrderedMapReferenceBitwise) {
+  util::Pcg32 rng(0xB117);
+  HumanMachineConfig config;
+  config.fixed_bin_width = 60.0;
+  for (const bool wide : {false, true}) {
+    std::vector<stats::Signature> sigs;
+    for (int i = 0; i < 20; ++i) sigs.push_back(random_l1_sig(rng, wide));
+    const std::vector<double> d = pairwise_bin_l1(sigs, config);
+    for (std::size_t i = 0; i < sigs.size(); ++i) {
+      for (std::size_t j = i + 1; j < sigs.size(); ++j) {
+        const double ref = reference_bin_l1(sigs[i], sigs[j], 60.0);
+        const double got = d[i * sigs.size() + j];
+        ASSERT_EQ(std::memcmp(&ref, &got, sizeof ref), 0)
+            << (wide ? "sparse" : "dense") << " pair " << i << "," << j << ": reference "
+            << ref << " vs flat " << got;
+        ASSERT_EQ(got, d[j * sigs.size() + i]);  // mirrored
+      }
+    }
+  }
+}
+
+TEST(PairwiseBinL1, BitIdenticalAcrossThreadCounts) {
+  util::Pcg32 rng(0xB118);
+  std::vector<stats::Signature> sigs;
+  for (int i = 0; i < 65; ++i) sigs.push_back(random_l1_sig(rng, false));
+  HumanMachineConfig serial;
+  serial.fixed_bin_width = 60.0;
+  serial.threads = 1;
+  const std::vector<double> reference = pairwise_bin_l1(sigs, serial);
+  for (const std::size_t threads : {2u, 8u}) {
+    HumanMachineConfig config;
+    config.fixed_bin_width = 60.0;
+    config.threads = threads;
+    const std::vector<double> d = pairwise_bin_l1(sigs, config);
+    ASSERT_EQ(std::memcmp(reference.data(), d.data(), d.size() * sizeof(double)), 0)
+        << threads << " threads";
+  }
+}
+
+TEST(PairwiseBinL1, ValidatesSignaturesUpFrontWithPinnedMessages) {
+  HumanMachineConfig config;
+  config.threads = 8;  // the throw must happen before any worker runs
+  const auto message = [&](const std::vector<stats::Signature>& sigs) -> std::string {
+    try {
+      (void)pairwise_bin_l1(sigs, config);
+    } catch (const util::ConfigError& e) {
+      return e.what();
+    }
+    return "(no throw)";
+  };
+  EXPECT_EQ(message({{{1.0, 1.0}}, {{2.0, -0.25}}}),
+            "config error: bin-L1: negative signature weight");
+  EXPECT_EQ(message({{{1.0, 1.0}}, {{2.0, 0.0}}}),
+            "config error: bin-L1: signature has no mass");
 }
 
 TEST(HumanMachineTest, ThreadCountDoesNotChangeTheResult) {

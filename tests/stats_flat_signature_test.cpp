@@ -1,0 +1,184 @@
+#include "stats/flat_signature.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "stats/emd.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tradeplot::stats {
+namespace {
+
+Signature sig(std::initializer_list<SignaturePoint> points) { return Signature(points); }
+
+bool same_bits(double x, double y) { return std::memcmp(&x, &y, sizeof x) == 0; }
+
+bool same_bits(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+// Random signature exercising the sweep's awkward shapes: duplicate
+// positions (both within a signature and, via the shared grid below, across
+// the pair), tied weights, and 1-3 element edge sizes.
+Signature random_sig(util::Pcg32& rng) {
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 40));
+  Signature s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double pos;
+    if (rng.chance(0.3) && !s.empty()) {
+      pos = s[static_cast<std::size_t>(rng.uniform_int(
+                  0, static_cast<std::int64_t>(s.size()) - 1))]
+                .position;  // duplicate within the signature
+    } else if (rng.chance(0.3)) {
+      pos = static_cast<double>(rng.uniform_int(0, 9));  // shared coarse grid
+    } else {
+      pos = rng.uniform(-5.0, 25.0);
+    }
+    const double w = rng.chance(0.25) ? 1.0 : rng.uniform(0.0, 2.0);
+    s.push_back({pos, w});
+  }
+  // Guarantee positive mass even if every uniform weight drew ~0.
+  s[0].weight += 0.125;
+  return s;
+}
+
+// The reference pairwise matrix: the pre-flat formulation, emd_1d per cell.
+std::vector<double> reference_pairwise(const std::vector<Signature>& sigs) {
+  const std::size_t n = sigs.size();
+  std::vector<double> d(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = emd_1d(sigs[i], sigs[j]);
+      d[i * n + j] = v;
+      d[j * n + i] = v;
+    }
+  }
+  return d;
+}
+
+TEST(FlatSignatureSet, ViewsAreNormalizedSortedAndSentinelPadded) {
+  const std::vector<Signature> sigs = {sig({{3.0, 2.0}, {1.0, 6.0}}),
+                                       sig({{5.0, 4.0}})};
+  const FlatSignatureSet flat(sigs);
+  ASSERT_EQ(flat.size(), 2u);
+  EXPECT_EQ(flat.total_points(), 3u);
+
+  const FlatSignatureView a = flat.view(0);
+  ASSERT_EQ(a.size, 2u);
+  EXPECT_EQ(a.positions[0], 1.0);
+  EXPECT_EQ(a.positions[1], 3.0);
+  EXPECT_DOUBLE_EQ(a.weights[0], 0.75);
+  EXPECT_DOUBLE_EQ(a.weights[1], 0.25);
+  // One-past-end sentinel backs the branch-free sweep.
+  EXPECT_TRUE(std::isinf(a.positions[2]));
+  EXPECT_EQ(a.weights[2], 0.0);
+
+  const FlatSignatureView b = flat.view(1);
+  ASSERT_EQ(b.size, 1u);
+  EXPECT_EQ(b.positions[0], 5.0);
+  EXPECT_DOUBLE_EQ(b.weights[0], 1.0);
+}
+
+TEST(FlatSignatureSet, PresortedKernelMatchesReferenceBitwiseOnRandomPairs) {
+  util::Pcg32 rng(0xF1A7);
+  for (int iter = 0; iter < 400; ++iter) {
+    const Signature a = random_sig(rng);
+    const Signature b = random_sig(rng);
+    const FlatSignatureSet flat({a, b});
+    const double reference = emd_1d(a, b);
+    const double flat_value = emd_1d_presorted(flat.view(0), flat.view(1));
+    ASSERT_TRUE(same_bits(reference, flat_value))
+        << "iter " << iter << ": reference " << reference << " vs flat " << flat_value;
+  }
+}
+
+TEST(FlatSignatureSet, PresortedKernelMatchesReferenceOnTinyEdgeCases) {
+  // Every 1-3 element shape, including exact position ties across the pair
+  // and tied weights, must match emd_1d bit for bit.
+  const std::vector<Signature> cases = {
+      sig({{2.0, 1.0}}),
+      sig({{2.0, 0.5}}),
+      sig({{-1.0, 1.0}}),
+      sig({{2.0, 1.0}, {2.0, 1.0}}),
+      sig({{0.0, 0.25}, {2.0, 0.75}}),
+      sig({{2.0, 0.75}, {0.0, 0.25}}),
+      sig({{0.0, 1.0}, {1.0, 1.0}, {2.0, 1.0}}),
+      sig({{1.0, 0.1}, {1.0, 0.1}, {1.0, 0.8}}),
+  };
+  for (const Signature& a : cases) {
+    for (const Signature& b : cases) {
+      const FlatSignatureSet flat({a, b});
+      ASSERT_TRUE(same_bits(emd_1d(a, b), emd_1d_presorted(flat.view(0), flat.view(1))));
+    }
+  }
+}
+
+TEST(FlatSignatureSet, PairwiseEmdBitIdenticalAcrossThreadCounts) {
+  // 65 hosts straddles the 64-wide tile boundary, so both full and partial
+  // tiles are exercised.
+  util::Pcg32 rng(0xBEEF);
+  std::vector<Signature> sigs;
+  for (int i = 0; i < 65; ++i) sigs.push_back(random_sig(rng));
+  const std::vector<double> reference = reference_pairwise(sigs);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const std::vector<double> flat = pairwise_emd(sigs, threads);
+    ASSERT_TRUE(same_bits(reference, flat)) << "threads=" << threads;
+  }
+}
+
+TEST(FlatSignatureSet, ValidatesBeforeAnyWorkerRuns) {
+  const Signature good = sig({{1.0, 1.0}});
+  const auto message = [](const auto& fn) -> std::string {
+    try {
+      fn();
+    } catch (const util::ConfigError& e) {
+      return e.what();
+    }
+    return "(no throw)";
+  };
+
+  const std::vector<Signature> negative = {good, sig({{1.0, -0.5}})};
+  EXPECT_EQ(message([&] { FlatSignatureSet f(negative, 8); }),
+            "config error: EMD: negative signature weight");
+  EXPECT_EQ(message([&] { (void)pairwise_emd(negative, 8); }),
+            "config error: EMD: negative signature weight");
+
+  const std::vector<Signature> empty_mass = {good, sig({{1.0, 0.0}})};
+  EXPECT_EQ(message([&] { FlatSignatureSet f(empty_mass, 8); }),
+            "config error: EMD: signature has no mass");
+  EXPECT_EQ(message([&] { (void)pairwise_emd(empty_mass, 8); }),
+            "config error: EMD: signature has no mass");
+
+  const std::vector<Signature> non_finite = {
+      good, sig({{std::numeric_limits<double>::infinity(), 1.0}})};
+  EXPECT_EQ(message([&] { FlatSignatureSet f(non_finite, 8); }),
+            "config error: EMD: non-finite signature position");
+  EXPECT_EQ(message([&] { (void)pairwise_emd(non_finite, 8); }),
+            "config error: EMD: non-finite signature position");
+}
+
+TEST(FlatSignatureSet, PackingIsThreadCountInvariant) {
+  util::Pcg32 rng(0x5EED);
+  std::vector<Signature> sigs;
+  for (int i = 0; i < 24; ++i) sigs.push_back(random_sig(rng));
+  const FlatSignatureSet serial(sigs, 1);
+  const FlatSignatureSet parallel(sigs, 8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const FlatSignatureView a = serial.view(i);
+    const FlatSignatureView b = parallel.view(i);
+    ASSERT_EQ(a.size, b.size);
+    EXPECT_EQ(std::memcmp(a.positions, b.positions, a.size * sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(a.weights, b.weights, a.size * sizeof(double)), 0);
+  }
+}
+
+}  // namespace
+}  // namespace tradeplot::stats

@@ -7,9 +7,12 @@
 #include <chrono>
 #include <cstdlib>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "util/error.h"
 
 namespace tradeplot::util {
 namespace {
@@ -34,6 +37,62 @@ TEST(ResolveThreads, ReadsEnvironmentVariable) {
   } else {
     unsetenv("TRADEPLOT_THREADS");
   }
+}
+
+// RAII save/restore so the strict-parsing cases below can't leak a mutated
+// TRADEPLOT_THREADS into later tests.
+class ScopedThreadsEnv {
+ public:
+  ScopedThreadsEnv() : saved_(std::getenv("TRADEPLOT_THREADS")),
+                       value_(saved_ ? saved_ : "") {}
+  ~ScopedThreadsEnv() {
+    if (saved_) {
+      setenv("TRADEPLOT_THREADS", value_.c_str(), 1);
+    } else {
+      unsetenv("TRADEPLOT_THREADS");
+    }
+  }
+
+ private:
+  const char* saved_;
+  std::string value_;
+};
+
+TEST(ThreadsEnvStrict, UnsetReturnsNullopt) {
+  ScopedThreadsEnv guard;
+  unsetenv("TRADEPLOT_THREADS");
+  EXPECT_EQ(threads_env_strict(), std::nullopt);
+}
+
+TEST(ThreadsEnvStrict, ValidValueIsReturned) {
+  ScopedThreadsEnv guard;
+  setenv("TRADEPLOT_THREADS", "6", 1);
+  EXPECT_EQ(threads_env_strict(), std::optional<std::size_t>(6));
+  setenv("TRADEPLOT_THREADS", "1", 1);
+  EXPECT_EQ(threads_env_strict(), std::optional<std::size_t>(1));
+}
+
+TEST(ThreadsEnvStrict, RejectsGarbageWithPinnedMessage) {
+  ScopedThreadsEnv guard;
+  const auto message = [](const char* value) -> std::string {
+    setenv("TRADEPLOT_THREADS", value, 1);
+    try {
+      (void)threads_env_strict();
+    } catch (const ConfigError& e) {
+      return e.what();
+    }
+    return "(no throw)";
+  };
+  EXPECT_EQ(message("garbage"),
+            "config error: TRADEPLOT_THREADS must be a positive integer, got 'garbage'");
+  EXPECT_EQ(message("0"),
+            "config error: TRADEPLOT_THREADS must be a positive integer, got '0'");
+  EXPECT_EQ(message("-3"),
+            "config error: TRADEPLOT_THREADS must be a positive integer, got '-3'");
+  EXPECT_EQ(message("4x"),
+            "config error: TRADEPLOT_THREADS must be a positive integer, got '4x'");
+  EXPECT_EQ(message(""),
+            "config error: TRADEPLOT_THREADS must be a positive integer, got ''");
 }
 
 TEST(ThreadPool, RunsSubmittedTasks) {

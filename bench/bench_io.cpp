@@ -26,6 +26,7 @@
 #include "netflow/io.h"
 #include "netflow/trace_reader.h"
 #include "util/error.h"
+#include "util/json.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -309,29 +310,40 @@ int main(int argc, char** argv) {
     const auto mflows = [flows](const Timed& t) {
       return static_cast<double>(flows) / t.seconds / 1e6;
     };
-    char buf[1024];
-    std::snprintf(
-        buf, sizeof buf,
-        "{\n"
-        "  \"bench\": \"bench_io\",\n"
-        "  \"flows\": %zu,\n"
-        "  \"tradeplot_threads\": %s,\n"
-        "  \"formats\": [\n"
-        "    {\"format\": \"csv\", \"legacy_s\": %.3f, \"current_s\": %.3f,\n"
-        "     \"legacy_mflows_per_s\": %.3f, \"current_mflows_per_s\": %.3f,\n"
-        "     \"speedup_vs_legacy\": %.3f},\n"
-        "    {\"format\": \"binary\", \"legacy_s\": %.3f, \"current_s\": %.3f,\n"
-        "     \"legacy_mflows_per_s\": %.3f, \"current_mflows_per_s\": %.3f,\n"
-        "     \"speedup_vs_legacy\": %.3f}\n"
-        "  ],\n"
-        "  \"decoded_traces_identical\": %s\n"
-        "}\n",
-        flows, env_threads ? std::to_string(*env_threads).c_str() : "null",
-        csv_before.seconds, csv_after.seconds, mflows(csv_before), mflows(csv_after),
-        csv_before.seconds / csv_after.seconds, bin_before.seconds, bin_after.seconds,
-        mflows(bin_before), mflows(bin_after), bin_before.seconds / bin_after.seconds,
-        ok ? "true" : "false");
-    out << buf;
+    util::JsonWriter w(out);
+    w.begin_object();
+    w.kv("bench", "bench_io");
+    w.kv("flows", static_cast<std::uint64_t>(flows));
+    w.key("tradeplot_threads");
+    if (env_threads) {
+      w.value(static_cast<std::uint64_t>(*env_threads));
+    } else {
+      w.null();
+    }
+    w.key("formats");
+    w.begin_array();
+    const auto format_entry = [&](const char* format, const Timed& before,
+                                  const Timed& after) {
+      w.begin_object();
+      w.kv("format", format);
+      w.key("legacy_s");
+      w.number(before.seconds, "%.3f");
+      w.key("current_s");
+      w.number(after.seconds, "%.3f");
+      w.key("legacy_mflows_per_s");
+      w.number(mflows(before), "%.3f");
+      w.key("current_mflows_per_s");
+      w.number(mflows(after), "%.3f");
+      w.key("speedup_vs_legacy");
+      w.number(before.seconds / after.seconds, "%.3f");
+      w.end_object();
+    };
+    format_entry("csv", csv_before, csv_after);
+    format_entry("binary", bin_before, bin_after);
+    w.end_array();
+    w.kv("decoded_traces_identical", ok);
+    w.end_object();
+    out << "\n";
     if (!out.flush()) {
       std::fprintf(stderr, "bench_io: cannot write JSON to %s\n", json_path.c_str());
       return 1;

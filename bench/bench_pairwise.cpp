@@ -31,6 +31,7 @@
 #include "detect/human_machine.h"
 #include "stats/emd.h"
 #include "util/error.h"
+#include "util/json.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -147,47 +148,57 @@ void write_json(const std::string& path, bool quick,
                 const std::vector<ConfigReport>& reports, bool deterministic) {
   std::ofstream out(path);
   if (!out) throw util::IoError("bench_pairwise: cannot write JSON to " + path);
-  out << "{\n  \"bench\": \"bench_pairwise\",\n";
-  out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
-  out << "  \"tradeplot_threads\": ";
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.kv("bench", "bench_pairwise");
+  w.kv("quick", quick);
+  w.key("tradeplot_threads");
   if (env_threads) {
-    out << *env_threads;
+    w.value(static_cast<std::uint64_t>(*env_threads));
   } else {
-    out << "null";
+    w.null();
   }
-  out << ",\n  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n";
-  out << "  \"configs\": [\n";
-  for (std::size_t c = 0; c < reports.size(); ++c) {
-    const ConfigReport& r = reports[c];
-    out << "    {\n      \"kernel\": \"" << r.kernel << "\",\n";
-    out << "      \"hosts\": " << r.hosts << ",\n";
-    out << "      \"points_per_signature\": " << r.points << ",\n";
-    out << "      \"pairs\": " << r.pairs << ",\n";
+  w.kv("hardware_threads", std::thread::hardware_concurrency());
+  w.key("configs");
+  w.begin_array();
+  for (const ConfigReport& r : reports) {
+    w.begin_object();
+    w.kv("kernel", r.kernel);
+    w.kv("hosts", static_cast<std::uint64_t>(r.hosts));
+    w.kv("points_per_signature", static_cast<std::uint64_t>(r.points));
+    w.kv("pairs", static_cast<std::uint64_t>(r.pairs));
     if (std::string(r.kernel) == "bin_l1") {
-      char diff[32];
-      std::snprintf(diff, sizeof diff, "%.3e", r.bin_l1_max_diff_vs_legacy);
-      out << "      \"max_abs_diff_vs_legacy\": " << diff << ",\n";
+      w.key("max_abs_diff_vs_legacy");
+      w.number(r.bin_l1_max_diff_vs_legacy, "%.3e");
     }
     const double flat_serial_ms = r.runs.front().flat_ms;
-    out << "      \"runs\": [\n";
-    for (std::size_t i = 0; i < r.runs.size(); ++i) {
-      const Run& run = r.runs[i];
-      char buf[512];
-      std::snprintf(buf, sizeof buf,
-                    "        {\"threads\": %zu, \"legacy_ms\": %.3f, \"flat_ms\": %.3f, "
-                    "\"legacy_ns_per_pair\": %.1f, \"flat_ns_per_pair\": %.1f, "
-                    "\"speedup_vs_legacy\": %.3f, \"speedup_vs_serial\": %.3f, "
-                    "\"bit_identical\": %s}%s\n",
-                    run.threads, run.legacy_ms, run.flat_ms,
-                    ns_per_pair(run.legacy_ms, r.pairs), ns_per_pair(run.flat_ms, r.pairs),
-                    run.legacy_ms / run.flat_ms, flat_serial_ms / run.flat_ms,
-                    run.bit_identical ? "true" : "false",
-                    i + 1 < r.runs.size() ? "," : "");
-      out << buf;
+    w.key("runs");
+    w.begin_array();
+    for (const Run& run : r.runs) {
+      w.begin_object();
+      w.kv("threads", static_cast<std::uint64_t>(run.threads));
+      w.key("legacy_ms");
+      w.number(run.legacy_ms, "%.3f");
+      w.key("flat_ms");
+      w.number(run.flat_ms, "%.3f");
+      w.key("legacy_ns_per_pair");
+      w.number(ns_per_pair(run.legacy_ms, r.pairs), "%.1f");
+      w.key("flat_ns_per_pair");
+      w.number(ns_per_pair(run.flat_ms, r.pairs), "%.1f");
+      w.key("speedup_vs_legacy");
+      w.number(run.legacy_ms / run.flat_ms, "%.3f");
+      w.key("speedup_vs_serial");
+      w.number(flat_serial_ms / run.flat_ms, "%.3f");
+      w.kv("bit_identical", run.bit_identical);
+      w.end_object();
     }
-    out << "      ]\n    }" << (c + 1 < reports.size() ? "," : "") << "\n";
+    w.end_array();
+    w.end_object();
   }
-  out << "  ],\n  \"determinism\": \"" << (deterministic ? "pass" : "fail") << "\"\n}\n";
+  w.end_array();
+  w.kv("determinism", deterministic ? "pass" : "fail");
+  w.end_object();
+  out << "\n";
   if (!out.flush()) throw util::IoError("bench_pairwise: cannot write JSON to " + path);
 }
 

@@ -25,6 +25,13 @@
 //                                       samples; beyond it the lowest-
 //                                       evidence state is shed and the
 //                                       window is marked degraded
+//   --metrics PATH[,interval_s]         enable the obs metrics registry and
+//                                       write a snapshot to PATH at exit
+//                                       ("-" = stdout); with an interval,
+//                                       also rewrite it periodically so a
+//                                       textfile scraper sees live values
+//   --metrics-format prom|json          snapshot format (default prom)
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +43,9 @@
 #include "detect/streaming.h"
 #include "eval/day.h"
 #include "netflow/trace_reader.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/error.h"
 #include "util/format.h"
 #include "util/parallel.h"
@@ -51,6 +61,7 @@ int usage(const char* argv0) {
                "                 [--policy strict|skip|stop-after=N]\n"
                "                 [--checkpoint PATH] [--checkpoint-every N]\n"
                "                 [--resume PATH] [--timing-budget N]\n"
+               "                 [--metrics PATH[,interval_s]] [--metrics-format prom|json]\n"
                "days and window_s must be positive numbers; seed and N must be\n"
                "non-negative integers.\n",
                argv0, argv0);
@@ -84,7 +95,19 @@ struct StreamOptions {
   std::uint64_t checkpoint_every = 100000;
   std::string resume_path;
   std::uint64_t timing_budget = 0;
+  std::string metrics_path;  // empty = metrics disabled
+  double metrics_interval = 0.0;  // seconds between periodic dumps (0 = exit only)
+  obs::ExpositionFormat metrics_format = obs::ExpositionFormat::kPrometheus;
 };
+
+std::string_view policy_name(const netflow::ErrorPolicy& policy) {
+  switch (policy.action) {
+    case netflow::OnError::kStrict: return "strict";
+    case netflow::OnError::kSkip: return "skip";
+    case netflow::OnError::kStopAfter: return "stop-after";
+  }
+  return "unknown";
+}
 
 std::string verdict(const eval::DayData& day, simnet::Ipv4 host) {
   if (day.is_storm(host)) return "TRUE POSITIVE (Storm)";
@@ -94,6 +117,20 @@ std::string verdict(const eval::DayData& day, simnet::Ipv4 host) {
 }
 
 int run_stream(const StreamOptions& opt) {
+  if (!opt.metrics_path.empty()) {
+    obs::set_enabled(true);
+    // Pre-register the whole per-stage family so a scrape shows every
+    // pipeline stage (checkpoint save/restore included) even before it has
+    // run once — absent series and zero series are different signals.
+    for (std::size_t s = 0; s < obs::kStageCount; ++s)
+      (void)obs::stage_histogram(static_cast<obs::Stage>(s));
+  }
+  const auto dump_metrics = [&] {
+    if (opt.metrics_path.empty()) return;
+    obs::write_snapshot_file(opt.metrics_path, obs::Registry::global().snapshot(),
+                             opt.metrics_format);
+  };
+
   netflow::TraceReader reader(opt.path, opt.policy);
   std::printf("streaming %s (%s) in %.0f s windows, bounded-memory ingestion\n\n",
               opt.path.c_str(), std::string(netflow::to_string(reader.format())).c_str(),
@@ -155,6 +192,8 @@ int run_stream(const StreamOptions& opt) {
   std::size_t fed = 0;
   bool failed = false;
   std::string error;
+  auto next_dump = std::chrono::steady_clock::now() +
+                   std::chrono::duration<double>(opt.metrics_interval);
   try {
     netflow::FlowRecord rec;
     while (reader.next(rec)) {
@@ -163,6 +202,14 @@ int run_stream(const StreamOptions& opt) {
       if (!opt.checkpoint_path.empty() && opt.checkpoint_every > 0 &&
           detector.flows_ingested_total() % opt.checkpoint_every == 0) {
         detector.save_checkpoint_file(opt.checkpoint_path);
+      }
+      // Clock checks are amortized over a batch of flows; a periodic scrape
+      // does not need per-flow precision.
+      if (opt.metrics_interval > 0.0 && fed % 4096 == 0 &&
+          std::chrono::steady_clock::now() >= next_dump) {
+        dump_metrics();
+        next_dump = std::chrono::steady_clock::now() +
+                    std::chrono::duration<double>(opt.metrics_interval);
       }
     }
   } catch (const std::exception& e) {
@@ -183,12 +230,14 @@ int run_stream(const StreamOptions& opt) {
     std::printf("  %d window(s) emitted degraded verdicts (timing budget %llu)\n",
                 degraded_windows, static_cast<unsigned long long>(opt.timing_budget));
   if (stats.records_quarantined > 0 || stats.lost_sync) {
-    std::printf("  ingest health: %zu ok, %zu quarantined across %zu resync event(s)%s\n",
-                stats.records_ok, stats.records_quarantined, stats.resync_events,
+    std::printf("  ingest health (policy %s): %zu ok, %zu quarantined across %zu resync event(s)%s\n",
+                std::string(policy_name(opt.policy)).c_str(), stats.records_ok,
+                stats.records_quarantined, stats.resync_events,
                 stats.lost_sync ? ", stream abandoned after losing record sync" : "");
     std::printf("  first fault (record %zu): %s\n", stats.first_error_record,
                 stats.first_error.c_str());
   }
+  dump_metrics();
   if (failed) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
@@ -243,6 +292,40 @@ int parse_stream_args(int argc, char** argv, StreamOptions& opt) {
       const char* v = value();
       if (v == nullptr || !parse_u64_arg(v, opt.timing_budget)) {
         std::fprintf(stderr, "bad --timing-budget '%s': must be a non-negative integer\n",
+                     v == nullptr ? "(missing)" : v);
+        return usage(argv[0]);
+      }
+    } else if (flag == "--metrics") {
+      const char* v = value();
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "bad --metrics: expected PATH[,interval_s]\n");
+        return usage(argv[0]);
+      }
+      const std::string_view arg = v;
+      const std::size_t comma = arg.rfind(',');
+      if (comma == std::string_view::npos) {
+        opt.metrics_path = std::string(arg);
+      } else {
+        const std::string interval(arg.substr(comma + 1));
+        if (!parse_double_arg(interval.c_str(), opt.metrics_interval) ||
+            opt.metrics_interval <= 0.0) {
+          std::fprintf(stderr, "bad --metrics interval '%s': must be a positive number\n",
+                       interval.c_str());
+          return usage(argv[0]);
+        }
+        opt.metrics_path = std::string(arg.substr(0, comma));
+      }
+      if (opt.metrics_path.empty()) {
+        std::fprintf(stderr, "bad --metrics '%s': empty path\n", v);
+        return usage(argv[0]);
+      }
+    } else if (flag == "--metrics-format") {
+      const char* v = value();
+      try {
+        if (v == nullptr) throw util::ConfigError("missing value");
+        opt.metrics_format = obs::exposition_format_from_string(v);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "bad --metrics-format '%s': expected prom|json\n",
                      v == nullptr ? "(missing)" : v);
         return usage(argv[0]);
       }

@@ -5,7 +5,8 @@
 //   trace_tool storm    <out.(csv|bin)> [seed]              24h Storm honeynet trace
 //   trace_tool nugache  <out.(csv|bin)> [seed]              24h Nugache honeynet trace
 //   trace_tool convert  <in> <out>                          csv <-> bin by extension
-//   trace_tool stats    <in>                                per-class summary
+//   trace_tool stats    <in>                                per-class summary + ingest
+//                                                           metrics (prom + json)
 //   trace_tool head     <in> [n]                            first n flows (streaming)
 //
 // Inputs are format-sniffed by content (TraceReader), so a binary trace with
@@ -21,6 +22,8 @@
 #include "netflow/classifier.h"
 #include "netflow/io.h"
 #include "netflow/trace_reader.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 #include "trace/campus.h"
 #include "util/format.h"
 
@@ -46,7 +49,12 @@ void store(const std::string& path, const netflow::TraceSet& trace) {
 }
 
 int stats(const std::string& path) {
+  // Stream the trace through TraceReader with the obs registry live, and
+  // snapshot immediately after ingestion so the exported metrics describe
+  // the read itself (records, bytes, parse timings), not feature extraction.
+  obs::set_enabled(true);
   const netflow::TraceSet trace = load(path);
+  const obs::MetricsSnapshot ingest = obs::Registry::global().snapshot();
   std::printf("%s: %zu flows, window [%.0f, %.0f] s, %zu ground-truth hosts\n", path.c_str(),
               trace.flows().size(), trace.window_start(), trace.window_end(),
               trace.truth().size());
@@ -84,6 +92,11 @@ int stats(const std::string& path) {
   }
   std::printf("  payload classifier: %zu internal hosts carry P2P file-sharing markers\n",
               internal_p2p);
+
+  std::printf("\n--- ingest metrics (prometheus) ---\n");
+  std::fputs(obs::to_prometheus(ingest).c_str(), stdout);
+  std::printf("--- ingest metrics (json) ---\n");
+  std::fputs(obs::to_json(ingest).c_str(), stdout);
   return 0;
 }
 

@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition format (version 0.0.4), stdlib only.
+
+promtool is not available in the CI image, so this script is the repo's
+scrape-format gate. It checks the invariants a scraper relies on:
+
+  * every sample line parses (metric name, label block, float value);
+  * every family has a ``# HELP`` and exactly one ``# TYPE`` line, emitted
+    before its first sample;
+  * ``_bucket``/``_sum``/``_count`` samples only appear under a histogram
+    family;
+  * histogram buckets are cumulative (non-decreasing with increasing ``le``),
+    the ``le="+Inf"`` bucket is present, and it equals ``_count``;
+  * counter values are finite and non-negative;
+  * label values use only the legal escapes (``\\\\``, ``\\"``, ``\\n``).
+
+Usage:
+  check_prometheus.py FILE [--require FAMILY ...]
+
+Exits 0 when FILE is valid (and every --require'd family has at least one
+sample), 1 otherwise with one message per violation.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)  # raises ValueError on garbage
+
+
+def parse_labels(text, errors, lineno):
+    """Parses the inside of a `{...}` label block into a dict."""
+    labels = {}
+    i = 0
+    while i < len(text):
+        m = LABEL_NAME_RE.match(text, i)
+        if m is None:
+            errors.append(f"line {lineno}: bad label name at ...{text[i:]!r}")
+            return labels
+        name = m.group(0)
+        i = m.end()
+        if text[i : i + 2] != '="':
+            errors.append(f"line {lineno}: expected '=\"' after label {name}")
+            return labels
+        i += 2
+        value = []
+        while i < len(text):
+            c = text[i]
+            if c == "\\":
+                esc = text[i : i + 2]
+                if esc not in ('\\\\', '\\"', "\\n"):
+                    errors.append(f"line {lineno}: illegal escape {esc!r}")
+                    return labels
+                value.append({"\\\\": "\\", '\\"': '"', "\\n": "\n"}[esc])
+                i += 2
+            elif c == '"':
+                break
+            elif c == "\n":
+                errors.append(f"line {lineno}: unescaped newline in label value")
+                return labels
+            else:
+                value.append(c)
+                i += 1
+        else:
+            errors.append(f"line {lineno}: unterminated label value for {name}")
+            return labels
+        labels[name] = "".join(value)
+        i += 1  # closing quote
+        if i < len(text):
+            if text[i] != ",":
+                errors.append(f"line {lineno}: expected ',' between labels")
+                return labels
+            i += 1
+    return labels
+
+
+def family_of(name, types):
+    """Maps a sample name to its family, folding histogram suffixes."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        base = name[: -len(suffix)]
+        if name.endswith(suffix) and types.get(base) == "histogram":
+            return base
+    return name
+
+
+def validate(text, require=()):
+    errors = []
+    if text and not text.endswith("\n"):
+        errors.append("exposition does not end with a newline")
+
+    helps = {}  # family -> lineno of HELP
+    types = {}  # family -> declared type
+    samples = []  # (lineno, name, labels, value)
+
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        if line == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) >= 3 and parts[1] == "HELP":
+                helps[parts[2]] = lineno
+            elif len(parts) >= 3 and parts[1] == "TYPE":
+                kind = parts[3] if len(parts) > 3 else ""
+                if kind not in TYPES:
+                    errors.append(f"line {lineno}: unknown TYPE {kind!r}")
+                if parts[2] in types:
+                    errors.append(f"line {lineno}: duplicate TYPE for {parts[2]}")
+                types[parts[2]] = kind
+            # other comments are legal and ignored
+            continue
+
+        m = METRIC_NAME_RE.match(line)
+        if m is None:
+            errors.append(f"line {lineno}: unparseable sample line {line!r}")
+            continue
+        name = m.group(0)
+        rest = line[m.end() :]
+        labels = {}
+        if rest.startswith("{"):
+            close = rest.rfind("}")
+            if close < 0:
+                errors.append(f"line {lineno}: unterminated label block")
+                continue
+            labels = parse_labels(rest[1:close], errors, lineno)
+            rest = rest[close + 1 :]
+        if not rest.startswith(" "):
+            errors.append(f"line {lineno}: expected space before value")
+            continue
+        try:
+            value = parse_value(rest.strip())
+        except ValueError:
+            errors.append(f"line {lineno}: bad value {rest.strip()!r}")
+            continue
+
+        fam = family_of(name, types)
+        if fam not in types:
+            errors.append(f"line {lineno}: sample {name} has no # TYPE for {fam}")
+        elif fam != name and types[fam] != "histogram":
+            errors.append(f"line {lineno}: {name} used under non-histogram {fam}")
+        if fam not in helps:
+            errors.append(f"line {lineno}: sample {name} has no # HELP for {fam}")
+        if types.get(fam) == "counter" and not value >= 0:
+            errors.append(f"line {lineno}: counter {name} has value {value}")
+        samples.append((lineno, name, labels, value))
+
+    # Histogram invariants, per (family, labels-without-le) series.
+    series = {}
+    for lineno, name, labels, value in samples:
+        fam = family_of(name, types)
+        if types.get(fam) != "histogram":
+            continue
+        key = (fam, tuple(sorted((k, v) for k, v in labels.items() if k != "le")))
+        entry = series.setdefault(key, {"buckets": [], "sum": None, "count": None})
+        if name == fam + "_bucket":
+            if "le" not in labels:
+                errors.append(f"line {lineno}: {name} without an le label")
+                continue
+            try:
+                entry["buckets"].append((parse_value(labels["le"]), value, lineno))
+            except ValueError:
+                errors.append(f"line {lineno}: bad le value {labels['le']!r}")
+        elif name == fam + "_sum":
+            entry["sum"] = value
+        elif name == fam + "_count":
+            entry["count"] = value
+
+    for (fam, labelkey), entry in series.items():
+        where = f"histogram {fam}{dict(labelkey) if labelkey else ''}"
+        if entry["sum"] is None:
+            errors.append(f"{where}: missing _sum")
+        if entry["count"] is None:
+            errors.append(f"{where}: missing _count")
+        buckets = sorted(entry["buckets"])
+        if not buckets:
+            errors.append(f"{where}: no _bucket samples")
+            continue
+        if not math.isinf(buckets[-1][0]):
+            errors.append(f"{where}: missing le=\"+Inf\" bucket")
+        prev = -math.inf
+        for le, count, lineno in buckets:
+            if count < prev:
+                errors.append(
+                    f"line {lineno}: {where}: bucket le={le} count {count} "
+                    f"below previous bucket's {prev} (not cumulative)"
+                )
+            prev = count
+        if entry["count"] is not None and math.isinf(buckets[-1][0]):
+            if buckets[-1][1] != entry["count"]:
+                errors.append(
+                    f"{where}: le=\"+Inf\" bucket {buckets[-1][1]} != _count "
+                    f"{entry['count']}"
+                )
+
+    present = {family_of(name, types) for _, name, _, _ in samples}
+    for fam in require:
+        if fam not in present:
+            errors.append(f"required family {fam} has no samples")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", help="Prometheus text exposition file ('-' = stdin)")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="FAMILY",
+        help="fail unless this metric family has at least one sample",
+    )
+    args = parser.parse_args()
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file, "r", encoding="utf-8") as f:
+            text = f.read()
+    errors = validate(text, require=args.require)
+    for e in errors:
+        print(f"check_prometheus: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    print(f"check_prometheus: OK ({args.file})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

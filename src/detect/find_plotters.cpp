@@ -1,5 +1,7 @@
 #include "detect/find_plotters.h"
 
+#include "obs/profiler.h"
+
 namespace tradeplot::detect {
 
 FindPlottersResult find_plotters(const FeatureMap& features, const FindPlottersConfig& config,
@@ -7,12 +9,24 @@ FindPlottersResult find_plotters(const FeatureMap& features, const FindPlottersC
   FindPlottersResult result;
   result.input = all_hosts(features);
   if (result.input.empty()) return result;
-  result.reduced = data_reduction(features, result.input, config.reduction);
+  {
+    const obs::StageTimer timer(obs::Stage::kDataReduction);
+    result.reduced = data_reduction(features, result.input, config.reduction);
+  }
   if (result.reduced.empty()) return result;  // nobody above the failed-rate median
-  result.s_vol = volume_test(features, result.reduced, config.volume);
-  result.s_churn = churn_test(features, result.reduced, config.churn);
+  {
+    const obs::StageTimer timer(obs::Stage::kThetaVol);
+    result.s_vol = volume_test(features, result.reduced, config.volume);
+  }
+  {
+    const obs::StageTimer timer(obs::Stage::kThetaChurn);
+    result.s_churn = churn_test(features, result.reduced, config.churn);
+  }
   result.vol_or_churn = host_union(result.s_vol, result.s_churn);
-  result.hm = human_machine_test(features, result.vol_or_churn, config.human_machine, cache);
+  {
+    const obs::StageTimer timer(obs::Stage::kThetaHm);
+    result.hm = human_machine_test(features, result.vol_or_churn, config.human_machine, cache);
+  }
   result.plotters = result.hm.flagged;
   return result;
 }

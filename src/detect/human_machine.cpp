@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "detect/hm_cache.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "stats/descriptive.h"
 #include "stats/emd.h"
 #include "stats/flat_signature.h"
@@ -19,6 +21,32 @@
 namespace tradeplot::detect {
 
 namespace {
+
+/// theta_hm metric handles: signature / distance provenance counters (the
+/// cross-window cache's hit economics) plus per-tile kernel timings.
+struct HmObs {
+  obs::Counter& signatures_built = obs::Registry::global().counter(
+      "tradeplot_hm_signatures_total", "theta_hm host signatures, by provenance",
+      {{"op", "built"}});
+  obs::Counter& signatures_reused = obs::Registry::global().counter(
+      "tradeplot_hm_signatures_total", "theta_hm host signatures, by provenance",
+      {{"op", "reused"}});
+  obs::Counter& distances_computed = obs::Registry::global().counter(
+      "tradeplot_hm_distances_total", "theta_hm pairwise distances, by provenance",
+      {{"op", "computed"}});
+  obs::Counter& distances_reused = obs::Registry::global().counter(
+      "tradeplot_hm_distances_total", "theta_hm pairwise distances, by provenance",
+      {{"op", "reused"}});
+  obs::Histogram& tile_seconds = obs::Registry::global().histogram(
+      "tradeplot_pairwise_tile_seconds",
+      "Wall-clock duration of one pairwise distance tile", obs::duration_buckets(),
+      {{"kernel", "bin_l1"}});
+
+  static HmObs& get() {
+    static HmObs o;
+    return o;
+  }
+};
 
 /// All signatures re-binned once onto the absolute grid, stored flat. The
 /// per-pair kernel is then a straight L1 sweep with no lookups and no
@@ -141,6 +169,8 @@ void fill_pairwise_tiled(std::vector<double>& d, std::size_t n, std::size_t thre
     for (std::size_t tj = ti; tj < tile_count; ++tj) tiles.emplace_back(ti, tj);
   }
   util::parallel_for(0, tiles.size(), 1, threads, [&](std::size_t t) {
+    const obs::ScopedTimer tile_timer(obs::enabled() ? &HmObs::get().tile_seconds
+                                                     : nullptr);
     const auto [ti, tj] = tiles[t];
     const std::size_t i_end = std::min(n, (ti + 1) * kTile);
     const std::size_t j_end = std::min(n, (tj + 1) * kTile);
@@ -169,6 +199,7 @@ std::vector<double> cached_distances(const std::vector<stats::Signature>& signat
                                      const HumanMachineConfig& config, HmCache& cache) {
   const std::size_t n = signatures.size();
   std::vector<double> d(n * n, 0.0);
+  const std::size_t reused_before = cache.distances_reused;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> missing;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
@@ -205,6 +236,11 @@ std::vector<double> cached_distances(const std::vector<stats::Signature>& signat
       });
     }
     cache.distances_computed += missing.size();
+  }
+  if (obs::enabled()) {
+    HmObs& o = HmObs::get();
+    o.distances_reused.add(cache.distances_reused - reused_before);
+    o.distances_computed.add(missing.size());
   }
 
   std::unordered_map<std::uint64_t, HmCache::DistanceEntry> retained;
@@ -277,20 +313,25 @@ HumanMachineResult human_machine_test(const FeatureMap& features, const HostSet&
   }
 
   std::vector<stats::Signature> signatures(hosts.size());
-  util::parallel_for(0, hosts.size(), 1, config.threads, [&](std::size_t i) {
-    if (cache != nullptr && reuse_signature[i]) {
-      signatures[i] = cache->signatures.at(hosts[i]).signature;
-      return;
-    }
-    const HostFeatures& f = *eligible[i];
-    const stats::Histogram hist =
-        config.fixed_bin_width > 0.0
-            ? stats::Histogram(f.interstitials, config.fixed_bin_width)
-            : stats::Histogram::with_fd_width(f.interstitials);
-    signatures[i] = config.distance == HmDistance::kEmdBinIndex ? hist.index_signature()
-                                                                : hist.signature();
-  });
+  {
+    const obs::StageTimer sig_timer(obs::Stage::kSignatureBuild);
+    util::parallel_for(0, hosts.size(), 1, config.threads, [&](std::size_t i) {
+      if (cache != nullptr && reuse_signature[i]) {
+        signatures[i] = cache->signatures.at(hosts[i]).signature;
+        return;
+      }
+      const HostFeatures& f = *eligible[i];
+      const stats::Histogram hist =
+          config.fixed_bin_width > 0.0
+              ? stats::Histogram(f.interstitials, config.fixed_bin_width)
+              : stats::Histogram::with_fd_width(f.interstitials);
+      signatures[i] = config.distance == HmDistance::kEmdBinIndex ? hist.index_signature()
+                                                                  : hist.signature();
+    });
+  }
   if (cache != nullptr) {
+    const std::size_t built_before = cache->signatures_built;
+    const std::size_t reused_before = cache->signatures_reused;
     std::unordered_map<simnet::Ipv4, HmCache::SignatureEntry> retained;
     retained.reserve(hosts.size());
     for (std::size_t i = 0; i < hosts.size(); ++i) {
@@ -302,16 +343,31 @@ HumanMachineResult human_machine_test(const FeatureMap& features, const HostSet&
       retained.emplace(hosts[i], HmCache::SignatureEntry{hashes[i], signatures[i]});
     }
     cache->signatures = std::move(retained);
+    if (obs::enabled()) {
+      HmObs& o = HmObs::get();
+      o.signatures_built.add(cache->signatures_built - built_before);
+      o.signatures_reused.add(cache->signatures_reused - reused_before);
+    }
+  } else if (obs::enabled()) {
+    HmObs::get().signatures_built.add(hosts.size());
   }
 
-  const std::vector<double> distances =
-      cache != nullptr ? cached_distances(signatures, hosts, hashes, config, *cache)
-      : config.distance == HmDistance::kBinL1
-          ? pairwise_bin_l1(signatures, config)
-          : stats::pairwise_emd(signatures, config.threads);
-  const stats::Dendrogram dendrogram =
-      stats::agglomerative_average_linkage(distances, hosts.size());
-  const auto groups = dendrogram.cut_top_fraction(config.cut_fraction);
+  std::vector<double> distances;
+  {
+    const obs::StageTimer dist_timer(obs::Stage::kPairwiseDistance);
+    distances = cache != nullptr ? cached_distances(signatures, hosts, hashes, config, *cache)
+                : config.distance == HmDistance::kBinL1
+                    ? pairwise_bin_l1(signatures, config)
+                    : stats::pairwise_emd(signatures, config.threads);
+    if (cache == nullptr && obs::enabled())
+      HmObs::get().distances_computed.add(hosts.size() * (hosts.size() - 1) / 2);
+  }
+  const auto groups = [&] {
+    const obs::StageTimer cluster_timer(obs::Stage::kClustering);
+    const stats::Dendrogram dendrogram =
+        stats::agglomerative_average_linkage(distances, hosts.size());
+    return dendrogram.cut_top_fraction(config.cut_fraction);
+  }();
 
   // Diameters of the clusters that carry similarity evidence.
   std::vector<double> diameters;

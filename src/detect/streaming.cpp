@@ -1,6 +1,7 @@
 #include "detect/streaming.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <fstream>
@@ -10,10 +11,52 @@
 
 #include "detect/payload_codec.h"
 #include "netflow/trace_reader.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/checksum.h"
 #include "util/error.h"
 
 namespace tradeplot::detect {
+
+namespace {
+
+/// Streaming-detector metric handles; registered as one family set on first
+/// enabled use so scrapes cover degraded/checkpoint families even at zero.
+struct StreamObs {
+  obs::Counter& flows = obs::Registry::global().counter(
+      "tradeplot_stream_flows_total", "Flows ingested by the streaming detector");
+  obs::Counter& windows = obs::Registry::global().counter(
+      "tradeplot_stream_windows_total", "Detection windows closed, by outcome",
+      {{"outcome", "ok"}});
+  obs::Counter& windows_degraded = obs::Registry::global().counter(
+      "tradeplot_stream_windows_total", "Detection windows closed, by outcome",
+      {{"outcome", "degraded"}});
+  obs::Counter& hosts_shed = obs::Registry::global().counter(
+      "tradeplot_stream_hosts_shed_total",
+      "Hosts whose timing state was shed by the budget");
+  obs::Counter& samples_shed = obs::Registry::global().counter(
+      "tradeplot_stream_timing_samples_shed_total",
+      "Buffered timing samples dropped by budget shedding");
+  obs::Gauge& timing_samples = obs::Registry::global().gauge(
+      "tradeplot_stream_timing_samples",
+      "Per-destination timing samples currently buffered across all hosts");
+  obs::Gauge& timing_budget = obs::Registry::global().gauge(
+      "tradeplot_stream_timing_budget",
+      "Configured timing-sample budget (0 = unlimited)");
+  obs::Histogram& window_flows = obs::Registry::global().histogram(
+      "tradeplot_window_flows", "Flows per closed detection window",
+      obs::count_buckets());
+  obs::Histogram& checkpoint_bytes = obs::Registry::global().histogram(
+      "tradeplot_checkpoint_bytes", "Checkpoint payload size",
+      obs::size_buckets());
+
+  static StreamObs& get() {
+    static StreamObs o;
+    return o;
+  }
+};
+
+}  // namespace
 
 StreamingDetector::StreamingDetector(StreamingConfig config, VerdictSink sink)
     : config_(std::move(config)), sink_(std::move(sink)) {
@@ -74,6 +117,12 @@ void StreamingDetector::ingest(const netflow::FlowRecord& flow) {
   }
   ++flows_in_window_;
   ++flows_ingested_total_;
+  if (obs::enabled()) {
+    StreamObs& o = StreamObs::get();
+    o.flows.add();
+    o.timing_samples.set(static_cast<double>(timing_samples_));
+    o.timing_budget.set(static_cast<double>(config_.timing_budget));
+  }
 }
 
 void StreamingDetector::shed_timing_state() {
@@ -111,6 +160,7 @@ void StreamingDetector::roll_to(double time) {
 }
 
 void StreamingDetector::emit() {
+  const obs::StageTimer close_timer(obs::Stage::kWindowClose);
   // Finalize per-destination state (churn + interstitials) via the same
   // helper as the batch extractor.
   FeatureMap features;
@@ -134,6 +184,15 @@ void StreamingDetector::emit() {
   }
   verdict.features = std::move(features);
   sink_(verdict);
+
+  if (obs::enabled()) {
+    StreamObs& o = StreamObs::get();
+    (verdict.degraded ? o.windows_degraded : o.windows).add();
+    o.hosts_shed.add(hosts_shed_);
+    o.samples_shed.add(timing_samples_shed_);
+    o.window_flows.observe(static_cast<double>(flows_in_window_));
+    o.timing_samples.set(0.0);
+  }
 
   hosts_.clear();
   flows_in_window_ = 0;
@@ -174,6 +233,7 @@ constexpr std::uint64_t kCkptMaxPayload = 1ull << 30;
 }  // namespace
 
 void StreamingDetector::save_checkpoint(std::ostream& out) const {
+  const obs::StageTimer save_timer(obs::Stage::kCheckpointSave);
   PayloadWriter w;
   w.put(config_.window);
   w.put(config_.new_ip_grace);
@@ -209,6 +269,8 @@ void StreamingDetector::save_checkpoint(std::ostream& out) const {
   hm_cache_.encode(w);
 
   const std::string& payload = w.bytes();
+  if (obs::enabled())
+    StreamObs::get().checkpoint_bytes.observe(static_cast<double>(payload.size()));
   const std::uint32_t crc = util::crc32(payload.data(), payload.size());
   const auto put_raw = [&](const void* p, std::size_t n) {
     out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
@@ -224,6 +286,7 @@ void StreamingDetector::save_checkpoint(std::ostream& out) const {
 }
 
 void StreamingDetector::restore_checkpoint(std::istream& in) {
+  const obs::StageTimer restore_timer(obs::Stage::kCheckpointRestore);
   const auto read_raw = [&](void* p, std::size_t n) {
     in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
     if (static_cast<std::size_t>(in.gcount()) != n)

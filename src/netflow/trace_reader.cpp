@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <charconv>
+#include <chrono>
 #include <cstring>
 #include <exception>
 #include <fstream>
@@ -12,12 +13,39 @@
 #include <type_traits>
 #include <string_view>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
 namespace tradeplot::netflow {
 
 namespace {
+
+/// Ingest metric handles, registered together on first enabled use so every
+/// family (including zero-valued ones) shows up in a scrape as soon as any
+/// trace is read.
+struct IngestObs {
+  obs::Counter& records_ok = obs::Registry::global().counter(
+      "tradeplot_ingest_records_total", "Trace records processed, by outcome",
+      {{"result", "ok"}});
+  obs::Counter& records_quarantined = obs::Registry::global().counter(
+      "tradeplot_ingest_records_total", "Trace records processed, by outcome",
+      {{"result", "quarantined"}});
+  obs::Counter& resync_events = obs::Registry::global().counter(
+      "tradeplot_ingest_resync_events_total",
+      "Recovery runs: maximal bursts of consecutive malformed records");
+  obs::Counter& bytes = obs::Registry::global().counter(
+      "tradeplot_ingest_bytes_total", "Raw trace bytes pulled from the input stream");
+  obs::Histogram& record_seconds = obs::Registry::global().histogram(
+      "tradeplot_ingest_record_seconds",
+      "Latency of pulling and decoding one trace record", obs::duration_buckets());
+
+  static IngestObs& get() {
+    static IngestObs o;
+    return o;
+  }
+};
 
 constexpr std::string_view kCsvHeader =
     "src,dst,sport,dport,proto,start,end,pkts_src,pkts_dst,bytes_src,bytes_dst,state,payload";
@@ -352,6 +380,7 @@ class TraceReader::Source {
         eof_ = true;
         break;
       }
+      if (obs::enabled()) IngestObs::get().bytes.add(got);
       out.append(buf_.data(), got);
     }
   }
@@ -374,6 +403,7 @@ class TraceReader::Source {
     const auto got = static_cast<std::size_t>(in_.gcount());
     end_ += got;
     if (got == 0) eof_ = true;
+    else if (obs::enabled()) IngestObs::get().bytes.add(got);
   }
 
   std::istream& in_;
@@ -507,8 +537,21 @@ void TraceReader::read_binary_preamble() {
 
 bool TraceReader::next(FlowRecord& out) {
   if (done_) return false;
-  const bool got =
-      format_ == TraceFormat::kBinary ? next_binary(out) : next_csv(out);
+  bool got;
+  if (obs::enabled()) {
+    IngestObs& o = IngestObs::get();
+    const std::size_t quarantined_before = stats_.records_quarantined;
+    const std::size_t resyncs_before = stats_.resync_events;
+    const auto start = std::chrono::steady_clock::now();
+    got = format_ == TraceFormat::kBinary ? next_binary(out) : next_csv(out);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    o.record_seconds.observe(std::chrono::duration<double>(elapsed).count());
+    if (got) o.records_ok.add();
+    o.records_quarantined.add(stats_.records_quarantined - quarantined_before);
+    o.resync_events.add(stats_.resync_events - resyncs_before);
+  } else {
+    got = format_ == TraceFormat::kBinary ? next_binary(out) : next_csv(out);
+  }
   if (got) {
     ++flows_read_;
     ++stats_.records_ok;
@@ -663,6 +706,7 @@ TraceSet TraceReader::read_all() {
 
 void TraceReader::read_all_csv(TraceSet& trace) {
   if (done_) return;
+  const obs::StageTimer parse_timer(obs::Stage::kParse);
 
   // Materialize the remainder and index it: comment lines are applied
   // serially in file order (so truth overrides behave sequentially), flow
@@ -718,6 +762,8 @@ void TraceReader::read_all_csv(TraceSet& trace) {
   });
   if (err) std::rethrow_exception(err);
   flows_read_ += lines.size();
+  stats_.records_ok += lines.size();
+  if (obs::enabled()) IngestObs::get().records_ok.add(lines.size());
   done_ = true;
 }
 

@@ -1,0 +1,42 @@
+// Exposition: rendering a MetricsSnapshot for operators and scrapers.
+//
+// Two formats over the same snapshot:
+//  * Prometheus text exposition format (version 0.0.4) — the scrapeable
+//    surface: `# HELP`/`# TYPE` per family, escaped labels, cumulative
+//    histogram buckets with the implicit `le="+Inf"` bound equal to _count.
+//  * JSON — the same data for humans and scripts, via util::JsonWriter (the
+//    repository's single JSON emission path).
+//
+// write_snapshot() appends neither timestamps nor process metadata; a
+// snapshot is a pure function of the registry, so tests can golden-match the
+// rendered text byte for byte.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/snapshot.h"
+
+namespace tradeplot::obs {
+
+enum class ExpositionFormat : std::uint8_t { kPrometheus, kJson };
+
+[[nodiscard]] std::string_view to_string(ExpositionFormat f);
+
+/// Parses "prom"/"prometheus"/"json" (util::ConfigError otherwise).
+[[nodiscard]] ExpositionFormat exposition_format_from_string(std::string_view s);
+
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+
+void write_snapshot(std::ostream& out, const MetricsSnapshot& snapshot,
+                    ExpositionFormat format);
+
+/// Writes the rendered snapshot to `path` ("-" = stdout). File writes go
+/// through a temporary sibling and an atomic rename, so a concurrent scrape
+/// of the textfile never observes a partial snapshot. Throws util::IoError
+/// on failure.
+void write_snapshot_file(const std::string& path, const MetricsSnapshot& snapshot,
+                         ExpositionFormat format);
+
+}  // namespace tradeplot::obs

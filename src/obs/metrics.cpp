@@ -1,0 +1,294 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace tradeplot::obs {
+
+namespace detail {
+
+std::size_t thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot & (kShards - 1);
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::string_view to_string(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() noexcept {
+  for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+std::uint64_t Gauge::to_bits(double v) noexcept { return std::bit_cast<std::uint64_t>(v); }
+double Gauge::from_bits(std::uint64_t b) noexcept { return std::bit_cast<double>(b); }
+
+void Gauge::add(double delta) noexcept {
+  std::uint64_t observed = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(observed, to_bits(from_bits(observed) + delta),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    if (!(bounds_[i] < bounds_[i + 1]))
+      throw util::ConfigError("metrics: histogram bounds must be strictly increasing");
+  }
+  for (const double b : bounds_) {
+    if (!std::isfinite(b))
+      throw util::ConfigError("metrics: histogram bounds must be finite (+Inf is implicit)");
+  }
+  for (Shard& s : shards_) {
+    s.buckets = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+      s.buckets[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  // First bound >= v is the Prometheus `le` bucket; past the end lands in
+  // the implicit +Inf slot (index bounds_.size()). NaN observations count
+  // toward +Inf, matching client_golang.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  Shard& s = shards_[detail::thread_shard()];
+  s.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t observed = s.sum_bits.load(std::memory_order_relaxed);
+  while (!s.sum_bits.compare_exchange_weak(
+      observed, std::bit_cast<std::uint64_t>(std::bit_cast<double>(observed) + v),
+      std::memory_order_relaxed)) {
+  }
+}
+
+HistogramValue Histogram::collect() const {
+  HistogramValue out;
+  out.bounds = bounds_;
+  out.counts.assign(bounds_.size(), 0);
+  std::uint64_t overflow = 0;
+  for (const Shard& s : shards_) {
+    for (std::size_t i = 0; i < bounds_.size(); ++i)
+      out.counts[i] += s.buckets[i].load(std::memory_order_relaxed);
+    overflow += s.buckets[bounds_.size()].load(std::memory_order_relaxed);
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += std::bit_cast<double>(s.sum_bits.load(std::memory_order_relaxed));
+  }
+  (void)overflow;  // implicit in count - sum(counts); kept explicit for clarity
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (Shard& s : shards_) {
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+      s.buckets[i].store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum_bits.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> exponential_buckets(double start, double factor, std::size_t n) {
+  if (!(start > 0.0) || !(factor > 1.0))
+    throw util::ConfigError("metrics: exponential_buckets needs start > 0 and factor > 1");
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double b = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> duration_buckets() { return exponential_buckets(1e-6, 4.0, 14); }
+std::vector<double> size_buckets() { return exponential_buckets(256.0, 16.0, 7); }
+std::vector<double> count_buckets() { return exponential_buckets(1.0, 8.0, 9); }
+
+// ---------------------------------------------------------------------------
+// Registry
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto ok_first = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  if (!ok_first(name[0])) return false;
+  for (const char c : name.substr(1)) {
+    if (!(ok_first(c) || (c >= '0' && c <= '9'))) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(std::string_view name) {
+  // Like a metric name, minus the colon (reserved for recording rules).
+  return valid_metric_name(name) && name.find(':') == std::string_view::npos;
+}
+
+/// Key = name + labels in registration order; label values may contain any
+/// byte, so lengths are baked in to keep the key unambiguous.
+std::string instance_key(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += std::to_string(k.size());
+    key += ':';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Entry& Registry::find_or_create(MetricType type, std::string_view name,
+                                          std::string_view help, Labels&& labels,
+                                          std::vector<double>* bounds) {
+  if (!valid_metric_name(name))
+    throw util::ConfigError("metrics: invalid metric name '" + std::string(name) + "'");
+  for (const auto& [k, v] : labels) {
+    if (!valid_label_name(k))
+      throw util::ConfigError("metrics: invalid label name '" + k + "' on " +
+                              std::string(name));
+  }
+
+  const std::string key = instance_key(name, labels);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    Entry& entry = *entries_[it->second];
+    if (entry.type != type)
+      throw util::ConfigError("metrics: " + std::string(name) +
+                              " re-registered as a different type");
+    if (type == MetricType::kHistogram && bounds != nullptr &&
+        entry.histogram->bounds() != *bounds)
+      throw util::ConfigError("metrics: " + std::string(name) +
+                              " re-registered with different buckets");
+    return entry;
+  }
+  // One family, one type: a second label set under an existing name must
+  // agree with the family's type (Prometheus families are homogeneous).
+  for (const auto& existing : entries_) {
+    if (existing->name == name && existing->type != type)
+      throw util::ConfigError("metrics: family " + std::string(name) + " mixes types");
+    if (existing->name == name && type == MetricType::kHistogram && bounds != nullptr &&
+        existing->histogram->bounds() != *bounds)
+      throw util::ConfigError("metrics: family " + std::string(name) +
+                              " mixes bucket layouts");
+  }
+
+  auto entry = std::make_unique<Entry>();
+  entry->type = type;
+  entry->name = std::string(name);
+  entry->help = std::string(help);
+  entry->labels = std::move(labels);
+  switch (type) {
+    case MetricType::kCounter: entry->counter.reset(new Counter()); break;
+    case MetricType::kGauge: entry->gauge.reset(new Gauge()); break;
+    case MetricType::kHistogram:
+      entry->histogram.reset(new Histogram(std::move(*bounds)));
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  index_.emplace(key, entries_.size() - 1);
+  return *entries_.back();
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help, Labels labels) {
+  return *find_or_create(MetricType::kCounter, name, help, std::move(labels), nullptr).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help, Labels labels) {
+  return *find_or_create(MetricType::kGauge, name, help, std::move(labels), nullptr).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               std::vector<double> bounds, Labels labels) {
+  if (bounds.empty())
+    throw util::ConfigError("metrics: histogram " + std::string(name) + " needs buckets");
+  return *find_or_create(MetricType::kHistogram, name, help, std::move(labels), &bounds)
+              .histogram;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    snap.samples.reserve(entries_.size());
+    for (const auto& entry : entries_) {
+      SnapshotSample s;
+      s.name = entry->name;
+      s.help = entry->help;
+      s.type = entry->type;
+      s.labels = entry->labels;
+      switch (entry->type) {
+        case MetricType::kCounter:
+          s.value = static_cast<double>(entry->counter->value());
+          break;
+        case MetricType::kGauge: s.value = entry->gauge->value(); break;
+        case MetricType::kHistogram: s.histogram = entry->histogram->collect(); break;
+      }
+      snap.samples.push_back(std::move(s));
+    }
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const SnapshotSample& a, const SnapshotSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return snap;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_) {
+    switch (entry->type) {
+      case MetricType::kCounter: entry->counter->reset(); break;
+      case MetricType::kGauge: entry->gauge->reset(); break;
+      case MetricType::kHistogram: entry->histogram->reset(); break;
+    }
+  }
+}
+
+std::size_t Registry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace tradeplot::obs

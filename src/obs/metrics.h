@@ -1,0 +1,185 @@
+// Thread-safe, low-overhead metrics registry.
+//
+// Three metric kinds, all safe to update from any thread without locking:
+//
+//  * Counter   — monotonic u64. Updates land in per-thread cache-line-padded
+//                shards (one relaxed fetch_add, no cross-core contention on
+//                hot paths); shards are summed at snapshot time.
+//  * Gauge     — a single double that can move both ways (set/add). Gauges
+//                sit on cold paths (queue depth, occupancy), so one atomic
+//                cell is enough.
+//  * Histogram — fixed bucket bounds chosen at registration; per-shard
+//                atomic bucket counts plus sum/count, aggregated at snapshot
+//                time. Bucket semantics match Prometheus: bucket i counts
+//                observations with value <= bounds[i].
+//
+// The whole subsystem is gated by one process-global flag: obs::enabled()
+// is a single relaxed atomic load, false by default. Instrumented code runs
+// `if (obs::enabled()) { ... }` around every metrics touch, so with no
+// operator attached the cost is one predictable branch — nothing is
+// registered, timed, or allocated (the committed benches hold the
+// no-op path to <2% of baseline). Enabling (campus_monitor --metrics,
+// trace_tool stats, tests) attaches the global registry lazily.
+//
+// Handles returned by Registry are stable for the registry's lifetime and
+// re-requesting the same (name, labels) returns the same instance, so
+// instrumentation sites cache them in function-local statics.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/snapshot.h"
+
+namespace tradeplot::obs {
+
+namespace detail {
+
+inline std::atomic<bool> g_enabled{false};
+
+/// Shard count for counters and histograms; power of two.
+constexpr std::size_t kShards = 16;
+
+/// Stable per-thread shard index: threads are assigned slots round-robin on
+/// first use, so a thread pool's workers spread across shards instead of
+/// hashing onto the same one.
+[[nodiscard]] std::size_t thread_shard() noexcept;
+
+}  // namespace detail
+
+/// Whether instrumentation is live. One relaxed load; false by default.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips the process-global instrumentation flag (operator tools and tests;
+/// library code never calls this).
+void set_enabled(bool on) noexcept;
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[detail::thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum across shards. Monotonic between reset() calls.
+  [[nodiscard]] std::uint64_t value() const noexcept;
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  void reset() noexcept;
+
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, detail::kShards> cells_{};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { bits_.store(to_bits(v), std::memory_order_relaxed); }
+  void add(double delta) noexcept;
+  [[nodiscard]] double value() const noexcept {
+    return from_bits(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  void reset() noexcept { set(0.0); }
+
+  static std::uint64_t to_bits(double v) noexcept;
+  static double from_bits(std::uint64_t b) noexcept;
+
+  std::atomic<std::uint64_t> bits_{0};  // IEEE-754 bits of the value
+};
+
+class Histogram {
+ public:
+  void observe(double v) noexcept;
+
+  /// Aggregated copy of the current state (see snapshot.h for semantics).
+  [[nodiscard]] HistogramValue collect() const;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::vector<double> bounds);
+  void reset() noexcept;
+
+  std::vector<double> bounds_;
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;  // bounds_.size() + 1 (+Inf)
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_bits{0};  // IEEE-754 bits, CAS-accumulated
+  };
+  std::array<Shard, detail::kShards> shards_;
+};
+
+/// Log-spaced upper bounds: start, start*factor, ... (n bounds).
+[[nodiscard]] std::vector<double> exponential_buckets(double start, double factor,
+                                                      std::size_t n);
+/// 1 µs .. ~130 s in x4 steps — the default for stage / kernel latencies.
+[[nodiscard]] std::vector<double> duration_buckets();
+/// 256 B .. 4 GiB in x16 steps — checkpoint and payload sizes.
+[[nodiscard]] std::vector<double> size_buckets();
+/// 1 .. 16M in x8 steps — per-window object counts (flows, hosts).
+[[nodiscard]] std::vector<double> count_buckets();
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the metric registered under (name, labels), creating it on
+  /// first use. Throws util::ConfigError on an invalid Prometheus name or
+  /// label, on a (name, labels) collision with a different metric type, or
+  /// when one family (same name) mixes types or histogram bucket layouts.
+  Counter& counter(std::string_view name, std::string_view help, Labels labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help, Labels labels = {});
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       std::vector<double> bounds, Labels labels = {});
+
+  /// Immutable aggregated copy of every registered metric, sorted by
+  /// (name, labels). Shares no state with the registry.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every value; registrations (and handles) stay valid. For tests
+  /// and operator-driven restarts.
+  void reset();
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// The process-wide registry all built-in instrumentation reports to.
+  [[nodiscard]] static Registry& global();
+
+ private:
+  struct Entry {
+    MetricType type;
+    std::string name;
+    std::string help;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(MetricType type, std::string_view name, std::string_view help,
+                        Labels&& labels, std::vector<double>* bounds);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;          // stable addresses
+  std::unordered_map<std::string, std::size_t> index_;   // name + labels -> entry
+};
+
+}  // namespace tradeplot::obs

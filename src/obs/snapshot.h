@@ -1,0 +1,52 @@
+// Immutable point-in-time view of a metrics registry.
+//
+// Registry::snapshot() aggregates every per-thread shard into plain values
+// and returns them as a MetricsSnapshot — a deep copy that shares no state
+// with the live registry, so an exposition pass (Prometheus text, JSON) can
+// render it without locks while the hot paths keep mutating the counters.
+// Samples are sorted by (name, labels), which makes exposition output
+// deterministic and lets the encoders group families by scanning runs of
+// equal names.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tradeplot::obs {
+
+enum class MetricType : std::uint8_t { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] std::string_view to_string(MetricType t);
+
+/// Label set attached to one metric instance, in registration order.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Aggregated histogram state. `counts[i]` is the number of observations
+/// with value <= bounds[i] that did not fit an earlier bucket (i.e. raw
+/// per-bucket counts, NOT cumulative — the encoders cumulate); observations
+/// above the last bound land in the implicit +Inf bucket, whose raw count is
+/// `count - sum(counts)`.
+struct HistogramValue {
+  std::vector<double> bounds;        // strictly increasing upper bounds
+  std::vector<std::uint64_t> counts; // one per bound
+  double sum = 0.0;
+  std::uint64_t count = 0;
+};
+
+struct SnapshotSample {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  Labels labels;
+  double value = 0.0;        // counter / gauge
+  HistogramValue histogram;  // histogram only
+};
+
+struct MetricsSnapshot {
+  /// Sorted by (name, labels); families are contiguous runs of equal names.
+  std::vector<SnapshotSample> samples;
+};
+
+}  // namespace tradeplot::obs

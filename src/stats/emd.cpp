@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "stats/flat_signature.h"
 #include "util/error.h"
 #include "util/parallel.h"
@@ -13,6 +15,14 @@
 namespace tradeplot::stats {
 
 namespace {
+
+obs::Histogram& emd_tile_seconds() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "tradeplot_pairwise_tile_seconds",
+      "Wall-clock duration of one pairwise distance tile", obs::duration_buckets(),
+      {{"kernel", "emd"}});
+  return h;
+}
 
 double total_weight(const Signature& s) {
   double w = 0.0;
@@ -197,6 +207,7 @@ std::vector<double> pairwise_emd(const std::vector<Signature>& sigs, std::size_t
     for (std::size_t tj = ti; tj < tile_count; ++tj) tiles.emplace_back(ti, tj);
   }
   util::parallel_for(0, tiles.size(), 1, threads, [&](std::size_t t) {
+    const obs::ScopedTimer tile_timer(obs::enabled() ? &emd_tile_seconds() : nullptr);
     const auto [ti, tj] = tiles[t];
     const std::size_t i_end = std::min(n, (ti + 1) * kTile);
     const std::size_t j_end = std::min(n, (tj + 1) * kTile);

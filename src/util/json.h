@@ -1,0 +1,175 @@
+// Minimal streaming JSON writer — the repository's one JSON emission path.
+//
+// The bench binaries (`bench_pairwise --json`, `bench_io --json`) and the
+// obs exposition layer all emit JSON; before this header each carried its own
+// hand-rolled escaping and comma bookkeeping. JsonWriter centralizes both:
+// it tracks the container stack (objects/arrays), inserts commas and
+// indentation, and escapes strings per RFC 8259. Callers choose number
+// formatting — value(double) renders the shortest round-trip form, while
+// number(v, "%.3f") keeps printf-style control for reports whose precision
+// is part of their committed shape (e.g. BENCH_pairwise.json).
+//
+// Header-only on purpose: the obs library uses it without linking tp_util,
+// so the util <-> obs layering stays acyclic.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tradeplot::util {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included): ", \, and control bytes below 0x20 (\n, \t, ... as short
+/// escapes, \u00XX otherwise).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trip decimal rendering of a finite double ("1.5", "42",
+/// "3.0000000000000004e-05"). Non-finite values have no JSON representation;
+/// json_number maps them to null, Prometheus exposition renders them itself.
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return ec == std::errc() ? std::string(buf, p) : std::string("null");
+}
+
+class JsonWriter {
+ public:
+  /// Writes to `out` with two-space indentation (pass 0 for compact output).
+  explicit JsonWriter(std::ostream& out, int indent = 2) : out_(out), indent_(indent) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object() { open('{', Frame::kObject); }
+  void end_object() { close('}'); }
+  void begin_array() { open('[', Frame::kArray); }
+  void end_array() { close(']'); }
+
+  /// Emits the key of the next object member. Must be followed by exactly
+  /// one value / container.
+  void key(std::string_view k) {
+    separate();
+    out_ << '"' << json_escape(k) << "\":";
+    if (indent_ > 0) out_ << ' ';
+    pending_key_ = true;
+  }
+
+  void value(std::string_view s) { raw('"' + json_escape(s) + '"'); }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b) { raw(b ? "true" : "false"); }
+  void value(double v) { raw(json_number(v)); }
+  void value(std::uint64_t v) { raw(std::to_string(v)); }
+  void value(std::int64_t v) { raw(std::to_string(v)); }
+  void value(int v) { raw(std::to_string(v)); }
+  void value(unsigned v) { raw(std::to_string(v)); }
+  void null() { raw("null"); }
+
+  /// printf-formatted numeric value for reports whose precision is pinned
+  /// (e.g. "%.3f", "%.3e"). `fmt` must produce a valid JSON number.
+  void number(double v, const char* fmt) {
+    if (!std::isfinite(v)) {
+      null();
+      return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, fmt, v);
+    raw(buf);
+  }
+
+  /// key() + value() in one call.
+  template <typename T>
+  void kv(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  void open(char c, Frame f) {
+    separate();
+    out_ << c;
+    stack_.push_back({f, false});
+    pending_key_ = false;
+  }
+
+  void close(char c) {
+    const bool had_members = !stack_.empty() && stack_.back().has_members;
+    if (!stack_.empty()) stack_.pop_back();
+    if (had_members) newline_indent();
+    out_ << c;
+    mark_member();
+  }
+
+  // Comma/newline bookkeeping before a new member (skipped when this value
+  // completes a just-written key).
+  void separate() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    if (stack_.back().has_members) out_ << ',';
+    newline_indent();
+  }
+
+  void raw(std::string_view text) {
+    separate();
+    out_ << text;
+    mark_member();
+  }
+
+  void mark_member() {
+    if (!stack_.empty()) stack_.back().has_members = true;
+    pending_key_ = false;
+  }
+
+  void newline_indent() {
+    if (indent_ <= 0) return;
+    out_ << '\n';
+    for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_); ++i)
+      out_ << ' ';
+  }
+
+  struct State {
+    Frame frame;
+    bool has_members;
+  };
+
+  std::ostream& out_;
+  int indent_;
+  std::vector<State> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace tradeplot::util

@@ -1,13 +1,36 @@
 #include "util/parallel.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace tradeplot::util {
+
+namespace {
+
+/// Pool metrics, registered together on the first enabled submit so a scrape
+/// always shows the whole family set once the pool is instrumented.
+struct PoolObs {
+  obs::Counter& tasks = obs::Registry::global().counter(
+      "tradeplot_pool_tasks_total", "Tasks executed by the shared thread pool");
+  obs::Gauge& queue_depth = obs::Registry::global().gauge(
+      "tradeplot_pool_queue_depth", "Tasks queued but not yet claimed by a worker");
+  obs::Histogram& task_seconds = obs::Registry::global().histogram(
+      "tradeplot_pool_task_seconds", "Wall-clock duration of one pool task",
+      obs::duration_buckets());
+
+  static PoolObs& get() {
+    static PoolObs o;
+    return o;
+  }
+};
+
+}  // namespace
 
 std::size_t resolve_threads(std::size_t requested) {
   if (requested > 0) return requested;
@@ -48,6 +71,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  if (obs::enabled()) PoolObs::get().queue_depth.add(1.0);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
@@ -70,7 +94,17 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (obs::enabled()) {
+      PoolObs& o = PoolObs::get();
+      o.queue_depth.add(-1.0);
+      const auto start = std::chrono::steady_clock::now();
+      task();
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      o.task_seconds.observe(std::chrono::duration<double>(elapsed).count());
+      o.tasks.add();
+    } else {
+      task();
+    }
   }
 }
 

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""CLI-level regression for the observability surface.
+
+Drives the built binaries end to end:
+
+  1. trace_tool generate  -> a small campus trace (CSV);
+  2. corrupts one record, streams it through campus_monitor with the skip
+     policy, and asserts the ingest-health report surfaces the first fault
+     (IngestStats.first_error) with its record number and the active policy;
+  3. validates the --metrics snapshot in both formats: Prometheus text via
+     scripts/check_prometheus.py (with the families the issue requires on a
+     scrape), JSON via json.load plus family presence;
+  4. asserts verdict output is bit-identical with metrics on and off;
+  5. trace_tool stats must print a valid Prometheus section and a parseable
+     JSON section for its ingest metrics.
+
+Run by ctest as ObsCliMetricsTest; paths to the binaries arrive as flags.
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REQUIRED_FAMILIES = [
+    "tradeplot_ingest_records_total",
+    "tradeplot_ingest_bytes_total",
+    "tradeplot_ingest_record_seconds",
+    "tradeplot_stream_flows_total",
+    "tradeplot_stream_windows_total",
+    "tradeplot_window_flows",
+    "tradeplot_stage_duration_seconds",
+    "tradeplot_checkpoint_bytes",
+    "tradeplot_hm_signatures_total",
+    "tradeplot_hm_distances_total",
+]
+
+
+def run(cmd, **kwargs):
+    print("+", " ".join(str(c) for c in cmd), flush=True)
+    return subprocess.run(
+        [str(c) for c in cmd], capture_output=True, text=True, timeout=240, **kwargs
+    )
+
+
+def check(condition, message):
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def strip_volatile(stdout):
+    """Window verdict lines only — drops the summary/ingest/timing tail."""
+    return [
+        line
+        for line in stdout.splitlines()
+        if line.startswith("===") or line.startswith("  128.")
+    ]
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--campus-monitor", required=True, type=Path)
+    parser.add_argument("--trace-tool", required=True, type=Path)
+    parser.add_argument("--check-prometheus", required=True, type=Path)
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="tp_cli_metrics_") as tmp:
+        tmp = Path(tmp)
+        trace = tmp / "trace.csv"
+        r = run([args.trace_tool, "generate", trace, "1", "1800"])
+        check(r.returncode == 0, f"trace_tool generate failed: {r.stderr}")
+
+        # Corrupt one flow record in the middle of the file (past the
+        # preamble) so the skip policy has a fault to quarantine and report.
+        lines = trace.read_text().splitlines(keepends=True)
+        victim = len(lines) // 2
+        lines[victim] = "this,is,not,a,flow,record\n"
+        corrupt = tmp / "corrupt.csv"
+        corrupt.write_text("".join(lines))
+
+        # One whole-trace window: short windows empty the detection funnel
+        # before θ_hm, and the scrape must cover the HmCache families.
+        prom = tmp / "metrics.prom"
+        base_cmd = [args.campus_monitor, "--stream", corrupt, "--policy", "skip"]
+        with_metrics = run(base_cmd + ["--metrics", prom])
+        check(with_metrics.returncode == 0, f"campus_monitor failed: {with_metrics.stderr}")
+
+        # Satellite: the skip-policy report must surface IngestStats.first_error.
+        out = with_metrics.stdout
+        check("ingest health (policy skip):" in out, f"no ingest health line in:\n{out}")
+        m = re.search(r"first fault \(record (\d+)\): (.+)", out)
+        check(m is not None, f"first_error not surfaced in:\n{out}")
+        check(int(m.group(1)) > 0, "first fault record number should be 1-based")
+        check(len(m.group(2).strip()) > 0, "first fault detail is empty")
+        check("1 quarantined" in out, f"expected exactly one quarantined record in:\n{out}")
+
+        # Prometheus snapshot: structurally valid and covering the scrape
+        # surface the issue requires.
+        check(prom.exists(), "--metrics did not write the snapshot file")
+        check(not (tmp / "metrics.prom.tmp").exists(), "temp snapshot file leaked")
+        v = run(
+            [sys.executable, args.check_prometheus, prom]
+            + [f for fam in REQUIRED_FAMILIES for f in ("--require", fam)]
+        )
+        check(v.returncode == 0, f"invalid Prometheus exposition:\n{v.stderr}")
+
+        # JSON snapshot: parseable, same families.
+        jsn = tmp / "metrics.json"
+        r = run(base_cmd + ["--metrics", jsn, "--metrics-format", "json"])
+        check(r.returncode == 0, f"campus_monitor (json metrics) failed: {r.stderr}")
+        doc = json.loads(jsn.read_text())
+        names = {m["name"] for m in doc["metrics"]}
+
+        def family(name):
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix):
+                    return name[: -len(suffix)]
+            return name
+
+        for fam in REQUIRED_FAMILIES:
+            check(fam in names or any(family(n) == fam for n in names),
+                  f"family {fam} missing from JSON snapshot")
+        for metric in doc["metrics"]:
+            if metric["type"] == "histogram":
+                counts = [b["count"] for b in metric["buckets"]]
+                check(counts == sorted(counts),
+                      f"{metric['name']}: JSON buckets not cumulative")
+                check(metric["buckets"][-1]["le"] == "+Inf",
+                      f"{metric['name']}: missing +Inf bucket in JSON")
+                check(metric["buckets"][-1]["count"] == metric["count"],
+                      f"{metric['name']}: +Inf bucket != count in JSON")
+
+        # Verdicts must be bit-identical with metrics collection off.
+        without_metrics = run(base_cmd)
+        check(without_metrics.returncode == 0,
+              f"campus_monitor (no metrics) failed: {without_metrics.stderr}")
+        check(strip_volatile(out) == strip_volatile(without_metrics.stdout),
+              "verdict output differs between metrics on and off")
+
+        # trace_tool stats: both ingest-metrics sections are well formed.
+        r = run([args.trace_tool, "stats", trace])
+        check(r.returncode == 0, f"trace_tool stats failed: {r.stderr}")
+        prom_marker = "--- ingest metrics (prometheus) ---\n"
+        json_marker = "--- ingest metrics (json) ---\n"
+        check(prom_marker in r.stdout and json_marker in r.stdout,
+              f"stats output lacks metrics sections:\n{r.stdout}")
+        prom_text = r.stdout.split(prom_marker, 1)[1].split(json_marker, 1)[0]
+        v = run(
+            [sys.executable, args.check_prometheus, "-",
+             "--require", "tradeplot_ingest_records_total",
+             "--require", "tradeplot_ingest_bytes_total"],
+            input=prom_text,
+        )
+        check(v.returncode == 0, f"trace_tool stats Prometheus section invalid:\n{v.stderr}")
+        stats_doc = json.loads(r.stdout.split(json_marker, 1)[1])
+        check(any(m["name"] == "tradeplot_ingest_records_total"
+                  for m in stats_doc["metrics"]),
+              "stats JSON section lacks ingest records counter")
+
+    print("ObsCliMetricsTest: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

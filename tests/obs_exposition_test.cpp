@@ -1,0 +1,189 @@
+#include "obs/exposition.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace tradeplot::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(ObsExpositionFormat, ParsesKnownNamesRejectsOthers) {
+  EXPECT_EQ(exposition_format_from_string("prom"), ExpositionFormat::kPrometheus);
+  EXPECT_EQ(exposition_format_from_string("prometheus"),
+            ExpositionFormat::kPrometheus);
+  EXPECT_EQ(exposition_format_from_string("json"), ExpositionFormat::kJson);
+  EXPECT_THROW(exposition_format_from_string("xml"), util::ConfigError);
+  EXPECT_THROW(exposition_format_from_string(""), util::ConfigError);
+  EXPECT_EQ(to_string(ExpositionFormat::kPrometheus), "prom");
+  EXPECT_EQ(to_string(ExpositionFormat::kJson), "json");
+}
+
+TEST(ObsPrometheus, CounterAndGaugeGolden) {
+  Registry r;
+  r.counter("tp_req_total", "Total requests", {{"method", "get"}}).add(3);
+  r.gauge("tp_depth", "Queue depth").set(2.5);
+  EXPECT_EQ(to_prometheus(r.snapshot()),
+            "# HELP tp_depth Queue depth\n"
+            "# TYPE tp_depth gauge\n"
+            "tp_depth 2.5\n"
+            "# HELP tp_req_total Total requests\n"
+            "# TYPE tp_req_total counter\n"
+            "tp_req_total{method=\"get\"} 3\n");
+}
+
+TEST(ObsPrometheus, HistogramBucketsAreCumulativeWithInf) {
+  Registry r;
+  Histogram& h = r.histogram("tp_lat_seconds", "Latency", {0.5, 2.0});
+  h.observe(0.25);
+  h.observe(1.0);
+  h.observe(5.0);
+  EXPECT_EQ(to_prometheus(r.snapshot()),
+            "# HELP tp_lat_seconds Latency\n"
+            "# TYPE tp_lat_seconds histogram\n"
+            "tp_lat_seconds_bucket{le=\"0.5\"} 1\n"
+            "tp_lat_seconds_bucket{le=\"2\"} 2\n"
+            "tp_lat_seconds_bucket{le=\"+Inf\"} 3\n"
+            "tp_lat_seconds_sum 6.25\n"
+            "tp_lat_seconds_count 3\n");
+}
+
+TEST(ObsPrometheus, FamilyHeaderEmittedOncePerRun) {
+  Registry r;
+  r.counter("tp_multi_total", "help", {{"op", "a"}}).add(1);
+  r.counter("tp_multi_total", "help", {{"op", "b"}}).add(2);
+  const std::string text = to_prometheus(r.snapshot());
+  EXPECT_EQ(text,
+            "# HELP tp_multi_total help\n"
+            "# TYPE tp_multi_total counter\n"
+            "tp_multi_total{op=\"a\"} 1\n"
+            "tp_multi_total{op=\"b\"} 2\n");
+}
+
+TEST(ObsPrometheus, EscapesLabelValuesAndHelp) {
+  Registry r;
+  r.counter("tp_esc_total", "line1\nline2 back\\slash",
+            {{"path", "a\\b\"c\nd"}})
+      .add(1);
+  EXPECT_EQ(to_prometheus(r.snapshot()),
+            "# HELP tp_esc_total line1\\nline2 back\\\\slash\n"
+            "# TYPE tp_esc_total counter\n"
+            "tp_esc_total{path=\"a\\\\b\\\"c\\nd\"} 1\n");
+}
+
+TEST(ObsJson, CounterGolden) {
+  Registry r;
+  r.counter("tp_req_total", "Total requests", {{"method", "get"}}).add(3);
+  EXPECT_EQ(to_json(r.snapshot()), R"({
+  "metrics": [
+    {
+      "name": "tp_req_total",
+      "help": "Total requests",
+      "type": "counter",
+      "labels": {
+        "method": "get"
+      },
+      "value": 3
+    }
+  ]
+})"
+                                       "\n");
+}
+
+TEST(ObsJson, HistogramBucketsCumulativeAndLeIsAString) {
+  Registry r;
+  Histogram& h = r.histogram("tp_lat_seconds", "Latency", {0.5, 2.0});
+  h.observe(0.25);
+  h.observe(1.0);
+  h.observe(5.0);
+  EXPECT_EQ(to_json(r.snapshot()), R"({
+  "metrics": [
+    {
+      "name": "tp_lat_seconds",
+      "help": "Latency",
+      "type": "histogram",
+      "labels": {},
+      "count": 3,
+      "sum": 6.25,
+      "buckets": [
+        {
+          "le": "0.5",
+          "count": 1
+        },
+        {
+          "le": "2",
+          "count": 2
+        },
+        {
+          "le": "+Inf",
+          "count": 3
+        }
+      ]
+    }
+  ]
+})"
+                                       "\n");
+}
+
+TEST(ObsExposition, WriteSnapshotStreamMatchesRenderers) {
+  Registry r;
+  r.counter("tp_s_total", "help").add(9);
+  const MetricsSnapshot snap = r.snapshot();
+  std::ostringstream prom;
+  write_snapshot(prom, snap, ExpositionFormat::kPrometheus);
+  EXPECT_EQ(prom.str(), to_prometheus(snap));
+  std::ostringstream json;
+  write_snapshot(json, snap, ExpositionFormat::kJson);
+  EXPECT_EQ(json.str(), to_json(snap));
+}
+
+TEST(ObsExposition, WriteSnapshotFileIsAtomicAndComplete) {
+  Registry r;
+  r.counter("tp_file_total", "help").add(4);
+  const MetricsSnapshot snap = r.snapshot();
+  const std::string path =
+      testing::TempDir() + "tp_obs_exposition_test_metrics.prom";
+  write_snapshot_file(path, snap, ExpositionFormat::kPrometheus);
+  EXPECT_EQ(slurp(path), to_prometheus(snap));
+  // The temporary sibling must not survive a successful write.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  // Overwrite in JSON; the old content must be fully replaced.
+  write_snapshot_file(path, snap, ExpositionFormat::kJson);
+  EXPECT_EQ(slurp(path), to_json(snap));
+  std::remove(path.c_str());
+}
+
+TEST(ObsExposition, WriteSnapshotFileThrowsOnUnwritablePath) {
+  Registry r;
+  r.counter("tp_bad_total", "help").add(1);
+  EXPECT_THROW(write_snapshot_file("/nonexistent-dir/metrics.prom", r.snapshot(),
+                                   ExpositionFormat::kPrometheus),
+               util::IoError);
+}
+
+TEST(ObsPrometheus, NonFiniteValuesSpelledOut) {
+  MetricsSnapshot snap;
+  SnapshotSample s;
+  s.name = "tp_inf";
+  s.help = "h";
+  s.type = MetricType::kGauge;
+  s.value = std::numeric_limits<double>::infinity();
+  snap.samples.push_back(s);
+  EXPECT_EQ(to_prometheus(snap),
+            "# HELP tp_inf h\n# TYPE tp_inf gauge\ntp_inf +Inf\n");
+}
+
+}  // namespace
+}  // namespace tradeplot::obs

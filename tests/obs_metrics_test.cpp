@@ -1,0 +1,175 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+#include "util/parallel.h"
+
+namespace tradeplot::obs {
+namespace {
+
+TEST(ObsEnabled, DefaultsOffAndToggles) {
+  EXPECT_FALSE(enabled());
+  set_enabled(true);
+  EXPECT_TRUE(enabled());
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+}
+
+TEST(ObsCounter, SingleThreadAddsAccumulate) {
+  Registry r;
+  Counter& c = r.counter("tp_c_total", "help");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsCounter, ParallelIncrementsSumExactly) {
+  // Counters must lose no update under contention: parallel_for runs over the
+  // shared ThreadPool, so increments land from many worker threads at once.
+  Registry r;
+  Counter& c = r.counter("tp_parallel_total", "help");
+  constexpr std::size_t kIters = 20000;
+  util::parallel_for(0, kIters, 1, 8, [&](std::size_t i) { c.add(i % 3 + 1); });
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < kIters; ++i) expected += i % 3 + 1;
+  EXPECT_EQ(c.value(), expected);
+}
+
+TEST(ObsCounter, RawThreadsSumExactly) {
+  Registry r;
+  Counter& c = r.counter("tp_threads_total", "help");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(ObsGauge, SetAddRead) {
+  Registry r;
+  Gauge& g = r.gauge("tp_gauge", "help");
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_EQ(g.value(), 1.5);
+}
+
+TEST(ObsHistogram, BucketAssignmentMatchesPrometheusLe) {
+  Registry r;
+  Histogram& h = r.histogram("tp_hist", "help", {1.0, 2.0, 4.0});
+  // le semantics: a value equal to a bound lands in that bound's bucket.
+  h.observe(0.5);  // bucket 0 (le 1)
+  h.observe(1.0);  // bucket 0 (le 1)
+  h.observe(1.5);  // bucket 1 (le 2)
+  h.observe(4.0);  // bucket 2 (le 4)
+  h.observe(9.0);  // +Inf
+  const HistogramValue v = h.collect();
+  ASSERT_EQ(v.counts.size(), 3u);
+  EXPECT_EQ(v.counts[0], 2u);
+  EXPECT_EQ(v.counts[1], 1u);
+  EXPECT_EQ(v.counts[2], 1u);
+  EXPECT_EQ(v.count, 5u);  // +Inf raw count is count - sum(counts) == 1
+  EXPECT_DOUBLE_EQ(v.sum, 0.5 + 1.0 + 1.5 + 4.0 + 9.0);
+}
+
+TEST(ObsHistogram, ConcurrentObservationsAllCounted) {
+  Registry r;
+  Histogram& h = r.histogram("tp_hist_mt", "help", {0.5});
+  constexpr std::size_t kIters = 20000;
+  util::parallel_for(0, kIters, 1, 8, [&](std::size_t i) {
+    h.observe(i % 2 == 0 ? 0.25 : 1.0);
+  });
+  const HistogramValue v = h.collect();
+  EXPECT_EQ(v.count, kIters);
+  EXPECT_EQ(v.counts[0], kIters / 2);
+}
+
+TEST(ObsHistogram, RejectsBadBounds) {
+  Registry r;
+  EXPECT_THROW(r.histogram("tp_empty", "help", {}), util::ConfigError);
+  EXPECT_THROW(r.histogram("tp_nonmono", "help", {1.0, 1.0}), util::ConfigError);
+  EXPECT_THROW(r.histogram("tp_nonfinite", "help",
+                           {1.0, std::numeric_limits<double>::infinity()}),
+               util::ConfigError);
+}
+
+TEST(ObsRegistry, SameNameAndLabelsReturnsSameInstance) {
+  Registry r;
+  Counter& a = r.counter("tp_dedup_total", "help", {{"k", "v"}});
+  Counter& b = r.counter("tp_dedup_total", "help", {{"k", "v"}});
+  EXPECT_EQ(&a, &b);
+  Counter& other = r.counter("tp_dedup_total", "help", {{"k", "w"}});
+  EXPECT_NE(&a, &other);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(ObsRegistry, RejectsConflictsAndBadNames) {
+  Registry r;
+  r.counter("tp_conflict", "help");
+  EXPECT_THROW(r.gauge("tp_conflict", "help"), util::ConfigError);
+  // A second label set under one family must keep the family's type.
+  EXPECT_THROW(r.gauge("tp_conflict", "help", {{"k", "v"}}), util::ConfigError);
+  r.histogram("tp_buckets", "help", {1.0, 2.0}, {{"k", "a"}});
+  EXPECT_THROW(r.histogram("tp_buckets", "help", {1.0, 3.0}, {{"k", "b"}}),
+               util::ConfigError);
+  EXPECT_THROW(r.counter("0bad", "help"), util::ConfigError);
+  EXPECT_THROW(r.counter("bad name", "help"), util::ConfigError);
+  EXPECT_THROW(r.counter("tp_ok_total", "help", {{"bad label", "v"}}), util::ConfigError);
+  EXPECT_THROW(r.counter("tp_ok_total", "help", {{"bad:label", "v"}}), util::ConfigError);
+}
+
+TEST(ObsRegistry, SnapshotIsSortedAndImmutable) {
+  Registry r;
+  r.counter("tp_z_total", "help").add(7);
+  r.counter("tp_a_total", "help", {{"x", "2"}}).add(2);
+  Counter& a1 = r.counter("tp_a_total", "help", {{"x", "1"}});
+  a1.add(1);
+  const MetricsSnapshot snap = r.snapshot();
+  ASSERT_EQ(snap.samples.size(), 3u);
+  EXPECT_EQ(snap.samples[0].name, "tp_a_total");
+  EXPECT_EQ(snap.samples[0].labels, (Labels{{"x", "1"}}));
+  EXPECT_EQ(snap.samples[1].labels, (Labels{{"x", "2"}}));
+  EXPECT_EQ(snap.samples[2].name, "tp_z_total");
+  // The snapshot is a deep copy: registry mutations after the fact must not
+  // show through.
+  a1.add(100);
+  EXPECT_EQ(snap.samples[0].value, 1.0);
+  EXPECT_EQ(r.snapshot().samples[0].value, 101.0);
+}
+
+TEST(ObsRegistry, ResetZeroesValuesKeepsHandles) {
+  Registry r;
+  Counter& c = r.counter("tp_reset_total", "help");
+  Gauge& g = r.gauge("tp_reset_gauge", "help");
+  Histogram& h = r.histogram("tp_reset_hist", "help", {1.0});
+  c.add(5);
+  g.set(3.0);
+  h.observe(0.5);
+  r.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.collect().count, 0u);
+  EXPECT_EQ(r.size(), 3u);
+  c.add(1);  // handle still live
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(ObsRegistry, GlobalIsASingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace tradeplot::obs

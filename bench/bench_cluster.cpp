@@ -1,0 +1,265 @@
+// The θ_hm clustering wall: exhaustive dense UPGMA vs. the pruned driver.
+//
+// Builds post-funnel populations of tight timer families plus a scattered
+// human remnant, runs FindPlotters' human/machine stage once with
+// HmPruning::kExhaustive and once with HmPruning::kPruned, and reports wall
+// time, exact-EMD kernel evaluations, the eval-reduction factor, and whether
+// the two verdicts (flagged set, clusters, diameters, τ_hm) are bit-identical
+// — the pruned path's contract is exactness, so any drift is a failure, not
+// a tolerance.
+//
+//   bench_cluster [--quick] [--json <path>]
+//
+// --quick shrinks the population for CI smoke runs; --json writes the
+// machine-readable report to <path>. TRADEPLOT_THREADS is parsed strictly: a
+// malformed value aborts with the pinned config error on stderr and exit
+// code 2.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "detect/human_machine.h"
+#include "util/error.h"
+#include "util/json.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+using namespace tradeplot;
+
+namespace {
+
+simnet::Ipv4 host_ip(std::uint32_t id) {
+  return simnet::Ipv4(10, static_cast<std::uint8_t>(id >> 8), static_cast<std::uint8_t>(id),
+                      1);
+}
+
+struct Population {
+  detect::FeatureMap features;
+  detect::HostSet input;
+  std::size_t families = 0;
+  std::size_t humans = 0;
+};
+
+// The post-funnel shape the pruned path exists for: 7/8 of the hosts sit in
+// tight timer families (bots sharing a C&C beat), 1/8 are a lognormal human
+// remnant. Family periods sit on a ladder with geometrically shrinking gaps,
+// so every family is far from every other relative to its own diameter and
+// each family's nearest neighbour is on its denser side — the regime where
+// the paper's 25% cut isolates families and the metric bounds can carry
+// almost every cross-family decision. The ladder ratio is chosen per
+// population so the smallest inter-family gap stays at kGapMin, and the
+// family count is capped at 256: bigger windows mean more bots per C&C
+// beat, not more distinct beats, and past ~256 rungs a single geometric
+// ladder flattens until adjacent gaps differ by less than the family
+// diameter — at which point each family's nearest neighbour is no longer
+// on its denser side and the NN-chain wanders across families instead of
+// finishing each one locally.
+Population make_population(std::size_t hosts, std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  Population pop;
+  const std::size_t bots = hosts - hosts / 8;
+  pop.families = std::min<std::size_t>(hosts / 8, 256);
+  pop.humans = hosts - bots;
+  constexpr double kGapFirst = 20.0;
+  constexpr double kGapMin = 4.0;
+  const double ratio =
+      pop.families > 1
+          ? std::pow(kGapMin / kGapFirst, 1.0 / static_cast<double>(pop.families - 1))
+          : 1.0;
+  for (std::size_t i = 0; i < hosts; ++i) {
+    std::vector<double> gaps(80);
+    if (i < bots) {
+      double period = 8.0;
+      if (pop.families > 1) {
+        const double k = static_cast<double>(i % pop.families);
+        period += kGapFirst * (1.0 - std::pow(ratio, k)) / (1.0 - ratio);
+      }
+      for (double& g : gaps) g = period + rng.uniform(-0.25, 0.25);
+    } else {
+      for (double& g : gaps) g = rng.lognormal(4.5, 1.0);
+    }
+    detect::HostFeatures f;
+    f.host = host_ip(static_cast<std::uint32_t>(i));
+    f.flows_initiated = gaps.size() + 1;
+    f.interstitials = std::move(gaps);
+    pop.input.push_back(f.host);
+    pop.features.emplace(f.host, std::move(f));
+  }
+  return pop;
+}
+
+bool same_verdict(const detect::HumanMachineResult& a, const detect::HumanMachineResult& b) {
+  if (a.flagged != b.flagged || a.skipped != b.skipped || a.degenerate != b.degenerate ||
+      a.degraded != b.degraded) {
+    return false;
+  }
+  if (std::memcmp(&a.tau_hm, &b.tau_hm, sizeof a.tau_hm) != 0) return false;
+  if (a.clusters.size() != b.clusters.size()) return false;
+  for (std::size_t c = 0; c < a.clusters.size(); ++c) {
+    if (a.clusters[c].members != b.clusters[c].members) return false;
+    if (a.clusters[c].kept != b.clusters[c].kept) return false;
+    if (std::memcmp(&a.clusters[c].diameter, &b.clusters[c].diameter,
+                    sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct SizeReport {
+  std::size_t hosts = 0;
+  std::size_t families = 0;
+  std::size_t humans = 0;
+  std::uint64_t pairs = 0;
+  double exhaustive_ms = 0.0;
+  double pruned_ms = 0.0;
+  std::uint64_t exhaustive_evals = 0;
+  std::uint64_t pruned_evals = 0;
+  double eval_reduction = 0.0;
+  double speedup = 0.0;
+  bool verdicts_identical = false;
+};
+
+void write_json(const std::string& path, bool quick,
+                const std::optional<std::size_t>& env_threads,
+                const std::vector<SizeReport>& reports, bool deterministic) {
+  std::ofstream out(path);
+  if (!out) throw util::IoError("bench_cluster: cannot write JSON to " + path);
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.kv("bench", "bench_cluster");
+  w.kv("quick", quick);
+  w.key("tradeplot_threads");
+  if (env_threads) {
+    w.value(static_cast<std::uint64_t>(*env_threads));
+  } else {
+    w.null();
+  }
+  w.kv("hardware_threads", std::thread::hardware_concurrency());
+  w.key("configs");
+  w.begin_array();
+  for (const SizeReport& r : reports) {
+    w.begin_object();
+    w.kv("hosts", static_cast<std::uint64_t>(r.hosts));
+    w.kv("families", static_cast<std::uint64_t>(r.families));
+    w.kv("humans", static_cast<std::uint64_t>(r.humans));
+    w.kv("pairs", r.pairs);
+    w.key("exhaustive_ms");
+    w.number(r.exhaustive_ms, "%.3f");
+    w.key("pruned_ms");
+    w.number(r.pruned_ms, "%.3f");
+    w.kv("exhaustive_exact_evals", r.exhaustive_evals);
+    w.kv("pruned_exact_evals", r.pruned_evals);
+    w.key("eval_reduction");
+    w.number(r.eval_reduction, "%.2f");
+    w.key("speedup");
+    w.number(r.speedup, "%.3f");
+    w.kv("verdicts_identical", r.verdicts_identical);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("determinism", deterministic ? "pass" : "fail");
+  w.end_object();
+  out << "\n";
+  if (!out.flush()) throw util::IoError("bench_cluster: cannot write JSON to " + path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_cluster [--quick] [--json <path>]\n");
+      return 2;
+    }
+  }
+
+  std::optional<std::size_t> env_threads;
+  try {
+    env_threads = util::threads_env_strict();
+  } catch (const util::ConfigError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  std::printf("==============================================================\n");
+  std::printf("bench_cluster - theta_hm clustering, exhaustive vs pruned\n");
+  std::printf("==============================================================\n");
+  std::printf("  hardware threads: %zu, TRADEPLOT_THREADS: %s\n\n",
+              static_cast<std::size_t>(std::thread::hardware_concurrency()),
+              env_threads ? std::to_string(*env_threads).c_str() : "(unset)");
+
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{256} : std::vector<std::size_t>{512, 1024, 4096};
+
+  std::vector<SizeReport> reports;
+  bool deterministic = true;
+
+  for (const std::size_t hosts : sizes) {
+    const Population pop = make_population(hosts, 20100621 + hosts);
+
+    detect::HumanMachineConfig exhaustive;
+    exhaustive.min_samples = 10;
+    exhaustive.pruning = detect::HmPruning::kExhaustive;
+    detect::HumanMachineConfig pruned = exhaustive;
+    pruned.pruning = detect::HmPruning::kPruned;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const detect::HumanMachineResult want =
+        detect::human_machine_test(pop.features, pop.input, exhaustive);
+    const auto t1 = std::chrono::steady_clock::now();
+    const detect::HumanMachineResult got =
+        detect::human_machine_test(pop.features, pop.input, pruned);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    SizeReport r;
+    r.hosts = hosts;
+    r.families = pop.families;
+    r.humans = pop.humans;
+    r.pairs = got.prune.pairs_total;
+    r.exhaustive_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    r.pruned_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+    r.exhaustive_evals = want.prune.exact_kernel_evals;
+    r.pruned_evals = got.prune.exact_kernel_evals;
+    r.eval_reduction = r.pruned_evals == 0
+                           ? 0.0
+                           : static_cast<double>(r.exhaustive_evals) /
+                                 static_cast<double>(r.pruned_evals);
+    r.speedup = r.pruned_ms > 0.0 ? r.exhaustive_ms / r.pruned_ms : 0.0;
+    r.verdicts_identical = same_verdict(got, want);
+    deterministic = deterministic && r.verdicts_identical;
+    reports.push_back(r);
+
+    std::printf("  %5zu hosts (%zu families, %zu humans), %llu pairs:\n", hosts,
+                pop.families, pop.humans, static_cast<unsigned long long>(r.pairs));
+    std::printf("    exhaustive: %9.1f ms, %10llu exact EMD evals\n", r.exhaustive_ms,
+                static_cast<unsigned long long>(r.exhaustive_evals));
+    std::printf("    pruned:     %9.1f ms, %10llu exact EMD evals\n", r.pruned_ms,
+                static_cast<unsigned long long>(r.pruned_evals));
+    std::printf("    eval reduction: %.1fx, speedup: %.2fx, verdicts %s\n\n",
+                r.eval_reduction, r.speedup,
+                r.verdicts_identical ? "bit-identical" : "DIVERGED");
+  }
+
+  if (!json_path.empty()) write_json(json_path, quick, env_threads, reports, deterministic);
+
+  if (!deterministic) {
+    std::fprintf(stderr, "bench_cluster: pruned verdicts diverged from exhaustive\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,9 +1,12 @@
 #include "detect/human_machine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
@@ -15,6 +18,7 @@
 #include "stats/flat_signature.h"
 #include "stats/hcluster.h"
 #include "stats/histogram.h"
+#include "stats/neighbor_index.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -41,12 +45,49 @@ struct HmObs {
       "tradeplot_pairwise_tile_seconds",
       "Wall-clock duration of one pairwise distance tile", obs::duration_buckets(),
       {{"kernel", "bin_l1"}});
+  obs::Counter& degenerate_hosts = obs::Registry::global().counter(
+      "tradeplot_hm_degenerate_hosts_total",
+      "theta_hm hosts skipped for degenerate timing evidence");
+  obs::Counter& dense_matrix = obs::Registry::global().counter(
+      "tradeplot_hm_dense_matrix_total",
+      "dense n x n distance matrices allocated by theta_hm");
+  obs::Counter& prune_exact = obs::Registry::global().counter(
+      "tradeplot_hm_prune_pairs_total",
+      "theta_hm pruned-path pair evaluations, by outcome", {{"op", "exact"}});
+  obs::Counter& prune_skipped_pivot = obs::Registry::global().counter(
+      "tradeplot_hm_prune_pairs_total",
+      "theta_hm pruned-path pair evaluations, by outcome", {{"op", "skipped_pivot"}});
+  obs::Counter& prune_skipped_grid = obs::Registry::global().counter(
+      "tradeplot_hm_prune_pairs_total",
+      "theta_hm pruned-path pair evaluations, by outcome", {{"op", "skipped_grid"}});
 
   static HmObs& get() {
     static HmObs o;
     return o;
   }
 };
+
+/// S1: a negative or non-finite fixed_bin_width used to fall silently back to
+/// the 60 s grid inside bin_l1_grid; it is a misconfiguration and is rejected
+/// up front. 0 stays valid (the documented FD / 60 s fallback sentinel).
+void validate_config(const HumanMachineConfig& config) {
+  if (!std::isfinite(config.fixed_bin_width) || config.fixed_bin_width < 0.0) {
+    throw util::ConfigError(
+        "theta_hm: fixed_bin_width must be a finite, non-negative seconds value");
+  }
+}
+
+/// S2: a signature the distance kernels would reject (zero mass, non-finite
+/// or negative weight, non-finite position). Such a host is skipped and
+/// accounted instead of aborting the whole window.
+bool degenerate_signature(const stats::Signature& s) {
+  double mass = 0.0;
+  for (const stats::SignaturePoint& p : s) {
+    if (!std::isfinite(p.position) || !std::isfinite(p.weight) || p.weight < 0.0) return true;
+    mass += p.weight;
+  }
+  return !(mass > 0.0);
+}
 
 /// All signatures re-binned once onto the absolute grid, stored flat. The
 /// per-pair kernel is then a straight L1 sweep with no lookups and no
@@ -257,10 +298,138 @@ std::vector<double> cached_distances(const std::vector<stats::Signature>& signat
   return d;
 }
 
+/// The sub-quadratic distance + clustering stage. Exact leaf distances are
+/// resolved on demand (HmCache first, then the flat kernels) and memoized by
+/// leaf pair; the lazy clustering driver gates every candidate through the
+/// pruned-neighbor index's lower bounds so only near pairs pay the kernel.
+/// Verdicts are bit-identical to the dense path (see
+/// stats::average_linkage_cut_pruned); memory stays O(resolved
+/// pairs) — a fully cache-warm window runs zero kernel evaluations and never
+/// allocates quadratic storage.
+class PrunedStage {
+ public:
+  PrunedStage(const std::vector<stats::Signature>& signatures,
+              const std::vector<simnet::Ipv4>& hosts,
+              const std::vector<std::uint64_t>& hashes, const HumanMachineConfig& config,
+              HmCache* cache)
+      : hosts_(hosts), hashes_(hashes), cache_(cache) {
+    const std::size_t n = signatures.size();
+    if (config.distance == HmDistance::kBinL1) {
+      bins_.emplace(signatures, bin_l1_grid(config), config.threads);
+    } else {
+      flat_.emplace(signatures, config.threads);
+    }
+
+    // Pivot columns are filled with parallel_for: exact_pair is pure (cache
+    // reads only, atomic counters), so the index is thread-count invariant.
+    const obs::StageTimer index_timer(obs::Stage::kPruneIndex);
+    index_.emplace(
+        n, [this](std::size_t i, std::size_t j) { return exact_pair(i, j); },
+        config.prune_pivots, config.threads);
+    if (config.distance != HmDistance::kBinL1 && config.prune_grid_bins > 0) {
+      index_->build_grid(*flat_, config.prune_grid_bins, config.threads);
+    }
+
+    // Seed the serial memo with the pivot columns — the NN-chain and the
+    // diameter pass re-ask for many leaf-pivot pairs.
+    const std::size_t p_count = index_->pivot_count();
+    leaf_memo_.reserve(n * p_count);
+    for (std::size_t p = 0; p < p_count; ++p) {
+      const std::size_t pivot = index_->pivot_leaves()[p];
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i != pivot)
+          leaf_memo_.emplace(pair_slot(i, pivot), index_->pivot_distances()[i * p_count + p]);
+      }
+    }
+  }
+
+  /// Memoized exact leaf distance; serial (clustering driver and diameter
+  /// pass only).
+  double leaf_distance(std::size_t i, std::size_t j) {
+    const std::uint64_t slot = pair_slot(i, j);
+    const auto it = leaf_memo_.find(slot);
+    if (it != leaf_memo_.end()) return it->second;
+    const double v = exact_pair(i, j);
+    leaf_memo_.emplace(slot, v);
+    return v;
+  }
+
+  [[nodiscard]] stats::PruneFeatures features() const { return index_->features(); }
+  [[nodiscard]] std::size_t pivot_count() const { return index_->pivot_count(); }
+  [[nodiscard]] std::uint64_t kernel_evals() const {
+    return kernel_evals_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t resolved_pairs() const { return leaf_memo_.size(); }
+
+  /// One-window retention of exactly the resolved pairs: the next warm
+  /// window's pivot columns and chain resolutions become pure cache hits.
+  void retain_into_cache() {
+    if (cache_ == nullptr) return;
+    std::unordered_map<std::uint64_t, HmCache::DistanceEntry> retained;
+    retained.reserve(leaf_memo_.size());
+    for (const auto& [slot, distance] : leaf_memo_) {
+      const auto i = static_cast<std::size_t>(slot >> 32);
+      const auto j = static_cast<std::size_t>(slot & 0xffffffffu);
+      const bool i_low = hosts_[i].value() < hosts_[j].value();
+      retained.emplace(HmCache::pair_key(hosts_[i], hosts_[j]),
+                       HmCache::DistanceEntry{i_low ? hashes_[i] : hashes_[j],
+                                              i_low ? hashes_[j] : hashes_[i], distance});
+    }
+    cache_->distances = std::move(retained);
+    cache_->distances_computed += kernel_evals();
+    cache_->distances_reused += cache_hits();
+  }
+
+ private:
+  static std::uint64_t pair_slot(std::size_t i, std::size_t j) {
+    const std::uint64_t lo = std::min(i, j);
+    const std::uint64_t hi = std::max(i, j);
+    return (lo << 32) | hi;
+  }
+
+  /// Pure, thread-safe exact pair distance: cross-window cache lookup first,
+  /// then the same flat kernel the dense path uses (bit-identical values).
+  double exact_pair(std::size_t i, std::size_t j) {
+    if (cache_ != nullptr) {
+      const auto it = cache_->distances.find(HmCache::pair_key(hosts_[i], hosts_[j]));
+      if (it != cache_->distances.end()) {
+        const bool i_low = hosts_[i].value() < hosts_[j].value();
+        const std::uint64_t hash_lo = i_low ? hashes_[i] : hashes_[j];
+        const std::uint64_t hash_hi = i_low ? hashes_[j] : hashes_[i];
+        if (it->second.hash_lo == hash_lo && it->second.hash_hi == hash_hi) {
+          cache_hits_.fetch_add(1, std::memory_order_relaxed);
+          return it->second.distance;
+        }
+      }
+    }
+    kernel_evals_.fetch_add(1, std::memory_order_relaxed);
+    // The dense path only ever evaluates (low, high) pairs; the EMD merge
+    // sweep is not bitwise symmetric under tied positions, so normalize the
+    // operand order to stay bit-identical.
+    const std::size_t a = std::min(i, j);
+    const std::size_t b = std::max(i, j);
+    return bins_ ? bins_->l1(a, b) : stats::emd_1d_presorted(flat_->view(a), flat_->view(b));
+  }
+
+  const std::vector<simnet::Ipv4>& hosts_;
+  const std::vector<std::uint64_t>& hashes_;
+  HmCache* cache_;
+  std::optional<FlatBinSet> bins_;
+  std::optional<stats::FlatSignatureSet> flat_;
+  std::optional<stats::NeighborIndex> index_;
+  std::unordered_map<std::uint64_t, double> leaf_memo_;  // (min<<32)|max -> exact
+  std::atomic<std::uint64_t> kernel_evals_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+};
+
 }  // namespace
 
 std::vector<double> pairwise_bin_l1(const std::vector<stats::Signature>& sigs,
                                     const HumanMachineConfig& config) {
+  validate_config(config);
   const std::size_t n = sigs.size();
   const FlatBinSet bins(sigs, bin_l1_grid(config), config.threads);
   std::vector<double> d(n * n, 0.0);
@@ -272,11 +441,25 @@ std::vector<double> pairwise_bin_l1(const std::vector<stats::Signature>& sigs,
 
 HumanMachineResult human_machine_test(const FeatureMap& features, const HostSet& input,
                                       const HumanMachineConfig& config, HmCache* cache) {
+  validate_config(config);
   HumanMachineResult result;
+  const auto finish = [&result] {
+    std::sort(result.skipped.begin(), result.skipped.end());
+    std::sort(result.degenerate.begin(), result.degenerate.end());
+  };
+  const auto mark_degenerate = [&result](simnet::Ipv4 host) {
+    result.skipped.push_back(host);
+    result.degenerate.push_back(host);
+    result.degraded = true;
+    if (obs::enabled()) HmObs::get().degenerate_hosts.add(1);
+  };
 
   // Select eligible hosts serially (cheap), then build the histogram
   // signatures in parallel — each host writes only its own slot, so the
-  // signature list is identical for every thread count.
+  // signature list is identical for every thread count. A host whose timing
+  // buffer cannot produce a valid histogram (empty, or containing non-finite
+  // samples the kernels would reject) is skipped and accounted as degenerate
+  // instead of aborting the window.
   std::vector<simnet::Ipv4> hosts;
   std::vector<const HostFeatures*> eligible;
   for (const simnet::Ipv4 host : input) {
@@ -288,11 +471,17 @@ HumanMachineResult human_machine_test(const FeatureMap& features, const HostSet&
       result.skipped.push_back(host);
       continue;
     }
+    const bool finite = std::all_of(f.interstitials.begin(), f.interstitials.end(),
+                                    [](double v) { return std::isfinite(v); });
+    if (f.interstitials.empty() || !finite) {
+      mark_degenerate(host);
+      continue;
+    }
     hosts.push_back(host);
     eligible.push_back(&f);
   }
   if (hosts.size() < config.min_cluster_size) {
-    std::sort(result.skipped.begin(), result.skipped.end());
+    finish();
     return result;
   }
 
@@ -329,6 +518,43 @@ HumanMachineResult human_machine_test(const FeatureMap& features, const HostSet&
                                                                   : hist.signature();
     });
   }
+  // Post-build screen: a histogram can still be degenerate (zero total mass,
+  // non-finite bin centres from pathological widths). Compact such hosts out
+  // of every parallel array before the distance stage — the kernels would
+  // otherwise throw and abort the whole window.
+  {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      if (degenerate_signature(signatures[i])) {
+        mark_degenerate(hosts[i]);
+        continue;
+      }
+      if (kept != i) {
+        hosts[kept] = hosts[i];
+        eligible[kept] = eligible[i];
+        signatures[kept] = std::move(signatures[i]);
+        if (cache != nullptr) {
+          hashes[kept] = hashes[i];
+          reuse_signature[kept] = reuse_signature[i];
+        }
+      }
+      ++kept;
+    }
+    if (kept != hosts.size()) {
+      hosts.resize(kept);
+      eligible.resize(kept);
+      signatures.resize(kept);
+      if (cache != nullptr) {
+        hashes.resize(kept);
+        reuse_signature.resize(kept);
+      }
+    }
+  }
+  if (hosts.size() < config.min_cluster_size) {
+    finish();
+    return result;
+  }
+
   if (cache != nullptr) {
     const std::size_t built_before = cache->signatures_built;
     const std::size_t reused_before = cache->signatures_reused;
@@ -352,35 +578,102 @@ HumanMachineResult human_machine_test(const FeatureMap& features, const HostSet&
     HmObs::get().signatures_built.add(hosts.size());
   }
 
-  std::vector<double> distances;
-  {
-    const obs::StageTimer dist_timer(obs::Stage::kPairwiseDistance);
-    distances = cache != nullptr ? cached_distances(signatures, hosts, hashes, config, *cache)
-                : config.distance == HmDistance::kBinL1
-                    ? pairwise_bin_l1(signatures, config)
-                    : stats::pairwise_emd(signatures, config.threads);
-    if (cache == nullptr && obs::enabled())
-      HmObs::get().distances_computed.add(hosts.size() * (hosts.size() - 1) / 2);
-  }
-  const auto groups = [&] {
-    const obs::StageTimer cluster_timer(obs::Stage::kClustering);
-    const stats::Dendrogram dendrogram =
-        stats::agglomerative_average_linkage(distances, hosts.size());
-    return dendrogram.cut_top_fraction(config.cut_fraction);
-  }();
+  const std::size_t n = hosts.size();
+  result.prune.pairs_total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  const bool use_pruned =
+      config.pruning == HmPruning::kPruned ||
+      (config.pruning == HmPruning::kAuto && n >= config.prune_min_hosts);
 
-  // Diameters of the clusters that carry similarity evidence.
   std::vector<double> diameters;
-  for (const auto& group : groups) {
-    if (group.size() < config.min_cluster_size) continue;
-    HostCluster cluster;
-    for (const std::size_t idx : group) cluster.members.push_back(hosts[idx]);
-    cluster.diameter = stats::cluster_diameter(distances, hosts.size(), group);
-    diameters.push_back(cluster.diameter);
-    result.clusters.push_back(std::move(cluster));
+  if (use_pruned) {
+    // Sub-quadratic path: no dense matrix is ever allocated. Exact distances
+    // resolve lazily through the cache and the flat kernels; the clustering
+    // driver prunes candidates with the index's admissible lower bounds and
+    // is bit-identical to the dense run by construction.
+    PrunedStage stage(signatures, hosts, hashes, config, cache);
+    stats::PruneCounters counters;
+    const auto groups = [&] {
+      const obs::StageTimer cluster_timer(obs::Stage::kClustering);
+      // Fused UPGMA + cut: the heights of cut (far) links are never
+      // resolved exactly, which is what keeps the kernel count sub-quadratic
+      // — a full dendrogram's top merge heights would need nearly every far
+      // pair (see stats::average_linkage_cut_pruned).
+      return stats::average_linkage_cut_pruned(
+          n, [&stage](std::size_t i, std::size_t j) { return stage.leaf_distance(i, j); },
+          stage.features(), config.cut_fraction, &counters);
+    }();
+
+    for (const auto& group : groups) {
+      if (group.size() < config.min_cluster_size) continue;
+      HostCluster cluster;
+      double diameter = 0.0;
+      for (const std::size_t idx : group) cluster.members.push_back(hosts[idx]);
+      for (std::size_t a = 0; a < group.size(); ++a) {
+        for (std::size_t b = a + 1; b < group.size(); ++b) {
+          diameter = std::max(diameter, stage.leaf_distance(group[a], group[b]));
+        }
+      }
+      cluster.diameter = diameter;
+      diameters.push_back(diameter);
+      result.clusters.push_back(std::move(cluster));
+    }
+
+    stage.retain_into_cache();
+    result.prune.used = true;
+    result.prune.exact_kernel_evals = stage.kernel_evals();
+    result.prune.cache_hits = stage.cache_hits();
+    result.prune.resolved_pairs = stage.resolved_pairs();
+    result.prune.pivots = stage.pivot_count();
+    result.prune.scanned = counters.scanned;
+    result.prune.skipped_pivot = counters.skipped_pivot;
+    result.prune.skipped_grid = counters.skipped_grid;
+    if (obs::enabled()) {
+      HmObs& o = HmObs::get();
+      o.distances_computed.add(stage.kernel_evals());
+      o.distances_reused.add(stage.cache_hits());
+      o.prune_exact.add(stage.kernel_evals());
+      o.prune_skipped_pivot.add(counters.skipped_pivot);
+      o.prune_skipped_grid.add(counters.skipped_grid);
+    }
+  } else {
+    if (obs::enabled()) HmObs::get().dense_matrix.add(1);
+    const std::uint64_t computed_before = cache != nullptr ? cache->distances_computed : 0;
+    const std::uint64_t reused_before = cache != nullptr ? cache->distances_reused : 0;
+    std::vector<double> distances;
+    {
+      const obs::StageTimer dist_timer(obs::Stage::kPairwiseDistance);
+      distances = cache != nullptr
+                      ? cached_distances(signatures, hosts, hashes, config, *cache)
+                  : config.distance == HmDistance::kBinL1
+                      ? pairwise_bin_l1(signatures, config)
+                      : stats::pairwise_emd(signatures, config.threads);
+      if (cache == nullptr && obs::enabled())
+        HmObs::get().distances_computed.add(result.prune.pairs_total);
+    }
+    result.prune.exact_kernel_evals =
+        cache != nullptr ? cache->distances_computed - computed_before
+                         : result.prune.pairs_total;
+    result.prune.cache_hits = cache != nullptr ? cache->distances_reused - reused_before : 0;
+    result.prune.resolved_pairs = result.prune.pairs_total;
+
+    const auto groups = [&] {
+      const obs::StageTimer cluster_timer(obs::Stage::kClustering);
+      const stats::Dendrogram dendrogram = stats::agglomerative_average_linkage(distances, n);
+      return dendrogram.cut_top_fraction(config.cut_fraction);
+    }();
+
+    // Diameters of the clusters that carry similarity evidence.
+    for (const auto& group : groups) {
+      if (group.size() < config.min_cluster_size) continue;
+      HostCluster cluster;
+      for (const std::size_t idx : group) cluster.members.push_back(hosts[idx]);
+      cluster.diameter = stats::cluster_diameter(distances, n, group);
+      diameters.push_back(cluster.diameter);
+      result.clusters.push_back(std::move(cluster));
+    }
   }
   if (result.clusters.empty()) {
-    std::sort(result.skipped.begin(), result.skipped.end());
+    finish();
     return result;
   }
 
@@ -393,7 +686,7 @@ HumanMachineResult human_machine_test(const FeatureMap& features, const HostSet&
     }
   }
   std::sort(result.flagged.begin(), result.flagged.end());
-  std::sort(result.skipped.begin(), result.skipped.end());
+  finish();
   return result;
 }
 

@@ -10,6 +10,7 @@
 // irregular timing inflates their cluster diameters.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -35,6 +36,19 @@ class HmCache;
 ///                   to *how far* mass moved, the weakness EMD avoids.
 enum class HmDistance { kEmd, kEmdBinIndex, kBinL1 };
 
+/// Strategy for the pairwise-distance + clustering stage.
+///
+///  * kExhaustive — dense n×n distance matrix, every pair through the exact
+///    kernel (the reference path).
+///  * kPruned     — lazy clustering over a pruned-neighbor index: pivot
+///    triangle-inequality and bin-L1 grid lower bounds gate which pairs pay
+///    the exact kernel; distances resolve on demand into a sparse store.
+///    Verdicts are bit-identical to kExhaustive by construction (see
+///    stats::agglomerative_average_linkage_pruned), only cheaper.
+///  * kAuto       — kPruned from prune_min_hosts eligible hosts upward,
+///    kExhaustive below (at small n the dense path's fixed costs win).
+enum class HmPruning { kAuto, kExhaustive, kPruned };
+
 struct HumanMachineConfig {
   /// τ_hm as a percentile of cluster diameters (paper sweeps 10..90th and
   /// uses the 70th in FindPlotters).
@@ -54,8 +68,22 @@ struct HumanMachineConfig {
   std::size_t min_cluster_size = 3;
   /// 0 = Freedman-Diaconis per host (the paper); > 0 = fixed bin width in
   /// seconds (ablation: fixed widths are easier for a bot to reason about).
+  /// Must be finite and non-negative: a negative or non-finite width is a
+  /// misconfiguration and is rejected with util::ConfigError rather than
+  /// silently falling back to a default grid.
   double fixed_bin_width = 0.0;
   HmDistance distance = HmDistance::kEmd;
+  /// Distance/clustering strategy; see HmPruning.
+  HmPruning pruning = HmPruning::kAuto;
+  /// kAuto switches to the pruned path at this many eligible hosts.
+  std::size_t prune_min_hosts = 64;
+  /// Pivot leaves for the triangle-inequality tier (clamped to the host
+  /// count). More pivots = tighter bounds at n·pivots extra exact
+  /// evaluations.
+  std::size_t prune_pivots = 8;
+  /// Bins of the shared-grid bin-L1 lower-bound tier (EMD distances only;
+  /// 0 disables the tier).
+  std::size_t prune_grid_bins = 64;
   /// Worker threads for the O(n^2) kernels (per-host signature build and
   /// the pairwise distance matrix). 0 = the TRADEPLOT_THREADS environment
   /// variable, else hardware concurrency; 1 = the serial reference path.
@@ -69,11 +97,35 @@ struct HostCluster {
   bool kept = false;  // survived the τ_hm filter
 };
 
+/// Work accounting for one θ_hm distance/clustering stage. On the pruned
+/// path `used` is true and the counters describe how much of the quadratic
+/// pair space was actually paid for; on the exhaustive path only
+/// pairs_total / exact_kernel_evals / cache_hits are meaningful.
+struct HmPruneStats {
+  bool used = false;                      // pruned path taken
+  std::uint64_t pairs_total = 0;          // n(n-1)/2 over eligible hosts
+  std::uint64_t exact_kernel_evals = 0;   // exact kernel invocations
+  std::uint64_t cache_hits = 0;           // pairs served by the HmCache
+  std::uint64_t resolved_pairs = 0;       // distinct leaf pairs with exact values
+  std::uint64_t pivots = 0;               // pivot leaves used
+  std::uint64_t scanned = 0;              // NN-scan candidate evaluations
+  std::uint64_t skipped_pivot = 0;        // pruned by the pivot bound
+  std::uint64_t skipped_grid = 0;         // pruned by the grid bound
+};
+
 struct HumanMachineResult {
   HostSet flagged;                    // union of kept clusters
   std::vector<HostCluster> clusters;  // every cluster of size >= min_cluster_size
   double tau_hm = 0.0;                // the diameter threshold used
-  HostSet skipped;                    // hosts with too few samples
+  HostSet skipped;                    // hosts with too few samples or degenerate evidence
+  /// Hosts whose timing evidence could not produce a valid signature (empty
+  /// or non-finite interstitials, zero-mass histograms). They are skipped —
+  /// and counted in `skipped` too — instead of aborting the whole window.
+  HostSet degenerate;
+  /// True when at least one host was dropped as degenerate: the verdict is
+  /// complete over the remaining hosts but did not assess the dropped ones.
+  bool degraded = false;
+  HmPruneStats prune;
 };
 
 /// Runs θ_hm over `input`. Returns the flagged set plus full diagnostics.
@@ -85,6 +137,16 @@ struct HumanMachineResult {
 /// values were produced by the same kernels on identical inputs, so the
 /// result is bit-identical with and without the cache, at every thread
 /// count.
+///
+/// The distance/clustering stage follows config.pruning: the pruned path
+/// produces bit-identical verdicts to the exhaustive one while evaluating
+/// the exact kernel only for pairs the lower bounds cannot exclude, and
+/// keeps memory at O(resolved pairs) instead of the dense n×n matrix (the
+/// fully cache-warm window allocates no quadratic storage at all). Hosts
+/// with degenerate timing evidence are skipped and accounted
+/// (result.degenerate / result.degraded) instead of failing the window.
+/// Throws util::ConfigError on a negative or non-finite
+/// config.fixed_bin_width.
 [[nodiscard]] HumanMachineResult human_machine_test(const FeatureMap& features,
                                                     const HostSet& input,
                                                     const HumanMachineConfig& config = {},

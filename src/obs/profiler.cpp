@@ -18,6 +18,7 @@ std::string_view to_string(Stage s) {
     case Stage::kClustering: return "clustering";
     case Stage::kCheckpointSave: return "checkpoint_save";
     case Stage::kCheckpointRestore: return "checkpoint_restore";
+    case Stage::kPruneIndex: return "prune_index";
   }
   return "unknown";
 }

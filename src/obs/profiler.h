@@ -33,8 +33,9 @@ enum class Stage : std::uint8_t {
   kClustering,         // agglomerative clustering + cut
   kCheckpointSave,
   kCheckpointRestore,
+  kPruneIndex,  // pruned-neighbor index build (pivot + grid tiers)
 };
-constexpr std::size_t kStageCount = static_cast<std::size_t>(Stage::kCheckpointRestore) + 1;
+constexpr std::size_t kStageCount = static_cast<std::size_t>(Stage::kPruneIndex) + 1;
 
 [[nodiscard]] std::string_view to_string(Stage s);
 

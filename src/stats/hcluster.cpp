@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <numeric>
+#include <unordered_map>
+#include <utility>
 
+#include "stats/simd.h"
 #include "util/error.h"
 
 namespace tradeplot::stats {
@@ -19,8 +23,22 @@ Dendrogram::Dendrogram(std::size_t leaves, std::vector<Merge> merges)
 
 std::vector<std::vector<std::size_t>> Dendrogram::components(
     const std::vector<bool>& keep_merge) const {
-  // Union-find over leaves; apply kept merges only.
-  std::vector<std::size_t> parent(leaves_ + merges_.size());
+  // Union-find over leaves; apply kept merges only. Each node is represented
+  // by a *structural* leaf — its left-descent leaf — so the result is the
+  // plain graph connectivity after deleting the cut links, independent of
+  // merge processing order. (An earlier version walked merges in height
+  // order and chained representatives through internal-node slots; floating-
+  // point rounding makes UPGMA heights non-monotone at noise level, the sort
+  // then places a parent before its child, and the walk read uninitialized
+  // slots — orphaning whole subtrees on near-tie populations.)
+  std::vector<std::size_t> left_leaf(leaves_ + merges_.size());
+  std::iota(left_leaf.begin(), left_leaf.begin() + static_cast<std::ptrdiff_t>(leaves_), 0);
+  for (std::size_t k = 0; k < merges_.size(); ++k) {
+    std::size_t x = merges_[k].left;
+    while (x >= leaves_) x = merges_[x - leaves_].left;
+    left_leaf[leaves_ + k] = x;
+  }
+  std::vector<std::size_t> parent(leaves_);
   std::iota(parent.begin(), parent.end(), 0);
   const std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
     while (parent[x] != x) {
@@ -29,27 +47,15 @@ std::vector<std::vector<std::size_t>> Dendrogram::components(
     }
     return x;
   };
-  // Internal node n+k represents the k-th merge; map each node to the leaf
-  // component it currently roots. A cut link detaches the child subtree.
-  // Approach: process merges in order; for a kept merge, union the two child
-  // component roots and record them under the internal node's slot. For a
-  // cut merge, leave children separate but still give the internal node a
-  // representative (its left child) so later merges referencing it resolve.
-  std::vector<std::size_t> rep(leaves_ + merges_.size());
-  std::iota(rep.begin(), rep.end(), 0);
   for (std::size_t k = 0; k < merges_.size(); ++k) {
+    if (!keep_merge[k]) continue;
     const Merge& m = merges_[k];
-    const std::size_t a = find(rep[m.left]);
-    const std::size_t b = find(rep[m.right]);
-    if (keep_merge[k]) {
-      parent[b] = a;
-      rep[leaves_ + k] = a;
-    } else {
-      rep[leaves_ + k] = a;  // arbitrary; the link itself is severed
-    }
+    const std::size_t a = find(left_leaf[m.left]);
+    const std::size_t b = find(left_leaf[m.right]);
+    parent[b] = a;
   }
   std::vector<std::vector<std::size_t>> groups;
-  std::vector<int> group_of(leaves_ + merges_.size(), -1);
+  std::vector<int> group_of(leaves_, -1);
   for (std::size_t leaf = 0; leaf < leaves_; ++leaf) {
     const std::size_t root = find(leaf);
     if (group_of[root] < 0) {
@@ -87,6 +93,33 @@ std::vector<std::vector<std::size_t>> Dendrogram::cut_at_height(double threshold
   for (std::size_t k = 0; k < merges_.size(); ++k) keep[k] = merges_[k].height <= threshold;
   return components(keep);
 }
+
+namespace {
+
+// The NN-chain discovers merges in an order that is not globally sorted by
+// height (only locally reducible). Downstream cuts assume height order, so
+// sort and remap internal node ids to the new positions. Shared by the dense
+// and pruned drivers so both emit byte-identical dendrograms.
+std::vector<Merge> sort_merges_by_height(std::vector<Merge> merges, std::size_t n) {
+  std::vector<std::size_t> order(merges.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return merges[a].height < merges[b].height;
+  });
+  std::vector<std::size_t> new_pos(merges.size());
+  for (std::size_t pos = 0; pos < order.size(); ++pos) new_pos[order[pos]] = pos;
+  std::vector<Merge> sorted;
+  sorted.reserve(merges.size());
+  for (const std::size_t old_idx : order) {
+    Merge m = merges[old_idx];
+    if (m.left >= n) m.left = n + new_pos[m.left - n];
+    if (m.right >= n) m.right = n + new_pos[m.right - n];
+    sorted.push_back(m);
+  }
+  return sorted;
+}
+
+}  // namespace
 
 Dendrogram agglomerative_average_linkage(std::span<const double> distances, std::size_t n) {
   if (n == 0) throw util::ConfigError("clustering zero items");
@@ -161,25 +194,684 @@ Dendrogram agglomerative_average_linkage(std::span<const double> distances, std:
       chain.push_back(nearest);
     }
   }
-  // The NN-chain discovers merges in an order that is not globally sorted by
-  // height (only locally reducible). Downstream cuts assume height order, so
-  // sort and remap internal node ids to the new positions.
-  std::vector<std::size_t> order(merges.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return merges[a].height < merges[b].height;
-  });
-  std::vector<std::size_t> new_pos(merges.size());
-  for (std::size_t pos = 0; pos < order.size(); ++pos) new_pos[order[pos]] = pos;
-  std::vector<Merge> sorted;
-  sorted.reserve(merges.size());
-  for (const std::size_t old_idx : order) {
-    Merge m = merges[old_idx];
-    if (m.left >= n) m.left = n + new_pos[m.left - n];
-    if (m.right >= n) m.right = n + new_pos[m.right - n];
-    sorted.push_back(m);
+  return Dendrogram(n, sort_merges_by_height(std::move(merges), n));
+}
+
+namespace {
+
+/// Sparse store of resolved dendrogram-node-pair distances plus the
+/// Lance-Williams replay machinery. Node ids are the dendrogram's: leaves
+/// 0..n-1, internal node n+k formed by the k-th merge. Ids are immutable and
+/// a later-formed node always has the larger id, so a cluster-pair value can
+/// be replayed bottom-up with exactly the floating-point expression — and
+/// operand order — the dense driver used when it eagerly updated its matrix:
+///   d(X, Y) = (|Xl| * d(Xl, Y) + |Xr| * d(Xr, Y)) / (|Xl| + |Xr|)
+/// where X is the later-formed of the two and (Xl, Xr) its children. By
+/// induction every memoized value is bit-identical to the dense matrix cell
+/// it stands for.
+class ResolvedStore {
+ public:
+  struct Internal {
+    std::size_t left;    // node id of the slot that survived the merge
+    std::size_t right;   // node id of the slot that was absorbed
+    double n_left;       // leaves under `left` at merge time
+    double n_right;      // leaves under `right` at merge time
+  };
+
+  ResolvedStore(std::size_t leaves, const LeafDistanceFn& leaf_distance)
+      : leaves_(leaves), leaf_distance_(leaf_distance) {
+    memo_.reserve(leaves * 8);
+    internal_.reserve(leaves);
   }
-  return Dendrogram(n, std::move(sorted));
+
+  void record_merge(std::size_t left_id, std::size_t right_id, double n_left,
+                    double n_right) {
+    internal_.push_back(Internal{left_id, right_id, n_left, n_right});
+  }
+
+  /// Memoized value for a node pair, or nullptr if it was never resolved.
+  /// Never triggers resolution work.
+  [[nodiscard]] const double* lookup(std::size_t ida, std::size_t idb) const {
+    const auto hit = memo_.find(key(ida, idb));
+    return hit == memo_.end() ? nullptr : &hit->second;
+  }
+
+  /// True when resolve(ida, idb) would complete without invoking the leaf
+  /// kernel — every unmemoized pair underneath decomposes into memoized
+  /// leaf-pair values, so the replay is pure Lance-Williams arithmetic.
+  [[nodiscard]] bool resolvable_from_cache(std::size_t ida, std::size_t idb) const {
+    check_stack_.clear();
+    check_stack_.emplace_back(ida, idb);
+    while (!check_stack_.empty()) {
+      const auto [x, y] = check_stack_.back();
+      check_stack_.pop_back();
+      if (memo_.contains(key(x, y))) continue;
+      if (x < leaves_ && y < leaves_) return false;
+      const std::size_t split = std::max(x, y);
+      const std::size_t other = std::min(x, y);
+      const Internal& node = internal_[split - leaves_];
+      check_stack_.emplace_back(node.left, other);
+      check_stack_.emplace_back(node.right, other);
+    }
+    return true;
+  }
+
+  [[nodiscard]] double resolve(std::size_t ida, std::size_t idb) {
+    const auto hit = memo_.find(key(ida, idb));
+    if (hit != memo_.end()) return hit->second;
+    // Iterative post-order expansion: a pair is computable once both child
+    // pairs of its later-formed side are memoized.
+    stack_.clear();
+    stack_.emplace_back(ida, idb);
+    while (!stack_.empty()) {
+      const auto [x, y] = stack_.back();
+      const std::uint64_t k = key(x, y);
+      if (memo_.contains(k)) {
+        stack_.pop_back();
+        continue;
+      }
+      if (x < leaves_ && y < leaves_) {
+        memo_.emplace(k, x < y ? leaf_distance_(x, y) : leaf_distance_(y, x));
+        stack_.pop_back();
+        continue;
+      }
+      // Split the later-formed (larger-id) side.
+      const std::size_t split = std::max(x, y);
+      const std::size_t other = std::min(x, y);
+      const Internal& node = internal_[split - leaves_];
+      const auto left = memo_.find(key(node.left, other));
+      const auto right = memo_.find(key(node.right, other));
+      if (left != memo_.end() && right != memo_.end()) {
+        memo_.emplace(k, (node.n_left * left->second + node.n_right * right->second) /
+                             (node.n_left + node.n_right));
+        stack_.pop_back();
+      } else {
+        if (left == memo_.end()) stack_.emplace_back(node.left, other);
+        if (right == memo_.end()) stack_.emplace_back(node.right, other);
+      }
+    }
+    return memo_.at(key(ida, idb));
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t key(std::size_t a, std::size_t b) {
+    const std::uint64_t lo = std::min(a, b);
+    const std::uint64_t hi = std::max(a, b);
+    return (lo << 32) | hi;
+  }
+
+  std::size_t leaves_;
+  const LeafDistanceFn& leaf_distance_;
+  std::unordered_map<std::uint64_t, double> memo_;
+  std::vector<Internal> internal_;
+  std::vector<std::pair<std::size_t, std::size_t>> stack_;
+  mutable std::vector<std::pair<std::size_t, std::size_t>> check_stack_;
+};
+
+/// Admissibility margin: the bounds are computed with reassociated (possibly
+/// SIMD) sums and running means, so the mathematically admissible value
+/// carries a few ulps of rounding. Shaving a relative 1e-9 plus an absolute
+/// 1e-12 keeps the computed bound below the true one for any realistic
+/// distance magnitude; the loss of pruning power is negligible.
+double with_margin(double bound) { return bound * (1.0 - 1e-9) - 1e-12; }
+
+}  // namespace
+
+Dendrogram agglomerative_average_linkage_pruned(std::size_t n,
+                                                const LeafDistanceFn& leaf_distance,
+                                                const PruneFeatures& features,
+                                                PruneCounters* counters) {
+  if (n == 0) throw util::ConfigError("clustering zero items");
+  if (n == 1) return Dendrogram(1, {});
+
+  const std::size_t pivots = features.pivots;
+  const std::size_t grid_bins = features.grid_bins;
+  PruneCounters local;
+  PruneCounters& c = counters != nullptr ? *counters : local;
+
+  // Per-slot cluster state, mirroring the dense driver, plus the running
+  // means that back the lower bounds. Means evolve by the same weighted
+  // average as the Lance-Williams update, so they remain true per-cluster
+  // means (up to rounding, absorbed by with_margin).
+  std::vector<double> pivot_mean;
+  if (pivots > 0)
+    pivot_mean.assign(features.pivot_distances, features.pivot_distances + n * pivots);
+  std::vector<double> grid_mean;
+  std::vector<double> snap_mean;
+  if (grid_bins > 0) {
+    grid_mean.assign(features.grid, features.grid + n * grid_bins);
+    snap_mean.assign(features.snap_cost, features.snap_cost + n);
+  }
+  std::vector<std::size_t> size(n, 1);
+  std::vector<bool> active(n, true);
+  std::vector<std::size_t> node_id(n);
+  std::iota(node_id.begin(), node_id.end(), 0);
+
+  ResolvedStore store(n, leaf_distance);
+
+  const auto pivot_lb = [&](std::size_t a, std::size_t b) {
+    double lb = 0.0;
+    const double* pa = pivot_mean.data() + a * pivots;
+    const double* pb = pivot_mean.data() + b * pivots;
+    for (std::size_t p = 0; p < pivots; ++p) lb = std::max(lb, std::abs(pa[p] - pb[p]));
+    return with_margin(lb);
+  };
+  const auto grid_lb = [&](std::size_t a, std::size_t b) {
+    const double l1 = simd::l1_distance(grid_mean.data() + a * grid_bins,
+                                        grid_mean.data() + b * grid_bins, grid_bins);
+    return with_margin(features.grid_half_width * l1 - snap_mean[a] - snap_mean[b]);
+  };
+
+  std::vector<Merge> merges;
+  merges.reserve(n - 1);
+
+  // The nearest-neighbour chain of agglomerative_average_linkage, byte for
+  // byte — same iteration order, same comparator, same tolerances — except
+  // that each candidate's distance is read through the bound gate: a slot
+  // whose lower bound already exceeds best + 1e-15 can neither win the scan
+  // nor tie it, so skipping it leaves `best`/`nearest` exactly as the dense
+  // scan would have.
+  std::vector<std::size_t> chain;
+  chain.reserve(n);
+  std::size_t remaining = n;
+  while (remaining > 1) {
+    if (chain.empty()) {
+      for (std::size_t i = 0; i < n; ++i)
+        if (active[i]) {
+          chain.push_back(i);
+          break;
+        }
+    }
+    for (;;) {
+      const std::size_t top = chain.back();
+      std::size_t nearest = top;
+      double best = std::numeric_limits<double>::max();
+      const std::size_t prev = chain.size() >= 2 ? chain[chain.size() - 2] : n;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!active[j] || j == top) continue;
+        ++c.scanned;
+        if (pivots > 0 && pivot_lb(top, j) > best + 1e-15) {
+          ++c.skipped_pivot;
+          continue;
+        }
+        if (grid_bins > 0 && grid_lb(top, j) > best + 1e-15) {
+          ++c.skipped_grid;
+          continue;
+        }
+        ++c.resolved_cluster_pairs;
+        const double dj = store.resolve(node_id[top], node_id[j]);
+        if (dj < best - 1e-15 || (std::abs(dj - best) <= 1e-15 && j == prev)) {
+          best = dj;
+          nearest = j;
+        }
+      }
+      if (chain.size() >= 2 && nearest == chain[chain.size() - 2]) {
+        const std::size_t a = chain[chain.size() - 2];
+        const std::size_t b = chain.back();
+        chain.pop_back();
+        chain.pop_back();
+        const double height = store.resolve(node_id[a], node_id[b]);
+        merges.push_back(Merge{node_id[a], node_id[b], height, size[a] + size[b]});
+        store.record_merge(node_id[a], node_id[b], static_cast<double>(size[a]),
+                           static_cast<double>(size[b]));
+        const double na = static_cast<double>(size[a]);
+        const double nb = static_cast<double>(size[b]);
+        if (pivots > 0) {
+          double* pa = pivot_mean.data() + a * pivots;
+          const double* pb = pivot_mean.data() + b * pivots;
+          for (std::size_t p = 0; p < pivots; ++p)
+            pa[p] = (na * pa[p] + nb * pb[p]) / (na + nb);
+        }
+        if (grid_bins > 0) {
+          double* ga = grid_mean.data() + a * grid_bins;
+          const double* gb = grid_mean.data() + b * grid_bins;
+          for (std::size_t w = 0; w < grid_bins; ++w)
+            ga[w] = (na * ga[w] + nb * gb[w]) / (na + nb);
+          snap_mean[a] = (na * snap_mean[a] + nb * snap_mean[b]) / (na + nb);
+        }
+        size[a] += size[b];
+        active[b] = false;
+        node_id[a] = n + merges.size() - 1;
+        --remaining;
+        break;
+      }
+      chain.push_back(nearest);
+    }
+  }
+  return Dendrogram(n, sort_merges_by_height(std::move(merges), n));
+}
+
+std::vector<std::vector<std::size_t>> average_linkage_cut_pruned(
+    std::size_t n, const LeafDistanceFn& leaf_distance, const PruneFeatures& features,
+    double fraction, PruneCounters* counters) {
+  if (n == 0) throw util::ConfigError("clustering zero items");
+  if (fraction < 0.0 || fraction > 1.0)
+    throw util::ConfigError("cut fraction must be in [0,1]");
+  if (n == 1) return {{0}};
+
+  const std::size_t pivots = features.pivots;
+  const std::size_t grid_bins = features.grid_bins;
+  PruneCounters local;
+  PruneCounters& c = counters != nullptr ? *counters : local;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Elimination slack. The dense comparator's winner is within ~2e-15 of the
+  // true scan minimum, so a candidate provably more than 1e-12 above the
+  // minimum can neither win nor tie-with-prev; 1e-12 also dominates the
+  // with_margin() rounding allowance on the bounds themselves.
+  constexpr double kCutSlack = 1e-12;
+
+  std::vector<double> pivot_mean;
+  if (pivots > 0)
+    pivot_mean.assign(features.pivot_distances, features.pivot_distances + n * pivots);
+  std::vector<double> grid_mean;
+  std::vector<double> snap_mean;
+  if (grid_bins > 0) {
+    grid_mean.assign(features.grid, features.grid + n * grid_bins);
+    snap_mean.assign(features.snap_cost, features.snap_cost + n);
+  }
+  std::vector<std::size_t> size(n, 1);
+  std::vector<bool> active(n, true);
+  std::vector<std::size_t> node_id(n);
+  std::iota(node_id.begin(), node_id.end(), 0);
+
+  ResolvedStore store(n, leaf_distance);
+
+  const auto pivot_lb = [&](std::size_t a, std::size_t b) {
+    double lb = 0.0;
+    const double* pa = pivot_mean.data() + a * pivots;
+    const double* pb = pivot_mean.data() + b * pivots;
+    for (std::size_t p = 0; p < pivots; ++p) lb = std::max(lb, std::abs(pa[p] - pb[p]));
+    return with_margin(lb);
+  };
+  const auto grid_lb = [&](std::size_t a, std::size_t b) {
+    const double l1 = simd::l1_distance(grid_mean.data() + a * grid_bins,
+                                        grid_mean.data() + b * grid_bins, grid_bins);
+    return with_margin(features.grid_half_width * l1 - snap_mean[a] - snap_mean[b]);
+  };
+  // Triangle upper bound through the pivots: for every pivot p,
+  // d(x, y) <= d(x, p) + d(p, y), and averaging over the cross pairs of two
+  // clusters preserves it, so mean_A(p) + mean_B(p) >= avg-linkage d(A, B).
+  // Margin goes *up* here — an upper bound must never under-state.
+  const auto pivot_ub = [&](std::size_t a, std::size_t b) {
+    if (pivots == 0) return kInf;
+    double ub = kInf;
+    const double* pa = pivot_mean.data() + a * pivots;
+    const double* pb = pivot_mean.data() + b * pivots;
+    for (std::size_t p = 0; p < pivots; ++p) ub = std::min(ub, pa[p] + pb[p]);
+    return ub * (1.0 + 1e-9) + 1e-12;
+  };
+
+  // A merge in chain-discovery order. `lo`/`hi` bound the true (dense) merge
+  // height; lo == hi with exact == true once the height is known bit-exactly.
+  struct ChainMerge {
+    std::size_t left;
+    std::size_t right;
+    double lo;
+    double hi;
+    bool exact;
+    // Synthesized by the top-of-tree early stop: stands for a dense merge
+    // already proven to land in the cut set. Must never be resolved — its
+    // node ids have no ResolvedStore entry.
+    bool forced = false;
+  };
+  std::vector<ChainMerge> chain_merges;
+  chain_merges.reserve(n - 1);
+
+  // Scratch reused across scans.
+  std::vector<double> lo_buf(n, 0.0);
+  std::vector<double> hi_buf(n, 0.0);
+  std::vector<char> exact_buf(n, 0);
+  std::vector<std::size_t> survivors;
+  survivors.reserve(n);
+
+  // Cut budget, fixed up front: the chain always produces exactly n - 1
+  // links (real or synthesized), so the fraction resolves before clustering.
+  const std::size_t links_total = n - 1;
+  const auto to_cut_total =
+      static_cast<std::size_t>(std::ceil(fraction * static_cast<double>(links_total)));
+
+  std::vector<std::size_t> active_slots;
+  active_slots.reserve(n);
+
+  std::vector<std::size_t> chain;
+  chain.reserve(n);
+  std::size_t remaining = n;
+  std::size_t next_check = std::numeric_limits<std::size_t>::max();
+  while (remaining > 1) {
+    // --- Top-of-tree early stop --------------------------------------------
+    // The running minimum over active inter-cluster distances never decreases
+    // under average linkage (a Lance-Williams average of two values is never
+    // below their minimum), so every future merge height is >= the current
+    // minimum, which is itself >= future_lo, the smallest admissible lower
+    // bound over active pairs. A past link whose upper bound is <= future_lo
+    // therefore sorts keep-ward of every future link (height ties break
+    // toward the earlier chain index). If the links above that bar plus all
+    // remaining future links fit inside the cut budget, every future merge is
+    // provably cut: the top of the tree cannot influence the kept partition,
+    // so the chain stops and the missing links are synthesized as forced-cut
+    // placeholders. This is what lets the big-cluster x big-cluster merges
+    // near the root — the most expensive resolutions of the whole run —
+    // never pay their exact kernels.
+    if (remaining - 1 <= to_cut_total && remaining <= next_check && to_cut_total > 0) {
+      // Kernel-free tightening: a pending link whose leaf pairs are all
+      // memoized resolves exactly by pure Lance-Williams arithmetic.
+      for (auto& m : chain_merges) {
+        if (!m.exact && store.resolvable_from_cache(m.left, m.right)) {
+          const double h = store.resolve(m.left, m.right);
+          m.lo = m.hi = h;
+          m.exact = true;
+        }
+      }
+      active_slots.clear();
+      for (std::size_t s = 0; s < n; ++s)
+        if (active[s]) active_slots.push_back(s);
+      // Lower bound on the smallest active inter-cluster distance. A pair
+      // whose pivot bound is vacuous (two clusters that look alike through
+      // every pivot) would pin future_lo near zero and make the stop
+      // unprovable, so small pairs are resolved exactly in ascending-bound
+      // order while that is cheap — results are memoized, the chain reuses
+      // them, and future_lo climbs to the true minimum. Resolving one pair
+      // memoizes only values inside its own two subtrees and active nodes
+      // root disjoint subtrees, so no other active pair's bound moves: the
+      // bounds can be heapified once per check and consumed with O(log)
+      // reinsertions instead of an O(active^2) rescan per resolution.
+      constexpr std::size_t kCheapResolve = 256;
+      struct BoundEntry {
+        double lo;
+        std::size_t a, b;
+        bool exact;
+      };
+      const auto later = [](const BoundEntry& x, const BoundEntry& y) {
+        if (x.lo != y.lo) return x.lo > y.lo;  // min-heap on the bound...
+        if (x.a != y.a) return x.a > y.a;      // ...slot-ordered on ties, so
+        return x.b > y.b;                      // the sweep is deterministic
+      };
+      std::vector<BoundEntry> heap;
+      heap.reserve(active_slots.size() * (active_slots.size() - 1) / 2);
+      for (std::size_t ai = 0; ai < active_slots.size(); ++ai) {
+        for (std::size_t bi = ai + 1; bi < active_slots.size(); ++bi) {
+          const std::size_t a = active_slots[ai];
+          const std::size_t b = active_slots[bi];
+          if (const double* mv = store.lookup(node_id[a], node_id[b]); mv != nullptr) {
+            heap.push_back(BoundEntry{*mv, a, b, true});
+          } else {
+            double lo = pivots > 0 ? pivot_lb(a, b) : 0.0;
+            if (grid_bins > 0) lo = std::max(lo, grid_lb(a, b));
+            heap.push_back(BoundEntry{std::max(lo, 0.0), a, b, false});
+          }
+        }
+      }
+      std::make_heap(heap.begin(), heap.end(), later);
+      double future_lo = kInf;
+      while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), later);
+        const BoundEntry e = heap.back();
+        heap.pop_back();
+        if (e.exact || size[e.a] * size[e.b] > kCheapResolve) {
+          future_lo = e.lo;
+          break;
+        }
+        ++c.resolved_cluster_pairs;
+        heap.push_back(BoundEntry{store.resolve(node_id[e.a], node_id[e.b]), e.a, e.b, true});
+        std::push_heap(heap.begin(), heap.end(), later);
+      }
+      std::size_t above = 0;
+      for (const ChainMerge& m : chain_merges)
+        if (m.hi > future_lo) ++above;
+      if (above + (remaining - 1) <= to_cut_total) {
+        std::size_t cur = std::numeric_limits<std::size_t>::max();
+        for (const std::size_t s : active_slots) {
+          if (cur == std::numeric_limits<std::size_t>::max()) {
+            cur = node_id[s];
+            continue;
+          }
+          chain_merges.push_back(ChainMerge{cur, node_id[s], future_lo, kInf, false, true});
+          cur = n + chain_merges.size() - 1;
+        }
+        break;
+      }
+      // Not provable yet; back off geometrically so the O(active^2) bound
+      // sweep amortizes to a constant number of attempts.
+      next_check = remaining - std::max<std::size_t>(1, remaining / 8);
+    }
+
+    if (chain.empty()) {
+      for (std::size_t i = 0; i < n; ++i)
+        if (active[i]) {
+          chain.push_back(i);
+          break;
+        }
+    }
+    for (;;) {
+      const std::size_t top = chain.back();
+      const std::size_t prev = chain.size() >= 2 ? chain[chain.size() - 2] : n;
+
+      // Pass 1: admissible [lo, hi] interval per candidate (memoized values
+      // are point intervals) and the smallest upper bound of the scan.
+      double ub_min = kInf;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!active[j] || j == top) continue;
+        ++c.scanned;
+        if (const double* mv = store.lookup(node_id[top], node_id[j]); mv != nullptr) {
+          lo_buf[j] = hi_buf[j] = *mv;
+          exact_buf[j] = 1;
+        } else {
+          exact_buf[j] = 0;
+          lo_buf[j] = pivots > 0 ? pivot_lb(top, j) : 0.0;
+          hi_buf[j] = pivot_ub(top, j);
+        }
+        ub_min = std::min(ub_min, hi_buf[j]);
+      }
+
+      // Pass 2: a candidate whose lower bound clears ub_min + slack sits
+      // provably above the scan winner and is dropped unseen; the grid bound
+      // only runs for pivot survivors. At least one candidate survives (the
+      // one attaining ub_min bounds itself below it).
+      survivors.clear();
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!active[j] || j == top) continue;
+        if (exact_buf[j] == 0) {
+          if (lo_buf[j] > ub_min + kCutSlack) {
+            ++c.skipped_pivot;
+            continue;
+          }
+          if (grid_bins > 0 && grid_lb(top, j) > ub_min + kCutSlack) {
+            ++c.skipped_grid;
+            continue;
+          }
+        }
+        survivors.push_back(j);
+      }
+
+      std::size_t nearest;
+      if (survivors.size() == 1) {
+        // The dense comparator would pick the sole survivor whatever its
+        // value; no resolution needed.
+        nearest = survivors[0];
+      } else {
+        nearest = top;
+        double best = std::numeric_limits<double>::max();
+        for (const std::size_t j : survivors) {
+          double dj;
+          if (exact_buf[j] != 0) {
+            dj = lo_buf[j];
+          } else {
+            // Incremental gate: once a candidate's admissible lower bound
+            // sits above best + tie-tolerance it can neither win nor tie in
+            // the dense comparator, so its exact value is never observed.
+            if (lo_buf[j] > best + 1e-15) {
+              ++c.skipped_pivot;
+              continue;
+            }
+            if (grid_bins > 0 && grid_lb(top, j) > best + 1e-15) {
+              ++c.skipped_grid;
+              continue;
+            }
+            ++c.resolved_cluster_pairs;
+            dj = store.resolve(node_id[top], node_id[j]);
+          }
+          if (dj < best - 1e-15 || (std::abs(dj - best) <= 1e-15 && j == prev)) {
+            best = dj;
+            nearest = j;
+          }
+        }
+      }
+
+      if (chain.size() >= 2 && nearest == chain[chain.size() - 2]) {
+        const std::size_t a = chain[chain.size() - 2];
+        const std::size_t b = chain.back();
+        chain.pop_back();
+        chain.pop_back();
+        ChainMerge cm{node_id[a], node_id[b], 0.0, 0.0, false};
+        if (const double* hv = store.lookup(node_id[a], node_id[b]); hv != nullptr) {
+          cm.lo = cm.hi = *hv;
+          cm.exact = true;
+        } else {
+          double lo = pivots > 0 ? pivot_lb(a, b) : 0.0;
+          if (grid_bins > 0) lo = std::max(lo, grid_lb(a, b));
+          cm.lo = std::max(lo, 0.0);
+          cm.hi = pivot_ub(a, b);
+        }
+        chain_merges.push_back(cm);
+        store.record_merge(node_id[a], node_id[b], static_cast<double>(size[a]),
+                           static_cast<double>(size[b]));
+        const double na = static_cast<double>(size[a]);
+        const double nb = static_cast<double>(size[b]);
+        if (pivots > 0) {
+          double* pa = pivot_mean.data() + a * pivots;
+          const double* pb = pivot_mean.data() + b * pivots;
+          for (std::size_t p = 0; p < pivots; ++p)
+            pa[p] = (na * pa[p] + nb * pb[p]) / (na + nb);
+        }
+        if (grid_bins > 0) {
+          double* ga = grid_mean.data() + a * grid_bins;
+          const double* gb = grid_mean.data() + b * grid_bins;
+          for (std::size_t w = 0; w < grid_bins; ++w)
+            ga[w] = (na * ga[w] + nb * gb[w]) / (na + nb);
+          snap_mean[a] = (na * snap_mean[a] + nb * snap_mean[b]) / (na + nb);
+        }
+        size[a] += size[b];
+        active[b] = false;
+        node_id[a] = n + chain_merges.size() - 1;
+        --remaining;
+        break;
+      }
+      chain.push_back(nearest);
+    }
+  }
+
+  // --- Cut classification -------------------------------------------------
+  // cut_top_fraction deletes the to_cut largest merges under the total order
+  // (height asc, then position in the height-sorted dendrogram asc); a
+  // stable sort by height over chain order makes that exactly
+  // (height asc, chain index asc). Classify each merge as keep/cut from the
+  // intervals alone where possible; resolve pendings only while the
+  // partition stays ambiguous.
+  const std::size_t links = chain_merges.size();
+  const auto to_cut = static_cast<std::size_t>(std::ceil(fraction * static_cast<double>(links)));
+  const std::size_t keep_count = links - std::min(to_cut, links);
+
+  std::vector<char> keep(links, 0);
+  std::vector<char> decided(links, 0);
+  using Key = std::pair<double, std::size_t>;  // (height bound, chain index)
+  std::vector<Key> sorted_lo(links);
+  std::vector<Key> sorted_hi(links);
+  for (;;) {
+    // Merge k surely precedes merge m iff (hi_k, k) < (lo_m, m): its height
+    // is then no larger, and on possible equality the chain index decides.
+    for (std::size_t k = 0; k < links; ++k) {
+      sorted_lo[k] = Key(chain_merges[k].lo, k);
+      sorted_hi[k] = Key(chain_merges[k].hi, k);
+    }
+    std::sort(sorted_lo.begin(), sorted_lo.end());
+    std::sort(sorted_hi.begin(), sorted_hi.end());
+    bool all_decided = true;
+    for (std::size_t k = 0; k < links; ++k) {
+      const Key lo_key(chain_merges[k].lo, k);
+      const Key hi_key(chain_merges[k].hi, k);
+      // # merges surely before k / surely after k; self never qualifies.
+      const auto before = static_cast<std::size_t>(
+          std::lower_bound(sorted_hi.begin(), sorted_hi.end(), lo_key) - sorted_hi.begin());
+      const auto after = static_cast<std::size_t>(
+          sorted_lo.end() - std::upper_bound(sorted_lo.begin(), sorted_lo.end(), hi_key));
+      if (after >= to_cut) {
+        decided[k] = 1;
+        keep[k] = 1;
+      } else if (before >= keep_count) {
+        decided[k] = 1;
+        keep[k] = 0;
+      } else {
+        decided[k] = 0;
+        all_decided = false;
+      }
+    }
+    if (all_decided) break;
+    // Resolve the undecided pendings; if the ambiguity sits entirely in
+    // already-decided pendings overlapping an undecided exact merge, fall
+    // back to resolving every pending (correctness backstop — the next
+    // round then classifies from points alone).
+    bool resolved_any = false;
+    for (std::size_t k = 0; k < links; ++k) {
+      if (decided[k] == 0 && !chain_merges[k].exact && !chain_merges[k].forced) {
+        ++c.resolved_cluster_pairs;
+        const double h = store.resolve(chain_merges[k].left, chain_merges[k].right);
+        chain_merges[k].lo = chain_merges[k].hi = h;
+        chain_merges[k].exact = true;
+        resolved_any = true;
+      }
+    }
+    if (!resolved_any) {
+      for (std::size_t k = 0; k < links; ++k) {
+        if (!chain_merges[k].exact && !chain_merges[k].forced) {
+          ++c.resolved_cluster_pairs;
+          const double h = store.resolve(chain_merges[k].left, chain_merges[k].right);
+          chain_merges[k].lo = chain_merges[k].hi = h;
+          chain_merges[k].exact = true;
+        }
+      }
+    }
+  }
+
+  // --- Components ---------------------------------------------------------
+  // Union-find identical to Dendrogram::components, processed in chain order
+  // (valid: every merge references nodes formed earlier in the chain, and
+  // the kept-link leaf partition is order-independent).
+  std::vector<std::size_t> parent(n + links);
+  std::iota(parent.begin(), parent.end(), 0);
+  const std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::vector<std::size_t> rep(n + links);
+  std::iota(rep.begin(), rep.end(), 0);
+  for (std::size_t k = 0; k < links; ++k) {
+    const ChainMerge& m = chain_merges[k];
+    const std::size_t a = find(rep[m.left]);
+    const std::size_t b = find(rep[m.right]);
+    if (keep[k] != 0) {
+      parent[b] = a;
+      rep[n + k] = a;
+    } else {
+      rep[n + k] = a;
+    }
+  }
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<int> group_of(n + links, -1);
+  for (std::size_t leaf = 0; leaf < n; ++leaf) {
+    const std::size_t root = find(leaf);
+    if (group_of[root] < 0) {
+      group_of[root] = static_cast<int>(groups.size());
+      groups.emplace_back();
+    }
+    groups[static_cast<std::size_t>(group_of[root])].push_back(leaf);
+  }
+  for (auto& g : groups) std::sort(g.begin(), g.end());
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& x, const auto& y) { return x.front() < y.front(); });
+  return groups;
 }
 
 double cluster_diameter(std::span<const double> distances, std::size_t n,

@@ -1,0 +1,142 @@
+#include "stats/neighbor_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/simd.h"
+#include "util/parallel.h"
+
+namespace tradeplot::stats {
+
+namespace {
+
+// Mirror of the clustering driver's admissibility margin (hcluster.cpp):
+// absorbs rounding in reassociated sums and running means.
+double with_margin(double bound) { return bound * (1.0 - 1e-9) - 1e-12; }
+
+}  // namespace
+
+NeighborIndex::NeighborIndex(std::size_t n, const PairDistanceFn& distance,
+                             std::size_t pivots, std::size_t threads)
+    : n_(n) {
+  const std::size_t p_count = std::min(pivots, n);
+  if (p_count == 0) return;
+  pivot_leaves_.reserve(p_count);
+  pivot_distances_.assign(n * p_count, 0.0);
+
+  // Farthest-point selection: start from leaf 0, then repeatedly take the
+  // leaf farthest from the chosen set (ties to the lowest index, already-
+  // chosen leaves excluded). Every column is filled by one parallel pass of
+  // independent pure calls; selection over the columns is serial, so the
+  // pivot set is identical at every thread count.
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  std::vector<char> chosen(n, 0);
+  std::size_t next = 0;
+  for (std::size_t p = 0; p < p_count; ++p) {
+    const std::size_t pivot = next;
+    pivot_leaves_.push_back(pivot);
+    chosen[pivot] = 1;
+    util::parallel_for(0, n, 64, threads, [&](std::size_t i) {
+      if (i == pivot) {
+        pivot_distances_[i * p_count + p] = 0.0;
+        return;
+      }
+      // A pivot-pivot distance was already computed when the earlier pivot's
+      // column was filled (the kernels are symmetric); reuse it instead of
+      // paying the exact kernel twice for the same pair.
+      for (std::size_t q = 0; q < p; ++q) {
+        if (pivot_leaves_[q] == i) {
+          pivot_distances_[i * p_count + p] = pivot_distances_[pivot * p_count + q];
+          return;
+        }
+      }
+      pivot_distances_[i * p_count + p] = distance(i, pivot);
+    });
+    double best = -1.0;
+    next = pivot;
+    for (std::size_t i = 0; i < n; ++i) {
+      min_dist[i] = std::min(min_dist[i], pivot_distances_[i * p_count + p]);
+      if (chosen[i] == 0 && min_dist[i] > best) {
+        best = min_dist[i];
+        next = i;
+      }
+    }
+    if (next == pivot) break;  // every remaining leaf is already chosen
+    // A farthest distance of zero means every remaining leaf coincides with
+    // a chosen pivot; further columns would carry no bound information.
+    if (best <= 0.0) break;
+  }
+  // If selection stopped early (n small or all leaves coincident), shrink the
+  // table to the columns actually filled.
+  if (pivot_leaves_.size() < p_count) {
+    const std::size_t kept = pivot_leaves_.size();
+    std::vector<double> packed(n * kept);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t p = 0; p < kept; ++p)
+        packed[i * kept + p] = pivot_distances_[i * p_count + p];
+    pivot_distances_ = std::move(packed);
+  }
+}
+
+void NeighborIndex::build_grid(const FlatSignatureSet& flat, std::size_t grid_bins,
+                               std::size_t threads) {
+  if (grid_bins == 0 || n_ == 0 || flat.size() != n_) return;
+  double lo = std::numeric_limits<double>::max();
+  double hi = std::numeric_limits<double>::lowest();
+  for (std::size_t i = 0; i < n_; ++i) {
+    const FlatSignatureView v = flat.view(i);
+    if (v.size == 0) continue;
+    lo = std::min(lo, v.positions[0]);           // positions are sorted
+    hi = std::max(hi, v.positions[v.size - 1]);  // sentinel excluded by size
+  }
+  if (!(hi > lo)) return;  // single support point: bound would be vacuous
+
+  const double width = (hi - lo) / static_cast<double>(grid_bins);
+  grid_bins_ = grid_bins;
+  grid_half_width_ = 0.5 * width;
+  grid_.assign(n_ * grid_bins, 0.0);
+  snap_cost_.assign(n_, 0.0);
+  util::parallel_for(0, n_, 16, threads, [&](std::size_t i) {
+    double* row = grid_.data() + i * grid_bins;
+    double snap = 0.0;
+    const FlatSignatureView v = flat.view(i);
+    for (std::size_t k = 0; k < v.size; ++k) {
+      auto bin = static_cast<std::size_t>(
+          std::max(0.0, std::floor((v.positions[k] - lo) / width)));
+      bin = std::min(bin, grid_bins - 1);
+      row[bin] += v.weights[k];
+      const double center = lo + (static_cast<double>(bin) + 0.5) * width;
+      snap += v.weights[k] * std::abs(v.positions[k] - center);
+    }
+    snap_cost_[i] = snap;
+  });
+}
+
+PruneFeatures NeighborIndex::features() const {
+  PruneFeatures f;
+  f.pivots = pivot_leaves_.size();
+  f.pivot_distances = f.pivots > 0 ? pivot_distances_.data() : nullptr;
+  f.grid_bins = grid_bins_;
+  f.grid = grid_bins_ > 0 ? grid_.data() : nullptr;
+  f.snap_cost = grid_bins_ > 0 ? snap_cost_.data() : nullptr;
+  f.grid_half_width = grid_half_width_;
+  return f;
+}
+
+double NeighborIndex::lower_bound(std::size_t i, std::size_t j) const {
+  double lb = 0.0;
+  const std::size_t p_count = pivot_leaves_.size();
+  for (std::size_t p = 0; p < p_count; ++p) {
+    lb = std::max(lb, std::abs(pivot_distances_[i * p_count + p] -
+                               pivot_distances_[j * p_count + p]));
+  }
+  if (grid_bins_ > 0) {
+    const double l1 = simd::l1_distance(grid_.data() + i * grid_bins_,
+                                        grid_.data() + j * grid_bins_, grid_bins_);
+    lb = std::max(lb, grid_half_width_ * l1 - snap_cost_[i] - snap_cost_[j]);
+  }
+  return with_margin(std::max(0.0, lb));
+}
+
+}  // namespace tradeplot::stats

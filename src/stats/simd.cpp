@@ -1,0 +1,84 @@
+#include "stats/simd.h"
+
+#include <cmath>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define TRADEPLOT_X86 1
+#else
+#define TRADEPLOT_X86 0
+#endif
+
+namespace tradeplot::stats::simd {
+
+namespace {
+
+double l1_scalar(const double* a, const double* b, std::size_t n) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += std::abs(a[i] - b[i]);
+  return sum;
+}
+
+#if TRADEPLOT_X86
+
+__attribute__((target("avx2"))) double l1_avx2(const double* a, const double* b,
+                                               std::size_t n) {
+  // |x| as a bitmask clear of the sign bit; four accumulators hide the
+  // vaddpd latency on the 4-wide lanes.
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4));
+    acc0 = _mm256_add_pd(acc0, _mm256_andnot_pd(sign_mask, d0));
+    acc1 = _mm256_add_pd(acc1, _mm256_andnot_pd(sign_mask, d1));
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc0 = _mm256_add_pd(acc0, _mm256_andnot_pd(sign_mask, d));
+  }
+  const __m256d acc = _mm256_add_pd(acc0, acc1);
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  double sum = _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+  for (; i < n; ++i) sum += std::abs(a[i] - b[i]);
+  return sum;
+}
+
+bool detect_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+#endif
+
+using Kernel = double (*)(const double*, const double*, std::size_t);
+
+Kernel dispatch() {
+#if TRADEPLOT_X86
+  if (detect_avx2()) return &l1_avx2;
+#endif
+  return &l1_scalar;
+}
+
+Kernel kernel() {
+  static const Kernel k = dispatch();
+  return k;
+}
+
+}  // namespace
+
+double l1_distance(const double* a, const double* b, std::size_t n) {
+  return kernel()(a, b, n);
+}
+
+bool using_avx2() {
+#if TRADEPLOT_X86
+  return kernel() != &l1_scalar;
+#else
+  return false;
+#endif
+}
+
+}  // namespace tradeplot::stats::simd

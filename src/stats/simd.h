@@ -1,0 +1,33 @@
+// Runtime-dispatched SIMD kernels for the θ_hm pruning hot loops.
+//
+// The pruned clustering path evaluates a cheap bin-L1 lower bound over dense
+// per-cluster grid histograms before paying for an exact EMD resolution; that
+// inner loop is a pure Σ|a[i] - b[i]| sweep over contiguous doubles and
+// vectorizes perfectly. The kernel is selected once per process at first use:
+// an AVX2 implementation (compiled with a per-function target attribute, so
+// the rest of the build stays baseline-ISA) when the CPU supports it, the
+// scalar loop otherwise.
+//
+// Determinism note: the AVX2 sum reassociates additions, so l1_distance is
+// NOT guaranteed bit-identical to the scalar loop across machines. It is
+// deterministic within a process (one dispatch decision, same instruction
+// sequence every call), which is all the pruning layer needs — the bound only
+// gates which pairs pay the exact kernel, it never feeds a verdict, and the
+// caller applies an admissibility margin that absorbs the rounding
+// difference. Verdict-bearing kernels (emd_1d_presorted, FlatBinSet::l1)
+// deliberately do not use this function.
+#pragma once
+
+#include <cstddef>
+
+namespace tradeplot::stats::simd {
+
+/// Σ|a[i] - b[i]| over n contiguous doubles. AVX2 when available at runtime,
+/// scalar otherwise; deterministic within a process.
+[[nodiscard]] double l1_distance(const double* a, const double* b, std::size_t n);
+
+/// True when the process dispatched l1_distance to the AVX2 kernel
+/// (reported by bench_cluster so JSON trajectories note the ISA).
+[[nodiscard]] bool using_avx2();
+
+}  // namespace tradeplot::stats::simd

@@ -15,6 +15,7 @@
 #include "detect/payload_codec.h"
 #include "detect/streaming.h"
 #include "netflow/flow_record.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -152,6 +153,43 @@ TEST(HmCache, BinL1ModeIsCachedAndBitIdenticalToo) {
   expect_results_equal(cold, cached);
   EXPECT_EQ(cache.signatures_built, 14u);
   EXPECT_EQ(cache.distances_computed, 78u + 12u);
+}
+
+TEST(HmCache, WarmPrunedWindowAllocatesNoDenseMatrixAndRunsNoKernels) {
+  // S3 regression: the cache-warm path used to allocate the full n x n
+  // matrix even when every cell was served from cache. On the pruned path a
+  // fully-warm window runs zero exact kernels and never allocates quadratic
+  // storage — observed through the dense-matrix allocation counter, which
+  // only the dense (exhaustive) distance stage bumps.
+  const Population pop = population(13);
+  HumanMachineConfig pruned;
+  pruned.pruning = HmPruning::kPruned;
+  HmCache cache;
+  const HumanMachineResult cold =
+      human_machine_test(pop.features, pop.input, pruned, &cache);
+
+  obs::set_enabled(true);
+  obs::Counter& dense_allocs = obs::Registry::global().counter(
+      "tradeplot_hm_dense_matrix_total",
+      "dense n x n distance matrices allocated by theta_hm");
+  const std::uint64_t dense_before = dense_allocs.value();
+  const std::uint64_t computed_before = cache.distances_computed;
+  const HumanMachineResult warm =
+      human_machine_test(pop.features, pop.input, pruned, &cache);
+  EXPECT_EQ(dense_allocs.value(), dense_before);
+  EXPECT_EQ(cache.distances_computed, computed_before);
+  EXPECT_EQ(warm.prune.exact_kernel_evals, 0u);
+  expect_results_equal(cold, warm);
+
+  // Contrast: the exhaustive strategy still allocates its matrix on a warm
+  // window (the behaviour the pruned path exists to avoid).
+  HumanMachineConfig exhaustive;
+  exhaustive.pruning = HmPruning::kExhaustive;
+  HmCache exhaustive_cache;
+  (void)human_machine_test(pop.features, pop.input, exhaustive, &exhaustive_cache);
+  (void)human_machine_test(pop.features, pop.input, exhaustive, &exhaustive_cache);
+  EXPECT_GT(dense_allocs.value(), dense_before);
+  obs::set_enabled(false);
 }
 
 TEST(HmCache, ConfigChangeInvalidatesEverything) {

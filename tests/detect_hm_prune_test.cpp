@@ -1,0 +1,242 @@
+// Property tests of the sub-quadratic θ_hm path: for every population the
+// pruned run's observable result — flagged set, clusters, diameters, τ_hm —
+// must be bit-identical to the exhaustive run's, because the lazy clustering
+// driver resolves exactly the same floating-point values the dense matrix
+// would have held. These tests sweep randomized populations (tie-heavy,
+// duplicate-heavy, tiny, and mixed), all three distance modes, and the
+// cache-warm path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "detect/hm_cache.h"
+#include "detect/human_machine.h"
+#include "util/rng.h"
+
+namespace tradeplot::detect {
+namespace {
+
+simnet::Ipv4 host(std::uint32_t id) {
+  return simnet::Ipv4(10, static_cast<std::uint8_t>(id >> 8), static_cast<std::uint8_t>(id), 1);
+}
+
+struct Population {
+  FeatureMap features;
+  HostSet input;
+
+  void add(std::uint32_t id, std::vector<double> gaps) {
+    HostFeatures f;
+    f.host = host(id);
+    f.flows_initiated = gaps.size() + 1;
+    f.interstitials = std::move(gaps);
+    input.push_back(f.host);
+    features.emplace(f.host, std::move(f));
+  }
+};
+
+// A randomized post-funnel population: several bot families sharing timers,
+// a human remnant, plus exact-duplicate timing buffers (distance-0 pairs and
+// merge-height ties — the cases naive pruning gets wrong).
+Population random_population(util::Pcg32& rng, std::size_t n) {
+  Population pop;
+  std::vector<double> last;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> gaps(60);
+    const int kind = rng.uniform_int(0, 3);
+    if (kind == 0 && !last.empty()) {
+      gaps = last;  // exact duplicate of the previous host
+    } else if (kind <= 1) {
+      const double period = 15.0 * static_cast<double>(1 + rng.uniform_int(0, 3));
+      for (double& g : gaps) g = period + rng.uniform(-0.5, 0.5);
+    } else {
+      for (double& g : gaps) g = rng.lognormal(4.0 + rng.uniform(0.0, 1.5), 1.0);
+    }
+    last = gaps;
+    pop.add(static_cast<std::uint32_t>(i), std::move(gaps));
+  }
+  return pop;
+}
+
+void expect_same_result(const HumanMachineResult& got, const HumanMachineResult& want) {
+  EXPECT_EQ(got.flagged, want.flagged);
+  EXPECT_EQ(got.skipped, want.skipped);
+  EXPECT_EQ(got.degenerate, want.degenerate);
+  EXPECT_EQ(got.degraded, want.degraded);
+  const double gt = got.tau_hm;
+  const double wt = want.tau_hm;
+  EXPECT_EQ(std::memcmp(&gt, &wt, sizeof gt), 0) << gt << " vs " << wt;
+  ASSERT_EQ(got.clusters.size(), want.clusters.size());
+  for (std::size_t c = 0; c < want.clusters.size(); ++c) {
+    EXPECT_EQ(got.clusters[c].members, want.clusters[c].members) << "cluster " << c;
+    EXPECT_EQ(got.clusters[c].kept, want.clusters[c].kept) << "cluster " << c;
+    const double gd = got.clusters[c].diameter;
+    const double wd = want.clusters[c].diameter;
+    EXPECT_EQ(std::memcmp(&gd, &wd, sizeof gd), 0) << "cluster " << c;
+  }
+}
+
+TEST(HmPrune, VerdictsBitIdenticalAcrossRandomPopulations) {
+  util::Pcg32 rng(0x9A11);
+  for (const std::size_t n : {3u, 4u, 13u, 48u, 110u}) {
+    for (int round = 0; round < 3; ++round) {
+      const Population pop = random_population(rng, n);
+      HumanMachineConfig exhaustive;
+      exhaustive.min_samples = 10;
+      exhaustive.pruning = HmPruning::kExhaustive;
+      HumanMachineConfig pruned = exhaustive;
+      pruned.pruning = HmPruning::kPruned;
+      const HumanMachineResult want = human_machine_test(pop.features, pop.input, exhaustive);
+      const HumanMachineResult got = human_machine_test(pop.features, pop.input, pruned);
+      SCOPED_TRACE(testing::Message() << "n=" << n << " round=" << round);
+      expect_same_result(got, want);
+      EXPECT_TRUE(got.prune.used);
+      EXPECT_FALSE(want.prune.used);
+      EXPECT_LE(got.prune.exact_kernel_evals, want.prune.exact_kernel_evals);
+    }
+  }
+}
+
+TEST(HmPrune, AllDistanceModesAgree) {
+  util::Pcg32 rng(0x9A12);
+  const Population pop = random_population(rng, 72);
+  for (const HmDistance d : {HmDistance::kEmd, HmDistance::kEmdBinIndex, HmDistance::kBinL1}) {
+    HumanMachineConfig exhaustive;
+    exhaustive.min_samples = 10;
+    exhaustive.distance = d;
+    exhaustive.pruning = HmPruning::kExhaustive;
+    HumanMachineConfig pruned = exhaustive;
+    pruned.pruning = HmPruning::kPruned;
+    SCOPED_TRACE(testing::Message() << "distance mode " << static_cast<int>(d));
+    expect_same_result(human_machine_test(pop.features, pop.input, pruned),
+                       human_machine_test(pop.features, pop.input, exhaustive));
+  }
+}
+
+TEST(HmPrune, TieHeavyPopulationsAgree) {
+  // Every host one of two exact timing buffers: the distance matrix is full
+  // of exact zeros and equal heights — pure tie-resolution stress.
+  Population pop;
+  std::vector<double> a(50, 30.0);
+  std::vector<double> b(50, 90.0);
+  for (std::uint32_t i = 0; i < 80; ++i) pop.add(i, i % 2 == 0 ? a : b);
+  HumanMachineConfig exhaustive;
+  exhaustive.min_samples = 10;
+  exhaustive.pruning = HmPruning::kExhaustive;
+  HumanMachineConfig pruned = exhaustive;
+  pruned.pruning = HmPruning::kPruned;
+  expect_same_result(human_machine_test(pop.features, pop.input, pruned),
+                     human_machine_test(pop.features, pop.input, exhaustive));
+}
+
+TEST(HmPrune, ThreadCountDoesNotChangePrunedResult) {
+  util::Pcg32 rng(0x9A13);
+  const Population pop = random_population(rng, 90);
+  HumanMachineConfig serial;
+  serial.min_samples = 10;
+  serial.pruning = HmPruning::kPruned;
+  serial.threads = 1;
+  const HumanMachineResult reference = human_machine_test(pop.features, pop.input, serial);
+  for (const std::size_t threads : {2u, 8u}) {
+    HumanMachineConfig config = serial;
+    config.threads = threads;
+    SCOPED_TRACE(testing::Message() << threads << " threads");
+    expect_same_result(human_machine_test(pop.features, pop.input, config), reference);
+  }
+}
+
+TEST(HmPrune, AutoSwitchesAtPruneMinHosts) {
+  util::Pcg32 rng(0x9A14);
+  const Population small = random_population(rng, 20);
+  const Population large = random_population(rng, 70);
+  HumanMachineConfig config;
+  config.min_samples = 10;
+  config.prune_min_hosts = 64;
+  const HumanMachineResult below = human_machine_test(small.features, small.input, config);
+  const HumanMachineResult above = human_machine_test(large.features, large.input, config);
+  EXPECT_FALSE(below.prune.used);
+  EXPECT_TRUE(above.prune.used);
+  EXPECT_GT(above.prune.skipped_pivot + above.prune.skipped_grid, 0u);
+  EXPECT_LT(above.prune.exact_kernel_evals, above.prune.pairs_total);
+}
+
+TEST(HmPrune, PrunedPathReducesExactEvalsOnClusterablePopulations) {
+  // The acceptance-shaped claim in miniature: on a population of tight bot
+  // families plus scattered humans, the pruned path must evaluate the exact
+  // kernel for well under a third of the pair space.
+  util::Pcg32 rng(0x9A15);
+  Population pop;
+  for (std::uint32_t i = 0; i < 128; ++i) {
+    std::vector<double> gaps(80);
+    if (i < 112) {
+      // 16 timer families with geometrically shrinking period gaps: tight
+      // within a family, well separated across families. Shrinking gaps
+      // keep each family's nearest neighbour on its denser side, so the
+      // NN-chain finishes families before inter-family merges start and the
+      // pruned driver's bounds carry almost every cross-family decision.
+      const double period =
+          8.0 + 500.0 * (1.0 - std::pow(0.96, static_cast<double>(i % 16)));
+      for (double& g : gaps) g = period + rng.uniform(-0.25, 0.25);
+    } else {
+      for (double& g : gaps) g = rng.lognormal(4.5, 1.0);
+    }
+    pop.add(i, std::move(gaps));
+  }
+  HumanMachineConfig pruned;
+  pruned.min_samples = 10;
+  pruned.pruning = HmPruning::kPruned;
+  HumanMachineConfig exhaustive = pruned;
+  exhaustive.pruning = HmPruning::kExhaustive;
+  const HumanMachineResult got = human_machine_test(pop.features, pop.input, pruned);
+  const HumanMachineResult want = human_machine_test(pop.features, pop.input, exhaustive);
+  expect_same_result(got, want);
+  EXPECT_LT(got.prune.exact_kernel_evals, got.prune.pairs_total / 3);
+}
+
+TEST(HmPrune, WarmCacheWindowRunsZeroExactKernels) {
+  util::Pcg32 rng(0x9A16);
+  const Population pop = random_population(rng, 80);
+  HumanMachineConfig config;
+  config.min_samples = 10;
+  config.pruning = HmPruning::kPruned;
+  HmCache cache;
+  const HumanMachineResult cold = human_machine_test(pop.features, pop.input, config, &cache);
+  const std::uint64_t computed_after_cold = cache.distances_computed;
+  const HumanMachineResult warm = human_machine_test(pop.features, pop.input, config, &cache);
+  expect_same_result(warm, cold);
+  // Identical inputs: every pivot column and chain resolution is a cache
+  // hit; the exact kernel never runs and nothing new is computed.
+  EXPECT_EQ(warm.prune.exact_kernel_evals, 0u);
+  EXPECT_EQ(cache.distances_computed, computed_after_cold);
+  EXPECT_GT(warm.prune.cache_hits, 0u);
+
+  // And the cached pruned window is bit-identical to an uncached one.
+  const HumanMachineResult uncached = human_machine_test(pop.features, pop.input, config);
+  expect_same_result(warm, uncached);
+}
+
+TEST(HmPrune, CachedPrunedWindowMatchesCachedExhaustiveWindow) {
+  // The sparse retention must serve the same values the dense retention
+  // would have: run cold+warm under both strategies and compare everything.
+  util::Pcg32 rng(0x9A17);
+  const Population pop = random_population(rng, 70);
+  HumanMachineConfig pruned;
+  pruned.min_samples = 10;
+  pruned.pruning = HmPruning::kPruned;
+  HumanMachineConfig exhaustive = pruned;
+  exhaustive.pruning = HmPruning::kExhaustive;
+  HmCache pruned_cache;
+  HmCache exhaustive_cache;
+  (void)human_machine_test(pop.features, pop.input, pruned, &pruned_cache);
+  (void)human_machine_test(pop.features, pop.input, exhaustive, &exhaustive_cache);
+  const HumanMachineResult warm_pruned =
+      human_machine_test(pop.features, pop.input, pruned, &pruned_cache);
+  const HumanMachineResult warm_exhaustive =
+      human_machine_test(pop.features, pop.input, exhaustive, &exhaustive_cache);
+  expect_same_result(warm_pruned, warm_exhaustive);
+}
+
+}  // namespace
+}  // namespace tradeplot::detect

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <map>
 
 #include "util/error.h"
@@ -277,6 +278,71 @@ TEST(PairwiseBinL1, ValidatesSignaturesUpFrontWithPinnedMessages) {
             "config error: bin-L1: negative signature weight");
   EXPECT_EQ(message({{{1.0, 1.0}}, {{2.0, 0.0}}}),
             "config error: bin-L1: signature has no mass");
+}
+
+TEST(HumanMachineTest, RejectsNegativeOrNonFiniteFixedBinWidth) {
+  // S1 regression: a negative or non-finite width used to fall silently
+  // back to the 60 s bin-L1 grid. It is a misconfiguration and must throw;
+  // 0 stays valid as the documented FD / 60 s fallback sentinel.
+  Population pop = bots_and_humans();
+  for (const double bad : {-1.0, -0.0625, std::nan(""), HUGE_VAL, -HUGE_VAL}) {
+    HumanMachineConfig config;
+    config.fixed_bin_width = bad;
+    EXPECT_THROW((void)human_machine_test(pop.features, pop.input, config),
+                 util::ConfigError)
+        << "width " << bad;
+    config.distance = HmDistance::kBinL1;
+    EXPECT_THROW((void)pairwise_bin_l1({{{1.0, 1.0}}, {{2.0, 1.0}}}, config),
+                 util::ConfigError)
+        << "width " << bad;
+  }
+  HumanMachineConfig zero;
+  zero.fixed_bin_width = 0.0;
+  EXPECT_NO_THROW((void)human_machine_test(pop.features, pop.input, zero));
+}
+
+TEST(HumanMachineTest, DegenerateHostIsSkippedNotFatal) {
+  // S2 regression: a host whose timing buffer holds non-finite samples used
+  // to throw from the signature/distance kernels and abort the whole
+  // window. It must instead be skipped and accounted, with the remaining
+  // hosts' verdict identical to a run that never saw it.
+  Population clean = bots_and_humans();
+  const HumanMachineResult want = human_machine_test(clean.features, clean.input, {});
+
+  Population dirty = bots_and_humans();
+  std::vector<double> bad(50, 10.0);
+  bad[17] = std::numeric_limits<double>::quiet_NaN();
+  dirty.add(with_interstitials(99, std::move(bad)));
+  const HumanMachineResult got = human_machine_test(dirty.features, dirty.input, {});
+
+  EXPECT_TRUE(got.degraded);
+  EXPECT_EQ(got.degenerate, HostSet{host(99)});
+  EXPECT_TRUE(std::binary_search(got.skipped.begin(), got.skipped.end(), host(99)));
+  EXPECT_EQ(got.flagged, want.flagged);
+  EXPECT_EQ(got.tau_hm, want.tau_hm);  // bitwise: the host never entered
+  ASSERT_EQ(got.clusters.size(), want.clusters.size());
+  for (std::size_t c = 0; c < want.clusters.size(); ++c) {
+    EXPECT_EQ(got.clusters[c].members, want.clusters[c].members);
+    EXPECT_EQ(got.clusters[c].diameter, want.clusters[c].diameter);
+  }
+
+  // Infinity is as degenerate as NaN.
+  Population inf_pop = bots_and_humans();
+  std::vector<double> inf_gaps(50, 10.0);
+  inf_gaps[3] = HUGE_VAL;
+  inf_pop.add(with_interstitials(98, std::move(inf_gaps)));
+  const HumanMachineResult inf_got =
+      human_machine_test(inf_pop.features, inf_pop.input, {});
+  EXPECT_TRUE(inf_got.degraded);
+  EXPECT_EQ(inf_got.degenerate, HostSet{host(98)});
+  EXPECT_EQ(inf_got.flagged, want.flagged);
+}
+
+TEST(HumanMachineTest, CleanWindowIsNotDegraded) {
+  Population pop = bots_and_humans();
+  const HumanMachineResult result = human_machine_test(pop.features, pop.input, {});
+  EXPECT_FALSE(result.degraded);
+  EXPECT_TRUE(result.degenerate.empty());
 }
 
 TEST(HumanMachineTest, ThreadCountDoesNotChangeTheResult) {

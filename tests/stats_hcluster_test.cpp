@@ -144,6 +144,23 @@ TEST(Dendrogram, SeveredMergeReferencedByLaterMergeResolves) {
   EXPECT_EQ(groups[1], (std::vector<std::size_t>{1}));
 }
 
+TEST(Dendrogram, HeightInversionDoesNotOrphanSubtrees) {
+  // Floating-point UPGMA heights are not always monotone: a parent can carry
+  // a height a few ulps *below* its child's, so walking merges in height
+  // order visits the parent first. Components used to chain representatives
+  // through internal slots in that order and read an uninitialized rep,
+  // silently orphaning whole subtrees. The structural union-find must give
+  // one component for a fully-kept tree regardless of height order.
+  const std::vector<Merge> merges = {
+      {0, 1, 1.11e-16, 2},  // node 3: child with the *larger* height
+      {3, 2, 0.0, 3},       // root: parent sorts before its child
+  };
+  const Dendrogram dend(3, merges);
+  const auto groups = dend.cut_top_fraction(0.0);  // keep every link
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 1, 2}));
+}
+
 TEST(Dendrogram, CutTopFractionOnTiesKeepsEarlierStructure) {
   // A tie between a leaf-level merge and the root: the root (later index)
   // must be the one removed.

@@ -6,6 +6,12 @@
 // baseline) and the current TraceReader-backed read_csv_file /
 // read_binary_file. Every pass is verified to decode the identical TraceSet.
 //
+// Two columnar profiles ride along: a feature-scan pass (counter reductions
+// over in-memory rows, AoS record walk vs. SoA FlowBatch columns) and a
+// binary drain (record-at-a-time next() over a v1 file vs. next_batch()
+// over a columnar v3 file). Both verify identical aggregates, so the
+// reported speedups change wall clock only.
+//
 //   bench_io [flows] [--json <path>]
 //
 // --json writes a machine-readable report to <path>. TRADEPLOT_THREADS is
@@ -23,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "netflow/flow_batch.h"
 #include "netflow/io.h"
 #include "netflow/trace_reader.h"
 #include "util/error.h"
@@ -247,6 +254,62 @@ void report(const char* format, std::size_t flows, const Timed& before, const Ti
               before.seconds / after.seconds);
 }
 
+// ---------------------------------------------------------------------------
+// Feature-scan profile: the counter reductions a detection pass makes
+// (total bytes/packets, failed-flow count) over an in-memory trace, AoS
+// record walk vs. columnar SoA batches (stats::simd column reductions).
+// ---------------------------------------------------------------------------
+
+struct ScanAggregates {
+  std::uint64_t bytes = 0;
+  std::uint64_t pkts = 0;
+  std::uint64_t failed = 0;
+  bool operator==(const ScanAggregates&) const = default;
+};
+
+ScanAggregates scan_records(const netflow::TraceSet& trace) {
+  ScanAggregates a;
+  for (const netflow::FlowRecord& r : trace.flows()) {
+    a.bytes += r.bytes_src + r.bytes_dst;
+    a.pkts += r.pkts_src + r.pkts_dst;
+    a.failed += r.failed() ? 1 : 0;
+  }
+  return a;
+}
+
+ScanAggregates scan_batches(const std::vector<netflow::FlowBatch>& batches) {
+  ScanAggregates a;
+  for (const netflow::FlowBatch& b : batches) {
+    a.bytes += b.total_bytes();
+    a.pkts += b.total_pkts();
+    a.failed += b.failed_count();
+  }
+  return a;
+}
+
+std::vector<netflow::FlowBatch> to_batches(const netflow::TraceSet& trace) {
+  std::vector<netflow::FlowBatch> batches;
+  batches.emplace_back();
+  for (const netflow::FlowRecord& r : trace.flows()) {
+    if (batches.back().full()) batches.emplace_back();
+    batches.back().push_back(r);
+  }
+  if (batches.back().empty()) batches.pop_back();
+  return batches;
+}
+
+/// Times `reps` passes of `scan` and checks every pass agrees with `expect`
+/// (which also keeps the whole computation observable, so nothing is
+/// optimized away).
+template <typename ScanFn>
+double time_scan(std::size_t reps, const ScanAggregates& expect, ScanFn scan, bool& ok) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < reps; ++i)
+    if (!(scan() == expect)) ok = false;
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -296,10 +359,67 @@ int main(int argc, char** argv) {
   const Timed bin_after = time_reader([&] { return netflow::read_binary_file(bin_path); });
   report("binary", flows, bin_before, bin_after);
 
-  const bool ok = traces_equal(trace, csv_before.trace) && traces_equal(trace, csv_after.trace) &&
-                  traces_equal(trace, bin_before.trace) && traces_equal(trace, bin_after.trace);
+  const bool decoded_ok =
+      traces_equal(trace, csv_before.trace) && traces_equal(trace, csv_after.trace) &&
+      traces_equal(trace, bin_before.trace) && traces_equal(trace, bin_after.trace);
   std::printf("\n  all four decoded traces identical to the generated one: %s\n",
-              ok ? "PASS" : "FAIL");
+              decoded_ok ? "PASS" : "FAIL");
+
+  // Feature-scan profile: counter reductions over the in-memory trace. The
+  // same rows are held both ways (AoS record vector / SoA batches); each
+  // pass computes identical aggregates, so the speedup is pure memory
+  // layout + SIMD.
+  const std::vector<netflow::FlowBatch> batches = to_batches(trace);
+  const ScanAggregates expect = scan_records(trace);
+  // Enough repetitions for a stable measurement regardless of trace size
+  // (~20M rows scanned per side).
+  const std::size_t reps = std::max<std::size_t>(4, 20'000'000 / std::max<std::size_t>(flows, 1));
+  bool scans_agree = scan_batches(batches) == expect;
+  const double aos_s = time_scan(reps, expect, [&] { return scan_records(trace); }, scans_agree);
+  const double col_s = time_scan(reps, expect, [&] { return scan_batches(batches); }, scans_agree);
+  const double scan_speedup = aos_s / col_s;
+  std::printf("\n  feature-scan (%zu reps): AoS %7.3f s   columnar %7.3f s   speedup %5.2fx   "
+              "aggregates %s\n",
+              reps, aos_s, col_s, scan_speedup, scans_agree ? "identical" : "DIVERGED");
+
+  // Columnar binary (v3) decode profile: drain the trace from disk through
+  // TraceReader computing the same aggregates — record-at-a-time next()
+  // over the v1 file vs. next_batch() over the v3 file.
+  const std::string cbin_path = (dir / "tp_bench_io.cbin").string();
+  netflow::write_binary_columnar_file(cbin_path, trace);
+  std::printf("  cbin %.1f MiB (columnar v3)\n",
+              static_cast<double>(std::filesystem::file_size(cbin_path)) / (1 << 20));
+  bool drains_agree = true;
+  const double v1_drain_s = time_scan(1, expect, [&] {
+    netflow::TraceReader reader(bin_path);
+    ScanAggregates a;
+    netflow::FlowRecord r;
+    while (reader.next(r)) {
+      a.bytes += r.bytes_src + r.bytes_dst;
+      a.pkts += r.pkts_src + r.pkts_dst;
+      a.failed += r.failed() ? 1 : 0;
+    }
+    return a;
+  }, drains_agree);
+  const double v3_drain_s = time_scan(1, expect, [&] {
+    netflow::TraceReader reader(cbin_path);
+    ScanAggregates a;
+    netflow::FlowBatch batch;
+    while (reader.next_batch(batch) > 0) {
+      a.bytes += batch.total_bytes();
+      a.pkts += batch.total_pkts();
+      a.failed += batch.failed_count();
+    }
+    return a;
+  }, drains_agree);
+  const bool columnar_decoded_ok = traces_equal(trace, netflow::read_binary_file(cbin_path));
+  std::printf("  binary drain: v1 next() %7.3f s   v3 next_batch() %7.3f s   speedup %5.2fx   "
+              "aggregates %s, v3 read_all %s\n",
+              v1_drain_s, v3_drain_s, v1_drain_s / v3_drain_s,
+              drains_agree ? "identical" : "DIVERGED",
+              columnar_decoded_ok ? "identical" : "DIVERGED");
+
+  const bool ok = decoded_ok && scans_agree && drains_agree && columnar_decoded_ok;
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -341,7 +461,29 @@ int main(int argc, char** argv) {
     format_entry("csv", csv_before, csv_after);
     format_entry("binary", bin_before, bin_after);
     w.end_array();
-    w.kv("decoded_traces_identical", ok);
+    w.kv("decoded_traces_identical", decoded_ok);
+    w.key("feature_scan");
+    w.begin_object();
+    w.kv("reps", static_cast<std::uint64_t>(reps));
+    w.key("aos_s");
+    w.number(aos_s, "%.4f");
+    w.key("columnar_s");
+    w.number(col_s, "%.4f");
+    w.key("speedup_columnar_vs_aos");
+    w.number(scan_speedup, "%.3f");
+    w.kv("aggregates_identical", scans_agree);
+    w.end_object();
+    w.key("columnar_binary");
+    w.begin_object();
+    w.key("v1_next_s");
+    w.number(v1_drain_s, "%.4f");
+    w.key("v3_next_batch_s");
+    w.number(v3_drain_s, "%.4f");
+    w.key("speedup_v3_vs_v1");
+    w.number(v1_drain_s / v3_drain_s, "%.3f");
+    w.kv("aggregates_identical", drains_agree);
+    w.kv("decoded_trace_identical", columnar_decoded_ok);
+    w.end_object();
     w.end_object();
     out << "\n";
     if (!out.flush()) {
@@ -353,5 +495,6 @@ int main(int argc, char** argv) {
 
   std::filesystem::remove(csv_path);
   std::filesystem::remove(bin_path);
+  std::filesystem::remove(cbin_path);
   return ok ? 0 : 1;
 }

@@ -1,10 +1,11 @@
 // trace_tool: generate, convert and inspect flow traces from the command
 // line — the library's I/O surface as a utility.
 //
-//   trace_tool generate <out.(csv|bin)> [seed] [window_s]   simulate a campus day
-//   trace_tool storm    <out.(csv|bin)> [seed]              24h Storm honeynet trace
-//   trace_tool nugache  <out.(csv|bin)> [seed]              24h Nugache honeynet trace
-//   trace_tool convert  <in> <out>                          csv <-> bin by extension
+//   trace_tool generate <out.(csv|bin|cbin)> [seed] [window_s]  simulate a campus day
+//   trace_tool storm    <out.(csv|bin|cbin)> [seed]             24h Storm honeynet trace
+//   trace_tool nugache  <out.(csv|bin|cbin)> [seed]             24h Nugache honeynet trace
+//   trace_tool convert  <in> <out>                              csv/bin/cbin by extension
+//                                                               (.cbin = columnar v3)
 //   trace_tool stats    <in>                                per-class summary + ingest
 //                                                           metrics (prom + json)
 //   trace_tool head     <in> [n]                            first n flows (streaming)
@@ -41,7 +42,12 @@ netflow::TraceSet load(const std::string& path) {
 }
 
 void store(const std::string& path, const netflow::TraceSet& trace) {
-  if (has_suffix(path, ".bin")) {
+  if (has_suffix(path, ".cbin")) {
+    // Columnar (v3) binary: SoA blocks TraceReader::next_batch decodes with
+    // straight column reads. Readers sniff the version, so either binary
+    // flavor loads transparently.
+    netflow::write_binary_columnar_file(path, trace);
+  } else if (has_suffix(path, ".bin")) {
     netflow::write_binary_file(path, trace);
   } else {
     netflow::write_csv_file(path, trace);

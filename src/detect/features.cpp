@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "netflow/trace_reader.h"
 #include "util/error.h"
 
 namespace tradeplot::detect {
@@ -33,6 +34,70 @@ struct Accumulator {
   bool seen = false;
 };
 
+/// Shared accumulation core: the AoS and columnar extract_features overloads
+/// both feed flows through add(), so they cannot diverge.
+class Extractor {
+ public:
+  explicit Extractor(const FeatureExtractorConfig& config) : config_(config) {
+    if (!config.is_internal) throw util::ConfigError("extract_features: is_internal required");
+  }
+
+  void add(simnet::Ipv4 src, simnet::Ipv4 dst, double start, std::uint64_t bytes_src,
+           std::uint64_t bytes_dst, bool failed) {
+    if (config_.is_internal(src)) {
+      Accumulator& a = touch(src, start);
+      a.features.flows_initiated += 1;
+      if (failed) a.features.flows_failed += 1;
+      a.features.bytes_sent_initiated += bytes_src;
+      a.per_dst_times[dst].push_back(start);
+    }
+    if (config_.is_internal(dst) && !failed) {
+      Accumulator& a = touch(dst, start);
+      a.features.flows_received += 1;
+      a.features.bytes_sent_received += bytes_dst;
+    }
+  }
+
+  [[nodiscard]] FeatureMap finish() {
+    FeatureMap out;
+    out.reserve(acc_.size());
+    for (auto& [host, a] : acc_) {
+      finalize_destinations(a.features, a.per_dst_times, config_.new_ip_grace);
+      out.emplace(host, std::move(a.features));
+    }
+    return out;
+  }
+
+ private:
+  Accumulator& touch(simnet::Ipv4 host, double t) {
+    Accumulator& a = acc_[host];
+    if (!a.seen) {
+      a.seen = true;
+      a.features.host = host;
+      a.features.first_activity = t;
+    } else {
+      a.features.first_activity = std::min(a.features.first_activity, t);
+    }
+    return a;
+  }
+
+  const FeatureExtractorConfig& config_;
+  std::unordered_map<simnet::Ipv4, Accumulator> acc_;
+};
+
+void add_batch(Extractor& ex, const netflow::FlowBatch& batch) {
+  const simnet::Ipv4* src = batch.src();
+  const simnet::Ipv4* dst = batch.dst();
+  const double* start = batch.start_time();
+  const std::uint64_t* bytes_src = batch.bytes_src();
+  const std::uint64_t* bytes_dst = batch.bytes_dst();
+  const netflow::FlowState* state = batch.state();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ex.add(src[i], dst[i], start[i], bytes_src[i], bytes_dst[i],
+           state[i] != netflow::FlowState::kEstablished);
+  }
+}
+
 }  // namespace
 
 void finalize_destinations(HostFeatures& f, PerDestinationTimes& times, double grace) {
@@ -50,44 +115,25 @@ void finalize_destinations(HostFeatures& f, PerDestinationTimes& times, double g
 
 FeatureMap extract_features(const netflow::TraceSet& trace,
                             const FeatureExtractorConfig& config) {
-  if (!config.is_internal) throw util::ConfigError("extract_features: is_internal required");
+  Extractor ex(config);
+  for (const netflow::FlowRecord& rec : trace.flows())
+    ex.add(rec.src, rec.dst, rec.start_time, rec.bytes_src, rec.bytes_dst, rec.failed());
+  return ex.finish();
+}
 
-  std::unordered_map<simnet::Ipv4, Accumulator> acc;
+FeatureMap extract_features(std::span<const netflow::FlowBatch> batches,
+                            const FeatureExtractorConfig& config) {
+  Extractor ex(config);
+  for (const netflow::FlowBatch& batch : batches) add_batch(ex, batch);
+  return ex.finish();
+}
 
-  const auto touch = [&](simnet::Ipv4 host, double t) -> Accumulator& {
-    Accumulator& a = acc[host];
-    if (!a.seen) {
-      a.seen = true;
-      a.features.host = host;
-      a.features.first_activity = t;
-    } else {
-      a.features.first_activity = std::min(a.features.first_activity, t);
-    }
-    return a;
-  };
-
-  for (const netflow::FlowRecord& rec : trace.flows()) {
-    if (config.is_internal(rec.src)) {
-      Accumulator& a = touch(rec.src, rec.start_time);
-      a.features.flows_initiated += 1;
-      if (rec.failed()) a.features.flows_failed += 1;
-      a.features.bytes_sent_initiated += rec.bytes_src;
-      a.per_dst_times[rec.dst].push_back(rec.start_time);
-    }
-    if (config.is_internal(rec.dst) && !rec.failed()) {
-      Accumulator& a = touch(rec.dst, rec.start_time);
-      a.features.flows_received += 1;
-      a.features.bytes_sent_received += rec.bytes_dst;
-    }
-  }
-
-  FeatureMap out;
-  out.reserve(acc.size());
-  for (auto& [host, a] : acc) {
-    finalize_destinations(a.features, a.per_dst_times, config.new_ip_grace);
-    out.emplace(host, std::move(a.features));
-  }
-  return out;
+FeatureMap extract_features(netflow::TraceReader& reader,
+                            const FeatureExtractorConfig& config) {
+  Extractor ex(config);
+  netflow::FlowBatch batch;
+  while (reader.next_batch(batch) > 0) add_batch(ex, batch);
+  return ex.finish();
 }
 
 bool default_internal_predicate(simnet::Ipv4 addr) {

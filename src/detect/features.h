@@ -12,11 +12,17 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "netflow/flow_batch.h"
 #include "netflow/trace_set.h"
 #include "simnet/address.h"
+
+namespace tradeplot::netflow {
+class TraceReader;
+}
 
 namespace tradeplot::detect {
 
@@ -73,6 +79,19 @@ struct FeatureExtractorConfig {
 /// extractor sorts a copy of the per-destination timestamps, so unsorted
 /// input is handled correctly.
 [[nodiscard]] FeatureMap extract_features(const netflow::TraceSet& trace,
+                                          const FeatureExtractorConfig& config);
+
+/// Columnar variant: the same features accumulated by scanning SoA batch
+/// columns (src/dst/start/bytes/state — the only fields the extractor
+/// reads), so a trace held as FlowBatches never materializes records.
+/// Batches are processed in order; features are identical to the AoS
+/// overload on the equivalent flow sequence.
+[[nodiscard]] FeatureMap extract_features(std::span<const netflow::FlowBatch> batches,
+                                          const FeatureExtractorConfig& config);
+
+/// Streaming variant: pulls column batches from `reader` until end-of-trace
+/// (honoring its error policy), in bounded memory.
+[[nodiscard]] FeatureMap extract_features(netflow::TraceReader& reader,
                                           const FeatureExtractorConfig& config);
 
 /// Per-destination initiated-flow start times accumulated during a pass

@@ -89,6 +89,14 @@ class StreamingDetector {
   /// verdict) — possibly several empty windows in a row for long gaps.
   void ingest(const netflow::FlowRecord& flow);
 
+  /// Ingests a columnar batch (equivalent to ingesting batch.record(i) for
+  /// each row, in order — windows roll mid-batch exactly where they would
+  /// record-at-a-time, so verdicts are bit-identical). The range overload
+  /// ingests rows [begin, end), letting callers split a batch at a
+  /// checkpoint boundary.
+  void ingest(const netflow::FlowBatch& batch);
+  void ingest(const netflow::FlowBatch& batch, std::size_t begin, std::size_t end);
+
   /// Closes the current window and emits its verdict (e.g. at shutdown).
   /// A no-op when no window was ever opened (no flows ingested) or when the
   /// detector was already flushed — flush never emits an empty verdict for
@@ -126,6 +134,8 @@ class StreamingDetector {
   void restore_checkpoint_file(const std::string& path);
 
  private:
+  void ingest_one(simnet::Ipv4 src, simnet::Ipv4 dst, double start_time,
+                  std::uint64_t bytes_src, std::uint64_t bytes_dst, bool failed);
   void roll_to(double time);
   void emit();
   void shed_timing_state();

@@ -16,41 +16,80 @@ const HostFeatures& features_of(const FeatureMap& features, simnet::Ipv4 host) {
   return it->second;
 }
 
+/// Materializes one scalar test's feature values as a dense column parallel
+/// to `input` — the single feature-map pass each test makes. The percentile
+/// and the selection sweep then scan the column instead of re-walking the
+/// hash map per host (same values, same order: bit-identical thresholds and
+/// selections).
 template <typename ValueFn>
-double percentile_over(const FeatureMap& features, const HostSet& input, double percentile,
-                       ValueFn value) {
+std::vector<double> value_column(const FeatureMap& features, const HostSet& input,
+                                 ValueFn value) {
   std::vector<double> values;
   values.reserve(input.size());
   for (const simnet::Ipv4 host : input) values.push_back(value(features_of(features, host)));
+  return values;
+}
+
+double percentile_of(const std::vector<double>& values, double percentile) {
   if (values.empty()) throw util::ConfigError("percentile over empty host set");
   return stats::quantile(values, percentile);
+}
+
+/// Hosts whose column value is strictly below `tau`, sorted.
+HostSet select_below(const HostSet& input, const std::vector<double>& values, double tau) {
+  HostSet out;
+  for (std::size_t i = 0; i < input.size(); ++i)
+    if (values[i] < tau) out.push_back(input[i]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+/// One pass over the feature map for the reduction test, SoA-style:
+/// eligibility flags and failed rates parallel to `input`, plus the packed
+/// eligible-only rate column the threshold percentile runs over.
+struct ReductionColumns {
+  std::vector<unsigned char> eligible;  // input[i] has initiated_success()
+  std::vector<double> rates;            // failed_rate of input[i] (0 if not eligible)
+  std::vector<double> eligible_rates;   // rates of eligible hosts, input order
+};
+
+ReductionColumns reduction_columns(const FeatureMap& features, const HostSet& input) {
+  ReductionColumns c;
+  c.eligible.reserve(input.size());
+  c.rates.reserve(input.size());
+  for (const simnet::Ipv4 host : input) {
+    const HostFeatures& f = features_of(features, host);
+    const bool ok = f.initiated_success();
+    const double rate = ok ? f.failed_rate() : 0.0;
+    c.eligible.push_back(ok);
+    c.rates.push_back(rate);
+    if (ok) c.eligible_rates.push_back(rate);
+  }
+  return c;
 }
 
 }  // namespace
 
 double data_reduction_threshold(const FeatureMap& features, const HostSet& input,
                                 const DataReductionConfig& config) {
-  HostSet eligible;
-  for (const simnet::Ipv4 host : input)
-    if (features_of(features, host).initiated_success()) eligible.push_back(host);
-  return percentile_over(features, eligible, config.percentile,
-                         [](const HostFeatures& f) { return f.failed_rate(); });
+  return percentile_of(reduction_columns(features, input).eligible_rates, config.percentile);
 }
 
 HostSet data_reduction(const FeatureMap& features, const HostSet& input,
                        const DataReductionConfig& config) {
-  const bool any_eligible = std::any_of(input.begin(), input.end(), [&](simnet::Ipv4 host) {
-    return features_of(features, host).initiated_success();
-  });
-  if (!any_eligible) return {};
-  const double threshold = data_reduction_threshold(features, input, config);
+  const ReductionColumns c = reduction_columns(features, input);
+  if (c.eligible_rates.empty()) return {};
+  const double threshold = percentile_of(c.eligible_rates, config.percentile);
   const auto select = [&](bool inclusive) {
     HostSet out;
-    for (const simnet::Ipv4 host : input) {
-      const HostFeatures& f = features_of(features, host);
-      if (!f.initiated_success()) continue;
-      const double rate = f.failed_rate();
-      if (rate > threshold || (inclusive && rate == threshold)) out.push_back(host);
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      if (!c.eligible[i]) continue;
+      const double rate = c.rates[i];
+      if (rate > threshold || (inclusive && rate == threshold)) out.push_back(input[i]);
     }
     std::sort(out.begin(), out.end());
     return out;
@@ -73,34 +112,32 @@ HostSet data_reduction(const FeatureMap& features, const HostSet& input,
 
 double volume_threshold(const FeatureMap& features, const HostSet& input,
                         const VolumeTestConfig& config) {
-  return percentile_over(features, input, config.percentile,
-                         [&](const HostFeatures& f) { return f.volume(config.metric); });
+  return percentile_of(value_column(features, input,
+                                    [&](const HostFeatures& f) { return f.volume(config.metric); }),
+                       config.percentile);
 }
 
 HostSet volume_test(const FeatureMap& features, const HostSet& input,
                     const VolumeTestConfig& config) {
-  const double tau = volume_threshold(features, input, config);
-  HostSet out;
-  for (const simnet::Ipv4 host : input)
-    if (features_of(features, host).volume(config.metric) < tau) out.push_back(host);
-  std::sort(out.begin(), out.end());
-  return out;
+  const std::vector<double> values = value_column(
+      features, input, [&](const HostFeatures& f) { return f.volume(config.metric); });
+  const double tau = percentile_of(values, config.percentile);
+  return select_below(input, values, tau);
 }
 
 double churn_threshold(const FeatureMap& features, const HostSet& input,
                        const ChurnTestConfig& config) {
-  return percentile_over(features, input, config.percentile,
-                         [](const HostFeatures& f) { return f.new_ip_fraction(); });
+  return percentile_of(
+      value_column(features, input, [](const HostFeatures& f) { return f.new_ip_fraction(); }),
+      config.percentile);
 }
 
 HostSet churn_test(const FeatureMap& features, const HostSet& input,
                    const ChurnTestConfig& config) {
-  const double tau = churn_threshold(features, input, config);
-  HostSet out;
-  for (const simnet::Ipv4 host : input)
-    if (features_of(features, host).new_ip_fraction() < tau) out.push_back(host);
-  std::sort(out.begin(), out.end());
-  return out;
+  const std::vector<double> values = value_column(
+      features, input, [](const HostFeatures& f) { return f.new_ip_fraction(); });
+  const double tau = percentile_of(values, config.percentile);
+  return select_below(input, values, tau);
 }
 
 HostSet host_union(const HostSet& a, const HostSet& b) {

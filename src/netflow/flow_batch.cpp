@@ -1,0 +1,179 @@
+#include "netflow/flow_batch.h"
+
+#include <cstring>
+#include <type_traits>
+
+#include "stats/simd.h"
+
+namespace tradeplot::netflow {
+
+// The binary v3 block codec and the bulk decode paths treat the columns as
+// raw little-endian arrays; pin the layout assumptions they rely on.
+static_assert(sizeof(simnet::Ipv4) == sizeof(std::uint32_t),
+              "Ipv4 columns are serialized as u32 arrays");
+static_assert(std::is_trivially_copyable_v<simnet::Ipv4>);
+static_assert(std::is_same_v<std::underlying_type_t<Protocol>, std::uint8_t>);
+static_assert(std::is_same_v<std::underlying_type_t<FlowState>, std::uint8_t>);
+static_assert(static_cast<std::uint8_t>(FlowState::kEstablished) == 0,
+              "failed_count() counts nonzero state bytes");
+
+FlowBatch::FlowBatch(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  src_.reserve(capacity_);
+  dst_.reserve(capacity_);
+  sport_.reserve(capacity_);
+  dport_.reserve(capacity_);
+  proto_.reserve(capacity_);
+  start_.reserve(capacity_);
+  end_.reserve(capacity_);
+  pkts_src_.reserve(capacity_);
+  pkts_dst_.reserve(capacity_);
+  bytes_src_.reserve(capacity_);
+  bytes_dst_.reserve(capacity_);
+  state_.reserve(capacity_);
+  payload_len_.reserve(capacity_);
+  payload_.reserve(capacity_ * kPayloadPrefixLen);
+}
+
+void FlowBatch::clear() {
+  src_.clear();
+  dst_.clear();
+  sport_.clear();
+  dport_.clear();
+  proto_.clear();
+  start_.clear();
+  end_.clear();
+  pkts_src_.clear();
+  pkts_dst_.clear();
+  bytes_src_.clear();
+  bytes_dst_.clear();
+  state_.clear();
+  payload_len_.clear();
+  payload_.clear();
+}
+
+void FlowBatch::push_back(const FlowRecord& r) {
+  src_.push_back(r.src);
+  dst_.push_back(r.dst);
+  sport_.push_back(r.sport);
+  dport_.push_back(r.dport);
+  proto_.push_back(r.proto);
+  start_.push_back(r.start_time);
+  end_.push_back(r.end_time);
+  pkts_src_.push_back(r.pkts_src);
+  pkts_dst_.push_back(r.pkts_dst);
+  bytes_src_.push_back(r.bytes_src);
+  bytes_dst_.push_back(r.bytes_dst);
+  state_.push_back(r.state);
+  payload_len_.push_back(r.payload_len);
+  // FlowRecord keeps its payload array zero-padded past payload_len, so the
+  // whole-slot copy preserves the zero-padding invariant.
+  payload_.insert(payload_.end(), r.payload.begin(), r.payload.end());
+}
+
+std::size_t FlowBatch::append_default() {
+  const std::size_t i = size();
+  append_default(1);
+  return i;
+}
+
+void FlowBatch::append_default(std::size_t n) {
+  const std::size_t sz = size() + n;
+  src_.resize(sz);
+  dst_.resize(sz);
+  sport_.resize(sz);
+  dport_.resize(sz);
+  proto_.resize(sz, Protocol::kTcp);
+  start_.resize(sz);
+  end_.resize(sz);
+  pkts_src_.resize(sz);
+  pkts_dst_.resize(sz);
+  bytes_src_.resize(sz);
+  bytes_dst_.resize(sz);
+  state_.resize(sz, FlowState::kEstablished);
+  payload_len_.resize(sz);
+  payload_.resize(sz * kPayloadPrefixLen);  // value-init zeroes the new slots
+}
+
+void FlowBatch::truncate(std::size_t new_size) {
+  if (new_size >= size()) return;
+  src_.resize(new_size);
+  dst_.resize(new_size);
+  sport_.resize(new_size);
+  dport_.resize(new_size);
+  proto_.resize(new_size, Protocol::kTcp);
+  start_.resize(new_size);
+  end_.resize(new_size);
+  pkts_src_.resize(new_size);
+  pkts_dst_.resize(new_size);
+  bytes_src_.resize(new_size);
+  bytes_dst_.resize(new_size);
+  state_.resize(new_size, FlowState::kEstablished);
+  payload_len_.resize(new_size);
+  payload_.resize(new_size * kPayloadPrefixLen);
+}
+
+void FlowBatch::erase_rows(const std::vector<std::uint32_t>& sorted_rows) {
+  if (sorted_rows.empty()) return;
+  const std::size_t n = size();
+  std::size_t out = sorted_rows.front();
+  std::size_t drop = 0;
+  for (std::size_t i = out; i < n; ++i) {
+    if (drop < sorted_rows.size() && sorted_rows[drop] == i) {
+      ++drop;
+      continue;
+    }
+    src_[out] = src_[i];
+    dst_[out] = dst_[i];
+    sport_[out] = sport_[i];
+    dport_[out] = dport_[i];
+    proto_[out] = proto_[i];
+    start_[out] = start_[i];
+    end_[out] = end_[i];
+    pkts_src_[out] = pkts_src_[i];
+    pkts_dst_[out] = pkts_dst_[i];
+    bytes_src_[out] = bytes_src_[i];
+    bytes_dst_[out] = bytes_dst_[i];
+    state_[out] = state_[i];
+    payload_len_[out] = payload_len_[i];
+    std::memmove(payload_.data() + out * kPayloadPrefixLen,
+                 payload_.data() + i * kPayloadPrefixLen, kPayloadPrefixLen);
+    ++out;
+  }
+  truncate(out);
+}
+
+FlowRecord FlowBatch::record(std::size_t i) const {
+  FlowRecord r;
+  r.src = src_[i];
+  r.dst = dst_[i];
+  r.sport = sport_[i];
+  r.dport = dport_[i];
+  r.proto = proto_[i];
+  r.start_time = start_[i];
+  r.end_time = end_[i];
+  r.pkts_src = pkts_src_[i];
+  r.pkts_dst = pkts_dst_[i];
+  r.bytes_src = bytes_src_[i];
+  r.bytes_dst = bytes_dst_[i];
+  r.state = state_[i];
+  r.payload_len = payload_len_[i];
+  std::memcpy(r.payload.data(), payload(i), kPayloadPrefixLen);
+  return r;
+}
+
+std::uint64_t FlowBatch::total_bytes() const {
+  return stats::simd::sum_u64(bytes_src_.data(), bytes_src_.size()) +
+         stats::simd::sum_u64(bytes_dst_.data(), bytes_dst_.size());
+}
+
+std::uint64_t FlowBatch::total_pkts() const {
+  return stats::simd::sum_u64(pkts_src_.data(), pkts_src_.size()) +
+         stats::simd::sum_u64(pkts_dst_.data(), pkts_dst_.size());
+}
+
+std::size_t FlowBatch::failed_count() const {
+  return stats::simd::count_nonzero_u8(
+      reinterpret_cast<const std::uint8_t*>(state_.data()), state_.size());
+}
+
+}  // namespace tradeplot::netflow

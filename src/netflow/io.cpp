@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "netflow/flow_batch.h"
 #include "netflow/trace_reader.h"
 #include "util/error.h"
 
@@ -128,6 +129,57 @@ void write_binary(std::ostream& out, const TraceSet& trace) {
   if (!out) throw util::IoError("binary trace write failed");
 }
 
+namespace {
+
+constexpr std::uint32_t kBinVersionColumnar = 3;
+
+/// Rows per v3 column block: one TraceReader::next_batch delivery.
+constexpr std::size_t kColumnarBlockRows = FlowBatch::kDefaultCapacity;
+
+void write_columnar_block(BufferedSink& sink, const FlowRecord* flows, std::size_t n) {
+  sink.put(static_cast<std::uint32_t>(n));
+  for (std::size_t i = 0; i < n; ++i) sink.put(flows[i].src.value());
+  for (std::size_t i = 0; i < n; ++i) sink.put(flows[i].dst.value());
+  for (std::size_t i = 0; i < n; ++i) sink.put(flows[i].sport);
+  for (std::size_t i = 0; i < n; ++i) sink.put(flows[i].dport);
+  for (std::size_t i = 0; i < n; ++i) sink.put(static_cast<std::uint8_t>(flows[i].proto));
+  for (std::size_t i = 0; i < n; ++i) sink.put(flows[i].start_time);
+  for (std::size_t i = 0; i < n; ++i) sink.put(flows[i].end_time);
+  for (std::size_t i = 0; i < n; ++i) sink.put(flows[i].pkts_src);
+  for (std::size_t i = 0; i < n; ++i) sink.put(flows[i].pkts_dst);
+  for (std::size_t i = 0; i < n; ++i) sink.put(flows[i].bytes_src);
+  for (std::size_t i = 0; i < n; ++i) sink.put(flows[i].bytes_dst);
+  for (std::size_t i = 0; i < n; ++i) sink.put(static_cast<std::uint8_t>(flows[i].state));
+  for (std::size_t i = 0; i < n; ++i) sink.put(flows[i].payload_len);
+  // Whole fixed-stride slots: FlowRecord keeps the payload array zero-padded
+  // past payload_len, so the block is canonical as written.
+  for (std::size_t i = 0; i < n; ++i)
+    sink.append(flows[i].payload.data(), kPayloadPrefixLen);
+}
+
+}  // namespace
+
+void write_binary_columnar(std::ostream& out, const TraceSet& trace) {
+  BufferedSink sink(out);
+  sink.put(kBinMagic);
+  sink.put(kBinVersionColumnar);
+  sink.put(trace.window_start());
+  sink.put(trace.window_end());
+  sink.put(static_cast<std::uint64_t>(trace.truth().size()));
+  for (const auto& [ip, kind] : trace.truth()) {
+    sink.put(ip.value());
+    sink.put(static_cast<std::uint8_t>(kind));
+  }
+  sink.put(static_cast<std::uint64_t>(trace.flows().size()));
+  const FlowRecord* flows = trace.flows().data();
+  for (std::size_t base = 0; base < trace.flows().size(); base += kColumnarBlockRows) {
+    const std::size_t n = std::min(kColumnarBlockRows, trace.flows().size() - base);
+    write_columnar_block(sink, flows + base, n);
+  }
+  sink.flush();
+  if (!out) throw util::IoError("binary trace write failed");
+}
+
 TraceSet read_binary(std::istream& in) {
   TraceReader reader(in, TraceFormat::kBinary);
   return reader.read_all();
@@ -159,6 +211,10 @@ TraceSet read_csv_file(const std::string& path) {
 
 void write_binary_file(const std::string& path, const TraceSet& trace) {
   with_ofstream(path, [&](std::ostream& out) { write_binary(out, trace); });
+}
+
+void write_binary_columnar_file(const std::string& path, const TraceSet& trace) {
+  with_ofstream(path, [&](std::ostream& out) { write_binary_columnar(out, trace); });
 }
 
 TraceSet read_binary_file(const std::string& path) {

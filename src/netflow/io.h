@@ -29,9 +29,16 @@ void write_csv_file(const std::string& path, const TraceSet& trace);
 [[nodiscard]] TraceSet read_csv(std::istream& in);
 [[nodiscard]] TraceSet read_csv_file(const std::string& path);
 
-/// Binary round-trip (same error contract).
+/// Binary round-trip (same error contract). write_binary emits the v1
+/// record-oriented format; write_binary_columnar emits v3 column blocks
+/// (same preamble, then fixed-stride per-column arrays — the layout
+/// TraceReader::next_batch decodes with a handful of bulk reads, and that a
+/// future mmap reader can map in place). Both read back through the same
+/// entry points: TraceReader dispatches on the version tag.
 void write_binary(std::ostream& out, const TraceSet& trace);
 void write_binary_file(const std::string& path, const TraceSet& trace);
+void write_binary_columnar(std::ostream& out, const TraceSet& trace);
+void write_binary_columnar_file(const std::string& path, const TraceSet& trace);
 [[nodiscard]] TraceSet read_binary(std::istream& in);
 [[nodiscard]] TraceSet read_binary_file(const std::string& path);
 

@@ -40,6 +40,8 @@ struct IngestObs {
   obs::Histogram& record_seconds = obs::Registry::global().histogram(
       "tradeplot_ingest_record_seconds",
       "Latency of pulling and decoding one trace record", obs::duration_buckets());
+  obs::Counter& batches = obs::Registry::global().counter(
+      "tradeplot_ingest_batches_total", "Columnar flow batches decoded by next_batch");
 
   static IngestObs& get() {
     static IngestObs o;
@@ -52,6 +54,10 @@ constexpr std::string_view kCsvHeader =
 
 constexpr std::uint32_t kBinMagic = 0x54504654;  // "TPFT"
 constexpr std::uint32_t kBinVersion = 1;
+/// Binary v3: same preamble as v1, but the record stream is column blocks
+/// (see read_columnar_block / io.h's write_binary_columnar). Version 2 is
+/// reserved (the checkpoint format's payload v2 shipped between the two).
+constexpr std::uint32_t kBinVersionColumnar = 3;
 
 // ---------------------------------------------------------------------------
 // Field decoding: locale-free, range-checked, allocation-free.
@@ -173,13 +179,48 @@ T take(const char*& p) {
   return value;
 }
 
+/// One decode destination for the fused CSV parser: references to each flow
+/// field, wherever they live. The same parser body fills an AoS FlowRecord
+/// (refs into one struct) or one FlowBatch row (refs into thirteen columns),
+/// so the two decode paths cannot drift. `payload` must point at a
+/// kPayloadPrefixLen slot already zeroed past whatever the parser writes.
+struct FlowFieldRefs {
+  simnet::Ipv4& src;
+  simnet::Ipv4& dst;
+  std::uint16_t& sport;
+  std::uint16_t& dport;
+  Protocol& proto;
+  double& start_time;
+  double& end_time;
+  std::uint64_t& pkts_src;
+  std::uint64_t& pkts_dst;
+  std::uint64_t& bytes_src;
+  std::uint64_t& bytes_dst;
+  FlowState& state;
+  unsigned char* payload;
+  std::uint8_t& payload_len;
+};
+
+FlowFieldRefs record_refs(FlowRecord& r) {
+  return {r.src,      r.dst,      r.sport,     r.dport,     r.proto,
+          r.start_time, r.end_time, r.pkts_src, r.pkts_dst, r.bytes_src,
+          r.bytes_dst, r.state,    r.payload.data(), r.payload_len};
+}
+
+FlowFieldRefs batch_row_refs(FlowBatch& b, std::size_t i) {
+  return {b.src()[i],      b.dst()[i],      b.sport()[i],    b.dport()[i],
+          b.proto()[i],    b.start_time()[i], b.end_time()[i], b.pkts_src()[i],
+          b.pkts_dst()[i], b.bytes_src()[i], b.bytes_dst()[i], b.state()[i],
+          b.payload(i),    b.payload_len()[i]};
+}
+
 /// Fused tokenize-and-decode fast path: one left-to-right pass, each field
 /// parser consumes its bytes and the trailing separator directly, so the
 /// line is never pre-split. Returns false on ANY anomaly (bad digit, wrong
-/// separator, unknown keyword, overflow) without diagnosing it — the caller
-/// re-parses through the split-based slow path, which reproduces the exact
-/// error the batch readers have always thrown.
-bool parse_flow_line_fast(std::string_view line, FlowRecord& out) noexcept {
+/// separator, unknown keyword, overflow, end_time before start_time) without
+/// diagnosing it — the caller re-parses through the split-based slow path,
+/// which reproduces the exact error the batch readers have always thrown.
+bool parse_flow_line_fast(std::string_view line, FlowFieldRefs out) noexcept {
   const char* p = line.data();
   const char* const end = p + line.size();
 
@@ -240,6 +281,9 @@ bool parse_flow_line_fast(std::string_view line, FlowRecord& out) noexcept {
   else if (lit("icmp,")) out.proto = Protocol::kIcmp;
   else return false;
   if (!dbl(out.start_time) || !sep() || !dbl(out.end_time) || !sep()) return false;
+  // A flow cannot end before it starts (negated compare also rejects NaNs);
+  // the slow path turns this into the pinned diagnostic.
+  if (!(out.end_time >= out.start_time)) return false;
   if (!uint_field(out.pkts_src) || !sep() || !uint_field(out.pkts_dst) || !sep()) return false;
   if (!uint_field(out.bytes_src) || !sep() || !uint_field(out.bytes_dst) || !sep()) return false;
   if (lit("est,")) out.state = FlowState::kEstablished;
@@ -275,6 +319,11 @@ void parse_flow_line_slow(std::string_view line, std::size_t lineno, FlowRecord&
   out.proto = protocol_from_string(f[4]);
   out.start_time = parse_number<double>(f[5], lineno, "start");
   out.end_time = parse_number<double>(f[6], lineno, "end");
+  // Range checks are per-field; the cross-field invariant needs its own
+  // check or duration() goes negative and skews the timing features.
+  if (!(out.end_time >= out.start_time))
+    throw util::ParseError("line " + std::to_string(lineno) +
+                           ": end_time precedes start_time");
   out.pkts_src = parse_uint<std::uint64_t>(f[7], lineno, "pkts_src");
   out.pkts_dst = parse_uint<std::uint64_t>(f[8], lineno, "pkts_dst");
   out.bytes_src = parse_uint<std::uint64_t>(f[9], lineno, "bytes_src");
@@ -298,7 +347,7 @@ void parse_flow_line_slow(std::string_view line, std::size_t lineno, FlowRecord&
 /// batch drain can run it across threads. `out.payload` must be zeroed past
 /// whatever this writes — callers pass a fresh or reset record.
 void parse_flow_line(std::string_view line, std::size_t lineno, FlowRecord& out) {
-  if (parse_flow_line_fast(line, out)) return;
+  if (parse_flow_line_fast(line, record_refs(out))) return;
   parse_flow_line_slow(line, lineno, out);
 }
 
@@ -512,7 +561,9 @@ void TraceReader::read_binary_preamble() {
     return v;
   };
   if (get32("short read") != kBinMagic) throw util::ParseError("binary trace: bad magic");
-  if (get32("short read") != kBinVersion) throw util::ParseError("binary trace: bad version");
+  bin_version_ = get32("short read");
+  if (bin_version_ != kBinVersion && bin_version_ != kBinVersionColumnar)
+    throw util::ParseError("binary trace: bad version");
   src_->read_exact(&window_start_, sizeof(window_start_), "short read");
   src_->read_exact(&window_end_, sizeof(window_end_), "short read");
   std::uint64_t truth_count = 0;
@@ -537,25 +588,32 @@ void TraceReader::read_binary_preamble() {
 
 bool TraceReader::next(FlowRecord& out) {
   if (done_) return false;
+  const auto pull = [&] {
+    if (format_ != TraceFormat::kBinary) return next_csv(out);
+    return bin_version_ == kBinVersionColumnar ? next_columnar(out) : next_binary(out);
+  };
   bool got;
   if (obs::enabled()) {
     IngestObs& o = IngestObs::get();
     const std::size_t quarantined_before = stats_.records_quarantined;
     const std::size_t resyncs_before = stats_.resync_events;
     const auto start = std::chrono::steady_clock::now();
-    got = format_ == TraceFormat::kBinary ? next_binary(out) : next_csv(out);
+    got = pull();
     const auto elapsed = std::chrono::steady_clock::now() - start;
     o.record_seconds.observe(std::chrono::duration<double>(elapsed).count());
     if (got) o.records_ok.add();
     o.records_quarantined.add(stats_.records_quarantined - quarantined_before);
     o.resync_events.add(stats_.resync_events - resyncs_before);
   } else {
-    got = format_ == TraceFormat::kBinary ? next_binary(out) : next_csv(out);
+    got = pull();
   }
   if (got) {
     ++flows_read_;
     ++stats_.records_ok;
-    in_bad_run_ = false;
+    // Columnar staging settles resync-run state at block decode time (in
+    // stream order); serving a staged row later must not clobber it, or a
+    // quarantine run spanning a block boundary would double-count.
+    if (staged_ == nullptr) in_bad_run_ = false;
   } else {
     done_ = true;
   }
@@ -669,12 +727,14 @@ bool TraceReader::next_binary(FlowRecord& out) {
       lose_sync(ordinal);
       return false;
     }
-    // Enum validation last: a bad proto/state byte leaves the record fully
-    // consumed (framing intact), so under a skip policy we quarantine just
-    // this record and continue with the next one.
+    // Value validation last: a bad proto/state byte or an inverted time pair
+    // leaves the record fully consumed (framing intact), so under a skip
+    // policy we quarantine just this record and continue with the next one.
     try {
       out.proto = protocol_from_byte(proto_byte);
       out.state = flow_state_from_byte(state_byte);
+      if (!(out.end_time >= out.start_time))
+        throw util::ParseError("binary trace: end_time precedes start_time");
     } catch (...) {
       quarantine(ordinal);
       continue;
@@ -682,6 +742,208 @@ bool TraceReader::next_binary(FlowRecord& out) {
     return true;
   }
   return false;
+}
+
+bool TraceReader::next_columnar(FlowRecord& out) {
+  if (staged_ == nullptr) staged_ = std::make_unique<FlowBatch>();
+  while (staged_pos_ >= staged_->size()) {
+    staged_->clear();
+    staged_pos_ = 0;
+    if (!read_columnar_block(*staged_)) return false;
+  }
+  out = staged_->record(staged_pos_++);
+  return true;
+}
+
+bool TraceReader::read_columnar_block(FlowBatch& out) {
+  const auto lose_sync = [&](std::size_t ordinal) {
+    quarantine(ordinal);  // rethrows under kStrict / exhausted kStopAfter
+    stats_.lost_sync = true;
+    records_consumed_ = flow_count_;
+  };
+
+  while (records_consumed_ < flow_count_) {
+    const auto base = static_cast<std::size_t>(records_consumed_);
+
+    // Block framing: a u32 row count, then the column arrays. A count of
+    // zero or one past the declared remainder means the writer and reader
+    // disagree about the stream shape — there is no next boundary to trust.
+    std::uint32_t rows = 0;
+    try {
+      src_->read_exact(&rows, sizeof(rows), "short block header");
+      if (rows == 0 || rows > flow_count_ - records_consumed_)
+        throw util::ParseError("binary trace: bad block size");
+    } catch (...) {
+      lose_sync(base + 1);
+      return false;
+    }
+
+    const std::size_t n = rows;
+    out.append_default(n);
+    try {
+      src_->read_exact(out.src(), n * sizeof(std::uint32_t), "short column read");
+      src_->read_exact(out.dst(), n * sizeof(std::uint32_t), "short column read");
+      src_->read_exact(out.sport(), n * sizeof(std::uint16_t), "short column read");
+      src_->read_exact(out.dport(), n * sizeof(std::uint16_t), "short column read");
+      src_->read_exact(out.proto(), n, "short column read");
+      src_->read_exact(out.start_time(), n * sizeof(double), "short column read");
+      src_->read_exact(out.end_time(), n * sizeof(double), "short column read");
+      src_->read_exact(out.pkts_src(), n * sizeof(std::uint64_t), "short column read");
+      src_->read_exact(out.pkts_dst(), n * sizeof(std::uint64_t), "short column read");
+      src_->read_exact(out.bytes_src(), n * sizeof(std::uint64_t), "short column read");
+      src_->read_exact(out.bytes_dst(), n * sizeof(std::uint64_t), "short column read");
+      src_->read_exact(out.state(), n, "short column read");
+      src_->read_exact(out.payload_len(), n, "short column read");
+      src_->read_exact(out.payload(0), n * kPayloadPrefixLen, "short column read");
+    } catch (...) {
+      out.clear();
+      lose_sync(base + 1);
+      return false;
+    }
+    records_consumed_ += n;
+
+    // Per-row value validation, in stream order so resync-run accounting
+    // matches a record-at-a-time read. Unlike v1, a bad payload_len does
+    // not lose sync here: the payload column has a fixed stride, so framing
+    // survives and only the row is quarantined.
+    std::vector<std::uint32_t> bad;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        out.proto()[i] = protocol_from_byte(static_cast<std::uint8_t>(out.proto()[i]));
+        out.state()[i] =
+            flow_state_from_byte(static_cast<std::uint8_t>(out.state()[i]));
+        if (out.payload_len()[i] > kPayloadPrefixLen)
+          throw util::ParseError("binary trace: bad payload len");
+        if (!(out.end_time()[i] >= out.start_time()[i]))
+          throw util::ParseError("binary trace: end_time precedes start_time");
+      } catch (...) {
+        try {
+          quarantine(base + i + 1);
+        } catch (...) {
+          // Thrown fault (kStrict / exhausted kStopAfter): the v3 stream is
+          // block-granular, so none of the block survives — discard whole.
+          out.clear();
+          throw;
+        }
+        bad.push_back(static_cast<std::uint32_t>(i));
+        continue;
+      }
+      in_bad_run_ = false;
+      // Canonicalize the slot: zero past payload_len, so views and
+      // materialized records match what the v1 decoder would produce even
+      // for writers that left junk in the padding.
+      const std::uint8_t len = out.payload_len()[i];
+      if (len < kPayloadPrefixLen)
+        std::memset(out.payload(i) + len, 0, kPayloadPrefixLen - len);
+    }
+    out.erase_rows(bad);
+    if (!out.empty()) return true;
+    // Every row of this block was quarantined; try the next block.
+  }
+  return false;
+}
+
+std::size_t TraceReader::next_batch(FlowBatch& out) {
+  out.clear();
+  if (done_) return 0;
+  const auto fill = [&] {
+    if (format_ != TraceFormat::kBinary) {
+      next_batch_csv(out);
+    } else if (bin_version_ == kBinVersionColumnar) {
+      next_batch_columnar(out);
+    } else {
+      next_batch_binary(out);
+    }
+  };
+  if (obs::enabled()) {
+    IngestObs& o = IngestObs::get();
+    const std::size_t ok_before = stats_.records_ok;
+    const std::size_t quarantined_before = stats_.records_quarantined;
+    const std::size_t resyncs_before = stats_.resync_events;
+    const auto settle = [&] {
+      o.records_ok.add(stats_.records_ok - ok_before);
+      o.records_quarantined.add(stats_.records_quarantined - quarantined_before);
+      o.resync_events.add(stats_.resync_events - resyncs_before);
+    };
+    const obs::StageTimer timer(obs::Stage::kBatchDecode);
+    try {
+      fill();
+    } catch (...) {
+      settle();  // rows decoded before the fault are already in stats_
+      throw;
+    }
+    if (!out.empty()) o.batches.add();
+    settle();
+  } else {
+    fill();
+  }
+  if (out.empty()) done_ = true;
+  return out.size();
+}
+
+void TraceReader::next_batch_csv(FlowBatch& out) {
+  std::string_view line;
+  while (!out.full() && src_->next_line(line)) {
+    ++lineno_;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      try {
+        parse_csv_comment(line);
+      } catch (...) {
+        quarantine(lineno_);  // rethrows under kStrict / exhausted kStopAfter
+      }
+      continue;
+    }
+    const std::size_t row = out.append_default();
+    if (parse_flow_line_fast(line, batch_row_refs(out, row))) {
+      ++flows_read_;
+      ++stats_.records_ok;
+      in_bad_run_ = false;
+      continue;
+    }
+    // The fast path may have half-written the row; undo the append, then
+    // let the reference decoder either accept the rare shapes the fast path
+    // refuses or throw the pinned per-line diagnostic.
+    out.truncate(row);
+    FlowRecord scratch;
+    try {
+      parse_flow_line_slow(line, lineno_, scratch);
+    } catch (...) {
+      quarantine(lineno_);
+      continue;  // resync: the line boundary was already consumed
+    }
+    out.push_back(scratch);
+    ++flows_read_;
+    ++stats_.records_ok;
+    in_bad_run_ = false;
+  }
+}
+
+void TraceReader::next_batch_binary(FlowBatch& out) {
+  FlowRecord scratch;
+  while (!out.full() && next_binary(scratch)) {
+    out.push_back(scratch);
+    ++flows_read_;
+    ++stats_.records_ok;
+    in_bad_run_ = false;
+  }
+}
+
+void TraceReader::next_batch_columnar(FlowBatch& out) {
+  // Serve rows already staged by record-mode next() calls first, so mixed
+  // next()/next_batch() usage delivers every record exactly once.
+  if (staged_ != nullptr && staged_pos_ < staged_->size()) {
+    for (std::size_t i = staged_pos_; i < staged_->size(); ++i)
+      out.push_back(staged_->record(i));
+    staged_pos_ = staged_->size();
+  } else {
+    // A block can be quarantined away entirely; keep reading until rows
+    // survive or the stream ends (an empty batch means end-of-trace).
+    while (out.empty() && read_columnar_block(out)) {
+    }
+  }
+  flows_read_ += out.size();
+  stats_.records_ok += out.size();
 }
 
 TraceSet TraceReader::read_all() {

@@ -22,6 +22,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "netflow/flow_batch.h"
 #include "netflow/trace_set.h"
 
 namespace tradeplot::netflow {
@@ -140,6 +141,27 @@ class TraceReader {
   /// returned, further calls keep returning false.
   [[nodiscard]] bool next(FlowRecord& out);
 
+  /// Reads the next batch of flows into `out` (cleared first), decoding
+  /// straight into the columns: up to out.capacity() rows for CSV / binary
+  /// v1, one column block for binary v3 (delivered whole even when larger
+  /// than the batch). Returns the number of rows decoded; 0 at clean
+  /// end-of-trace (and on every later call).
+  ///
+  /// Accounting is record-granular and identical to pulling the same trace
+  /// through next(): lineno_/ordinal bookkeeping, IngestStats counters,
+  /// resync runs and kStopAfter budgets all advance per record, so a trace
+  /// read in batches yields the same flows and the same ingest_stats() as a
+  /// record-at-a-time read for every batch capacity. On a thrown fault
+  /// (kStrict / exhausted kStopAfter) the batch retains the rows decoded
+  /// before the fault for CSV and binary v1 — already counted in
+  /// ingest_stats() — so a caller can still ingest them before handling the
+  /// error; a binary v3 block that throws mid-validation is discarded whole
+  /// (block-granular format, same as the record-mode view of it).
+  ///
+  /// next() and next_batch() may be freely mixed; each record is delivered
+  /// exactly once.
+  std::size_t next_batch(FlowBatch& out);
+
   /// Pulls and discards up to `n` flows (honoring the error policy);
   /// returns how many were discarded. Used to fast-forward a trace when
   /// resuming a checkpointed monitor.
@@ -167,6 +189,16 @@ class TraceReader {
   void read_all_csv(TraceSet& trace);
   [[nodiscard]] bool next_csv(FlowRecord& out);
   [[nodiscard]] bool next_binary(FlowRecord& out);
+  /// Record-mode view of a binary v3 trace: serves rows out of staged_,
+  /// refilling it one column block at a time.
+  [[nodiscard]] bool next_columnar(FlowRecord& out);
+  void next_batch_csv(FlowBatch& out);
+  void next_batch_binary(FlowBatch& out);
+  void next_batch_columnar(FlowBatch& out);
+  /// Reads and validates one binary v3 column block into `out` (must be
+  /// empty); quarantined rows are compacted away. Returns false when no
+  /// block remains (declared count reached or sync lost).
+  bool read_columnar_block(FlowBatch& out);
   /// Routes one malformed record through the policy: records it in stats_
   /// and returns (to resume scanning) or rethrows. `record` is the CSV line
   /// number / 1-based binary record ordinal.
@@ -181,6 +213,7 @@ class TraceReader {
   std::unordered_map<simnet::Ipv4, HostKind> truth_;
 
   std::uint64_t flow_count_ = 0;  // binary only
+  std::uint32_t bin_version_ = 0;  // binary only: 1 (record) or 3 (columnar)
   std::size_t flows_read_ = 0;
   /// Binary records consumed from the stream, including quarantined ones —
   /// the cursor checked against the declared flow_count_ (flows_read_ only
@@ -192,6 +225,11 @@ class TraceReader {
   ErrorPolicy policy_{};
   IngestStats stats_{};
   bool in_bad_run_ = false;  // tracks resync_events (runs of quarantines)
+
+  /// Binary v3 record-mode staging: the current column block, with the next
+  /// row next() will serve. Unused (null) for CSV / binary v1.
+  std::unique_ptr<FlowBatch> staged_;
+  std::size_t staged_pos_ = 0;
 };
 
 }  // namespace tradeplot::netflow

@@ -53,7 +53,67 @@ bool detect_avx2() { return __builtin_cpu_supports("avx2") != 0; }
 
 #endif
 
+std::uint64_t sum_u64_scalar(const std::uint64_t* a, std::size_t n) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) sum += a[i];
+  return sum;
+}
+
+std::size_t count_nonzero_u8_scalar(const std::uint8_t* a, std::size_t n) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += a[i] != 0;
+  return count;
+}
+
+#if TRADEPLOT_X86
+
+__attribute__((target("avx2"))) std::uint64_t sum_u64_avx2(const std::uint64_t* a,
+                                                           std::size_t n) {
+  // Two 4-wide accumulators hide the vpaddq latency; u64 addition wraps the
+  // same way in every order, so the reassociation is bit-exact.
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_add_epi64(
+        acc0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)));
+    acc1 = _mm256_add_epi64(
+        acc1, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 4)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_add_epi64(
+        acc0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)));
+  }
+  const __m256i acc = _mm256_add_epi64(acc0, acc1);
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::uint64_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) sum += a[i];
+  return sum;
+}
+
+__attribute__((target("avx2"))) std::size_t count_nonzero_u8_avx2(const std::uint8_t* a,
+                                                                  std::size_t n) {
+  // cmpeq-to-zero + movemask yields one bit per *zero* byte; popcount the
+  // mask and subtract from the lane width.
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t nonzero = 0;
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const unsigned mask =
+        static_cast<unsigned>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(v, zero)));
+    nonzero += 32u - static_cast<unsigned>(__builtin_popcount(mask));
+  }
+  for (; i < n; ++i) nonzero += a[i] != 0;
+  return nonzero;
+}
+
+#endif
+
 using Kernel = double (*)(const double*, const double*, std::size_t);
+using SumU64Kernel = std::uint64_t (*)(const std::uint64_t*, std::size_t);
+using CountU8Kernel = std::size_t (*)(const std::uint8_t*, std::size_t);
 
 Kernel dispatch() {
 #if TRADEPLOT_X86
@@ -64,6 +124,25 @@ Kernel dispatch() {
 
 Kernel kernel() {
   static const Kernel k = dispatch();
+  return k;
+}
+
+SumU64Kernel sum_u64_kernel() {
+#if TRADEPLOT_X86
+  static const SumU64Kernel k = detect_avx2() ? &sum_u64_avx2 : &sum_u64_scalar;
+#else
+  static const SumU64Kernel k = &sum_u64_scalar;
+#endif
+  return k;
+}
+
+CountU8Kernel count_nonzero_u8_kernel() {
+#if TRADEPLOT_X86
+  static const CountU8Kernel k =
+      detect_avx2() ? &count_nonzero_u8_avx2 : &count_nonzero_u8_scalar;
+#else
+  static const CountU8Kernel k = &count_nonzero_u8_scalar;
+#endif
   return k;
 }
 
@@ -79,6 +158,14 @@ bool using_avx2() {
 #else
   return false;
 #endif
+}
+
+std::uint64_t sum_u64(const std::uint64_t* a, std::size_t n) {
+  return sum_u64_kernel()(a, n);
+}
+
+std::size_t count_nonzero_u8(const std::uint8_t* a, std::size_t n) {
+  return count_nonzero_u8_kernel()(a, n);
 }
 
 }  // namespace tradeplot::stats::simd

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace tradeplot::stats::simd {
 
@@ -29,5 +30,17 @@ namespace tradeplot::stats::simd {
 /// True when the process dispatched l1_distance to the AVX2 kernel
 /// (reported by bench_cluster so JSON trajectories note the ISA).
 [[nodiscard]] bool using_avx2();
+
+// Integer column reductions for the columnar flow-batch scans (FlowBatch
+// counter/state columns, bench_io's feature-scan profile). Unlike the
+// floating-point kernels above, integer addition is exactly associative, so
+// these are bit-identical to the scalar loops on every machine and are safe
+// in verdict-bearing paths.
+
+/// Σ a[i] over n contiguous u64 (wrapping, like the scalar loop would).
+[[nodiscard]] std::uint64_t sum_u64(const std::uint64_t* a, std::size_t n);
+
+/// Number of nonzero bytes in a[0..n).
+[[nodiscard]] std::size_t count_nonzero_u8(const std::uint8_t* a, std::size_t n);
 
 }  // namespace tradeplot::stats::simd

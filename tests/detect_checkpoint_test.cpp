@@ -158,6 +158,76 @@ TEST(Checkpoint, FileRoundTripWithTraceFastForward) {
   std::remove(ckpt_path.c_str());
 }
 
+TEST(Checkpoint, MidBatchCheckpointAndRestoreReproducesVerdicts) {
+  // campus_monitor ingests columnar batches but checkpoints every N flows
+  // with N not a multiple of the batch size, so the checkpoint cursor lands
+  // mid-batch. A monitor killed at such a boundary and restored (restore +
+  // skip_flows + batch ingestion of the remainder) must emit verdicts
+  // identical to the uninterrupted run.
+  const netflow::TraceSet trace = storm_trace(17);
+  const StreamingConfig cfg = config(1800.0);
+  const std::vector<WindowVerdict> expected = uninterrupted_run(trace, cfg);
+
+  constexpr std::size_t kBatchCapacity = 64;
+  constexpr std::size_t kCheckpointEvery = 97;  // deliberately not a multiple
+  ASSERT_GT(trace.flows().size(), 3 * kCheckpointEvery);
+
+  std::stringstream encoded;
+  netflow::write_binary_columnar(encoded, trace);
+  const std::string bytes = encoded.str();
+
+  // First run: batch-ingest with the record-granular checkpoint split (the
+  // campus_monitor loop), keeping the image saved at every boundary. Kill
+  // after the third checkpoint. Verdicts emitted before the kill and after
+  // the resume together must equal the uninterrupted run's.
+  std::vector<WindowVerdict> verdicts;
+  const auto sink = [&](const WindowVerdict& v) { verdicts.push_back(v); };
+  std::stringstream image;
+  std::size_t killed_at = 0;
+  {
+    std::stringstream in(bytes);
+    netflow::TraceReader reader(in);
+    StreamingDetector first(cfg, sink);
+    netflow::FlowBatch batch(kBatchCapacity);
+    std::size_t checkpoints = 0;
+    while (checkpoints < 3 && reader.next_batch(batch) > 0) {
+      std::size_t begin = 0;
+      while (begin < batch.size()) {
+        const std::size_t until =
+            kCheckpointEvery - static_cast<std::size_t>(first.flows_ingested_total()) %
+                                   kCheckpointEvery;
+        const std::size_t end = std::min(batch.size(), begin + until);
+        first.ingest(batch, begin, end);
+        begin = end;
+        if (first.flows_ingested_total() % kCheckpointEvery == 0) {
+          image.str("");
+          image.clear();
+          first.save_checkpoint(image);
+          killed_at = static_cast<std::size_t>(first.flows_ingested_total());
+          if (++checkpoints == 3) break;
+        }
+      }
+      // `first` keeps ingesting until the kill point; the crash abandons it.
+    }
+  }
+  ASSERT_EQ(killed_at, 3 * kCheckpointEvery);
+  ASSERT_NE(killed_at % kBatchCapacity, 0u);  // genuinely mid-batch
+
+  // Resume: a fresh detector + reader, fast-forward, finish with feed().
+  {
+    std::stringstream in(bytes);
+    netflow::TraceReader reader(in);
+    StreamingDetector resumed(cfg, sink);
+    resumed.restore_checkpoint(image);
+    EXPECT_EQ(resumed.flows_ingested_total(), killed_at);
+    EXPECT_EQ(reader.skip_flows(killed_at), killed_at);
+    const std::size_t fed = feed(reader, resumed);
+    EXPECT_EQ(fed, trace.flows().size() - killed_at);
+  }
+
+  expect_verdicts_equal(verdicts, expected);
+}
+
 TEST(Checkpoint, RejectsCorruptImages) {
   const netflow::TraceSet trace = storm_trace(13, 1800.0);
   const StreamingConfig cfg = config(3600.0);

@@ -289,6 +289,111 @@ TEST(StreamingDetector, DoubleFlushIsIdempotent) {
   EXPECT_EQ(verdicts.size(), 2u);
 }
 
+TEST(StreamingDetector, BatchIngestMatchesRecordIngestBitExactly) {
+  // Column-scan ingestion (FlowBatch overloads) must reach verdicts
+  // bit-identical to record-at-a-time ingestion — including windows that
+  // roll mid-batch, degraded (timing-budget-shed) windows, and cache-warm
+  // later windows.
+  botnet::HoneynetConfig honeynet;
+  honeynet.seed = 31;
+  honeynet.duration = 3 * 3600.0;
+  honeynet.nugache_bots = 0;
+  const netflow::TraceSet trace = botnet::generate_storm_trace(honeynet);
+
+  for (const std::size_t budget : {std::size_t{0}, std::size_t{200}}) {
+    SCOPED_TRACE("timing budget " + std::to_string(budget));
+    StreamingConfig cfg = config(3600.0);  // several windows per run
+    cfg.timing_budget = budget;
+
+    const auto run = [&](auto&& ingest_all) {
+      std::vector<WindowVerdict> verdicts;
+      StreamingDetector detector(cfg, [&](const WindowVerdict& v) { verdicts.push_back(v); });
+      ingest_all(detector);
+      detector.flush();
+      return verdicts;
+    };
+
+    const auto by_record = run([&](StreamingDetector& d) {
+      for (const auto& rec : trace.flows()) d.ingest(rec);
+    });
+
+    // Whole batches of an odd size, so window boundaries land mid-batch.
+    const auto by_batch = run([&](StreamingDetector& d) {
+      netflow::FlowBatch batch(37);
+      for (const auto& rec : trace.flows()) {
+        batch.push_back(rec);
+        if (batch.full()) {
+          d.ingest(batch);
+          batch.clear();
+        }
+      }
+      if (!batch.empty()) d.ingest(batch);
+    });
+
+    // Ragged range splits (including empty ranges) over one big batch.
+    const auto by_ranges = run([&](StreamingDetector& d) {
+      netflow::FlowBatch batch(trace.flows().size());
+      for (const auto& rec : trace.flows()) batch.push_back(rec);
+      std::size_t begin = 0;
+      std::size_t step = 1;
+      while (begin < batch.size()) {
+        const std::size_t end = std::min(batch.size(), begin + step);
+        d.ingest(batch, begin, end);
+        d.ingest(batch, end, end);  // empty range is a no-op
+        begin = end;
+        step = step * 2 + 1;
+      }
+    });
+
+    ASSERT_EQ(by_batch.size(), by_record.size());
+    ASSERT_EQ(by_ranges.size(), by_record.size());
+    for (std::size_t i = 0; i < by_record.size(); ++i) {
+      SCOPED_TRACE("window " + std::to_string(i));
+      for (const auto* got : {&by_batch[i], &by_ranges[i]}) {
+        EXPECT_EQ(got->flows_seen, by_record[i].flows_seen);
+        EXPECT_EQ(got->degraded, by_record[i].degraded);
+        EXPECT_EQ(got->hosts_shed, by_record[i].hosts_shed);
+        EXPECT_EQ(got->timing_samples_shed, by_record[i].timing_samples_shed);
+        EXPECT_EQ(got->result.input, by_record[i].result.input);
+        EXPECT_EQ(got->result.reduced, by_record[i].result.reduced);
+        EXPECT_EQ(got->result.s_vol, by_record[i].result.s_vol);
+        EXPECT_EQ(got->result.s_churn, by_record[i].result.s_churn);
+        EXPECT_EQ(got->result.plotters, by_record[i].result.plotters);
+      }
+    }
+  }
+}
+
+TEST(Feed, ColumnarV3TraceFeedsIdenticalVerdicts) {
+  // feed() drains next_batch; a columnar (v3) trace must produce the same
+  // verdict as the v1 binary and CSV encodings of the same flows.
+  botnet::HoneynetConfig honeynet;
+  honeynet.seed = 21;
+  honeynet.duration = 2 * 3600.0;
+  honeynet.nugache_bots = 0;
+  const netflow::TraceSet trace = botnet::generate_storm_trace(honeynet);
+
+  const FindPlottersResult batch = [&] {
+    FeatureExtractorConfig fx;
+    fx.is_internal = is_internal;
+    return find_plotters(extract_features(trace, fx));
+  }();
+
+  std::stringstream bytes;
+  netflow::write_binary_columnar(bytes, trace);
+  netflow::TraceReader reader(bytes);
+  std::vector<WindowVerdict> verdicts;
+  StreamingDetector detector(config(2 * 3600.0),
+                             [&](const WindowVerdict& v) { verdicts.push_back(v); });
+  const std::size_t fed = feed(reader, detector);
+  EXPECT_EQ(fed, trace.flows().size());
+  ASSERT_GE(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].flows_seen, trace.flows().size());
+  EXPECT_EQ(verdicts[0].result.input, batch.input);
+  EXPECT_EQ(verdicts[0].result.reduced, batch.reduced);
+  EXPECT_EQ(verdicts[0].result.plotters, batch.plotters);
+}
+
 TEST(Feed, EmptyTraceFeedsZeroFlows) {
   netflow::TraceSet empty(0.0, 100.0);
   std::stringstream bytes;

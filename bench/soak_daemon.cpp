@@ -1,0 +1,551 @@
+// Soak harness for the monitor daemon (DESIGN.md §17): millions of flows
+// over a real socket, across two tenants, through a kill -9 and restart,
+// with the three acceptance checks the service layer promises:
+//
+//   1. verdicts — the block-policy tenant's deduplicated verdict log is
+//      bit-identical to a single-shot batch run of the same trace;
+//   2. memory — the daemon's VmRSS stays under a hard bound for the whole
+//      soak, across the crash and the resumed re-ingest;
+//   3. accounting — every row a client offered is ingested, shed, or
+//      quarantined: accepted == ingested + shed + quarantined per tenant,
+//      including deterministically injected shed (oversize batch) and
+//      quarantine (malformed CSV rows).
+//
+// Process architecture: fork discipline requires all forks to happen in a
+// single-threaded process, so the parent forks one single-threaded "runner"
+// child before spawning any sender threads; the runner forks/kills/restarts
+// the daemon generations on command over a pipe. The daemon generations are
+// this same binary post-fork running svc::Daemon directly — kill -9 lands on
+// a real process with real checkpoint files.
+//
+//   soak_daemon [--flows N] [--rss-limit-mb M] [--kill-at-fraction F]
+//               [--state-dir DIR] [--metrics-out FILE] [--window-a S]
+//               [--window-b S]
+//
+// Prints a JSON report to stdout; exit 0 iff every check passed.
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "detect/features.h"
+#include "detect/streaming.h"
+#include "netflow/flow_record.h"
+#include "netflow/io.h"
+#include "netflow/trace_reader.h"
+#include "svc/config.h"
+#include "svc/daemon.h"
+#include "svc/frame.h"
+#include "svc/net.h"
+#include "svc/sender.h"
+#include "svc/tenant.h"
+#include "util/error.h"
+#include "util/interrupt.h"
+
+namespace {
+
+using namespace tradeplot;
+
+struct Options {
+  std::uint64_t flows = 1'000'000;
+  double kill_at_fraction = 0.35;  // SIGKILL once tenant A ingested this much
+  long rss_limit_mb = 1024;        // hard VmRSS bound for the daemon (ASan-sized)
+  std::string state_dir;           // empty = mkdtemp
+  std::string metrics_out;         // dump the final /metrics scrape here
+  double window_a = 900.0;
+  double window_b = 600.0;
+  double duration = 7200.0;  // trace span (seconds of flow time)
+};
+
+constexpr const char* kTenantA = "campus-a";  // block policy: oracle-exact
+constexpr const char* kTenantB = "campus-b";  // shed policy: accounted loss
+
+std::string ingest_spec(const Options& opt) { return "unix:" + opt.state_dir + "/ingest.sock"; }
+
+svc::DaemonConfig build_config(const Options& opt) {
+  svc::DaemonConfig cfg;
+  cfg.ingest = ingest_spec(opt);
+  cfg.http = "tcp:127.0.0.1:0";
+  cfg.state_dir = opt.state_dir + "/state";
+  cfg.metrics = true;
+  cfg.read_timeout = 30.0;
+  cfg.idle_timeout = 300.0;
+  svc::TenantParams a;
+  a.name = kTenantA;
+  a.window = opt.window_a;
+  a.checkpoint_every = 50'000;
+  a.queue_capacity = 1u << 16;
+  a.overflow = svc::Overflow::kBlock;
+  cfg.tenants.push_back(a);
+  svc::TenantParams b;
+  b.name = kTenantB;
+  b.window = opt.window_b;
+  b.checkpoint_every = 50'000;
+  // Below the 4096-row parse batch size: a full-size parsed batch can never
+  // fit, which is what makes the oversize-injection shed deterministic.
+  b.queue_capacity = 2048;
+  b.overflow = svc::Overflow::kShed;
+  cfg.tenants.push_back(b);
+  return cfg;
+}
+
+/// Deterministic campus-like trace: internal hosts (128.2/16) talking to a
+/// rotating external population, time-ordered, no RNG state beyond i.
+void generate_trace(const std::string& path, std::uint64_t flows, double duration) {
+  std::vector<netflow::FlowRecord> rows(flows);
+  for (std::uint64_t i = 0; i < flows; ++i) {
+    netflow::FlowRecord& r = rows[i];
+    const std::uint64_t h = i * 0x9E3779B97F4A7C15ull;  // golden-ratio mix
+    r.src = simnet::Ipv4(0x80020001u + static_cast<std::uint32_t>(h % 64));
+    r.dst = simnet::Ipv4(0x0B000001u + static_cast<std::uint32_t>((h >> 8) % 4096));
+    r.sport = static_cast<std::uint16_t>(1024 + (h >> 20) % 60000);
+    r.dport = static_cast<std::uint16_t>(i % 3 == 0 ? 6881 : (i % 3 == 1 ? 80 : 443));
+    r.proto = netflow::Protocol::kTcp;
+    r.start_time = duration * static_cast<double>(i) / static_cast<double>(flows);
+    r.end_time = r.start_time + 0.2 + static_cast<double>(h % 100) * 0.01;
+    r.pkts_src = 2 + h % 23;
+    r.pkts_dst = 1 + h % 17;
+    r.bytes_src = 80 + h % 1400;
+    r.bytes_dst = 60 + (h >> 4) % 1000;
+    r.state = i % 6 == 0 ? netflow::FlowState::kAttempted : netflow::FlowState::kEstablished;
+  }
+  std::ofstream out(path, std::ios::binary);
+  netflow::write_binary_columnar(out, rows.data(), rows.size(), 0.0, duration);
+  if (!out) {
+    std::fprintf(stderr, "soak: cannot write trace %s\n", path.c_str());
+    std::exit(2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Daemon generation processes (forked by the single-threaded runner).
+
+[[noreturn]] void run_daemon_generation(const Options& opt, int msg_fd) {
+  util::install_signal_handlers();
+  util::clear_shutdown();
+  svc::Daemon daemon(build_config(opt));
+  try {
+    daemon.start();
+  } catch (const std::exception& e) {
+    dprintf(msg_fd, "fail %s\n", e.what());
+    _exit(3);
+  }
+  dprintf(msg_fd, "up %d %u\n", static_cast<int>(getpid()),
+          static_cast<unsigned>(daemon.http_port()));
+  while (!util::shutdown_requested())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  daemon.stop();
+  _exit(0);
+}
+
+/// The runner: forked before any parent threads exist, so its own forks are
+/// safe. Commands arrive one per line on cmd_fd; replies go to msg_fd.
+[[noreturn]] void run_runner(const Options& opt, int cmd_fd, int msg_fd) {
+  FILE* cmd = fdopen(cmd_fd, "r");
+  pid_t daemon_pid = -1;
+  char line[256];
+  while (cmd != nullptr && std::fgets(line, sizeof(line), cmd) != nullptr) {
+    if (std::strncmp(line, "start", 5) == 0) {
+      daemon_pid = fork();
+      if (daemon_pid == 0) run_daemon_generation(opt, msg_fd);  // never returns
+    } else if (std::strncmp(line, "kill9", 5) == 0) {
+      kill(daemon_pid, SIGKILL);
+      waitpid(daemon_pid, nullptr, 0);
+      dprintf(msg_fd, "killed\n");
+    } else if (std::strncmp(line, "term", 4) == 0) {
+      kill(daemon_pid, SIGTERM);
+      int status = 0;
+      waitpid(daemon_pid, &status, 0);
+      dprintf(msg_fd, "exit %d\n", WIFEXITED(status) ? WEXITSTATUS(status) : 128);
+    } else if (std::strncmp(line, "quit", 4) == 0) {
+      break;
+    }
+  }
+  _exit(0);
+}
+
+// ---------------------------------------------------------------------------
+// Parent-side helpers.
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  try {
+    svc::Fd fd = svc::connect_to(svc::Endpoint::parse("tcp:127.0.0.1:" + std::to_string(port)));
+    const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+    if (!svc::send_all(fd.get(), req.data(), req.size())) return {};
+    std::string response;
+    char buf[16 * 1024];
+    for (;;) {
+      if (!svc::wait_readable(fd.get(), 2000)) break;
+      const std::size_t got = svc::recv_some(fd.get(), buf, sizeof(buf));
+      if (got == 0) break;
+      response.append(buf, got);
+    }
+    return response;
+  } catch (const util::Error&) {
+    return {};
+  }
+}
+
+/// Pulls `"field":<number>` for the named tenant out of a /tenants response.
+std::uint64_t tenant_field(const std::string& json, const std::string& tenant,
+                           const std::string& field) {
+  const std::size_t at = json.find("\"name\":\"" + tenant + "\"");
+  if (at == std::string::npos) return 0;
+  const std::size_t f = json.find("\"" + field + "\":", at);
+  if (f == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + f + field.size() + 3, nullptr, 10);
+}
+
+long rss_kb(int pid) {
+  std::ifstream in("/proc/" + std::to_string(pid) + "/status");
+  std::string line;
+  while (std::getline(in, line))
+    if (line.rfind("VmRSS:", 0) == 0) return std::strtol(line.c_str() + 6, nullptr, 10);
+  return -1;
+}
+
+/// Raw-frame client for the deterministic shed/quarantine injections.
+struct RawClient {
+  svc::Fd fd;
+  svc::FrameParser parser;
+
+  explicit RawClient(const std::string& spec) : fd(svc::connect_to(svc::Endpoint::parse(spec))) {}
+
+  bool send(svc::FrameType type, std::string_view payload) {
+    const std::vector<char> wire = svc::encode_frame(type, payload);
+    return svc::send_all(fd.get(), wire.data(), wire.size());
+  }
+
+  bool recv(svc::Frame& out) {
+    char buf[16 * 1024];
+    while (!parser.next(out)) {
+      if (!svc::wait_readable(fd.get(), 10'000)) return false;
+      const std::size_t got = svc::recv_some(fd.get(), buf, sizeof(buf));
+      if (got == 0) return false;
+      parser.append(buf, got);
+    }
+    return true;
+  }
+};
+
+std::vector<std::string> batch_oracle(const std::string& trace_path, double window) {
+  detect::StreamingConfig cfg;
+  cfg.window = window;
+  cfg.is_internal = detect::default_internal_predicate;
+  std::vector<std::string> lines;
+  detect::StreamingDetector det(cfg, [&](const detect::WindowVerdict& v) {
+    lines.push_back(svc::format_verdict_line(v));
+  });
+  netflow::TraceReader reader(trace_path, netflow::ErrorPolicy::strict());
+  for (;;) {
+    netflow::FlowBatch batch;
+    if (reader.next_batch(batch) == 0) break;
+    det.ingest(batch);
+  }
+  det.flush();
+  return lines;
+}
+
+std::vector<std::string> read_deduped_log(const std::string& path) {
+  std::ifstream in(path);
+  std::map<std::size_t, std::string> last;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t idx = 0;
+    if (std::sscanf(line.c_str(), "{\"window_index\":%zu", &idx) == 1) last[idx] = line;
+  }
+  std::vector<std::string> out;
+  for (auto& [idx, l] : last) out.push_back(std::move(l));
+  return out;
+}
+
+struct CheckList {
+  int failures = 0;
+  void expect(bool ok, const std::string& what) {
+    if (!ok) {
+      ++failures;
+      std::fprintf(stderr, "soak: CHECK FAILED: %s\n", what.c_str());
+    }
+  }
+};
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "soak: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--flows") opt.flows = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--rss-limit-mb") opt.rss_limit_mb = std::strtol(value().c_str(), nullptr, 10);
+    else if (arg == "--kill-at-fraction") opt.kill_at_fraction = std::strtod(value().c_str(), nullptr);
+    else if (arg == "--state-dir") opt.state_dir = value();
+    else if (arg == "--metrics-out") opt.metrics_out = value();
+    else if (arg == "--window-a") opt.window_a = std::strtod(value().c_str(), nullptr);
+    else if (arg == "--window-b") opt.window_b = std::strtod(value().c_str(), nullptr);
+    else {
+      std::fprintf(stderr, "soak: unknown flag %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = parse_args(argc, argv);
+  if (opt.state_dir.empty()) {
+    char tmpl[] = "/tmp/tp_soak_XXXXXX";
+    const char* dir = mkdtemp(tmpl);
+    if (dir == nullptr) {
+      std::perror("soak: mkdtemp");
+      return 2;
+    }
+    opt.state_dir = dir;
+  }
+  util::install_signal_handlers();  // also ignores SIGPIPE for the senders
+
+  const std::string trace_path = opt.state_dir + "/soak_trace.bin";
+  std::fprintf(stderr, "soak: generating %llu flows over %.0f s of flow time...\n",
+               static_cast<unsigned long long>(opt.flows), opt.duration);
+  generate_trace(trace_path, opt.flows, opt.duration);
+
+  // Fork the single-threaded runner BEFORE any parent threads exist.
+  int cmd_pipe[2], msg_pipe[2];
+  if (pipe(cmd_pipe) != 0 || pipe(msg_pipe) != 0) {
+    std::perror("soak: pipe");
+    return 2;
+  }
+  const pid_t runner = fork();
+  if (runner < 0) {
+    std::perror("soak: fork");
+    return 2;
+  }
+  if (runner == 0) {
+    close(cmd_pipe[1]);
+    close(msg_pipe[0]);
+    run_runner(opt, cmd_pipe[0], msg_pipe[1]);  // never returns
+  }
+  close(cmd_pipe[0]);
+  close(msg_pipe[1]);
+  FILE* cmd = fdopen(cmd_pipe[1], "w");
+  FILE* msg = fdopen(msg_pipe[0], "r");
+  setvbuf(cmd, nullptr, _IOLBF, 0);
+
+  std::atomic<int> daemon_pid{-1};
+  std::atomic<unsigned> http_port{0};
+  char line[256];
+  const auto start_generation = [&]() -> bool {
+    std::fprintf(cmd, "start\n");
+    while (std::fgets(line, sizeof(line), msg) != nullptr) {
+      int pid = 0;
+      unsigned port = 0;
+      if (std::sscanf(line, "up %d %u", &pid, &port) == 2) {
+        daemon_pid.store(pid);
+        http_port.store(port);
+        return true;
+      }
+      if (std::strncmp(line, "fail", 4) == 0) {
+        std::fprintf(stderr, "soak: daemon generation failed: %s", line + 5);
+        return false;
+      }
+    }
+    return false;
+  };
+
+  CheckList checks;
+  checks.expect(start_generation(), "daemon generation 1 starts");
+
+  // Wait for readiness through the real endpoint.
+  for (int i = 0; i < 100 && http_get(http_port.load(), "/readyz").find("200 OK") ==
+                                 std::string::npos; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  checks.expect(http_get(http_port.load(), "/readyz").find("ready") != std::string::npos,
+                "/readyz reports ready");
+
+  // RSS watchdog across generations (pid changes on restart).
+  std::atomic<bool> soaking{true};
+  std::atomic<long> rss_max_kb{0};
+  std::thread rss_thread([&] {
+    while (soaking.load()) {
+      const long kb = rss_kb(daemon_pid.load());
+      long prev = rss_max_kb.load();
+      while (kb > prev && !rss_max_kb.compare_exchange_weak(prev, kb)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+
+  // Two concurrent senders, one per tenant. Generous retry budget: they must
+  // ride out the kill -9 window and resume against generation 2.
+  const auto stream_tenant = [&](const char* tenant, std::size_t rows_per_frame,
+                                 svc::SendReport& out) {
+    svc::SenderOptions so;
+    so.endpoint = ingest_spec(opt);
+    so.tenant = tenant;
+    so.rows_per_frame = rows_per_frame;
+    so.max_attempts = 400;
+    so.backoff_initial = 0.02;
+    so.backoff_max = 0.25;
+    svc::FrameSender sender(so);
+    out = sender.stream(trace_path);
+  };
+  svc::SendReport report_a, report_b;
+  std::thread sender_a([&] { stream_tenant(kTenantA, 4096, report_a); });
+  std::thread sender_b([&] { stream_tenant(kTenantB, 512, report_b); });
+
+  // Kill -9 once tenant A's books pass the threshold; restart generation 2
+  // on the same state dir and socket path.
+  // At least one checkpoint must exist before the kill, or there is nothing
+  // to restore; clamp past the first 50k boundary for small --flows runs.
+  const std::uint64_t kill_at = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(opt.kill_at_fraction * static_cast<double>(opt.flows)),
+      55'000);
+  std::uint64_t seen = 0;
+  while (seen < kill_at) {
+    seen = tenant_field(http_get(http_port.load(), "/tenants"), kTenantA, "ingested");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::fprintf(stderr, "soak: kill -9 at %llu/%llu ingested rows\n",
+               static_cast<unsigned long long>(seen),
+               static_cast<unsigned long long>(opt.flows));
+  std::fprintf(cmd, "kill9\n");
+  while (std::fgets(line, sizeof(line), msg) != nullptr &&
+         std::strncmp(line, "killed", 6) != 0) {
+  }
+  checks.expect(start_generation(), "daemon generation 2 starts after kill -9");
+  const std::uint64_t restored =
+      tenant_field(http_get(http_port.load(), "/tenants"), kTenantA, "ingested");
+  std::fprintf(stderr, "soak: generation 2 serving tenant A at row %llu\n",
+               static_cast<unsigned long long>(restored));
+  // The sender may already be re-ingesting by the time we poll, so the only
+  // race-free claims are "some checkpoint was restored" here and the
+  // bit-identical verdict log at the end.
+  checks.expect(restored > 0, "restart restored a checkpoint");
+
+  sender_a.join();
+  sender_b.join();
+  checks.expect(report_a.reconnects >= 1, "tenant A sender reconnected across the crash");
+  checks.expect(report_a.ingested == opt.flows, "tenant A (block) ingested every flow");
+  checks.expect(report_a.shed == 0, "tenant A (block) shed nothing");
+
+  // Deterministic loss injections against tenant B: 8192 rows arrive as
+  // full-size (4096-row) parsed batches that can never fit the 2048-row
+  // queue (all shed), plus three malformed CSV rows (quarantined). The
+  // FlushAck after both carries tenant B's final authoritative books.
+  svc::SendReport inject;
+  {
+    std::vector<netflow::FlowRecord> big(8192);
+    for (std::size_t i = 0; i < big.size(); ++i) {
+      big[i].src = simnet::Ipv4(0x80020001u);
+      big[i].dst = simnet::Ipv4(0x0B000001u + static_cast<std::uint32_t>(i));
+      big[i].start_time = opt.duration;
+      big[i].end_time = opt.duration + 0.1;
+      big[i].bytes_src = 100;
+    }
+    std::ostringstream oversize;
+    netflow::write_binary_columnar(oversize, big.data(), big.size(), 0.0, 0.0);
+    const std::string garbage_csv =
+        "src,dst,sport,dport,proto,start,end,pkts_src,pkts_dst,bytes_src,bytes_dst,state,"
+        "payload\nnot,a,flow\ngarbage\n1,2,3\n";
+
+    RawClient client(ingest_spec(opt));
+    svc::Frame reply;
+    checks.expect(client.send(svc::FrameType::kHello, kTenantB) && client.recv(reply) &&
+                      reply.type == svc::FrameType::kHelloAck,
+                  "injection client handshake");
+    checks.expect(client.send(svc::FrameType::kFlows, oversize.str()), "send oversize batch");
+    checks.expect(client.send(svc::FrameType::kFlows, garbage_csv), "send malformed CSV");
+    checks.expect(client.send(svc::FrameType::kFlush, {}), "send flush");
+    checks.expect(client.recv(reply) && reply.type == svc::FrameType::kFlushAck,
+                  "flush ack after injections");
+    if (reply.type == svc::FrameType::kFlushAck && reply.payload.size() >= 32) {
+      const char* p = reply.payload.data();
+      inject.accepted = svc::read_u64(p);
+      inject.ingested = svc::read_u64(p + 8);
+      inject.shed = svc::read_u64(p + 16);
+      inject.quarantined = svc::read_u64(p + 24);
+    }
+    (void)client.send(svc::FrameType::kBye, {});
+  }
+  checks.expect(inject.shed >= 8192, "oversize batches were shed in full");
+  checks.expect(inject.quarantined == 3, "malformed CSV rows were quarantined");
+  checks.expect(inject.accepted == inject.ingested + inject.shed + inject.quarantined,
+                "tenant B books balance: accepted == ingested + shed + quarantined");
+
+  // Final metrics scrape from the live daemon (for check_prometheus).
+  const std::string metrics = http_get(http_port.load(), "/metrics");
+  checks.expect(metrics.find("200 OK") != std::string::npos, "/metrics serves");
+  if (!opt.metrics_out.empty()) {
+    const std::size_t body = metrics.find("\r\n\r\n");
+    std::ofstream out(opt.metrics_out);
+    out << (body == std::string::npos ? metrics : metrics.substr(body + 4));
+  }
+
+  // Graceful stop: generation 2 must exit 0 after final checkpoint + flush.
+  std::fprintf(cmd, "term\n");
+  int exit_code = -1;
+  while (std::fgets(line, sizeof(line), msg) != nullptr) {
+    if (std::sscanf(line, "exit %d", &exit_code) == 1) break;
+  }
+  checks.expect(exit_code == 0, "graceful SIGTERM stop exits 0");
+  std::fprintf(cmd, "quit\n");
+  waitpid(runner, nullptr, 0);
+  soaking.store(false);
+  rss_thread.join();
+
+  // Verdict oracle: tenant A's deduplicated log must be bit-identical to the
+  // batch run — the crash, restart, and resend are invisible.
+  const std::vector<std::string> expected = batch_oracle(trace_path, opt.window_a);
+  const std::vector<std::string> got =
+      read_deduped_log(opt.state_dir + "/state/" + kTenantA + ".verdicts.jsonl");
+  bool verdicts_equal = got.size() == expected.size();
+  for (std::size_t i = 0; verdicts_equal && i < expected.size(); ++i)
+    verdicts_equal = got[i] == expected[i];
+  checks.expect(verdicts_equal, "tenant A verdicts bit-identical to the batch oracle (" +
+                                    std::to_string(got.size()) + " vs " +
+                                    std::to_string(expected.size()) + " windows)");
+
+  const long rss_limit_kb = opt.rss_limit_mb * 1024;
+  checks.expect(rss_max_kb.load() > 0 && rss_max_kb.load() <= rss_limit_kb,
+                "daemon RSS bounded (" + std::to_string(rss_max_kb.load() / 1024) + " MB <= " +
+                    std::to_string(opt.rss_limit_mb) + " MB)");
+
+  std::printf(
+      "{\"flows\":%llu,\"kills\":1,\"restored_at\":%llu,"
+      "\"tenant_a\":{\"ingested\":%llu,\"shed\":%llu,\"reconnects\":%llu,"
+      "\"verdict_windows\":%zu,\"oracle_match\":%s},"
+      "\"tenant_b\":{\"accepted\":%llu,\"ingested\":%llu,\"shed\":%llu,"
+      "\"quarantined\":%llu},"
+      "\"rss_max_mb\":%ld,\"rss_limit_mb\":%ld,\"failures\":%d}\n",
+      static_cast<unsigned long long>(opt.flows), static_cast<unsigned long long>(restored),
+      static_cast<unsigned long long>(report_a.ingested),
+      static_cast<unsigned long long>(report_a.shed),
+      static_cast<unsigned long long>(report_a.reconnects), got.size(),
+      verdicts_equal ? "true" : "false", static_cast<unsigned long long>(inject.accepted),
+      static_cast<unsigned long long>(inject.ingested),
+      static_cast<unsigned long long>(inject.shed),
+      static_cast<unsigned long long>(inject.quarantined), rss_max_kb.load() / 1024,
+      opt.rss_limit_mb, checks.failures);
+  return checks.failures == 0 ? 0 : 1;
+}

@@ -46,8 +46,10 @@
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "svc/sender.h"
 #include "util/error.h"
 #include "util/format.h"
+#include "util/interrupt.h"
 #include "util/parallel.h"
 
 using namespace tradeplot;
@@ -62,9 +64,11 @@ int usage(const char* argv0) {
                "                 [--checkpoint PATH] [--checkpoint-every N]\n"
                "                 [--resume PATH] [--timing-budget N]\n"
                "                 [--metrics PATH[,interval_s]] [--metrics-format prom|json]\n"
+               "       %s --send <trace.(csv|bin)> --endpoint EP --tenant NAME\n"
                "days and window_s must be positive numbers; seed and N must be\n"
-               "non-negative integers.\n",
-               argv0, argv0);
+               "non-negative integers. --send streams the trace to a running\n"
+               "campus_monitord (EP like tcp:127.0.0.1:7171 or unix:/path.sock).\n",
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -194,6 +198,7 @@ int run_stream(const StreamOptions& opt) {
   // — and --resume fast-forwards to the identical position.
   std::size_t fed = 0;
   bool failed = false;
+  bool interrupted = false;
   std::string error;
   auto next_dump = std::chrono::steady_clock::now() +
                    std::chrono::duration<double>(opt.metrics_interval);
@@ -201,6 +206,15 @@ int run_stream(const StreamOptions& opt) {
   try {
     netflow::FlowBatch batch;
     for (;;) {
+      // Graceful SIGINT/SIGTERM: stop pulling at a batch boundary, write a
+      // final checkpoint, flush the partial window, exit 0. A blocked read
+      // (e.g. a FIFO source) is interrupted too: the signal handlers omit
+      // SA_RESTART and util::read_retry turns the interruption into a clean
+      // short read at a record boundary.
+      if (util::shutdown_requested()) {
+        interrupted = true;
+        break;
+      }
       std::size_t n = 0;
       try {
         n = reader.next_batch(batch);
@@ -244,6 +258,15 @@ int run_stream(const StreamOptions& opt) {
   } catch (const std::exception& e) {
     failed = true;
     error = e.what();
+  }
+  if (interrupted) {
+    // Checkpoint BEFORE flushing: the checkpoint must describe the still-
+    // open window so --resume continues it; the verdicts printed below are
+    // this run's partial view. The marker line lets a comparing harness
+    // separate complete windows (above) from the partial tail (below).
+    if (checkpointing) detector.save_checkpoint_file(opt.checkpoint_path);
+    std::printf("=== interrupted: final checkpoint %s; flushing partial window ===\n",
+                checkpointing ? opt.checkpoint_path.c_str() : "skipped (no --checkpoint)");
   }
   try {
     detector.flush();
@@ -368,14 +391,56 @@ int parse_stream_args(int argc, char** argv, StreamOptions& opt) {
 
 }  // namespace
 
+int run_send(int argc, char** argv) {
+  svc::SenderOptions opt;
+  const std::string trace = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    const char* v = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--endpoint" && v != nullptr) {
+      opt.endpoint = v;
+      ++i;
+    } else if (flag == "--tenant" && v != nullptr) {
+      opt.tenant = v;
+      ++i;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opt.endpoint.empty() || opt.tenant.empty()) return usage(argv[0]);
+  svc::FrameSender sender(opt);
+  const svc::SendReport report = sender.stream(trace);
+  std::printf("sent %llu rows in %llu frames (%llu reconnects)\n"
+              "daemon accounting: %llu accepted = %llu ingested + %llu shed + %llu "
+              "quarantined (+ queued)\n",
+              static_cast<unsigned long long>(report.rows_sent),
+              static_cast<unsigned long long>(report.frames_sent),
+              static_cast<unsigned long long>(report.reconnects),
+              static_cast<unsigned long long>(report.accepted),
+              static_cast<unsigned long long>(report.ingested),
+              static_cast<unsigned long long>(report.shed),
+              static_cast<unsigned long long>(report.quarantined));
+  return 0;
+}
+
 int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "--stream") {
     if (argc < 3) return usage(argv[0]);
     StreamOptions opt;
     const int rc = parse_stream_args(argc, argv, opt);
     if (rc >= 0) return rc;
+    util::install_signal_handlers();
     try {
       return run_stream(opt);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (argc > 1 && std::string(argv[1]) == "--send") {
+    if (argc < 3) return usage(argv[0]);
+    try {
+      return run_send(argc, argv);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;

@@ -1,0 +1,114 @@
+// campus_monitord: the FindPlotters monitor as a long-running daemon.
+//
+// Where campus_monitor --stream ingests one trace file and exits, this
+// daemon accepts flows over a socket (the TPMF frame protocol,
+// src/svc/frame.h), hosts one detector universe per configured tenant, and
+// keeps running: checkpoints make kill -9 survivable, SIGHUP re-reads the
+// config, SIGTERM/SIGINT drain and exit 0. See DESIGN.md §17 for the
+// failure model and README for a quickstart.
+//
+// Usage: campus_monitord --config FILE [--check]
+//
+//   --config FILE   daemon configuration (required; see src/svc/config.h)
+//   --check         parse + validate the config, print a summary, exit
+//
+// On startup the daemon prints one machine-readable line:
+//
+//   ready ingest_port=<N> http_port=<M>
+//
+// with the actual bound ports (0 for unix-domain endpoints), so scripts and
+// tests that configured port 0 learn where to connect.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "svc/config.h"
+#include "svc/daemon.h"
+#include "util/error.h"
+#include "util/interrupt.h"
+
+using namespace tradeplot;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s --config FILE [--check]\n", argv0);
+  return 2;
+}
+
+void print_config_summary(const svc::DaemonConfig& cfg) {
+  std::printf("ingest %s, http %s, state_dir %s\n", cfg.ingest.c_str(),
+              cfg.http.empty() ? "(disabled)" : cfg.http.c_str(), cfg.state_dir.c_str());
+  std::printf("read_timeout %.1fs, idle_timeout %.1fs, metrics %s\n", cfg.read_timeout,
+              cfg.idle_timeout, cfg.metrics ? "on" : "off");
+  for (const svc::TenantParams& t : cfg.tenants)
+    std::printf("tenant %s: window %.0fs, timing_budget %llu, checkpoint_every %llu, "
+                "queue %llu rows (%s)\n",
+                t.name.c_str(), t.window,
+                static_cast<unsigned long long>(t.timing_budget),
+                static_cast<unsigned long long>(t.checkpoint_every),
+                static_cast<unsigned long long>(t.queue_capacity),
+                std::string(svc::to_string(t.overflow)).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  bool check_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
+      config_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check_only = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (config_path.empty()) return usage(argv[0]);
+
+  svc::DaemonConfig config;
+  try {
+    config = svc::DaemonConfig::load_file(config_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (check_only) {
+    print_config_summary(config);
+    return 0;
+  }
+
+  util::install_signal_handlers();
+  svc::Daemon daemon(config);
+  try {
+    daemon.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("ready ingest_port=%u http_port=%u\n", daemon.ingest_port(),
+              daemon.http_port());
+  std::fflush(stdout);
+
+  while (!util::shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (util::consume_reload()) {
+      try {
+        const svc::DaemonConfig fresh = svc::DaemonConfig::load_file(config_path);
+        std::printf("%s\n", daemon.reload(fresh).c_str());
+      } catch (const std::exception& e) {
+        // A broken config on disk must not take down a healthy daemon.
+        std::fprintf(stderr, "reload rejected: %s\n", e.what());
+      }
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("shutting down: draining queues, final checkpoints, flushing windows\n");
+  std::fflush(stdout);
+  daemon.stop();
+  std::printf("shutdown complete\n");
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include "netflow/flow_batch.h"
 #include "netflow/trace_reader.h"
 #include "util/error.h"
+#include "util/stream_retry.h"
 
 namespace tradeplot::netflow {
 
@@ -80,12 +81,14 @@ class BufferedSink {
 
   /// Drains the buffer and verifies the stream accepted it: an unwritable
   /// sink (closed file, full disk) must surface as util::IoError at the
-  /// first failing block, not be silently dropped.
+  /// first failing block, not be silently dropped. Writes interrupted by a
+  /// signal (EINTR) are retried — a SIGHUP landing mid-checkpoint must not
+  /// turn into a truncated trace.
   void flush() {
     if (!buf_.empty()) {
-      out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+      const bool ok = util::write_retry(out_, buf_.data(), buf_.size());
       buf_.clear();
-      if (out_.fail())
+      if (!ok || out_.fail())
         throw util::IoError("binary trace write failed (sink rejected write)");
     }
   }
@@ -95,21 +98,36 @@ class BufferedSink {
   std::vector<char> buf_;
 };
 
+// Shared preamble for v1 and v3: magic, version tag, window bounds, truth
+// section, total flow count.
+void write_preamble(BufferedSink& sink, std::uint32_t version, double window_start,
+                    double window_end,
+                    const std::unordered_map<simnet::Ipv4, HostKind>* truth,
+                    std::uint64_t flow_count) {
+  sink.put(kBinMagic);
+  sink.put(version);
+  sink.put(window_start);
+  sink.put(window_end);
+  sink.put(static_cast<std::uint64_t>(truth ? truth->size() : 0));
+  if (truth) {
+    for (const auto& [ip, kind] : *truth) {
+      sink.put(ip.value());
+      sink.put(static_cast<std::uint8_t>(kind));
+    }
+  }
+  sink.put(flow_count);
+}
+
 }  // namespace
 
-void write_binary(std::ostream& out, const TraceSet& trace) {
+void write_binary(std::ostream& out, const FlowRecord* flows, std::size_t n,
+                  double window_start, double window_end,
+                  const std::unordered_map<simnet::Ipv4, HostKind>* truth) {
   BufferedSink sink(out);
-  sink.put(kBinMagic);
-  sink.put(kBinVersion);
-  sink.put(trace.window_start());
-  sink.put(trace.window_end());
-  sink.put(static_cast<std::uint64_t>(trace.truth().size()));
-  for (const auto& [ip, kind] : trace.truth()) {
-    sink.put(ip.value());
-    sink.put(static_cast<std::uint8_t>(kind));
-  }
-  sink.put(static_cast<std::uint64_t>(trace.flows().size()));
-  for (const FlowRecord& r : trace.flows()) {
+  write_preamble(sink, kBinVersion, window_start, window_end, truth,
+                 static_cast<std::uint64_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlowRecord& r = flows[i];
     sink.put(r.src.value());
     sink.put(r.dst.value());
     sink.put(r.sport);
@@ -127,6 +145,11 @@ void write_binary(std::ostream& out, const TraceSet& trace) {
   }
   sink.flush();
   if (!out) throw util::IoError("binary trace write failed");
+}
+
+void write_binary(std::ostream& out, const TraceSet& trace) {
+  write_binary(out, trace.flows().data(), trace.flows().size(), trace.window_start(),
+               trace.window_end(), &trace.truth());
 }
 
 namespace {
@@ -159,25 +182,23 @@ void write_columnar_block(BufferedSink& sink, const FlowRecord* flows, std::size
 
 }  // namespace
 
-void write_binary_columnar(std::ostream& out, const TraceSet& trace) {
+void write_binary_columnar(std::ostream& out, const FlowRecord* flows, std::size_t n,
+                           double window_start, double window_end,
+                           const std::unordered_map<simnet::Ipv4, HostKind>* truth) {
   BufferedSink sink(out);
-  sink.put(kBinMagic);
-  sink.put(kBinVersionColumnar);
-  sink.put(trace.window_start());
-  sink.put(trace.window_end());
-  sink.put(static_cast<std::uint64_t>(trace.truth().size()));
-  for (const auto& [ip, kind] : trace.truth()) {
-    sink.put(ip.value());
-    sink.put(static_cast<std::uint8_t>(kind));
-  }
-  sink.put(static_cast<std::uint64_t>(trace.flows().size()));
-  const FlowRecord* flows = trace.flows().data();
-  for (std::size_t base = 0; base < trace.flows().size(); base += kColumnarBlockRows) {
-    const std::size_t n = std::min(kColumnarBlockRows, trace.flows().size() - base);
-    write_columnar_block(sink, flows + base, n);
+  write_preamble(sink, kBinVersionColumnar, window_start, window_end, truth,
+                 static_cast<std::uint64_t>(n));
+  for (std::size_t base = 0; base < n; base += kColumnarBlockRows) {
+    const std::size_t rows = std::min(kColumnarBlockRows, n - base);
+    write_columnar_block(sink, flows + base, rows);
   }
   sink.flush();
   if (!out) throw util::IoError("binary trace write failed");
+}
+
+void write_binary_columnar(std::ostream& out, const TraceSet& trace) {
+  write_binary_columnar(out, trace.flows().data(), trace.flows().size(),
+                        trace.window_start(), trace.window_end(), &trace.truth());
 }
 
 TraceSet read_binary(std::istream& in) {

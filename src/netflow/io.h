@@ -42,4 +42,16 @@ void write_binary_columnar_file(const std::string& path, const TraceSet& trace);
 [[nodiscard]] TraceSet read_binary(std::istream& in);
 [[nodiscard]] TraceSet read_binary_file(const std::string& path);
 
+/// Span-based cores of the binary writers: serialize `n` flows with an
+/// explicit window and optional ground truth (nullptr = none). The TraceSet
+/// overloads above are thin wrappers; the service layer's FrameSender uses
+/// these directly to frame slices of a flow stream as self-contained binary
+/// mini-traces without materializing a TraceSet per frame.
+void write_binary(std::ostream& out, const FlowRecord* flows, std::size_t n,
+                  double window_start, double window_end,
+                  const std::unordered_map<simnet::Ipv4, HostKind>* truth = nullptr);
+void write_binary_columnar(std::ostream& out, const FlowRecord* flows, std::size_t n,
+                           double window_start, double window_end,
+                           const std::unordered_map<simnet::Ipv4, HostKind>* truth = nullptr);
+
 }  // namespace tradeplot::netflow

@@ -17,6 +17,8 @@
 #include "obs/profiler.h"
 #include "util/error.h"
 #include "util/parallel.h"
+#include "util/fd_stream.h"
+#include "util/stream_retry.h"
 
 namespace tradeplot::netflow {
 
@@ -423,12 +425,14 @@ class TraceReader::Source {
     pos_ = end_;
     while (!eof_) {
       // The buffer is fully consumed, so reuse it as the read scratch.
-      in_.read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
-      const auto got = static_cast<std::size_t>(in_.gcount());
+      // read_retry survives EINTR (a signal landing mid-read must not
+      // truncate the trace) and accumulates short reads.
+      const std::size_t got = util::read_retry(in_, buf_.data(), buf_.size());
       if (got == 0) {
         eof_ = true;
         break;
       }
+      if (got < buf_.size()) eof_ = true;
       if (obs::enabled()) IngestObs::get().bytes.add(got);
       out.append(buf_.data(), got);
     }
@@ -448,11 +452,20 @@ class TraceReader::Source {
       pos_ = 0;
     }
     if (end_ == buf_.size()) buf_.resize(buf_.size() * 2);
-    in_.read(buf_.data() + end_, static_cast<std::streamsize>(buf_.size() - end_));
-    const auto got = static_cast<std::size_t>(in_.gcount());
+    // read_retry survives EINTR and accumulates short reads, so a signal
+    // landing mid-refill cannot masquerade as a truncated trace. It returns
+    // short on real EOF, on a hard I/O error, and on a cooperative shutdown
+    // request — all of which end the stream here (graceful stop reads as a
+    // clean end-of-input at the next record boundary).
+    const std::size_t request = buf_.size() - end_;
+    const std::size_t got = util::read_retry(in_, buf_.data() + end_, request);
     end_ += got;
-    if (got == 0) eof_ = true;
-    else if (obs::enabled()) IngestObs::get().bytes.add(got);
+    // read_retry returns short ONLY at a terminal condition (EOF, hard
+    // error, cooperative shutdown) — never on a transient short read. Any
+    // shortfall therefore ends the stream; asking again would re-enter a
+    // blocking read that a consumed shutdown signal can no longer wake.
+    if (got < request) eof_ = true;
+    if (got > 0 && obs::enabled()) IngestObs::get().bytes.add(got);
   }
 
   std::istream& in_;
@@ -479,21 +492,21 @@ TraceReader::TraceReader(std::istream& in, TraceFormat format, ErrorPolicy polic
 }
 
 TraceReader::TraceReader(const std::string& path) {
-  auto file = std::make_unique<std::ifstream>(path, std::ios::binary);
+  auto file = std::make_unique<util::FdInputStream>(path);
   if (!*file) throw util::IoError("cannot open for reading: " + path);
   owned_stream_ = std::move(file);
   open(*owned_stream_, nullptr);
 }
 
 TraceReader::TraceReader(const std::string& path, TraceFormat format) {
-  auto file = std::make_unique<std::ifstream>(path, std::ios::binary);
+  auto file = std::make_unique<util::FdInputStream>(path);
   if (!*file) throw util::IoError("cannot open for reading: " + path);
   owned_stream_ = std::move(file);
   open(*owned_stream_, &format);
 }
 
 TraceReader::TraceReader(const std::string& path, ErrorPolicy policy) : policy_(policy) {
-  auto file = std::make_unique<std::ifstream>(path, std::ios::binary);
+  auto file = std::make_unique<util::FdInputStream>(path);
   if (!*file) throw util::IoError("cannot open for reading: " + path);
   owned_stream_ = std::move(file);
   open(*owned_stream_, nullptr);
@@ -501,7 +514,7 @@ TraceReader::TraceReader(const std::string& path, ErrorPolicy policy) : policy_(
 
 TraceReader::TraceReader(const std::string& path, TraceFormat format, ErrorPolicy policy)
     : policy_(policy) {
-  auto file = std::make_unique<std::ifstream>(path, std::ios::binary);
+  auto file = std::make_unique<util::FdInputStream>(path);
   if (!*file) throw util::IoError("cannot open for reading: " + path);
   owned_stream_ = std::move(file);
   open(*owned_stream_, &format);

@@ -1,0 +1,149 @@
+#include "svc/config.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace tradeplot::svc {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw util::ConfigError("daemon config line " + std::to_string(line) + ": " + what);
+}
+
+double parse_seconds(std::size_t line, const std::string& key, const std::string& v) {
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (v.empty() || *end != '\0') fail(line, key + " must be a number, got '" + v + "'");
+  return d;
+}
+
+std::uint64_t parse_u64(std::size_t line, const std::string& key, const std::string& v) {
+  if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos)
+    fail(line, key + " must be a non-negative integer, got '" + v + "'");
+  return std::strtoull(v.c_str(), nullptr, 10);
+}
+
+bool parse_bool(std::size_t line, const std::string& key, const std::string& v) {
+  if (v == "true" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "off" || v == "0") return false;
+  fail(line, key + " must be true/false, got '" + v + "'");
+}
+
+netflow::ErrorPolicy parse_policy(std::size_t line, const std::string& v) {
+  if (v == "strict") return netflow::ErrorPolicy::strict();
+  if (v == "skip") return netflow::ErrorPolicy::skip();
+  if (v.rfind("stop-after=", 0) == 0) {
+    const std::uint64_t n = parse_u64(line, "policy", v.substr(11));
+    return netflow::ErrorPolicy::stop_after(static_cast<std::size_t>(n));
+  }
+  fail(line, "policy must be strict|skip|stop-after=N, got '" + v + "'");
+}
+
+}  // namespace
+
+std::string_view to_string(Overflow o) {
+  switch (o) {
+    case Overflow::kBlock: return "block";
+    case Overflow::kShed: return "shed";
+  }
+  return "unknown";
+}
+
+const TenantParams* DaemonConfig::find_tenant(const std::string& name) const {
+  for (const TenantParams& t : tenants)
+    if (t.name == name) return &t;
+  return nullptr;
+}
+
+DaemonConfig DaemonConfig::parse(std::istream& in) {
+  DaemonConfig cfg;
+  TenantParams* tenant = nullptr;  // nullptr = top-level section
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::size_t hash = raw.find('#');
+    const std::string line = trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') fail(lineno, "unterminated section header");
+      const std::string section = trim(line.substr(1, line.size() - 2));
+      if (section.rfind("tenant ", 0) != 0)
+        fail(lineno, "unknown section '[" + section + "]' (expected [tenant NAME])");
+      const std::string name = trim(section.substr(7));
+      if (name.empty()) fail(lineno, "tenant section needs a name");
+      if (cfg.find_tenant(name)) fail(lineno, "duplicate tenant '" + name + "'");
+      cfg.tenants.emplace_back();
+      tenant = &cfg.tenants.back();
+      tenant->name = name;
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) fail(lineno, "expected key = value, got '" + line + "'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+
+    if (tenant == nullptr) {
+      if (key == "ingest") cfg.ingest = value;
+      else if (key == "http") cfg.http = value;
+      else if (key == "state_dir") cfg.state_dir = value;
+      else if (key == "read_timeout") cfg.read_timeout = parse_seconds(lineno, key, value);
+      else if (key == "idle_timeout") cfg.idle_timeout = parse_seconds(lineno, key, value);
+      else if (key == "metrics") cfg.metrics = parse_bool(lineno, key, value);
+      else if (key == "checkpoint_interval")
+        cfg.checkpoint_interval = parse_seconds(lineno, key, value);
+      else fail(lineno, "unknown daemon key '" + key + "'");
+    } else {
+      if (key == "window") tenant->window = parse_seconds(lineno, key, value);
+      else if (key == "timing_budget") tenant->timing_budget = parse_u64(lineno, key, value);
+      else if (key == "checkpoint_every")
+        tenant->checkpoint_every = parse_u64(lineno, key, value);
+      else if (key == "queue_capacity") {
+        tenant->queue_capacity = parse_u64(lineno, key, value);
+        if (tenant->queue_capacity == 0) fail(lineno, "queue_capacity must be positive");
+      } else if (key == "overflow") {
+        if (value == "block") tenant->overflow = Overflow::kBlock;
+        else if (value == "shed") tenant->overflow = Overflow::kShed;
+        else fail(lineno, "overflow must be block|shed, got '" + value + "'");
+      } else if (key == "policy") {
+        tenant->policy = parse_policy(lineno, value);
+      } else {
+        fail(lineno, "unknown tenant key '" + key + "'");
+      }
+    }
+  }
+
+  if (cfg.ingest.empty()) throw util::ConfigError("daemon config: ingest endpoint required");
+  if (cfg.state_dir.empty()) throw util::ConfigError("daemon config: state_dir required");
+  if (cfg.tenants.empty())
+    throw util::ConfigError("daemon config: at least one [tenant NAME] section required");
+  if (cfg.read_timeout <= 0.0 || cfg.idle_timeout <= 0.0)
+    throw util::ConfigError("daemon config: timeouts must be positive");
+  for (const TenantParams& t : cfg.tenants)
+    if (t.window <= 0.0)
+      throw util::ConfigError("daemon config: tenant '" + t.name + "' window must be positive");
+  return cfg;
+}
+
+DaemonConfig DaemonConfig::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::IoError("cannot open daemon config: " + path);
+  return parse(in);
+}
+
+}  // namespace tradeplot::svc

@@ -1,0 +1,62 @@
+// Monitor daemon configuration: one file, reloadable on SIGHUP.
+//
+// The format is a minimal INI dialect: top-level `key = value` lines
+// configure the daemon; each `[tenant NAME]` section declares one detector
+// universe with its own window, budgets, queue bound, and error policy.
+// `#` starts a comment; unknown keys are errors (a typo in a config that a
+// daemon will run for weeks must not be silently ignored).
+//
+// Reload semantics (Daemon::reload): endpoint and state_dir are fixed for
+// the process lifetime; timeouts and per-tenant queue knobs take effect
+// immediately; new tenant sections create fresh universes; tenants removed
+// from the file keep running until restart (dropping live detector state on
+// an editing slip would be the opposite of robust).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netflow/trace_reader.h"
+
+namespace tradeplot::svc {
+
+/// What a tenant's ingest queue does when a producer outruns the detector.
+enum class Overflow : std::uint8_t {
+  kBlock,  // backpressure: offer() waits for the worker (lossless)
+  kShed,   // load-shedding: drop the offered batch, account it, keep going
+};
+
+[[nodiscard]] std::string_view to_string(Overflow o);
+
+struct TenantParams {
+  std::string name;
+  double window = 6 * 3600.0;                 // detection window D (seconds)
+  std::uint64_t timing_budget = 0;            // detector degradation budget (0 = off)
+  std::uint64_t checkpoint_every = 100000;    // flows between checkpoints (0 = off)
+  std::uint64_t queue_capacity = 1u << 16;    // ingest queue bound (rows)
+  Overflow overflow = Overflow::kBlock;
+  netflow::ErrorPolicy policy = netflow::ErrorPolicy::skip();
+};
+
+struct DaemonConfig {
+  std::string ingest;     // frame socket endpoint spec (required)
+  std::string http;       // health/metrics endpoint spec (empty = disabled)
+  std::string state_dir;  // checkpoints + verdict logs (required)
+  double read_timeout = 30.0;   // seconds mid-frame without bytes -> disconnect
+  double idle_timeout = 300.0;  // seconds between frames without bytes -> disconnect
+  bool metrics = false;         // flip obs::set_enabled at startup
+  double checkpoint_interval = 0.0;  // seconds between time-based checkpoints (0 = off)
+  std::vector<TenantParams> tenants;
+
+  [[nodiscard]] const TenantParams* find_tenant(const std::string& name) const;
+
+  /// Parses the config text. Throws util::ConfigError with a line number on
+  /// any malformed or unknown directive, and validates the result (ingest
+  /// and state_dir present, at least one tenant, positive windows/timeouts).
+  [[nodiscard]] static DaemonConfig parse(std::istream& in);
+  [[nodiscard]] static DaemonConfig load_file(const std::string& path);
+};
+
+}  // namespace tradeplot::svc

@@ -1,0 +1,99 @@
+// The monitor daemon: FindPlotters as a long-running network service.
+//
+// One process hosts N tenant universes (src/svc/tenant.h). Clients connect
+// to the ingest endpoint, speak the TPMF frame protocol (src/svc/frame.h),
+// and stream flows; a second, optional HTTP endpoint serves health,
+// readiness, per-tenant accounting, and Prometheus metrics.
+//
+// Failure model (DESIGN.md §17):
+//  * a connection is untrusted input: framing garbage resyncs with
+//    accounting, malformed flow records go through the tenant's ErrorPolicy
+//    quarantine, a silent client is disconnected by read/idle timeouts;
+//  * a slow detector is handled per tenant — block (lossless backpressure
+//    through TCP) or shed (accounted loss), never unbounded queueing;
+//  * a crash (kill -9) loses at most the flows since the last checkpoint,
+//    and those are re-sent: HelloAck tells a reconnecting client the
+//    accepted-row cursor, so the client rewinds and the verdict stream is
+//    the same as an uninterrupted run (under the block policy);
+//  * SIGTERM/SIGINT is a graceful stop: drain queues, final checkpoints,
+//    flush partial windows, exit 0. SIGHUP re-reads the config file.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/config.h"
+#include "svc/net.h"
+#include "svc/tenant.h"
+#include "util/clock.h"
+
+namespace tradeplot::svc {
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig config, util::Clock& clock = util::Clock::system());
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds the endpoints, restores and starts every tenant, and spawns the
+  /// accept loops. Throws util::IoError / util::ConfigError on an unusable
+  /// config; after start() returns the daemon is serving.
+  void start();
+
+  /// Graceful stop (idempotent): stop accepting, close connections, drain
+  /// tenant queues, final checkpoint + partial-window flush per tenant.
+  void stop();
+
+  /// Applies a re-read config: updates timeouts and per-tenant reloadable
+  /// knobs, starts tenants that are new in the file. Returns a one-line
+  /// human summary for the operator log.
+  std::string reload(const DaemonConfig& fresh);
+
+  [[nodiscard]] Tenant* find_tenant(const std::string& name);
+  [[nodiscard]] std::vector<Tenant*> tenants();
+
+  /// Bound ports (after start); 0 for unix-domain endpoints. Lets tests and
+  /// the CLI print the actual port when the config said ":0".
+  [[nodiscard]] std::uint16_t ingest_port() const { return ingest_port_; }
+  [[nodiscard]] std::uint16_t http_port() const { return http_port_; }
+
+  [[nodiscard]] bool running() const { return running_.load(std::memory_order_relaxed); }
+
+ private:
+  void accept_loop();
+  void http_loop();
+  void housekeeping_loop();
+  void serve_connection(Fd fd);
+  void serve_http(Fd fd);
+  [[nodiscard]] std::string http_response_for(const std::string& path);
+  void track_thread(std::thread t);
+
+  DaemonConfig config_;  // endpoints/state_dir fixed; tenant list append-only
+  util::Clock& clock_;
+
+  std::mutex mutex_;  // guards tenants_ and threads_
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::vector<std::thread> threads_;
+
+  Fd ingest_listener_;
+  Fd http_listener_;
+  std::uint16_t ingest_port_ = 0;
+  std::uint16_t http_port_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  // Reloadable without a lock on the hot path.
+  std::atomic<double> read_timeout_{30.0};
+  std::atomic<double> idle_timeout_{300.0};
+
+  double started_at_ = 0.0;
+  std::uint64_t uptime_reported_ = 0;  // housekeeping thread only
+};
+
+}  // namespace tradeplot::svc

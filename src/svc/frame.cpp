@@ -1,0 +1,132 @@
+#include "svc/frame.h"
+
+#include <cstring>
+
+#include "util/checksum.h"
+
+namespace tradeplot::svc {
+
+namespace {
+
+// Wire image of the magic for resync scanning ("TPMF" little-endian).
+constexpr char kMagicBytes[4] = {'T', 'P', 'M', 'F'};
+
+template <typename T>
+void append_raw(std::vector<char>& out, T value) {
+  const char* bytes = reinterpret_cast<const char*>(&value);
+  out.insert(out.end(), bytes, bytes + sizeof(value));
+}
+
+template <typename T>
+T read_raw(const char* p) {
+  T value;
+  std::memcpy(&value, p, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+bool frame_type_valid(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         type <= static_cast<std::uint8_t>(FrameType::kError);
+}
+
+std::string_view to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kHelloAck: return "hello_ack";
+    case FrameType::kFlows: return "flows";
+    case FrameType::kFlush: return "flush";
+    case FrameType::kFlushAck: return "flush_ack";
+    case FrameType::kBye: return "bye";
+    case FrameType::kError: return "error";
+  }
+  return "unknown";
+}
+
+void append_frame(std::vector<char>& out, FrameType type, const char* payload,
+                  std::size_t n) {
+  out.reserve(out.size() + kFrameHeaderSize + n);
+  append_raw(out, kFrameMagic);
+  append_raw(out, static_cast<std::uint8_t>(type));
+  append_raw(out, static_cast<std::uint32_t>(n));
+  append_raw(out, util::crc32(payload, n));
+  out.insert(out.end(), payload, payload + n);
+}
+
+std::vector<char> encode_frame(FrameType type, std::string_view payload) {
+  std::vector<char> out;
+  append_frame(out, type, payload.data(), payload.size());
+  return out;
+}
+
+void append_u64(std::vector<char>& out, std::uint64_t v) { append_raw(out, v); }
+
+std::uint64_t read_u64(const char* p) { return read_raw<std::uint64_t>(p); }
+
+void FrameParser::skip(std::size_t n) {
+  pos_ += n;
+  stats_.bytes_skipped += n;
+  if (!resyncing_) {
+    resyncing_ = true;
+    ++stats_.resync_events;
+  }
+}
+
+void FrameParser::compact() {
+  // Reclaim consumed prefix once it dominates the buffer, keeping append()
+  // amortized O(1) without unbounded growth across a long connection.
+  if (pos_ > (1u << 16) && pos_ * 2 >= buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+}
+
+bool FrameParser::next(Frame& out) {
+  for (;;) {
+    const std::size_t avail = buf_.size() - pos_;
+    if (avail < kFrameHeaderSize) {
+      compact();
+      return false;
+    }
+    const char* p = buf_.data() + pos_;
+
+    if (std::memcmp(p, kMagicBytes, sizeof(kMagicBytes)) != 0) {
+      // Not at a frame boundary: scan forward to the next candidate magic.
+      const char* found = static_cast<const char*>(
+          std::memchr(p + 1, kMagicBytes[0], avail - 1));
+      skip(found ? static_cast<std::size_t>(found - p) : avail);
+      continue;
+    }
+
+    const std::uint8_t type = static_cast<std::uint8_t>(p[4]);
+    const std::uint32_t len = read_raw<std::uint32_t>(p + 5);
+    const std::uint32_t crc = read_raw<std::uint32_t>(p + 9);
+    if (!frame_type_valid(type) || len > kMaxFramePayload) {
+      // Header is implausible; treat the magic match as coincidence.
+      ++stats_.frames_bad;
+      skip(1);
+      continue;
+    }
+    if (avail < kFrameHeaderSize + len) {
+      compact();
+      return false;  // header plausible, payload still in flight
+    }
+    const char* payload = p + kFrameHeaderSize;
+    if (util::crc32(payload, len) != crc) {
+      ++stats_.frames_bad;
+      skip(1);  // resync from the next byte; the scan above finds the next magic
+      continue;
+    }
+
+    out.type = static_cast<FrameType>(type);
+    out.payload.assign(payload, payload + len);
+    pos_ += kFrameHeaderSize + len;
+    ++stats_.frames_ok;
+    resyncing_ = false;
+    compact();
+    return true;
+  }
+}
+
+}  // namespace tradeplot::svc

@@ -1,0 +1,118 @@
+// Length-prefixed binary framing for the monitor daemon's ingest socket.
+//
+// Wire format of one frame (all integers little-endian):
+//
+//   u32 magic   0x464D5054 ("TPMF" on the wire)
+//   u8  type    FrameType
+//   u32 len     payload byte count (<= kMaxFramePayload)
+//   u32 crc     util::crc32 of the payload bytes
+//   ..  payload
+//
+// A kFlows payload is a complete binary/CSV trace image — exactly the bytes
+// write_binary / write_binary_columnar / write_csv produce — so the daemon
+// decodes it with the same netflow::TraceReader (and the same ErrorPolicy
+// quarantine/resync semantics) used for file ingestion. MemoryStream below
+// adapts a received payload into an std::istream without copying.
+//
+// FrameParser is an incremental decoder with the resync discipline of
+// ErrorPolicy::kSkip: garbage between frames (bad magic, oversized length,
+// CRC mismatch) is skipped byte-by-byte until the next plausible frame
+// header, and every decision is accounted in FrameParserStats so a flaky
+// client shows up in metrics instead of silently losing data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <streambuf>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tradeplot::svc {
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,     // client -> daemon: payload = tenant name (UTF-8 bytes)
+  kHelloAck = 2,  // daemon -> client: payload = u64 accepted-flow cursor (resume point)
+  kFlows = 3,     // client -> daemon: payload = self-contained trace image
+  kFlush = 4,     // client -> daemon: request ingest barrier + accounting
+  kFlushAck = 5,  // daemon -> client: payload = u64 accepted, ingested, shed, quarantined
+  kBye = 6,       // client -> daemon: orderly end of stream
+  kError = 7,     // daemon -> client: payload = human-readable reason
+};
+
+constexpr std::uint32_t kFrameMagic = 0x464D5054;      // "TPMF" little-endian
+constexpr std::size_t kFrameHeaderSize = 13;           // magic + type + len + crc
+constexpr std::uint32_t kMaxFramePayload = 32u << 20;  // 32 MiB sanity bound
+
+[[nodiscard]] bool frame_type_valid(std::uint8_t type);
+[[nodiscard]] std::string_view to_string(FrameType type);
+
+struct Frame {
+  FrameType type{};
+  std::vector<char> payload;
+
+  [[nodiscard]] std::string_view payload_view() const {
+    return {payload.data(), payload.size()};
+  }
+};
+
+/// Appends one encoded frame (header + CRC-protected payload) to `out`.
+void append_frame(std::vector<char>& out, FrameType type, const char* payload,
+                  std::size_t n);
+[[nodiscard]] std::vector<char> encode_frame(FrameType type, std::string_view payload);
+
+/// Little-endian u64 helpers for the fixed-layout payloads (HelloAck,
+/// FlushAck). read_u64 requires 8 readable bytes at `p`.
+void append_u64(std::vector<char>& out, std::uint64_t v);
+[[nodiscard]] std::uint64_t read_u64(const char* p);
+
+struct FrameParserStats {
+  std::uint64_t frames_ok = 0;
+  std::uint64_t frames_bad = 0;     // bad header or CRC mismatch
+  std::uint64_t resync_events = 0;  // contiguous skip runs (one per garbage burst)
+  std::uint64_t bytes_skipped = 0;  // total bytes discarded while resyncing
+};
+
+/// Incremental frame decoder. Feed raw socket bytes with append(); drain
+/// complete frames with next(). Never throws on malformed input — corrupt
+/// framing is skipped with accounting (the daemon's analog of
+/// ErrorPolicy::kSkip; the policy decision of when "too much garbage" ends
+/// the connection belongs to the caller, via stats()).
+class FrameParser {
+ public:
+  void append(const char* data, std::size_t n) { buf_.insert(buf_.end(), data, data + n); }
+
+  /// Decodes the next complete frame into `out`. Returns false when the
+  /// buffered bytes do not yet contain one (read more and retry).
+  [[nodiscard]] bool next(Frame& out);
+
+  [[nodiscard]] const FrameParserStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  // Skips `n` bytes as garbage, folding adjacent skips into one resync event.
+  void skip(std::size_t n);
+  void compact();
+
+  std::vector<char> buf_;
+  std::size_t pos_ = 0;
+  bool resyncing_ = false;
+  FrameParserStats stats_;
+};
+
+/// Read-only std::istream over a borrowed byte span. Lets the daemon hand a
+/// kFlows payload straight to netflow::TraceReader — zero copies, same
+/// parsers and quarantine semantics as file ingestion. The span must outlive
+/// the stream.
+class MemoryStream : private std::streambuf, public std::istream {
+ public:
+  MemoryStream(const char* data, std::size_t n) : std::istream(this) {
+    char* p = const_cast<char*>(data);  // read-only use; setg demands char*
+    setg(p, p, p + n);
+  }
+  MemoryStream(const MemoryStream&) = delete;
+  MemoryStream& operator=(const MemoryStream&) = delete;
+};
+
+}  // namespace tradeplot::svc

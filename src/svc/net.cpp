@@ -1,0 +1,203 @@
+#include "svc/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.h"
+#include "util/interrupt.h"
+
+namespace tradeplot::svc {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw util::IoError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw util::ConfigError("unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_addr(const Endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  const std::string host = ep.host.empty() ? "127.0.0.1" : ep.host;
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw util::ConfigError("not an IPv4 address: " + host);
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) {
+    // EINTR on close is not retried: POSIX leaves the fd state unspecified
+    // and Linux guarantees it is released either way.
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+Endpoint Endpoint::parse(const std::string& spec) {
+  Endpoint ep;
+  std::string rest = spec;
+  if (rest.rfind("unix:", 0) == 0) {
+    ep.kind = Kind::kUnix;
+    ep.path = rest.substr(5);
+    if (ep.path.empty()) throw util::ConfigError("empty unix socket path: " + spec);
+    return ep;
+  }
+  if (rest.rfind("tcp:", 0) == 0) rest = rest.substr(4);
+  const std::size_t colon = rest.rfind(':');
+  if (colon == std::string::npos)
+    throw util::ConfigError("endpoint needs HOST:PORT or unix:PATH: " + spec);
+  ep.kind = Kind::kTcp;
+  ep.host = rest.substr(0, colon);
+  const std::string port_str = rest.substr(colon + 1);
+  if (port_str.empty() || port_str.find_first_not_of("0123456789") != std::string::npos)
+    throw util::ConfigError("bad port in endpoint: " + spec);
+  const unsigned long port = std::stoul(port_str);
+  if (port > 65535) throw util::ConfigError("port out of range: " + spec);
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + (host.empty() ? std::string("127.0.0.1") : host) + ":" +
+         std::to_string(port);
+}
+
+Fd listen_on(const Endpoint& ep, int backlog, std::uint16_t* bound_port) {
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) throw_errno("socket(unix)");
+    ::unlink(ep.path.c_str());  // stale socket from a previous run
+    const sockaddr_un addr = unix_addr(ep.path);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0)
+      throw_errno("bind " + ep.to_string());
+    if (::listen(fd.get(), backlog) != 0) throw_errno("listen " + ep.to_string());
+    if (bound_port) *bound_port = 0;
+    return fd;
+  }
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket(tcp)");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = tcp_addr(ep);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0)
+    throw_errno("bind " + ep.to_string());
+  if (::listen(fd.get(), backlog) != 0) throw_errno("listen " + ep.to_string());
+  if (bound_port) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) != 0)
+      throw_errno("getsockname");
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+Fd connect_to(const Endpoint& ep) {
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) throw_errno("socket(unix)");
+    const sockaddr_un addr = unix_addr(ep.path);
+    for (;;) {
+      if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0)
+        return fd;
+      if (errno != EINTR || util::shutdown_requested())
+        throw_errno("connect " + ep.to_string());
+    }
+  }
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket(tcp)");
+  const sockaddr_in addr = tcp_addr(ep);
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0)
+      return fd;
+    if (errno != EINTR || util::shutdown_requested())
+      throw_errno("connect " + ep.to_string());
+  }
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;  // readable, or POLLERR/POLLHUP the read reports
+    if (rc == 0) return false;
+    if (errno != EINTR) throw_errno("poll");
+    if (util::shutdown_requested()) return false;
+    // Interrupted: retry with the original timeout. The worst case (signal
+    // storms stretching the wait) is acceptable for idle-disconnect
+    // purposes; callers re-check deadlines against their Clock anyway.
+  }
+}
+
+Fd accept_conn(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return Fd(fd);
+    if (errno == EINTR) {
+      if (util::shutdown_requested()) return Fd();
+      continue;
+    }
+    if (errno == ECONNABORTED || errno == EAGAIN || errno == EWOULDBLOCK) return Fd();
+    throw_errno("accept");
+  }
+}
+
+std::size_t recv_some(int fd, char* dst, std::size_t n) {
+  for (;;) {
+    const ssize_t got = ::recv(fd, dst, n, 0);
+    if (got > 0) return static_cast<std::size_t>(got);
+    if (got == 0) return 0;  // orderly peer shutdown
+    if (errno == EINTR) {
+      if (util::shutdown_requested()) return 0;
+      continue;
+    }
+    if (errno == ECONNRESET) return 0;  // vanished peer == departed peer
+    throw_errno("recv");
+  }
+}
+
+bool send_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE here, not SIGPIPE
+    // (the daemon also ignores SIGPIPE, but clients may not install
+    // handlers).
+    const ssize_t sent = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (sent > 0) {
+      data += sent;
+      n -= static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (errno == EINTR) {
+      if (util::shutdown_requested()) return false;
+      continue;
+    }
+    if (errno == EPIPE || errno == ECONNRESET) return false;
+    throw_errno("send");
+  }
+  return true;
+}
+
+}  // namespace tradeplot::svc

@@ -1,0 +1,93 @@
+// POSIX socket plumbing for the monitor daemon and its clients.
+//
+// Thin, exception-throwing wrappers over the BSD socket calls with the same
+// signal discipline as util/stream_retry.h: every blocking call retries
+// EINTR unless a cooperative shutdown was requested, so a SIGHUP reload or a
+// profiler signal never masquerades as a dead connection. Endpoints are
+// spelled as strings ("unix:/run/tp.sock", "tcp:127.0.0.1:7171", ":0") so
+// config files, CLI flags, and tests share one parser.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tradeplot::svc {
+
+/// RAII file descriptor: closes on destruction, move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listen/connect address: "unix:PATH", "tcp:HOST:PORT", or "HOST:PORT"
+/// (empty host means 127.0.0.1; port 0 lets the kernel pick).
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+
+  Kind kind = Kind::kTcp;
+  std::string path;  // unix
+  std::string host;  // tcp
+  std::uint16_t port = 0;
+
+  /// Parses a spec string. Throws util::ConfigError on malformed input.
+  [[nodiscard]] static Endpoint parse(const std::string& spec);
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Creates a bound, listening socket. TCP sockets get SO_REUSEADDR; a stale
+/// unix socket path is unlinked first. When `bound_port` is non-null it
+/// receives the actual port (useful with port 0). Throws util::IoError.
+[[nodiscard]] Fd listen_on(const Endpoint& ep, int backlog = 16,
+                           std::uint16_t* bound_port = nullptr);
+
+/// Connects to `ep`. Throws util::IoError on failure.
+[[nodiscard]] Fd connect_to(const Endpoint& ep);
+
+/// poll(2) for readability, retrying EINTR. Returns true when `fd` is
+/// readable (or has an error/hangup pending — the subsequent read reports
+/// it), false on timeout or when shutdown was requested mid-wait.
+/// `timeout_ms < 0` blocks indefinitely.
+[[nodiscard]] bool wait_readable(int fd, int timeout_ms);
+
+/// accept(2) with EINTR retry. Returns an invalid Fd when interrupted by
+/// shutdown or when the listener reports a transient error (ECONNABORTED);
+/// throws util::IoError on hard listener failure.
+[[nodiscard]] Fd accept_conn(int listen_fd);
+
+/// recv(2) up to `n` bytes, retrying EINTR. Returns the byte count, or 0 for
+/// orderly peer shutdown / shutdown_requested(). Throws util::IoError on
+/// hard error (except ECONNRESET, which reads as 0: a vanished peer and a
+/// departed peer get the same clean end-of-stream treatment).
+[[nodiscard]] std::size_t recv_some(int fd, char* dst, std::size_t n);
+
+/// send(2) until all `n` bytes are accepted, retrying EINTR and short
+/// writes. Returns false when the peer is gone (EPIPE/ECONNRESET) or
+/// shutdown was requested; throws util::IoError on other failures.
+[[nodiscard]] bool send_all(int fd, const char* data, std::size_t n);
+
+}  // namespace tradeplot::svc

@@ -1,0 +1,66 @@
+// FrameSender: the client half of the monitor daemon's frame protocol.
+//
+// stream() pushes a whole trace file to one tenant, surviving daemon
+// restarts: every (re)connect starts with Hello, and the HelloAck carries
+// the tenant's accepted-row cursor, so the sender reopens the trace,
+// fast-forwards to the cursor, and resumes exactly where the daemon's books
+// say it should — after a kill -9 that is the last checkpoint, and the
+// flows since then are simply sent again. Reconnects back off
+// exponentially through the injected Clock, so tests assert the exact
+// schedule on a SimulatedClock without waiting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "svc/frame.h"
+#include "svc/net.h"
+#include "util/clock.h"
+
+namespace tradeplot::svc {
+
+struct SenderOptions {
+  std::string endpoint;              // Endpoint::parse spec
+  std::string tenant;                // target universe
+  std::size_t rows_per_frame = 4096; // flows per kFlows frame
+  int max_attempts = 8;              // consecutive failed connects before giving up
+  double backoff_initial = 0.05;     // seconds; doubles per consecutive failure
+  double backoff_max = 2.0;          // backoff ceiling
+  double ack_timeout = 10.0;         // seconds to wait for HelloAck / FlushAck
+};
+
+struct SendReport {
+  std::uint64_t rows_sent = 0;      // rows pushed over the wire (incl. re-sends)
+  std::uint64_t frames_sent = 0;    // kFlows frames
+  std::uint64_t reconnects = 0;     // successful connects after the first
+  // Final accounting from the daemon's FlushAck.
+  std::uint64_t accepted = 0;
+  std::uint64_t ingested = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t quarantined = 0;
+};
+
+class FrameSender {
+ public:
+  explicit FrameSender(SenderOptions options, util::Clock& clock = util::Clock::system());
+
+  /// Streams the trace at `path` (any TraceReader format) to the tenant:
+  /// connect, Hello/HelloAck, fast-forward to the acked cursor, send kFlows
+  /// frames (v3 columnar payloads), finish with kFlush and return the
+  /// daemon's accounting. A dropped connection reconnects with exponential
+  /// backoff and rewinds to the fresh cursor. Throws util::IoError when
+  /// max_attempts consecutive connect/handshake failures exhaust the retry
+  /// budget, and util::Error for protocol-level rejections (unknown
+  /// tenant).
+  SendReport stream(const std::string& trace_path);
+
+ private:
+  // One connect + handshake. Returns the acked cursor via `cursor`.
+  [[nodiscard]] Fd connect_with_retry(std::uint64_t& cursor, SendReport& report);
+  [[nodiscard]] bool recv_frame(int fd, FrameParser& parser, Frame& out);
+
+  SenderOptions options_;
+  util::Clock& clock_;
+};
+
+}  // namespace tradeplot::svc

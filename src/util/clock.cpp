@@ -1,0 +1,76 @@
+#include "util/clock.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace tradeplot::util {
+
+namespace {
+
+std::chrono::steady_clock::time_point epoch() {
+  static const std::chrono::steady_clock::time_point e = std::chrono::steady_clock::now();
+  return e;
+}
+
+}  // namespace
+
+double SystemClock::now() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch()).count();
+}
+
+void SystemClock::sleep_for(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+Clock& Clock::system() {
+  static SystemClock clock;
+  (void)epoch();  // pin the epoch to the first use, not the first now()
+  return clock;
+}
+
+SimulatedClock::SimulatedClock(double start, bool auto_advance)
+    : now_(start), auto_advance_(auto_advance) {}
+
+double SimulatedClock::now() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return now_;
+}
+
+void SimulatedClock::sleep_for(double seconds) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (seconds <= 0.0) return;
+  if (auto_advance_) {
+    now_ += seconds;
+    return;
+  }
+  const double deadline = now_ + seconds;
+  const std::size_t epoch_at_entry = wake_epoch_;
+  ++sleepers_;
+  cv_.wait(lock, [&] { return now_ >= deadline || wake_epoch_ != epoch_at_entry; });
+  --sleepers_;
+}
+
+void SimulatedClock::advance(double seconds) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    now_ += std::max(0.0, seconds);
+  }
+  cv_.notify_all();
+}
+
+std::size_t SimulatedClock::sleepers() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sleepers_;
+}
+
+void SimulatedClock::wake_all() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++wake_epoch_;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace tradeplot::util

@@ -1,0 +1,78 @@
+// Injectable time source for long-running components.
+//
+// Timeout, backoff, and checkpoint-interval logic must be testable without
+// real waiting, so anything in the service layer that asks "what time is it"
+// or "sleep a while" goes through a Clock reference instead of calling
+// std::chrono directly (the pixie time_system idiom). Production code uses
+// Clock::system() — a process-wide monotonic clock — while tests inject a
+// SimulatedClock and advance it deterministically.
+//
+// Times are doubles in seconds on an arbitrary monotonic epoch; they are
+// never compared against flow timestamps (which live on the simulation's own
+// axis).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace tradeplot::util {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic now, in seconds. Never decreases.
+  [[nodiscard]] virtual double now() = 0;
+
+  /// Blocks the calling thread for `seconds` (<= 0 returns immediately).
+  virtual void sleep_for(double seconds) = 0;
+
+  /// The process-wide wall clock (std::chrono::steady_clock).
+  [[nodiscard]] static Clock& system();
+};
+
+/// Real time. now() is steady_clock seconds since the first use.
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] double now() override;
+  void sleep_for(double seconds) override;
+};
+
+/// Deterministic time for tests. Two modes:
+///
+///  * auto-advance (the default): sleep_for(s) simply moves now() forward by
+///    s and returns. Single-threaded code under test runs at "infinite
+///    speed", and the test asserts on now() — e.g. that a retry loop slept
+///    exactly base + 2*base + 4*base seconds.
+///  * manual: sleep_for blocks until another thread calls advance() past the
+///    deadline (or wake_all() for shutdown). Multi-threaded components can
+///    be stepped through timeouts deterministically.
+class SimulatedClock final : public Clock {
+ public:
+  explicit SimulatedClock(double start = 0.0, bool auto_advance = true);
+
+  [[nodiscard]] double now() override;
+  void sleep_for(double seconds) override;
+
+  /// Moves time forward and wakes every blocked sleeper whose deadline
+  /// passed. Never moves time backward.
+  void advance(double seconds);
+
+  /// Threads currently blocked in sleep_for (manual mode).
+  [[nodiscard]] std::size_t sleepers();
+
+  /// Wakes every sleeper regardless of deadline (their sleep_for returns
+  /// early). Used to shut down components mid-sleep in tests.
+  void wake_all();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  double now_;
+  bool auto_advance_;
+  std::size_t sleepers_ = 0;
+  std::size_t wake_epoch_ = 0;
+};
+
+}  // namespace tradeplot::util

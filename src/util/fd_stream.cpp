@@ -1,0 +1,55 @@
+#include "util/fd_stream.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "util/interrupt.h"
+
+namespace tradeplot::util {
+
+FdInputStreambuf::FdInputStreambuf(int fd, std::size_t buffer_size)
+    : fd_(fd), buf_(buffer_size > 0 ? buffer_size : 1) {}
+
+FdInputStreambuf::~FdInputStreambuf() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+FdInputStreambuf::int_type FdInputStreambuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  if (fd_ < 0) return traits_type::eof();
+  for (;;) {
+    if (shutdown_requested()) {
+      // A stop requested before this read must not start another blocking
+      // read(2) — the one EINTR a signal provides was already consumed.
+      errno = EINTR;
+      return traits_type::eof();
+    }
+    errno = 0;
+    const ::ssize_t got = ::read(fd_, buf_.data(), buf_.size());
+    if (got > 0) {
+      setg(buf_.data(), buf_.data(), buf_.data() + got);
+      return traits_type::to_int_type(*gptr());
+    }
+    if (got == 0) {
+      errno = 0;  // true EOF, distinguishable from an interrupted read
+      return traits_type::eof();
+    }
+    if (errno != EINTR) return traits_type::eof();  // hard error, errno kept
+    if (shutdown_requested()) {
+      // Cooperative stop: report end-of-stream with errno still EINTR so
+      // read_retry's shutdown branch turns it into a clean short read.
+      return traits_type::eof();
+    }
+    // A stray signal (SIGHUP reload, a profiler tick): retry the read.
+  }
+}
+
+FdInputStream::FdInputStream(const std::string& path)
+    : std::istream(nullptr), buf_(::open(path.c_str(), O_RDONLY | O_CLOEXEC)) {
+  rdbuf(&buf_);  // also clears the badbit from the null-buffer base init
+  if (!buf_.valid()) setstate(std::ios::failbit);
+}
+
+}  // namespace tradeplot::util

@@ -1,0 +1,49 @@
+// Interruptible file input for cooperative shutdown.
+//
+// glibc's libstdc++ retries EINTR inside __basic_file::xsgetn, so a signal
+// can never interrupt a blocked std::ifstream read — the errno discipline
+// of util/stream_retry.h never gets a chance on a real filebuf, and a
+// monitor streaming from a FIFO would sit in read(2) forever after SIGINT.
+// The streambuf here issues one ::read(2) per underflow and, when the read
+// is interrupted, consults util::shutdown_requested(): a cooperative stop
+// surfaces as end-of-stream with errno left at EINTR (read_retry then
+// reports a clean short read), any other signal retries the read.
+#pragma once
+
+#include <istream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+namespace tradeplot::util {
+
+/// A read-only streambuf over a POSIX fd. Takes ownership of the fd and
+/// closes it on destruction; fd < 0 makes every read report end-of-stream.
+class FdInputStreambuf : public std::streambuf {
+ public:
+  explicit FdInputStreambuf(int fd, std::size_t buffer_size = 1 << 16);
+  ~FdInputStreambuf() override;
+  FdInputStreambuf(const FdInputStreambuf&) = delete;
+  FdInputStreambuf& operator=(const FdInputStreambuf&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+ protected:
+  int_type underflow() override;
+
+ private:
+  int fd_;
+  std::vector<char> buf_;
+};
+
+/// std::istream over ::open(path, O_RDONLY) with the interruptible
+/// streambuf above. fail() after construction when the open failed.
+class FdInputStream : public std::istream {
+ public:
+  explicit FdInputStream(const std::string& path);
+
+ private:
+  FdInputStreambuf buf_;
+};
+
+}  // namespace tradeplot::util

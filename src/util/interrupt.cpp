@@ -1,0 +1,63 @@
+#include "util/interrupt.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace tradeplot::util {
+
+namespace {
+
+// Lock-free atomics are async-signal-safe; relaxed ordering is enough for
+// flags that are only ever polled.
+std::atomic<bool> g_shutdown{false};
+std::atomic<bool> g_reload{false};
+
+extern "C" void handle_shutdown_signal(int) { g_shutdown.store(true, std::memory_order_relaxed); }
+extern "C" void handle_reload_signal(int) { g_reload.store(true, std::memory_order_relaxed); }
+
+}  // namespace
+
+void request_shutdown() noexcept { g_shutdown.store(true, std::memory_order_relaxed); }
+
+bool shutdown_requested() noexcept { return g_shutdown.load(std::memory_order_relaxed); }
+
+void clear_shutdown() noexcept { g_shutdown.store(false, std::memory_order_relaxed); }
+
+void request_reload() noexcept { g_reload.store(true, std::memory_order_relaxed); }
+
+bool consume_reload() noexcept { return g_reload.exchange(false, std::memory_order_relaxed); }
+
+void install_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = handle_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked reads must return EINTR
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  struct sigaction hup{};
+  hup.sa_handler = handle_reload_signal;
+  sigemptyset(&hup.sa_mask);
+  hup.sa_flags = 0;
+  sigaction(SIGHUP, &hup, nullptr);
+
+  struct sigaction pipe_ignore{};
+  pipe_ignore.sa_handler = SIG_IGN;
+  sigemptyset(&pipe_ignore.sa_mask);
+  sigaction(SIGPIPE, &pipe_ignore, nullptr);
+}
+
+ScopedWorkerSignalMask::ScopedWorkerSignalMask() noexcept {
+  sigset_t block;
+  sigemptyset(&block);
+  sigaddset(&block, SIGINT);
+  sigaddset(&block, SIGTERM);
+  sigaddset(&block, SIGHUP);
+  pthread_sigmask(SIG_BLOCK, &block, &old_);
+}
+
+ScopedWorkerSignalMask::~ScopedWorkerSignalMask() {
+  pthread_sigmask(SIG_SETMASK, &old_, nullptr);
+}
+
+}  // namespace tradeplot::util

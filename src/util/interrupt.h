@@ -1,0 +1,61 @@
+// Cooperative shutdown and reload flags.
+//
+// Long-running tools (campus_monitor --stream, campus_monitord) must survive
+// SIGINT/SIGTERM by finishing the current unit of work, writing a final
+// checkpoint, and exiting 0 — not by dying mid-window. Signal handlers can
+// do almost nothing safely, so the handlers installed here only set
+// process-global atomic flags; the ingestion loops poll them at record/batch
+// boundaries, and the stream-retry helpers (util/stream_retry.h) consult
+// them so a blocked read wakes up as a clean end-of-input instead of
+// retrying forever.
+//
+// SIGHUP sets a separate reload flag (daemon config hot-reload); SIGPIPE is
+// ignored (socket writes report EPIPE instead of killing the process).
+#pragma once
+
+#include <csignal>
+
+namespace tradeplot::util {
+
+/// Requests cooperative shutdown. Async-signal-safe.
+void request_shutdown() noexcept;
+
+/// True once shutdown was requested (sticky until clear_shutdown).
+[[nodiscard]] bool shutdown_requested() noexcept;
+
+/// Clears the shutdown flag (tests, or a supervisor restarting the loop).
+void clear_shutdown() noexcept;
+
+/// Requests a config reload. Async-signal-safe.
+void request_reload() noexcept;
+
+/// Returns the reload flag and clears it, so one SIGHUP triggers exactly one
+/// reload.
+[[nodiscard]] bool consume_reload() noexcept;
+
+/// Installs SIGINT/SIGTERM -> request_shutdown, SIGHUP -> request_reload,
+/// and SIG_IGN for SIGPIPE. Handlers are installed without SA_RESTART so a
+/// blocked read returns EINTR and the retry helpers can notice the flag.
+/// Idempotent.
+void install_signal_handlers();
+
+/// Blocks SIGINT/SIGTERM/SIGHUP in the calling thread for the scope and
+/// restores the previous mask on destruction. Wrap worker-thread creation
+/// in one of these: spawned threads inherit the blocked mask (race-free),
+/// so the kernel can only deliver a process-directed shutdown signal to a
+/// thread that keeps them unblocked — the main thread. Without the mask
+/// the kernel may pick a pool thread to run the handler: the flag is set,
+/// but the main thread stays parked in read(2) and never sees the EINTR
+/// that install_signal_handlers arranged for.
+class ScopedWorkerSignalMask {
+ public:
+  ScopedWorkerSignalMask() noexcept;
+  ~ScopedWorkerSignalMask();
+  ScopedWorkerSignalMask(const ScopedWorkerSignalMask&) = delete;
+  ScopedWorkerSignalMask& operator=(const ScopedWorkerSignalMask&) = delete;
+
+ private:
+  sigset_t old_{};
+};
+
+}  // namespace tradeplot::util

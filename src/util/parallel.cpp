@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "util/error.h"
+#include "util/interrupt.h"
 
 namespace tradeplot::util {
 
@@ -58,6 +59,10 @@ std::optional<std::size_t> threads_env_strict() {
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = resolve_threads(threads);
   workers_.reserve(n);
+  // Workers must not be eligible for SIGINT/SIGTERM/SIGHUP delivery: the
+  // graceful-stop design needs those to EINTR the main thread's blocked
+  // reads (util/interrupt.h). The scoped mask is inherited by the spawns.
+  ScopedWorkerSignalMask mask;
   for (std::size_t t = 0; t < n; ++t) workers_.emplace_back([this] { worker_loop(); });
 }
 

@@ -1,0 +1,55 @@
+#include "util/stream_retry.h"
+
+#include <cerrno>
+#include <istream>
+#include <ostream>
+
+#include "util/interrupt.h"
+
+namespace tradeplot::util {
+
+std::size_t read_retry(std::istream& in, char* dst, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    errno = 0;
+    in.read(dst + got, static_cast<std::streamsize>(n - got));
+    got += static_cast<std::size_t>(in.gcount());
+    if (got == n) break;
+    // Short read: the stream has failed. eofbit alone cannot tell EOF from
+    // EINTR — a filebuf's underflow returns eof for both — so errno is the
+    // discriminator (cleared above; read(2) leaves it 0 at true EOF).
+    if (errno != EINTR) break;  // true EOF or hard error; leave stream state
+    if (shutdown_requested()) {
+      // Cooperative stop: report a clean short read so graceful-shutdown
+      // paths see end-of-input instead of an I/O error.
+      in.clear();
+      break;
+    }
+    in.clear();  // retry the interrupted read
+  }
+  return got;
+}
+
+bool write_retry(std::ostream& out, const char* data, std::size_t n) {
+  while (n > 0) {
+    errno = 0;
+    const std::streampos before = out.tellp();
+    out.write(data, static_cast<std::streamsize>(n));
+    if (out.good()) return true;
+    if (errno != EINTR || shutdown_requested()) return false;
+    out.clear();
+    // Resume from the sink's actual put position when it is seekable so a
+    // partially-consumed chunk is not written twice. tellp() == -1 means the
+    // sink cannot tell us; reissue the whole chunk (all-or-nothing sinks).
+    const std::streampos after = out.tellp();
+    if (before != std::streampos(-1) && after != std::streampos(-1) && after > before) {
+      const auto consumed = static_cast<std::size_t>(after - before);
+      if (consumed >= n) return true;
+      data += consumed;
+      n -= consumed;
+    }
+  }
+  return true;
+}
+
+}  // namespace tradeplot::util

@@ -1,0 +1,42 @@
+// EINTR/short-read hardening for iostream-backed I/O.
+//
+// A monitor that runs for days gets signals mid-read: a SIGHUP for config
+// reload, a SIGCHLD from a supervisor, a profiler's SIGPROF. With handlers
+// installed without SA_RESTART (see util/interrupt.h), a blocked read(2)
+// under an std::ifstream returns EINTR, which iostreams surface as a failed
+// stream — and a naive reader would misreport a transient interruption as a
+// truncated trace. The helpers here retry the interrupted operation and
+// accumulate short reads until the request is satisfied, real EOF, a real
+// error, or a cooperative shutdown request.
+//
+// errno discipline: errno is cleared before each stream operation, so a
+// failed operation with errno == EINTR is distinguishable from EOF and from
+// hard errors. Test streambufs inject EINTR the same way (set errno, return
+// eof from underflow/xsputn), which is exactly how glibc filebufs behave.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+namespace tradeplot::util {
+
+/// Reads up to `n` bytes into `dst`, retrying EINTR and accumulating short
+/// reads. Returns the byte count actually read:
+///  * == n      - full read;
+///  * <  n      - end of stream (eofbit), a hard error (stream left failed),
+///                or shutdown_requested() arrived during an interrupted read
+///                (the stream is cleared; the caller sees a clean short
+///                read, which graceful-stop paths treat as end-of-input).
+[[nodiscard]] std::size_t read_retry(std::istream& in, char* dst, std::size_t n);
+
+/// Writes all `n` bytes, retrying writes that failed with EINTR. For
+/// seekable sinks the retry resumes from the sink's actual put position, so
+/// a partially-consumed write is never duplicated; for non-seekable sinks
+/// the whole chunk is reissued, which assumes the sink consumed nothing on
+/// failure (true for the unbuffered/all-or-nothing sinks this library
+/// writes through). Returns false on a hard error or when shutdown was
+/// requested mid-retry (stream left failed); true when everything was
+/// accepted.
+[[nodiscard]] bool write_retry(std::ostream& out, const char* data, std::size_t n);
+
+}  // namespace tradeplot::util

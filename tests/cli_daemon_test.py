@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""End-to-end lifecycle test for campus_monitord driven through its real CLI.
+
+Covers the operator-visible contract of the daemon binary:
+
+  * config --check: a good config prints a summary and exits 0, a config
+    with a typo'd key is rejected with a nonzero exit;
+  * startup: the `ready ingest_port=N http_port=M` line reports the actual
+    bound ports so a config with port 0 is usable from scripts;
+  * ingestion: campus_monitor --send streams a trace and reports the
+    daemon's accounting line;
+  * crash recovery: kill -9, restart on the same state dir, resend the
+    same trace — the sender fast-forwards to the daemon's cursor and the
+    deduped verdict log is bit-identical to an uninterrupted reference
+    daemon's log;
+  * SIGHUP reload: adding a tenant section to the config file and HUPping
+    the daemon makes the tenant appear in /tenants without a restart;
+  * /metrics: scraped output passes scripts/check_prometheus.py with the
+    service-layer families present;
+  * SIGTERM: graceful drain, `shutdown complete`, exit 0.
+
+Run by ctest as CliDaemonTest; binary paths arrive as flags.
+"""
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+
+def check(condition, message):
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def run(cmd, **kwargs):
+    print("+", " ".join(str(c) for c in cmd), flush=True)
+    return subprocess.run(
+        [str(c) for c in cmd], capture_output=True, text=True, timeout=240, **kwargs
+    )
+
+
+def http_get(port, path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=5) as resp:
+        return resp.read().decode()
+
+
+def write_config(path, state_dir, tenants):
+    text = [
+        "ingest = tcp:127.0.0.1:0",
+        "http = tcp:127.0.0.1:0",
+        f"state_dir = {state_dir}",
+        "read_timeout = 10",
+        "idle_timeout = 60",
+        "metrics = true",
+    ]
+    for name in tenants:
+        text += [
+            f"[tenant {name}]",
+            "window = 3600",
+            "checkpoint_every = 5000",
+            "queue_capacity = 65536",
+            "overflow = block",
+            "policy = skip",
+        ]
+    path.write_text("\n".join(text) + "\n")
+
+
+class DaemonHandle:
+    """A campus_monitord subprocess with its stdout tailed from a log file
+    (a pipe would deadlock once the daemon outlives the reader)."""
+
+    def __init__(self, binary, config, log_path):
+        self.log_path = log_path
+        self.log_file = open(log_path, "wb")
+        print(f"+ {binary} --config {config}  (log: {log_path})", flush=True)
+        self.proc = subprocess.Popen(
+            [str(binary), "--config", str(config)],
+            stdout=self.log_file, stderr=subprocess.STDOUT,
+        )
+
+    def log(self):
+        return self.log_path.read_text(errors="replace")
+
+    def wait_for(self, pattern, timeout=30):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            m = re.search(pattern, self.log())
+            if m:
+                return m
+            check(self.proc.poll() is None,
+                  f"daemon exited (rc {self.proc.returncode}) while waiting for "
+                  f"{pattern!r}; log:\n{self.log()}")
+            time.sleep(0.05)
+        check(False, f"timed out waiting for {pattern!r}; log:\n{self.log()}")
+
+    def ports(self):
+        m = self.wait_for(r"ready ingest_port=(\d+) http_port=(\d+)")
+        ingest, http = int(m.group(1)), int(m.group(2))
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:  # readiness, not just liveness
+            try:
+                if "ready" in http_get(http, "/readyz"):
+                    return ingest, http
+            except OSError:
+                pass
+            time.sleep(0.05)
+        check(False, "daemon never became ready")
+
+    def terminate(self):
+        self.proc.send_signal(signal.SIGTERM)
+        rc = self.proc.wait(timeout=60)
+        self.log_file.close()
+        return rc
+
+    def kill9(self):
+        self.proc.kill()
+        self.proc.wait(timeout=60)
+        self.log_file.close()
+
+
+def deduped_verdicts(path):
+    """window_index -> full verdict line, last entry wins (resumed runs
+    re-emit windows they recompute; the latest line is authoritative)."""
+    out = {}
+    for line in path.read_text().splitlines():
+        m = re.search(r'"window_index":(\d+)', line)
+        check(m is not None, f"unparseable verdict line in {path}: {line!r}")
+        out[int(m.group(1))] = line
+    return out
+
+
+def send(monitor, trace, ingest_port, tenant):
+    r = run([monitor, "--send", trace, "--endpoint",
+             f"tcp:127.0.0.1:{ingest_port}", "--tenant", tenant])
+    check(r.returncode == 0, f"--send failed: {r.stdout}{r.stderr}")
+    m = re.search(r"sent (\d+) rows in (\d+) frames", r.stdout)
+    check(m is not None, f"missing send report: {r.stdout}")
+    return int(m.group(1))
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--campus-monitord", required=True, type=Path)
+    parser.add_argument("--campus-monitor", required=True, type=Path)
+    parser.add_argument("--trace-tool", required=True, type=Path)
+    parser.add_argument("--check-prometheus", required=True, type=Path)
+    args = parser.parse_args()
+
+    tmp = Path(tempfile.mkdtemp(prefix="tp_daemon_cli_"))
+    trace = tmp / "trace.csv"
+    gen = run([args.trace_tool, "generate", trace, "2"])
+    check(gen.returncode == 0, f"trace_tool generate failed: {gen.stderr}")
+
+    # --check: validation without starting anything.
+    good_cfg = tmp / "good.conf"
+    write_config(good_cfg, tmp / "check_state", ["campus"])
+    r = run([args.campus_monitord, "--config", good_cfg, "--check"])
+    check(r.returncode == 0 and "tenant campus" in r.stdout,
+          f"--check rejected a valid config: {r.stdout}{r.stderr}")
+    bad_cfg = tmp / "bad.conf"
+    bad_cfg.write_text(good_cfg.read_text().replace("idle_timeout", "idle_timeuot"))
+    r = run([args.campus_monitord, "--config", bad_cfg, "--check"])
+    check(r.returncode != 0 and "error:" in r.stderr,
+          "--check accepted a config with a typo'd key")
+
+    # Crash recovery: send, kill -9, restart on the same state dir, resend.
+    state_a = tmp / "state_a"
+    state_a.mkdir()
+    cfg_a = tmp / "a.conf"
+    write_config(cfg_a, state_a, ["campus"])
+    d1 = DaemonHandle(args.campus_monitord, cfg_a, tmp / "d1.log")
+    ingest, _ = d1.ports()
+    total_rows = send(args.campus_monitor, trace, ingest, "campus")
+    check(total_rows > 5000, f"trace too small to cross a checkpoint: {total_rows}")
+    d1.kill9()
+
+    d2 = DaemonHandle(args.campus_monitord, cfg_a, tmp / "d2.log")
+    ingest, http = d2.ports()
+    resent = send(args.campus_monitor, trace, ingest, "campus")
+    check(0 < resent < total_rows,
+          f"resend did not fast-forward past the restored checkpoint: "
+          f"resent {resent} of {total_rows}")
+
+    # /metrics from the live daemon must satisfy the exposition checker.
+    metrics = tmp / "metrics.prom"
+    metrics.write_text(http_get(http, "/metrics"))
+    r = run([sys.executable, args.check_prometheus, metrics,
+             "--require", "tradeplot_svc_frames_total",
+             "--require", "tradeplot_svc_rows_ingested_total",
+             "--require", "tradeplot_svc_tenant_ready",
+             "--require", "tradeplot_svc_queue_depth_rows",
+             "--require", "tradeplot_svc_uptime_seconds_total"])
+    check(r.returncode == 0, f"check_prometheus failed: {r.stdout}{r.stderr}")
+
+    # SIGHUP reload: a tenant added to the file appears without a restart.
+    write_config(cfg_a, state_a, ["campus", "annex"])
+    os.kill(d2.proc.pid, signal.SIGHUP)
+    d2.wait_for(r"1 added")
+    tenants = http_get(http, "/tenants")
+    check('"annex"' in tenants, f"/tenants missing reloaded tenant: {tenants}")
+
+    rc = d2.terminate()
+    check(rc == 0, f"SIGTERM exit code {rc}, want 0")
+    check("shutdown complete" in d2.log(), "graceful shutdown banner missing")
+
+    # Reference: one uninterrupted daemon on a fresh state dir.
+    state_b = tmp / "state_b"
+    state_b.mkdir()
+    cfg_b = tmp / "b.conf"
+    write_config(cfg_b, state_b, ["campus"])
+    ref = DaemonHandle(args.campus_monitord, cfg_b, tmp / "ref.log")
+    ingest, _ = ref.ports()
+    check(send(args.campus_monitor, trace, ingest, "campus") == total_rows,
+          "reference daemon accepted a different row count")
+    check(ref.terminate() == 0, "reference daemon SIGTERM exit nonzero")
+
+    got = deduped_verdicts(state_a / "campus.verdicts.jsonl")
+    want = deduped_verdicts(state_b / "campus.verdicts.jsonl")
+    check(sorted(got) == sorted(want),
+          f"window sets differ: {sorted(got)} vs {sorted(want)}")
+    for idx, line in want.items():
+        check(got[idx] == line, f"window {idx} differs after crash recovery")
+    print(f"PASS: {len(want)} windows bit-identical across kill -9 + restart; "
+          "reload, metrics, and graceful shutdown verified")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Kill-and-compare regression for campus_monitor --stream graceful SIGINT.
+
+The production ingestion contract: an operator interrupting a live stream
+must lose nothing —
+
+  1. a trace is fed through a FIFO (so the monitor is genuinely mid-stream,
+     blocked on a refill, when the signal lands);
+  2. SIGINT makes the monitor print the interrupted marker, write a final
+     checkpoint describing the still-open window, flush the partial window,
+     and exit 0;
+  3. a second run resumes from that checkpoint over the full trace file;
+  4. the per-window verdict blocks of run 1 and run 2, merged with
+     last-entry-wins on the window index (the resumed run supersedes the
+     partial window), are bit-identical to one uninterrupted run.
+
+Run by ctest as CliSigintTest; binary paths arrive as flags.
+"""
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+
+def check(condition, message):
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def run(cmd, **kwargs):
+    print("+", " ".join(str(c) for c in cmd), flush=True)
+    return subprocess.run(
+        [str(c) for c in cmd], capture_output=True, text=True, timeout=240, **kwargs
+    )
+
+
+def window_blocks(text):
+    """Maps window index -> the full verdict block ('=== window i ...' plus
+    its host lines), exactly as printed."""
+    blocks, cur_idx, cur = {}, None, []
+    for line in text.splitlines(keepends=True):
+        m = re.match(r"=== window (\d+) ", line)
+        if m:
+            if cur_idx is not None:
+                blocks[cur_idx] = "".join(cur)
+            cur_idx, cur = int(m.group(1)), [line]
+        elif cur_idx is not None and (line.startswith("  ") or line.strip() == ""):
+            cur.append(line)
+        elif cur_idx is not None:
+            blocks[cur_idx] = "".join(cur)
+            cur_idx, cur = None, []
+    if cur_idx is not None:
+        blocks[cur_idx] = "".join(cur)
+    return blocks
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--campus-monitor", required=True, type=Path)
+    parser.add_argument("--trace-tool", required=True, type=Path)
+    args = parser.parse_args()
+
+    tmp = Path(tempfile.mkdtemp(prefix="tp_sigint_"))
+    trace = tmp / "trace.csv"
+    fifo = tmp / "feed.csv"
+    checkpoint = tmp / "monitor.ckpt"
+
+    gen = run([args.trace_tool, "generate", trace, "3"])
+    check(gen.returncode == 0, f"trace_tool generate failed: {gen.stderr}")
+    lines = trace.read_bytes().splitlines(keepends=True)
+    check(len(lines) > 20000, f"trace too small to interrupt meaningfully: {len(lines)}")
+
+    # Run 1: stream from a FIFO, interrupt once ~60% of the lines are in and
+    # the monitor is blocked waiting for more.
+    os.mkfifo(fifo)
+    with subprocess.Popen(
+        [str(args.campus_monitor), "--stream", str(fifo), "3600",
+         "--checkpoint", str(checkpoint)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    ) as monitor:
+        feed_until = int(len(lines) * 0.6)
+        with open(fifo, "wb") as feed:  # opening unblocks the monitor's open()
+            feed.write(b"".join(lines[:feed_until]))
+            feed.flush()
+            time.sleep(1.0)  # let the monitor drain the FIFO and block on refill
+            monitor.send_signal(signal.SIGINT)
+            try:
+                run1_out, _ = monitor.communicate(timeout=60)
+            except subprocess.TimeoutExpired:
+                monitor.kill()
+                check(False, "monitor did not exit after SIGINT")
+        check(monitor.returncode == 0, f"SIGINT exit code {monitor.returncode}, want 0")
+
+    check("=== interrupted: final checkpoint" in run1_out,
+          "interrupted marker missing from run 1 output")
+    check(checkpoint.stat().st_size > 0, "final checkpoint not written")
+    run1 = window_blocks(run1_out)
+    check(len(run1) >= 2, f"run 1 produced too few windows: {sorted(run1)}")
+
+    # Run 2: resume over the full trace file.
+    resumed = run([args.campus_monitor, "--stream", trace, "3600",
+                   "--resume", checkpoint])
+    check(resumed.returncode == 0, f"resume run failed: {resumed.stdout}{resumed.stderr}")
+    check("resumed from" in resumed.stdout, "resume banner missing")
+    run2 = window_blocks(resumed.stdout)
+
+    # Reference: one uninterrupted run.
+    ref = run([args.campus_monitor, "--stream", trace, "3600"])
+    check(ref.returncode == 0, "reference run failed")
+    expected = window_blocks(ref.stdout)
+
+    merged = dict(run1)
+    merged.update(run2)  # last wins: run 2 supersedes run 1's partial window
+    check(sorted(merged) == sorted(expected),
+          f"window sets differ: merged {sorted(merged)} vs reference {sorted(expected)}")
+    for idx, block in expected.items():
+        check(merged[idx] == block,
+              f"window {idx} differs between merged interrupted runs and reference")
+    print(f"PASS: {len(expected)} windows bit-identical across SIGINT + resume")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,296 @@
+// Fault-injection tests for EINTR/short-read hardening (util/stream_retry.h)
+// and its integration into the netflow readers/writers: a signal landing
+// mid-buffer must never truncate a trace or misreport EOF.
+//
+// The injecting streambufs follow the glibc filebuf contract exactly: a
+// failed operation returns eof from underflow / 0 from xsputn with errno
+// carrying the cause — which is why eofbit alone cannot distinguish EOF from
+// EINTR and the helpers discriminate on errno.
+#include <gtest/gtest.h>
+#include <pthread.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <thread>
+#include <istream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "netflow/io.h"
+#include "netflow/trace_reader.h"
+#include "netflow/trace_set.h"
+#include "util/fd_stream.h"
+#include "util/interrupt.h"
+#include "util/stream_retry.h"
+
+namespace tradeplot {
+namespace {
+
+/// Serves `data` one byte per underflow; before serving byte i with
+/// i in `interrupt_at`, fails exactly once with errno = EINTR (or a chosen
+/// hard errno). True end of data returns eof with errno untouched.
+class InterruptingSource : public std::streambuf {
+ public:
+  InterruptingSource(std::string data, std::set<std::size_t> interrupt_at,
+                     int injected_errno = EINTR)
+      : data_(std::move(data)), interrupt_at_(std::move(interrupt_at)),
+        errno_(injected_errno) {}
+
+  [[nodiscard]] int interruptions() const { return interruptions_; }
+
+ protected:
+  int_type underflow() override {
+    if (pos_ >= data_.size()) return traits_type::eof();
+    if (interrupt_at_.count(pos_) != 0) {
+      interrupt_at_.erase(pos_);
+      ++interruptions_;
+      errno = errno_;
+      return traits_type::eof();
+    }
+    ch_ = data_[pos_++];
+    setg(&ch_, &ch_, &ch_ + 1);
+    return traits_type::to_int_type(ch_);
+  }
+
+ private:
+  std::string data_;
+  std::set<std::size_t> interrupt_at_;
+  int errno_;
+  int interruptions_ = 0;
+  std::size_t pos_ = 0;
+  char ch_ = 0;
+};
+
+/// All-or-nothing sink: an interrupted xsputn consumes nothing (errno =
+/// EINTR, returns 0) — the contract write_retry's non-seekable reissue path
+/// assumes. Fails call 1 and every fail_every-th call after it, so even a
+/// single buffered flush hits at least one interruption.
+class InterruptingSink : public std::streambuf {
+ public:
+  explicit InterruptingSink(int fail_every) : fail_every_(fail_every) {}
+
+  [[nodiscard]] const std::string& data() const { return data_; }
+  [[nodiscard]] int interruptions() const { return interruptions_; }
+
+ protected:
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    if (fail_every_ > 0 && ++calls_ % fail_every_ == 1) {
+      ++interruptions_;
+      errno = EINTR;
+      return 0;
+    }
+    data_.append(s, static_cast<std::size_t>(n));
+    return n;
+  }
+
+  int_type overflow(int_type ch) override {
+    if (traits_type::eq_int_type(ch, traits_type::eof())) return traits_type::not_eof(ch);
+    const char c = traits_type::to_char_type(ch);
+    return xsputn(&c, 1) == 1 ? ch : traits_type::eof();
+  }
+
+ private:
+  std::string data_;
+  int fail_every_;
+  int calls_ = 0;
+  int interruptions_ = 0;
+};
+
+TEST(StreamRetry, ReadAccumulatesAcrossInterruptions) {
+  InterruptingSource buf("abcdefgh", {0, 3, 5});
+  std::istream in(&buf);
+  char out[8] = {};
+  EXPECT_EQ(util::read_retry(in, out, 8), 8u);
+  EXPECT_EQ(std::string(out, 8), "abcdefgh");
+  EXPECT_EQ(buf.interruptions(), 3);
+  EXPECT_FALSE(in.eof());  // the request was satisfied, not the stream drained
+}
+
+TEST(StreamRetry, TrueEofReturnsShortWithEofbit) {
+  InterruptingSource buf("abc", {1});
+  std::istream in(&buf);
+  char out[16] = {};
+  EXPECT_EQ(util::read_retry(in, out, 16), 3u);
+  EXPECT_EQ(std::string(out, 3), "abc");
+  EXPECT_TRUE(in.eof());
+}
+
+TEST(StreamRetry, HardErrorIsNotRetried) {
+  InterruptingSource buf("abcdef", {2}, EIO);
+  std::istream in(&buf);
+  char out[6] = {};
+  EXPECT_EQ(util::read_retry(in, out, 6), 2u);
+  EXPECT_EQ(buf.interruptions(), 1);  // one failure, no retry
+  EXPECT_TRUE(in.fail());             // left failed for the caller to see
+}
+
+TEST(StreamRetry, ShutdownRequestTurnsInterruptIntoCleanShortRead) {
+  util::request_shutdown();
+  InterruptingSource buf("abcdef", {3});
+  std::istream in(&buf);
+  char out[6] = {};
+  EXPECT_EQ(util::read_retry(in, out, 6), 3u);
+  EXPECT_FALSE(in.fail());  // cleared: graceful-stop paths see end-of-input
+  util::clear_shutdown();
+}
+
+TEST(StreamRetry, WriteReissuesInterruptedChunks) {
+  InterruptingSink buf(/*fail_every=*/3);
+  std::ostream out(&buf);
+  const std::string chunk(1000, 'x');
+  for (int i = 0; i < 9; ++i) {
+    out.clear();
+    ASSERT_TRUE(util::write_retry(out, chunk.data(), chunk.size()));
+  }
+  EXPECT_EQ(buf.data().size(), 9u * 1000u);
+  EXPECT_GT(buf.interruptions(), 0);
+}
+
+netflow::TraceSet sample_trace(std::size_t flows) {
+  netflow::TraceSet trace;
+  trace.set_window(0.0, 3600.0);
+  for (std::size_t i = 0; i < flows; ++i) {
+    netflow::FlowRecord r;
+    r.src = simnet::Ipv4(0x80020000u + static_cast<std::uint32_t>(i % 200));
+    r.dst = simnet::Ipv4(0x0a000001u + static_cast<std::uint32_t>(i % 500));
+    r.sport = static_cast<std::uint16_t>(1024 + i % 4000);
+    r.dport = static_cast<std::uint16_t>(i % 2 ? 80 : 6881);
+    r.proto = netflow::Protocol::kTcp;
+    r.start_time = 0.1 * static_cast<double>(i);
+    r.end_time = r.start_time + 0.5;
+    r.pkts_src = 3 + i % 7;
+    r.pkts_dst = 2 + i % 5;
+    r.bytes_src = 100 + i % 1000;
+    r.bytes_dst = 80 + i % 800;
+    r.state = netflow::FlowState::kEstablished;
+    trace.add_flow(r);
+  }
+  return trace;
+}
+
+TEST(StreamRetry, TraceReaderSurvivesInterruptsMidBuffer) {
+  // The satellite scenario: signals interrupting refills mid-record must not
+  // lose or duplicate flows, in either binary format.
+  const netflow::TraceSet trace = sample_trace(500);
+  for (const bool columnar : {false, true}) {
+    std::ostringstream encoded;
+    if (columnar) netflow::write_binary_columnar(encoded, trace);
+    else netflow::write_binary(encoded, trace);
+    const std::string image = encoded.str();
+
+    // Interrupt every 97th byte: dozens of interruptions, many of them
+    // inside a record/column block rather than at a boundary.
+    std::set<std::size_t> points;
+    for (std::size_t i = 0; i < image.size(); i += 97) points.insert(i);
+    InterruptingSource buf(image, points);
+    std::istream in(&buf);
+    netflow::TraceReader reader(in);
+    const netflow::TraceSet back = reader.read_all();
+
+    ASSERT_EQ(back.flows().size(), trace.flows().size());
+    EXPECT_GT(buf.interruptions(), 10);
+    EXPECT_EQ(reader.ingest_stats().records_quarantined, 0u);
+    for (std::size_t i = 0; i < trace.flows().size(); ++i) {
+      EXPECT_EQ(back.flows()[i].src, trace.flows()[i].src);
+      EXPECT_EQ(back.flows()[i].start_time, trace.flows()[i].start_time);
+      EXPECT_EQ(back.flows()[i].bytes_src, trace.flows()[i].bytes_src);
+    }
+  }
+}
+
+TEST(StreamRetry, BinaryWriterSurvivesInterruptedSink) {
+  const netflow::TraceSet trace = sample_trace(300);
+  std::ostringstream clean;
+  netflow::write_binary_columnar(clean, trace);
+
+  InterruptingSink buf(/*fail_every=*/2);  // every other flush interrupted
+  std::ostream out(&buf);
+  netflow::write_binary_columnar(out, trace);
+  EXPECT_EQ(buf.data(), clean.str());
+  EXPECT_GT(buf.interruptions(), 0);
+}
+
+TEST(StreamRetry, FdStreamReadsFilesAndReportsOpenFailure) {
+  char tmpl[] = "/tmp/tp_fdstream_XXXXXX";
+  const int fd = ::mkstemp(tmpl);
+  ASSERT_GE(fd, 0);
+  const std::string payload = "line one\nline two\n";
+  ASSERT_EQ(::write(fd, payload.data(), payload.size()),
+            static_cast<ssize_t>(payload.size()));
+  ::close(fd);
+
+  util::FdInputStream in(tmpl);
+  ASSERT_TRUE(in.good());
+  char buf[64];
+  EXPECT_EQ(util::read_retry(in, buf, sizeof(buf)), payload.size());
+  EXPECT_EQ(std::string(buf, payload.size()), payload);
+  ::unlink(tmpl);
+
+  util::FdInputStream missing("/tmp/tp_fdstream_no_such_file");
+  EXPECT_TRUE(missing.fail());
+}
+
+TEST(StreamRetry, FdStreambufUnblocksOnCooperativeShutdown) {
+  // The production deadlock this guards against: a monitor blocked in
+  // read(2) on a FIFO must wake when a shutdown signal arrives. glibc's
+  // filebuf retries EINTR internally (so std::ifstream can never be
+  // interrupted); FdInputStreambuf surfaces it and consults the shutdown
+  // flag — and, crucially, refuses to START another blocking read once the
+  // flag is up, because the signal's one EINTR has already been spent.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+
+  // A no-op SIGUSR1 handler without SA_RESTART stands in for SIGINT (whose
+  // real handler is process-global); it makes the blocked read return EINTR.
+  struct sigaction sa {};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  struct sigaction old {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+  util::clear_shutdown();
+
+  util::FdInputStreambuf buf(fds[0]);  // owns the read end
+  std::istream in(&buf);
+  ASSERT_EQ(::write(fds[1], "abc", 3), 3);
+
+  std::atomic<bool> done{false};
+  std::size_t got = 0;
+  char out[64] = {};
+  std::thread reader([&] {
+    got = util::read_retry(in, out, sizeof(out));  // blocks: pipe stays open
+    done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  util::request_shutdown();
+  // Keep signalling until the reader observes the stop: a single signal
+  // could land in the gap before the reader blocks.
+  while (!done.load()) {
+    ::pthread_kill(reader.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  reader.join();
+  util::clear_shutdown();
+  ASSERT_EQ(::sigaction(SIGUSR1, &old, nullptr), 0);
+
+  EXPECT_EQ(got, 3u);  // the bytes written before the stop, nothing lost
+  EXPECT_EQ(std::string(out, got), "abc");
+
+  // With the flag already up, further reads end immediately instead of
+  // blocking on the still-open pipe.
+  util::request_shutdown();
+  in.clear();
+  char again[8];
+  EXPECT_EQ(util::read_retry(in, again, sizeof(again)), 0u);
+  util::clear_shutdown();
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace tradeplot

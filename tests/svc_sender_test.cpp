@@ -1,0 +1,194 @@
+// Tests for FrameSender (src/svc/sender.h): the exact exponential backoff
+// schedule on a SimulatedClock, the give-up error, and cursor fast-forward
+// against a scripted in-test server.
+#include "svc/sender.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "netflow/io.h"
+#include "netflow/trace_reader.h"
+#include "netflow/trace_set.h"
+#include "svc/frame.h"
+#include "svc/net.h"
+#include "util/clock.h"
+#include "util/error.h"
+
+namespace tradeplot::svc {
+namespace {
+
+std::string make_temp_dir() {
+  char tmpl[] = "/tmp/tp_sender_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir;
+}
+
+std::string write_sample_trace(const std::string& dir, std::size_t flows) {
+  netflow::TraceSet trace;
+  trace.set_window(0.0, 600.0);
+  for (std::size_t i = 0; i < flows; ++i) {
+    netflow::FlowRecord r;
+    r.src = simnet::Ipv4(0x80020001u);
+    r.dst = simnet::Ipv4(0x0a000001u + static_cast<std::uint32_t>(i));
+    r.sport = 40000;
+    r.dport = 6881;
+    r.proto = netflow::Protocol::kTcp;
+    r.start_time = static_cast<double>(i);
+    r.end_time = r.start_time + 0.5;
+    r.pkts_src = 4;
+    r.pkts_dst = 3;
+    r.bytes_src = 400;
+    r.bytes_dst = 300;
+    r.state = netflow::FlowState::kEstablished;
+    trace.add_flow(r);
+  }
+  const std::string path = dir + "/trace.bin";
+  std::ofstream out(path, std::ios::binary);
+  netflow::write_binary(out, trace);
+  return path;
+}
+
+TEST(Sender, BackoffScheduleIsExactAndGivesUp) {
+  util::SimulatedClock clock;  // auto-advance: sleeps consume no real time
+  SenderOptions opts;
+  opts.endpoint = "unix:/tmp/tp_sender_no_such_socket";  // connect fails instantly
+  opts.tenant = "t";
+  opts.max_attempts = 4;
+  opts.backoff_initial = 0.05;
+  opts.backoff_max = 2.0;
+  FrameSender sender(opts, clock);
+  EXPECT_THROW(sender.stream("/tmp/tp_sender_no_such_trace"), util::IoError);
+  // Sleeps land before retries 2..4: 0.05 + 0.10 + 0.20. No other time source
+  // advances a SimulatedClock, so the total backoff reads straight off now().
+  EXPECT_DOUBLE_EQ(clock.now(), 0.35);
+}
+
+TEST(Sender, BackoffIsCappedAtMax) {
+  util::SimulatedClock clock;
+  SenderOptions opts;
+  opts.endpoint = "unix:/tmp/tp_sender_no_such_socket";
+  opts.tenant = "t";
+  opts.max_attempts = 6;
+  opts.backoff_initial = 0.5;
+  opts.backoff_max = 1.0;
+  FrameSender sender(opts, clock);
+  EXPECT_THROW(sender.stream("/tmp/tp_sender_no_such_trace"), util::IoError);
+  EXPECT_DOUBLE_EQ(clock.now(), 0.5 + 1.0 + 1.0 + 1.0 + 1.0);
+}
+
+/// Scripted daemon stand-in: accepts one connection, acks Hello with a fixed
+/// cursor, decodes every kFlows payload, acks Flush with canned accounting.
+class ScriptedServer {
+ public:
+  explicit ScriptedServer(const std::string& spec, std::uint64_t cursor)
+      : cursor_(cursor) {
+    listener_ = listen_on(Endpoint::parse(spec));
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~ScriptedServer() { thread_.join(); }
+
+  [[nodiscard]] std::uint64_t rows_received() const { return rows_received_; }
+
+ private:
+  void run() {
+    Fd conn = accept_conn(listener_.get());
+    ASSERT_TRUE(conn.valid());
+    FrameParser parser;
+    Frame frame;
+    char buf[64 * 1024];
+    for (;;) {
+      while (!parser.next(frame)) {
+        if (!wait_readable(conn.get(), 1000)) return;
+        const std::size_t got = recv_some(conn.get(), buf, sizeof(buf));
+        if (got == 0) return;
+        parser.append(buf, got);
+      }
+      switch (frame.type) {
+        case FrameType::kHello: {
+          std::vector<char> payload;
+          append_u64(payload, cursor_);
+          const auto wire = encode_frame(FrameType::kHelloAck,
+                                         {payload.data(), payload.size()});
+          ASSERT_TRUE(send_all(conn.get(), wire.data(), wire.size()));
+          break;
+        }
+        case FrameType::kFlows: {
+          MemoryStream stream(frame.payload.data(), frame.payload.size());
+          netflow::TraceReader reader(stream);
+          rows_received_ += reader.read_all().flows().size();
+          break;
+        }
+        case FrameType::kFlush: {
+          std::vector<char> payload;
+          append_u64(payload, cursor_ + rows_received_);  // accepted
+          append_u64(payload, cursor_ + rows_received_);  // ingested
+          append_u64(payload, 0);                         // shed
+          append_u64(payload, 0);                         // quarantined
+          const auto wire = encode_frame(FrameType::kFlushAck,
+                                         {payload.data(), payload.size()});
+          ASSERT_TRUE(send_all(conn.get(), wire.data(), wire.size()));
+          break;
+        }
+        case FrameType::kBye:
+          return;
+        default:
+          FAIL() << "unexpected frame type " << static_cast<int>(frame.type);
+      }
+    }
+  }
+
+  Fd listener_;
+  std::uint64_t cursor_;
+  std::uint64_t rows_received_ = 0;
+  std::thread thread_;
+};
+
+TEST(Sender, FastForwardsToTheAckedCursor) {
+  const std::string dir = make_temp_dir();
+  const std::string trace = write_sample_trace(dir, 10);
+  const std::string spec = "unix:" + dir + "/ingest.sock";
+
+  // The server claims 7 rows are already in its books: the sender must send
+  // exactly the remaining 3, never the first 7 again.
+  ScriptedServer server(spec, /*cursor=*/7);
+  SenderOptions opts;
+  opts.endpoint = spec;
+  opts.tenant = "t";
+  opts.rows_per_frame = 2;
+  FrameSender sender(opts);
+  const SendReport report = sender.stream(trace);
+
+  EXPECT_EQ(report.rows_sent, 3u);
+  EXPECT_EQ(report.frames_sent, 2u);  // 2 + 1 rows
+  EXPECT_EQ(report.reconnects, 0u);
+  EXPECT_EQ(report.accepted, 10u);
+  EXPECT_EQ(report.ingested, 10u);
+  EXPECT_EQ(report.shed, 0u);
+  EXPECT_EQ(server.rows_received(), 3u);
+}
+
+TEST(Sender, CursorPastEndSendsNothingButStillFlushes) {
+  const std::string dir = make_temp_dir();
+  const std::string trace = write_sample_trace(dir, 5);
+  const std::string spec = "unix:" + dir + "/ingest.sock";
+
+  ScriptedServer server(spec, /*cursor=*/5);
+  SenderOptions opts;
+  opts.endpoint = spec;
+  opts.tenant = "t";
+  FrameSender sender(opts);
+  const SendReport report = sender.stream(trace);
+  EXPECT_EQ(report.rows_sent, 0u);
+  EXPECT_EQ(report.frames_sent, 0u);
+  EXPECT_EQ(report.accepted, 5u);
+  EXPECT_EQ(server.rows_received(), 0u);
+}
+
+}  // namespace
+}  // namespace tradeplot::svc

@@ -1,0 +1,98 @@
+// Tests for util/clock.h: the injectable time source the service layer's
+// timeout, backoff, and checkpoint-interval logic runs on.
+#include "util/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace tradeplot::util {
+namespace {
+
+TEST(Clock, SystemClockIsMonotonic) {
+  Clock& clock = Clock::system();
+  const double a = clock.now();
+  const double b = clock.now();
+  EXPECT_GE(b, a);
+  clock.sleep_for(0.01);
+  EXPECT_GE(clock.now(), a + 0.009);
+}
+
+TEST(Clock, SystemSingletonIsStable) {
+  EXPECT_EQ(&Clock::system(), &Clock::system());
+}
+
+TEST(SimulatedClock, StartsWhereTold) {
+  SimulatedClock clock(100.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 100.0);
+}
+
+TEST(SimulatedClock, AutoAdvanceSleepMovesTimeWithoutWaiting) {
+  SimulatedClock clock;
+  clock.sleep_for(5.0);
+  clock.sleep_for(2.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 7.5);
+  clock.sleep_for(-1.0);  // non-positive sleeps are no-ops
+  clock.sleep_for(0.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 7.5);
+}
+
+TEST(SimulatedClock, ExponentialBackoffScheduleIsExact) {
+  // The property FrameSender's retry loop relies on: a test reads the total
+  // backoff straight off the clock.
+  SimulatedClock clock;
+  double backoff = 0.05;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    clock.sleep_for(backoff);
+    backoff = std::min(backoff * 2.0, 2.0);
+  }
+  EXPECT_DOUBLE_EQ(clock.now(), 0.05 + 0.10 + 0.20 + 0.40);
+}
+
+TEST(SimulatedClock, AdvanceNeverMovesBackward) {
+  SimulatedClock clock(10.0);
+  clock.advance(-5.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 10.0);
+  clock.advance(1.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 11.0);
+}
+
+TEST(SimulatedClock, ManualModeSleeperWakesOnAdvance) {
+  SimulatedClock clock(0.0, /*auto_advance=*/false);
+  std::atomic<bool> woke{false};
+  std::thread sleeper([&] {
+    clock.sleep_for(10.0);
+    woke.store(true);
+  });
+  while (clock.sleepers() == 0) std::this_thread::yield();
+  EXPECT_FALSE(woke.load());
+  clock.advance(9.0);  // not enough: deadline is t=10
+  EXPECT_FALSE(woke.load());
+  clock.advance(1.5);  // past the deadline
+  sleeper.join();
+  EXPECT_TRUE(woke.load());
+  EXPECT_DOUBLE_EQ(clock.now(), 10.5);
+}
+
+TEST(SimulatedClock, WakeAllReleasesSleepersEarly) {
+  SimulatedClock clock(0.0, /*auto_advance=*/false);
+  std::atomic<int> woke{0};
+  std::thread a([&] {
+    clock.sleep_for(100.0);
+    woke.fetch_add(1);
+  });
+  std::thread b([&] {
+    clock.sleep_for(200.0);
+    woke.fetch_add(1);
+  });
+  while (clock.sleepers() < 2) std::this_thread::yield();
+  clock.wake_all();
+  a.join();
+  b.join();
+  EXPECT_EQ(woke.load(), 2);
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);  // wake_all is not an advance
+}
+
+}  // namespace
+}  // namespace tradeplot::util

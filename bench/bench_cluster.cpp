@@ -8,18 +8,21 @@
 // — the pruned path's contract is exactness, so any drift is a failure, not
 // a tolerance.
 //
-//   bench_cluster [--quick] [--json <path>]
+//   bench_cluster [--quick] [--json <path>] [--hosts <n>[,<n>...]]
 //
 // --quick shrinks the population for CI smoke runs; --json writes the
-// machine-readable report to <path>. TRADEPLOT_THREADS is parsed strictly: a
-// malformed value aborts with the pinned config error on stderr and exit
-// code 2.
+// machine-readable report to <path>; --hosts overrides the size ladder (for
+// profiling one configuration in isolation). TRADEPLOT_THREADS is parsed
+// strictly: a malformed value aborts with the pinned config error on stderr
+// and exit code 2.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <string>
 #include <thread>
@@ -118,12 +121,23 @@ struct SizeReport {
   std::size_t families = 0;
   std::size_t humans = 0;
   std::uint64_t pairs = 0;
+  /// False when the dense baseline was skipped (its two n×n matrices exceed
+  /// memory at 100k hosts); the verdict oracle is then a second pruned run
+  /// under different bound knobs and the exhaustive/speedup fields are null
+  /// in the JSON.
+  bool exhaustive_run = true;
   double exhaustive_ms = 0.0;
   double pruned_ms = 0.0;
   std::uint64_t exhaustive_evals = 0;
   std::uint64_t pruned_evals = 0;
   double eval_reduction = 0.0;
   double speedup = 0.0;
+  std::uint64_t scan_cache_hits = 0;
+  std::uint64_t bloom_skips = 0;
+  double pivot_build_ms = 0.0;
+  double bound_scan_ms = 0.0;
+  double exact_eval_ms = 0.0;
+  double replay_ms = 0.0;
   bool verdicts_identical = false;
 };
 
@@ -151,16 +165,44 @@ void write_json(const std::string& path, bool quick,
     w.kv("families", static_cast<std::uint64_t>(r.families));
     w.kv("humans", static_cast<std::uint64_t>(r.humans));
     w.kv("pairs", r.pairs);
+    w.kv("oracle", r.exhaustive_run ? "exhaustive" : "pruned_alt_bounds");
     w.key("exhaustive_ms");
-    w.number(r.exhaustive_ms, "%.3f");
+    if (r.exhaustive_run) {
+      w.number(r.exhaustive_ms, "%.3f");
+    } else {
+      w.null();
+    }
     w.key("pruned_ms");
     w.number(r.pruned_ms, "%.3f");
-    w.kv("exhaustive_exact_evals", r.exhaustive_evals);
+    w.key("exhaustive_exact_evals");
+    if (r.exhaustive_run) {
+      w.value(r.exhaustive_evals);
+    } else {
+      w.null();
+    }
     w.kv("pruned_exact_evals", r.pruned_evals);
     w.key("eval_reduction");
-    w.number(r.eval_reduction, "%.2f");
+    if (r.exhaustive_run) {
+      w.number(r.eval_reduction, "%.2f");
+    } else {
+      w.null();
+    }
     w.key("speedup");
-    w.number(r.speedup, "%.3f");
+    if (r.exhaustive_run) {
+      w.number(r.speedup, "%.3f");
+    } else {
+      w.null();
+    }
+    w.kv("scan_cache_hits", r.scan_cache_hits);
+    w.kv("bloom_skips", r.bloom_skips);
+    w.key("pivot_build_ms");
+    w.number(r.pivot_build_ms, "%.3f");
+    w.key("bound_scan_ms");
+    w.number(r.bound_scan_ms, "%.3f");
+    w.key("exact_eval_ms");
+    w.number(r.exact_eval_ms, "%.3f");
+    w.key("replay_ms");
+    w.number(r.replay_ms, "%.3f");
     w.kv("verdicts_identical", r.verdicts_identical);
     w.end_object();
   }
@@ -176,14 +218,31 @@ void write_json(const std::string& path, bool quick,
 int main(int argc, char** argv) {
   bool quick = false;
   std::string json_path;
+  std::vector<std::size_t> size_override;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--hosts" && i + 1 < argc) {
+      const std::string list = argv[++i];
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = std::min(list.find(',', start), list.size());
+        const std::string tok = list.substr(start, comma - start);
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+        if (tok.empty() || end == nullptr || *end != '\0' || v < 16) {
+          std::fprintf(stderr, "bench_cluster: bad --hosts value '%s'\n", tok.c_str());
+          return 2;
+        }
+        size_override.push_back(static_cast<std::size_t>(v));
+        start = comma + 1;
+      }
     } else {
-      std::fprintf(stderr, "usage: bench_cluster [--quick] [--json <path>]\n");
+      std::fprintf(stderr,
+                   "usage: bench_cluster [--quick] [--json <path>] [--hosts <n>[,<n>...]]\n");
       return 2;
     }
   }
@@ -204,7 +263,16 @@ int main(int argc, char** argv) {
               env_threads ? std::to_string(*env_threads).c_str() : "(unset)");
 
   const std::vector<std::size_t> sizes =
-      quick ? std::vector<std::size_t>{256} : std::vector<std::size_t>{512, 1024, 4096};
+      !size_override.empty() ? size_override
+      : quick                ? std::vector<std::size_t>{256}
+                             : std::vector<std::size_t>{512, 1024, 4096, 16384, 32768, 100000};
+  // The dense baseline materializes two n×n double matrices (the distance
+  // matrix plus the clustering driver's working copy) — ~160 GB at 100k
+  // hosts. Past this cap the pruned path is verified against a second pruned
+  // run under different bound knobs instead: different pivots and grid mean
+  // different elimination decisions everywhere, so agreement is an
+  // end-to-end check of the exactness argument, not a self-comparison.
+  constexpr std::size_t kMaxExhaustiveHosts = 32768;
 
   std::vector<SizeReport> reports;
   bool deterministic = true;
@@ -218,41 +286,99 @@ int main(int argc, char** argv) {
     detect::HumanMachineConfig pruned = exhaustive;
     pruned.pruning = detect::HmPruning::kPruned;
 
-    const auto t0 = std::chrono::steady_clock::now();
-    const detect::HumanMachineResult want =
-        detect::human_machine_test(pop.features, pop.input, exhaustive);
-    const auto t1 = std::chrono::steady_clock::now();
-    const detect::HumanMachineResult got =
-        detect::human_machine_test(pop.features, pop.input, pruned);
-    const auto t2 = std::chrono::steady_clock::now();
-
     SizeReport r;
     r.hosts = hosts;
     r.families = pop.families;
     r.humans = pop.humans;
-    r.pairs = got.prune.pairs_total;
-    r.exhaustive_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-    r.pruned_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
-    r.exhaustive_evals = want.prune.exact_kernel_evals;
-    r.pruned_evals = got.prune.exact_kernel_evals;
-    r.eval_reduction = r.pruned_evals == 0
-                           ? 0.0
-                           : static_cast<double>(r.exhaustive_evals) /
-                                 static_cast<double>(r.pruned_evals);
-    r.speedup = r.pruned_ms > 0.0 ? r.exhaustive_ms / r.pruned_ms : 0.0;
-    r.verdicts_identical = same_verdict(got, want);
-    deterministic = deterministic && r.verdicts_identical;
-    reports.push_back(r);
+    r.exhaustive_run = hosts <= kMaxExhaustiveHosts;
 
-    std::printf("  %5zu hosts (%zu families, %zu humans), %llu pairs:\n", hosts,
+    // Sub-10ms runs on a busy machine are noise; repeat the small configs
+    // and keep the best wall time for each path (standard practice — the
+    // minimum is the run least disturbed by unrelated load, and both paths
+    // get the same treatment).
+    const std::size_t repeats = hosts <= 1024 ? 5 : 1;
+
+    std::optional<detect::HumanMachineResult> want;
+    if (r.exhaustive_run) {
+      r.exhaustive_ms = std::numeric_limits<double>::max();
+      for (std::size_t rep = 0; rep < repeats; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        want = detect::human_machine_test(pop.features, pop.input, exhaustive);
+        const auto t1 = std::chrono::steady_clock::now();
+        r.exhaustive_ms = std::min(
+            r.exhaustive_ms, std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+      r.exhaustive_evals = want->prune.exact_kernel_evals;
+    }
+
+    std::optional<detect::HumanMachineResult> pruned_result;
+    r.pruned_ms = std::numeric_limits<double>::max();
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      const auto t1 = std::chrono::steady_clock::now();
+      pruned_result = detect::human_machine_test(pop.features, pop.input, pruned);
+      const auto t2 = std::chrono::steady_clock::now();
+      r.pruned_ms =
+          std::min(r.pruned_ms, std::chrono::duration<double, std::milli>(t2 - t1).count());
+    }
+    const detect::HumanMachineResult& got = *pruned_result;
+
+    // Phase attribution comes from a second, instrumented run: the phase
+    // clocks sit inside the scan and resolve hot loops, so including them in
+    // the timed run would charge the pruned path for its own telemetry. The
+    // instrumented run repeats identical work (the engine is deterministic),
+    // and doubles as a free determinism check.
+    detect::HumanMachineConfig instrumented = pruned;
+    instrumented.collect_phase_timing = true;
+    const detect::HumanMachineResult timed =
+        detect::human_machine_test(pop.features, pop.input, instrumented);
+
+    r.pairs = got.prune.pairs_total;
+    r.pruned_evals = got.prune.exact_kernel_evals;
+    r.scan_cache_hits = got.prune.scan_cache_hits;
+    r.bloom_skips = got.prune.bloom_skips;
+    r.pivot_build_ms = timed.prune.pivot_build_ms;
+    r.bound_scan_ms = timed.prune.bound_scan_ms;
+    r.exact_eval_ms = timed.prune.exact_eval_ms;
+    r.replay_ms = timed.prune.replay_ms;
+    deterministic = deterministic && same_verdict(got, timed);
+
+    std::printf("  %6zu hosts (%zu families, %zu humans), %llu pairs:\n", hosts,
                 pop.families, pop.humans, static_cast<unsigned long long>(r.pairs));
-    std::printf("    exhaustive: %9.1f ms, %10llu exact EMD evals\n", r.exhaustive_ms,
-                static_cast<unsigned long long>(r.exhaustive_evals));
+    if (r.exhaustive_run) {
+      r.eval_reduction = r.pruned_evals == 0
+                             ? 0.0
+                             : static_cast<double>(r.exhaustive_evals) /
+                                   static_cast<double>(r.pruned_evals);
+      r.speedup = r.pruned_ms > 0.0 ? r.exhaustive_ms / r.pruned_ms : 0.0;
+      r.verdicts_identical = same_verdict(got, *want);
+      std::printf("    exhaustive: %9.1f ms, %10llu exact EMD evals\n", r.exhaustive_ms,
+                  static_cast<unsigned long long>(r.exhaustive_evals));
+    } else {
+      detect::HumanMachineConfig alt = pruned;
+      alt.collect_phase_timing = false;
+      alt.prune_pivots = 5;
+      alt.prune_grid_bins = 48;
+      const detect::HumanMachineResult oracle =
+          detect::human_machine_test(pop.features, pop.input, alt);
+      r.verdicts_identical = same_verdict(got, oracle);
+      std::printf("    exhaustive: skipped (dense matrices exceed memory); "
+                  "oracle: pruned with pivots=5, grid=48\n");
+    }
     std::printf("    pruned:     %9.1f ms, %10llu exact EMD evals\n", r.pruned_ms,
                 static_cast<unsigned long long>(r.pruned_evals));
-    std::printf("    eval reduction: %.1fx, speedup: %.2fx, verdicts %s\n\n",
-                r.eval_reduction, r.speedup,
-                r.verdicts_identical ? "bit-identical" : "DIVERGED");
+    std::printf("    phases: pivot build %.1f ms, bound scans %.1f ms, exact evals "
+                "%.1f ms, replay %.1f ms\n",
+                r.pivot_build_ms, r.bound_scan_ms, r.exact_eval_ms, r.replay_ms);
+    if (r.exhaustive_run) {
+      std::printf("    eval reduction: %.1fx, speedup: %.2fx, verdicts %s\n\n",
+                  r.eval_reduction, r.speedup,
+                  r.verdicts_identical ? "bit-identical" : "DIVERGED");
+    } else {
+      std::printf("    verdicts %s\n\n",
+                  r.verdicts_identical ? "bit-identical" : "DIVERGED");
+    }
+    deterministic = deterministic && r.verdicts_identical;
+    reports.push_back(r);
   }
 
   if (!json_path.empty()) write_json(json_path, quick, env_threads, reports, deterministic);

@@ -12,9 +12,15 @@ std::uint64_t HmCache::pair_key(simnet::Ipv4 a, simnet::Ipv4 b) {
   return (static_cast<std::uint64_t>(lo) << 32) | hi;
 }
 
+void HmCache::rebuild_distance_filter() {
+  distance_filter_.reset(distances.size());
+  for (const auto& [key, entry] : distances) distance_filter_.insert(key);
+}
+
 void HmCache::clear() {
   signatures.clear();
   distances.clear();
+  distance_filter_.clear();
   signatures_built = 0;
   signatures_reused = 0;
   distances_computed = 0;
@@ -76,6 +82,7 @@ void HmCache::decode(PayloadReader& r) {
   fresh.signatures_reused = r.take<std::uint64_t>();
   fresh.distances_computed = r.take<std::uint64_t>();
   fresh.distances_reused = r.take<std::uint64_t>();
+  fresh.rebuild_distance_filter();
   *this = std::move(fresh);
 }
 

@@ -26,6 +26,7 @@
 
 #include "simnet/address.h"
 #include "stats/histogram.h"
+#include "util/bloom.h"
 
 namespace tradeplot::detect {
 
@@ -62,6 +63,23 @@ class HmCache {
   /// Order-insensitive key for a host pair (lower address in the high bits).
   [[nodiscard]] static std::uint64_t pair_key(simnet::Ipv4 a, simnet::Ipv4 b);
 
+  /// Probe gate for `distances`: false guarantees the key is absent, so the
+  /// hash-map find can be skipped entirely. In a partially warm window the
+  /// pruned stage probes far more never-cached pairs (changed hosts' rows,
+  /// newly arrived hosts) than cached ones, and each map miss still walks a
+  /// bucket. False positives just fall through to the find — they can never
+  /// change what is served.
+  [[nodiscard]] bool distance_maybe_cached(std::uint64_t key) const {
+    return distance_filter_.maybe_contains(key);
+  }
+
+  /// Rebuilds the probe gate from the current `distances` keys. Must be
+  /// called after replacing the map wholesale (window retention, decode);
+  /// until the first rebuild the gate conservatively answers "maybe" for
+  /// every key, degrading to the plain find. Not serialized — decode
+  /// rebuilds it from the restored map.
+  void rebuild_distance_filter();
+
   /// Drops all entries and zeroes the counters.
   void clear();
 
@@ -69,6 +87,9 @@ class HmCache {
   /// exactly what encode wrote and throws util::ParseError on truncation.
   void encode(PayloadWriter& w) const;
   void decode(PayloadReader& r);
+
+ private:
+  util::BloomFilter distance_filter_;
 };
 
 /// FNV-1a content hash of a host's timing buffer plus the signature-shaping

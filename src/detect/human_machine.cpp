@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "detect/hm_cache.h"
 #include "obs/metrics.h"
@@ -20,6 +23,7 @@
 #include "stats/histogram.h"
 #include "stats/neighbor_index.h"
 #include "util/error.h"
+#include "util/flat_map.h"
 #include "util/parallel.h"
 
 namespace tradeplot::detect {
@@ -295,6 +299,7 @@ std::vector<double> cached_distances(const std::vector<stats::Signature>& signat
     }
   }
   cache.distances = std::move(retained);
+  cache.rebuild_distance_filter();
   return d;
 }
 
@@ -312,7 +317,9 @@ class PrunedStage {
               const std::vector<simnet::Ipv4>& hosts,
               const std::vector<std::uint64_t>& hashes, const HumanMachineConfig& config,
               HmCache* cache)
-      : hosts_(hosts), hashes_(hashes), cache_(cache) {
+      : hosts_(hosts), hashes_(hashes), cache_(cache),
+        threads_(util::resolve_threads(config.threads)),
+        collect_timing_(config.collect_phase_timing) {
     const std::size_t n = signatures.size();
     if (config.distance == HmDistance::kBinL1) {
       bins_.emplace(signatures, bin_l1_grid(config), config.threads);
@@ -322,12 +329,21 @@ class PrunedStage {
 
     // Pivot columns are filled with parallel_for: exact_pair is pure (cache
     // reads only, atomic counters), so the index is thread-count invariant.
-    const obs::StageTimer index_timer(obs::Stage::kPruneIndex);
-    index_.emplace(
-        n, [this](std::size_t i, std::size_t j) { return exact_pair(i, j); },
-        config.prune_pivots, config.threads);
-    if (config.distance != HmDistance::kBinL1 && config.prune_grid_bins > 0) {
-      index_->build_grid(*flat_, config.prune_grid_bins, config.threads);
+    const auto index_start = collect_timing_ ? std::chrono::steady_clock::now()
+                                             : std::chrono::steady_clock::time_point{};
+    {
+      const obs::StageTimer index_timer(obs::Stage::kPruneIndex);
+      index_.emplace(
+          n, [this](std::size_t i, std::size_t j) { return exact_pair(i, j); },
+          config.prune_pivots, config.threads);
+      if (config.distance != HmDistance::kBinL1 && config.prune_grid_bins > 0) {
+        index_->build_grid(*flat_, config.prune_grid_bins, config.threads);
+      }
+    }
+    if (collect_timing_) {
+      pivot_build_seconds_ =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - index_start)
+              .count();
     }
 
     // Seed the serial memo with the pivot columns — the NN-chain and the
@@ -338,7 +354,7 @@ class PrunedStage {
       const std::size_t pivot = index_->pivot_leaves()[p];
       for (std::size_t i = 0; i < n; ++i) {
         if (i != pivot)
-          leaf_memo_.emplace(pair_slot(i, pivot), index_->pivot_distances()[i * p_count + p]);
+          leaf_memo_.insert(pair_slot(i, pivot), index_->pivot_distances()[i * p_count + p]);
       }
     }
   }
@@ -347,12 +363,109 @@ class PrunedStage {
   /// pass only).
   double leaf_distance(std::size_t i, std::size_t j) {
     const std::uint64_t slot = pair_slot(i, j);
-    const auto it = leaf_memo_.find(slot);
-    if (it != leaf_memo_.end()) return it->second;
+    if (const double* hit = leaf_memo_.find(slot); hit != nullptr) return *hit;
     const double v = exact_pair(i, j);
-    leaf_memo_.emplace(slot, v);
+    leaf_memo_.insert(slot, v);
     return v;
   }
+
+  /// Batch resolution of distinct (min, max) leaf pairs on the thread pool.
+  /// Cross-window cache hits resolve in a serial probe pass; the cold pairs
+  /// run in parallel blocks of four through the 4-lane EMD sweep (per-lane
+  /// bit-identical to the scalar kernel), scalar for the bin-L1 mode and the
+  /// tail. exact_pair is pure and every index writes one disjoint out slot,
+  /// so out[] is bit-identical to a serial exact_pair loop at every thread
+  /// count. Does NOT touch leaf_memo_ (not thread-safe); the engine reports
+  /// each resolution back serially through note_resolved.
+  void batch_eval(std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs,
+                  double* out) {
+    cold_pairs_.clear();
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      double v = 0.0;
+      if (cache_probe(pairs[k].first, pairs[k].second, v)) {
+        out[k] = v;
+      } else {
+        cold_pairs_.push_back(k);
+      }
+    }
+    if (cold_pairs_.empty()) return;
+    kernel_evals_.fetch_add(cold_pairs_.size(), std::memory_order_relaxed);
+    const std::size_t blocks = (cold_pairs_.size() + 3) / 4;
+    util::parallel_for(0, blocks, 1, threads_, [&](std::size_t blk) {
+      const std::size_t begin = blk * 4;
+      const std::size_t count = std::min<std::size_t>(4, cold_pairs_.size() - begin);
+      if (flat_ && count == 4) {
+        std::size_t a4[4], b4[4];
+        double out4[4];
+        for (std::size_t l = 0; l < 4; ++l) {
+          a4[l] = pairs[cold_pairs_[begin + l]].first;
+          b4[l] = pairs[cold_pairs_[begin + l]].second;
+        }
+        flat_->emd_x4(a4, b4, out4);
+        for (std::size_t l = 0; l < 4; ++l) out[cold_pairs_[begin + l]] = out4[l];
+        return;
+      }
+      for (std::size_t l = 0; l < count; ++l) {
+        const auto [a, b] = pairs[cold_pairs_[begin + l]];
+        out[cold_pairs_[begin + l]] =
+            bins_ ? bins_->l1(a, b) : stats::emd_1d_presorted(flat_->view(a), flat_->view(b));
+      }
+    });
+  }
+
+  /// Serial observer for batch-resolved pairs: memoize so retention and the
+  /// diameter pass see batch values too.
+  void note_resolved(std::size_t i, std::size_t j, double v) {
+    leaf_memo_.insert(pair_slot(i, j), v);
+  }
+
+  /// Options handed to the pruned clustering drivers: batch resolution on
+  /// this stage's pool, resolutions mirrored into the memo, phase timing per
+  /// config.
+  [[nodiscard]] stats::PruneOptions prune_options() {
+    stats::PruneOptions opts;
+    opts.threads = threads_;
+    opts.batch_leaf = [this](std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs,
+                             double* out) { batch_eval(pairs, out); };
+    opts.on_leaf_resolved = [this](std::size_t i, std::size_t j, double v) {
+      note_resolved(i, j, v);
+    };
+    opts.collect_timing = collect_timing_;
+    return opts;
+  }
+
+  /// Max pairwise distance within `group` (ascending leaf indices). The
+  /// clustering run has already resolved most pairs inside a tight cluster,
+  /// so probe the memo first and batch-evaluate only the missing pairs. Max
+  /// over the same exact values the serial leaf_distance loop would take —
+  /// identical result.
+  double group_diameter(std::span<const std::size_t> group) {
+    double diameter = 0.0;
+    diameter_missing_.clear();
+    for (std::size_t a = 0; a < group.size(); ++a) {
+      for (std::size_t b = a + 1; b < group.size(); ++b) {
+        const double* hit = leaf_memo_.find(pair_slot(group[a], group[b]));
+        if (hit != nullptr) {
+          diameter = std::max(diameter, *hit);
+        } else {
+          diameter_missing_.emplace_back(
+              static_cast<std::uint32_t>(std::min(group[a], group[b])),
+              static_cast<std::uint32_t>(std::max(group[a], group[b])));
+        }
+      }
+    }
+    if (!diameter_missing_.empty()) {
+      std::vector<double> values(diameter_missing_.size());
+      batch_eval(diameter_missing_, values.data());
+      for (std::size_t k = 0; k < diameter_missing_.size(); ++k) {
+        note_resolved(diameter_missing_[k].first, diameter_missing_[k].second, values[k]);
+        diameter = std::max(diameter, values[k]);
+      }
+    }
+    return diameter;
+  }
+
+  [[nodiscard]] double pivot_build_seconds() const { return pivot_build_seconds_; }
 
   [[nodiscard]] stats::PruneFeatures features() const { return index_->features(); }
   [[nodiscard]] std::size_t pivot_count() const { return index_->pivot_count(); }
@@ -370,15 +483,16 @@ class PrunedStage {
     if (cache_ == nullptr) return;
     std::unordered_map<std::uint64_t, HmCache::DistanceEntry> retained;
     retained.reserve(leaf_memo_.size());
-    for (const auto& [slot, distance] : leaf_memo_) {
+    leaf_memo_.for_each([&](std::uint64_t slot, double distance) {
       const auto i = static_cast<std::size_t>(slot >> 32);
       const auto j = static_cast<std::size_t>(slot & 0xffffffffu);
       const bool i_low = hosts_[i].value() < hosts_[j].value();
       retained.emplace(HmCache::pair_key(hosts_[i], hosts_[j]),
                        HmCache::DistanceEntry{i_low ? hashes_[i] : hashes_[j],
                                               i_low ? hashes_[j] : hashes_[i], distance});
-    }
+    });
     cache_->distances = std::move(retained);
+    cache_->rebuild_distance_filter();
     cache_->distances_computed += kernel_evals();
     cache_->distances_reused += cache_hits();
   }
@@ -390,21 +504,31 @@ class PrunedStage {
     return (lo << 32) | hi;
   }
 
+  /// Cross-window cache probe (thread-safe: map reads only, atomic counter).
+  /// True and fills `v` when the cached value's content hashes still match.
+  bool cache_probe(std::size_t i, std::size_t j, double& v) {
+    if (cache_ == nullptr) return false;
+    const std::uint64_t key = HmCache::pair_key(hosts_[i], hosts_[j]);
+    // Bloom gate: in a partially warm window most probed pairs (changed
+    // hosts' rows, new hosts) were never cached, and the filter answers
+    // "definitely absent" without a bucket walk.
+    if (!cache_->distance_maybe_cached(key)) return false;
+    const auto it = cache_->distances.find(key);
+    if (it == cache_->distances.end()) return false;
+    const bool i_low = hosts_[i].value() < hosts_[j].value();
+    const std::uint64_t hash_lo = i_low ? hashes_[i] : hashes_[j];
+    const std::uint64_t hash_hi = i_low ? hashes_[j] : hashes_[i];
+    if (it->second.hash_lo != hash_lo || it->second.hash_hi != hash_hi) return false;
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    v = it->second.distance;
+    return true;
+  }
+
   /// Pure, thread-safe exact pair distance: cross-window cache lookup first,
   /// then the same flat kernel the dense path uses (bit-identical values).
   double exact_pair(std::size_t i, std::size_t j) {
-    if (cache_ != nullptr) {
-      const auto it = cache_->distances.find(HmCache::pair_key(hosts_[i], hosts_[j]));
-      if (it != cache_->distances.end()) {
-        const bool i_low = hosts_[i].value() < hosts_[j].value();
-        const std::uint64_t hash_lo = i_low ? hashes_[i] : hashes_[j];
-        const std::uint64_t hash_hi = i_low ? hashes_[j] : hashes_[i];
-        if (it->second.hash_lo == hash_lo && it->second.hash_hi == hash_hi) {
-          cache_hits_.fetch_add(1, std::memory_order_relaxed);
-          return it->second.distance;
-        }
-      }
-    }
+    double cached = 0.0;
+    if (cache_probe(i, j, cached)) return cached;
     kernel_evals_.fetch_add(1, std::memory_order_relaxed);
     // The dense path only ever evaluates (low, high) pairs; the EMD merge
     // sweep is not bitwise symmetric under tied positions, so normalize the
@@ -417,10 +541,16 @@ class PrunedStage {
   const std::vector<simnet::Ipv4>& hosts_;
   const std::vector<std::uint64_t>& hashes_;
   HmCache* cache_;
+  std::size_t threads_;
+  bool collect_timing_;
+  double pivot_build_seconds_ = 0.0;
   std::optional<FlatBinSet> bins_;
   std::optional<stats::FlatSignatureSet> flat_;
   std::optional<stats::NeighborIndex> index_;
-  std::unordered_map<std::uint64_t, double> leaf_memo_;  // (min<<32)|max -> exact
+  util::Flat64Map leaf_memo_;  // (min<<32)|max -> exact
+  // Scratch for batch_eval / group_diameter (serial entry points).
+  std::vector<std::size_t> cold_pairs_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> diameter_missing_;
   std::atomic<std::uint64_t> kernel_evals_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
 };
@@ -600,21 +730,18 @@ HumanMachineResult human_machine_test(const FeatureMap& features, const HostSet&
       // pair (see stats::average_linkage_cut_pruned).
       return stats::average_linkage_cut_pruned(
           n, [&stage](std::size_t i, std::size_t j) { return stage.leaf_distance(i, j); },
-          stage.features(), config.cut_fraction, &counters);
+          stage.features(), config.cut_fraction, stage.prune_options(), &counters);
     }();
 
     for (const auto& group : groups) {
       if (group.size() < config.min_cluster_size) continue;
       HostCluster cluster;
-      double diameter = 0.0;
       for (const std::size_t idx : group) cluster.members.push_back(hosts[idx]);
-      for (std::size_t a = 0; a < group.size(); ++a) {
-        for (std::size_t b = a + 1; b < group.size(); ++b) {
-          diameter = std::max(diameter, stage.leaf_distance(group[a], group[b]));
-        }
-      }
-      cluster.diameter = diameter;
-      diameters.push_back(diameter);
+      // Memo-probing + batched: the clustering run already resolved most
+      // pairs inside a tight cluster, and the few missing ones go through
+      // the pool in one batch instead of one serial kernel at a time.
+      cluster.diameter = stage.group_diameter(group);
+      diameters.push_back(cluster.diameter);
       result.clusters.push_back(std::move(cluster));
     }
 
@@ -627,6 +754,12 @@ HumanMachineResult human_machine_test(const FeatureMap& features, const HostSet&
     result.prune.scanned = counters.scanned;
     result.prune.skipped_pivot = counters.skipped_pivot;
     result.prune.skipped_grid = counters.skipped_grid;
+    result.prune.scan_cache_hits = counters.scan_cache_hits;
+    result.prune.bloom_skips = counters.bloom_skips;
+    result.prune.pivot_build_ms = stage.pivot_build_seconds() * 1e3;
+    result.prune.bound_scan_ms = counters.bound_scan_seconds * 1e3;
+    result.prune.exact_eval_ms = counters.exact_eval_seconds * 1e3;
+    result.prune.replay_ms = counters.replay_seconds * 1e3;
     if (obs::enabled()) {
       HmObs& o = HmObs::get();
       o.distances_computed.add(stage.kernel_evals());

@@ -79,8 +79,11 @@ struct HumanMachineConfig {
   std::size_t prune_min_hosts = 64;
   /// Pivot leaves for the triangle-inequality tier (clamped to the host
   /// count). More pivots = tighter bounds at n·pivots extra exact
-  /// evaluations.
-  std::size_t prune_pivots = 8;
+  /// evaluations. Benched across 256..4096 hosts the marginal pivot saves
+  /// fewer resolutions than its column costs — eval counts and wall-clock
+  /// were best at 2-3 pivots at every size — so the default stays low and
+  /// keeps one spare pivot beyond the first two spread directions.
+  std::size_t prune_pivots = 3;
   /// Bins of the shared-grid bin-L1 lower-bound tier (EMD distances only;
   /// 0 disables the tier).
   std::size_t prune_grid_bins = 64;
@@ -89,6 +92,11 @@ struct HumanMachineConfig {
   /// variable, else hardware concurrency; 1 = the serial reference path.
   /// Every thread count produces bit-identical results.
   std::size_t threads = 0;
+  /// Fill the per-phase wall-clock fields of HmPruneStats (pivot build,
+  /// bound scans, exact kernel time, replay time). Off by default: timing
+  /// reads a clock inside the clustering hot loops, which the benches want
+  /// and the detectors do not pay for.
+  bool collect_phase_timing = false;
 };
 
 struct HostCluster {
@@ -111,6 +119,15 @@ struct HmPruneStats {
   std::uint64_t scanned = 0;              // NN-scan candidate evaluations
   std::uint64_t skipped_pivot = 0;        // pruned by the pivot bound
   std::uint64_t skipped_grid = 0;         // pruned by the grid bound
+  std::uint64_t scan_cache_hits = 0;      // NN scans served by the candidate cache
+  std::uint64_t bloom_skips = 0;          // memo probes skipped by the Bloom gate
+  // Per-phase wall-clock, filled only under config.collect_phase_timing
+  // (zero otherwise): neighbor-index construction, lower/upper-bound scans,
+  // exact kernel evaluations, and Lance-Williams replay of memoized values.
+  double pivot_build_ms = 0.0;
+  double bound_scan_ms = 0.0;
+  double exact_eval_ms = 0.0;
+  double replay_ms = 0.0;
 };
 
 struct HumanMachineResult {

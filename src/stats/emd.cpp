@@ -212,8 +212,26 @@ std::vector<double> pairwise_emd(const std::vector<Signature>& sigs, std::size_t
     const std::size_t i_end = std::min(n, (ti + 1) * kTile);
     const std::size_t j_end = std::min(n, (tj + 1) * kTile);
     for (std::size_t i = ti * kTile; i < i_end; ++i) {
+      // Four sweeps per step through the row via the x4 kernel (per-lane
+      // bit-identical to emd_1d_presorted, so every cell still holds exactly
+      // the value emd_1d would produce), scalar kernel for the tail.
+      std::size_t j = std::max(i + 1, tj * kTile);
+      const std::size_t a4[4] = {i, i, i, i};
+      std::size_t b4[4];
+      double out4[4];
+      for (; j + 4 <= j_end; j += 4) {
+        b4[0] = j;
+        b4[1] = j + 1;
+        b4[2] = j + 2;
+        b4[3] = j + 3;
+        flat.emd_x4(a4, b4, out4);
+        for (std::size_t l = 0; l < 4; ++l) {
+          d[i * n + j + l] = out4[l];
+          d[(j + l) * n + i] = out4[l];
+        }
+      }
       const FlatSignatureView a = flat.view(i);
-      for (std::size_t j = std::max(i + 1, tj * kTile); j < j_end; ++j) {
+      for (; j < j_end; ++j) {
         const double v = emd_1d_presorted(a, flat.view(j));
         d[i * n + j] = v;
         d[j * n + i] = v;

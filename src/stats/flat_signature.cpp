@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "stats/simd.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -65,6 +66,18 @@ FlatSignatureSet::FlatSignatureSet(const std::vector<Signature>& sigs, std::size
     pos[sorted.size()] = std::numeric_limits<double>::infinity();
     wgt[sorted.size()] = 0.0;
   });
+}
+
+void FlatSignatureSet::emd_x4(const std::size_t* a, const std::size_t* b,
+                              double* out) const {
+  std::uint64_t a_off[4], a_len[4], b_off[4], b_len[4];
+  for (int l = 0; l < 4; ++l) {
+    a_off[l] = offsets_[a[l]];
+    a_len[l] = offsets_[a[l] + 1] - a_off[l] - 1;
+    b_off[l] = offsets_[b[l]];
+    b_len[l] = offsets_[b[l] + 1] - b_off[l] - 1;
+  }
+  simd::emd_sweep_x4(positions_.data(), weights_.data(), a_off, a_len, b_off, b_len, out);
 }
 
 double emd_1d_presorted(const FlatSignatureView& a, const FlatSignatureView& b) {

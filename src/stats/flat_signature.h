@@ -53,6 +53,12 @@ class FlatSignatureSet {
                              offsets_[i + 1] - offsets_[i] - 1};
   }
 
+  /// Four pair distances at once: out[l] receives a value bit-identical to
+  /// emd_1d_presorted(view(a[l]), view(b[l])). Dispatches to the 4-lane AVX2
+  /// merge sweep when available; each lane replays the scalar kernel's exact
+  /// operation sequence, so this is safe wherever emd_1d_presorted is.
+  void emd_x4(const std::size_t* a, const std::size_t* b, double* out) const;
+
  private:
   std::vector<double> positions_;
   std::vector<double> weights_;

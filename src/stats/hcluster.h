@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace tradeplot::stats {
@@ -102,6 +103,11 @@ struct PruneFeatures {
   std::size_t grid_bins = 0;
   const double* snap_cost = nullptr;
   double grid_half_width = 0.0;
+  /// Optional: the leaf index backing each pivot column. When set, the
+  /// engine seeds its resolved-pair store with the pivot columns for free
+  /// point intervals; pivot_distances[i * pivots + p] must then be
+  /// bit-identical to what leaf_distance would return for (i, pivot_leaves[p]).
+  const std::size_t* pivot_leaves = nullptr;
 };
 
 /// Work accounting for one pruned clustering run.
@@ -110,12 +116,48 @@ struct PruneCounters {
   std::uint64_t skipped_pivot = 0;           // pruned by the pivot-mean bound
   std::uint64_t skipped_grid = 0;            // pruned by the grid bound
   std::uint64_t resolved_cluster_pairs = 0;  // exact cluster-pair resolutions
+  std::uint64_t scan_cache_hits = 0;  // NN scans served by the chain-local candidate cache
+  std::uint64_t bloom_skips = 0;      // memo probes skipped by the Bloom gate
+  // Per-phase wall-clock, filled only under PruneOptions::collect_timing.
+  // pivot_build_seconds is the caller's slot: the neighbor index is built
+  // before the engine runs, so the engine never touches it.
+  double pivot_build_seconds = 0.0;
+  double bound_scan_seconds = 0.0;
+  double exact_eval_seconds = 0.0;
+  double replay_seconds = 0.0;
 };
 
 /// Exact leaf-pair distance, i < j. Must return the same value as the dense
 /// matrix entry the exhaustive path would have used (same kernel, same
 /// inputs); called serially, at most once per pair.
 using LeafDistanceFn = std::function<double(std::size_t, std::size_t)>;
+
+/// Batch leaf-pair evaluator: writes out[k] = the exact distance for the
+/// k-th (i, j) pair, i < j. Must produce values bit-identical to
+/// leaf_distance for the same pair — it exists so independent resolutions
+/// can run on a thread pool; any parallelism inside is the implementation's
+/// to synchronize. Pairs within one call are distinct.
+using BatchLeafFn = std::function<void(
+    std::span<const std::pair<std::uint32_t, std::uint32_t>>, double*)>;
+
+/// Notified (serially, on the engine thread) for every leaf pair resolved
+/// through batch_leaf, so callers memoizing leaf distances themselves (e.g.
+/// for cache retention) see batch-resolved values too.
+using LeafResolvedSink = std::function<void(std::size_t, std::size_t, double)>;
+
+/// Tuning knobs for the pruned drivers. Defaults reproduce the serial
+/// behaviour; none of the options can change a verdict — batch resolution
+/// may resolve *more* pairs than the serial gate (counters vary with
+/// `threads`), but every resolved value is exact, so merges, heights, and
+/// groups are bit-identical at every thread count.
+struct PruneOptions {
+  /// Worker count for batch leaf resolution (pass the already-resolved
+  /// count; 0/1 keeps resolution serial).
+  std::size_t threads = 1;
+  BatchLeafFn batch_leaf;             // optional parallel leaf-pair evaluator
+  LeafResolvedSink on_leaf_resolved;  // optional observer for batch-resolved pairs
+  bool collect_timing = false;        // fill the phase-seconds counters
+};
 
 /// UPGMA over n leaves with lazy, lower-bound-gated distance resolution.
 /// Returns a dendrogram bit-identical to
@@ -126,6 +168,11 @@ using LeafDistanceFn = std::function<double(std::size_t, std::size_t)>;
 [[nodiscard]] Dendrogram agglomerative_average_linkage_pruned(
     std::size_t n, const LeafDistanceFn& leaf_distance, const PruneFeatures& features,
     PruneCounters* counters = nullptr);
+
+/// PruneOptions-aware overload (parallel batch resolution, phase timing).
+[[nodiscard]] Dendrogram agglomerative_average_linkage_pruned(
+    std::size_t n, const LeafDistanceFn& leaf_distance, const PruneFeatures& features,
+    const PruneOptions& options, PruneCounters* counters = nullptr);
 
 /// The sub-quadratic verdict path: UPGMA + cut_top_fraction fused, with
 /// deferred heights for the links the cut discards.
@@ -160,5 +207,10 @@ using LeafDistanceFn = std::function<double(std::size_t, std::size_t)>;
 [[nodiscard]] std::vector<std::vector<std::size_t>> average_linkage_cut_pruned(
     std::size_t n, const LeafDistanceFn& leaf_distance, const PruneFeatures& features,
     double fraction, PruneCounters* counters = nullptr);
+
+/// PruneOptions-aware overload (parallel batch resolution, phase timing).
+[[nodiscard]] std::vector<std::vector<std::size_t>> average_linkage_cut_pruned(
+    std::size_t n, const LeafDistanceFn& leaf_distance, const PruneFeatures& features,
+    double fraction, const PruneOptions& options, PruneCounters* counters = nullptr);
 
 }  // namespace tradeplot::stats

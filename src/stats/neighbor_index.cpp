@@ -51,7 +51,12 @@ NeighborIndex::NeighborIndex(std::size_t n, const PairDistanceFn& distance,
           return;
         }
       }
-      pivot_distances_[i * p_count + p] = distance(i, pivot);
+      // Ordered arguments: the clustering engine's resolved-pair store
+      // evaluates every leaf pair as (min, max), and the pivot columns are
+      // seeded into that store as already-resolved values — the call shapes
+      // must match exactly for the seeds to be bit-identical.
+      pivot_distances_[i * p_count + p] =
+          i < pivot ? distance(i, pivot) : distance(pivot, i);
     });
     double best = -1.0;
     next = pivot;
@@ -121,6 +126,9 @@ PruneFeatures NeighborIndex::features() const {
   f.grid = grid_bins_ > 0 ? grid_.data() : nullptr;
   f.snap_cost = grid_bins_ > 0 ? snap_cost_.data() : nullptr;
   f.grid_half_width = grid_half_width_;
+  // The columns hold exact (min, max)-ordered kernel values, so the engine
+  // may seed its resolved-pair store with them (see PruneFeatures).
+  f.pivot_leaves = f.pivots > 0 ? pivot_leaves_.data() : nullptr;
   return f;
 }
 

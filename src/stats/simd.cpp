@@ -1,6 +1,8 @@
 #include "stats/simd.h"
 
+#include <bit>
 #include <cmath>
+#include <limits>
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -111,9 +113,229 @@ __attribute__((target("avx2"))) std::size_t count_nonzero_u8_avx2(const std::uin
 
 #endif
 
+void pivot_interval_sweep_scalar(const double* cols, std::size_t stride,
+                                 std::size_t pivots, const double* top, std::size_t count,
+                                 double* lo, double* hi) {
+  for (std::size_t k = 0; k < count; ++k) {
+    double l = 0.0;
+    double h = std::numeric_limits<double>::infinity();
+    for (std::size_t p = 0; p < pivots; ++p) {
+      const double c = cols[p * stride + k];
+      const double d = std::abs(c - top[p]);
+      if (d > l) l = d;
+      const double u = c + top[p];
+      if (u < h) h = u;
+    }
+    lo[k] = l;
+    hi[k] = h;
+  }
+}
+
+double margin_min_sweep_scalar(double* lo, double* hi, std::size_t n) {
+  double m = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < n; ++k) {
+    lo[k] = lo[k] * (1.0 - 1e-9) - 1e-12;
+    const double h = hi[k] * (1.0 + 1e-9) + 1e-12;
+    hi[k] = h;
+    if (h < m) m = h;
+  }
+  return m;
+}
+
+#if TRADEPLOT_X86
+
+__attribute__((target("avx2"))) double margin_min_sweep_avx2(double* lo, double* hi,
+                                                             std::size_t n) {
+  const __m256d lo_scale = _mm256_set1_pd(1.0 - 1e-9);
+  const __m256d hi_scale = _mm256_set1_pd(1.0 + 1e-9);
+  const __m256d slack = _mm256_set1_pd(1e-12);
+  __m256d m = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256d l =
+        _mm256_sub_pd(_mm256_mul_pd(_mm256_loadu_pd(lo + k), lo_scale), slack);
+    const __m256d h =
+        _mm256_add_pd(_mm256_mul_pd(_mm256_loadu_pd(hi + k), hi_scale), slack);
+    _mm256_storeu_pd(lo + k, l);
+    _mm256_storeu_pd(hi + k, h);
+    m = _mm256_min_pd(m, h);
+  }
+  const __m128d pair =
+      _mm_min_pd(_mm256_castpd256_pd128(m), _mm256_extractf128_pd(m, 1));
+  double result = _mm_cvtsd_f64(_mm_min_sd(pair, _mm_unpackhi_pd(pair, pair)));
+  if (k < n) result = std::min(result, margin_min_sweep_scalar(lo + k, hi + k, n - k));
+  return result;
+}
+
+#endif
+
+std::size_t filter_le_scalar(const double* v, std::size_t n, double threshold,
+                             std::uint32_t* out) {
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (v[k] <= threshold) out[count++] = static_cast<std::uint32_t>(k);
+  }
+  return count;
+}
+
+#if TRADEPLOT_X86
+
+__attribute__((target("avx2"))) std::size_t filter_le_avx2(const double* v, std::size_t n,
+                                                           double threshold,
+                                                           std::uint32_t* out) {
+  const __m256d t = _mm256_set1_pd(threshold);
+  std::size_t count = 0;
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    int mask = _mm256_movemask_pd(_mm256_cmp_pd(_mm256_loadu_pd(v + k), t, _CMP_LE_OQ));
+    while (mask != 0) {
+      const int bit = __builtin_ctz(static_cast<unsigned>(mask));
+      out[count++] = static_cast<std::uint32_t>(k) + static_cast<std::uint32_t>(bit);
+      mask &= mask - 1;
+    }
+  }
+  for (; k < n; ++k) {
+    if (v[k] <= threshold) out[count++] = static_cast<std::uint32_t>(k);
+  }
+  return count;
+}
+
+#endif
+
+// One presorted-EMD merge sweep over raw SoA storage — the exact operation
+// sequence of emd_1d_presorted, restated over (base + offset, len) slices so
+// the scalar fallback of emd_sweep_x4 and the per-lane AVX2 replay are
+// op-for-op identical to the reference kernel.
+double emd_sweep_one(const double* positions, const double* weights, std::uint64_t a_off,
+                     std::uint64_t a_len, std::uint64_t b_off, std::uint64_t b_len) {
+  const double* pa = positions + a_off;
+  const double* wa = weights + a_off;
+  const double* pb = positions + b_off;
+  const double* wb = weights + b_off;
+  const std::uint64_t total = a_len + b_len;
+  double emd = 0.0;
+  double carried = 0.0;
+  double prev_pos = (pb[0] < pa[0]) ? pb[0] : pa[0];
+  std::uint64_t i = 0, j = 0;
+  const auto select = [](std::uint64_t m, double x, double y) {
+    return std::bit_cast<double>((std::bit_cast<std::uint64_t>(x) & m) |
+                                 (std::bit_cast<std::uint64_t>(y) & ~m));
+  };
+  for (std::uint64_t k = 0; k < total; ++k) {
+    const double ap = pa[i];
+    const double bp = pb[j];
+    const std::uint64_t take_b = -static_cast<std::uint64_t>(bp < ap);
+    const double pos = select(take_b, bp, ap);
+    emd += std::abs(carried) * (pos - prev_pos);
+    carried += select(take_b, -wb[j], wa[i]);
+    j += take_b & 1u;
+    i += ~take_b & 1u;
+    prev_pos = pos;
+  }
+  return emd;
+}
+
+void emd_sweep_x4_scalar(const double* positions, const double* weights,
+                         const std::uint64_t* a_off, const std::uint64_t* a_len,
+                         const std::uint64_t* b_off, const std::uint64_t* b_len,
+                         double* out) {
+  for (int l = 0; l < 4; ++l) {
+    out[l] = emd_sweep_one(positions, weights, a_off[l], a_len[l], b_off[l], b_len[l]);
+  }
+}
+
+#if TRADEPLOT_X86
+
+__attribute__((target("avx2"))) void pivot_interval_sweep_avx2(
+    const double* cols, std::size_t stride, std::size_t pivots, const double* top,
+    std::size_t count, double* lo, double* hi) {
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  const __m256d inf = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  std::size_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    __m256d l = _mm256_setzero_pd();
+    __m256d h = inf;
+    for (std::size_t p = 0; p < pivots; ++p) {
+      const __m256d c = _mm256_loadu_pd(cols + p * stride + k);
+      const __m256d t = _mm256_set1_pd(top[p]);
+      l = _mm256_max_pd(l, _mm256_andnot_pd(sign, _mm256_sub_pd(c, t)));
+      h = _mm256_min_pd(h, _mm256_add_pd(c, t));
+    }
+    _mm256_storeu_pd(lo + k, l);
+    _mm256_storeu_pd(hi + k, h);
+  }
+  if (k < count) {
+    pivot_interval_sweep_scalar(cols + k, stride, pivots, top, count - k, lo + k, hi + k);
+  }
+}
+
+__attribute__((target("avx2"))) void emd_sweep_x4_avx2(
+    const double* positions, const double* weights, const std::uint64_t* a_off,
+    const std::uint64_t* a_len, const std::uint64_t* b_off, const std::uint64_t* b_len,
+    double* out) {
+  // Four merge sweeps, one per lane, advanced in lockstep. A lane whose
+  // total is exhausted freezes: its `active` mask zeroes gap and weight-delta
+  // contributions (adding +0.0 to a nonnegative accumulator is a bitwise
+  // no-op) and holds its cursors still, while the other lanes keep sweeping.
+  // Each active lane's arithmetic is the exact per-step operation sequence of
+  // emd_1d_presorted: same single-rounded sub/mul/add, same a-wins-ties
+  // select, so every out[l] matches the scalar kernel bit for bit.
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  __m256i ia = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a_off));
+  __m256i ib = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b_off));
+  const __m256i la = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a_len));
+  const __m256i lb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b_len));
+  const __m256i total = _mm256_add_epi64(la, lb);
+  std::uint64_t max_total = 0;
+  for (int l = 0; l < 4; ++l) {
+    const std::uint64_t t = a_len[l] + b_len[l];
+    if (t > max_total) max_total = t;
+  }
+  const __m256d pa0 = _mm256_i64gather_pd(positions, ia, 8);
+  const __m256d pb0 = _mm256_i64gather_pd(positions, ib, 8);
+  __m256d prev = _mm256_blendv_pd(pa0, pb0, _mm256_cmp_pd(pb0, pa0, _CMP_LT_OQ));
+  __m256d emd = _mm256_setzero_pd();
+  __m256d carried = _mm256_setzero_pd();
+  __m256i k = _mm256_setzero_si256();
+  const __m256i one = _mm256_set1_epi64x(1);
+  for (std::uint64_t step = 0; step < max_total; ++step) {
+    const __m256d active = _mm256_castsi256_pd(_mm256_cmpgt_epi64(total, k));
+    const __m256d ap = _mm256_i64gather_pd(positions, ia, 8);
+    const __m256d bp = _mm256_i64gather_pd(positions, ib, 8);
+    const __m256d take_b = _mm256_cmp_pd(bp, ap, _CMP_LT_OQ);
+    const __m256d pos = _mm256_blendv_pd(ap, bp, take_b);
+    // Frozen lanes sit on their +inf sentinels: pos - prev may be inf or
+    // inf - inf = NaN there, and the bitwise AND with the zero mask turns
+    // either into exactly +0.0 before it can reach the accumulator.
+    const __m256d gap = _mm256_and_pd(_mm256_sub_pd(pos, prev), active);
+    emd = _mm256_add_pd(emd, _mm256_mul_pd(_mm256_andnot_pd(sign, carried), gap));
+    const __m256d wa = _mm256_i64gather_pd(weights, ia, 8);
+    const __m256d wb = _mm256_i64gather_pd(weights, ib, 8);
+    const __m256d delta = _mm256_blendv_pd(wa, _mm256_xor_pd(wb, sign), take_b);
+    carried = _mm256_add_pd(carried, _mm256_and_pd(delta, active));
+    // An all-ones mask is -1 as i64; subtracting it advances the cursor.
+    const __m256i step_b = _mm256_castpd_si256(_mm256_and_pd(take_b, active));
+    const __m256i step_a = _mm256_castpd_si256(_mm256_andnot_pd(take_b, active));
+    ib = _mm256_sub_epi64(ib, step_b);
+    ia = _mm256_sub_epi64(ia, step_a);
+    prev = _mm256_blendv_pd(prev, pos, active);
+    k = _mm256_add_epi64(k, one);
+  }
+  _mm256_storeu_pd(out, emd);
+}
+
+#endif
+
 using Kernel = double (*)(const double*, const double*, std::size_t);
 using SumU64Kernel = std::uint64_t (*)(const std::uint64_t*, std::size_t);
 using CountU8Kernel = std::size_t (*)(const std::uint8_t*, std::size_t);
+using IntervalKernel = void (*)(const double*, std::size_t, std::size_t, const double*,
+                                std::size_t, double*, double*);
+using EmdX4Kernel = void (*)(const double*, const double*, const std::uint64_t*,
+                             const std::uint64_t*, const std::uint64_t*,
+                             const std::uint64_t*, double*);
+using MarginKernel = double (*)(double*, double*, std::size_t);
+using FilterKernel = std::size_t (*)(const double*, std::size_t, double, std::uint32_t*);
 
 Kernel dispatch() {
 #if TRADEPLOT_X86
@@ -146,6 +368,44 @@ CountU8Kernel count_nonzero_u8_kernel() {
   return k;
 }
 
+IntervalKernel interval_kernel() {
+#if TRADEPLOT_X86
+  static const IntervalKernel k =
+      detect_avx2() ? &pivot_interval_sweep_avx2 : &pivot_interval_sweep_scalar;
+#else
+  static const IntervalKernel k = &pivot_interval_sweep_scalar;
+#endif
+  return k;
+}
+
+EmdX4Kernel emd_x4_kernel() {
+#if TRADEPLOT_X86
+  static const EmdX4Kernel k = detect_avx2() ? &emd_sweep_x4_avx2 : &emd_sweep_x4_scalar;
+#else
+  static const EmdX4Kernel k = &emd_sweep_x4_scalar;
+#endif
+  return k;
+}
+
+MarginKernel margin_kernel() {
+#if TRADEPLOT_X86
+  static const MarginKernel k =
+      detect_avx2() ? &margin_min_sweep_avx2 : &margin_min_sweep_scalar;
+#else
+  static const MarginKernel k = &margin_min_sweep_scalar;
+#endif
+  return k;
+}
+
+FilterKernel filter_kernel() {
+#if TRADEPLOT_X86
+  static const FilterKernel k = detect_avx2() ? &filter_le_avx2 : &filter_le_scalar;
+#else
+  static const FilterKernel k = &filter_le_scalar;
+#endif
+  return k;
+}
+
 }  // namespace
 
 double l1_distance(const double* a, const double* b, std::size_t n) {
@@ -166,6 +426,25 @@ std::uint64_t sum_u64(const std::uint64_t* a, std::size_t n) {
 
 std::size_t count_nonzero_u8(const std::uint8_t* a, std::size_t n) {
   return count_nonzero_u8_kernel()(a, n);
+}
+
+void pivot_interval_sweep(const double* cols, std::size_t stride, std::size_t pivots,
+                          const double* top, std::size_t count, double* lo, double* hi) {
+  interval_kernel()(cols, stride, pivots, top, count, lo, hi);
+}
+
+void emd_sweep_x4(const double* positions, const double* weights,
+                  const std::uint64_t* a_off, const std::uint64_t* a_len,
+                  const std::uint64_t* b_off, const std::uint64_t* b_len, double* out) {
+  emd_x4_kernel()(positions, weights, a_off, a_len, b_off, b_len, out);
+}
+
+double margin_min_sweep(double* lo, double* hi, std::size_t n) {
+  return margin_kernel()(lo, hi, n);
+}
+
+std::size_t filter_le(const double* v, std::size_t n, double threshold, std::uint32_t* out) {
+  return filter_kernel()(v, n, threshold, out);
 }
 
 }  // namespace tradeplot::stats::simd

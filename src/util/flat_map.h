@@ -1,0 +1,112 @@
+// Flat open-addressing hash map for u64 -> double memo tables.
+//
+// The pruned θ_hm path memoizes millions of pair distances keyed by packed
+// (lo << 32) | hi indices. std::unordered_map pays a node allocation per
+// entry plus pointer-chasing probes, and at clustering scale (10^6..10^7
+// entries) that bookkeeping dominates the wall-clock the pruning saved. This
+// map stores keys and values in two flat arrays with linear probing over a
+// power-of-two table — one cache line per probe, no per-entry allocation —
+// and supports exactly the operations the memo tables need: insert-if-absent,
+// lookup, and full iteration. No erase, so probe chains never need
+// tombstones.
+//
+// Key 0 marks an empty slot. Both memo users pack (lo, hi) with lo < hi, so
+// hi >= 1 and a real key is never 0; inserting key 0 is undefined.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tradeplot::util {
+
+class Flat64Map {
+ public:
+  Flat64Map() { rehash(kMinCapacity); }
+
+  /// Grows the table so `n` entries fit without further rehashing.
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap * kMaxLoadNum < n * kMaxLoadDen) cap <<= 1;
+    if (cap > keys_.size()) rehash(cap);
+  }
+
+  /// Pointer to the value for `k`, or nullptr when absent. Invalidated by
+  /// the next insert.
+  [[nodiscard]] const double* find(std::uint64_t k) const {
+    std::size_t i = probe_start(k);
+    while (keys_[i] != 0) {
+      if (keys_[i] == k) return &vals_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t k) const { return find(k) != nullptr; }
+
+  /// Inserts (k, v) unless `k` is already present (first value wins, like
+  /// unordered_map::emplace — the memo users only ever re-insert identical
+  /// values).
+  void insert(std::uint64_t k, double v) {
+    if ((size_ + 1) * kMaxLoadDen > keys_.size() * kMaxLoadNum) rehash(keys_.size() << 1);
+    std::size_t i = probe_start(k);
+    while (keys_[i] != 0) {
+      if (keys_[i] == k) return;
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = k;
+    vals_[i] = v;
+    ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Calls fn(key, value) for every entry, in unspecified order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i)
+      if (keys_[i] != 0) fn(keys_[i], vals_[i]);
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 64;
+  // Max load factor 7/8: linear probing stays short and the doubling
+  // schedule wastes at most ~2x the entry footprint.
+  static constexpr std::size_t kMaxLoadNum = 7;
+  static constexpr std::size_t kMaxLoadDen = 8;
+
+  // splitmix64 finalizer: packed pair keys are highly regular (small
+  // integers in both halves), and linear probing needs the avalanche.
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t k) {
+    k ^= k >> 30;
+    k *= 0xbf58476d1ce4e5b9ULL;
+    k ^= k >> 27;
+    k *= 0x94d049bb133111ebULL;
+    k ^= k >> 31;
+    return k;
+  }
+
+  [[nodiscard]] std::size_t probe_start(std::uint64_t k) const { return mix(k) & mask_; }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<double> old_vals = std::move(vals_);
+    keys_.assign(new_cap, 0);
+    vals_.assign(new_cap, 0.0);
+    mask_ = new_cap - 1;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == 0) continue;
+      std::size_t j = probe_start(old_keys[i]);
+      while (keys_[j] != 0) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      vals_[j] = old_vals[i];
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<double> vals_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tradeplot::util

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -145,6 +146,79 @@ TEST(HmPrune, ThreadCountDoesNotChangePrunedResult) {
     SCOPED_TRACE(testing::Message() << threads << " threads");
     expect_same_result(human_machine_test(pop.features, pop.input, config), reference);
   }
+}
+
+TEST(HmPrune, EnvThreadCountInvariantOnTieHeavyPopulation) {
+  // threads = 0 defers to TRADEPLOT_THREADS; the tie-heavy population (all
+  // distances exact zeros or exact duplicates) is where a racy reduction
+  // order would first show as a different merge sequence. Every env setting
+  // must produce the serial reference bit-for-bit.
+  Population pop;
+  std::vector<double> a(50, 30.0);
+  std::vector<double> b(50, 90.0);
+  for (std::uint32_t i = 0; i < 80; ++i) pop.add(i, i % 2 == 0 ? a : b);
+  HumanMachineConfig config;
+  config.min_samples = 10;
+  config.pruning = HmPruning::kPruned;
+  config.threads = 1;
+  const HumanMachineResult reference = human_machine_test(pop.features, pop.input, config);
+  config.threads = 0;
+  for (const char* threads : {"1", "2", "8"}) {
+    ASSERT_EQ(setenv("TRADEPLOT_THREADS", threads, 1), 0);
+    SCOPED_TRACE(testing::Message() << "TRADEPLOT_THREADS=" << threads);
+    expect_same_result(human_machine_test(pop.features, pop.input, config), reference);
+  }
+  unsetenv("TRADEPLOT_THREADS");
+}
+
+TEST(HmPrune, EnvThreadCountInvariantOnWarmCacheWindow) {
+  // The cache-warm path resolves everything through memo probes; mixing it
+  // with batch resolution at different thread counts must not change what
+  // gets retained or returned.
+  util::Pcg32 rng(0x9A18);
+  const Population pop = random_population(rng, 84);
+  HumanMachineConfig config;
+  config.min_samples = 10;
+  config.pruning = HmPruning::kPruned;
+  config.threads = 1;
+  HmCache reference_cache;
+  (void)human_machine_test(pop.features, pop.input, config, &reference_cache);
+  const HumanMachineResult reference =
+      human_machine_test(pop.features, pop.input, config, &reference_cache);
+  config.threads = 0;
+  for (const char* threads : {"1", "2", "8"}) {
+    ASSERT_EQ(setenv("TRADEPLOT_THREADS", threads, 1), 0);
+    SCOPED_TRACE(testing::Message() << "TRADEPLOT_THREADS=" << threads);
+    HmCache cache;
+    const HumanMachineResult cold = human_machine_test(pop.features, pop.input, config, &cache);
+    const HumanMachineResult warm = human_machine_test(pop.features, pop.input, config, &cache);
+    expect_same_result(warm, reference);
+    expect_same_result(cold, reference);
+    EXPECT_EQ(warm.prune.exact_kernel_evals, 0u);
+  }
+  unsetenv("TRADEPLOT_THREADS");
+}
+
+TEST(HmPrune, PhaseTimingFieldsFollowCollectFlag) {
+  util::Pcg32 rng(0x9A19);
+  const Population pop = random_population(rng, 96);
+  HumanMachineConfig config;
+  config.min_samples = 10;
+  config.pruning = HmPruning::kPruned;
+  const HumanMachineResult off = human_machine_test(pop.features, pop.input, config);
+  EXPECT_EQ(off.prune.pivot_build_ms, 0.0);
+  EXPECT_EQ(off.prune.bound_scan_ms, 0.0);
+  EXPECT_EQ(off.prune.exact_eval_ms, 0.0);
+  EXPECT_EQ(off.prune.replay_ms, 0.0);
+  config.collect_phase_timing = true;
+  const HumanMachineResult on = human_machine_test(pop.features, pop.input, config);
+  expect_same_result(on, off);  // timing must never perturb the verdict
+  // Steady clocks are monotone, so every phase is non-negative, and a
+  // 96-host pruned run always does pivot construction and bound scans.
+  EXPECT_GT(on.prune.pivot_build_ms, 0.0);
+  EXPECT_GT(on.prune.bound_scan_ms, 0.0);
+  EXPECT_GE(on.prune.exact_eval_ms, 0.0);
+  EXPECT_GE(on.prune.replay_ms, 0.0);
 }
 
 TEST(HmPrune, AutoSwitchesAtPruneMinHosts) {

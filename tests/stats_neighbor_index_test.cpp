@@ -4,6 +4,9 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "stats/emd.h"
@@ -217,6 +220,80 @@ TEST(PrunedCut, WorksWithoutFeaturesAndRejectsBadInput) {
                util::ConfigError);
   EXPECT_THROW((void)average_linkage_cut_pruned(n, leaf, PruneFeatures{}, 1.1),
                util::ConfigError);
+}
+
+TEST(PrunedLinkage, BatchResolutionKeepsDendrogramBitIdentical) {
+  // The gated-lookahead batch path (PruneOptions::batch_leaf) may resolve
+  // more pairs than the strict serial gate, but every value is exact, so the
+  // dendrogram must match the dense reference bit-for-bit — at every worker
+  // count, with the observer seeing each batch-resolved pair exactly once.
+  util::Pcg32 rng(0x1DF5);
+  for (const std::size_t n : {17u, 60u, 120u}) {
+    const std::vector<Signature> sigs = mixed_population(rng, n);
+    const FlatSignatureSet flat(sigs, 1);
+    const std::vector<double> matrix = dense_matrix(flat);
+    const Dendrogram dense = agglomerative_average_linkage(matrix, n);
+    NeighborIndex index(
+        n, [&](std::size_t i, std::size_t j) { return emd_1d_presorted(flat.view(i), flat.view(j)); },
+        8, 1);
+    index.build_grid(flat, 64, 1);
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      PruneOptions options;
+      options.threads = threads;
+      std::size_t observed = 0;
+      options.batch_leaf = [&](std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs,
+                               double* out) {
+        for (std::size_t k = 0; k < pairs.size(); ++k)
+          out[k] = matrix[pairs[k].first * n + pairs[k].second];
+      };
+      options.on_leaf_resolved = [&](std::size_t i, std::size_t j, double v) {
+        ++observed;
+        EXPECT_EQ(std::memcmp(&v, &matrix[i * n + j], sizeof v), 0) << i << "," << j;
+      };
+      PruneCounters counters;
+      const Dendrogram pruned = agglomerative_average_linkage_pruned(
+          n, [&](std::size_t i, std::size_t j) { return matrix[i * n + j]; }, index.features(),
+          options, &counters);
+      SCOPED_TRACE(testing::Message() << "n=" << n << " threads=" << threads);
+      expect_same_dendrogram(pruned, dense);
+    }
+  }
+}
+
+TEST(NeighborIndex, BoundsAdmissibleUnderSimdSweep) {
+  // Brute-force cross-check of the vectorized pass-1 path: for every active
+  // "top" leaf, run the same pivot_interval_sweep + margin pass the engine
+  // runs over its column-major pivot storage, and verify each candidate's
+  // margined interval brackets the exact distance. This is the admissibility
+  // property the whole elimination tier rides on.
+  util::Pcg32 rng(0x1DF6);
+  const std::size_t n = 72;
+  const std::vector<Signature> sigs = mixed_population(rng, n);
+  const FlatSignatureSet flat(sigs, 1);
+  NeighborIndex index(
+      n, [&](std::size_t i, std::size_t j) { return emd_1d_presorted(flat.view(i), flat.view(j)); },
+      8, 1);
+  const PruneFeatures f = index.features();
+  // Engine layout: column-major, cols[p * n + k] = pivot_distances[k * p + p].
+  std::vector<double> cols(f.pivots * n);
+  for (std::size_t p = 0; p < f.pivots; ++p)
+    for (std::size_t k = 0; k < n; ++k) cols[p * n + k] = f.pivot_distances[k * f.pivots + p];
+  std::vector<double> top_vals(f.pivots);
+  std::vector<double> lo(n);
+  std::vector<double> hi(n);
+  for (std::size_t top = 0; top < n; ++top) {
+    for (std::size_t p = 0; p < f.pivots; ++p) top_vals[p] = cols[p * n + top];
+    simd::pivot_interval_sweep(cols.data(), n, f.pivots, top_vals.data(), n, lo.data(),
+                               hi.data());
+    hi[top] = std::numeric_limits<double>::infinity();
+    (void)simd::margin_min_sweep(lo.data(), hi.data(), n);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == top) continue;
+      const double exact = emd_1d_presorted(flat.view(top), flat.view(j));
+      ASSERT_LE(lo[j], exact) << "top=" << top << " j=" << j;
+      ASSERT_GE(hi[j], exact) << "top=" << top << " j=" << j;
+    }
+  }
 }
 
 TEST(SimdL1, MatchesScalarLoop) {

@@ -31,6 +31,11 @@
 //                                       also rewrite it periodically so a
 //                                       textfile scraper sees live values
 //   --metrics-format prom|json          snapshot format (default prom)
+//   --shards N                          run the sharded detector with N
+//                                       worker shards (default 1; 1 is
+//                                       bit-identical to the single
+//                                       detector, N>1 merges per-shard
+//                                       sketches and two-level clustering)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +51,7 @@
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "shard/sharded_detector.h"
 #include "svc/sender.h"
 #include "util/error.h"
 #include "util/format.h"
@@ -64,6 +70,7 @@ int usage(const char* argv0) {
                "                 [--checkpoint PATH] [--checkpoint-every N]\n"
                "                 [--resume PATH] [--timing-budget N]\n"
                "                 [--metrics PATH[,interval_s]] [--metrics-format prom|json]\n"
+               "                 [--shards N]\n"
                "       %s --send <trace.(csv|bin)> --endpoint EP --tenant NAME\n"
                "days and window_s must be positive numbers; seed and N must be\n"
                "non-negative integers. --send streams the trace to a running\n"
@@ -102,6 +109,7 @@ struct StreamOptions {
   std::string metrics_path;  // empty = metrics disabled
   double metrics_interval = 0.0;  // seconds between periodic dumps (0 = exit only)
   obs::ExpositionFormat metrics_format = obs::ExpositionFormat::kPrometheus;
+  std::uint64_t shards = 0;  // 0 = flag absent, legacy StreamingDetector path
 };
 
 std::string_view policy_name(const netflow::ErrorPolicy& policy) {
@@ -120,67 +128,14 @@ std::string verdict(const eval::DayData& day, simnet::Ipv4 host) {
   return "false alarm (" + std::string(netflow::to_string(day.combined.kind_of(host))) + ")";
 }
 
-int run_stream(const StreamOptions& opt) {
-  if (!opt.metrics_path.empty()) {
-    obs::set_enabled(true);
-    // Pre-register the whole per-stage family so a scrape shows every
-    // pipeline stage (checkpoint save/restore included) even before it has
-    // run once — absent series and zero series are different signals.
-    for (std::size_t s = 0; s < obs::kStageCount; ++s)
-      (void)obs::stage_histogram(static_cast<obs::Stage>(s));
-  }
-  const auto dump_metrics = [&] {
-    if (opt.metrics_path.empty()) return;
-    obs::write_snapshot_file(opt.metrics_path, obs::Registry::global().snapshot(),
-                             opt.metrics_format);
-  };
-
-  netflow::TraceReader reader(opt.path, opt.policy);
-  std::printf("streaming %s (%s) in %.0f s windows, bounded-memory ingestion\n\n",
-              opt.path.c_str(), std::string(netflow::to_string(reader.format())).c_str(),
-              opt.window);
-
-  detect::StreamingConfig cfg;
-  cfg.window = opt.window;
-  cfg.is_internal = detect::default_internal_predicate;
-  cfg.timing_budget = static_cast<std::size_t>(opt.timing_budget);
-
-  int flagged_total = 0, tp_total = 0, degraded_windows = 0;
-  detect::StreamingDetector detector(cfg, [&](const detect::WindowVerdict& v) {
-    std::printf("=== window %zu [%.0f, %.0f): %zu flows, %zu internal hosts%s ===\n",
-                v.window_index, v.window_start, v.window_end, v.flows_seen, v.features.size(),
-                v.degraded ? " [DEGRADED]" : "");
-    if (v.degraded) {
-      ++degraded_windows;
-      std::printf("  timing budget exceeded: shed %zu hosts' timing state (%zu samples);\n"
-                  "  volume/failed-rate evidence stayed exact\n",
-                  v.hosts_shed, v.timing_samples_shed);
-    }
-    if (v.result.plotters.empty()) {
-      std::printf("  nothing flagged\n\n");
-      return;
-    }
-    std::printf("  %-16s %10s %12s %10s %8s  %s\n", "host", "flows", "avg B/flow", "failed%",
-                "new-IP%", "assessment");
-    for (const simnet::Ipv4 host : v.result.plotters) {
-      const detect::HostFeatures& f = v.features.at(host);
-      // Ground truth travels in the trace preamble; unknown hosts stay
-      // "unlabeled" when the trace carries none.
-      const auto it = reader.truth().find(host);
-      const netflow::HostKind kind =
-          it == reader.truth().end() ? netflow::HostKind::kUnknown : it->second;
-      const bool is_bot = netflow::host_class(kind) == netflow::HostClass::kPlotter;
-      std::printf("  %-16s %10zu %12.0f %9.1f%% %7.1f%%  %s (%s)\n", host.to_string().c_str(),
-                  f.flows_initiated, f.volume(detect::VolumeMetric::kSentPerFlow),
-                  f.failed_rate() * 100.0, f.new_ip_fraction() * 100.0,
-                  is_bot ? "TRUE POSITIVE" : "false alarm",
-                  std::string(netflow::to_string(kind)).c_str());
-      ++flagged_total;
-      if (is_bot) ++tp_total;
-    }
-    std::printf("\n");
-  });
-
+// Feeds the trace through either detector type. StreamingDetector and
+// ShardedDetector expose the same ingest/checkpoint/flush surface, so the
+// whole fault-tolerant driver — resume fast-forward, record-granular
+// checkpoint boundaries, SIGINT handling, the summary — is written once.
+template <class Detector, class DumpFn>
+int drive_stream(const StreamOptions& opt, netflow::TraceReader& reader, Detector& detector,
+                 const DumpFn& dump_metrics, int& flagged_total, int& tp_total,
+                 int& degraded_windows) {
   if (!opt.resume_path.empty()) {
     detector.restore_checkpoint_file(opt.resume_path);
     const auto already = detector.flows_ingested_total();
@@ -297,6 +252,88 @@ int run_stream(const StreamOptions& opt) {
   return 0;
 }
 
+int run_stream(const StreamOptions& opt) {
+  if (!opt.metrics_path.empty()) {
+    obs::set_enabled(true);
+    // Pre-register the whole per-stage family so a scrape shows every
+    // pipeline stage (checkpoint save/restore included) even before it has
+    // run once — absent series and zero series are different signals.
+    for (std::size_t s = 0; s < obs::kStageCount; ++s)
+      (void)obs::stage_histogram(static_cast<obs::Stage>(s));
+  }
+  const auto dump_metrics = [&] {
+    if (opt.metrics_path.empty()) return;
+    obs::write_snapshot_file(opt.metrics_path, obs::Registry::global().snapshot(),
+                             opt.metrics_format);
+  };
+
+  netflow::TraceReader reader(opt.path, opt.policy);
+  std::printf("streaming %s (%s) in %.0f s windows, bounded-memory ingestion",
+              opt.path.c_str(), std::string(netflow::to_string(reader.format())).c_str(),
+              opt.window);
+  if (opt.shards > 1)
+    std::printf(", %llu worker shards", static_cast<unsigned long long>(opt.shards));
+  std::printf("\n\n");
+
+  int flagged_total = 0, tp_total = 0, degraded_windows = 0;
+  const auto on_verdict = [&](const detect::WindowVerdict& v) {
+    std::printf("=== window %zu [%.0f, %.0f): %zu flows, %zu internal hosts%s ===\n",
+                v.window_index, v.window_start, v.window_end, v.flows_seen, v.features.size(),
+                v.degraded ? " [DEGRADED]" : "");
+    if (v.degraded) {
+      ++degraded_windows;
+      std::printf("  timing budget exceeded: shed %zu hosts' timing state (%zu samples);\n"
+                  "  volume/failed-rate evidence stayed exact\n",
+                  v.hosts_shed, v.timing_samples_shed);
+    }
+    if (v.result.plotters.empty()) {
+      std::printf("  nothing flagged\n\n");
+      return;
+    }
+    std::printf("  %-16s %10s %12s %10s %8s  %s\n", "host", "flows", "avg B/flow", "failed%",
+                "new-IP%", "assessment");
+    for (const simnet::Ipv4 host : v.result.plotters) {
+      const detect::HostFeatures& f = v.features.at(host);
+      // Ground truth travels in the trace preamble; unknown hosts stay
+      // "unlabeled" when the trace carries none.
+      const auto it = reader.truth().find(host);
+      const netflow::HostKind kind =
+          it == reader.truth().end() ? netflow::HostKind::kUnknown : it->second;
+      const bool is_bot = netflow::host_class(kind) == netflow::HostClass::kPlotter;
+      std::printf("  %-16s %10zu %12.0f %9.1f%% %7.1f%%  %s (%s)\n", host.to_string().c_str(),
+                  f.flows_initiated, f.volume(detect::VolumeMetric::kSentPerFlow),
+                  f.failed_rate() * 100.0, f.new_ip_fraction() * 100.0,
+                  is_bot ? "TRUE POSITIVE" : "false alarm",
+                  std::string(netflow::to_string(kind)).c_str());
+      ++flagged_total;
+      if (is_bot) ++tp_total;
+    }
+    std::printf("\n");
+  };
+
+  // Flag absent: the original single detector. "--shards N" (N >= 1) runs
+  // the sharded detector — at N == 1 its verdicts are bit-identical, so the
+  // two branches print the same report, but its checkpoints are TPSH images
+  // (a --resume must use the same path family it saved with).
+  if (opt.shards == 0) {
+    detect::StreamingConfig cfg;
+    cfg.window = opt.window;
+    cfg.is_internal = detect::default_internal_predicate;
+    cfg.timing_budget = static_cast<std::size_t>(opt.timing_budget);
+    detect::StreamingDetector detector(cfg, on_verdict);
+    return drive_stream(opt, reader, detector, dump_metrics, flagged_total, tp_total,
+                        degraded_windows);
+  }
+  shard::ShardedConfig cfg;
+  cfg.shards = static_cast<std::size_t>(opt.shards);
+  cfg.window = opt.window;
+  cfg.is_internal = detect::default_internal_predicate;
+  cfg.timing_budget = static_cast<std::size_t>(opt.timing_budget);
+  shard::ShardedDetector detector(cfg, on_verdict);
+  return drive_stream(opt, reader, detector, dump_metrics, flagged_total, tp_total,
+                      degraded_windows);
+}
+
 int parse_stream_args(int argc, char** argv, StreamOptions& opt) {
   opt.path = argv[2];
   int i = 3;
@@ -369,6 +406,13 @@ int parse_stream_args(int argc, char** argv, StreamOptions& opt) {
       }
       if (opt.metrics_path.empty()) {
         std::fprintf(stderr, "bad --metrics '%s': empty path\n", v);
+        return usage(argv[0]);
+      }
+    } else if (flag == "--shards") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64_arg(v, opt.shards) || opt.shards == 0) {
+        std::fprintf(stderr, "bad --shards '%s': must be a positive integer\n",
+                     v == nullptr ? "(missing)" : v);
         return usage(argv[0]);
       }
     } else if (flag == "--metrics-format") {

@@ -44,12 +44,13 @@ void print_config_summary(const svc::DaemonConfig& cfg) {
               cfg.idle_timeout, cfg.metrics ? "on" : "off");
   for (const svc::TenantParams& t : cfg.tenants)
     std::printf("tenant %s: window %.0fs, timing_budget %llu, checkpoint_every %llu, "
-                "queue %llu rows (%s)\n",
+                "queue %llu rows (%s), shards %llu\n",
                 t.name.c_str(), t.window,
                 static_cast<unsigned long long>(t.timing_budget),
                 static_cast<unsigned long long>(t.checkpoint_every),
                 static_cast<unsigned long long>(t.queue_capacity),
-                std::string(svc::to_string(t.overflow)).c_str());
+                std::string(svc::to_string(t.overflow)).c_str(),
+                static_cast<unsigned long long>(t.shards));
 }
 
 }  // namespace

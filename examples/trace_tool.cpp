@@ -9,6 +9,8 @@
 //   trace_tool stats    <in>                                per-class summary + ingest
 //                                                           metrics (prom + json)
 //   trace_tool head     <in> [n]                            first n flows (streaming)
+//   trace_tool shard    <in> <out> --shards N               split by consistent hash
+//                                                           into out.shardK.<ext>
 //
 // Inputs are format-sniffed by content (TraceReader), so a binary trace with
 // a .csv name still loads; outputs pick their format by extension.
@@ -17,6 +19,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "botnet/honeynet.h"
 #include "detect/features.h"
@@ -25,6 +28,7 @@
 #include "netflow/trace_reader.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "shard/ring.h"
 #include "trace/campus.h"
 #include "util/format.h"
 
@@ -126,6 +130,45 @@ int head(const std::string& path, std::size_t n) {
   return 0;
 }
 
+// Splits a trace into one file per shard with the SAME consistent hash the
+// sharded detector routes by (shard/ring.h, keyed on the flow's source
+// host), so "campus_monitor --stream out.shardK --shards 1" on each part
+// replays exactly what shard K's accumulator would see on the initiator
+// side. Row counts are conserved: every input flow lands in exactly one
+// output file. Ground truth and the window span are replicated into every
+// part so each stays a self-contained trace.
+int shard_split(const std::string& in, const std::string& out, std::size_t shards) {
+  const netflow::TraceSet trace = load(in);
+  const shard::HashRing ring(shards);
+
+  // out.csv -> out.shard0.csv; an extension-less path just gets the suffix.
+  const std::size_t dot = out.rfind('.');
+  const std::size_t slash = out.rfind('/');
+  const bool has_ext = dot != std::string::npos && (slash == std::string::npos || dot > slash);
+  const std::string stem = has_ext ? out.substr(0, dot) : out;
+  const std::string ext = has_ext ? out.substr(dot) : "";
+
+  std::vector<netflow::TraceSet> parts;
+  parts.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    parts.emplace_back(trace.window_start(), trace.window_end());
+    for (const auto& [host, kind] : trace.truth()) parts.back().set_truth(host, kind);
+  }
+  for (const netflow::FlowRecord& flow : trace.flows())
+    parts[ring.shard_of(flow.src)].add_flow(flow);
+
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::string path = stem + ".shard" + std::to_string(s) + ext;
+    store(path, parts[s]);
+    std::printf("wrote %s: %zu flows\n", path.c_str(), parts[s].flows().size());
+    total += parts[s].flows().size();
+  }
+  std::printf("%zu flows in, %zu flows out across %zu shard file(s)\n", trace.flows().size(),
+              total, shards);
+  return total == trace.flows().size() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -134,8 +177,9 @@ int main(int argc, char** argv) {
                  "usage: %s generate|storm|nugache <out> [seed] [window_s]\n"
                  "       %s convert <in> <out>\n"
                  "       %s stats <in>\n"
-                 "       %s head <in> [n]\n",
-                 argv[0], argv[0], argv[0], argv[0]);
+                 "       %s head <in> [n]\n"
+                 "       %s shard <in> <out> --shards N\n",
+                 argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   const std::string command = argv[1];
@@ -144,6 +188,19 @@ int main(int argc, char** argv) {
     if (command == "head")
       return head(argv[2], argc > 3 ? static_cast<std::size_t>(std::strtoull(argv[3], nullptr, 10))
                                     : 10);
+    if (command == "shard") {
+      if (argc != 6 || std::strcmp(argv[4], "--shards") != 0) {
+        std::fprintf(stderr, "shard needs <in> <out> --shards N\n");
+        return 2;
+      }
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(argv[5], &end, 10);
+      if (*argv[5] == '\0' || *argv[5] == '-' || *end != '\0' || n == 0) {
+        std::fprintf(stderr, "bad --shards '%s': must be a positive integer\n", argv[5]);
+        return 2;
+      }
+      return shard_split(argv[2], argv[3], static_cast<std::size_t>(n));
+    }
     if (command == "convert") {
       if (argc < 4) {
         std::fprintf(stderr, "convert needs <in> <out>\n");

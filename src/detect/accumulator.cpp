@@ -1,0 +1,169 @@
+#include "detect/accumulator.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "detect/payload_codec.h"
+
+namespace tradeplot::detect {
+
+namespace {
+
+HostWindowState& touch(std::unordered_map<simnet::Ipv4, HostWindowState>& hosts,
+                       simnet::Ipv4 host, double t) {
+  HostWindowState& state = hosts[host];
+  if (!state.seen) {
+    state.seen = true;
+    state.features.host = host;
+    state.features.first_activity = t;
+  } else {
+    state.features.first_activity = std::min(state.features.first_activity, t);
+  }
+  return state;
+}
+
+}  // namespace
+
+void WindowAccumulator::apply_initiator(simnet::Ipv4 src, simnet::Ipv4 dst, double t,
+                                        std::uint64_t bytes_src, bool failed,
+                                        std::size_t timing_budget) {
+  HostWindowState& state = touch(hosts_, src, t);
+  HostFeatures& f = state.features;
+  f.flows_initiated += 1;
+  if (failed) f.flows_failed += 1;
+  f.bytes_sent_initiated += bytes_src;
+  // Accumulate the raw start time; churn and interstitials are derived
+  // from the sorted per-destination times at window close, so late
+  // arrivals land in their true position instead of producing spurious
+  // |gap| samples that diverge from the batch extractor.
+  //
+  // A host whose timing state was shed this window stops buffering (its
+  // scalar counters above stay exact); everyone else counts toward the
+  // window's timing budget.
+  if (!state.timing_shed) {
+    state.per_dst_times[dst].push_back(t);
+    ++state.timing_samples;
+    ++timing_samples_;
+    if (timing_budget != 0 && timing_samples_ > timing_budget)
+      shed_timing_state(timing_budget);
+  }
+}
+
+void WindowAccumulator::apply_responder(simnet::Ipv4 dst, double t,
+                                        std::uint64_t bytes_dst) {
+  HostWindowState& state = touch(hosts_, dst, t);
+  state.features.flows_received += 1;
+  state.features.bytes_sent_received += bytes_dst;
+}
+
+void WindowAccumulator::shed_timing_state(std::size_t timing_budget) {
+  // Lowest evidence first: hosts with the fewest buffered timing samples
+  // have the least interstitial/churn signal to lose. Ties break by
+  // address so the shed set is deterministic for a given flow sequence.
+  std::vector<std::pair<std::size_t, simnet::Ipv4>> candidates;
+  candidates.reserve(hosts_.size());
+  for (const auto& [host, state] : hosts_) {
+    if (!state.timing_shed && state.timing_samples > 0)
+      candidates.emplace_back(state.timing_samples, host);
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  // Hysteresis: shed down to ~3/4 of the budget so one more sample does not
+  // immediately re-trigger a full scan-and-sort.
+  const std::size_t target = timing_budget - timing_budget / 4;
+  for (const auto& [samples, host] : candidates) {
+    if (timing_samples_ <= target) break;
+    HostWindowState& state = hosts_.at(host);
+    timing_samples_ -= state.timing_samples;
+    timing_samples_shed_ += state.timing_samples;
+    state.timing_samples = 0;
+    state.per_dst_times.clear();
+    state.timing_shed = true;
+    ++hosts_shed_;
+  }
+}
+
+FeatureMap WindowAccumulator::finalize(double grace) {
+  FeatureMap features;
+  features.reserve(hosts_.size());
+  for (auto& [host, state] : hosts_) {
+    finalize_destinations(state.features, state.per_dst_times, grace);
+    features.emplace(host, std::move(state.features));
+  }
+  return features;
+}
+
+void WindowAccumulator::reset() {
+  hosts_.clear();
+  timing_samples_ = 0;
+  hosts_shed_ = 0;
+  timing_samples_shed_ = 0;
+}
+
+void WindowAccumulator::encode(PayloadWriter& w) const {
+  w.put(static_cast<std::uint64_t>(timing_samples_));
+  w.put(static_cast<std::uint64_t>(hosts_shed_));
+  w.put(static_cast<std::uint64_t>(timing_samples_shed_));
+  w.put(static_cast<std::uint64_t>(hosts_.size()));
+  for (const auto& [host, state] : hosts_) {
+    w.put(host.value());
+    w.put(static_cast<std::uint8_t>(state.seen));
+    w.put(static_cast<std::uint8_t>(state.timing_shed));
+    const HostFeatures& f = state.features;
+    w.put(static_cast<std::uint64_t>(f.flows_initiated));
+    w.put(static_cast<std::uint64_t>(f.flows_failed));
+    w.put(static_cast<std::uint64_t>(f.flows_received));
+    w.put(f.bytes_sent_initiated);
+    w.put(f.bytes_sent_received);
+    w.put(static_cast<std::uint64_t>(f.distinct_dsts));
+    w.put(static_cast<std::uint64_t>(f.dsts_after_first_hour));
+    w.put(f.first_activity);
+    w.put_times(f.interstitials);
+    w.put(static_cast<std::uint64_t>(state.per_dst_times.size()));
+    for (const auto& [dst, times] : state.per_dst_times) {
+      w.put(dst.value());
+      w.put_times(times);
+    }
+  }
+}
+
+void WindowAccumulator::decode(PayloadReader& r) {
+  const auto timing_samples = r.take<std::uint64_t>();
+  const auto hosts_shed = r.take<std::uint64_t>();
+  const auto samples_shed = r.take<std::uint64_t>();
+  const auto host_count = r.take<std::uint64_t>();
+  std::unordered_map<simnet::Ipv4, HostWindowState> hosts;
+  hosts.reserve(static_cast<std::size_t>(host_count));
+  for (std::uint64_t i = 0; i < host_count; ++i) {
+    const simnet::Ipv4 host(r.take<std::uint32_t>());
+    HostWindowState state;
+    state.seen = r.take<std::uint8_t>() != 0;
+    state.timing_shed = r.take<std::uint8_t>() != 0;
+    HostFeatures& f = state.features;
+    f.host = host;
+    f.flows_initiated = static_cast<std::size_t>(r.take<std::uint64_t>());
+    f.flows_failed = static_cast<std::size_t>(r.take<std::uint64_t>());
+    f.flows_received = static_cast<std::size_t>(r.take<std::uint64_t>());
+    f.bytes_sent_initiated = r.take<std::uint64_t>();
+    f.bytes_sent_received = r.take<std::uint64_t>();
+    f.distinct_dsts = static_cast<std::size_t>(r.take<std::uint64_t>());
+    f.dsts_after_first_hour = static_cast<std::size_t>(r.take<std::uint64_t>());
+    f.first_activity = r.take<double>();
+    f.interstitials = r.take_times();
+    const auto dst_count = r.take<std::uint64_t>();
+    state.per_dst_times.reserve(static_cast<std::size_t>(dst_count));
+    for (std::uint64_t d = 0; d < dst_count; ++d) {
+      const simnet::Ipv4 dst(r.take<std::uint32_t>());
+      state.per_dst_times.emplace(dst, r.take_times());
+      state.timing_samples += state.per_dst_times.at(dst).size();
+    }
+    hosts.emplace(host, std::move(state));
+  }
+  hosts_ = std::move(hosts);
+  timing_samples_ = static_cast<std::size_t>(timing_samples);
+  hosts_shed_ = static_cast<std::size_t>(hosts_shed);
+  timing_samples_shed_ = static_cast<std::size_t>(samples_shed);
+}
+
+}  // namespace tradeplot::detect

@@ -78,45 +78,10 @@ void StreamingDetector::ingest_one(simnet::Ipv4 src, simnet::Ipv4 dst, double st
   }
   roll_to(start_time);
 
-  const auto touch = [&](simnet::Ipv4 host, double t) -> HostState& {
-    HostState& state = hosts_[host];
-    if (!state.seen) {
-      state.seen = true;
-      state.features.host = host;
-      state.features.first_activity = t;
-    } else {
-      state.features.first_activity = std::min(state.features.first_activity, t);
-    }
-    return state;
-  };
-
-  if (config_.is_internal(src)) {
-    HostState& state = touch(src, start_time);
-    HostFeatures& f = state.features;
-    f.flows_initiated += 1;
-    if (failed) f.flows_failed += 1;
-    f.bytes_sent_initiated += bytes_src;
-    // Accumulate the raw start time; churn and interstitials are derived
-    // from the sorted per-destination times at window close, so late
-    // arrivals land in their true position instead of producing spurious
-    // |gap| samples that diverge from the batch extractor.
-    //
-    // A host whose timing state was shed this window stops buffering (its
-    // scalar counters above stay exact); everyone else counts toward the
-    // window's timing budget.
-    if (!state.timing_shed) {
-      state.per_dst_times[dst].push_back(start_time);
-      ++state.timing_samples;
-      ++timing_samples_;
-      if (config_.timing_budget != 0 && timing_samples_ > config_.timing_budget)
-        shed_timing_state();
-    }
-  }
-  if (config_.is_internal(dst) && !failed) {
-    HostState& state = touch(dst, start_time);
-    state.features.flows_received += 1;
-    state.features.bytes_sent_received += bytes_dst;
-  }
+  if (config_.is_internal(src))
+    acc_.apply_initiator(src, dst, start_time, bytes_src, failed, config_.timing_budget);
+  if (config_.is_internal(dst) && !failed)
+    acc_.apply_responder(dst, start_time, bytes_dst);
   ++flows_in_window_;
   ++flows_ingested_total_;
 }
@@ -127,7 +92,7 @@ void StreamingDetector::ingest(const netflow::FlowRecord& flow) {
   if (obs::enabled()) {
     StreamObs& o = StreamObs::get();
     o.flows.add();
-    o.timing_samples.set(static_cast<double>(timing_samples_));
+    o.timing_samples.set(static_cast<double>(acc_.timing_samples()));
     o.timing_budget.set(static_cast<double>(config_.timing_budget));
   }
 }
@@ -155,35 +120,8 @@ void StreamingDetector::ingest(const netflow::FlowBatch& batch, std::size_t begi
   if (obs::enabled() && end > begin) {
     StreamObs& o = StreamObs::get();
     o.flows.add(end - begin);
-    o.timing_samples.set(static_cast<double>(timing_samples_));
+    o.timing_samples.set(static_cast<double>(acc_.timing_samples()));
     o.timing_budget.set(static_cast<double>(config_.timing_budget));
-  }
-}
-
-void StreamingDetector::shed_timing_state() {
-  // Lowest evidence first: hosts with the fewest buffered timing samples
-  // have the least interstitial/churn signal to lose. Ties break by
-  // address so the shed set is deterministic for a given flow sequence.
-  std::vector<std::pair<std::size_t, simnet::Ipv4>> candidates;
-  candidates.reserve(hosts_.size());
-  for (const auto& [host, state] : hosts_) {
-    if (!state.timing_shed && state.timing_samples > 0)
-      candidates.emplace_back(state.timing_samples, host);
-  }
-  std::sort(candidates.begin(), candidates.end());
-
-  // Hysteresis: shed down to ~3/4 of the budget so one more sample does not
-  // immediately re-trigger a full scan-and-sort.
-  const std::size_t target = config_.timing_budget - config_.timing_budget / 4;
-  for (const auto& [samples, host] : candidates) {
-    if (timing_samples_ <= target) break;
-    HostState& state = hosts_.at(host);
-    timing_samples_ -= state.timing_samples;
-    timing_samples_shed_ += state.timing_samples;
-    state.timing_samples = 0;
-    state.per_dst_times.clear();
-    state.timing_shed = true;
-    ++hosts_shed_;
   }
 }
 
@@ -198,21 +136,16 @@ void StreamingDetector::emit() {
   const obs::StageTimer close_timer(obs::Stage::kWindowClose);
   // Finalize per-destination state (churn + interstitials) via the same
   // helper as the batch extractor.
-  FeatureMap features;
-  features.reserve(hosts_.size());
-  for (auto& [host, state] : hosts_) {
-    finalize_destinations(state.features, state.per_dst_times, config_.new_ip_grace);
-    features.emplace(host, std::move(state.features));
-  }
+  FeatureMap features = acc_.finalize(config_.new_ip_grace);
 
   WindowVerdict verdict;
   verdict.window_index = windows_emitted_;
   verdict.window_start = window_start_;
   verdict.window_end = window_start_ + config_.window;
   verdict.flows_seen = flows_in_window_;
-  verdict.degraded = hosts_shed_ > 0;
-  verdict.hosts_shed = hosts_shed_;
-  verdict.timing_samples_shed = timing_samples_shed_;
+  verdict.degraded = acc_.hosts_shed() > 0;
+  verdict.hosts_shed = acc_.hosts_shed();
+  verdict.timing_samples_shed = acc_.timing_samples_shed();
   if (!features.empty()) {
     verdict.result =
         find_plotters(features, config_.pipeline, config_.signature_cache ? &hm_cache_ : nullptr);
@@ -223,17 +156,14 @@ void StreamingDetector::emit() {
   if (obs::enabled()) {
     StreamObs& o = StreamObs::get();
     (verdict.degraded ? o.windows_degraded : o.windows).add();
-    o.hosts_shed.add(hosts_shed_);
-    o.samples_shed.add(timing_samples_shed_);
+    o.hosts_shed.add(acc_.hosts_shed());
+    o.samples_shed.add(acc_.timing_samples_shed());
     o.window_flows.observe(static_cast<double>(flows_in_window_));
     o.timing_samples.set(0.0);
   }
 
-  hosts_.clear();
+  acc_.reset();
   flows_in_window_ = 0;
-  timing_samples_ = 0;
-  hosts_shed_ = 0;
-  timing_samples_shed_ = 0;
   ++windows_emitted_;
 }
 
@@ -277,30 +207,7 @@ void StreamingDetector::save_checkpoint(std::ostream& out) const {
   w.put(static_cast<std::uint64_t>(flows_in_window_));
   w.put(static_cast<std::uint64_t>(windows_emitted_));
   w.put(flows_ingested_total_);
-  w.put(static_cast<std::uint64_t>(timing_samples_));
-  w.put(static_cast<std::uint64_t>(hosts_shed_));
-  w.put(static_cast<std::uint64_t>(timing_samples_shed_));
-  w.put(static_cast<std::uint64_t>(hosts_.size()));
-  for (const auto& [host, state] : hosts_) {
-    w.put(host.value());
-    w.put(static_cast<std::uint8_t>(state.seen));
-    w.put(static_cast<std::uint8_t>(state.timing_shed));
-    const HostFeatures& f = state.features;
-    w.put(static_cast<std::uint64_t>(f.flows_initiated));
-    w.put(static_cast<std::uint64_t>(f.flows_failed));
-    w.put(static_cast<std::uint64_t>(f.flows_received));
-    w.put(f.bytes_sent_initiated);
-    w.put(f.bytes_sent_received);
-    w.put(static_cast<std::uint64_t>(f.distinct_dsts));
-    w.put(static_cast<std::uint64_t>(f.dsts_after_first_hour));
-    w.put(f.first_activity);
-    w.put_times(f.interstitials);
-    w.put(static_cast<std::uint64_t>(state.per_dst_times.size()));
-    for (const auto& [dst, times] : state.per_dst_times) {
-      w.put(dst.value());
-      w.put_times(times);
-    }
-  }
+  acc_.encode(w);
   hm_cache_.encode(w);
 
   const std::string& payload = w.bytes();
@@ -357,51 +264,19 @@ void StreamingDetector::restore_checkpoint(std::istream& in) {
   const auto flows_in_window = r.take<std::uint64_t>();
   const auto windows_emitted = r.take<std::uint64_t>();
   const auto flows_total = r.take<std::uint64_t>();
-  const auto timing_samples = r.take<std::uint64_t>();
-  const auto hosts_shed = r.take<std::uint64_t>();
-  const auto samples_shed = r.take<std::uint64_t>();
-  const auto host_count = r.take<std::uint64_t>();
-  std::unordered_map<simnet::Ipv4, HostState> hosts;
-  hosts.reserve(static_cast<std::size_t>(host_count));
-  for (std::uint64_t i = 0; i < host_count; ++i) {
-    const simnet::Ipv4 host(r.take<std::uint32_t>());
-    HostState state;
-    state.seen = r.take<std::uint8_t>() != 0;
-    state.timing_shed = r.take<std::uint8_t>() != 0;
-    HostFeatures& f = state.features;
-    f.host = host;
-    f.flows_initiated = static_cast<std::size_t>(r.take<std::uint64_t>());
-    f.flows_failed = static_cast<std::size_t>(r.take<std::uint64_t>());
-    f.flows_received = static_cast<std::size_t>(r.take<std::uint64_t>());
-    f.bytes_sent_initiated = r.take<std::uint64_t>();
-    f.bytes_sent_received = r.take<std::uint64_t>();
-    f.distinct_dsts = static_cast<std::size_t>(r.take<std::uint64_t>());
-    f.dsts_after_first_hour = static_cast<std::size_t>(r.take<std::uint64_t>());
-    f.first_activity = r.take<double>();
-    f.interstitials = r.take_times();
-    const auto dst_count = r.take<std::uint64_t>();
-    state.per_dst_times.reserve(static_cast<std::size_t>(dst_count));
-    for (std::uint64_t d = 0; d < dst_count; ++d) {
-      const simnet::Ipv4 dst(r.take<std::uint32_t>());
-      state.per_dst_times.emplace(dst, r.take_times());
-      state.timing_samples += state.per_dst_times.at(dst).size();
-    }
-    hosts.emplace(host, std::move(state));
-  }
+  WindowAccumulator acc;
+  acc.decode(r);
   HmCache cache;
   cache.decode(r);
   if (!r.exhausted()) throw util::ParseError("checkpoint: trailing bytes in payload");
 
-  hosts_ = std::move(hosts);
+  acc_ = std::move(acc);
   hm_cache_ = std::move(cache);
   window_open_ = open != 0;
   window_start_ = window_start;
   flows_in_window_ = static_cast<std::size_t>(flows_in_window);
   windows_emitted_ = static_cast<std::size_t>(windows_emitted);
   flows_ingested_total_ = flows_total;
-  timing_samples_ = static_cast<std::size_t>(timing_samples);
-  hosts_shed_ = static_cast<std::size_t>(hosts_shed);
-  timing_samples_shed_ = static_cast<std::size_t>(samples_shed);
 }
 
 void StreamingDetector::save_checkpoint_file(const std::string& path) const {

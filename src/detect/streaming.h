@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "detect/accumulator.h"
 #include "detect/features.h"
 #include "detect/find_plotters.h"
 #include "detect/hm_cache.h"
@@ -138,24 +139,17 @@ class StreamingDetector {
                   std::uint64_t bytes_src, std::uint64_t bytes_dst, bool failed);
   void roll_to(double time);
   void emit();
-  void shed_timing_state();
 
   StreamingConfig config_;
   VerdictSink sink_;
 
-  // Incremental per-host accumulation for the current window: scalar
-  // counters update flow by flow; per-destination start times accumulate
-  // raw and are finalized (sorted -> churn + interstitials) by the shared
-  // finalize_destinations() when the window closes, exactly as in the
-  // batch extractor.
-  struct HostState {
-    HostFeatures features;
-    PerDestinationTimes per_dst_times;  // dst -> initiated-flow start times
-    std::size_t timing_samples = 0;     // total start times buffered above
-    bool seen = false;
-    bool timing_shed = false;  // budget shed dropped this host's timing state
-  };
-  std::unordered_map<simnet::Ipv4, HostState> hosts_;
+  // Per-host accumulation for the current window (see detect/accumulator.h):
+  // scalar counters update flow by flow; per-destination start times
+  // accumulate raw and are finalized (sorted -> churn + interstitials) by
+  // the shared finalize_destinations() when the window closes, exactly as
+  // in the batch extractor. The sharded detector reuses the same class, one
+  // accumulator per shard.
+  WindowAccumulator acc_;
 
   HmCache hm_cache_;
 
@@ -164,11 +158,6 @@ class StreamingDetector {
   std::size_t flows_in_window_ = 0;
   std::size_t windows_emitted_ = 0;
   std::uint64_t flows_ingested_total_ = 0;
-
-  // Timing-budget bookkeeping (reset each window).
-  std::size_t timing_samples_ = 0;  // buffered across all hosts
-  std::size_t hosts_shed_ = 0;
-  std::size_t timing_samples_shed_ = 0;
 };
 
 /// Drains `reader` into `detector` one flow at a time and flushes the final

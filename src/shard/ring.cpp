@@ -1,0 +1,36 @@
+#include "shard/ring.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace tradeplot::shard {
+
+HashRing::HashRing(std::size_t shards, std::size_t vnodes)
+    : shards_(shards), vnodes_(vnodes) {
+  if (shards == 0) throw util::ConfigError("HashRing: shards must be > 0");
+  if (vnodes == 0) throw util::ConfigError("HashRing: vnodes must be > 0");
+  if (shards == 1) return;  // every host maps to shard 0; no ring needed
+  points_.reserve(shards * vnodes);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t r = 0; r < vnodes; ++r) {
+      // Mix the (shard, replica) pair through two rounds so replica points
+      // of one shard are spread independently.
+      const std::uint64_t point =
+          splitmix64(splitmix64(static_cast<std::uint64_t>(s) << 32 | r));
+      points_.emplace_back(point, static_cast<std::uint32_t>(s));
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::size_t HashRing::shard_of(simnet::Ipv4 host) const {
+  if (shards_ == 1) return 0;
+  const std::uint64_t h = splitmix64(host.value());
+  auto it = std::upper_bound(points_.begin(), points_.end(),
+                             std::make_pair(h, ~std::uint32_t{0}));
+  if (it == points_.end()) it = points_.begin();  // wrap past the last point
+  return it->second;
+}
+
+}  // namespace tradeplot::shard

@@ -1,0 +1,123 @@
+#include "stats/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace tradeplot::stats {
+
+QuantileSketch::QuantileSketch(std::size_t k) : k_(std::max<std::size_t>(k, 8)) {
+  if (k_ % 2 != 0) ++k_;
+  levels_.emplace_back();
+  levels_.front().reserve(k_);
+  parity_.push_back(0);
+}
+
+void QuantileSketch::add(double v) {
+  levels_.front().push_back(v);
+  ++count_;
+  if (levels_.front().size() >= k_) compact(0);
+}
+
+void QuantileSketch::compact(std::size_t level) {
+  std::sort(levels_[level].begin(), levels_[level].end());
+  // Promote every other element of the even prefix at double weight; an odd
+  // straggler stays behind at its own weight (no error for it). The
+  // alternating parity keeps the promoted subsample unbiased across
+  // repeated compactions while staying fully deterministic.
+  const std::size_t even = levels_[level].size() - levels_[level].size() % 2;
+  if (even < 2) return;
+  if (levels_.size() <= level + 1) {
+    levels_.emplace_back();
+    parity_.push_back(0);
+  }
+  // References only after any growth above: emplace_back may reallocate.
+  std::vector<double>& buf = levels_[level];
+  const std::size_t offset = parity_[level] & 1u;
+  parity_[level] ^= 1u;
+  std::vector<double>& up = levels_[level + 1];
+  for (std::size_t i = offset; i < even; i += 2) up.push_back(buf[i]);
+  error_bound_ += 1ull << level;
+  if (even < buf.size()) {
+    const double straggler = buf.back();
+    buf.clear();
+    buf.push_back(straggler);
+  } else {
+    buf.clear();
+  }
+  if (up.size() >= k_) compact(level + 1);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  for (std::size_t l = 0; l < other.levels_.size(); ++l) {
+    if (other.levels_[l].empty()) continue;
+    while (levels_.size() <= l) {
+      levels_.emplace_back();
+      parity_.push_back(0);
+    }
+    levels_[l].insert(levels_[l].end(), other.levels_[l].begin(), other.levels_[l].end());
+  }
+  count_ += other.count_;
+  error_bound_ += other.error_bound_;
+  // Bottom-up so a compaction's promotions land in a level that has not
+  // been settled yet at most once.
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    if (levels_[l].size() >= k_) compact(l);
+  }
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) throw util::ConfigError("quantile over empty sketch");
+  q = std::clamp(q, 0.0, 1.0);
+
+  struct Item {
+    double value;
+    std::uint64_t weight;
+  };
+  std::vector<Item> items;
+  items.reserve(retained());
+  std::uint64_t total = 0;
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const std::uint64_t w = 1ull << l;
+    for (const double v : levels_[l]) {
+      items.push_back({v, w});
+      total += w;
+    }
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.value < b.value; });
+
+  // Type-7 over the expanded (weighted) multiset of `total` values — the
+  // identical arithmetic as stats::quantile_sorted, so a lossless sketch
+  // (no compactions yet) reproduces the exact percentile bit for bit. The
+  // value at an integer rank comes from a cumulative-weight walk instead of
+  // direct indexing.
+  const auto value_at = [&](std::uint64_t rank) {
+    std::uint64_t cum = 0;
+    for (const Item& item : items) {
+      cum += item.weight;
+      if (rank < cum) return item.value;
+    }
+    return items.back().value;
+  };
+  const double pos = q * static_cast<double>(total - 1);
+  const auto lo = static_cast<std::uint64_t>(std::floor(pos));
+  const auto hi = static_cast<std::uint64_t>(std::ceil(pos));
+  if (lo == hi) return value_at(lo);
+  const double frac = pos - static_cast<double>(lo);
+  return value_at(lo) * (1.0 - frac) + value_at(hi) * frac;
+}
+
+double QuantileSketch::relative_error_bound() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(error_bound_) / static_cast<double>(count_);
+}
+
+std::size_t QuantileSketch::retained() const {
+  std::size_t n = 0;
+  for (const std::vector<double>& level : levels_) n += level.size();
+  return n;
+}
+
+}  // namespace tradeplot::stats

@@ -1,0 +1,85 @@
+// Mergeable quantile summaries for the sharded detector's relative
+// thresholds.
+//
+// The paper's τ_vol / τ_churn / data-reduction thresholds are percentiles of
+// a feature's distribution over the *whole* live population — the one
+// computation a per-shard worker cannot finish locally. QuantileSketch is a
+// deterministic Munro–Paterson / KLL-style summary each shard fills over its
+// own hosts; the merge stage combines the shards' sketches (associative,
+// order-given-deterministic) and reads the threshold off the merged summary.
+//
+// Structure: level ℓ holds a buffer of at most k values, each standing for
+// 2^ℓ original samples. When a buffer fills, it is sorted and every other
+// element (alternating parity per level, deterministically) is promoted to
+// level ℓ+1 at double weight. Each such compaction displaces any quantile
+// query's rank by at most 2^ℓ, so the sketch tracks its own worst-case rank
+// error exactly: error_bound() is the sum of 2^ℓ over all compactions
+// performed (by this sketch or any sketch merged into it). With capacity k
+// over n samples that sum telescopes to at most n·H/k ranks, H ≈ log2(n/k)
+// levels — ~1% of n at the default k = 1024 for populations up to millions
+// of hosts. Until the first compaction (n ≤ k, and in particular every
+// population a single shard of today's eval traces produces) the sketch is
+// lossless and quantile() reproduces stats::quantile bit for bit.
+//
+// Everything is deterministic: no randomized compaction offsets, so equal
+// insert/merge sequences give equal summaries, equal thresholds, and equal
+// verdicts on every run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tradeplot::stats {
+
+class QuantileSketch {
+ public:
+  /// `k` is the per-level buffer capacity (error/space knob). Values below 8
+  /// are clamped to 8; odd values round up to even so a full buffer always
+  /// compacts without a remainder.
+  explicit QuantileSketch(std::size_t k = 1024);
+
+  /// Inserts one sample. Non-finite samples are a caller bug upstream of the
+  /// sketch and are inserted as-is (they would equally poison an exact
+  /// percentile).
+  void add(double v);
+
+  /// Folds `other` into this sketch. The result summarizes the union of
+  /// both inputs; error bounds add. Merging in a fixed order (the sharded
+  /// detector merges by ascending shard index) is deterministic.
+  void merge(const QuantileSketch& other);
+
+  /// The q-quantile (q clamped to [0,1]) of the summarized distribution,
+  /// with type-7 (R/NumPy) interpolation over the weighted summary — the
+  /// same convention as stats::quantile, which this reproduces exactly
+  /// whenever no compaction has happened (count() <= k). Throws
+  /// util::ConfigError on an empty sketch.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Samples summarized (exact, survives merges).
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+  /// Worst-case rank displacement of any quantile() answer, in ranks of the
+  /// summarized population: the value returned for q is guaranteed to be an
+  /// element (or interpolation of adjacent elements) whose true rank lies
+  /// within q·(count-1) ± error_bound(). 0 means the sketch is lossless.
+  [[nodiscard]] std::uint64_t error_bound() const { return error_bound_; }
+
+  /// error_bound() / count(): the bound as a fraction of the population
+  /// (0 when empty).
+  [[nodiscard]] double relative_error_bound() const;
+
+  [[nodiscard]] std::size_t capacity() const { return k_; }
+  /// Values currently retained across all levels (space accounting).
+  [[nodiscard]] std::size_t retained() const;
+
+ private:
+  void compact(std::size_t level);
+
+  std::size_t k_;
+  std::uint64_t count_ = 0;
+  std::uint64_t error_bound_ = 0;
+  std::vector<std::vector<double>> levels_;  // levels_[l]: values of weight 2^l
+  std::vector<std::uint8_t> parity_;         // per-level alternating offset
+};
+
+}  // namespace tradeplot::stats

@@ -116,6 +116,9 @@ DaemonConfig DaemonConfig::parse(std::istream& in) {
       else if (key == "queue_capacity") {
         tenant->queue_capacity = parse_u64(lineno, key, value);
         if (tenant->queue_capacity == 0) fail(lineno, "queue_capacity must be positive");
+      } else if (key == "shards") {
+        tenant->shards = parse_u64(lineno, key, value);
+        if (tenant->shards == 0) fail(lineno, "shards must be positive");
       } else if (key == "overflow") {
         if (value == "block") tenant->overflow = Overflow::kBlock;
         else if (value == "shed") tenant->overflow = Overflow::kShed;

@@ -36,6 +36,7 @@ struct TenantParams {
   std::uint64_t timing_budget = 0;            // detector degradation budget (0 = off)
   std::uint64_t checkpoint_every = 100000;    // flows between checkpoints (0 = off)
   std::uint64_t queue_capacity = 1u << 16;    // ingest queue bound (rows)
+  std::uint64_t shards = 1;                   // detector worker shards (1 = single)
   Overflow overflow = Overflow::kBlock;
   netflow::ErrorPolicy policy = netflow::ErrorPolicy::skip();
 };

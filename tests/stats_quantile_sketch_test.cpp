@@ -1,0 +1,195 @@
+// QuantileSketch: the mergeable threshold summary behind the sharded
+// detector's relative thresholds.
+//
+// The contract under test has three layers:
+//   1. losslessness — while a sketch has never compacted (n < k, the case
+//      for every per-shard population today's traces produce), quantile()
+//      is bit-identical to stats::quantile over the same values, and so is
+//      a merge of lossless shards whose total stays under k;
+//   2. the tracked error bound — after compactions, any quantile's rank may
+//      be displaced by at most error_bound() ranks, and the sketch reports
+//      that bound exactly (sandwich-asserted against the exact order
+//      statistics under adversarial skew: ties, heavy tails, tiny shards);
+//   3. determinism — equal insert/merge sequences give equal summaries, so
+//      the merged thresholds are reproducible across runs and thread
+//      counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/quantile_sketch.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tradeplot::stats {
+namespace {
+
+const double kProbes[] = {0.0, 0.01, 0.1, 0.25, 0.5, 0.66, 0.75, 0.9, 0.99, 1.0};
+
+bool bit_equal(double a, double b) { return std::memcmp(&a, &b, sizeof a) == 0; }
+
+/// Sandwich assertion: the sketch's answer must sit between the exact order
+/// statistics `bound` ranks on either side of the query's interpolation
+/// window. This is precisely what "rank displaced by at most error_bound()"
+/// means for an interpolating (type-7) quantile.
+void assert_within_rank_bound(const std::vector<double>& sorted, const QuantileSketch& sketch,
+                              double q) {
+  const double v = sketch.quantile(q);
+  const auto n = static_cast<std::uint64_t>(sorted.size());
+  const auto bound = sketch.error_bound();
+  const double pos = q * static_cast<double>(n - 1);
+  const std::uint64_t lo_rank =
+      static_cast<std::uint64_t>(std::floor(pos)) > bound
+          ? static_cast<std::uint64_t>(std::floor(pos)) - bound
+          : 0;
+  const std::uint64_t hi_rank =
+      std::min<std::uint64_t>(n - 1, static_cast<std::uint64_t>(std::ceil(pos)) + bound);
+  EXPECT_GE(v, sorted[static_cast<std::size_t>(lo_rank)])
+      << "q=" << q << " bound=" << bound;
+  EXPECT_LE(v, sorted[static_cast<std::size_t>(hi_rank)])
+      << "q=" << q << " bound=" << bound;
+}
+
+TEST(QuantileSketchTest, LosslessBeforeFirstCompaction) {
+  util::Pcg32 rng(7);
+  QuantileSketch sketch(1024);
+  std::vector<double> values;
+  for (int i = 0; i < 1023; ++i) {
+    const double v = rng.lognormal(3.0, 1.5);
+    values.push_back(v);
+    sketch.add(v);
+  }
+  ASSERT_EQ(sketch.error_bound(), 0u);
+  for (const double q : kProbes) {
+    EXPECT_TRUE(bit_equal(sketch.quantile(q), stats::quantile(values, q))) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketchTest, LosslessMergeOfSmallShards) {
+  // Eight shards of ~100 hosts each: every per-shard sketch is lossless and
+  // the merged total (800 < k) still never compacts, so the merged
+  // threshold equals the single-detector percentile bit for bit.
+  util::Pcg32 rng(11);
+  QuantileSketch merged(1024);
+  std::vector<double> pooled;
+  for (int s = 0; s < 8; ++s) {
+    QuantileSketch local(1024);
+    for (int i = 0; i < 100; ++i) {
+      const double v = rng.uniform(0.0, 1.0);
+      pooled.push_back(v);
+      local.add(v);
+    }
+    merged.merge(local);
+  }
+  ASSERT_EQ(merged.error_bound(), 0u);
+  ASSERT_EQ(merged.count(), pooled.size());
+  for (const double q : kProbes) {
+    EXPECT_TRUE(bit_equal(merged.quantile(q), stats::quantile(pooled, q))) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketchTest, ErrorBoundHoldsUnderUniformLoad) {
+  util::Pcg32 rng(13);
+  QuantileSketch sketch(64);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.uniform(0.0, 100.0);
+    values.push_back(v);
+    sketch.add(v);
+  }
+  EXPECT_GT(sketch.error_bound(), 0u);
+  // The telescoped bound: ~n/k ranks per level over ~log2(n/k) levels.
+  EXPECT_LT(sketch.relative_error_bound(), 0.2);
+  std::sort(values.begin(), values.end());
+  for (const double q : kProbes) assert_within_rank_bound(values, sketch, q);
+}
+
+TEST(QuantileSketchTest, ErrorBoundHoldsUnderHeavyTails) {
+  // Lognormal with σ=3: the top ranks are orders of magnitude apart, so a
+  // rank displacement that a uniform distribution would hide becomes a huge
+  // value error if the bound lies.
+  util::Pcg32 rng(17);
+  QuantileSketch sketch(32);
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.lognormal(0.0, 3.0);
+    values.push_back(v);
+    sketch.add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : kProbes) assert_within_rank_bound(values, sketch, q);
+}
+
+TEST(QuantileSketchTest, ErrorBoundHoldsWithAllValuesTied) {
+  QuantileSketch sketch(16);
+  for (int i = 0; i < 5000; ++i) sketch.add(42.0);
+  for (const double q : kProbes) EXPECT_EQ(sketch.quantile(q), 42.0);
+}
+
+TEST(QuantileSketchTest, ErrorBoundHoldsUnderManyTinyShardMerges) {
+  // Adversarial shard geometry: 512 shards of 1–5 hosts each. Every local
+  // sketch is trivially lossless; all the compaction pressure lands on the
+  // merge path.
+  util::Pcg32 rng(23);
+  QuantileSketch merged(16);
+  std::vector<double> pooled;
+  for (int s = 0; s < 512; ++s) {
+    QuantileSketch local(16);
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 4));
+    for (int i = 0; i < n; ++i) {
+      // Mix ties and spread so compaction has both to chew on.
+      const double v = (s % 3 == 0) ? 5.0 : rng.uniform(0.0, 10.0);
+      pooled.push_back(v);
+      local.add(v);
+    }
+    merged.merge(local);
+  }
+  ASSERT_EQ(merged.count(), pooled.size());
+  std::sort(pooled.begin(), pooled.end());
+  for (const double q : kProbes) assert_within_rank_bound(pooled, merged, q);
+}
+
+TEST(QuantileSketchTest, MergeMatchesSequentialInsertDeterministically) {
+  // Same multiset, two routes: one sketch fed sequentially vs a merge of
+  // per-shard sketches fed the same values in the same global order. The
+  // summaries need not be identical (compaction points differ), but both
+  // must respect their own bounds — and each route must be reproducible
+  // bit for bit when repeated.
+  const auto build_sequential = [] {
+    util::Pcg32 rng(29);
+    QuantileSketch s(32);
+    for (int i = 0; i < 9000; ++i) s.add(rng.uniform(0.0, 1.0));
+    return s;
+  };
+  const auto build_merged = [] {
+    util::Pcg32 rng(29);
+    QuantileSketch merged(32);
+    for (int shard = 0; shard < 9; ++shard) {
+      QuantileSketch local(32);
+      for (int i = 0; i < 1000; ++i) local.add(rng.uniform(0.0, 1.0));
+      merged.merge(local);
+    }
+    return merged;
+  };
+  const QuantileSketch a1 = build_sequential();
+  const QuantileSketch a2 = build_sequential();
+  const QuantileSketch b1 = build_merged();
+  const QuantileSketch b2 = build_merged();
+  for (const double q : kProbes) {
+    EXPECT_TRUE(bit_equal(a1.quantile(q), a2.quantile(q))) << "q=" << q;
+    EXPECT_TRUE(bit_equal(b1.quantile(q), b2.quantile(q))) << "q=" << q;
+  }
+  EXPECT_EQ(b1.error_bound(), b2.error_bound());
+}
+
+TEST(QuantileSketchTest, EmptySketchThrows) {
+  const QuantileSketch sketch;
+  EXPECT_THROW((void)sketch.quantile(0.5), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace tradeplot::stats
